@@ -1,0 +1,99 @@
+// ABL — ablation of the two §4 fixes.
+//
+// The redesign made two independent changes:
+//   (1) the starter interposes the wrapper and reads its result file
+//       instead of the JVM exit code;
+//   (2) the I/O library converts non-contractual errors into escaping
+//       Java Errors instead of generic IOExceptions.
+// This bench runs the 2x2 grid with scope routing enabled throughout, on
+// a pool with both JVM-level faults (misconfigured installs) and
+// I/O-level faults (a home-filesystem outage). Each cell reports how many
+// jobs ended with the user holding an incidental error — showing that
+// *both* fixes are necessary.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+pool::PoolReport run(jvm::WrapMode wrap, jvm::IoDiscipline io,
+                     std::uint64_t seed) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.wrap = wrap;
+  config.discipline.io = io;
+  for (int i = 0; i < 4; ++i) {
+    config.machines.push_back(pool::MachineSpec::good("good" + std::to_string(i)));
+  }
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("badjvm0"));
+
+  pool::Pool pool(config);
+  pool::stage_workload_inputs(pool);
+  Rng rng(seed);
+  pool::WorkloadOptions options;
+  options.count = 60;
+  options.mean_compute = SimTime::sec(15);
+  options.remote_io_fraction = 0.5;  // half the jobs touch /home via proxy
+  for (auto& job : pool::make_workload(options, rng)) {
+    pool.submit(std::move(job));
+  }
+  pool.boot();
+  // An I/O-level fault window: /home offline for three minutes.
+  pool.engine().schedule(SimTime::minutes(2), [&pool] {
+    pool.submit_fs().set_mount_online("/home", false);
+  });
+  pool.engine().schedule(SimTime::minutes(5), [&pool] {
+    pool.submit_fs().set_mount_online("/home", true);
+  });
+  pool.run_until_done(SimTime::hours(12));
+  return pool.report();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABL: ablation of the two §4 fixes (scope routing always on)\n"
+      "60 jobs, 4 good + 1 misconfigured machine, 3-minute /home outage\n\n");
+  std::printf("%-34s %7s %9s %9s\n", "configuration", "incid", "attempts",
+              "makespan");
+
+  struct Cell {
+    const char* label;
+    jvm::WrapMode wrap;
+    jvm::IoDiscipline io;
+    int incid = 0;
+  } cells[] = {
+      {"bare exit code + generic IO", jvm::WrapMode::kBare,
+       jvm::IoDiscipline::kGeneric, 0},
+      {"bare exit code + concise IO", jvm::WrapMode::kBare,
+       jvm::IoDiscipline::kConcise, 0},
+      {"wrapper + generic IO", jvm::WrapMode::kWrapped,
+       jvm::IoDiscipline::kGeneric, 0},
+      {"wrapper + concise IO (the paper)", jvm::WrapMode::kWrapped,
+       jvm::IoDiscipline::kConcise, 0},
+  };
+  for (Cell& cell : cells) {
+    const pool::PoolReport report = run(cell.wrap, cell.io, 17);
+    cell.incid = report.user_incidental_exposures;
+    std::printf("%-34s %7d %9llu %8.0fs\n", cell.label, cell.incid,
+                static_cast<unsigned long long>(report.total_attempts),
+                report.makespan_seconds);
+  }
+
+  std::printf(
+      "\nshape check: only the full redesign reaches zero exposures;\n"
+      "each fix alone leaves its own class of laundered errors:\n"
+      "  bare+concise leaves JVM- and IO-level scopes unread (exit 1)\n"
+      "  wrapper+generic leaves IO errors laundered to program scope\n");
+  const bool ok = cells[0].incid > 0 && cells[1].incid > 0 &&
+                  cells[2].incid > 0 && cells[3].incid == 0;
+  std::printf("  verdict: %s\n",
+              ok ? "REPRODUCES the expected ablation shape"
+                 : "DOES NOT match the expected shape");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+// EXP-BH — reproduces the §5 black-hole discussion: "a small number of
+// misconfigured machines in our Condor pool attracted a continuous stream
+// of jobs that would attempt to execute, fail, and be returned to the
+// schedd. Although the situation was handled correctly, there was
+// continuous waste of CPU and network capacity."
+//
+// Sweep: number of misconfigured machines x mitigation strategy
+// (none / startd self-test / schedd avoidance / both), all under the
+// scoped discipline (the paper hit this problem *after* the redesign).
+#include <cstdio>
+#include <string>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+struct Mitigation {
+  const char* label;
+  bool selftest;
+  bool avoidance;
+};
+
+pool::PoolReport run(int bad, int good, const Mitigation& mitigation,
+                     std::uint64_t seed, int jobs) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.startd_selftest = mitigation.selftest;
+  config.discipline.schedd_avoidance = mitigation.avoidance;
+  for (int i = 0; i < bad; ++i) {
+    config.machines.push_back(
+        pool::MachineSpec::misconfigured_java("bad" + std::to_string(i)));
+  }
+  for (int i = 0; i < good; ++i) {
+    config.machines.push_back(
+        pool::MachineSpec::good("good" + std::to_string(i)));
+  }
+  pool::Pool pool(config);
+  Rng rng(seed);
+  pool::WorkloadOptions options;
+  options.count = jobs;
+  options.mean_compute = SimTime::sec(30);
+  for (auto& job : pool::make_workload(options, rng)) {
+    pool.submit(std::move(job));
+  }
+  pool.run_until_done(SimTime::hours(12));
+  return pool.report();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kGood = 6;
+  constexpr int kJobs = 60;
+  const Mitigation mitigations[] = {
+      {"none", false, false},
+      {"selftest", true, false},
+      {"avoidance", false, true},
+      {"both", true, true},
+  };
+
+  std::printf(
+      "EXP-BH (paper §5): black-hole machines and their mitigations\n"
+      "%d good machines, %d jobs; 'attempts' beyond %d and wasted attempts\n"
+      "are the continuous CPU/network waste the paper describes.\n\n",
+      kGood, kJobs, kJobs);
+  std::printf("%-4s %-11s %9s %9s %10s %10s %10s %9s\n", "bad", "mitigation",
+              "attempts", "wasted", "netMsgs", "netMB", "makespan", "done");
+
+  double waste_none = 0;
+  double waste_selftest = 0;
+  double waste_avoid = 0;
+  for (const int bad : {0, 1, 2, 4}) {
+    for (const Mitigation& mitigation : mitigations) {
+      if (bad == 0 && (mitigation.selftest || mitigation.avoidance)) continue;
+      const pool::PoolReport report = run(bad, kGood, mitigation, 7, kJobs);
+      std::printf("%-4d %-11s %9llu %9llu %10llu %10.2f %9.0fs %8d\n", bad,
+                  mitigation.label,
+                  static_cast<unsigned long long>(report.total_attempts),
+                  static_cast<unsigned long long>(report.incidental_attempts),
+                  static_cast<unsigned long long>(report.network_messages),
+                  static_cast<double>(report.network_bytes) / (1 << 20),
+                  report.makespan_seconds,
+                  report.jobs_total - report.unfinished);
+      if (bad == 4) {
+        if (std::string(mitigation.label) == "none") {
+          waste_none = static_cast<double>(report.incidental_attempts);
+        } else if (std::string(mitigation.label) == "selftest") {
+          waste_selftest = static_cast<double>(report.incidental_attempts);
+        } else if (std::string(mitigation.label) == "avoidance") {
+          waste_avoid = static_cast<double>(report.incidental_attempts);
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\nshape check (paper: correct handling still wastes capacity; the\n"
+      "startd self-test stops the waste at its source; schedd avoidance\n"
+      "is the complementary fix):\n");
+  std::printf("  wasted attempts at bad=4: none=%.0f selftest=%.0f avoidance=%.0f\n",
+              waste_none, waste_selftest, waste_avoid);
+  const bool shape_ok = waste_none > waste_selftest &&
+                        waste_none > waste_avoid && waste_selftest == 0;
+  std::printf("  verdict: %s\n",
+              shape_ok ? "REPRODUCES the paper's qualitative result"
+                       : "DOES NOT match the expected shape");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+// µ-CHIRP — throughput of the Chirp protocol stack: codec and full
+// client/proxy round trips over the simulated loopback.
+#include <benchmark/benchmark.h>
+
+#include "chirp/client.hpp"
+#include "chirp/server.hpp"
+
+using namespace esg;
+using namespace esg::chirp;
+
+namespace {
+
+void BM_EncodeRequest(benchmark::State& state) {
+  Request req;
+  req.command = "write";
+  req.args = {"7"};
+  req.data = std::string(256, 'x');
+  for (auto _ : state) {
+    std::string wire = req.encode();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_EncodeRequest);
+
+void BM_ParseResponse(benchmark::State& state) {
+  const std::string wire =
+      Response::ok(4096, std::string(4096, 'y')).encode();
+  for (auto _ : state) {
+    auto resp = parse_response(wire);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_ParseResponse);
+
+/// A full session: N round trips through client -> fabric -> server ->
+/// FsBackend -> fabric -> client, measuring wall time per simulated op.
+void BM_RoundTrips(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine(1);
+    net::NetworkFabric fabric(engine);
+    fs::SimFileSystem fs("exec0");
+    (void)fs.mkdirs("/sandbox");
+    (void)fs.write_file("/sandbox/f", std::string(1 << 16, 'z'));
+    FsBackend backend(fs, "/sandbox");
+    std::unique_ptr<ChirpServer> server;
+    std::unique_ptr<ChirpClient> client;
+    (void)fabric.listen({"exec0", 9000}, [&](net::Endpoint ep) {
+      server = std::make_unique<ChirpServer>(std::move(ep), backend, "k");
+    });
+    fabric.connect("exec0", {"exec0", 9000}, [&](Result<net::Endpoint> ep) {
+      client = std::make_unique<ChirpClient>(engine, std::move(ep).value());
+    });
+    engine.run();
+    client->authenticate("k", [](Result<void>) {});
+    std::int64_t fd = -1;
+    client->open("f", "r", [&](Result<std::int64_t> r) { fd = r.value(); });
+    engine.run();
+    state.ResumeTiming();
+
+    const int ops = static_cast<int>(state.range(0));
+    int completed = 0;
+    for (int i = 0; i < ops; ++i) {
+      client->read(fd, 512, [&](Result<std::string> r) {
+        if (r.ok()) ++completed;
+      });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RoundTrips)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// µ-CLASSAD — throughput of the ClassAd substrate: lexing, parsing,
+// evaluation, and symmetric matchmaking.
+#include <benchmark/benchmark.h>
+
+#include "classad/lexer.hpp"
+#include "classad/match.hpp"
+
+using namespace esg;
+using namespace esg::classad;
+
+namespace {
+
+const char* kMachineAdText =
+    "MyType = \"Machine\"; Name = \"exec7\"; Memory = 512;"
+    "HasJava = true; JavaVersion = \"1.3.1\"; State = \"Unclaimed\";"
+    "LoadAvg = 0.25; Arch = \"INTEL\"; OpSys = \"LINUX\";"
+    "Requirements = TARGET.ImageSizeMB <= MY.Memory && LoadAvg < 0.5;"
+    "Rank = 0";
+
+const char* kJobAdText =
+    "MyType = \"Job\"; JobId = 42; Owner = \"alice\"; ImageSizeMB = 64;"
+    "Cmd = \"Sim\"; JobUniverse = \"java\";"
+    "Requirements = TARGET.HasJava =?= true && TARGET.Memory >= "
+    "MY.ImageSizeMB;"
+    "Rank = TARGET.Memory";
+
+void BM_Lex(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tokens = lex(kMachineAdText);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_ParseAd(benchmark::State& state) {
+  for (auto _ : state) {
+    auto ad = parse_classad(kMachineAdText);
+    benchmark::DoNotOptimize(ad);
+  }
+}
+BENCHMARK(BM_ParseAd);
+
+void BM_ParseExpr(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = parse_expr("(TARGET.Memory >= 64 && HasJava =?= true) || x < 3");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ParseExpr);
+
+void BM_EvalArithmetic(benchmark::State& state) {
+  auto expr = parse_expr("1 + 2 * 3 - 4 / 2 + 10 % 3");
+  EvalContext ctx;
+  for (auto _ : state) {
+    Value v = expr.value()->eval(ctx);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EvalArithmetic);
+
+void BM_EvalAttrChain(benchmark::State& state) {
+  auto ad = parse_classad("a = 1; b = a + 1; c = b + 1; d = c + 1; e = d + 1");
+  for (auto _ : state) {
+    Value v = ad.value().eval_attr("e");
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_EvalAttrChain);
+
+void BM_SymmetricMatch(benchmark::State& state) {
+  auto job = parse_classad(kJobAdText);
+  auto machine = parse_classad(kMachineAdText);
+  for (auto _ : state) {
+    MatchResult m = symmetric_match(job.value(), machine.value());
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_SymmetricMatch);
+
+void BM_MatchOneJobAgainstNMachines(benchmark::State& state) {
+  auto job = parse_classad(kJobAdText);
+  std::vector<ClassAd> machines;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto m = parse_classad(kMachineAdText);
+    m.value().set("Memory", 64 + i);
+    machines.push_back(std::move(m).value());
+  }
+  for (auto _ : state) {
+    int matched = 0;
+    for (const ClassAd& m : machines) {
+      if (symmetric_match(job.value(), m).matched) ++matched;
+    }
+    benchmark::DoNotOptimize(matched);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MatchOneJobAgainstNMachines)->Arg(16)->Arg(256);
+
+void BM_Unparse(benchmark::State& state) {
+  auto ad = parse_classad(kMachineAdText);
+  for (auto _ : state) {
+    std::string s = ad.value().str();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Unparse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

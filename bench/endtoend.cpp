@@ -1,0 +1,103 @@
+// EXP-E2E — implicit errors and the end-to-end principle (§5).
+//
+// "Despite low-level error correction, implicit errors have been observed
+// in increasingly uncomfortable rates in networks, memories, and CPUs...
+// A process above Condor may work on behalf of the user to analyze
+// outputs and replicate or resubmit jobs."
+//
+// One machine in the pool silently corrupts bulk reads. The grid itself
+// never notices — every protocol step succeeds. Sweep replica count and
+// measure how often the user ends up holding wrong bytes, and how often
+// the voting layer detects/masks the corruption.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/reliable.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+struct Tally {
+  int rounds = 0;
+  int wrong_delivered = 0;   // user holds corrupt bytes, unaware
+  int detected = 0;          // disagreement observed
+  int masked = 0;            // detected and still delivered correctly
+  int unresolved = 0;        // no majority / nothing delivered
+};
+
+Tally run_rounds(int replicas, int rounds, std::uint64_t seed) {
+  Tally tally;
+  const std::string good_output(256, '\0');
+  for (int round = 0; round < rounds; ++round) {
+    pool::PoolConfig config;
+    config.seed = seed + static_cast<std::uint64_t>(round) * 101;
+    config.discipline = daemons::DisciplineConfig::scoped();
+    pool::MachineSpec liar = pool::MachineSpec::good("liar0");
+    liar.silent_corruption_rate = 1.0;  // this machine always lies on bulk reads
+    config.machines.push_back(liar);
+    config.machines.push_back(pool::MachineSpec::good("honest0"));
+    config.machines.push_back(pool::MachineSpec::good("honest1"));
+    pool::Pool pool(config);
+
+    daemons::JobDescription job;
+    job.program = jvm::ProgramBuilder("producer")
+                      .compute(SimTime::sec(5))
+                      .open_write("answer.dat", 0)
+                      .write(0, 256)
+                      .close_stream(0)
+                      .build();
+    job.output_files = {"answer.dat"};
+    const std::vector<JobId> ids =
+        pool::submit_redundant(pool, job, replicas);
+    if (!pool.run_until_done(SimTime::hours(4))) continue;
+    const pool::ReliableResult r = pool::vote_outputs(pool, ids, "answer.dat");
+    ++tally.rounds;
+    if (r.implicit_error_detected) ++tally.detected;
+    if (!r.delivered) {
+      ++tally.unresolved;
+    } else if (r.output != good_output) {
+      ++tally.wrong_delivered;
+    } else if (r.implicit_error_detected) {
+      ++tally.masked;
+    }
+  }
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRounds = 30;
+  std::printf(
+      "EXP-E2E (paper §5): implicit errors vs end-to-end replication\n"
+      "3 machines (1 silently corrupting bulk reads), %d rounds per row;\n"
+      "the grid itself reports success in every round.\n\n",
+      kRounds);
+  std::printf("%-9s %7s %7s %9s %8s %11s\n", "replicas", "rounds",
+              "wrong!", "detected", "masked", "unresolved");
+
+  Tally one;
+  Tally three;
+  for (const int replicas : {1, 3, 5}) {
+    const Tally t = run_rounds(replicas, kRounds, 1000);
+    std::printf("%-9d %7d %7d %9d %8d %11d\n", replicas, t.rounds,
+                t.wrong_delivered, t.detected, t.masked, t.unresolved);
+    if (replicas == 1) one = t;
+    if (replicas == 3) three = t;
+  }
+
+  std::printf(
+      "\nshape check: with one replica, corruption reaches the user\n"
+      "undetected whenever the liar wins the match; with three, the vote\n"
+      "detects it and the user essentially never holds wrong bytes:\n");
+  const bool ok = one.wrong_delivered > 0 && three.wrong_delivered == 0 &&
+                  three.detected > 0;
+  std::printf("  wrong results: 1 replica=%d, 3 replicas=%d (detected %d)\n",
+              one.wrong_delivered, three.wrong_delivered, three.detected);
+  std::printf("  verdict: %s\n",
+              ok ? "REPRODUCES the end-to-end argument"
+                 : "DOES NOT match the expected shape");
+  return ok ? 0 : 1;
+}

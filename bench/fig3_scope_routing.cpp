@@ -1,0 +1,171 @@
+// FIG3 — regenerates Figure 3 of the paper: "Error Scopes in the Java
+// Universe".
+//
+// One fault per scope is injected into a full running grid; the table
+// shows the scope each error surfaced with, the schedd's last-line-of-
+// defense action, and the job's fate — the executable form of Figure 3's
+// scope map and handler assignments.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+struct Row {
+  std::string injected;
+  std::string surfaced_scope;
+  std::string schedd_action;
+  std::string final_state;
+  std::size_t attempts = 0;
+};
+
+Row run_scenario(const std::string& label, pool::PoolConfig config,
+                 daemons::JobDescription job,
+                 const std::function<void(pool::Pool&)>& arrange = {}) {
+  pool::Pool pool(std::move(config));
+  pool::stage_workload_inputs(pool);
+  const JobId id = pool.submit(std::move(job));
+  pool.boot();
+  if (arrange) arrange(pool);
+  pool.run_until_done(SimTime::hours(4));
+
+  Row row;
+  row.injected = label;
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  row.final_state = std::string(daemons::job_state_name(record->state));
+  row.attempts = record->attempts.size();
+  // The scope the first failing attempt surfaced with.
+  row.surfaced_scope = "program";
+  for (const daemons::AttemptRecord& attempt : record->attempts) {
+    if (!attempt.summary.have_program_result &&
+        attempt.summary.environment_error.has_value()) {
+      row.surfaced_scope = std::string(
+          scope_name(attempt.summary.environment_error->scope()));
+      break;
+    }
+    if (attempt.summary.have_program_result &&
+        attempt.summary.program_result.error.has_value()) {
+      row.surfaced_scope = std::string(
+          scope_name(attempt.summary.program_result.error->scope()));
+      break;
+    }
+  }
+  switch (record->state) {
+    case daemons::JobState::kCompleted:
+      row.schedd_action =
+          row.attempts > 1 ? "retried elsewhere, then completed"
+                           : "returned result to user";
+      break;
+    case daemons::JobState::kUnexecutable:
+      row.schedd_action = "returned job as unexecutable";
+      break;
+    default:
+      row.schedd_action = "still pending";
+  }
+  return row;
+}
+
+pool::PoolConfig base_config(std::uint64_t seed) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Row> rows;
+
+  {  // program scope: the program's own exception
+    pool::PoolConfig config = base_config(1);
+    config.machines.push_back(pool::MachineSpec::good());
+    daemons::JobDescription job;
+    job.program = jvm::ProgramBuilder("P")
+                      .throw_exception(ErrorKind::kArrayIndexOutOfBounds)
+                      .build();
+    rows.push_back(
+        run_scenario("program throws ArrayIndexOutOfBounds", config,
+                     std::move(job)));
+  }
+  {  // virtual-machine scope: heap too small on the first machine
+    pool::PoolConfig config = base_config(2);
+    config.machines.push_back(pool::MachineSpec::tiny_heap("aaa_small"));
+    config.machines.push_back(pool::MachineSpec::good("zzz_big"));
+    daemons::JobDescription job;
+    job.program = jvm::ProgramBuilder("P").alloc(64 << 20).build();
+    rows.push_back(run_scenario("JVM heap exhausted (OutOfMemoryError)",
+                                config, std::move(job)));
+  }
+  {  // remote-resource scope: misconfigured Java installation
+    pool::PoolConfig config = base_config(3);
+    config.machines.push_back(pool::MachineSpec::misconfigured_java("aaa_bad"));
+    config.machines.push_back(pool::MachineSpec::good("zzz_good"));
+    rows.push_back(run_scenario("Java installation misconfigured", config,
+                                pool::make_hello_job()));
+  }
+  {  // local-resource scope: submit-side home filesystem offline
+    pool::PoolConfig config = base_config(4);
+    config.machines.push_back(pool::MachineSpec::good());
+    daemons::JobDescription job;
+    job.program = jvm::ProgramBuilder("P")
+                      .open_read("/home/data/input.dat", 0)
+                      .read(0, 1024)
+                      .close_stream(0)
+                      .build();
+    rows.push_back(run_scenario(
+        "home filesystem offline (recovers later)", config, std::move(job),
+        [](pool::Pool& pool) {
+          pool.submit_fs().set_mount_online("/home", false);
+          pool.engine().schedule(SimTime::minutes(3), [&pool] {
+            pool.submit_fs().set_mount_online("/home", true);
+          });
+        }));
+  }
+  {  // job scope: corrupt program image
+    pool::PoolConfig config = base_config(5);
+    config.machines.push_back(pool::MachineSpec::good());
+    daemons::JobDescription job;
+    job.program = jvm::ProgramBuilder("P").corrupt_image().build();
+    rows.push_back(
+        run_scenario("program image corrupt", config, std::move(job)));
+  }
+  {  // network scope: execution host crashes mid-run
+    pool::PoolConfig config = base_config(6);
+    config.machines.push_back(pool::MachineSpec::good("aaa_dies"));
+    config.machines.push_back(pool::MachineSpec::good("zzz_lives"));
+    daemons::JobDescription job;
+    job.program =
+        jvm::ProgramBuilder("P").compute(SimTime::minutes(5)).build();
+    rows.push_back(run_scenario(
+        "execution host crashes mid-job", config, std::move(job),
+        [](pool::Pool& pool) {
+          pool.engine().schedule(SimTime::minutes(1), [&pool] {
+            pool.fabric().crash_host("aaa_dies");
+            pool.startd("aaa_dies")->shutdown();
+          });
+        }));
+  }
+
+  std::printf(
+      "FIG3: error scopes and their handling in the Java Universe\n\n");
+  std::printf("%-42s | %-16s | %-32s | %-13s | %s\n", "injected fault",
+              "surfaced scope", "schedd action", "final state", "attempts");
+  std::printf("%.42s-+-%.16s-+-%.32s-+-%.13s-+---------\n",
+              "------------------------------------------",
+              "----------------",
+              "--------------------------------", "-------------");
+  for (const Row& row : rows) {
+    std::printf("%-42s | %-16s | %-32s | %-13s | %zu\n", row.injected.c_str(),
+                row.surfaced_scope.c_str(), row.schedd_action.c_str(),
+                row.final_state.c_str(), row.attempts);
+  }
+  std::printf(
+      "\nreading: program scope completes immediately; job scope is\n"
+      "unexecutable immediately; everything in between is retried at a new\n"
+      "site — the schedd consumed each error at the scope it manages.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// FIG4 — regenerates Figure 4 of the paper: "JVM Result Codes".
+//
+// Seven execution details are run through the simulated JVM. The bare JVM
+// column reproduces the paper's table: the result code collapses every
+// abnormal condition to 1 and cannot distinguish error scopes. The wrapper
+// columns show the §4 fix: the result file recovers the scope.
+#include <cstdio>
+#include <string>
+
+#include "jvm/jvm.hpp"
+
+using namespace esg;
+using namespace esg::jvm;
+
+namespace {
+
+struct Scenario {
+  const char* detail;          // the paper's "Execution Detail" column
+  const char* paper_scope;     // the paper's "Error Scope" column
+  int paper_code;              // the paper's "JVM Result Code" column
+  JobProgram program;
+  JvmConfig config;
+  bool offline_home = false;   // take /home down before running
+};
+
+struct RunResult {
+  int exit_code = 0;
+  std::string wrapper_scope;   // scope recovered from the result file
+  std::string wrapper_exit_by;
+};
+
+RunResult run_scenario(const Scenario& scenario, WrapMode mode,
+                       std::uint64_t seed) {
+  sim::Engine engine(seed);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  fs.add_mount("/home", 0);
+  if (scenario.offline_home) fs.set_mount_online("/home", false);
+
+  LocalJavaIo io(fs, IoDiscipline::kConcise);
+  SimJvm jvm(engine, scenario.config);
+  RunResult out;
+  jvm.run(scenario.program, io, mode, &fs, "/scratch/.result",
+          [&](const JvmOutcome& outcome) { out.exit_code = outcome.exit_code; });
+  engine.run();
+
+  if (mode == WrapMode::kWrapped) {
+    Result<std::string> text = fs.read_file("/scratch/.result");
+    if (text.ok()) {
+      Result<ResultFile> rf = ResultFile::parse(text.value());
+      if (rf.ok()) {
+        out.wrapper_exit_by = std::string(exit_by_name(rf.value().exit_by));
+        out.wrapper_scope =
+            rf.value().error.has_value()
+                ? std::string(scope_name(rf.value().error->scope()))
+                : "program";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Scenario> scenarios;
+  {
+    Scenario s;
+    s.detail = "program exited by completing main";
+    s.paper_scope = "program";
+    s.paper_code = 0;
+    s.program = ProgramBuilder("Main").compute(SimTime::msec(5)).build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "program called System.exit(17)";
+    s.paper_scope = "program";
+    s.paper_code = 17;
+    s.program = ProgramBuilder("Main").exit(17).build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "program de-referenced a null pointer";
+    s.paper_scope = "program";
+    s.paper_code = 1;
+    s.program =
+        ProgramBuilder("Main").throw_exception(ErrorKind::kNullPointer).build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "not enough memory for the program";
+    s.paper_scope = "virtual-machine";
+    s.paper_code = 1;
+    s.config.heap_bytes = 1 << 10;
+    s.program = ProgramBuilder("Main").alloc(64 << 20).build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "Java installation is misconfigured";
+    s.paper_scope = "remote-resource";
+    s.paper_code = 1;
+    s.config.classpath_ok = false;
+    s.program = ProgramBuilder("Main").compute(SimTime::msec(5)).build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "home file system was offline";
+    s.paper_scope = "local-resource";
+    s.paper_code = 1;
+    s.offline_home = true;
+    s.program = ProgramBuilder("Main")
+                    .open_read("/home/input.dat", 0)
+                    .read(0, 1024)
+                    .build();
+    scenarios.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.detail = "program image was corrupt";
+    s.paper_scope = "job";
+    s.paper_code = 1;
+    s.program = ProgramBuilder("Main").corrupt_image().build();
+    scenarios.push_back(std::move(s));
+  }
+
+  std::printf("FIG4: JVM result codes (paper Figure 4) vs the wrapper fix\n");
+  std::printf("%-44s | %-16s | %5s | %5s | %-16s | %s\n", "execution detail",
+              "paper scope", "paper", "bare", "wrapper scope", "wrapper says");
+  std::printf("%-44s-+-%-16s-+-%5s-+-%5s-+-%-16s-+-%s\n",
+              "--------------------------------------------",
+              "----------------", "-----", "-----", "----------------",
+              "------------");
+  bool all_match = true;
+  int distinct_bare_codes_for_errors = 0;
+  std::vector<int> error_codes;
+  for (const Scenario& scenario : scenarios) {
+    const RunResult bare = run_scenario(scenario, WrapMode::kBare, 1);
+    const RunResult wrapped = run_scenario(scenario, WrapMode::kWrapped, 1);
+    std::printf("%-44s | %-16s | %5d | %5d | %-16s | %s\n", scenario.detail,
+                scenario.paper_scope, scenario.paper_code, bare.exit_code,
+                wrapped.wrapper_scope.c_str(),
+                wrapped.wrapper_exit_by.c_str());
+    if (bare.exit_code != scenario.paper_code) all_match = false;
+    if (scenario.paper_code == 1) error_codes.push_back(bare.exit_code);
+    if (wrapped.wrapper_scope != scenario.paper_scope) all_match = false;
+  }
+  // How many distinct codes did the five "code 1" scenarios produce?
+  std::sort(error_codes.begin(), error_codes.end());
+  error_codes.erase(std::unique(error_codes.begin(), error_codes.end()),
+                    error_codes.end());
+  distinct_bare_codes_for_errors = static_cast<int>(error_codes.size());
+
+  std::printf("\nsummary:\n");
+  std::printf(
+      "  bare JVM: %d distinct exit code(s) across 5 different-scope "
+      "failures (paper: 1)\n",
+      distinct_bare_codes_for_errors);
+  std::printf("  wrapper: recovers all 5 scopes from the result file\n");
+  std::printf("  reproduces paper table: %s\n", all_match ? "YES" : "NO");
+  return all_match ? 0 : 1;
+}

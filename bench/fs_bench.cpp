@@ -1,0 +1,72 @@
+// µ-FS — simulated filesystem throughput: namespace ops, bulk I/O, and
+// the cost of mount bookkeeping and fault hooks.
+#include <benchmark/benchmark.h>
+
+#include "fs/simfs.hpp"
+
+using namespace esg;
+using namespace esg::fs;
+
+namespace {
+
+void BM_WriteReadSmallFiles(benchmark::State& state) {
+  SimFileSystem fs("host");
+  (void)fs.mkdirs("/d");
+  int i = 0;
+  for (auto _ : state) {
+    const std::string path = "/d/f" + std::to_string(i++ % 256);
+    benchmark::DoNotOptimize(fs.write_file(path, "payload").ok());
+    benchmark::DoNotOptimize(fs.read_file(path).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_WriteReadSmallFiles);
+
+void BM_BulkWrite(benchmark::State& state) {
+  SimFileSystem fs("host");
+  const std::string chunk(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    Result<FileHandle> h = fs.open("/bulk", OpenMode::kWrite);
+    benchmark::DoNotOptimize(h.value().write(chunk).ok());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkWrite)->Arg(4 << 10)->Arg(1 << 20);
+
+void BM_DeepPathResolution(benchmark::State& state) {
+  SimFileSystem fs("host");
+  (void)fs.mkdirs("/a/b/c/d/e/f/g/h");
+  (void)fs.write_file("/a/b/c/d/e/f/g/h/leaf", "x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.stat("/a/b/c/d/e/f/g/h/leaf"));
+  }
+}
+BENCHMARK(BM_DeepPathResolution);
+
+void BM_StatWithMountsAndAcls(benchmark::State& state) {
+  SimFileSystem fs("host");
+  for (int i = 0; i < 8; ++i) {
+    fs.add_mount("/m" + std::to_string(i), 1 << 20);
+    fs.set_access("/m" + std::to_string(i), true, i % 2 == 0);
+  }
+  (void)fs.write_file("/m7/f", "x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.stat("/m7/f"));
+  }
+}
+BENCHMARK(BM_StatWithMountsAndAcls);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // The schedd's hot path: append a line to the spool journal.
+  SimFileSystem fs("host");
+  (void)fs.mkdirs("/spool");
+  for (auto _ : state) {
+    Result<FileHandle> h = fs.open("/spool/journal.log", OpenMode::kAppend);
+    benchmark::DoNotOptimize(h.value().write("LOG event line\n").ok());
+  }
+}
+BENCHMARK(BM_JournalAppend);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// EXP-INIT — reproduces §2.3 "Initial Experience": under the naive
+// discipline, nearly any failure in a component bounces the job back to
+// the user with an error message; under the scoped redesign users see
+// their program's results (including its own exceptions) and nothing else.
+//
+// Pool: mixed machines (healthy, misconfigured Java, tiny heap), plus a
+// mid-run home-filesystem outage. Workload: compute + remote-I/O jobs,
+// a fraction with genuine program errors.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+pool::PoolReport run(daemons::DisciplineConfig discipline, std::uint64_t seed,
+                     int jobs) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = discipline;
+  // 10 machines: 7 healthy, 2 with broken Java installs, 1 with a tiny
+  // heap — the kind of heterogeneous pool §2.3 describes.
+  for (int i = 0; i < 7; ++i) {
+    config.machines.push_back(pool::MachineSpec::good("good" + std::to_string(i)));
+  }
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("badjvm0"));
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("badjvm1"));
+  config.machines.push_back(pool::MachineSpec::tiny_heap("smallheap0", 8 << 20));
+
+  pool::Pool pool(config);
+  pool::stage_workload_inputs(pool);
+
+  Rng rng(seed ^ 0x5eed);
+  pool::WorkloadOptions options;
+  options.count = jobs;
+  options.mean_compute = SimTime::sec(20);
+  options.program_error_fraction = 0.15;  // users *want* to see these
+  options.nonzero_exit_fraction = 0.05;
+  options.remote_io_fraction = 0.4;
+  options.big_alloc_fraction = 0.15;      // trips the small-heap machine
+  options.big_alloc_bytes = 64 << 20;
+  for (auto& job : pool::make_workload(options, rng)) {
+    pool.submit(std::move(job));
+  }
+
+  pool.boot();
+  // The shadow's shared filesystem becomes temporarily unavailable —
+  // the exact §2.3 ConnectionTimedOut scenario.
+  pool.engine().schedule(SimTime::minutes(5), [&pool] {
+    pool.submit_fs().set_mount_online("/home", false);
+  });
+  pool.engine().schedule(SimTime::minutes(8), [&pool] {
+    pool.submit_fs().set_mount_online("/home", true);
+  });
+
+  pool.run_until_done(SimTime::hours(12));
+  return pool.report();
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kJobs = 120;
+  std::printf(
+      "EXP-INIT (paper §2.3): naive vs scoped error discipline\n"
+      "%d jobs, 10 machines (2 broken JVMs, 1 tiny heap), one 3-minute\n"
+      "home-filesystem outage. 'incid' = jobs whose final, user-visible\n"
+      "outcome was an incidental (environmental) error — the postmortem\n"
+      "burden the paper complains about.\n\n",
+      kJobs);
+
+  std::printf("%s\n", pool::PoolReport::table_header().c_str());
+  double naive_incid = 0;
+  double scoped_incid = 0;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const pool::PoolReport naive =
+        run(daemons::DisciplineConfig::naive(), seed, kJobs);
+    const pool::PoolReport scoped =
+        run(daemons::DisciplineConfig::scoped(), seed, kJobs);
+    std::printf("%s\n",
+                naive.table_row("naive  seed=" + std::to_string(seed)).c_str());
+    std::printf("%s\n",
+                scoped.table_row("scoped seed=" + std::to_string(seed)).c_str());
+    naive_incid += naive.user_incidental_exposures;
+    scoped_incid += scoped.user_incidental_exposures;
+  }
+
+  std::printf(
+      "\nshape check (paper: naive exposed users to frequent incidental\n"
+      "errors; the redesign abated the hailstorm while still delivering\n"
+      "genuine program errors):\n");
+  std::printf("  naive  mean incidental exposures: %.1f per %d jobs\n",
+              naive_incid / 3, kJobs);
+  std::printf("  scoped mean incidental exposures: %.1f per %d jobs\n",
+              scoped_incid / 3, kJobs);
+  std::printf("  verdict: %s\n",
+              naive_incid > 0 && scoped_incid == 0
+                  ? "REPRODUCES the paper's qualitative result"
+                  : "DOES NOT match the expected shape");
+  return naive_incid > 0 && scoped_incid == 0 ? 0 : 1;
+}

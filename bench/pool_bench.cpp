@@ -1,0 +1,76 @@
+// µ-POOL — whole-grid simulation throughput: how much simulated grid per
+// second of wall time. Exercises every module at once (matchmaker, ads,
+// claims, shadows, starters, chirp, JVM).
+#include <benchmark/benchmark.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+void BM_PoolRun(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const int jobs = static_cast<int>(state.range(1));
+  std::uint64_t total_events = 0;
+  for (auto _ : state) {
+    pool::PoolConfig config;
+    config.seed = 7;
+    config.discipline = daemons::DisciplineConfig::scoped();
+    for (int i = 0; i < machines; ++i) {
+      config.machines.push_back(
+          pool::MachineSpec::good("exec" + std::to_string(i)));
+    }
+    pool::Pool pool(config);
+    Rng rng(7);
+    pool::WorkloadOptions options;
+    options.count = jobs;
+    options.mean_compute = SimTime::sec(20);
+    for (auto& job : pool::make_workload(options, rng)) {
+      pool.submit(std::move(job));
+    }
+    const bool done = pool.run_until_done(SimTime::hours(12));
+    benchmark::DoNotOptimize(done);
+    total_events += pool.engine().executed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(total_events), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_PoolRun)
+    ->Args({4, 20})
+    ->Args({16, 80})
+    ->Args({50, 200})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PoolWithFaults(benchmark::State& state) {
+  for (auto _ : state) {
+    pool::PoolConfig config;
+    config.seed = 11;
+    config.discipline = daemons::DisciplineConfig::scoped();
+    config.discipline.schedd_avoidance = true;
+    for (int i = 0; i < 8; ++i) {
+      config.machines.push_back(
+          pool::MachineSpec::good("good" + std::to_string(i)));
+    }
+    config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+    config.machines.push_back(pool::MachineSpec::misconfigured_java("bad1"));
+    pool::Pool pool(config);
+    Rng rng(11);
+    pool::WorkloadOptions options;
+    options.count = 40;
+    options.mean_compute = SimTime::sec(10);
+    options.program_error_fraction = 0.2;
+    for (auto& job : pool::make_workload(options, rng)) {
+      pool.submit(std::move(job));
+    }
+    benchmark::DoNotOptimize(pool.run_until_done(SimTime::hours(12)));
+  }
+  state.SetItemsProcessed(state.iterations() * 40);
+}
+BENCHMARK(BM_PoolWithFaults)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

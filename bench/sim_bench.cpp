@@ -1,0 +1,78 @@
+// µ-SIM — event-engine and RNG throughput: the substrate everything else
+// stands on.
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+
+using namespace esg;
+using namespace esg::sim;
+
+namespace {
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine(1);
+    long sum = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule(SimTime::usec(i % 1000), [&sum] { ++sum; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAndRun)->Arg(1000)->Arg(100000);
+
+void BM_CascadingEvents(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine(1);
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < depth) engine.schedule(SimTime::usec(1), tick);
+    };
+    engine.schedule(SimTime::usec(1), tick);
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_CascadingEvents)->Arg(10000);
+
+void BM_CancelledTimers(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine(1);
+    std::vector<TimerHandle> handles;
+    handles.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      handles.push_back(engine.schedule(SimTime::sec(1), [] {}));
+    }
+    for (TimerHandle& h : handles) h.cancel();
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CancelledTimers)->Arg(10000);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.exponential(10.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+}  // namespace
+
+BENCHMARK_MAIN();

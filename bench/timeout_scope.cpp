@@ -1,0 +1,141 @@
+// EXP-TIME — reproduces the §5 indeterminate-scope discussion: time
+// converts small-scope errors into large-scope ones, and the NFS
+// hard/soft dichotomy serves nobody.
+//
+// A client reads a file from a mount that is offline for a window of
+// varying length. Three policies: hard mount (hide errors, wait forever),
+// soft mount (expose after 3 retries), and a per-program deadline with
+// scope escalation.
+#include <cstdio>
+#include <string>
+
+#include "fs/retry.hpp"
+
+using namespace esg;
+
+namespace {
+
+struct RunResult {
+  bool succeeded = false;
+  double latency = 0;
+  std::string error;
+  std::string scope;
+};
+
+RunResult run(SimTime outage, const RetryPolicy& policy) {
+  sim::Engine engine(3);
+  fs::SimFileSystem fs("submit0");
+  fs.add_mount("/home", 0);
+  (void)fs.write_file("/home/data", "payload");
+  fs.set_mount_online("/home", false);
+  engine.schedule(outage, [&fs] { fs.set_mount_online("/home", true); });
+
+  const ScopeEscalator escalator = ScopeEscalator::grid_defaults();
+  RunResult out;
+  bool done = false;
+  fs::read_with_policy(engine, fs, "/home/data", policy, escalator,
+                       [&](fs::PolicyOutcome outcome) {
+                         out.succeeded = outcome.succeeded;
+                         out.latency = outcome.latency.as_sec();
+                         if (outcome.error.has_value()) {
+                           out.error =
+                               std::string(kind_name(outcome.error->kind()));
+                           out.scope =
+                               std::string(scope_name(outcome.error->scope()));
+                         }
+                         done = true;
+                       });
+  engine.run(SimTime::hours(3));
+  if (!done) {
+    out.error = "(still waiting)";
+    out.scope = "-";
+  }
+  return out;
+}
+
+std::string describe(const RunResult& r) {
+  if (r.succeeded) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "completed after %.0fs", r.latency);
+    return buf;
+  }
+  if (r.error == "(still waiting)") return "HUNG (never returned)";
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "error %s [%s scope] after %.0fs",
+                r.error.c_str(), r.scope.c_str(), r.latency);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const struct {
+    const char* label;
+    SimTime outage;
+  } outages[] = {
+      {"2 seconds", SimTime::sec(2)},
+      {"20 seconds", SimTime::sec(20)},
+      {"5 minutes", SimTime::minutes(5)},
+      {"2 hours", SimTime::hours(2)},
+  };
+  const struct {
+    const char* label;
+    RetryPolicy policy;
+  } policies[] = {
+      {"hard mount", RetryPolicy::hard()},
+      {"soft mount (3 retries)", RetryPolicy::soft(3, SimTime::sec(1))},
+      {"deadline 60s + escalate",
+       RetryPolicy::with_deadline(SimTime::sec(60), SimTime::sec(2))},
+  };
+
+  std::printf(
+      "EXP-TIME (paper §5): indeterminate scope, time, and mount policy\n"
+      "a read against a filesystem that is offline for the given window\n\n");
+  std::printf("%-12s | %-24s | %s\n", "outage", "policy", "what the caller saw");
+  std::printf("%.12s-+-%.24s-+-%.40s\n", "------------",
+              "------------------------", "----------------------------------------");
+
+  bool soft_premature = false;
+  bool hard_hung_long = false;
+  bool deadline_escalated = false;
+  for (const auto& outage : outages) {
+    for (const auto& policy : policies) {
+      const RunResult r = run(outage.outage, policy.policy);
+      std::printf("%-12s | %-24s | %s\n", outage.label, policy.label,
+                  describe(r).c_str());
+      if (std::string(policy.label).starts_with("soft") &&
+          outage.outage <= SimTime::sec(20) && !r.succeeded) {
+        soft_premature = true;
+      }
+      if (std::string(policy.label).starts_with("hard") &&
+          outage.outage >= SimTime::hours(2) &&
+          (r.succeeded ? r.latency >= 7000 : r.error == "(still waiting)")) {
+        hard_hung_long = true;
+      }
+      if (std::string(policy.label).starts_with("deadline") &&
+          outage.outage >= SimTime::minutes(5) && !r.succeeded &&
+          r.scope == "remote-resource") {
+        deadline_escalated = true;
+      }
+    }
+    std::printf("%.12s-+-%.24s-+-%.40s\n", "------------",
+                "------------------------",
+                "----------------------------------------");
+  }
+
+  std::printf(
+      "\nshape check (paper: hard hides errors at the cost of hanging; soft\n"
+      "exposes them even when patience would have won; only a per-program\n"
+      "deadline lets the caller choose, and persistence widens the scope):\n");
+  std::printf("  soft fails during recoverable outages : %s\n",
+              soft_premature ? "yes" : "no");
+  std::printf("  hard effectively hangs for long outages: %s\n",
+              hard_hung_long ? "yes" : "no");
+  std::printf("  deadline escalates scope with time     : %s\n",
+              deadline_escalated ? "yes" : "no");
+  const bool ok = soft_premature && hard_hung_long && deadline_escalated;
+  std::printf("  verdict: %s\n",
+              ok ? "REPRODUCES the paper's qualitative result"
+                 : "DOES NOT match the expected shape");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,118 @@
+// EXP-UNIV — the universe landscape (§2.1) under one faulty pool.
+//
+// The same workload runs in each universe. The Java universe has the full
+// §4 machinery (wrapper + concise escaping I/O); the Standard universe has
+// remote I/O and checkpointing but only exit codes for results; the
+// Vanilla universe has nothing. The measurement: how many incidental
+// (environmental) conditions reach the user as if they were program
+// results — the §2.3 metric, per universe.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+pool::PoolReport run(daemons::Universe universe, std::uint64_t seed) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  for (int i = 0; i < 4; ++i) {
+    pool::MachineSpec spec =
+        pool::MachineSpec::good("exec" + std::to_string(i));
+    if (universe == daemons::Universe::kJava) {
+      // Java jobs also face owner misconfiguration; other universes don't
+      // care about the JVM, so give them the same machines minus that.
+    }
+    config.machines.push_back(spec);
+  }
+  if (universe == daemons::Universe::kJava) {
+    config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  }
+
+  pool::Pool pool(config);
+  pool::stage_workload_inputs(pool);
+  Rng rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    daemons::JobDescription job;
+    job.universe = universe;
+    if (universe != daemons::Universe::kJava) job.requirements = "true";
+    jvm::ProgramBuilder builder("u" + std::to_string(i));
+    builder.compute(SimTime::sec(static_cast<std::int64_t>(
+        rng.exponential(15.0)) + 1));
+    if (rng.chance(0.5)) {
+      builder.open_read("/home/data/input.dat", 0).read(0, 1024).close_stream(0);
+    }
+    if (rng.chance(0.15)) {
+      builder.throw_exception(ErrorKind::kArrayIndexOutOfBounds);
+    }
+    job.program = builder.build();
+    pool.submit(std::move(job));
+  }
+  pool.boot();
+  // The home filesystem flaps for three minutes mid-run.
+  pool.engine().schedule(SimTime::minutes(2), [&pool] {
+    pool.submit_fs().set_mount_online("/home", false);
+  });
+  pool.engine().schedule(SimTime::minutes(5), [&pool] {
+    pool.submit_fs().set_mount_online("/home", true);
+  });
+  pool.run_until_done(SimTime::hours(12));
+  return pool.report();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EXP-UNIV (paper §2.1): error visibility across universes\n"
+      "40 jobs (50%% remote I/O, 15%% genuine program errors), a 3-minute\n"
+      "home-filesystem outage; scoped discipline throughout.\n\n");
+  std::printf("%-10s %6s %8s %8s %8s %9s\n", "universe", "ok", "prgerr",
+              "incid", "unexec", "attempts");
+
+  int java_incid = -1;
+  int java_prgerr = -1;
+  int standard_incid = -1;
+  int vanilla_prgerr = -1;
+  for (const daemons::Universe universe :
+       {daemons::Universe::kJava, daemons::Universe::kStandard,
+        daemons::Universe::kVanilla}) {
+    const pool::PoolReport report = run(universe, 7);
+    std::printf("%-10s %6d %8d %8d %8d %9llu\n",
+                std::string(daemons::universe_name(universe)).c_str(),
+                report.completed_genuine, report.completed_program_error,
+                report.user_incidental_exposures, report.unexecutable,
+                static_cast<unsigned long long>(report.total_attempts));
+    if (universe == daemons::Universe::kJava) {
+      java_incid = report.user_incidental_exposures;
+      java_prgerr = report.completed_program_error;
+    }
+    if (universe == daemons::Universe::kStandard) {
+      standard_incid = report.user_incidental_exposures;
+    }
+    if (universe == daemons::Universe::kVanilla) {
+      vanilla_prgerr = report.completed_program_error;
+    }
+  }
+
+  std::printf(
+      "\nshape check: the Java universe's wrapper + escaping I/O shields\n"
+      "the user completely; the Standard universe reaches remote data but\n"
+      "launders outage-time failures into results (no wrapper to read the\n"
+      "scope); the Vanilla universe cannot even reach remote data — its\n"
+      "I/O jobs all die with FileNotFound *as a program result*, which is\n"
+      "why its 'prgerr' column dwarfs the genuine error rate:\n");
+  const bool ok = java_incid == 0 && standard_incid > 0 &&
+                  vanilla_prgerr > java_prgerr * 2;
+  std::printf(
+      "  java: incid=%d; standard: incid=%d; vanilla prgerr=%d vs java "
+      "prgerr=%d\n",
+      java_incid, standard_incid, vanilla_prgerr, java_prgerr);
+  std::printf("  verdict: %s\n",
+              ok ? "REPRODUCES the expected universe contrast"
+                 : "DOES NOT match the expected shape");
+  return ok ? 0 : 1;
+}

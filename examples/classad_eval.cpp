@@ -1,0 +1,64 @@
+// classad_eval: evaluate ClassAd expressions or match two ads.
+//
+//   $ ./classad_eval '2 + 3 * 4'
+//   $ ./classad_eval --ad 'a = 1; b = a * 2' b
+//   $ ./classad_eval --match 'Requirements = TARGET.Memory > 100' \
+//                            'Memory = 512; Requirements = true'
+#include <cstdio>
+#include <cstring>
+
+#include "classad/match.hpp"
+
+using namespace esg;
+using namespace esg::classad;
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && !std::strcmp(argv[1], "--match")) {
+    Result<ClassAd> left = parse_classad(argv[2]);
+    Result<ClassAd> right = parse_classad(argv[3]);
+    if (!left.ok() || !right.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   (!left.ok() ? left.error() : right.error()).str().c_str());
+      return 1;
+    }
+    const MatchResult m = symmetric_match(left.value(), right.value());
+    std::printf("left accepts right : %s\n", m.left_accepts ? "yes" : "no");
+    std::printf("right accepts left : %s\n", m.right_accepts ? "yes" : "no");
+    std::printf("match              : %s\n", m.matched ? "YES" : "no");
+    std::printf("ranks              : left=%g right=%g\n", m.left_rank,
+                m.right_rank);
+    return m.matched ? 0 : 1;
+  }
+
+  if (argc >= 4 && !std::strcmp(argv[1], "--ad")) {
+    Result<ClassAd> ad = parse_classad(argv[2]);
+    if (!ad.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", ad.error().str().c_str());
+      return 1;
+    }
+    for (int i = 3; i < argc; ++i) {
+      std::printf("%s = %s\n", argv[i],
+                  ad.value().eval_attr(argv[i]).str().c_str());
+    }
+    return 0;
+  }
+
+  if (argc == 2) {
+    Result<ExprPtr> expr = parse_expr(argv[1]);
+    if (!expr.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", expr.error().str().c_str());
+      return 1;
+    }
+    EvalContext ctx;
+    std::printf("%s\n", expr.value()->eval(ctx).str().c_str());
+    return 0;
+  }
+
+  std::printf(
+      "usage:\n"
+      "  %s '<expr>'                 evaluate an expression\n"
+      "  %s --ad '<ad>' attr...      evaluate attributes of an ad\n"
+      "  %s --match '<ad>' '<ad>'    two-way matchmaking\n",
+      argv[0], argv[0], argv[0]);
+  return 2;
+}

@@ -1,0 +1,117 @@
+// A guided tour of the core error-scope library: the three ways an error
+// can be communicated, the four principles, scope routing, and time-based
+// escalation. No grid required — everything here is the core API.
+#include <cstdio>
+
+#include "core/core.hpp"
+
+using namespace esg;
+
+namespace {
+
+void banner(const char* title) { std::printf("\n== %s ==\n", title); }
+
+// A toy storage layer with a concise, finite error interface (P4).
+Result<std::string> storage_read(bool backing_store_up) {
+  static const ErrorInterface contract("storage.read",
+                                       {ErrorKind::kFileNotFound});
+  Result<std::string> raw =
+      backing_store_up
+          ? Result<std::string>(std::string("block data"))
+          : Result<std::string>(
+                Error(ErrorKind::kMountOffline, "backing store unavailable"));
+  // filter(): contractual errors pass; anything else escapes (P2).
+  return contract.filter(std::move(raw), ErrorScope::kProcess);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("error-scope core library tour\n");
+
+  banner("explicit errors: Result<T>");
+  {
+    Result<int> ok = 42;
+    Result<int> err = Error(ErrorKind::kFileNotFound, "no such file");
+    std::printf("ok result     : %d\n", ok.value());
+    std::printf("error result  : %s\n", err.error().str().c_str());
+  }
+
+  banner("escaping errors: escape() / catch_escape() (Principle 2)");
+  {
+    // The storage layer cannot express "backing store gone" in its
+    // interface, so it escapes; one level up it becomes explicit again.
+    Result<std::string> r =
+        catch_escape([] { return storage_read(/*backing_store_up=*/false); });
+    std::printf("escaped error surfaced explicitly one level up:\n  %s\n",
+                r.error().describe().c_str());
+  }
+
+  banner("implicit errors: detection by validation (end-to-end, §5)");
+  {
+    const OutputValidator<int> tally_check(
+        "votes == ballots", [](const int& votes) { return votes == 100; });
+    if (auto implicit = tally_check.check(99)) {
+      std::printf("detected: %s\n", implicit->str().c_str());
+    }
+  }
+
+  banner("error scope: the portion of the system an error invalidates");
+  for (ErrorScope scope : kAllScopes) {
+    std::printf("  %-16s rank %2d  schedd would: %s\n",
+                std::string(scope_name(scope)).c_str(), scope_rank(scope),
+                schedd_disposition(scope) == ScheddDisposition::kComplete
+                    ? "complete the job"
+                : schedd_disposition(scope) == ScheddDisposition::kUnexecutable
+                    ? "return it unexecutable"
+                    : "retry at a new site");
+  }
+
+  banner("Principle 3: route errors to the manager of their scope");
+  {
+    ScopeRouter router;
+    router.register_handler(ErrorScope::kVirtualMachine, "jvm", [](Error&) {
+      std::printf("  jvm handler: cannot fix a heap this small, propagating\n");
+      return Disposition::kPropagate;
+    });
+    router.register_handler(ErrorScope::kRemoteResource, "starter",
+                            [](Error&) {
+                              std::printf(
+                                  "  starter: this machine is unusable, "
+                                  "propagating\n");
+                              return Disposition::kPropagate;
+                            });
+    router.register_handler(ErrorScope::kJob, "schedd", [](Error& e) {
+      std::printf("  schedd: rescheduling elsewhere (%s)\n", e.str().c_str());
+      return Disposition::kHandled;
+    });
+    const RouteOutcome out = router.route(Error(ErrorKind::kOutOfMemory));
+    std::printf("  delivered=%s after %zu hops\n",
+                out.delivered ? "yes" : "no", out.path.size());
+  }
+
+  banner("time widens scope (§5): the escalator");
+  {
+    const ScopeEscalator escalator = ScopeEscalator::grid_defaults();
+    for (const SimTime persisted :
+         {SimTime::sec(1), SimTime::sec(45), SimTime::minutes(15),
+          SimTime::hours(7)}) {
+      std::printf("  network failure persisting %-10s -> %s scope\n",
+                  persisted.str().c_str(),
+                  std::string(scope_name(escalator.scope_after(
+                                  ErrorScope::kNetwork, persisted)))
+                      .c_str());
+    }
+  }
+
+  banner("the audit ledger");
+  {
+    const PrincipleAudit& audit = PrincipleAudit::global();
+    std::printf("  P2 applied %llu times, P3 applied %llu times this run\n",
+                static_cast<unsigned long long>(audit.applied(Principle::kP2)),
+                static_cast<unsigned long long>(audit.applied(Principle::kP3)));
+  }
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Submit-file workflow: stage a program, write a condor_submit-style
+// description, queue it, and watch the pool with condor_status-style
+// snapshots while it drains.
+#include <cstdio>
+
+#include "pool/pool.hpp"
+#include "pool/submit.hpp"
+
+using namespace esg;
+
+int main() {
+  pool::PoolConfig config;
+  config.seed = 7;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(pool::MachineSpec::good("exec0"));
+  config.machines.push_back(pool::MachineSpec::good("exec1"));
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("flaky0"));
+  pool::Pool pool(config);
+
+  // The user's "executable" is a program image on the submit machine.
+  const jvm::JobProgram program = jvm::ProgramBuilder("MonteCarlo")
+                                      .compute(SimTime::minutes(2))
+                                      .open_write("pi.dat", 0)
+                                      .write(0, 64)
+                                      .close_stream(0)
+                                      .build();
+  if (!pool::stage_program(pool.submit_fs(), "/home/user/mc.prog", program)
+           .ok()) {
+    std::printf("cannot stage program\n");
+    return 1;
+  }
+
+  const char* submit_text = R"(
+    # monte-carlo sweep
+    universe              = java
+    executable            = /home/user/mc.prog
+    owner                 = user
+    rank                  = TARGET.Memory
+    transfer_output_files = pi.dat
+    queue 6
+  )";
+  Result<std::vector<daemons::JobDescription>> jobs =
+      pool::parse_submit_text(pool.submit_fs(), submit_text);
+  if (!jobs.ok()) {
+    std::printf("submit rejected: %s\n", jobs.error().str().c_str());
+    return 1;
+  }
+  for (auto& job : jobs.value()) pool.submit(std::move(job));
+  pool.boot();
+  std::printf("queued %zu jobs\n", jobs.value().size());
+
+  // Periodic condor_status-style snapshots while the pool drains.
+  for (int tick = 1; tick <= 3; ++tick) {
+    pool.engine().run(pool.engine().now() + SimTime::minutes(2));
+    std::printf("\n===== status at %s =====\n%s",
+                pool.engine().now().str().c_str(),
+                pool.status_string().c_str());
+  }
+  pool.run_until_done(SimTime::hours(2));
+  std::printf("\n===== final =====\n%s", pool.status_string().c_str());
+  std::printf("\n%s", pool.report().str().c_str());
+  return 0;
+}

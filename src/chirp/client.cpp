@@ -1,0 +1,302 @@
+#include "chirp/client.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::chirp {
+
+ChirpClient::ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
+                         SimTime timeout)
+    : engine_(engine), endpoint_(std::move(endpoint)), timeout_(timeout) {
+  std::shared_ptr<bool> alive = alive_;
+  endpoint_.set_on_message([this, alive](const std::string& wire) {
+    if (*alive) on_response(wire);
+  });
+  endpoint_.set_on_close([this, alive](const std::optional<Error>& error) {
+    if (*alive) on_close(error);
+  });
+}
+
+ChirpClient::~ChirpClient() {
+  *alive_ = false;
+  for (auto& [cb, timer] : pending_) timer.cancel();
+}
+
+Error ChirpClient::response_error(const Response& resp) {
+  return resp.to_error();
+}
+
+void ChirpClient::send(Request req, RawCb done) {
+  if (conn_error_.has_value()) {
+    done(Error(*conn_error_));
+    return;
+  }
+  if (!endpoint_.is_open()) {
+    done(Error(ErrorKind::kConnectionLost, "chirp connection closed"));
+    return;
+  }
+  Result<void> sent = endpoint_.send(req.encode());
+  if (!sent.ok()) {
+    done(std::move(sent).error());
+    return;
+  }
+  sim::TimerHandle timer;
+  if (timeout_ > SimTime::zero()) {
+    std::shared_ptr<bool> alive = alive_;
+    timer = engine_.schedule(timeout_, [this, alive] {
+      if (!*alive) return;
+      // The proxy stopped answering: the RPC mechanism itself is no longer
+      // trustworthy. Break the connection (escaping error, §3.2); on_close
+      // fails every outstanding operation.
+      endpoint_.abort(Error(ErrorKind::kConnectionTimedOut,
+                            "chirp response timed out"));
+    });
+  }
+  pending_.emplace_back(std::move(done), timer);
+}
+
+void ChirpClient::on_response(const std::string& wire) {
+  if (pending_.empty()) {
+    // Unsolicited response: protocol violation by the peer; the function
+    // call mechanism is invalid. Escape by breaking the connection.
+    endpoint_.abort(
+        Error(ErrorKind::kProtocolError, "unsolicited chirp response"));
+    return;
+  }
+  auto [cb, timer] = std::move(pending_.front());
+  pending_.pop_front();
+  timer.cancel();
+  Result<Response> parsed = parse_response(wire);
+  cb(std::move(parsed));
+}
+
+void ChirpClient::on_close(const std::optional<Error>& error) {
+  conn_error_ = error.has_value()
+                    ? *error
+                    : Error(ErrorKind::kConnectionLost,
+                            "chirp connection closed by peer");
+  fail_all(*conn_error_);
+}
+
+void ChirpClient::fail_all(const Error& error) {
+  while (!pending_.empty()) {
+    auto [cb, timer] = std::move(pending_.front());
+    pending_.pop_front();
+    timer.cancel();
+    cb(Error(error));
+  }
+}
+
+void ChirpClient::authenticate(const std::string& secret, VoidCb done) {
+  Request req;
+  req.command = "cookie";
+  req.args = {secret};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::open(const std::string& path, const std::string& mode,
+                       IntCb done) {
+  Request req;
+  req.command = "open";
+  req.args = {path, mode};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(r.value().value);
+  });
+}
+
+void ChirpClient::close_fd(std::int64_t fd, VoidCb done) {
+  Request req;
+  req.command = "close";
+  req.args = {std::to_string(fd)};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::read(std::int64_t fd, std::int64_t length, DataCb done) {
+  Request req;
+  req.command = "read";
+  req.args = {std::to_string(fd), std::to_string(length)};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(std::move(r.value().data));
+  });
+}
+
+void ChirpClient::write(std::int64_t fd, std::string data, IntCb done) {
+  Request req;
+  req.command = "write";
+  req.args = {std::to_string(fd)};
+  req.data = std::move(data);
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(r.value().value);
+  });
+}
+
+void ChirpClient::lseek(std::int64_t fd, std::int64_t offset, VoidCb done) {
+  Request req;
+  req.command = "lseek";
+  req.args = {std::to_string(fd), std::to_string(offset)};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::stat(const std::string& path, IntCb done) {
+  Request req;
+  req.command = "stat";
+  req.args = {path};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(r.value().value);
+  });
+}
+
+void ChirpClient::unlink(const std::string& path, VoidCb done) {
+  Request req;
+  req.command = "unlink";
+  req.args = {path};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::rmdir(const std::string& path, VoidCb done) {
+  Request req;
+  req.command = "rmdir";
+  req.args = {path};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::rename(const std::string& from, const std::string& to,
+                         VoidCb done) {
+  Request req;
+  req.command = "rename";
+  req.args = {from, to};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+void ChirpClient::getdir(
+    const std::string& path,
+    std::function<void(Result<std::vector<std::string>>)> done) {
+  Request req;
+  req.command = "getdir";
+  req.args = {path};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    std::vector<std::string> names;
+    for (const std::string& line : split(r.value().data, '\n')) {
+      if (!line.empty()) names.push_back(line);
+    }
+    done(std::move(names));
+  });
+}
+
+void ChirpClient::mkdir(const std::string& path, VoidCb done) {
+  Request req;
+  req.command = "mkdir";
+  req.args = {path};
+  send(std::move(req), [done = std::move(done)](Result<Response> r) {
+    if (!r.ok()) {
+      done(std::move(r).error());
+      return;
+    }
+    if (r.value().code != Code::kOk) {
+      done(response_error(r.value()));
+      return;
+    }
+    done(Ok());
+  });
+}
+
+}  // namespace esg::chirp

@@ -1,0 +1,84 @@
+// ChirpClient: the job-side half of the I/O protocol.
+//
+// The Java I/O library calls through this client. All operations are
+// asynchronous (the simulation never blocks); completions arrive in FIFO
+// order. A broken connection — the network's escaping error — fails every
+// outstanding and future operation with the connection error, exactly the
+// condition the fixed I/O library must convert into a Java Error rather
+// than an IOException (§4).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chirp/protocol.hpp"
+#include "common/simtime.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::chirp {
+
+class ChirpClient {
+ public:
+  /// `timeout`: if a response takes longer, the connection is aborted with
+  /// kConnectionTimedOut (zero disables).
+  ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
+              SimTime timeout = SimTime::sec(30));
+  ~ChirpClient();
+
+  ChirpClient(const ChirpClient&) = delete;
+  ChirpClient& operator=(const ChirpClient&) = delete;
+
+  using IntCb = std::function<void(Result<std::int64_t>)>;
+  using DataCb = std::function<void(Result<std::string>)>;
+  using VoidCb = std::function<void(Result<void>)>;
+
+  /// Authenticate with the shared secret. Must complete before other ops.
+  void authenticate(const std::string& secret, VoidCb done);
+
+  /// mode: "r" | "w" | "a"; yields a remote fd.
+  void open(const std::string& path, const std::string& mode, IntCb done);
+  void close_fd(std::int64_t fd, VoidCb done);
+  /// Short reads mean EOF (empty string at EOF).
+  void read(std::int64_t fd, std::int64_t length, DataCb done);
+  void write(std::int64_t fd, std::string data, IntCb done);
+  void lseek(std::int64_t fd, std::int64_t offset, VoidCb done);
+  /// Yields the file size.
+  void stat(const std::string& path, IntCb done);
+  void unlink(const std::string& path, VoidCb done);
+  void mkdir(const std::string& path, VoidCb done);
+  void rmdir(const std::string& path, VoidCb done);
+  void rename(const std::string& from, const std::string& to, VoidCb done);
+  /// Yields the directory entries (the server sends one name per line).
+  void getdir(const std::string& path,
+              std::function<void(Result<std::vector<std::string>>)> done);
+
+  [[nodiscard]] bool connected() const { return endpoint_.is_open(); }
+
+  /// The error that killed the connection, if any.
+  [[nodiscard]] const std::optional<Error>& connection_error() const {
+    return conn_error_;
+  }
+
+ private:
+  using RawCb = std::function<void(Result<Response>)>;
+  void send(Request req, RawCb done);
+  void on_response(const std::string& wire);
+  void on_close(const std::optional<Error>& error);
+  void fail_all(const Error& error);
+
+  static Error response_error(const Response& resp);
+
+  sim::Engine& engine_;
+  net::Endpoint endpoint_;
+  SimTime timeout_;
+  std::deque<std::pair<RawCb, sim::TimerHandle>> pending_;
+  std::optional<Error> conn_error_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace esg::chirp

@@ -1,0 +1,189 @@
+#include "chirp/protocol.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::chirp {
+
+ErrorKind code_to_kind(Code code) {
+  switch (code) {
+    case Code::kOk: return ErrorKind::kUnknown;  // not an error
+    case Code::kNotAuthenticated: return ErrorKind::kAuthenticationFailed;
+    case Code::kNotFound: return ErrorKind::kFileNotFound;
+    case Code::kNotAllowed: return ErrorKind::kAccessDenied;
+    case Code::kTooBig: return ErrorKind::kQuotaExceeded;
+    case Code::kDiskFull: return ErrorKind::kDiskFull;
+    case Code::kBadFd: return ErrorKind::kBadFileDescriptor;
+    case Code::kIsDirectory: return ErrorKind::kIsDirectory;
+    case Code::kNotDirectory: return ErrorKind::kNotDirectory;
+    case Code::kExists: return ErrorKind::kFileExists;
+    case Code::kOffline: return ErrorKind::kMountOffline;
+    case Code::kTransient: return ErrorKind::kIoError;
+    case Code::kMalformed: return ErrorKind::kRequestMalformed;
+    case Code::kUnknownCommand: return ErrorKind::kRequestMalformed;
+    case Code::kEndOfFile: return ErrorKind::kEndOfFile;
+    case Code::kTimedOut: return ErrorKind::kConnectionTimedOut;
+    case Code::kDisconnected: return ErrorKind::kConnectionLost;
+  }
+  return ErrorKind::kUnknown;
+}
+
+Code kind_to_code(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kAuthenticationFailed:
+    case ErrorKind::kCredentialsExpired:
+    case ErrorKind::kNotAuthorized:
+      return Code::kNotAuthenticated;
+    case ErrorKind::kFileNotFound: return Code::kNotFound;
+    case ErrorKind::kAccessDenied: return Code::kNotAllowed;
+    case ErrorKind::kQuotaExceeded: return Code::kTooBig;
+    case ErrorKind::kDiskFull: return Code::kDiskFull;
+    case ErrorKind::kBadFileDescriptor: return Code::kBadFd;
+    case ErrorKind::kIsDirectory: return Code::kIsDirectory;
+    case ErrorKind::kNotDirectory: return Code::kNotDirectory;
+    case ErrorKind::kFileExists: return Code::kExists;
+    case ErrorKind::kMountOffline: return Code::kOffline;
+    case ErrorKind::kIoError: return Code::kTransient;
+    case ErrorKind::kRequestMalformed: return Code::kMalformed;
+    case ErrorKind::kEndOfFile: return Code::kEndOfFile;
+    case ErrorKind::kConnectionTimedOut: return Code::kTimedOut;
+    case ErrorKind::kConnectionLost:
+    case ErrorKind::kConnectionRefused:
+    case ErrorKind::kHostUnreachable:
+      return Code::kDisconnected;
+    default: return Code::kTransient;
+  }
+}
+
+std::string_view code_name(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kNotAuthenticated: return "NOT_AUTHENTICATED";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kNotAllowed: return "NOT_ALLOWED";
+    case Code::kTooBig: return "TOO_BIG";
+    case Code::kDiskFull: return "DISK_FULL";
+    case Code::kBadFd: return "BAD_FD";
+    case Code::kIsDirectory: return "IS_DIRECTORY";
+    case Code::kNotDirectory: return "NOT_DIRECTORY";
+    case Code::kExists: return "EXISTS";
+    case Code::kOffline: return "OFFLINE";
+    case Code::kTransient: return "TRANSIENT";
+    case Code::kMalformed: return "MALFORMED";
+    case Code::kUnknownCommand: return "UNKNOWN_COMMAND";
+    case Code::kEndOfFile: return "END_OF_FILE";
+    case Code::kTimedOut: return "TIMED_OUT";
+    case Code::kDisconnected: return "DISCONNECTED";
+  }
+  return "?";
+}
+
+std::string Request::encode() const {
+  std::string out = command;
+  for (const std::string& a : args) {
+    out += ' ';
+    out += a;
+  }
+  if (!data.empty()) {
+    out += '\n';
+    out += data;
+  }
+  return out;
+}
+
+std::string Response::encode() const {
+  std::string out = std::to_string(static_cast<int>(code));
+  out += ' ';
+  out += std::to_string(value);
+  out += ' ';
+  out += scope.has_value() ? std::string(scope_name(*scope)) : "-";
+  if (!data.empty()) {
+    out += '\n';
+    out += data;
+  }
+  return out;
+}
+
+Response Response::ok(std::int64_t value, std::string data) {
+  Response r;
+  r.code = Code::kOk;
+  r.value = value;
+  r.data = std::move(data);
+  return r;
+}
+
+Response Response::fail(Code code) {
+  Response r;
+  r.code = code;
+  return r;
+}
+
+Response Response::fail_scoped(Code code, ErrorScope scope) {
+  Response r;
+  r.code = code;
+  r.scope = scope;
+  return r;
+}
+
+Error Response::to_error() const {
+  const ErrorKind kind = code_to_kind(code);
+  // A carried scope *overrides* the kind's default — the server knows
+  // which resource failed better than the code's generic mapping does
+  // (e.g. a scratch outage is remote-resource even though mount-offline
+  // defaults to local-resource).
+  return Error(kind, scope.value_or(default_scope(kind)),
+               std::string("chirp: ") + std::string(code_name(code)));
+}
+
+Result<Request> parse_request(const std::string& wire) {
+  const std::size_t nl = wire.find('\n');
+  const std::string head = wire.substr(0, nl);
+  Request req;
+  if (nl != std::string::npos) req.data = wire.substr(nl + 1);
+  std::vector<std::string> fields;
+  for (const std::string& f : split(head, ' ')) {
+    if (!f.empty()) fields.push_back(f);
+  }
+  if (fields.empty()) {
+    return Error(ErrorKind::kRequestMalformed, "empty chirp request");
+  }
+  req.command = fields.front();
+  req.args.assign(fields.begin() + 1, fields.end());
+  return req;
+}
+
+Result<Response> parse_response(const std::string& wire) {
+  const std::size_t nl = wire.find('\n');
+  const std::string head = wire.substr(0, nl);
+  Response resp;
+  if (nl != std::string::npos) resp.data = wire.substr(nl + 1);
+  std::vector<std::string> fields;
+  for (const std::string& f : split(head, ' ')) {
+    if (!f.empty()) fields.push_back(f);
+  }
+  if (fields.empty()) {
+    return Error(ErrorKind::kProtocolError, "empty chirp response");
+  }
+  char* end = nullptr;
+  const long code = std::strtol(fields[0].c_str(), &end, 10);
+  if (end == fields[0].c_str()) {
+    return Error(ErrorKind::kProtocolError,
+                 "bad chirp response code: " + fields[0]);
+  }
+  resp.code = static_cast<Code>(code);
+  if (fields.size() > 1) {
+    resp.value = std::strtoll(fields[1].c_str(), nullptr, 10);
+  }
+  if (fields.size() > 2 && fields[2] != "-") {
+    // Scope is advisory; unknown names are ignored rather than fatal (a
+    // newer peer may know scopes we do not).
+    resp.scope = parse_scope(fields[2]);
+    if (!resp.scope.has_value()) resp.scope.reset();
+  }
+  return resp;
+}
+
+std::string cookie_path(const std::string& scratch_dir) {
+  return scratch_dir + "/.chirp.cookie";
+}
+
+}  // namespace esg::chirp

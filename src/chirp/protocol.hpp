@@ -1,0 +1,100 @@
+// The Chirp protocol (§2.2).
+//
+// The Java I/O library does not talk to storage directly; it speaks a
+// simple request/response protocol to a proxy in the starter over the
+// loopback interface, authenticating with a shared secret revealed through
+// the local filesystem. Our transport is message-based, so one request or
+// response occupies exactly one message:
+//
+//   request : "<command> <args...>" ["\n" <data>]          (write carries data)
+//   response: "<code> [<args...>]"  ["\n" <data>]          (read returns data)
+//
+// Response codes are a concise, finite set (Principle 4). Codes map
+// losslessly to core ErrorKinds, and each kind keeps its scope, so the
+// Java library on the far side can tell a contractual error (NOT_FOUND on
+// open) from one that must escape (OFFLINE during write).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/kinds.hpp"
+#include "core/result.hpp"
+#include "core/scope.hpp"
+
+namespace esg::chirp {
+
+enum class Code : int {
+  kOk = 0,
+  kNotAuthenticated = -1,
+  kNotFound = -2,
+  kNotAllowed = -3,
+  kTooBig = -4,
+  kDiskFull = -5,
+  kBadFd = -6,
+  kIsDirectory = -7,
+  kNotDirectory = -8,
+  kExists = -9,
+  kOffline = -10,     ///< backing filesystem unavailable
+  kTransient = -11,   ///< transient device error
+  kMalformed = -12,
+  kUnknownCommand = -13,
+  kEndOfFile = -14,
+  kTimedOut = -15,      ///< backend did not answer in time
+  kDisconnected = -16,  ///< backend's own connection is gone
+};
+
+/// Map a response code to the canonical error kind (identity-preserving
+/// round trip with kind_to_code for every supported kind).
+ErrorKind code_to_kind(Code code);
+
+/// Map an error kind to the closest response code; kinds outside the
+/// protocol's vocabulary collapse to kTransient (the catch-all that
+/// callers must treat as non-contractual).
+Code kind_to_code(ErrorKind kind);
+
+std::string_view code_name(Code code);
+
+struct Request {
+  std::string command;             // "open", "read", ...
+  std::vector<std::string> args;   // tokenized arguments
+  std::string data;                // payload (write)
+
+  [[nodiscard]] std::string encode() const;
+};
+
+struct Response {
+  Code code = Code::kOk;
+  std::int64_t value = 0;          // fd, byte count, size, ...
+  std::string data;                // payload (read, stat)
+
+  /// The scope the error invalidates, when the server knows better than
+  /// the code's default (e.g. a mount outage on the execution machine is
+  /// remote-resource scope; the same outage behind the shadow is
+  /// local-resource scope). This field is the protocol-level embodiment of
+  /// the paper's thesis: the scope, not the detail, is what the two sides
+  /// must agree on.
+  std::optional<ErrorScope> scope;
+
+  [[nodiscard]] std::string encode() const;
+
+  static Response ok(std::int64_t value = 0, std::string data = {});
+  static Response fail(Code code);
+  static Response fail_scoped(Code code, ErrorScope scope);
+
+  /// The error this response denotes (code must not be kOk): kind from
+  /// the code, scope from the carried scope or the kind's default.
+  [[nodiscard]] Error to_error() const;
+};
+
+Result<Request> parse_request(const std::string& wire);
+Result<Response> parse_response(const std::string& wire);
+
+/// The cookie file path convention: the starter writes the shared secret
+/// here, the job reads it through the local filesystem (§2.2).
+std::string cookie_path(const std::string& scratch_dir);
+
+}  // namespace esg::chirp

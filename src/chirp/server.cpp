@@ -1,0 +1,277 @@
+#include "chirp/server.hpp"
+
+namespace esg::chirp {
+
+// ---- FsBackend ----
+
+FsBackend::FsBackend(fs::SimFileSystem& fs, std::string sandbox,
+                     std::optional<ErrorScope> resource_scope)
+    : fs_(fs),
+      sandbox_(std::move(sandbox)),
+      resource_scope_(resource_scope) {}
+
+Response FsBackend::error_response(const Error& e) const {
+  // A mount outage invalidates the whole backing resource; the backend is
+  // the one component that knows *which* resource, so it stamps the scope
+  // into the response (Principle 3 needs the scope to travel).
+  if (e.kind() == ErrorKind::kMountOffline && resource_scope_.has_value()) {
+    return Response::fail_scoped(kind_to_code(e.kind()), *resource_scope_);
+  }
+  return Response::fail(kind_to_code(e.kind()));
+}
+
+std::string FsBackend::map_path(const std::string& path) const {
+  if (sandbox_.empty()) return path;
+  if (path.empty() || path[0] != '/') return sandbox_ + "/" + path;
+  return sandbox_ + path;
+}
+
+void FsBackend::op_open(const std::string& path, const std::string& mode,
+                        Reply reply) {
+  fs::OpenMode m;
+  if (mode == "r") {
+    m = fs::OpenMode::kRead;
+  } else if (mode == "w") {
+    m = fs::OpenMode::kWrite;
+  } else if (mode == "a") {
+    m = fs::OpenMode::kAppend;
+  } else {
+    reply(Response::fail(Code::kMalformed));
+    return;
+  }
+  Result<fs::FileHandle> h = fs_.open(map_path(path), m);
+  if (!h.ok()) {
+    reply(error_response(h.error()));
+    return;
+  }
+  const std::int64_t fd = next_fd_++;
+  handles_[fd] = std::move(h).value();
+  reply(Response::ok(fd));
+}
+
+void FsBackend::op_close(std::int64_t fd, Reply reply) {
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    reply(Response::fail(Code::kBadFd));
+    return;
+  }
+  it->second.close();
+  handles_.erase(it);
+  reply(Response::ok());
+}
+
+void FsBackend::op_read(std::int64_t fd, std::int64_t length, Reply reply) {
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    reply(Response::fail(Code::kBadFd));
+    return;
+  }
+  if (length < 0) {
+    reply(Response::fail(Code::kMalformed));
+    return;
+  }
+  Result<std::string> data =
+      it->second.read(static_cast<std::size_t>(length));
+  if (!data.ok()) {
+    reply(error_response(data.error()));
+    return;
+  }
+  const std::int64_t n = static_cast<std::int64_t>(data.value().size());
+  reply(Response::ok(n, std::move(data).value()));
+}
+
+void FsBackend::op_write(std::int64_t fd, const std::string& data,
+                         Reply reply) {
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    reply(Response::fail(Code::kBadFd));
+    return;
+  }
+  Result<void> r = it->second.write(data);
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok(static_cast<std::int64_t>(data.size())));
+}
+
+void FsBackend::op_lseek(std::int64_t fd, std::int64_t offset, Reply reply) {
+  auto it = handles_.find(fd);
+  if (it == handles_.end()) {
+    reply(Response::fail(Code::kBadFd));
+    return;
+  }
+  if (offset < 0) {
+    reply(Response::fail(Code::kMalformed));
+    return;
+  }
+  Result<void> r = it->second.seek(static_cast<std::uint64_t>(offset));
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok(offset));
+}
+
+void FsBackend::op_stat(const std::string& path, Reply reply) {
+  Result<fs::Stat> s = fs_.stat(map_path(path));
+  if (!s.ok()) {
+    reply(error_response(s.error()));
+    return;
+  }
+  std::string data = std::string(s.value().is_dir ? "dir" : "file") + " " +
+                     std::to_string(s.value().size);
+  reply(Response::ok(static_cast<std::int64_t>(s.value().size),
+                     std::move(data)));
+}
+
+void FsBackend::op_unlink(const std::string& path, Reply reply) {
+  Result<void> r = fs_.unlink(map_path(path));
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok());
+}
+
+void FsBackend::op_mkdir(const std::string& path, Reply reply) {
+  Result<void> r = fs_.mkdir(map_path(path));
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok());
+}
+
+void FsBackend::op_rmdir(const std::string& path, Reply reply) {
+  Result<void> r = fs_.rmdir(map_path(path));
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok());
+}
+
+void FsBackend::op_rename(const std::string& from, const std::string& to,
+                          Reply reply) {
+  Result<void> r = fs_.rename(map_path(from), map_path(to));
+  if (!r.ok()) {
+    reply(error_response(r.error()));
+    return;
+  }
+  reply(Response::ok());
+}
+
+void FsBackend::op_getdir(const std::string& path, Reply reply) {
+  Result<std::vector<std::string>> names = fs_.list(map_path(path));
+  if (!names.ok()) {
+    reply(error_response(names.error()));
+    return;
+  }
+  std::string payload;
+  for (const std::string& name : names.value()) {
+    payload += name;
+    payload += '\n';
+  }
+  reply(Response::ok(static_cast<std::int64_t>(names.value().size()),
+                     std::move(payload)));
+}
+
+// ---- ChirpServer ----
+
+ChirpServer::ChirpServer(net::Endpoint endpoint, Backend& backend,
+                         std::string secret)
+    : endpoint_(std::move(endpoint)),
+      backend_(backend),
+      secret_(std::move(secret)) {
+  std::shared_ptr<bool> alive = alive_;
+  endpoint_.set_on_message([this, alive](const std::string& wire) {
+    if (*alive) on_request(wire);
+  });
+}
+
+void ChirpServer::on_request(const std::string& wire) {
+  Result<Request> parsed = parse_request(wire);
+  const std::size_t slot = slots_.size() + base_;
+  slots_.push_back(Slot{});
+  if (!parsed.ok()) {
+    complete(slot, Response::fail(Code::kMalformed));
+    return;
+  }
+  const Request& req = parsed.value();
+
+  if (req.command == "cookie") {
+    if (req.args.size() == 1 && req.args[0] == secret_) {
+      authenticated_ = true;
+      complete(slot, Response::ok());
+    } else {
+      complete(slot, Response::fail(Code::kNotAuthenticated));
+    }
+    return;
+  }
+  if (!authenticated_) {
+    complete(slot, Response::fail(Code::kNotAuthenticated));
+    return;
+  }
+  std::shared_ptr<bool> alive = alive_;
+  dispatch(req, [this, alive, slot](Response resp) {
+    if (*alive) complete(slot, std::move(resp));
+  });
+}
+
+void ChirpServer::dispatch(const Request& req, Backend::Reply reply) {
+  auto int_arg = [&](std::size_t i) -> std::int64_t {
+    return i < req.args.size()
+               ? std::strtoll(req.args[i].c_str(), nullptr, 10)
+               : -1;
+  };
+  if (req.command == "open" && req.args.size() == 2) {
+    backend_.op_open(req.args[0], req.args[1], std::move(reply));
+  } else if (req.command == "close" && req.args.size() == 1) {
+    backend_.op_close(int_arg(0), std::move(reply));
+  } else if (req.command == "read" && req.args.size() == 2) {
+    backend_.op_read(int_arg(0), int_arg(1), std::move(reply));
+  } else if (req.command == "write" && req.args.size() == 1) {
+    backend_.op_write(int_arg(0), req.data, std::move(reply));
+  } else if (req.command == "lseek" && req.args.size() == 2) {
+    backend_.op_lseek(int_arg(0), int_arg(1), std::move(reply));
+  } else if (req.command == "stat" && req.args.size() == 1) {
+    backend_.op_stat(req.args[0], std::move(reply));
+  } else if (req.command == "unlink" && req.args.size() == 1) {
+    backend_.op_unlink(req.args[0], std::move(reply));
+  } else if (req.command == "mkdir" && req.args.size() == 1) {
+    backend_.op_mkdir(req.args[0], std::move(reply));
+  } else if (req.command == "rmdir" && req.args.size() == 1) {
+    backend_.op_rmdir(req.args[0], std::move(reply));
+  } else if (req.command == "rename" && req.args.size() == 2) {
+    backend_.op_rename(req.args[0], req.args[1], std::move(reply));
+  } else if (req.command == "getdir" && req.args.size() == 1) {
+    backend_.op_getdir(req.args[0], std::move(reply));
+  } else {
+    reply(Response::fail(Code::kUnknownCommand));
+  }
+}
+
+void ChirpServer::complete(std::size_t slot, Response resp) {
+  const std::size_t index = slot - base_;
+  if (index >= slots_.size()) return;  // connection already torn down
+  slots_[index].done = true;
+  slots_[index].response = std::move(resp);
+  flush();
+}
+
+void ChirpServer::flush() {
+  while (!slots_.empty() && slots_.front().done) {
+    if (!endpoint_.is_open()) {
+      // Peer is gone; drop the remaining responses.
+      slots_.clear();
+      return;
+    }
+    (void)endpoint_.send(slots_.front().response.encode());
+    ++served_;
+    slots_.pop_front();
+    ++base_;
+  }
+}
+
+}  // namespace esg::chirp

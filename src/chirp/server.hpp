@@ -1,0 +1,122 @@
+// ChirpServer: the I/O proxy that lives in the starter (§2.2).
+//
+// The proxy lets the starter transparently add functionality to the job's
+// I/O without burdening the user: path routing, security, and (in the full
+// grid) forwarding to the shadow's remote I/O channel. The server is
+// backend-agnostic: a ChirpBackend answers each operation asynchronously,
+// so a backend may be a local filesystem or another RPC hop.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "chirp/protocol.hpp"
+#include "fs/simfs.hpp"
+#include "net/fabric.hpp"
+
+namespace esg::chirp {
+
+/// Asynchronous backend interface. Implementations call `reply` exactly
+/// once per operation (possibly reentrantly).
+class Backend {
+ public:
+  using Reply = std::function<void(Response)>;
+  virtual ~Backend() = default;
+
+  virtual void op_open(const std::string& path, const std::string& mode,
+                       Reply reply) = 0;
+  virtual void op_close(std::int64_t fd, Reply reply) = 0;
+  virtual void op_read(std::int64_t fd, std::int64_t length, Reply reply) = 0;
+  virtual void op_write(std::int64_t fd, const std::string& data,
+                        Reply reply) = 0;
+  virtual void op_lseek(std::int64_t fd, std::int64_t offset, Reply reply) = 0;
+  virtual void op_stat(const std::string& path, Reply reply) = 0;
+  virtual void op_unlink(const std::string& path, Reply reply) = 0;
+  virtual void op_mkdir(const std::string& path, Reply reply) = 0;
+  virtual void op_rmdir(const std::string& path, Reply reply) = 0;
+  virtual void op_rename(const std::string& from, const std::string& to,
+                         Reply reply) = 0;
+  /// Directory listing: names in the payload, one per line.
+  virtual void op_getdir(const std::string& path, Reply reply) = 0;
+};
+
+/// A backend serving a SimFileSystem directly (used for scratch space and
+/// in tests). Paths may be confined to a sandbox prefix.
+class FsBackend final : public Backend {
+ public:
+  /// Paths are interpreted relative to `sandbox` ("" = whole filesystem).
+  /// `resource_scope`, when set, is stamped on responses for errors that
+  /// invalidate the whole backing resource (kMountOffline): a scratch disk
+  /// on the execution machine is remote-resource scope, the shadow's home
+  /// filesystem is local-resource scope — same error code, different scope.
+  FsBackend(fs::SimFileSystem& fs, std::string sandbox = {},
+            std::optional<ErrorScope> resource_scope = std::nullopt);
+
+  void op_open(const std::string& path, const std::string& mode,
+               Reply reply) override;
+  void op_close(std::int64_t fd, Reply reply) override;
+  void op_read(std::int64_t fd, std::int64_t length, Reply reply) override;
+  void op_write(std::int64_t fd, const std::string& data,
+                Reply reply) override;
+  void op_lseek(std::int64_t fd, std::int64_t offset, Reply reply) override;
+  void op_stat(const std::string& path, Reply reply) override;
+  void op_unlink(const std::string& path, Reply reply) override;
+  void op_mkdir(const std::string& path, Reply reply) override;
+  void op_rmdir(const std::string& path, Reply reply) override;
+  void op_rename(const std::string& from, const std::string& to,
+                 Reply reply) override;
+  void op_getdir(const std::string& path, Reply reply) override;
+
+ private:
+  std::string map_path(const std::string& path) const;
+  Response error_response(const Error& e) const;
+  fs::SimFileSystem& fs_;
+  std::string sandbox_;
+  std::optional<ErrorScope> resource_scope_;
+  std::map<std::int64_t, fs::FileHandle> handles_;
+  std::int64_t next_fd_ = 3;
+};
+
+/// One server handles one connection. Requests are answered in FIFO order
+/// even when the backend answers out of order. The first request must be
+/// `cookie <secret>`; everything before successful authentication fails
+/// with NOT_AUTHENTICATED (the connection's trust equals the local
+/// system's: the secret was revealed through the local filesystem).
+class ChirpServer {
+ public:
+  ChirpServer(net::Endpoint endpoint, Backend& backend, std::string secret);
+  ~ChirpServer() { *alive_ = false; }
+
+  ChirpServer(const ChirpServer&) = delete;
+  ChirpServer& operator=(const ChirpServer&) = delete;
+
+  [[nodiscard]] bool authenticated() const { return authenticated_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  void on_request(const std::string& wire);
+  void dispatch(const Request& req, Backend::Reply reply);
+  void enqueue_reply_slot();
+  void complete(std::size_t slot, Response resp);
+  void flush();
+
+  net::Endpoint endpoint_;
+  Backend& backend_;
+  std::string secret_;
+  bool authenticated_ = false;
+  std::uint64_t served_ = 0;
+
+  // FIFO response ordering: slot i must be sent before slot i+1.
+  struct Slot {
+    bool done = false;
+    Response response;
+  };
+  std::deque<Slot> slots_;
+  std::size_t base_ = 0;  ///< index of the first unsent slot
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace esg::chirp

@@ -1,0 +1,481 @@
+// ClassAd builtin functions.
+//
+// The function set is deliberately concise and finite — the library's own
+// application of Principle 4. Unknown names are rejected at parse time.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <regex>
+
+#include "classad/expr.hpp"
+#include "common/strings.hpp"
+
+namespace esg::classad {
+namespace {
+
+using Args = std::vector<Value>;
+
+Value need_args(const Args& args, std::size_t n, const char* name) {
+  return Value::error(std::string(name) + " expects " + std::to_string(n) +
+                      " argument(s), got " + std::to_string(args.size()));
+}
+
+/// Strict helper: propagate error, then undefined, from any argument.
+const Value* strict(const Args& args, Value& storage) {
+  for (const Value& v : args) {
+    if (v.is_error()) {
+      storage = v;
+      return &storage;
+    }
+  }
+  for (const Value& v : args) {
+    if (v.is_undefined()) {
+      storage = Value::undefined();
+      return &storage;
+    }
+  }
+  return nullptr;
+}
+
+Value fn_is_undefined(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isUndefined");
+  return Value::boolean(a[0].is_undefined());
+}
+Value fn_is_error(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isError");
+  return Value::boolean(a[0].is_error());
+}
+Value fn_is_string(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isString");
+  return Value::boolean(a[0].is_string());
+}
+Value fn_is_integer(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isInteger");
+  return Value::boolean(a[0].is_int());
+}
+Value fn_is_real(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isReal");
+  return Value::boolean(a[0].is_real());
+}
+Value fn_is_boolean(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isBoolean");
+  return Value::boolean(a[0].is_bool());
+}
+Value fn_is_list(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "isList");
+  return Value::boolean(a[0].is_list());
+}
+
+Value fn_int(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "int");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  const Value& v = a[0];
+  if (v.is_int()) return v;
+  if (v.is_real()) return Value::integer(static_cast<std::int64_t>(v.as_real()));
+  if (v.is_bool()) return Value::integer(v.as_bool() ? 1 : 0);
+  if (v.is_string()) {
+    char* end = nullptr;
+    const long long n = std::strtoll(v.as_string().c_str(), &end, 10);
+    if (end == v.as_string().c_str()) return Value::error("int() of non-numeric string");
+    return Value::integer(n);
+  }
+  return Value::error("int() of non-scalar");
+}
+
+Value fn_real(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "real");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  const Value& v = a[0];
+  if (v.is_real()) return v;
+  if (v.is_int()) return Value::real(static_cast<double>(v.as_int()));
+  if (v.is_bool()) return Value::real(v.as_bool() ? 1.0 : 0.0);
+  if (v.is_string()) {
+    char* end = nullptr;
+    const double d = std::strtod(v.as_string().c_str(), &end);
+    if (end == v.as_string().c_str()) return Value::error("real() of non-numeric string");
+    return Value::real(d);
+  }
+  return Value::error("real() of non-scalar");
+}
+
+Value fn_string(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "string");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  const Value& v = a[0];
+  if (v.is_string()) return v;
+  // Render without quotes for scalars.
+  if (v.is_int() || v.is_real() || v.is_bool()) {
+    std::string text = v.str();
+    return Value::string(std::move(text));
+  }
+  return Value::error("string() of non-scalar");
+}
+
+Value fn_floor(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "floor");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_number()) return Value::error("floor() of non-number");
+  return Value::integer(static_cast<std::int64_t>(std::floor(a[0].number())));
+}
+Value fn_ceiling(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "ceiling");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_number()) return Value::error("ceiling() of non-number");
+  return Value::integer(static_cast<std::int64_t>(std::ceil(a[0].number())));
+}
+Value fn_round(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "round");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_number()) return Value::error("round() of non-number");
+  return Value::integer(static_cast<std::int64_t>(std::llround(a[0].number())));
+}
+Value fn_abs(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "abs");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (a[0].is_int()) return Value::integer(std::llabs(a[0].as_int()));
+  if (a[0].is_real()) return Value::real(std::fabs(a[0].as_real()));
+  return Value::error("abs() of non-number");
+}
+
+Value fn_minmax(const Args& a, bool want_min, const char* name) {
+  if (a.empty()) return need_args(a, 1, name);
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  // Accept either a single list or N scalars.
+  const std::vector<Value>* items = nullptr;
+  std::vector<Value> flat;
+  if (a.size() == 1 && a[0].is_list()) {
+    items = &a[0].as_list();
+  } else {
+    flat = a;
+    items = &flat;
+  }
+  if (items->empty()) return Value::undefined();
+  bool all_int = true;
+  double best = 0;
+  bool first = true;
+  for (const Value& v : *items) {
+    if (!v.is_number()) return Value::error(std::string(name) + "() of non-number");
+    if (!v.is_int()) all_int = false;
+    const double x = v.number();
+    if (first || (want_min ? x < best : x > best)) best = x;
+    first = false;
+  }
+  if (all_int) return Value::integer(static_cast<std::int64_t>(best));
+  return Value::real(best);
+}
+
+Value fn_strcat(const Args& a) {
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  std::string out;
+  for (const Value& v : a) {
+    if (v.is_string()) {
+      out += v.as_string();
+    } else if (v.is_int() || v.is_real() || v.is_bool()) {
+      out += v.str();
+    } else {
+      return Value::error("strcat() of non-scalar");
+    }
+  }
+  return Value::string(std::move(out));
+}
+
+Value fn_substr(const Args& a) {
+  if (a.size() != 2 && a.size() != 3) return need_args(a, 2, "substr");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string() || !a[1].is_int()) {
+    return Value::error("substr(string, int[, int])");
+  }
+  const std::string& str = a[0].as_string();
+  std::int64_t offset = a[1].as_int();
+  if (offset < 0) offset = std::max<std::int64_t>(0, static_cast<std::int64_t>(str.size()) + offset);
+  if (offset >= static_cast<std::int64_t>(str.size())) return Value::string("");
+  std::int64_t len = static_cast<std::int64_t>(str.size()) - offset;
+  if (a.size() == 3) {
+    if (!a[2].is_int()) return Value::error("substr length must be int");
+    len = std::min(len, std::max<std::int64_t>(0, a[2].as_int()));
+  }
+  return Value::string(str.substr(static_cast<std::size_t>(offset),
+                                  static_cast<std::size_t>(len)));
+}
+
+Value fn_size(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "size");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (a[0].is_string()) {
+    return Value::integer(static_cast<std::int64_t>(a[0].as_string().size()));
+  }
+  if (a[0].is_list()) {
+    return Value::integer(static_cast<std::int64_t>(a[0].as_list().size()));
+  }
+  return Value::error("size() of non-string, non-list");
+}
+
+Value fn_tolower(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "toLower");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string()) return Value::error("toLower() of non-string");
+  return Value::string(to_lower(a[0].as_string()));
+}
+Value fn_toupper(const Args& a) {
+  if (a.size() != 1) return need_args(a, 1, "toUpper");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string()) return Value::error("toUpper() of non-string");
+  std::string out = a[0].as_string();
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return Value::string(std::move(out));
+}
+
+Value fn_member(const Args& a) {
+  if (a.size() != 2) return need_args(a, 2, "member");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[1].is_list()) return Value::error("member(x, list)");
+  for (const Value& v : a[1].as_list()) {
+    // ClassAd member() uses == semantics: numbers with promotion,
+    // strings case-insensitively.
+    if (v.is_number() && a[0].is_number() && v.number() == a[0].number()) {
+      return Value::boolean(true);
+    }
+    if (v.is_string() && a[0].is_string() &&
+        iequals(v.as_string(), a[0].as_string())) {
+      return Value::boolean(true);
+    }
+    if (v.is_bool() && a[0].is_bool() && v.as_bool() == a[0].as_bool()) {
+      return Value::boolean(true);
+    }
+  }
+  return Value::boolean(false);
+}
+
+Value fn_string_list_member(const Args& a) {
+  if (a.size() != 2 && a.size() != 3) return need_args(a, 2, "stringListMember");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string() || !a[1].is_string()) {
+    return Value::error("stringListMember(string, string[, delims])");
+  }
+  std::string delims = a.size() == 3 && a[2].is_string() ? a[2].as_string() : ",";
+  if (delims.empty()) delims = ",";
+  const std::string& hay = a[1].as_string();
+  std::string piece;
+  auto flush = [&]() {
+    const std::string_view t = trim(piece);
+    const bool hit = iequals(t, a[0].as_string());
+    piece.clear();
+    return hit;
+  };
+  for (char c : hay) {
+    if (delims.find(c) != std::string::npos) {
+      if (flush()) return Value::boolean(true);
+    } else {
+      piece += c;
+    }
+  }
+  if (flush()) return Value::boolean(true);
+  return Value::boolean(false);
+}
+
+Value fn_regexp(const Args& a) {
+  // regexp(pattern, target [, options]): true if the pattern matches
+  // anywhere in the target (PCRE-style partial match, like real ClassAds).
+  // Options: "i" = case insensitive, "f" = full match required.
+  if (a.size() != 2 && a.size() != 3) return need_args(a, 2, "regexp");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string() || !a[1].is_string()) {
+    return Value::error("regexp(string, string[, string])");
+  }
+  bool insensitive = false;
+  bool full = false;
+  if (a.size() == 3) {
+    if (!a[2].is_string()) return Value::error("regexp options must be string");
+    for (char c : a[2].as_string()) {
+      if (c == 'i' || c == 'I') insensitive = true;
+      if (c == 'f' || c == 'F') full = true;
+    }
+  }
+  try {
+    auto flags = std::regex::ECMAScript;
+    if (insensitive) flags |= std::regex::icase;
+    const std::regex re(a[0].as_string(), flags);
+    const bool hit = full ? std::regex_match(a[1].as_string(), re)
+                          : std::regex_search(a[1].as_string(), re);
+    return Value::boolean(hit);
+  } catch (const std::regex_error&) {
+    return Value::error("regexp: bad pattern '" + a[0].as_string() + "'");
+  }
+}
+
+/// Tokenize a classad string list ("a, b, c") with optional delimiters.
+std::vector<std::string> string_list_items(const std::string& text,
+                                           const std::string& delims) {
+  std::vector<std::string> out;
+  std::string piece;
+  auto flush = [&] {
+    const std::string_view t = trim(piece);
+    if (!t.empty()) out.emplace_back(t);
+    piece.clear();
+  };
+  for (char c : text) {
+    if (delims.find(c) != std::string::npos) {
+      flush();
+    } else {
+      piece += c;
+    }
+  }
+  flush();
+  return out;
+}
+
+Value fn_string_list_numeric(const Args& a, const char* name,
+                             const std::function<Value(const std::vector<double>&)>& fold) {
+  if (a.size() != 1 && a.size() != 2) return need_args(a, 1, name);
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string()) return Value::error(std::string(name) + "(string[, delims])");
+  std::string delims = a.size() == 2 && a[1].is_string() ? a[1].as_string() : ",";
+  if (delims.empty()) delims = ",";
+  std::vector<double> values;
+  for (const std::string& item : string_list_items(a[0].as_string(), delims)) {
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str()) {
+      return Value::error(std::string(name) + ": non-numeric item '" + item + "'");
+    }
+    values.push_back(v);
+  }
+  return fold(values);
+}
+
+Value fn_string_list_size(const Args& a) {
+  if (a.size() != 1 && a.size() != 2) return need_args(a, 1, "stringListSize");
+  Value storage;
+  if (const Value* s = strict(a, storage)) return *s;
+  if (!a[0].is_string()) return Value::error("stringListSize(string[, delims])");
+  std::string delims = a.size() == 2 && a[1].is_string() ? a[1].as_string() : ",";
+  if (delims.empty()) delims = ",";
+  return Value::integer(static_cast<std::int64_t>(
+      string_list_items(a[0].as_string(), delims).size()));
+}
+
+Value fn_if_then_else(const Args& a) {
+  if (a.size() != 3) return need_args(a, 3, "ifThenElse");
+  const Value& c = a[0];
+  if (c.is_error()) return c;
+  if (c.is_undefined()) return Value::undefined();
+  if (!c.is_bool()) return Value::error("ifThenElse condition not boolean");
+  return c.as_bool() ? a[1] : a[2];
+}
+
+}  // namespace
+
+bool is_builtin(const std::string& name) {
+  static const char* kNames[] = {
+      "isundefined", "iserror",  "isstring", "isinteger", "isreal",
+      "isboolean",   "islist",   "int",      "real",      "string",
+      "floor",       "ceiling",  "round",    "abs",       "min",
+      "max",         "strcat",   "substr",   "size",      "tolower",
+      "toupper",     "member",   "stringlistmember",      "ifthenelse",
+      "random",      "time",   "regexp",
+      "stringlistsize", "stringlistsum", "stringlistavg",
+      "stringlistmin", "stringlistmax",
+  };
+  const std::string key = to_lower(name);
+  for (const char* n : kNames) {
+    if (key == n) return true;
+  }
+  return false;
+}
+
+Value call_builtin(const std::string& name, const std::vector<Value>& args,
+                   EvalContext& ctx) {
+  const std::string key = to_lower(name);
+  if (key == "isundefined") return fn_is_undefined(args);
+  if (key == "iserror") return fn_is_error(args);
+  if (key == "isstring") return fn_is_string(args);
+  if (key == "isinteger") return fn_is_integer(args);
+  if (key == "isreal") return fn_is_real(args);
+  if (key == "isboolean") return fn_is_boolean(args);
+  if (key == "islist") return fn_is_list(args);
+  if (key == "int") return fn_int(args);
+  if (key == "real") return fn_real(args);
+  if (key == "string") return fn_string(args);
+  if (key == "floor") return fn_floor(args);
+  if (key == "ceiling") return fn_ceiling(args);
+  if (key == "round") return fn_round(args);
+  if (key == "abs") return fn_abs(args);
+  if (key == "min") return fn_minmax(args, true, "min");
+  if (key == "max") return fn_minmax(args, false, "max");
+  if (key == "strcat") return fn_strcat(args);
+  if (key == "substr") return fn_substr(args);
+  if (key == "size") return fn_size(args);
+  if (key == "tolower") return fn_tolower(args);
+  if (key == "toupper") return fn_toupper(args);
+  if (key == "member") return fn_member(args);
+  if (key == "stringlistmember") return fn_string_list_member(args);
+  if (key == "ifthenelse") return fn_if_then_else(args);
+  if (key == "regexp") return fn_regexp(args);
+  if (key == "stringlistsize") return fn_string_list_size(args);
+  if (key == "stringlistsum") {
+    return fn_string_list_numeric(args, "stringListSum",
+                                  [](const std::vector<double>& v) {
+                                    double sum = 0;
+                                    for (double x : v) sum += x;
+                                    return Value::real(sum);
+                                  });
+  }
+  if (key == "stringlistavg") {
+    return fn_string_list_numeric(
+        args, "stringListAvg", [](const std::vector<double>& v) {
+          if (v.empty()) return Value::real(0);
+          double sum = 0;
+          for (double x : v) sum += x;
+          return Value::real(sum / static_cast<double>(v.size()));
+        });
+  }
+  if (key == "stringlistmin") {
+    return fn_string_list_numeric(
+        args, "stringListMin", [](const std::vector<double>& v) {
+          if (v.empty()) return Value::undefined();
+          return Value::real(*std::min_element(v.begin(), v.end()));
+        });
+  }
+  if (key == "stringlistmax") {
+    return fn_string_list_numeric(
+        args, "stringListMax", [](const std::vector<double>& v) {
+          if (v.empty()) return Value::undefined();
+          return Value::real(*std::max_element(v.begin(), v.end()));
+        });
+  }
+  if (key == "time") {
+    return Value::integer(ctx.now.as_usec() / 1000000);
+  }
+  if (key == "random") {
+    if (ctx.rng == nullptr) return Value::error("random() has no rng source");
+    std::int64_t bound = 2;  // random() in [0,1]... default bound
+    if (!args.empty()) {
+      if (!args[0].is_int() || args[0].as_int() <= 0) {
+        return Value::error("random(n) requires positive int");
+      }
+      bound = args[0].as_int();
+    }
+    return Value::integer(ctx.rng->uniform_int(0, bound - 1));
+  }
+  return Value::error("unknown function '" + name + "'");
+}
+
+}  // namespace esg::classad

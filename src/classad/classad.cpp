@@ -1,0 +1,157 @@
+#include "classad/classad.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esg::classad {
+
+ClassAd::ClassAd(const ClassAd& other) { *this = other; }
+
+ClassAd& ClassAd::operator=(const ClassAd& other) {
+  if (this == &other) return *this;
+  attrs_.clear();
+  attrs_.reserve(other.attrs_.size());
+  for (const Attr& a : other.attrs_) {
+    attrs_.push_back(Attr{a.name, a.key, a.expr->clone()});
+  }
+  return *this;
+}
+
+const ClassAd::Attr* ClassAd::find(const std::string& name) const {
+  const std::string key = to_lower(name);
+  for (const Attr& a : attrs_) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+void ClassAd::insert(const std::string& name, ExprPtr expr) {
+  const std::string key = to_lower(name);
+  for (Attr& a : attrs_) {
+    if (a.key == key) {
+      a.expr = std::move(expr);
+      a.name = name;
+      return;
+    }
+  }
+  attrs_.push_back(Attr{name, key, std::move(expr)});
+}
+
+Result<void> ClassAd::insert_expr(const std::string& name,
+                                  const std::string& expr_text) {
+  Result<ExprPtr> parsed = parse_expr(expr_text);
+  if (!parsed.ok()) return std::move(parsed).error();
+  insert(name, std::move(parsed).value());
+  return Ok();
+}
+
+void ClassAd::set(const std::string& name, bool v) {
+  insert(name, std::make_unique<Literal>(Value::boolean(v)));
+}
+void ClassAd::set(const std::string& name, std::int64_t v) {
+  insert(name, std::make_unique<Literal>(Value::integer(v)));
+}
+void ClassAd::set(const std::string& name, double v) {
+  insert(name, std::make_unique<Literal>(Value::real(v)));
+}
+void ClassAd::set(const std::string& name, const std::string& v) {
+  insert(name, std::make_unique<Literal>(Value::string(v)));
+}
+
+bool ClassAd::contains(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+bool ClassAd::erase(const std::string& name) {
+  const std::string key = to_lower(name);
+  for (auto it = attrs_.begin(); it != attrs_.end(); ++it) {
+    if (it->key == key) {
+      attrs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+const ExprTree* ClassAd::lookup(const std::string& name) const {
+  const Attr* a = find(name);
+  return a ? a->expr.get() : nullptr;
+}
+
+Value ClassAd::eval_attr(const std::string& name) const {
+  EvalContext ctx;
+  ctx.my = this;
+  return eval_attr_in(name, ctx);
+}
+
+Value ClassAd::eval_attr_in(const std::string& name, EvalContext& ctx) const {
+  const Attr* a = find(name);
+  if (a == nullptr) return Value::undefined();
+  return a->expr->eval(ctx);
+}
+
+std::int64_t ClassAd::eval_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const Value v = eval_attr(name);
+  if (v.is_int()) return v.as_int();
+  if (v.is_real()) return static_cast<std::int64_t>(v.as_real());
+  return fallback;
+}
+
+double ClassAd::eval_real(const std::string& name, double fallback) const {
+  const Value v = eval_attr(name);
+  return v.is_number() ? v.number() : fallback;
+}
+
+bool ClassAd::eval_bool(const std::string& name, bool fallback) const {
+  const Value v = eval_attr(name);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+std::string ClassAd::eval_string(const std::string& name,
+                                 std::string fallback) const {
+  const Value v = eval_attr(name);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(attrs_.size());
+  for (const Attr& a : attrs_) out.push_back(a.name);
+  return out;
+}
+
+void ClassAd::update(const ClassAd& other) {
+  for (const Attr& a : other.attrs_) {
+    insert(a.name, a.expr->clone());
+  }
+}
+
+std::string ClassAd::str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) os << "; ";
+    os << attrs_[i].name << " = ";
+    attrs_[i].expr->unparse(os);
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string ClassAd::str_multiline() const {
+  std::ostringstream os;
+  for (const Attr& a : attrs_) {
+    os << a.name << " = ";
+    a.expr->unparse(os);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ClassAd& ad) {
+  return os << ad.str();
+}
+
+}  // namespace esg::classad

@@ -1,0 +1,96 @@
+// The ClassAd: an ordered, case-insensitive attribute map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classad/expr.hpp"
+#include "classad/value.hpp"
+#include "core/result.hpp"
+
+namespace esg::classad {
+
+class ClassAd {
+ public:
+  ClassAd() = default;
+  ClassAd(const ClassAd& other);
+  ClassAd& operator=(const ClassAd& other);
+  ClassAd(ClassAd&&) = default;
+  ClassAd& operator=(ClassAd&&) = default;
+
+  /// Insert or replace an attribute with a parsed expression tree.
+  void insert(const std::string& name, ExprPtr expr);
+
+  /// Parse `expr_text` as a ClassAd expression and insert it.
+  Result<void> insert_expr(const std::string& name,
+                           const std::string& expr_text);
+
+  // Typed conveniences (stored as literals).
+  void set(const std::string& name, bool v);
+  void set(const std::string& name, std::int64_t v);
+  void set(const std::string& name, int v) { set(name, std::int64_t{v}); }
+  void set(const std::string& name, double v);
+  void set(const std::string& name, const std::string& v);
+  void set(const std::string& name, const char* v) {
+    set(name, std::string(v));
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  bool erase(const std::string& name);
+  [[nodiscard]] std::size_t size() const { return attrs_.size(); }
+
+  /// The raw expression, or nullptr.
+  [[nodiscard]] const ExprTree* lookup(const std::string& name) const;
+
+  /// Evaluate an attribute with this ad as MY and no TARGET.
+  [[nodiscard]] Value eval_attr(const std::string& name) const;
+
+  /// Evaluate with an explicit context (used during matching). The context
+  /// `my` need not be this ad (nested-ad selection overrides it).
+  [[nodiscard]] Value eval_attr_in(const std::string& name,
+                                   EvalContext& ctx) const;
+
+  // Typed evaluation helpers: value if the attribute evaluates to the
+  // requested type, `fallback` otherwise (including undefined/error).
+  [[nodiscard]] std::int64_t eval_int(const std::string& name,
+                                      std::int64_t fallback = 0) const;
+  [[nodiscard]] double eval_real(const std::string& name,
+                                 double fallback = 0) const;
+  [[nodiscard]] bool eval_bool(const std::string& name,
+                               bool fallback = false) const;
+  [[nodiscard]] std::string eval_string(const std::string& name,
+                                        std::string fallback = {}) const;
+
+  /// Attribute names in insertion order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Copy all attributes of `other` into this ad (replacing collisions).
+  void update(const ClassAd& other);
+
+  /// Single-line rendering: [a = 1; b = "x"].
+  [[nodiscard]] std::string str() const;
+
+  /// Multi-line rendering: one `name = expr` per line (submit-file style).
+  [[nodiscard]] std::string str_multiline() const;
+
+ private:
+  struct Attr {
+    std::string name;      // original capitalization
+    std::string key;       // lowercase lookup key
+    ExprPtr expr;
+  };
+  [[nodiscard]] const Attr* find(const std::string& name) const;
+  std::vector<Attr> attrs_;  // small-N: linear scan beats a map in practice
+};
+
+/// Parse a full ad in either `[a = 1; b = 2]` or line-per-attribute form.
+Result<ClassAd> parse_classad(const std::string& text);
+
+/// Parse a single expression.
+Result<ExprPtr> parse_expr(const std::string& text);
+
+std::ostream& operator<<(std::ostream& os, const ClassAd& ad);
+
+}  // namespace esg::classad

@@ -1,0 +1,388 @@
+#include "classad/expr.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "classad/classad.hpp"
+#include "common/strings.hpp"
+
+namespace esg::classad {
+
+std::string ExprTree::str() const {
+  std::ostringstream os;
+  unparse(os);
+  return os.str();
+}
+
+void Literal::unparse(std::ostream& os) const { os << value_.str(); }
+
+// ---- AttrRef ----
+
+Value AttrRef::eval(EvalContext& ctx) const {
+  if (ctx.depth >= EvalContext::kMaxDepth) {
+    return Value::error("attribute recursion limit reached at " + name_);
+  }
+  ++ctx.depth;
+  Value out = Value::undefined();
+  switch (scope_) {
+    case Scope::kMy:
+      out = ctx.my ? ctx.my->eval_attr_in(name_, ctx) : Value::undefined();
+      break;
+    case Scope::kTarget:
+      out = ctx.target ? ctx.target->eval_attr_in(name_, ctx)
+                       : Value::undefined();
+      break;
+    case Scope::kAuto: {
+      // Unqualified: own ad first, then the match candidate.
+      if (ctx.my && ctx.my->contains(name_)) {
+        out = ctx.my->eval_attr_in(name_, ctx);
+      } else if (ctx.target && ctx.target->contains(name_)) {
+        // Attribute scopes flip: inside the target ad, its own attributes
+        // are "my".
+        EvalContext flipped = ctx;
+        flipped.my = ctx.target;
+        flipped.target = ctx.my;
+        out = ctx.target->eval_attr_in(name_, flipped);
+      }
+      break;
+    }
+  }
+  --ctx.depth;
+  return out;
+}
+
+void AttrRef::unparse(std::ostream& os) const {
+  switch (scope_) {
+    case Scope::kMy: os << "MY."; break;
+    case Scope::kTarget: os << "TARGET."; break;
+    case Scope::kAuto: break;
+  }
+  os << name_;
+}
+
+// ---- UnaryOp ----
+
+Value UnaryOp::eval(EvalContext& ctx) const {
+  const Value v = operand_->eval(ctx);
+  if (v.is_error()) return v;
+  if (v.is_undefined()) return v;
+  switch (op_) {
+    case UnaryOpKind::kNegate:
+      if (v.is_int()) return Value::integer(-v.as_int());
+      if (v.is_real()) return Value::real(-v.as_real());
+      return Value::error("operand of unary '-' is not numeric");
+    case UnaryOpKind::kNot:
+      if (v.is_bool()) return Value::boolean(!v.as_bool());
+      return Value::error("operand of '!' is not boolean");
+  }
+  return Value::error("bad unary operator");
+}
+
+void UnaryOp::unparse(std::ostream& os) const {
+  os << (op_ == UnaryOpKind::kNegate ? "-" : "!");
+  os << "(";
+  operand_->unparse(os);
+  os << ")";
+}
+
+// ---- BinaryOp ----
+
+namespace {
+
+/// Strict propagation for arithmetic and ordering: error dominates
+/// undefined dominates values.
+const Value* strict_short_circuit(const Value& a, const Value& b,
+                                  Value& storage) {
+  if (a.is_error()) {
+    storage = a;
+    return &storage;
+  }
+  if (b.is_error()) {
+    storage = b;
+    return &storage;
+  }
+  if (a.is_undefined() || b.is_undefined()) {
+    storage = Value::undefined();
+    return &storage;
+  }
+  return nullptr;
+}
+
+Value arith(BinaryOpKind op, const Value& a, const Value& b) {
+  if (!a.is_number() || !b.is_number()) {
+    if (op == BinaryOpKind::kAdd && a.is_string() && b.is_string()) {
+      return Value::string(a.as_string() + b.as_string());
+    }
+    return Value::error("arithmetic on non-numeric value");
+  }
+  const bool as_int = a.is_int() && b.is_int();
+  switch (op) {
+    case BinaryOpKind::kAdd:
+      return as_int ? Value::integer(a.as_int() + b.as_int())
+                    : Value::real(a.number() + b.number());
+    case BinaryOpKind::kSub:
+      return as_int ? Value::integer(a.as_int() - b.as_int())
+                    : Value::real(a.number() - b.number());
+    case BinaryOpKind::kMul:
+      return as_int ? Value::integer(a.as_int() * b.as_int())
+                    : Value::real(a.number() * b.number());
+    case BinaryOpKind::kDiv:
+      if (as_int) {
+        if (b.as_int() == 0) return Value::error("division by zero");
+        return Value::integer(a.as_int() / b.as_int());
+      }
+      if (b.number() == 0.0) return Value::error("division by zero");
+      return Value::real(a.number() / b.number());
+    case BinaryOpKind::kMod:
+      if (!as_int) return Value::error("'%' requires integers");
+      if (b.as_int() == 0) return Value::error("modulo by zero");
+      return Value::integer(a.as_int() % b.as_int());
+    default:
+      return Value::error("bad arithmetic operator");
+  }
+}
+
+Value compare(BinaryOpKind op, const Value& a, const Value& b) {
+  // Numbers compare with promotion; strings compare case-insensitively
+  // (classic ClassAd semantics); booleans support ==/!= only.
+  int cmp;  // -1, 0, 1
+  if (a.is_number() && b.is_number()) {
+    const double x = a.number();
+    const double y = b.number();
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.is_string() && b.is_string()) {
+    const std::string x = to_lower(a.as_string());
+    const std::string y = to_lower(b.as_string());
+    cmp = x < y ? -1 : (x > y ? 1 : 0);
+  } else if (a.is_bool() && b.is_bool() &&
+             (op == BinaryOpKind::kEq || op == BinaryOpKind::kNe)) {
+    cmp = a.as_bool() == b.as_bool() ? 0 : 1;
+  } else {
+    return Value::error("comparison between incompatible types");
+  }
+  switch (op) {
+    case BinaryOpKind::kLt: return Value::boolean(cmp < 0);
+    case BinaryOpKind::kLe: return Value::boolean(cmp <= 0);
+    case BinaryOpKind::kGt: return Value::boolean(cmp > 0);
+    case BinaryOpKind::kGe: return Value::boolean(cmp >= 0);
+    case BinaryOpKind::kEq: return Value::boolean(cmp == 0);
+    case BinaryOpKind::kNe: return Value::boolean(cmp != 0);
+    default: return Value::error("bad comparison operator");
+  }
+}
+
+/// Meta-equality (`is`): never undefined or error; compares identity
+/// including the non-value states. Strings compare case-SENSITIVELY here.
+bool meta_equal(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case Value::Type::kUndefined:
+    case Value::Type::kError:
+      return true;
+    case Value::Type::kBool: return a.as_bool() == b.as_bool();
+    case Value::Type::kInt: return a.as_int() == b.as_int();
+    case Value::Type::kReal: return a.as_real() == b.as_real();
+    case Value::Type::kString: return a.as_string() == b.as_string();
+    default: return a.same_as(b);
+  }
+}
+
+}  // namespace
+
+Value BinaryOp::eval(EvalContext& ctx) const {
+  // Boolean connectives: three-valued, short-circuiting on a determining
+  // left operand.
+  if (op_ == BinaryOpKind::kAnd || op_ == BinaryOpKind::kOr) {
+    const Value a = lhs_->eval(ctx);
+    const bool is_and = op_ == BinaryOpKind::kAnd;
+    if (a.is_bool()) {
+      if (is_and && !a.as_bool()) return Value::boolean(false);
+      if (!is_and && a.as_bool()) return Value::boolean(true);
+    } else if (!a.is_undefined() && !a.is_error()) {
+      return Value::error("boolean operator on non-boolean value");
+    }
+    const Value b = rhs_->eval(ctx);
+    // Right operand may determine the result even if left was undefined:
+    // undefined && false == false; undefined || true == true.
+    if (b.is_bool()) {
+      if (is_and && !b.as_bool()) return Value::boolean(false);
+      if (!is_and && b.as_bool()) return Value::boolean(true);
+    } else if (!b.is_undefined() && !b.is_error()) {
+      return Value::error("boolean operator on non-boolean value");
+    }
+    if (a.is_error()) return a;
+    if (b.is_error()) return b;
+    if (a.is_undefined() || b.is_undefined()) return Value::undefined();
+    // Both are bools and neither determined the result.
+    return Value::boolean(is_and ? (a.as_bool() && b.as_bool())
+                                 : (a.as_bool() || b.as_bool()));
+  }
+
+  const Value a = lhs_->eval(ctx);
+  const Value b = rhs_->eval(ctx);
+
+  if (op_ == BinaryOpKind::kMetaEq) return Value::boolean(meta_equal(a, b));
+  if (op_ == BinaryOpKind::kMetaNe) return Value::boolean(!meta_equal(a, b));
+
+  Value storage;
+  if (const Value* s = strict_short_circuit(a, b, storage)) return *s;
+
+  switch (op_) {
+    case BinaryOpKind::kAdd:
+    case BinaryOpKind::kSub:
+    case BinaryOpKind::kMul:
+    case BinaryOpKind::kDiv:
+    case BinaryOpKind::kMod:
+      return arith(op_, a, b);
+    default:
+      return compare(op_, a, b);
+  }
+}
+
+void BinaryOp::unparse(std::ostream& os) const {
+  const char* sym = "?";
+  switch (op_) {
+    case BinaryOpKind::kAdd: sym = "+"; break;
+    case BinaryOpKind::kSub: sym = "-"; break;
+    case BinaryOpKind::kMul: sym = "*"; break;
+    case BinaryOpKind::kDiv: sym = "/"; break;
+    case BinaryOpKind::kMod: sym = "%"; break;
+    case BinaryOpKind::kLt: sym = "<"; break;
+    case BinaryOpKind::kLe: sym = "<="; break;
+    case BinaryOpKind::kGt: sym = ">"; break;
+    case BinaryOpKind::kGe: sym = ">="; break;
+    case BinaryOpKind::kEq: sym = "=="; break;
+    case BinaryOpKind::kNe: sym = "!="; break;
+    case BinaryOpKind::kMetaEq: sym = "=?="; break;
+    case BinaryOpKind::kMetaNe: sym = "=!="; break;
+    case BinaryOpKind::kAnd: sym = "&&"; break;
+    case BinaryOpKind::kOr: sym = "||"; break;
+  }
+  os << "(";
+  lhs_->unparse(os);
+  os << " " << sym << " ";
+  rhs_->unparse(os);
+  os << ")";
+}
+
+// ---- Conditional ----
+
+Value Conditional::eval(EvalContext& ctx) const {
+  const Value c = cond_->eval(ctx);
+  if (c.is_error()) return c;
+  if (c.is_undefined()) return Value::undefined();
+  if (!c.is_bool()) return Value::error("condition is not boolean");
+  return c.as_bool() ? then_->eval(ctx) : otherwise_->eval(ctx);
+}
+
+void Conditional::unparse(std::ostream& os) const {
+  os << "(";
+  cond_->unparse(os);
+  os << " ? ";
+  then_->unparse(os);
+  os << " : ";
+  otherwise_->unparse(os);
+  os << ")";
+}
+
+// ---- FnCall ----
+
+Value FnCall::eval(EvalContext& ctx) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->eval(ctx));
+  return call_builtin(name_, args, ctx);
+}
+
+void FnCall::unparse(std::ostream& os) const {
+  os << name_ << "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i) os << ", ";
+    args_[i]->unparse(os);
+  }
+  os << ")";
+}
+
+ExprPtr FnCall::clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->clone());
+  return std::make_unique<FnCall>(name_, std::move(args));
+}
+
+// ---- ListExpr ----
+
+Value ListExpr::eval(EvalContext& ctx) const {
+  std::vector<Value> items;
+  items.reserve(items_.size());
+  for (const ExprPtr& e : items_) items.push_back(e->eval(ctx));
+  return Value::list(std::move(items));
+}
+
+void ListExpr::unparse(std::ostream& os) const {
+  os << "{";
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (i) os << ", ";
+    items_[i]->unparse(os);
+  }
+  os << "}";
+}
+
+ExprPtr ListExpr::clone() const {
+  std::vector<ExprPtr> items;
+  items.reserve(items_.size());
+  for (const ExprPtr& e : items_) items.push_back(e->clone());
+  return std::make_unique<ListExpr>(std::move(items));
+}
+
+// ---- Subscript ----
+
+Value Subscript::eval(EvalContext& ctx) const {
+  const Value base = base_->eval(ctx);
+  const Value index = index_->eval(ctx);
+  if (base.is_error()) return base;
+  if (index.is_error()) return index;
+  if (base.is_undefined() || index.is_undefined()) return Value::undefined();
+  if (base.is_list() && index.is_int()) {
+    const auto& items = base.as_list();
+    const std::int64_t i = index.as_int();
+    if (i < 0 || static_cast<std::size_t>(i) >= items.size()) {
+      return Value::error("list index out of range");
+    }
+    return items[static_cast<std::size_t>(i)];
+  }
+  if (base.is_ad() && index.is_string()) {
+    EvalContext sub = ctx;
+    sub.my = base.as_ad().get();
+    AttrRef ref(AttrRef::Scope::kMy, index.as_string());
+    return ref.eval(sub);
+  }
+  return Value::error("subscript on non-list value");
+}
+
+void Subscript::unparse(std::ostream& os) const {
+  base_->unparse(os);
+  os << "[";
+  index_->unparse(os);
+  os << "]";
+}
+
+// ---- AttrSelect ----
+
+Value AttrSelect::eval(EvalContext& ctx) const {
+  const Value base = base_->eval(ctx);
+  if (base.is_error()) return base;
+  if (base.is_undefined()) return Value::undefined();
+  if (!base.is_ad()) return Value::error("'.' selection on non-ad value");
+  EvalContext sub = ctx;
+  sub.my = base.as_ad().get();
+  AttrRef ref(AttrRef::Scope::kMy, attr_);
+  return ref.eval(sub);
+}
+
+void AttrSelect::unparse(std::ostream& os) const {
+  base_->unparse(os);
+  os << "." << attr_;
+}
+
+}  // namespace esg::classad

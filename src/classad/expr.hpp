@@ -1,0 +1,203 @@
+// ClassAd expression trees and evaluation.
+//
+// Evaluation follows the classic ClassAd semantics: strict operators
+// propagate Error over Undefined over values; the boolean connectives are
+// three-valued (false && undefined == false, true || error == true when
+// determined by the left operand); `=?=`/`is` and `=!=`/`isnt` are the
+// meta-comparisons that never yield undefined.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "classad/value.hpp"
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+
+namespace esg::classad {
+
+class ClassAd;
+
+/// Everything evaluation may consult. `my` is the ad an expression lives
+/// in; `target` the ad it is being matched against (may be null).
+struct EvalContext {
+  const ClassAd* my = nullptr;
+  const ClassAd* target = nullptr;
+  SimTime now{};          ///< value of the time() builtin
+  Rng* rng = nullptr;     ///< source for random(); null -> error value
+  int depth = 0;          ///< recursion guard against cyclic attributes
+  static constexpr int kMaxDepth = 64;
+};
+
+class ExprTree {
+ public:
+  virtual ~ExprTree() = default;
+  [[nodiscard]] virtual Value eval(EvalContext& ctx) const = 0;
+  virtual void unparse(std::ostream& os) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<ExprTree> clone() const = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+using ExprPtr = std::unique_ptr<ExprTree>;
+
+// ---- Node types ----
+
+class Literal final : public ExprTree {
+ public:
+  explicit Literal(Value v) : value_(std::move(v)) {}
+  [[nodiscard]] Value eval(EvalContext&) const override { return value_; }
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<Literal>(value_);
+  }
+  [[nodiscard]] const Value& value() const { return value_; }
+
+ private:
+  Value value_;
+};
+
+/// Attribute reference, optionally scoped: `X`, `MY.X`, `TARGET.X`.
+class AttrRef final : public ExprTree {
+ public:
+  enum class Scope { kAuto, kMy, kTarget };
+  AttrRef(Scope scope, std::string name)
+      : scope_(scope), name_(std::move(name)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<AttrRef>(scope_, name_);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Scope scope() const { return scope_; }
+
+ private:
+  Scope scope_;
+  std::string name_;
+};
+
+enum class UnaryOpKind { kNegate, kNot };
+
+class UnaryOp final : public ExprTree {
+ public:
+  UnaryOp(UnaryOpKind op, ExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<UnaryOp>(op_, operand_->clone());
+  }
+
+ private:
+  UnaryOpKind op_;
+  ExprPtr operand_;
+};
+
+enum class BinaryOpKind {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kMetaEq, kMetaNe,
+  kAnd, kOr,
+};
+
+class BinaryOp final : public ExprTree {
+ public:
+  BinaryOp(BinaryOpKind op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<BinaryOp>(op_, lhs_->clone(), rhs_->clone());
+  }
+
+ private:
+  BinaryOpKind op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// cond ? then : otherwise
+class Conditional final : public ExprTree {
+ public:
+  Conditional(ExprPtr cond, ExprPtr then, ExprPtr otherwise)
+      : cond_(std::move(cond)),
+        then_(std::move(then)),
+        otherwise_(std::move(otherwise)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<Conditional>(cond_->clone(), then_->clone(),
+                                         otherwise_->clone());
+  }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr otherwise_;
+};
+
+class FnCall final : public ExprTree {
+ public:
+  FnCall(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+class ListExpr final : public ExprTree {
+ public:
+  explicit ListExpr(std::vector<ExprPtr> items) : items_(std::move(items)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override;
+
+ private:
+  std::vector<ExprPtr> items_;
+};
+
+/// list[index] or ad["attr"]-style selection via expr.attr chains is
+/// handled by AttrSelect; numeric subscripts by Subscript.
+class Subscript final : public ExprTree {
+ public:
+  Subscript(ExprPtr base, ExprPtr index)
+      : base_(std::move(base)), index_(std::move(index)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<Subscript>(base_->clone(), index_->clone());
+  }
+
+ private:
+  ExprPtr base_;
+  ExprPtr index_;
+};
+
+/// expr.attr — selection from a nested ad value.
+class AttrSelect final : public ExprTree {
+ public:
+  AttrSelect(ExprPtr base, std::string attr)
+      : base_(std::move(base)), attr_(std::move(attr)) {}
+  [[nodiscard]] Value eval(EvalContext& ctx) const override;
+  void unparse(std::ostream& os) const override;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<AttrSelect>(base_->clone(), attr_);
+  }
+
+ private:
+  ExprPtr base_;
+  std::string attr_;
+};
+
+/// Builtin function dispatch, shared with FnCall::eval (builtins.cpp).
+Value call_builtin(const std::string& name, const std::vector<Value>& args,
+                   EvalContext& ctx);
+bool is_builtin(const std::string& name);
+
+}  // namespace esg::classad

@@ -1,0 +1,253 @@
+#include "classad/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace esg::classad {
+namespace {
+
+Error lex_error(std::string message, std::size_t offset) {
+  return Error(ErrorKind::kRequestMalformed,
+               message + " at offset " + std::to_string(offset));
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+}  // namespace
+
+std::string_view tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEnd: return "end of input";
+    case TokKind::kInt: return "integer";
+    case TokKind::kReal: return "real";
+    case TokKind::kString: return "string";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemicolon: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kQuestion: return "'?'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kMetaEq: return "'=?='";
+    case TokKind::kMetaNe: return "'=!='";
+    case TokKind::kAnd: return "'&&'";
+    case TokKind::kOr: return "'||'";
+    case TokKind::kNot: return "'!'";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> lex(std::string_view in) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+
+  auto push = [&](TokKind kind, std::size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      while (i < n && in[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(in[i] == '*' && in[i + 1] == '/')) ++i;
+      if (i + 1 >= n) return lex_error("unterminated comment", start);
+      i += 2;
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      const std::size_t start = i;
+      bool is_real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
+      if (i < n && in[i] == '.' &&
+          // A dot followed by an identifier is attribute selection, not a
+          // real literal (e.g. `other.Memory` after an int would be odd,
+          // but `3.foo` must not parse as a real).
+          (i + 1 >= n || !ident_start(in[i + 1]))) {
+        is_real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
+      }
+      if (i < n && (in[i] == 'e' || in[i] == 'E')) {
+        std::size_t j = i + 1;
+        if (j < n && (in[j] == '+' || in[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(in[j]))) {
+          is_real = true;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(in[i]))) ++i;
+        }
+      }
+      Token t;
+      t.offset = start;
+      const std::string text(in.substr(start, i - start));
+      if (is_real) {
+        t.kind = TokKind::kReal;
+        t.real_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokKind::kInt;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      const std::size_t start = i;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        const char d = in[i];
+        if (d == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (d == '\\') {
+          if (i + 1 >= n) return lex_error("dangling escape", i);
+          const char e = in[i + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case 'r': text += '\r'; break;
+            case '"': text += '"'; break;
+            case '\\': text += '\\'; break;
+            default: text += e;
+          }
+          i += 2;
+          continue;
+        }
+        text += d;
+        ++i;
+      }
+      if (!closed) return lex_error("unterminated string", start);
+      Token t;
+      t.kind = TokKind::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers (dots inside identifiers are handled by the parser via
+    // the kDot token so that scope prefixes compose: we lex bare idents).
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      ++i;
+      while (i < n && ident_char(in[i]) && in[i] != '.') ++i;
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(in.substr(start, i - start));
+      t.offset = start;
+      // `is` / `isnt` are operator keywords.
+      if (iequals(t.text, "is")) {
+        t.kind = TokKind::kMetaEq;
+      } else if (iequals(t.text, "isnt")) {
+        t.kind = TokKind::kMetaNe;
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    const std::size_t start = i;
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && in[i + 1] == b;
+    };
+    if (c == '=' && i + 2 < n && in[i + 1] == '?' && in[i + 2] == '=') {
+      push(TokKind::kMetaEq, start);
+      i += 3;
+    } else if (c == '=' && i + 2 < n && in[i + 1] == '!' && in[i + 2] == '=') {
+      push(TokKind::kMetaNe, start);
+      i += 3;
+    } else if (two('=', '=')) {
+      push(TokKind::kEq, start);
+      i += 2;
+    } else if (two('!', '=')) {
+      push(TokKind::kNe, start);
+      i += 2;
+    } else if (two('<', '=')) {
+      push(TokKind::kLe, start);
+      i += 2;
+    } else if (two('>', '=')) {
+      push(TokKind::kGe, start);
+      i += 2;
+    } else if (two('&', '&')) {
+      push(TokKind::kAnd, start);
+      i += 2;
+    } else if (two('|', '|')) {
+      push(TokKind::kOr, start);
+      i += 2;
+    } else {
+      TokKind kind;
+      switch (c) {
+        case '(': kind = TokKind::kLParen; break;
+        case ')': kind = TokKind::kRParen; break;
+        case '{': kind = TokKind::kLBrace; break;
+        case '}': kind = TokKind::kRBrace; break;
+        case '[': kind = TokKind::kLBracket; break;
+        case ']': kind = TokKind::kRBracket; break;
+        case ',': kind = TokKind::kComma; break;
+        case ';': kind = TokKind::kSemicolon; break;
+        case ':': kind = TokKind::kColon; break;
+        case '?': kind = TokKind::kQuestion; break;
+        case '.': kind = TokKind::kDot; break;
+        case '=': kind = TokKind::kAssign; break;
+        case '+': kind = TokKind::kPlus; break;
+        case '-': kind = TokKind::kMinus; break;
+        case '*': kind = TokKind::kStar; break;
+        case '/': kind = TokKind::kSlash; break;
+        case '%': kind = TokKind::kPercent; break;
+        case '<': kind = TokKind::kLt; break;
+        case '>': kind = TokKind::kGt; break;
+        case '!': kind = TokKind::kNot; break;
+        default:
+          return lex_error(std::string("unexpected character '") + c + "'", i);
+      }
+      push(kind, start);
+      ++i;
+    }
+  }
+  push(TokKind::kEnd, n);
+  return out;
+}
+
+}  // namespace esg::classad

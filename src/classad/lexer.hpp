@@ -1,0 +1,48 @@
+// ClassAd lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace esg::classad {
+
+enum class TokKind {
+  kEnd,
+  kInt,        // 42
+  kReal,       // 3.5, 1e9
+  kString,     // "hello"
+  kIdent,      // Memory, MY, TARGET (keywords resolved by parser)
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kColon, kQuestion, kDot,
+  kAssign,      // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kLe, kGt, kGe,
+  kEq,          // ==
+  kNe,          // !=
+  kMetaEq,      // =?= (also keyword `is`)
+  kMetaNe,      // =!= (also keyword `isnt`)
+  kAnd,         // &&
+  kOr,          // ||
+  kNot,         // !
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        // identifier or string contents
+  std::int64_t int_value = 0;
+  double real_value = 0;
+  std::size_t offset = 0;  // position in input, for error messages
+};
+
+/// Tokenize a ClassAd expression. Comments (// and /* */) are skipped.
+/// Returns kRequestMalformed errors with a character offset on bad input.
+Result<std::vector<Token>> lex(std::string_view input);
+
+std::string_view tok_kind_name(TokKind kind);
+
+}  // namespace esg::classad

@@ -1,0 +1,29 @@
+#include "classad/match.hpp"
+
+namespace esg::classad {
+
+Value eval_with_target(const ClassAd& my, const ClassAd& target,
+                       const std::string& attr, SimTime now) {
+  EvalContext ctx;
+  ctx.my = &my;
+  ctx.target = &target;
+  ctx.now = now;
+  return my.eval_attr_in(attr, ctx);
+}
+
+MatchResult symmetric_match(const ClassAd& left, const ClassAd& right,
+                            SimTime now) {
+  MatchResult out;
+  const Value lv = eval_with_target(left, right, "Requirements", now);
+  const Value rv = eval_with_target(right, left, "Requirements", now);
+  out.left_accepts = lv.is_bool() && lv.as_bool();
+  out.right_accepts = rv.is_bool() && rv.as_bool();
+  out.matched = out.left_accepts && out.right_accepts;
+  const Value lr = eval_with_target(left, right, "Rank", now);
+  const Value rr = eval_with_target(right, left, "Rank", now);
+  out.left_rank = lr.is_number() ? lr.number() : 0;
+  out.right_rank = rr.is_number() ? rr.number() : 0;
+  return out;
+}
+
+}  // namespace esg::classad

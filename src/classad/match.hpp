@@ -1,0 +1,32 @@
+// Matchmaking: the two-way evaluation at the heart of the Condor kernel.
+//
+// Two ads match when each one's Requirements expression evaluates to true
+// with itself as MY and the other as TARGET. Rank is a numeric preference
+// evaluated the same way; undefined ranks count as zero.
+#pragma once
+
+#include "classad/classad.hpp"
+#include "common/simtime.hpp"
+
+namespace esg::classad {
+
+struct MatchResult {
+  bool matched = false;
+  /// Each side's Requirements verdict (undefined/error count as false —
+  /// an absent or broken policy must never admit a match).
+  bool left_accepts = false;
+  bool right_accepts = false;
+  double left_rank = 0;   ///< left's Rank of right
+  double right_rank = 0;  ///< right's Rank of left
+};
+
+/// Evaluate `ad`'s attribute `attr` with a MY/TARGET pair.
+Value eval_with_target(const ClassAd& my, const ClassAd& target,
+                       const std::string& attr, SimTime now = {});
+
+/// Symmetric match of `left` and `right` per their Requirements, with
+/// Ranks evaluated for both sides.
+MatchResult symmetric_match(const ClassAd& left, const ClassAd& right,
+                            SimTime now = {});
+
+}  // namespace esg::classad

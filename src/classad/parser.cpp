@@ -1,0 +1,328 @@
+#include "classad/parser.hpp"
+
+#include <utility>
+
+#include "classad/lexer.hpp"
+#include "common/strings.hpp"
+
+namespace esg::classad {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> parse_full_expr() {
+    Result<ExprPtr> e = expr();
+    if (!e.ok()) return e;
+    if (!at(TokKind::kEnd)) {
+      return fail("trailing input after expression");
+    }
+    return e;
+  }
+
+  Result<ClassAd> parse_ad_body() {
+    // Either a bracketed ad or a bare attribute list.
+    if (at(TokKind::kLBracket)) {
+      Result<ExprPtr> e = primary();  // reuses the [..] production
+      if (!e.ok()) return std::move(e).error();
+      if (!at(TokKind::kEnd)) return fail_ad("trailing input after ad");
+      EvalContext ctx;
+      const Value v = e.value()->eval(ctx);
+      if (!v.is_ad()) return fail_ad("input is not a classad");
+      return ClassAd(*v.as_ad());
+    }
+    ClassAd ad;
+    while (!at(TokKind::kEnd)) {
+      if (!at(TokKind::kIdent)) return fail_ad("expected attribute name");
+      const std::string name = cur().text;
+      advance();
+      if (!at(TokKind::kAssign)) return fail_ad("expected '='");
+      advance();
+      Result<ExprPtr> e = expr();
+      if (!e.ok()) return std::move(e).error();
+      ad.insert(name, std::move(e).value());
+      if (at(TokKind::kSemicolon)) advance();
+    }
+    return ad;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  bool at(TokKind kind) const { return cur().kind == kind; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool accept(TokKind kind) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Error make_error(const std::string& message) const {
+    return Error(ErrorKind::kRequestMalformed,
+                 message + " near offset " + std::to_string(cur().offset) +
+                     " (" + std::string(tok_kind_name(cur().kind)) + ")");
+  }
+  Result<ExprPtr> fail(const std::string& message) const {
+    return make_error(message);
+  }
+  Result<ClassAd> fail_ad(const std::string& message) const {
+    return make_error(message);
+  }
+
+  Result<ExprPtr> expr() {
+    Result<ExprPtr> c = or_expr();
+    if (!c.ok()) return c;
+    if (accept(TokKind::kQuestion)) {
+      Result<ExprPtr> t = expr();
+      if (!t.ok()) return t;
+      if (!accept(TokKind::kColon)) return fail("expected ':'");
+      Result<ExprPtr> f = expr();
+      if (!f.ok()) return f;
+      return ExprPtr{std::make_unique<Conditional>(
+          std::move(c).value(), std::move(t).value(), std::move(f).value())};
+    }
+    return c;
+  }
+
+  template <class Next>
+  Result<ExprPtr> binary_chain(Next next,
+                               std::initializer_list<std::pair<TokKind, BinaryOpKind>> ops) {
+    Result<ExprPtr> lhs = (this->*next)();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      bool matched = false;
+      for (const auto& [tok, op] : ops) {
+        if (at(tok)) {
+          advance();
+          Result<ExprPtr> rhs = (this->*next)();
+          if (!rhs.ok()) return rhs;
+          lhs = ExprPtr{std::make_unique<BinaryOp>(op, std::move(lhs).value(),
+                                                   std::move(rhs).value())};
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  Result<ExprPtr> or_expr() {
+    return binary_chain(&Parser::and_expr,
+                        {{TokKind::kOr, BinaryOpKind::kOr}});
+  }
+  Result<ExprPtr> and_expr() {
+    return binary_chain(&Parser::meta_expr,
+                        {{TokKind::kAnd, BinaryOpKind::kAnd}});
+  }
+  Result<ExprPtr> meta_expr() {
+    return binary_chain(&Parser::cmp_expr,
+                        {{TokKind::kMetaEq, BinaryOpKind::kMetaEq},
+                         {TokKind::kMetaNe, BinaryOpKind::kMetaNe}});
+  }
+  Result<ExprPtr> cmp_expr() {
+    return binary_chain(&Parser::add_expr,
+                        {{TokKind::kLt, BinaryOpKind::kLt},
+                         {TokKind::kLe, BinaryOpKind::kLe},
+                         {TokKind::kGt, BinaryOpKind::kGt},
+                         {TokKind::kGe, BinaryOpKind::kGe},
+                         {TokKind::kEq, BinaryOpKind::kEq},
+                         {TokKind::kNe, BinaryOpKind::kNe}});
+  }
+  Result<ExprPtr> add_expr() {
+    return binary_chain(&Parser::mul_expr,
+                        {{TokKind::kPlus, BinaryOpKind::kAdd},
+                         {TokKind::kMinus, BinaryOpKind::kSub}});
+  }
+  Result<ExprPtr> mul_expr() {
+    return binary_chain(&Parser::unary_expr,
+                        {{TokKind::kStar, BinaryOpKind::kMul},
+                         {TokKind::kSlash, BinaryOpKind::kDiv},
+                         {TokKind::kPercent, BinaryOpKind::kMod}});
+  }
+
+  Result<ExprPtr> unary_expr() {
+    if (accept(TokKind::kMinus)) {
+      Result<ExprPtr> e = unary_expr();
+      if (!e.ok()) return e;
+      return ExprPtr{std::make_unique<UnaryOp>(UnaryOpKind::kNegate,
+                                               std::move(e).value())};
+    }
+    if (accept(TokKind::kNot)) {
+      Result<ExprPtr> e = unary_expr();
+      if (!e.ok()) return e;
+      return ExprPtr{
+          std::make_unique<UnaryOp>(UnaryOpKind::kNot, std::move(e).value())};
+    }
+    if (accept(TokKind::kPlus)) {
+      return unary_expr();
+    }
+    return postfix_expr();
+  }
+
+  Result<ExprPtr> postfix_expr() {
+    Result<ExprPtr> base = primary();
+    if (!base.ok()) return base;
+    for (;;) {
+      if (accept(TokKind::kDot)) {
+        if (!at(TokKind::kIdent)) return fail("expected attribute after '.'");
+        const std::string attr = cur().text;
+        advance();
+        base = ExprPtr{
+            std::make_unique<AttrSelect>(std::move(base).value(), attr)};
+        continue;
+      }
+      if (accept(TokKind::kLBracket)) {
+        Result<ExprPtr> index = expr();
+        if (!index.ok()) return index;
+        if (!accept(TokKind::kRBracket)) return fail("expected ']'");
+        base = ExprPtr{std::make_unique<Subscript>(std::move(base).value(),
+                                                   std::move(index).value())};
+        continue;
+      }
+      return base;
+    }
+  }
+
+  Result<ExprPtr> primary() {
+    switch (cur().kind) {
+      case TokKind::kInt: {
+        const std::int64_t v = cur().int_value;
+        advance();
+        return ExprPtr{std::make_unique<Literal>(Value::integer(v))};
+      }
+      case TokKind::kReal: {
+        const double v = cur().real_value;
+        advance();
+        return ExprPtr{std::make_unique<Literal>(Value::real(v))};
+      }
+      case TokKind::kString: {
+        std::string v = cur().text;
+        advance();
+        return ExprPtr{std::make_unique<Literal>(Value::string(std::move(v)))};
+      }
+      case TokKind::kLParen: {
+        advance();
+        Result<ExprPtr> e = expr();
+        if (!e.ok()) return e;
+        if (!accept(TokKind::kRParen)) return fail("expected ')'");
+        return e;
+      }
+      case TokKind::kLBrace: {
+        advance();
+        std::vector<ExprPtr> items;
+        if (!at(TokKind::kRBrace)) {
+          for (;;) {
+            Result<ExprPtr> e = expr();
+            if (!e.ok()) return e;
+            items.push_back(std::move(e).value());
+            if (!accept(TokKind::kComma)) break;
+          }
+        }
+        if (!accept(TokKind::kRBrace)) return fail("expected '}'");
+        return ExprPtr{std::make_unique<ListExpr>(std::move(items))};
+      }
+      case TokKind::kLBracket: {
+        // Nested ad literal. Evaluated eagerly into a Value: ad literals
+        // in expressions are records of literals in practice.
+        advance();
+        auto ad = std::make_shared<ClassAd>();
+        while (!at(TokKind::kRBracket)) {
+          if (!at(TokKind::kIdent)) return fail("expected attribute name");
+          const std::string name = cur().text;
+          advance();
+          if (!accept(TokKind::kAssign)) return fail("expected '='");
+          Result<ExprPtr> e = expr();
+          if (!e.ok()) return e;
+          ad->insert(name, std::move(e).value());
+          if (!accept(TokKind::kSemicolon)) break;
+        }
+        if (!accept(TokKind::kRBracket)) return fail("expected ']'");
+        return ExprPtr{std::make_unique<Literal>(
+            Value::ad(std::shared_ptr<const ClassAd>(std::move(ad))))};
+      }
+      case TokKind::kIdent: {
+        const std::string name = cur().text;
+        advance();
+        // Keyword literals.
+        if (iequals(name, "true")) {
+          return ExprPtr{std::make_unique<Literal>(Value::boolean(true))};
+        }
+        if (iequals(name, "false")) {
+          return ExprPtr{std::make_unique<Literal>(Value::boolean(false))};
+        }
+        if (iequals(name, "undefined")) {
+          return ExprPtr{std::make_unique<Literal>(Value::undefined())};
+        }
+        if (iequals(name, "error")) {
+          return ExprPtr{std::make_unique<Literal>(Value::error())};
+        }
+        // Scope prefixes MY.x / TARGET.x (also accepted: self, other).
+        if (iequals(name, "my") || iequals(name, "self")) {
+          if (accept(TokKind::kDot)) {
+            if (!at(TokKind::kIdent)) return fail("expected attribute");
+            const std::string attr = cur().text;
+            advance();
+            return ExprPtr{
+                std::make_unique<AttrRef>(AttrRef::Scope::kMy, attr)};
+          }
+        }
+        if (iequals(name, "target") || iequals(name, "other")) {
+          if (accept(TokKind::kDot)) {
+            if (!at(TokKind::kIdent)) return fail("expected attribute");
+            const std::string attr = cur().text;
+            advance();
+            return ExprPtr{
+                std::make_unique<AttrRef>(AttrRef::Scope::kTarget, attr)};
+          }
+        }
+        // Function call.
+        if (at(TokKind::kLParen)) {
+          if (!is_builtin(name)) {
+            return fail("unknown function '" + name + "'");
+          }
+          advance();
+          std::vector<ExprPtr> args;
+          if (!at(TokKind::kRParen)) {
+            for (;;) {
+              Result<ExprPtr> e = expr();
+              if (!e.ok()) return e;
+              args.push_back(std::move(e).value());
+              if (!accept(TokKind::kComma)) break;
+            }
+          }
+          if (!accept(TokKind::kRParen)) return fail("expected ')'");
+          return ExprPtr{std::make_unique<FnCall>(name, std::move(args))};
+        }
+        return ExprPtr{
+            std::make_unique<AttrRef>(AttrRef::Scope::kAuto, name)};
+      }
+      default:
+        return fail("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> parse_expr(const std::string& text) {
+  Result<std::vector<Token>> tokens = lex(text);
+  if (!tokens.ok()) return std::move(tokens).error();
+  Parser p(std::move(tokens).value());
+  return p.parse_full_expr();
+}
+
+Result<ClassAd> parse_classad(const std::string& text) {
+  Result<std::vector<Token>> tokens = lex(text);
+  if (!tokens.ok()) return std::move(tokens).error();
+  Parser p(std::move(tokens).value());
+  return p.parse_ad_body();
+}
+
+}  // namespace esg::classad

@@ -1,0 +1,29 @@
+// Recursive-descent parser for ClassAd expressions and ads.
+//
+// Grammar (precedence low to high):
+//   expr     := or ( '?' expr ':' expr )?
+//   or       := and ( '||' and )*
+//   and      := meta ( '&&' meta )*
+//   meta     := cmp ( ('=?='|'=!=') cmp )*
+//   cmp      := add ( ('<'|'<='|'>'|'>='|'=='|'!=') add )*
+//   add      := mul ( ('+'|'-') mul )*
+//   mul      := unary ( ('*'|'/'|'%') unary )*
+//   unary    := ('-'|'!'|'+')* postfix
+//   postfix  := primary ( '.' IDENT | '[' expr ']' )*
+//   primary  := INT | REAL | STRING | 'true' | 'false' | 'undefined'
+//             | 'error' | IDENT | IDENT '(' args ')' | 'MY' '.' IDENT
+//             | 'TARGET' '.' IDENT | '(' expr ')' | '{' items '}'
+//             | '[' attr_list ']'
+//   attr_list:= ( IDENT '=' expr ( ';' IDENT '=' expr )* ';'? )?
+#pragma once
+
+#include "classad/classad.hpp"
+#include "classad/expr.hpp"
+#include "core/result.hpp"
+
+namespace esg::classad {
+
+// parse_expr / parse_classad are declared in classad.hpp; this header only
+// documents the grammar.
+
+}  // namespace esg::classad

@@ -1,0 +1,147 @@
+#include "classad/value.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "classad/classad.hpp"
+
+namespace esg::classad {
+
+Value Value::error(std::string why) {
+  Value v;
+  v.type_ = Type::kError;
+  v.string_ = std::move(why);
+  return v;
+}
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::integer(std::int64_t i) {
+  Value v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+Value Value::real(double r) {
+  Value v;
+  v.type_ = Type::kReal;
+  v.real_ = r;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::list(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kList;
+  v.list_ = std::move(items);
+  return v;
+}
+
+Value Value::ad(std::shared_ptr<const ClassAd> ad) {
+  Value v;
+  v.type_ = Type::kAd;
+  v.ad_ = std::move(ad);
+  return v;
+}
+
+bool Value::same_as(const Value& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kUndefined:
+    case Type::kError:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kInt:
+      return int_ == other.int_;
+    case Type::kReal:
+      return real_ == other.real_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kList: {
+      if (list_.size() != other.list_.size()) return false;
+      for (std::size_t i = 0; i < list_.size(); ++i) {
+        if (!list_[i].same_as(other.list_[i])) return false;
+      }
+      return true;
+    }
+    case Type::kAd:
+      // Structural comparison via rendering; ads are small.
+      return str() == other.str();
+  }
+  return false;
+}
+
+std::string quote_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Value::str() const {
+  switch (type_) {
+    case Type::kUndefined:
+      return "undefined";
+    case Type::kError:
+      return "error";
+    case Type::kBool:
+      return bool_ ? "true" : "false";
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      return buf;
+    }
+    case Type::kReal: {
+      char buf[48];
+      // %.15g round-trips doubles in practice and stays human readable.
+      std::snprintf(buf, sizeof buf, "%.15g", real_);
+      std::string out = buf;
+      // Ensure a real parses back as a real, not an int.
+      if (out.find_first_of(".eEnN") == std::string::npos) out += ".0";
+      return out;
+    }
+    case Type::kString:
+      return quote_string(string_);
+    case Type::kList: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < list_.size(); ++i) {
+        if (i) out += ", ";
+        out += list_[i].str();
+      }
+      out += "}";
+      return out;
+    }
+    case Type::kAd:
+      return ad_ ? ad_->str() : "[]";
+  }
+  return "undefined";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.str();
+}
+
+}  // namespace esg::classad

@@ -1,0 +1,98 @@
+// ClassAd values.
+//
+// The ClassAd language (Raman, Livny & Solomon) is the lingua franca of the
+// Condor kernel: machines and jobs describe themselves as ads, and the
+// matchmaker evaluates each ad's Requirements against the other. Values are
+// dynamically typed and include two non-value states central to
+// matchmaking semantics: Undefined (an attribute is absent) and Error (an
+// expression is meaningless). Note the kinship with the paper: Undefined
+// and Error are *explicit* in-band error states with precise propagation
+// rules — a tiny worked example of Principle 4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace esg::classad {
+
+class ClassAd;
+
+class Value {
+ public:
+  enum class Type {
+    kUndefined,
+    kError,
+    kBool,
+    kInt,
+    kReal,
+    kString,
+    kList,
+    kAd,
+  };
+
+  /// Default: Undefined.
+  Value() = default;
+
+  static Value undefined() { return Value(); }
+  static Value error(std::string why = {});
+  static Value boolean(bool b);
+  static Value integer(std::int64_t i);
+  static Value real(double r);
+  static Value string(std::string s);
+  static Value list(std::vector<Value> items);
+  static Value ad(std::shared_ptr<const ClassAd> ad);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_undefined() const { return type_ == Type::kUndefined; }
+  [[nodiscard]] bool is_error() const { return type_ == Type::kError; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_int() const { return type_ == Type::kInt; }
+  [[nodiscard]] bool is_real() const { return type_ == Type::kReal; }
+  [[nodiscard]] bool is_number() const { return is_int() || is_real(); }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_list() const { return type_ == Type::kList; }
+  [[nodiscard]] bool is_ad() const { return type_ == Type::kAd; }
+
+  /// Accessors; only valid for the matching type.
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] std::int64_t as_int() const { return int_; }
+  [[nodiscard]] double as_real() const { return real_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Value>& as_list() const { return list_; }
+  [[nodiscard]] const std::shared_ptr<const ClassAd>& as_ad() const {
+    return ad_;
+  }
+  [[nodiscard]] const std::string& error_reason() const { return string_; }
+
+  /// Numeric coercion: int or real as double. Only valid if is_number().
+  [[nodiscard]] double number() const {
+    return is_int() ? static_cast<double>(int_) : real_;
+  }
+
+  /// Strict structural equality (used by tests; distinct from the ClassAd
+  /// `==` operator, which has its own 3-valued semantics).
+  [[nodiscard]] bool same_as(const Value& other) const;
+
+  /// ClassAd-syntax rendering: undefined, error, true, 42, 3.5, "s",
+  /// {a, b}, [k = v].
+  [[nodiscard]] std::string str() const;
+
+ private:
+  Type type_ = Type::kUndefined;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double real_ = 0;
+  std::string string_;  // also holds the error reason for kError
+  std::vector<Value> list_;
+  std::shared_ptr<const ClassAd> ad_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Quote and escape a string in ClassAd literal syntax.
+std::string quote_string(const std::string& s);
+
+}  // namespace esg::classad

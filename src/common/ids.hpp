@@ -1,0 +1,79 @@
+// Strongly typed integer identifiers.
+//
+// Every entity in the simulated grid (jobs, matches, claims, connections,
+// file handles, ...) is named by a StrongId with its own tag type so that a
+// JobId cannot be accidentally passed where a ClaimId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace esg {
+
+/// A type-safe wrapper around a 64-bit identifier.
+///
+/// `Tag` is any (possibly incomplete) type used only to distinguish one id
+/// family from another at compile time.
+template <class Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+/// Monotonic generator for a StrongId family. Not thread safe; the
+/// simulation is single threaded by design (determinism).
+template <class Tag>
+class IdGenerator {
+ public:
+  IdGenerator() = default;
+  /// Start counting at `base` + 1 (distinct bases keep id families from
+  /// different generators disjoint, e.g. per-schedd job ids).
+  explicit IdGenerator(std::uint64_t base) : next_(base + 1) {}
+
+  StrongId<Tag> next() { return StrongId<Tag>{next_++}; }
+
+ private:
+  std::uint64_t next_ = 1;
+};
+
+struct JobTag {};
+struct MatchTag {};
+struct ClaimTag {};
+struct ConnTag {};
+struct FdTag {};
+struct AttemptTag {};
+
+using JobId = StrongId<JobTag>;
+using MatchId = StrongId<MatchTag>;
+using ClaimId = StrongId<ClaimTag>;
+using ConnId = StrongId<ConnTag>;
+using FdId = StrongId<FdTag>;
+using AttemptId = StrongId<AttemptTag>;
+
+}  // namespace esg
+
+namespace std {
+template <class Tag>
+struct hash<esg::StrongId<Tag>> {
+  size_t operator()(esg::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

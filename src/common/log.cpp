@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace esg {
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogSink& LogSink::instance() {
+  static LogSink sink;
+  return sink;
+}
+
+LogSink::LogSink() {
+  writer_ = [](const std::string& line) {
+    std::fputs(line.c_str(), stderr);
+    std::fputc('\n', stderr);
+  };
+}
+
+void LogSink::set_writer(std::function<void(const std::string&)> writer) {
+  writer_ = std::move(writer);
+}
+
+void LogSink::write(LogLevel level, const std::string& component,
+                    const std::string& message) {
+  std::string line;
+  if (clock_) {
+    line += "[";
+    line += clock_().str();
+    line += "] ";
+  }
+  line += level_name(level);
+  line += " ";
+  line += component;
+  line += ": ";
+  line += message;
+  writer_(line);
+}
+
+}  // namespace esg

@@ -1,0 +1,85 @@
+// Component-tagged leveled logging.
+//
+// Every daemon in the simulated grid logs through a Logger bound to a
+// component name ("schedd@submit0", "starter@exec3", ...). The global sink
+// is quiet by default so tests and benches stay clean; examples turn it up.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/simtime.hpp"
+
+namespace esg {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log configuration. Single threaded by design.
+class LogSink {
+ public:
+  static LogSink& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output callback (default: stderr). Used by tests to
+  /// capture output.
+  void set_writer(std::function<void(const std::string&)> writer);
+
+  /// Provide the current simulated time for log prefixes.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  LogSink();
+  LogLevel level_ = LogLevel::kOff;
+  std::function<void(const std::string&)> writer_;
+  std::function<SimTime()> clock_;
+};
+
+/// A cheap handle that prefixes messages with a component name.
+class Logger {
+ public:
+  Logger() = default;
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+  template <class... Args>
+  void trace(const Args&... args) const {
+    log(LogLevel::kTrace, args...);
+  }
+  template <class... Args>
+  void debug(const Args&... args) const {
+    log(LogLevel::kDebug, args...);
+  }
+  template <class... Args>
+  void info(const Args&... args) const {
+    log(LogLevel::kInfo, args...);
+  }
+  template <class... Args>
+  void warn(const Args&... args) const {
+    log(LogLevel::kWarn, args...);
+  }
+  template <class... Args>
+  void error(const Args&... args) const {
+    log(LogLevel::kError, args...);
+  }
+
+ private:
+  template <class... Args>
+  void log(LogLevel level, const Args&... args) const {
+    if (level < LogSink::instance().level()) return;
+    std::ostringstream os;
+    (os << ... << args);
+    LogSink::instance().write(level, component_, os.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace esg

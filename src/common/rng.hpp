@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulation must replay identically for a given seed, so we carry our
+// own small, fast generators instead of depending on the (implementation
+// defined) distributions in <random>. SplitMix64 seeds Xoshiro256**.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esg {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high quality, tiny state; the single RNG used by
+/// the whole simulation (fault injection, latency jitter, workload shapes).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Approximately normal value (sum of uniforms), for latency jitter.
+  double normal(double mean, double stddev);
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  /// Returns 0 if all weights are zero or the list is empty-safe (size>=1).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derive an independent child generator; used so each component owns a
+  /// stream whose draws do not perturb its siblings.
+  Rng fork();
+
+  /// Derive a child keyed by a label, so the stream assignment is stable
+  /// under reordering of component construction.
+  Rng fork(const std::string& label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace esg

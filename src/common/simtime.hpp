@@ -1,0 +1,76 @@
+// Simulated time.
+//
+// All timestamps inside the grid simulation are SimTime values: a fixed
+// point count of microseconds since the start of the run. Using an integer
+// representation keeps the discrete-event engine exactly deterministic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace esg {
+
+/// A duration or instant in simulated time, in microseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t usec) : usec_(usec) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime usec(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime msec(std::int64_t v) { return SimTime{v * 1000}; }
+  static constexpr SimTime sec(std::int64_t v) { return SimTime{v * 1000000}; }
+  static constexpr SimTime sec_f(double v) {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr SimTime minutes(std::int64_t v) { return sec(v * 60); }
+  static constexpr SimTime hours(std::int64_t v) { return sec(v * 3600); }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t as_usec() const { return usec_; }
+  [[nodiscard]] constexpr double as_sec() const { return usec_ / 1e6; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) = default;
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.usec_ + b.usec_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.usec_ - b.usec_};
+  }
+  constexpr SimTime& operator+=(SimTime o) {
+    usec_ += o.usec_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    usec_ -= o.usec_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime{a.usec_ * k};
+  }
+  friend constexpr SimTime operator*(SimTime a, double k) {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(a.usec_) * k)};
+  }
+
+  /// Human readable rendering, e.g. "3.250s".
+  [[nodiscard]] std::string str() const {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.3fs", as_sec());
+    return buf;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.str();
+  }
+
+ private:
+  std::int64_t usec_ = 0;
+};
+
+}  // namespace esg

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esg {
+
+/// Split `s` on `sep`; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split into at most `max_fields` pieces; the final piece keeps the rest.
+std::vector<std::string> split_n(std::string_view s, char sep,
+                                 std::size_t max_fields);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Case-insensitive ASCII equality (ClassAd identifiers and keywords are
+/// case insensitive).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lowercase an ASCII string.
+std::string to_lower(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace esg

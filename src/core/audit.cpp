@@ -1,0 +1,42 @@
+#include "core/audit.hpp"
+
+namespace esg {
+
+PrincipleAudit& PrincipleAudit::global() {
+  static PrincipleAudit audit;
+  return audit;
+}
+
+void PrincipleAudit::record(Principle p, AuditOutcome outcome,
+                            std::string site) {
+  if (outcome == AuditOutcome::kApplied) {
+    ++applied_[kIndex(p)];
+  } else {
+    ++violated_[kIndex(p)];
+  }
+  if (events_.size() >= capacity_) {
+    events_.erase(events_.begin(),
+                  events_.begin() + static_cast<std::ptrdiff_t>(capacity_ / 2));
+  }
+  events_.push_back(AuditEvent{p, outcome, std::move(site)});
+}
+
+std::uint64_t PrincipleAudit::applied(Principle p) const {
+  return applied_[kIndex(p)];
+}
+
+std::uint64_t PrincipleAudit::violated(Principle p) const {
+  return violated_[kIndex(p)];
+}
+
+void PrincipleAudit::reset() {
+  applied_ = {};
+  violated_ = {};
+  events_.clear();
+}
+
+void PrincipleAudit::set_event_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+}  // namespace esg

@@ -1,0 +1,62 @@
+// PrincipleAudit: a ledger of principle applications and violations.
+//
+// The paper's four principles are enforced by mechanism (ErrorInterface,
+// escape, ScopeRouter), but experiments also need to *count* how often each
+// principle fired or was deliberately violated (the naive discipline).
+// PrincipleAudit is that counter. It is observational only — no component
+// changes behaviour based on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esg {
+
+enum class Principle {
+  kP1,  ///< no implicit error from an explicit error
+  kP2,  ///< escaping error converts potential implicit -> explicit higher up
+  kP3,  ///< error propagated to the manager of its scope
+  kP4,  ///< error interfaces concise and finite
+};
+
+enum class AuditOutcome { kApplied, kViolated };
+
+struct AuditEvent {
+  Principle principle;
+  AuditOutcome outcome;
+  std::string site;  ///< routine or component name
+};
+
+class PrincipleAudit {
+ public:
+  /// Process-wide instance. The simulation is single threaded.
+  static PrincipleAudit& global();
+
+  void record(Principle p, AuditOutcome outcome, std::string site);
+
+  [[nodiscard]] std::uint64_t applied(Principle p) const;
+  [[nodiscard]] std::uint64_t violated(Principle p) const;
+
+  /// Recent events, newest last (bounded; old events are dropped).
+  [[nodiscard]] const std::vector<AuditEvent>& events() const {
+    return events_;
+  }
+
+  void reset();
+
+  /// Keep at most this many events (counters are unaffected).
+  void set_event_capacity(std::size_t capacity);
+
+ private:
+  static constexpr std::size_t kIndex(Principle p) {
+    return static_cast<std::size_t>(p);
+  }
+  std::array<std::uint64_t, 4> applied_{};
+  std::array<std::uint64_t, 4> violated_{};
+  std::vector<AuditEvent> events_;
+  std::size_t capacity_ = 4096;
+};
+
+}  // namespace esg

@@ -1,0 +1,26 @@
+// Umbrella header for the error-scope core library — the public API of the
+// paper's primary contribution.
+//
+// Quick tour:
+//   ErrorScope / scope_rank / schedd_disposition   (scope.hpp)
+//   ErrorKind / default_scope                      (kinds.hpp)
+//   Error                                          (error.hpp)
+//   Result<T>            explicit errors           (result.hpp)
+//   escape/catch_escape  escaping errors           (escape.hpp)
+//   ErrorInterface       P4 contracts, P2 filter   (interface.hpp)
+//   ScopeRouter          P3 delivery               (router.hpp)
+//   ScopeEscalator       time widens scope         (escalate.hpp)
+//   OutputValidator      implicit-error detection  (detect.hpp)
+//   PrincipleAudit       observational ledger      (audit.hpp)
+#pragma once
+
+#include "core/audit.hpp"
+#include "core/detect.hpp"
+#include "core/error.hpp"
+#include "core/escalate.hpp"
+#include "core/escape.hpp"
+#include "core/interface.hpp"
+#include "core/kinds.hpp"
+#include "core/result.hpp"
+#include "core/router.hpp"
+#include "core/scope.hpp"

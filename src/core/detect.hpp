@@ -1,0 +1,93 @@
+// Implicit-error detection (end-to-end validation, §5).
+//
+// "An implicit error is a result that a routine presents as valid, but is
+// otherwise determined to be false." Detecting one requires duplicating
+// all or part of a computation, or validating outputs against a priori
+// structure. Condor itself has little recourse; a process *above* the grid
+// must do this on the user's behalf. These helpers are that process.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/result.hpp"
+
+namespace esg {
+
+/// Validates an output against a priori structure known to the user
+/// (e.g. "the tally must equal the number of ballots"). A failed check is
+/// the *detection* of an implicit error: the value claimed to be valid but
+/// is determined to be false.
+template <class T>
+class OutputValidator {
+ public:
+  using Predicate = std::function<bool(const T&)>;
+
+  OutputValidator(std::string name, Predicate predicate)
+      : name_(std::move(name)), predicate_(std::move(predicate)) {}
+
+  /// nullopt if the value passes; otherwise the implicit error made
+  /// explicit (kind kUnknown — the detector knows the value is wrong, not
+  /// why), with program scope: it is the user's own criterion that failed.
+  std::optional<Error> check(const T& value) const {
+    if (predicate_(value)) return std::nullopt;
+    return Error(ErrorKind::kUnknown, ErrorScope::kProgram,
+                 "output failed validation '" + name_ + "'");
+  }
+
+ private:
+  std::string name_;
+  Predicate predicate_;
+};
+
+/// Detect implicit errors by duplicating a computation N times and
+/// majority-voting the results — the classic redundancy technique from the
+/// fault-tolerance literature the paper builds on. T must be
+/// equality-comparable.
+template <class T>
+Result<T> redundant_vote(const std::function<Result<T>()>& run, int copies) {
+  std::vector<T> values;
+  std::optional<Error> last_error;
+  for (int i = 0; i < copies; ++i) {
+    Result<T> r = run();
+    if (r.ok()) {
+      values.push_back(std::move(r).value());
+    } else {
+      last_error = std::move(r).error();
+    }
+  }
+  if (values.empty()) {
+    return last_error.value_or(
+        Error(ErrorKind::kUnknown, "all redundant copies failed"));
+  }
+  // Majority vote over successful copies.
+  std::size_t best_count = 0;
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::size_t count = 0;
+    for (const T& v : values) {
+      if (v == values[i]) ++count;
+    }
+    if (count > best_count) {
+      best_count = count;
+      best_index = i;
+    }
+  }
+  if (best_count * 2 <= values.size()) {
+    // No majority: at least one copy returned a silently wrong value and we
+    // cannot tell which. This *is* the detection of an implicit error.
+    return Error(ErrorKind::kUnknown, ErrorScope::kProgram,
+                 "redundant copies disagree with no majority");
+  }
+  if (best_count < values.size()) {
+    // A minority of copies were silently wrong; the vote masked them.
+    PrincipleAudit::global().record(Principle::kP1, AuditOutcome::kApplied,
+                                    "redundant_vote");
+  }
+  return values[best_index];
+}
+
+}  // namespace esg

@@ -1,0 +1,66 @@
+#include "core/error.hpp"
+
+#include <sstream>
+
+namespace esg {
+
+Error Error::widen_scope(ErrorScope scope) && {
+  widen_scope_in_place(scope);
+  return std::move(*this);
+}
+
+void Error::widen_scope_in_place(ErrorScope scope) {
+  if (scope_rank(scope) > scope_rank(scope_)) scope_ = scope;
+}
+
+Error Error::caused_by(Error cause) && {
+  // Carry ground-truth labels upward so the harness can still classify the
+  // surfaced error even after layers re-wrap it.
+  for (const auto& [k, v] : cause.labels_) {
+    if (label(k) == nullptr) labels_.emplace_back(k, v);
+  }
+  cause_ = std::make_shared<const Error>(std::move(cause));
+  return std::move(*this);
+}
+
+Error Error::with_label(std::string key, std::string value) && {
+  labels_.emplace_back(std::move(key), std::move(value));
+  return std::move(*this);
+}
+
+const std::string* Error::label(const std::string& key) const {
+  for (const auto& [k, v] : labels_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Error::str() const {
+  std::ostringstream os;
+  os << kind_name(kind_) << "/" << scope_name(scope_);
+  if (!message_.empty()) os << ": " << message_;
+  if (!origin_.empty()) os << " (from " << origin_ << ")";
+  return os.str();
+}
+
+std::string Error::describe() const {
+  std::ostringstream os;
+  const Error* e = this;
+  std::shared_ptr<const Error> hold;
+  int depth = 0;
+  while (e != nullptr) {
+    for (int i = 0; i < depth; ++i) os << "  ";
+    if (depth > 0) os << "caused by: ";
+    os << e->str() << "\n";
+    hold = e->cause_;
+    e = hold.get();
+    ++depth;
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Error& e) {
+  return os << e.str();
+}
+
+}  // namespace esg

@@ -1,0 +1,100 @@
+// The Error value: kind + scope + provenance.
+//
+// An error is "an internal data state that reflects a fault" (§3.1,
+// paraphrasing Avizienis & Laprie). Our Error carries the canonical kind,
+// the scope it currently invalidates (which layers may widen on the way
+// up), a human message, the component that discovered it, and a cause
+// chain, so that diagnostic detail is preserved even as scope is
+// reconsidered at every layer (§3.3).
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+
+namespace esg {
+
+class Error {
+ public:
+  Error() = default;
+
+  /// Construct with the kind's default scope.
+  explicit Error(ErrorKind kind, std::string message = {})
+      : kind_(kind), scope_(default_scope(kind)), message_(std::move(message)) {}
+
+  Error(ErrorKind kind, ErrorScope scope, std::string message = {})
+      : kind_(kind), scope_(scope), message_(std::move(message)) {}
+
+  [[nodiscard]] ErrorKind kind() const { return kind_; }
+  [[nodiscard]] ErrorScope scope() const { return scope_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] const std::string& origin() const { return origin_; }
+  [[nodiscard]] SimTime when() const { return when_; }
+  [[nodiscard]] const std::shared_ptr<const Error>& cause() const {
+    return cause_;
+  }
+
+  /// Builder-style modifiers (value semantics; each returns a copy).
+  [[nodiscard]] Error with_message(std::string m) && {
+    message_ = std::move(m);
+    return std::move(*this);
+  }
+  [[nodiscard]] Error with_origin(std::string o) && {
+    origin_ = std::move(o);
+    return std::move(*this);
+  }
+  [[nodiscard]] Error at_time(SimTime t) && {
+    when_ = t;
+    return std::move(*this);
+  }
+
+  /// Widen the scope as the error gains significance travelling up
+  /// (§3.3: "It may gain significance, or expand its scope, as it travels
+  /// up through layers of software"). Never narrows: if `scope` is smaller
+  /// than the current scope, the current scope is kept.
+  [[nodiscard]] Error widen_scope(ErrorScope scope) &&;
+  void widen_scope_in_place(ErrorScope scope);
+
+  /// Chain a lower-layer cause.
+  [[nodiscard]] Error caused_by(Error cause) &&;
+
+  /// Attach a free-form label ("injected=blackhole"). Labels are ground
+  /// truth carried for the experiment harness; production code never reads
+  /// them for decisions.
+  [[nodiscard]] Error with_label(std::string key, std::string value) &&;
+  [[nodiscard]] const std::string* label(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  labels() const {
+    return labels_;
+  }
+
+  /// One-line rendering: "kind/scope: message (from origin)".
+  [[nodiscard]] std::string str() const;
+
+  /// Multi-line rendering including the full cause chain.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.kind_ == b.kind_ && a.scope_ == b.scope_ &&
+           a.message_ == b.message_;
+  }
+
+ private:
+  ErrorKind kind_ = ErrorKind::kUnknown;
+  ErrorScope scope_ = ErrorScope::kProcess;
+  std::string message_;
+  std::string origin_;
+  SimTime when_{};
+  std::shared_ptr<const Error> cause_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Error& e);
+
+}  // namespace esg

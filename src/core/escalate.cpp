@@ -1,0 +1,70 @@
+#include "core/escalate.hpp"
+
+#include <algorithm>
+
+namespace esg {
+
+void ScopeEscalator::add_rule(EscalationRule rule) {
+  rules_.push_back(rule);
+  // Keep rules ordered by threshold so transitive application is a single
+  // forward pass.
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const EscalationRule& a, const EscalationRule& b) {
+                     return a.after < b.after;
+                   });
+}
+
+ScopeEscalator ScopeEscalator::grid_defaults() {
+  ScopeEscalator e;
+  // A brief communication failure is just the network...
+  e.add_rule({ErrorScope::kNetwork, SimTime::sec(30),
+              ErrorScope::kRemoteResource});
+  // ...a persistent one means the machine is effectively gone...
+  e.add_rule({ErrorScope::kRemoteResource, SimTime::minutes(10),
+              ErrorScope::kCluster});
+  // ...and an outage of hours invalidates the pool's view of the world.
+  e.add_rule({ErrorScope::kCluster, SimTime::hours(6), ErrorScope::kPool});
+  return e;
+}
+
+ScopeEscalator ScopeEscalator::schedd_defaults() {
+  ScopeEscalator e;
+  e.add_rule({ErrorScope::kNetwork, SimTime::minutes(2),
+              ErrorScope::kRemoteResource});
+  e.add_rule({ErrorScope::kRemoteResource, SimTime::minutes(45),
+              ErrorScope::kCluster});
+  e.add_rule({ErrorScope::kLocalResource, SimTime::hours(2),
+              ErrorScope::kCluster});
+  e.add_rule({ErrorScope::kVirtualMachine, SimTime::minutes(45),
+              ErrorScope::kCluster});
+  return e;
+}
+
+ErrorScope ScopeEscalator::scope_after(ErrorScope initial,
+                                       SimTime persisted) const {
+  ErrorScope scope = initial;
+  bool changed = true;
+  // Transitive: network(30s)->remote-resource(10m)->cluster. Each rule may
+  // fire at most once; monotone widening guarantees termination.
+  while (changed) {
+    changed = false;
+    for (const EscalationRule& r : rules_) {
+      if (r.from == scope && persisted >= r.after &&
+          scope_rank(r.to) > scope_rank(scope)) {
+        scope = r.to;
+        changed = true;
+      }
+    }
+  }
+  return scope;
+}
+
+Error ScopeEscalator::escalate(Error e, SimTime first_seen,
+                               SimTime now) const {
+  const SimTime persisted = now - first_seen;
+  const ErrorScope widened = scope_after(e.scope(), persisted);
+  e.widen_scope_in_place(widened);
+  return e;
+}
+
+}  // namespace esg

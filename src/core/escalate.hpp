@@ -1,0 +1,85 @@
+// ScopeEscalator: time widens an error's scope (§5).
+//
+// "A failure to communicate for one second may be of network scope, but a
+// failure to communicate for a year likely has larger scope." When an
+// error's scope is indeterminate, the system must be given guidance in the
+// form of timeouts. An escalator holds per-scope rules: after a fault of
+// scope S has persisted for duration D, treat it as scope S'. It also
+// models the NFS mount policies the paper contrasts: hard (never escalate,
+// retry forever), soft (fail after a fixed retry budget), and deadline
+// (each caller chooses its own failure criterion — the option the paper
+// laments NFS lacks).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/error.hpp"
+
+namespace esg {
+
+struct EscalationRule {
+  ErrorScope from;    ///< scope at which the fault was first classified
+  SimTime after;      ///< persistence threshold
+  ErrorScope to;      ///< scope it is escalated to past the threshold
+};
+
+class ScopeEscalator {
+ public:
+  /// An escalator with no rules never widens anything.
+  ScopeEscalator() = default;
+
+  void add_rule(EscalationRule rule);
+
+  /// The paper's worked example: a short communication failure is network
+  /// scope; a persistent one invalidates the remote resource; a very long
+  /// one the whole cluster.
+  static ScopeEscalator grid_defaults();
+
+  /// Conservative thresholds for the schedd's give-up judgement: a job
+  /// whose environment failures persist this long stops being "retry
+  /// elsewhere" and becomes a condition the user must hear about.
+  static ScopeEscalator schedd_defaults();
+
+  /// Scope of a fault first seen at `initial` scope that has now persisted
+  /// for `persisted`. Applies the matching rules transitively (network ->
+  /// remote-resource -> cluster), always monotonically widening.
+  [[nodiscard]] ErrorScope scope_after(ErrorScope initial,
+                                       SimTime persisted) const;
+
+  /// Apply to an error given the time it was first observed and now.
+  [[nodiscard]] Error escalate(Error e, SimTime first_seen,
+                               SimTime now) const;
+
+  [[nodiscard]] const std::vector<EscalationRule>& rules() const {
+    return rules_;
+  }
+
+ private:
+  std::vector<EscalationRule> rules_;
+};
+
+/// Retry policy for an operation against a possibly-faulty resource —
+/// the NFS hard/soft/deadline triad from §5.
+struct RetryPolicy {
+  enum class Mode {
+    kHard,      ///< retry forever; the caller never sees the error
+    kSoft,      ///< fail with an explicit timeout error after max_retries
+    kDeadline,  ///< caller-chosen deadline; escalate scope when it expires
+  };
+  Mode mode = Mode::kSoft;
+  int max_retries = 3;          ///< for kSoft
+  SimTime retry_interval = SimTime::sec(1);
+  SimTime deadline = SimTime::sec(30);  ///< for kDeadline
+
+  static RetryPolicy hard() { return {Mode::kHard, 0, SimTime::sec(1), {}}; }
+  static RetryPolicy soft(int retries, SimTime interval) {
+    return {Mode::kSoft, retries, interval, {}};
+  }
+  static RetryPolicy with_deadline(SimTime d, SimTime interval) {
+    return {Mode::kDeadline, 0, interval, d};
+  }
+};
+
+}  // namespace esg

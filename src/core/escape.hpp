@@ -1,0 +1,87 @@
+// The escaping-error channel.
+//
+// "An escaping error is a result accompanied by a change in control flow...
+// necessary when a routine is unable to perform its action and is also
+// unable to represent the error in the range of its results." (§3.1.)
+//
+// Within one simulated process, an escaping error is a C++ exception
+// carrying an Error. At a process boundary it becomes a unique exit code or
+// a broken connection; those conversions live in jvm/ and net/. The
+// essential discipline is Principle 2: an escaping error is a *disciplined*
+// exit that surfaces as an explicit error one level up — catch_escape() is
+// that conversion point.
+#pragma once
+
+#include <exception>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "core/result.hpp"
+
+namespace esg {
+
+/// The in-process escaping error. Deliberately not derived from
+/// std::runtime_error: it should be caught only at designated scope
+/// boundaries, not by blanket catch(std::exception&) handlers.
+class EscapingError : public std::exception {
+ public:
+  explicit EscapingError(Error error)
+      : error_(std::move(error)), rendered_(error_.str()) {}
+
+  [[nodiscard]] const Error& error() const { return error_; }
+  [[nodiscard]] Error take_error() && { return std::move(error_); }
+  [[nodiscard]] const char* what() const noexcept override {
+    return rendered_.c_str();
+  }
+
+ private:
+  Error error_;
+  std::string rendered_;
+};
+
+/// Raise an escaping error. Marked noreturn: callers use this exactly when
+/// they cannot satisfy their interface (Principle 2), never for errors the
+/// interface can express.
+[[noreturn]] inline void escape(Error error) {
+  throw EscapingError(std::move(error));
+}
+
+namespace detail {
+template <class T>
+struct IsResult : std::false_type {};
+template <class T>
+struct IsResult<Result<T>> : std::true_type {};
+}  // namespace detail
+
+/// Run `f`, converting any escaping error into an explicit error at this
+/// (higher) level — the second half of Principle 2.
+///  - f returns void       -> Result<void>
+///  - f returns Result<T>  -> Result<T> (escape unifies into the error arm)
+///  - f returns T          -> Result<T>
+template <class F>
+auto catch_escape(F&& f) {
+  using Raw = std::invoke_result_t<F>;
+  if constexpr (std::is_void_v<Raw>) {
+    try {
+      std::forward<F>(f)();
+      return Result<void>{};
+    } catch (EscapingError& e) {
+      return Result<void>{std::move(e).take_error()};
+    }
+  } else if constexpr (detail::IsResult<Raw>::value) {
+    try {
+      return std::forward<F>(f)();
+    } catch (EscapingError& e) {
+      return Raw{std::move(e).take_error()};
+    }
+  } else {
+    try {
+      return Result<Raw>{std::forward<F>(f)()};
+    } catch (EscapingError& e) {
+      return Result<Raw>{std::move(e).take_error()};
+    }
+  }
+}
+
+}  // namespace esg

@@ -1,0 +1,11 @@
+#include "core/interface.hpp"
+
+#include <algorithm>
+
+namespace esg {
+
+bool ErrorInterface::allows(ErrorKind kind) const {
+  return std::find(allowed_.begin(), allowed_.end(), kind) != allowed_.end();
+}
+
+}  // namespace esg

@@ -1,0 +1,81 @@
+// ErrorInterface: concise, finite error contracts (Principle 4) with
+// automatic escaping conversion (Principle 2).
+//
+// An ErrorInterface names a routine and enumerates the explicit error kinds
+// that are part of its contract. filter() is applied at the routine's
+// boundary: contractual errors pass through as ordinary explicit results;
+// anything else — the mismatch between interface and implementation — is
+// converted into an escaping error addressed to the enclosing scope.
+//
+// This is the antidote to the generic error (§3.4): instead of widening
+// IOException until it means nothing, a routine states exactly what it may
+// return, and everything else escapes.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/escape.hpp"
+#include "core/result.hpp"
+
+namespace esg {
+
+class ErrorInterface {
+ public:
+  ErrorInterface(std::string routine, std::initializer_list<ErrorKind> kinds)
+      : routine_(std::move(routine)), allowed_(kinds) {}
+  ErrorInterface(std::string routine, std::vector<ErrorKind> kinds)
+      : routine_(std::move(routine)), allowed_(std::move(kinds)) {}
+
+  [[nodiscard]] const std::string& routine() const { return routine_; }
+  [[nodiscard]] const std::vector<ErrorKind>& allowed() const {
+    return allowed_;
+  }
+
+  [[nodiscard]] bool allows(ErrorKind kind) const;
+
+  /// Enforce the contract on an outgoing result (Principle 4 + 2):
+  ///  - success or contractual error: returned unchanged;
+  ///  - non-contractual error: raised as an escaping error, its scope
+  ///    widened to at least `escape_floor` so the enclosing system can
+  ///    route it (never delivered to the caller as an explicit result).
+  template <class T>
+  Result<T> filter(Result<T> r,
+                   ErrorScope escape_floor = ErrorScope::kProcess) const {
+    if (r.ok()) return r;
+    if (allows(r.error().kind())) {
+      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kApplied,
+                                      routine_);
+      return r;
+    }
+    PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kApplied,
+                                    routine_);
+    Error e = std::move(r).error();
+    e.widen_scope_in_place(escape_floor);
+    escape(Error(e.kind(), e.scope(),
+                 "escapes interface '" + routine_ + "': " + e.message())
+               .caused_by(std::move(e)));
+  }
+
+  /// Deliberately violate the contract (used by the *naive* discipline to
+  /// reproduce the paper's §2.3 behaviour): a non-contractual error is
+  /// passed to the caller as if it were an ordinary explicit result, and
+  /// the violation of Principle 4 is recorded.
+  template <class T>
+  Result<T> leak(Result<T> r) const {
+    if (!r.ok() && !allows(r.error().kind())) {
+      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kViolated,
+                                      routine_);
+    }
+    return r;
+  }
+
+ private:
+  std::string routine_;
+  std::vector<ErrorKind> allowed_;
+};
+
+}  // namespace esg

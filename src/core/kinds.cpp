@@ -1,0 +1,135 @@
+#include "core/kinds.hpp"
+
+namespace esg {
+
+std::string_view kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kFileNotFound: return "file-not-found";
+    case ErrorKind::kAccessDenied: return "access-denied";
+    case ErrorKind::kFileExists: return "file-exists";
+    case ErrorKind::kNotDirectory: return "not-directory";
+    case ErrorKind::kIsDirectory: return "is-directory";
+    case ErrorKind::kNameTooLong: return "name-too-long";
+    case ErrorKind::kEndOfFile: return "end-of-file";
+    case ErrorKind::kDiskFull: return "disk-full";
+    case ErrorKind::kIoError: return "io-error";
+    case ErrorKind::kBadFileDescriptor: return "bad-file-descriptor";
+    case ErrorKind::kMountOffline: return "mount-offline";
+    case ErrorKind::kQuotaExceeded: return "quota-exceeded";
+    case ErrorKind::kConnectionRefused: return "connection-refused";
+    case ErrorKind::kConnectionLost: return "connection-lost";
+    case ErrorKind::kConnectionTimedOut: return "connection-timed-out";
+    case ErrorKind::kHostUnreachable: return "host-unreachable";
+    case ErrorKind::kProtocolError: return "protocol-error";
+    case ErrorKind::kAuthenticationFailed: return "authentication-failed";
+    case ErrorKind::kCredentialsExpired: return "credentials-expired";
+    case ErrorKind::kNotAuthorized: return "not-authorized";
+    case ErrorKind::kNullPointer: return "null-pointer";
+    case ErrorKind::kArrayIndexOutOfBounds: return "array-index-out-of-bounds";
+    case ErrorKind::kArithmeticError: return "arithmetic-error";
+    case ErrorKind::kUncaughtException: return "uncaught-exception";
+    case ErrorKind::kExitNonZero: return "exit-non-zero";
+    case ErrorKind::kOutOfMemory: return "out-of-memory";
+    case ErrorKind::kStackOverflow: return "stack-overflow";
+    case ErrorKind::kInternalVmError: return "internal-vm-error";
+    case ErrorKind::kJvmMisconfigured: return "jvm-misconfigured";
+    case ErrorKind::kJvmMissing: return "jvm-missing";
+    case ErrorKind::kScratchUnavailable: return "scratch-unavailable";
+    case ErrorKind::kCorruptImage: return "corrupt-image";
+    case ErrorKind::kClassNotFound: return "class-not-found";
+    case ErrorKind::kBadJobDescription: return "bad-job-description";
+    case ErrorKind::kInputUnavailable: return "input-unavailable";
+    case ErrorKind::kClaimRejected: return "claim-rejected";
+    case ErrorKind::kPolicyRefused: return "policy-refused";
+    case ErrorKind::kMatchExpired: return "match-expired";
+    case ErrorKind::kDaemonCrashed: return "daemon-crashed";
+    case ErrorKind::kRequestMalformed: return "request-malformed";
+    case ErrorKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorKind> parse_kind(std::string_view name) {
+  for (ErrorKind k : kAllKinds) {
+    if (kind_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+ErrorScope default_scope(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kFileNotFound:
+    case ErrorKind::kAccessDenied:
+    case ErrorKind::kFileExists:
+    case ErrorKind::kNotDirectory:
+    case ErrorKind::kIsDirectory:
+    case ErrorKind::kNameTooLong:
+    case ErrorKind::kEndOfFile:
+    case ErrorKind::kDiskFull:
+    case ErrorKind::kIoError:
+    case ErrorKind::kBadFileDescriptor:
+    case ErrorKind::kQuotaExceeded:
+      return ErrorScope::kFile;
+
+    case ErrorKind::kMountOffline:
+      return ErrorScope::kLocalResource;
+
+    case ErrorKind::kConnectionRefused:
+    case ErrorKind::kConnectionLost:
+    case ErrorKind::kConnectionTimedOut:
+    case ErrorKind::kHostUnreachable:
+      return ErrorScope::kNetwork;
+
+    case ErrorKind::kProtocolError:
+    case ErrorKind::kRequestMalformed:
+      return ErrorScope::kProcess;
+
+    case ErrorKind::kAuthenticationFailed:
+    case ErrorKind::kCredentialsExpired:
+    case ErrorKind::kNotAuthorized:
+      return ErrorScope::kRemoteResource;
+
+    case ErrorKind::kNullPointer:
+    case ErrorKind::kArrayIndexOutOfBounds:
+    case ErrorKind::kArithmeticError:
+    case ErrorKind::kUncaughtException:
+    case ErrorKind::kExitNonZero:
+      return ErrorScope::kProgram;
+
+    case ErrorKind::kOutOfMemory:
+    case ErrorKind::kStackOverflow:
+    case ErrorKind::kInternalVmError:
+      return ErrorScope::kVirtualMachine;
+
+    case ErrorKind::kJvmMisconfigured:
+    case ErrorKind::kJvmMissing:
+    case ErrorKind::kScratchUnavailable:
+      return ErrorScope::kRemoteResource;
+
+    case ErrorKind::kCorruptImage:
+    case ErrorKind::kClassNotFound:
+    case ErrorKind::kBadJobDescription:
+      return ErrorScope::kJob;
+
+    case ErrorKind::kInputUnavailable:
+      return ErrorScope::kLocalResource;
+
+    case ErrorKind::kClaimRejected:
+    case ErrorKind::kPolicyRefused:
+    case ErrorKind::kMatchExpired:
+      return ErrorScope::kRemoteResource;
+
+    case ErrorKind::kDaemonCrashed:
+      return ErrorScope::kProcess;
+
+    case ErrorKind::kUnknown:
+      return ErrorScope::kProcess;
+  }
+  return ErrorScope::kProcess;
+}
+
+std::ostream& operator<<(std::ostream& os, ErrorKind kind) {
+  return os << kind_name(kind);
+}
+
+}  // namespace esg

@@ -1,0 +1,112 @@
+// Canonical error kinds.
+//
+// Principle 4 demands that error interfaces be concise and finite, so the
+// whole grid shares one closed vocabulary of error kinds. Each kind carries
+// a default scope — the portion of the system it invalidates when first
+// discovered — which higher layers may widen (never narrow) as the error
+// gains significance travelling upward (§3.3).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+#include "core/scope.hpp"
+
+namespace esg {
+
+enum class ErrorKind {
+  // -- File namespace errors (file scope) --
+  kFileNotFound,
+  kAccessDenied,
+  kFileExists,
+  kNotDirectory,
+  kIsDirectory,
+  kNameTooLong,
+  // -- File data errors --
+  kEndOfFile,
+  kDiskFull,
+  kIoError,           ///< transient device error
+  kBadFileDescriptor,
+  // -- Resource / mount errors --
+  kMountOffline,      ///< a whole filesystem is unavailable
+  kQuotaExceeded,
+  // -- Network errors --
+  kConnectionRefused,
+  kConnectionLost,
+  kConnectionTimedOut,
+  kHostUnreachable,
+  kProtocolError,
+  // -- Security errors --
+  kAuthenticationFailed,
+  kCredentialsExpired,
+  kNotAuthorized,
+  // -- Program errors (the job's own doing) --
+  kNullPointer,
+  kArrayIndexOutOfBounds,
+  kArithmeticError,
+  kUncaughtException,
+  kExitNonZero,
+  // -- Virtual machine errors --
+  kOutOfMemory,
+  kStackOverflow,
+  kInternalVmError,
+  // -- Execution-site errors --
+  kJvmMisconfigured,   ///< bad JAVA path / standard library location
+  kJvmMissing,
+  kScratchUnavailable,
+  // -- Job errors --
+  kCorruptImage,       ///< the program image fails verification
+  kClassNotFound,      ///< the named entry class does not exist
+  kBadJobDescription,
+  // -- Submit-side errors --
+  kInputUnavailable,   ///< the submit-side (home) filesystem is offline
+  // -- Grid plumbing errors --
+  kClaimRejected,
+  kPolicyRefused,
+  kMatchExpired,
+  kDaemonCrashed,
+  kRequestMalformed,
+  // -- Catch-all for foreign errors crossing a boundary --
+  kUnknown,
+};
+
+/// Short stable name for wire formats and result files.
+std::string_view kind_name(ErrorKind kind);
+
+/// Parse a name produced by kind_name(); nullopt on unknown input.
+std::optional<ErrorKind> parse_kind(std::string_view name);
+
+/// The scope this kind invalidates when first discovered, before any layer
+/// widens it. E.g. kFileNotFound -> file, kOutOfMemory -> virtual-machine,
+/// kJvmMisconfigured -> remote-resource, kCorruptImage -> job.
+ErrorScope default_scope(ErrorKind kind);
+
+std::ostream& operator<<(std::ostream& os, ErrorKind kind);
+
+/// All kinds; used by sweeps and parameterized tests.
+inline constexpr ErrorKind kAllKinds[] = {
+    ErrorKind::kFileNotFound,      ErrorKind::kAccessDenied,
+    ErrorKind::kFileExists,        ErrorKind::kNotDirectory,
+    ErrorKind::kIsDirectory,       ErrorKind::kNameTooLong,
+    ErrorKind::kEndOfFile,         ErrorKind::kDiskFull,
+    ErrorKind::kIoError,           ErrorKind::kBadFileDescriptor,
+    ErrorKind::kMountOffline,      ErrorKind::kQuotaExceeded,
+    ErrorKind::kConnectionRefused, ErrorKind::kConnectionLost,
+    ErrorKind::kConnectionTimedOut, ErrorKind::kHostUnreachable,
+    ErrorKind::kProtocolError,     ErrorKind::kAuthenticationFailed,
+    ErrorKind::kCredentialsExpired, ErrorKind::kNotAuthorized,
+    ErrorKind::kNullPointer,       ErrorKind::kArrayIndexOutOfBounds,
+    ErrorKind::kArithmeticError,   ErrorKind::kUncaughtException,
+    ErrorKind::kExitNonZero,       ErrorKind::kOutOfMemory,
+    ErrorKind::kStackOverflow,     ErrorKind::kInternalVmError,
+    ErrorKind::kJvmMisconfigured,  ErrorKind::kJvmMissing,
+    ErrorKind::kScratchUnavailable, ErrorKind::kCorruptImage,
+    ErrorKind::kClassNotFound,     ErrorKind::kBadJobDescription,
+    ErrorKind::kInputUnavailable,  ErrorKind::kClaimRejected,
+    ErrorKind::kPolicyRefused,     ErrorKind::kMatchExpired,
+    ErrorKind::kDaemonCrashed,     ErrorKind::kRequestMalformed,
+    ErrorKind::kUnknown,
+};
+
+}  // namespace esg

@@ -1,0 +1,130 @@
+// Result<T>: the explicit-error channel.
+//
+// "An explicit error is a result that describes an inability to carry out
+// the requested action." (§3.1.) Result<T> is the vocabulary type for every
+// fallible routine in the grid: it either holds a T or an Error, and the
+// caller must decide which. The escaping-error channel (escape.hpp) handles
+// everything a routine's interface cannot express.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include "core/error.hpp"
+
+namespace esg {
+
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return 42;            return Error(ErrorKind::kDiskFull);
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : state_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Error& error() & {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+  [[nodiscard]] Error&& error() && {
+    assert(!ok());
+    return std::get<Error>(std::move(state_));
+  }
+
+  /// Transform the value; errors pass through untouched.
+  template <class F>
+  auto map(F&& f) && -> Result<std::invoke_result_t<F, T&&>> {
+    if (ok()) return std::forward<F>(f)(std::get<T>(std::move(state_)));
+    return std::get<Error>(std::move(state_));
+  }
+
+  /// Chain another fallible step; errors pass through untouched.
+  template <class F>
+  auto and_then(F&& f) && -> std::invoke_result_t<F, T&&> {
+    if (ok()) return std::forward<F>(f)(std::get<T>(std::move(state_)));
+    return std::get<Error>(std::move(state_));
+  }
+
+  /// Transform the error; values pass through untouched.
+  template <class F>
+  Result<T> map_error(F&& f) && {
+    if (ok()) return std::get<T>(std::move(state_));
+    return std::forward<F>(f)(std::get<Error>(std::move(state_)));
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void>: success carries no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Error& error() & {
+    assert(!ok());
+    return *error_;
+  }
+  [[nodiscard]] const Error& error() const& {
+    assert(!ok());
+    return *error_;
+  }
+  [[nodiscard]] Error&& error() && {
+    assert(!ok());
+    return std::move(*error_);
+  }
+
+  template <class F>
+  auto and_then(F&& f) && -> std::invoke_result_t<F> {
+    if (ok()) return std::forward<F>(f)();
+    return std::move(*error_);
+  }
+
+  template <class F>
+  Result<void> map_error(F&& f) && {
+    if (ok()) return {};
+    return std::forward<F>(f)(std::move(*error_));
+  }
+
+  static Result<void> success() { return {}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Convenience: Ok() for Result<void>.
+inline Result<void> Ok() { return {}; }
+
+}  // namespace esg

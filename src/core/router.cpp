@@ -1,0 +1,62 @@
+#include "core/router.hpp"
+
+namespace esg {
+
+void ScopeRouter::register_handler(ErrorScope scope, std::string handler_name,
+                                   Handler handler) {
+  const int rank = scope_rank(scope);
+  by_rank_[rank] = Entry{std::move(handler_name), std::move(handler)};
+  scope_by_rank_[rank] = scope;
+}
+
+void ScopeRouter::unregister(ErrorScope scope) {
+  by_rank_.erase(scope_rank(scope));
+  scope_by_rank_.erase(scope_rank(scope));
+}
+
+bool ScopeRouter::has_handler(ErrorScope scope) const {
+  return by_rank_.count(scope_rank(scope)) != 0;
+}
+
+const std::string* ScopeRouter::handler_name(ErrorScope scope) const {
+  auto it = by_rank_.find(scope_rank(scope));
+  return it == by_rank_.end() ? nullptr : &it->second.name;
+}
+
+RouteOutcome ScopeRouter::route(Error error) {
+  RouteOutcome outcome;
+  int rank = scope_rank(error.scope());
+  // Find the manager of the error's scope, or the nearest enclosing one.
+  auto it = by_rank_.lower_bound(rank);
+  while (it != by_rank_.end()) {
+    const ErrorScope handler_scope = scope_by_rank_.at(it->first);
+    // Delivering to a handler whose scope encloses the error's is a correct
+    // application of Principle 3.
+    PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
+                                    it->second.name);
+    const Disposition d = it->second.handler(error);
+    outcome.path.push_back(RouteStep{handler_scope, it->second.name, d});
+    if (d != Disposition::kPropagate) {
+      outcome.delivered = true;
+      outcome.final_error = std::move(error);
+      return outcome;
+    }
+    // The handler reconsidered the error: it now belongs, at minimum, to
+    // the scope *above* this handler. Widening below the handler's scope
+    // would loop; widening is monotone by construction.
+    auto next = std::next(it);
+    if (next != by_rank_.end()) {
+      error.widen_scope_in_place(scope_by_rank_.at(next->first));
+    }
+    it = next;
+  }
+  // No handler manages a scope this large: a hole in the management
+  // structure. Record the P3 violation and report non-delivery.
+  PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kViolated,
+                                  "unrouted:" + std::string(scope_name(error.scope())));
+  outcome.delivered = false;
+  outcome.final_error = std::move(error);
+  return outcome;
+}
+
+}  // namespace esg

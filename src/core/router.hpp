@@ -1,0 +1,76 @@
+// ScopeRouter: deliver an error to the program that manages its scope
+// (Principle 3).
+//
+// Each process in the grid registers itself as the handler for the scopes
+// it manages (Figure 3: the JVM manages virtual-machine scope, the starter
+// manages remote-resource scope, the shadow local-resource scope, the
+// schedd job and program scope). route() finds the handler for an error's
+// scope; if no handler manages that exact scope, the error escalates to the
+// nearest registered enclosing scope — never to a smaller one.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/error.hpp"
+
+namespace esg {
+
+/// What a handler did with an error it manages.
+enum class Disposition {
+  kHandled,    ///< consumed; the condition is resolved at this scope
+  kMasked,     ///< hidden by a fault-tolerance technique (retry/replica)
+  kPropagate,  ///< reconsidered and passed to the next enclosing scope
+};
+
+struct RouteStep {
+  ErrorScope scope;
+  std::string handler;
+  Disposition disposition;
+};
+
+struct RouteOutcome {
+  bool delivered = false;          ///< some handler consumed the error
+  std::vector<RouteStep> path;     ///< every handler visited, in order
+  Error final_error;               ///< the error as last seen
+};
+
+class ScopeRouter {
+ public:
+  /// A handler receives the error (possibly widened since discovery) and
+  /// reports what it did. Handlers that propagate may mutate the error
+  /// (widen scope, wrap with context) via the reference.
+  using Handler = std::function<Disposition(Error&)>;
+
+  /// Register `handler_name` as the manager of `scope`. At most one
+  /// handler per scope; re-registration replaces (a restarted daemon).
+  void register_handler(ErrorScope scope, std::string handler_name,
+                        Handler handler);
+
+  void unregister(ErrorScope scope);
+
+  [[nodiscard]] bool has_handler(ErrorScope scope) const;
+  [[nodiscard]] const std::string* handler_name(ErrorScope scope) const;
+
+  /// Deliver the error to the manager of its scope. If that handler
+  /// propagates, the error moves to the nearest registered enclosing scope,
+  /// and so on. Returns the full route. If no handler exists at or above
+  /// the error's scope, delivered=false — the caller has detected a hole in
+  /// the management structure (a P3 violation) and must treat the error as
+  /// having pool scope.
+  RouteOutcome route(Error error);
+
+ private:
+  struct Entry {
+    std::string name;
+    Handler handler;
+  };
+  // Keyed by rank so "nearest enclosing" is a simple upper_bound walk.
+  std::map<int, Entry> by_rank_;
+  std::map<int, ErrorScope> scope_by_rank_;
+};
+
+}  // namespace esg

@@ -1,0 +1,65 @@
+#include "core/scope.hpp"
+
+namespace esg {
+
+std::string_view scope_name(ErrorScope scope) {
+  switch (scope) {
+    case ErrorScope::kProgram: return "program";
+    case ErrorScope::kVirtualMachine: return "virtual-machine";
+    case ErrorScope::kRemoteResource: return "remote-resource";
+    case ErrorScope::kLocalResource: return "local-resource";
+    case ErrorScope::kJob: return "job";
+    case ErrorScope::kFunction: return "function";
+    case ErrorScope::kFile: return "file";
+    case ErrorScope::kProcess: return "process";
+    case ErrorScope::kNetwork: return "network";
+    case ErrorScope::kCluster: return "cluster";
+    case ErrorScope::kPool: return "pool";
+  }
+  return "unknown";
+}
+
+std::optional<ErrorScope> parse_scope(std::string_view name) {
+  for (ErrorScope s : kAllScopes) {
+    if (scope_name(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+int scope_rank(ErrorScope scope) {
+  switch (scope) {
+    case ErrorScope::kFunction: return 0;
+    case ErrorScope::kFile: return 1;
+    case ErrorScope::kProgram: return 2;
+    case ErrorScope::kProcess: return 3;
+    case ErrorScope::kVirtualMachine: return 4;
+    // A network error invalidates a link; persistence escalates it to the
+    // machine behind the link (§5), so network sits *below*
+    // remote-resource in extent.
+    case ErrorScope::kNetwork: return 5;
+    case ErrorScope::kRemoteResource: return 6;
+    case ErrorScope::kLocalResource: return 7;
+    case ErrorScope::kJob: return 8;
+    case ErrorScope::kCluster: return 9;
+    case ErrorScope::kPool: return 10;
+  }
+  return -1;
+}
+
+bool scope_contains(ErrorScope outer, ErrorScope inner) {
+  return scope_rank(outer) >= scope_rank(inner);
+}
+
+ScheddDisposition schedd_disposition(ErrorScope scope) {
+  if (scope == ErrorScope::kProgram) return ScheddDisposition::kComplete;
+  if (scope_rank(scope) >= scope_rank(ErrorScope::kJob)) {
+    return ScheddDisposition::kUnexecutable;
+  }
+  return ScheddDisposition::kRetryElsewhere;
+}
+
+std::ostream& operator<<(std::ostream& os, ErrorScope scope) {
+  return os << scope_name(scope);
+}
+
+}  // namespace esg

@@ -1,0 +1,78 @@
+// Error scope — the central abstraction of the paper.
+//
+// "The scope of an error is the portion of a system which it invalidates."
+// (Thain & Livny, HPDC 2002, §3.3.) An error must be propagated to the
+// program that manages its scope (Principle 3). This header defines the
+// scope taxonomy used throughout the grid, an ordering that captures how
+// much of the system each scope invalidates, and the classification rules
+// the schedd applies as the last line of defense.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace esg {
+
+/// The portion of the system an error invalidates.
+///
+/// The first group mirrors Figure 3 of the paper (the Java Universe
+/// scopes); the second group covers the generic scopes discussed in §3.3
+/// (function call, RPC/process, PVM cluster, network, whole pool).
+enum class ErrorScope {
+  // -- Java Universe scopes (Figure 3) --
+  kProgram,          ///< The running user program (e.g. a thrown exception).
+  kVirtualMachine,   ///< The JVM instance (e.g. OutOfMemoryError).
+  kRemoteResource,   ///< The execution machine (e.g. misconfigured JVM).
+  kLocalResource,    ///< The submit-side resources (e.g. home FS offline).
+  kJob,              ///< The job itself (e.g. corrupt program image).
+  // -- Generic scopes (§3.3) --
+  kFunction,         ///< A single function call.
+  kFile,             ///< A single named file (e.g. FileNotFound).
+  kProcess,          ///< A whole process (e.g. RPC mechanism broken).
+  kNetwork,          ///< A network link or connection.
+  kCluster,          ///< A cluster of cooperating nodes (e.g. PVM).
+  kPool,             ///< The entire pool / grid.
+};
+
+/// Short stable name ("program", "virtual-machine", ...).
+std::string_view scope_name(ErrorScope scope);
+
+/// Parse a scope name produced by scope_name(). Returns nullopt on unknown
+/// input — callers at trust boundaries (result files, wire messages) must
+/// handle garbage without asserting.
+std::optional<ErrorScope> parse_scope(std::string_view name);
+
+/// A total "extent" ordering: how much of the system the scope invalidates.
+/// Larger rank invalidates more. The ordering embeds the paper's chain for
+/// the Java Universe: program < virtual-machine < remote-resource <
+/// local-resource < job, with the generic scopes interleaved where they
+/// naturally sit (function/file below program; network between resources;
+/// cluster and pool above job).
+int scope_rank(ErrorScope scope);
+
+/// True if an error of scope `outer` invalidates everything an error of
+/// scope `inner` does (rank comparison).
+bool scope_contains(ErrorScope outer, ErrorScope inner);
+
+/// The schedd's last-line-of-defense classification (§4):
+///  - program scope  -> the job completed; return the result to the user;
+///  - job scope      -> the job is unexecutable; return it to the user;
+///  - anything else  -> log and attempt execution at a new site.
+enum class ScheddDisposition { kComplete, kUnexecutable, kRetryElsewhere };
+ScheddDisposition schedd_disposition(ErrorScope scope);
+
+std::ostream& operator<<(std::ostream& os, ErrorScope scope);
+
+/// All scopes, in rank order; used by sweeps and parameterized tests.
+inline constexpr ErrorScope kAllScopes[] = {
+    ErrorScope::kFunction,      ErrorScope::kFile,
+    ErrorScope::kProgram,       ErrorScope::kProcess,
+    ErrorScope::kVirtualMachine, ErrorScope::kNetwork,
+    ErrorScope::kRemoteResource, ErrorScope::kLocalResource,
+    ErrorScope::kJob,           ErrorScope::kCluster,
+    ErrorScope::kPool,
+};
+
+}  // namespace esg

@@ -1,0 +1,101 @@
+// Grid-wide configuration: ports, timeouts, and the error discipline.
+//
+// DisciplineConfig is the experiment's main independent variable: kNaive
+// reproduces the paper's §2.3 first design (trust the JVM exit code,
+// generic I/O exceptions, every outcome returned to the user); kScoped is
+// the §4 redesign (wrapper result file, concise I/O contracts with
+// escaping conversion, scope routing in the schedd). The two operational
+// mitigations from §5 are independent toggles.
+#pragma once
+
+#include <string>
+
+#include "common/simtime.hpp"
+#include "jvm/javaio.hpp"
+#include "jvm/jvm.hpp"
+
+namespace esg::daemons {
+
+struct Ports {
+  int matchmaker = 9618;
+  int schedd = 9615;
+  int startd = 9614;
+  int starter_proxy_base = 9800;  ///< + per-starter offset
+};
+
+struct DisciplineConfig {
+  /// Starter interposes the result-file wrapper (§4 fix #1).
+  jvm::WrapMode wrap = jvm::WrapMode::kWrapped;
+  /// I/O library contract style (§4 fix #2).
+  jvm::IoDiscipline io = jvm::IoDiscipline::kConcise;
+  /// Schedd routes outcomes by scope (Principle 3); false = every outcome
+  /// goes straight back to the user (§2.3 behaviour).
+  bool scope_routing = true;
+  /// §5 mitigation: startd tests the Java installation at startup and
+  /// declines to advertise a broken one.
+  bool startd_selftest = false;
+  /// §5 complementary mitigation: schedd detects and avoids hosts with
+  /// chronic failures.
+  bool schedd_avoidance = false;
+  /// §3.4 quirk: generic-discipline DiskFull blocks forever.
+  bool generic_diskfull_blocks = false;
+  /// §5: time widens scope — a job whose environment failures persist past
+  /// the ScopeEscalator::schedd_defaults() thresholds is given up on with
+  /// the escalated scope rather than retried blindly until max_attempts.
+  bool use_escalation = true;
+
+  /// Transparent checkpointing for Java-universe jobs (§2.1): the starter
+  /// streams periodic checkpoints to the shadow's stable storage, and a
+  /// later attempt resumes instead of restarting. Vanilla jobs never
+  /// checkpoint (they cannot, §2.1).
+  bool checkpointing = false;
+  SimTime checkpoint_interval = SimTime::minutes(5);
+
+  /// Retry safety valve: after this many execution attempts the schedd
+  /// gives up and returns the job with its last error.
+  int max_attempts = 20;
+  /// Backoff before rescheduling a non-program failure; doubles per
+  /// consecutive incidental failure, capped at max_backoff.
+  SimTime reschedule_delay = SimTime::sec(2);
+  SimTime max_backoff = SimTime::minutes(5);
+  /// Shadow *inactivity* watchdog: aborted if the starter sends nothing
+  /// (keepalives included) for this long. Healthy long-running jobs are
+  /// safe — the starter keepalives every Timeouts::keepalive_interval.
+  SimTime job_watchdog = SimTime::minutes(30);
+  /// A failing attempt that nevertheless ran at least this long made real
+  /// progress: the environment mostly worked, so the §5 escalation streak
+  /// restarts rather than treating churn as one persistent fault.
+  SimTime escalation_progress_reset = SimTime::minutes(5);
+
+  // Avoidance tuning.
+  int avoidance_threshold = 3;
+  SimTime avoidance_cooldown = SimTime::minutes(30);
+
+  static DisciplineConfig naive() {
+    DisciplineConfig d;
+    d.wrap = jvm::WrapMode::kBare;
+    d.io = jvm::IoDiscipline::kGeneric;
+    d.scope_routing = false;
+    return d;
+  }
+  static DisciplineConfig scoped() { return DisciplineConfig{}; }
+
+  [[nodiscard]] std::string name() const {
+    std::string out = scope_routing ? "scoped" : "naive";
+    if (startd_selftest) out += "+selftest";
+    if (schedd_avoidance) out += "+avoidance";
+    return out;
+  }
+};
+
+struct Timeouts {
+  SimTime matchmaker_interval = SimTime::sec(5);
+  SimTime advertise_interval = SimTime::sec(5);
+  SimTime ad_lifetime = SimTime::sec(15);
+  SimTime rpc_timeout = SimTime::sec(30);
+  SimTime chirp_timeout = SimTime::sec(30);
+  /// Starter -> shadow heartbeat; feeds the shadow's inactivity watchdog.
+  SimTime keepalive_interval = SimTime::minutes(5);
+};
+
+}  // namespace esg::daemons

@@ -1,0 +1,60 @@
+// Ground truth for the experiment harness.
+//
+// The whole point of the naive discipline is that information is *lost* on
+// its way to the user, so experiments cannot measure that loss from the
+// protocol alone. The GroundTruthLog is the harness's omniscient side
+// channel: the starter records what actually happened in each execution
+// attempt, bypassing the protocol entirely. No daemon ever reads it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/error.hpp"
+
+namespace esg::daemons {
+
+struct AttemptGroundTruth {
+  std::uint64_t job_id = 0;
+  std::string machine;
+  bool completed_main = false;
+  std::optional<int> system_exit;
+  /// The true terminal condition with its true scope, when abnormal.
+  std::optional<Error> condition;
+  double cpu_seconds = 0;  ///< compute burned by this attempt
+
+  /// True when the attempt ended for reasons that are not the program's
+  /// own doing. The *surfaced* scope may have been laundered to program
+  /// scope (an uncaught generic IOException, §2.3), so the judgement walks
+  /// the cause chain: if anything underneath invalidated more than the
+  /// program, the condition was incidental.
+  [[nodiscard]] bool incidental() const {
+    if (!condition.has_value()) return false;
+    const Error* e = &*condition;
+    while (e != nullptr) {
+      if (scope_rank(e->scope()) > scope_rank(ErrorScope::kProgram)) {
+        return true;
+      }
+      e = e->cause().get();
+    }
+    return false;
+  }
+};
+
+class GroundTruthLog {
+ public:
+  void record(AttemptGroundTruth truth) {
+    entries_.push_back(std::move(truth));
+  }
+  [[nodiscard]] const std::vector<AttemptGroundTruth>& entries() const {
+    return entries_;
+  }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<AttemptGroundTruth> entries_;
+};
+
+}  // namespace esg::daemons

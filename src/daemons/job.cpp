@@ -1,0 +1,233 @@
+#include "daemons/job.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esg::daemons {
+
+namespace {
+
+void put_string_list(classad::ClassAd& ad, const std::string& name,
+                     const std::vector<std::string>& items) {
+  std::vector<classad::Value> values;
+  values.reserve(items.size());
+  for (const std::string& s : items) values.push_back(classad::Value::string(s));
+  ad.insert(name, std::make_unique<classad::Literal>(
+                      classad::Value::list(std::move(values))));
+}
+
+std::vector<std::string> get_string_list(const classad::ClassAd& ad,
+                                         const std::string& name) {
+  std::vector<std::string> out;
+  const classad::Value v = ad.eval_attr(name);
+  if (!v.is_list()) return out;
+  for (const classad::Value& item : v.as_list()) {
+    if (item.is_string()) out.push_back(item.as_string());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view universe_name(Universe u) {
+  switch (u) {
+    case Universe::kJava: return "java";
+    case Universe::kStandard: return "standard";
+    case Universe::kVanilla: return "vanilla";
+  }
+  return "?";
+}
+
+std::optional<Universe> parse_universe(std::string_view name) {
+  if (name == "java") return Universe::kJava;
+  if (name == "standard") return Universe::kStandard;
+  if (name == "vanilla") return Universe::kVanilla;
+  return std::nullopt;
+}
+
+Result<classad::ClassAd> JobDescription::to_summary_ad() const {
+  classad::ClassAd ad;
+  ad.set("MyType", "Job");
+  ad.set("JobId", static_cast<std::int64_t>(id.value()));
+  ad.set("Owner", owner);
+  ad.set("Cmd", program.main_class);
+  ad.set("ImageSizeMB", image_size_mb);
+  ad.set("JobUniverse", std::string(universe_name(universe)));
+  if (Result<void> r = ad.insert_expr("Requirements", requirements); !r.ok()) {
+    return Error(ErrorKind::kBadJobDescription,
+                 "bad Requirements: " + r.error().message());
+  }
+  if (Result<void> r = ad.insert_expr("Rank", rank); !r.ok()) {
+    return Error(ErrorKind::kBadJobDescription,
+                 "bad Rank: " + r.error().message());
+  }
+  return ad;
+}
+
+Result<classad::ClassAd> JobDescription::to_full_ad() const {
+  Result<classad::ClassAd> ad = to_summary_ad();
+  if (!ad.ok()) return ad;
+  ad.value().set("ProgramImage", jvm::serialize_program(program));
+  put_string_list(ad.value(), "InputFiles", input_files);
+  put_string_list(ad.value(), "OutputFiles", output_files);
+  return ad;
+}
+
+Result<JobDescription> JobDescription::from_ad(const classad::ClassAd& ad) {
+  JobDescription out;
+  out.id = JobId{static_cast<std::uint64_t>(ad.eval_int("JobId"))};
+  out.owner = ad.eval_string("Owner", "user");
+  const std::optional<Universe> universe =
+      parse_universe(ad.eval_string("JobUniverse", "java"));
+  if (!universe.has_value()) {
+    return Error(ErrorKind::kBadJobDescription,
+                 "unknown universe '" + ad.eval_string("JobUniverse") + "'");
+  }
+  out.universe = *universe;
+  out.image_size_mb = ad.eval_int("ImageSizeMB", 16);
+  const classad::ExprTree* req = ad.lookup("Requirements");
+  out.requirements = req != nullptr ? req->str() : "true";
+  const classad::ExprTree* rank = ad.lookup("Rank");
+  out.rank = rank != nullptr ? rank->str() : "0";
+  out.input_files = get_string_list(ad, "InputFiles");
+  out.output_files = get_string_list(ad, "OutputFiles");
+  const std::string image = ad.eval_string("ProgramImage");
+  if (image.empty()) {
+    return Error(ErrorKind::kBadJobDescription, "job ad has no ProgramImage");
+  }
+  Result<jvm::JobProgram> program = jvm::deserialize_program(image);
+  if (!program.ok()) {
+    return Error(ErrorKind::kBadJobDescription,
+                 "unloadable program image: " + program.error().message());
+  }
+  out.program = std::move(program).value();
+  return out;
+}
+
+// ---- error <-> ad ----
+
+void error_to_ad(const Error& e, const std::string& prefix,
+                 classad::ClassAd& ad) {
+  ad.set(prefix + "Kind", std::string(kind_name(e.kind())));
+  ad.set(prefix + "Scope", std::string(scope_name(e.scope())));
+  ad.set(prefix + "Message", e.message());
+  for (const auto& [k, v] : e.labels()) {
+    ad.set(prefix + "Label_" + k, v);
+  }
+}
+
+std::optional<Error> error_from_ad(const classad::ClassAd& ad,
+                                   const std::string& prefix) {
+  const std::string kind_text = ad.eval_string(prefix + "Kind");
+  if (kind_text.empty()) return std::nullopt;
+  const std::optional<ErrorKind> kind = parse_kind(kind_text);
+  const std::optional<ErrorScope> scope =
+      parse_scope(ad.eval_string(prefix + "Scope"));
+  if (!kind.has_value()) return std::nullopt;
+  Error e(*kind, scope.value_or(default_scope(*kind)),
+          ad.eval_string(prefix + "Message"));
+  const std::string label_prefix = prefix + "Label_";
+  for (const std::string& name : ad.names()) {
+    if (name.size() > label_prefix.size() &&
+        iequals(name.substr(0, label_prefix.size()), label_prefix)) {
+      e = std::move(e).with_label(name.substr(label_prefix.size()),
+                                  ad.eval_string(name));
+    }
+  }
+  return e;
+}
+
+// ---- ExecutionSummary ----
+
+ExecutionSummary ExecutionSummary::program(jvm::ResultFile result,
+                                           std::string machine,
+                                           double cpu_seconds) {
+  ExecutionSummary s;
+  s.have_program_result = true;
+  s.program_result = std::move(result);
+  s.machine = std::move(machine);
+  s.cpu_seconds = cpu_seconds;
+  return s;
+}
+
+ExecutionSummary ExecutionSummary::environment(Error error,
+                                               std::string machine,
+                                               double cpu_seconds) {
+  ExecutionSummary s;
+  s.have_program_result = false;
+  s.environment_error = std::move(error);
+  s.machine = std::move(machine);
+  s.cpu_seconds = cpu_seconds;
+  return s;
+}
+
+classad::ClassAd ExecutionSummary::to_ad() const {
+  classad::ClassAd ad;
+  ad.set("MyType", "ExecutionSummary");
+  ad.set("Machine", machine);
+  ad.set("CpuSeconds", cpu_seconds);
+  ad.set("HaveProgramResult", have_program_result);
+  if (have_program_result) {
+    ad.set("ResultFile", program_result.encode());
+  } else if (environment_error.has_value()) {
+    error_to_ad(*environment_error, "Error", ad);
+  }
+  return ad;
+}
+
+Result<ExecutionSummary> ExecutionSummary::from_ad(const classad::ClassAd& ad) {
+  ExecutionSummary out;
+  out.machine = ad.eval_string("Machine");
+  out.cpu_seconds = ad.eval_real("CpuSeconds");
+  out.have_program_result = ad.eval_bool("HaveProgramResult");
+  if (out.have_program_result) {
+    Result<jvm::ResultFile> rf =
+        jvm::ResultFile::parse(ad.eval_string("ResultFile"));
+    if (!rf.ok()) {
+      return Error(ErrorKind::kRequestMalformed,
+                   "summary with bad result file: " + rf.error().message());
+    }
+    out.program_result = std::move(rf).value();
+  } else {
+    std::optional<Error> e = error_from_ad(ad, "Error");
+    if (!e.has_value()) {
+      return Error(ErrorKind::kRequestMalformed,
+                   "summary with neither result nor error");
+    }
+    out.environment_error = std::move(e);
+  }
+  return out;
+}
+
+std::string ExecutionSummary::str() const {
+  std::ostringstream os;
+  if (have_program_result) {
+    os << "program " << exit_by_name(program_result.exit_by);
+    if (program_result.exit_by == jvm::ResultFile::ExitBy::kException &&
+        program_result.error.has_value()) {
+      os << " (" << program_result.error->str() << ")";
+    } else {
+      os << " code=" << program_result.exit_code;
+    }
+  } else if (environment_error.has_value()) {
+    os << "environment error: " << environment_error->str();
+  } else {
+    os << "(empty summary)";
+  }
+  os << " on " << machine;
+  return os.str();
+}
+
+std::string_view job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kIdle: return "idle";
+    case JobState::kClaiming: return "claiming";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kUnexecutable: return "unexecutable";
+  }
+  return "?";
+}
+
+}  // namespace esg::daemons

@@ -1,0 +1,123 @@
+// Job descriptions, attempt records, and execution summaries.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/classad.hpp"
+#include "common/ids.hpp"
+#include "common/simtime.hpp"
+#include "core/error.hpp"
+#include "core/result.hpp"
+#include "jvm/program.hpp"
+#include "jvm/resultfile.hpp"
+
+namespace esg::daemons {
+
+/// Which execution environment the job wants (§2.1: Condor provides
+/// several universes, each a package of environmental features).
+enum class Universe {
+  kJava,      ///< JVM + wrapper + Chirp proxy I/O (the paper's subject)
+  kStandard,  ///< re-linked binary: remote I/O + transparent checkpointing,
+              ///< but only an exit code for results (no wrapper exists)
+  kVanilla,   ///< plain binary: no wrapper, no proxy, exit codes only
+};
+
+std::string_view universe_name(Universe u);
+std::optional<Universe> parse_universe(std::string_view name);
+
+/// What the user submits.
+struct JobDescription {
+  JobId id;
+  std::string owner = "user";
+  Universe universe = Universe::kJava;
+  jvm::JobProgram program;
+  /// ClassAd expressions, evaluated against candidate machine ads.
+  std::string requirements = "TARGET.HasJava =?= true";
+  std::string rank = "0";
+  std::int64_t image_size_mb = 16;
+  std::vector<std::string> input_files;   ///< absolute submit-host paths
+  std::vector<std::string> output_files;  ///< scratch-relative names
+
+  /// The summary ad used for matchmaking (no program image).
+  [[nodiscard]] Result<classad::ClassAd> to_summary_ad() const;
+  /// The full ad shipped at activation (includes the program image).
+  [[nodiscard]] Result<classad::ClassAd> to_full_ad() const;
+  static Result<JobDescription> from_ad(const classad::ClassAd& ad);
+};
+
+/// What the starter reports to the shadow, and the shadow to the schedd.
+/// Exactly one of the two arms is populated:
+///  - a program result (completion, System.exit, or a program-scope
+///    exception) — the environment did its job, this is what main did;
+///  - an environment error with its scope — the environment could not
+///    provide what the job needed.
+struct ExecutionSummary {
+  bool have_program_result = false;
+  jvm::ResultFile program_result;
+  std::optional<Error> environment_error;
+  std::string machine;
+  double cpu_seconds = 0;
+
+  [[nodiscard]] classad::ClassAd to_ad() const;
+  static Result<ExecutionSummary> from_ad(const classad::ClassAd& ad);
+
+  static ExecutionSummary program(jvm::ResultFile result, std::string machine,
+                                  double cpu_seconds);
+  static ExecutionSummary environment(Error error, std::string machine,
+                                      double cpu_seconds = 0);
+
+  [[nodiscard]] std::string str() const;
+};
+
+enum class JobState {
+  kIdle,
+  kClaiming,
+  kRunning,
+  kCompleted,      ///< program result delivered to the user
+  kUnexecutable,   ///< job-scope error: returned to the user unrun
+};
+
+std::string_view job_state_name(JobState s);
+
+struct AttemptRecord {
+  std::string machine;
+  SimTime started{};
+  SimTime ended{};
+  ExecutionSummary summary;
+};
+
+/// The schedd's persistent record of one job.
+struct JobRecord {
+  JobDescription description;
+  JobState state = JobState::kIdle;
+  std::vector<AttemptRecord> attempts;
+  /// Final result delivered to the user (valid once state is kCompleted
+  /// or kUnexecutable).
+  ExecutionSummary final_summary;
+  SimTime submitted{};
+  SimTime finished{};
+  /// Retry backoff: the job is not advertised for matching before this
+  /// instant (§4: a local-resource error means "the job cannot run right
+  /// now" — waiting, not machine-hopping, is the remedy).
+  SimTime not_before{};
+  /// Start of the current streak of environment failures (zero when the
+  /// last attempt produced a program result); input to scope escalation.
+  SimTime env_streak_start{};
+};
+
+/// Where a job's checkpoint lives on the submit machine's spool.
+inline std::string checkpoint_path(std::uint64_t job_id) {
+  return "/spool/ckpt_job_" + std::to_string(job_id);
+}
+
+/// Encode an Error into ad attributes (prefix + Kind/Scope/Message) and
+/// back; the round trip preserves kind, scope, message, and ground-truth
+/// labels.
+void error_to_ad(const Error& e, const std::string& prefix,
+                 classad::ClassAd& ad);
+std::optional<Error> error_from_ad(const classad::ClassAd& ad,
+                                   const std::string& prefix);
+
+}  // namespace esg::daemons

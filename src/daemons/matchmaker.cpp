@@ -1,0 +1,194 @@
+#include "daemons/matchmaker.hpp"
+
+#include <algorithm>
+
+namespace esg::daemons {
+
+Matchmaker::Matchmaker(sim::Engine& engine, net::NetworkFabric& fabric,
+                       std::string host, Ports ports, Timeouts timeouts)
+    : Actor(engine, std::move(host)),
+      fabric_(fabric),
+      ports_(ports),
+      timeouts_(timeouts) {}
+
+Matchmaker::~Matchmaker() { shutdown(); }
+
+void Matchmaker::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  fabric_.unlisten(address());
+  startd_ads_.clear();
+  submitter_ads_.clear();
+}
+
+void Matchmaker::boot() {
+  running_ = true;
+  Result<void> listening = fabric_.listen(
+      address(), [this](net::Endpoint ep) { on_accept(std::move(ep)); });
+  if (!listening.ok()) {
+    log().error("cannot listen: ", listening.error());
+    return;
+  }
+  log().info("matchmaker up at ", address().str());
+  // First cycle after one interval, then repeating.
+  after(timeouts_.matchmaker_interval, [this] { negotiate(); });
+}
+
+void Matchmaker::on_accept(net::Endpoint endpoint) {
+  auto channel =
+      std::make_shared<RpcChannel>(engine(), std::move(endpoint), SimTime::zero());
+  channel->set_server(
+      [](const std::string&, const classad::ClassAd&,
+         std::function<void(classad::ClassAd)> reply) {
+        classad::ClassAd nack;
+        nack.set("Ok", false);
+        reply(std::move(nack));
+      },
+      [this](const std::string& command, const classad::ClassAd& body) {
+        on_update(command, body);
+      });
+  channels_.push_back(std::move(channel));
+  // Prune dead inbound channels occasionally.
+  if (channels_.size() % 64 == 0) {
+    channels_.erase(
+        std::remove_if(channels_.begin(), channels_.end(),
+                       [](const std::shared_ptr<RpcChannel>& c) {
+                         return !c->is_open();
+                       }),
+        channels_.end());
+  }
+}
+
+void Matchmaker::on_update(const std::string& command,
+                           const classad::ClassAd& body) {
+  // Every ad comes from an autonomous peer: validate, never assert.
+  if (command == kCmdUpdateStartdAd) {
+    const std::string name = body.eval_string("Name");
+    if (name.empty()) {
+      log().warn("startd ad without Name ignored");
+      return;
+    }
+    StartdEntry& entry = startd_ads_[name];
+    entry.ad = body;
+    entry.updated = now();
+    entry.matched_this_cycle = false;
+    return;
+  }
+  if (command == kCmdUpdateSubmitterAd) {
+    const std::string name = body.eval_string("Name");
+    const std::string host = body.eval_string("ScheddHost");
+    const int port = static_cast<int>(body.eval_int("ScheddPort"));
+    if (name.empty() || host.empty() || port == 0) {
+      log().warn("submitter ad missing Name/ScheddHost/ScheddPort; ignored");
+      return;
+    }
+    SubmitterEntry& entry = submitter_ads_[name];
+    entry.ad = body;
+    entry.schedd_addr = {host, port};
+    entry.updated = now();
+    return;
+  }
+  log().warn("unknown update command ", command);
+}
+
+void Matchmaker::expire_ads() {
+  const SimTime horizon = timeouts_.ad_lifetime;
+  for (auto it = startd_ads_.begin(); it != startd_ads_.end();) {
+    if (now() - it->second.updated > horizon) {
+      log().info("expiring startd ad ", it->first);
+      it = startd_ads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = submitter_ads_.begin(); it != submitter_ads_.end();) {
+    if (now() - it->second.updated > horizon) {
+      it = submitter_ads_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Matchmaker::negotiate() {
+  if (!running_) return;
+  ++cycle_;
+  expire_ads();
+
+  for (auto& [name, entry] : startd_ads_) entry.matched_this_cycle = false;
+
+  // For each submitter, walk its advertised idle jobs and offer each the
+  // best-ranked compatible unclaimed machine.
+  for (auto& [submitter_name, submitter] : submitter_ads_) {
+    const classad::Value jobs = submitter.ad.eval_attr("Jobs");
+    if (!jobs.is_list()) continue;
+    for (const classad::Value& job_value : jobs.as_list()) {
+      if (!job_value.is_ad()) continue;
+      const classad::ClassAd& job_ad = *job_value.as_ad();
+
+      // Rank candidate machines: job rank first, then machine rank.
+      struct Candidate {
+        std::string name;
+        double job_rank;
+        double machine_rank;
+      };
+      std::vector<Candidate> candidates;
+      for (auto& [machine_name, machine] : startd_ads_) {
+        if (machine.matched_this_cycle) continue;
+        if (machine.ad.eval_string("State", "Unclaimed") != "Unclaimed") {
+          continue;
+        }
+        const classad::MatchResult match =
+            classad::symmetric_match(job_ad, machine.ad, now());
+        if (!match.matched) continue;
+        candidates.push_back(
+            Candidate{machine_name, match.left_rank, match.right_rank});
+      }
+      if (candidates.empty()) continue;
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [](const Candidate& a, const Candidate& b) {
+                         if (a.job_rank != b.job_rank)
+                           return a.job_rank > b.job_rank;
+                         return a.machine_rank > b.machine_rank;
+                       });
+      // Rotate among equally-ranked candidates so one machine cannot
+      // monopolize a job across cycles (otherwise a fast-failing machine
+      // re-attracts the same job forever — the §5 black hole in its
+      // purest, livelocked form).
+      std::size_t ties = 1;
+      while (ties < candidates.size() &&
+             candidates[ties].job_rank == candidates[0].job_rank &&
+             candidates[ties].machine_rank == candidates[0].machine_rank) {
+        ++ties;
+      }
+      const std::uint64_t job_id =
+          static_cast<std::uint64_t>(job_ad.eval_int("JobId"));
+      const Candidate& best = candidates[(cycle_ + job_id) % ties];
+      StartdEntry& machine = startd_ads_.at(best.name);
+      machine.matched_this_cycle = true;
+      ++matches_made_;
+
+      classad::ClassAd notice;
+      notice.set("JobId", job_ad.eval_int("JobId"));
+      notice.set("StartdName", best.name);
+      notice.set("StartdHost", machine.ad.eval_string("Machine"));
+      notice.set("StartdPort", machine.ad.eval_int("StartdPort"));
+      notice.set("MatchId", static_cast<std::int64_t>(matches_made_));
+      log().debug("match job ", job_ad.eval_int("JobId"), " <-> ", best.name);
+
+      // Notify the schedd over a short-lived connection. A failure here is
+      // benign: the match simply evaporates and a later cycle retries.
+      const net::Address schedd_addr = submitter.schedd_addr;
+      rpc_connect(engine(), fabric_, name(), schedd_addr, timeouts_.rpc_timeout,
+                  [notice](Result<std::shared_ptr<RpcChannel>> channel) {
+                    if (!channel.ok()) return;
+                    channel.value()->notify(kCmdNotifyMatch, notice);
+                    channel.value()->close();
+                  });
+    }
+  }
+
+  after(timeouts_.matchmaker_interval, [this] { negotiate(); });
+}
+
+}  // namespace esg::daemons

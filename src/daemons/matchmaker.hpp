@@ -1,0 +1,74 @@
+// The matchmaker: collector + negotiator.
+//
+// Collects ClassAds from every participant and periodically notifies
+// schedds and startds of compatible partners. Matched parties are then
+// individually responsible for claiming one another and verifying that
+// their requirements are met (§2.1) — the matchmaker's word is advisory,
+// never authoritative.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classad/match.hpp"
+#include "daemons/config.hpp"
+#include "daemons/rpc.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+class Matchmaker : public sim::Actor {
+ public:
+  Matchmaker(sim::Engine& engine, net::NetworkFabric& fabric,
+             std::string host, Ports ports, Timeouts timeouts);
+  ~Matchmaker() override;
+
+  void boot();
+
+  /// Stop negotiating and listening. A replacement Matchmaker on the same
+  /// address can be booted afterwards; participants keep advertising into
+  /// the void and recover as soon as someone answers again.
+  void shutdown();
+
+  [[nodiscard]] net::Address address() const {
+    return {name(), ports_.matchmaker};
+  }
+
+  [[nodiscard]] std::uint64_t matches_made() const { return matches_made_; }
+  [[nodiscard]] std::size_t known_startds() const { return startd_ads_.size(); }
+  [[nodiscard]] std::size_t known_submitters() const {
+    return submitter_ads_.size();
+  }
+
+ private:
+  struct StartdEntry {
+    classad::ClassAd ad;
+    SimTime updated{};
+    bool matched_this_cycle = false;
+  };
+  struct SubmitterEntry {
+    classad::ClassAd ad;
+    net::Address schedd_addr;
+    SimTime updated{};
+  };
+
+  void on_accept(net::Endpoint endpoint);
+  void on_update(const std::string& command, const classad::ClassAd& body);
+  void negotiate();
+  void expire_ads();
+
+  net::NetworkFabric& fabric_;
+  Ports ports_;
+  Timeouts timeouts_;
+  std::map<std::string, StartdEntry> startd_ads_;      // by machine name
+  std::map<std::string, SubmitterEntry> submitter_ads_;  // by schedd name
+  std::vector<std::shared_ptr<RpcChannel>> channels_;  // inbound update conns
+  std::uint64_t matches_made_ = 0;
+  std::uint64_t cycle_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace esg::daemons

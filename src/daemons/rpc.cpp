@@ -1,0 +1,164 @@
+#include "daemons/rpc.hpp"
+
+namespace esg::daemons {
+
+namespace {
+constexpr const char* kAttrRpcId = "RpcId";
+constexpr const char* kAttrRpcKind = "RpcKind";  // "req" | "rep" | "note"
+constexpr const char* kAttrRpcCmd = "RpcCmd";
+}  // namespace
+
+RpcChannel::RpcChannel(sim::Engine& engine, net::Endpoint endpoint,
+                       SimTime request_timeout)
+    : engine_(engine), endpoint_(std::move(endpoint)), timeout_(request_timeout) {
+  std::shared_ptr<bool> alive = alive_;
+  endpoint_.set_on_message([this, alive](const std::string& wire) {
+    if (*alive) on_message(wire);
+  });
+  endpoint_.set_on_close([this, alive](const std::optional<Error>& error) {
+    if (*alive) on_close(error);
+  });
+}
+
+RpcChannel::~RpcChannel() {
+  *alive_ = false;
+  for (auto& [id, entry] : pending_) entry.second.cancel();
+}
+
+void RpcChannel::request(const std::string& command, classad::ClassAd body,
+                         ReplyCb cb) {
+  if (!endpoint_.is_open()) {
+    cb(Error(ErrorKind::kConnectionLost, "rpc channel closed"));
+    return;
+  }
+  const std::uint64_t id = next_id_++;
+  body.set(kAttrRpcId, static_cast<std::int64_t>(id));
+  body.set(kAttrRpcKind, "req");
+  body.set(kAttrRpcCmd, command);
+  WireMessage msg{command, std::move(body)};
+  Result<void> sent = endpoint_.send(msg.encode());
+  if (!sent.ok()) {
+    cb(std::move(sent).error());
+    return;
+  }
+  sim::TimerHandle timer;
+  if (timeout_ > SimTime::zero()) {
+    std::shared_ptr<bool> alive = alive_;
+    timer = engine_.schedule(timeout_, [this, alive, command] {
+      if (!*alive) return;
+      // A silent peer means the RPC mechanism itself is invalid: escape by
+      // breaking the connection (process scope).
+      endpoint_.abort(Error(ErrorKind::kConnectionTimedOut,
+                            "rpc '" + command + "' timed out")
+                          .widen_scope(ErrorScope::kProcess));
+    });
+  }
+  pending_[id] = {std::move(cb), timer};
+}
+
+void RpcChannel::notify(const std::string& command, classad::ClassAd body) {
+  if (!endpoint_.is_open()) return;
+  body.set(kAttrRpcKind, "note");
+  body.set(kAttrRpcCmd, command);
+  WireMessage msg{command, std::move(body)};
+  (void)endpoint_.send(msg.encode());
+}
+
+void RpcChannel::set_server(ServeFn serve, NotifyFn notify) {
+  serve_ = std::move(serve);
+  notify_ = std::move(notify);
+}
+
+void RpcChannel::on_message(const std::string& wire) {
+  Result<WireMessage> parsed = WireMessage::parse(wire);
+  if (!parsed.ok()) {
+    // Garbage on an established channel: protocol is broken; escape.
+    endpoint_.abort(Error(ErrorKind::kProtocolError,
+                          "unparsable rpc message: " +
+                              parsed.error().message())
+                        .widen_scope(ErrorScope::kProcess));
+    return;
+  }
+  WireMessage& msg = parsed.value();
+  const std::string kind = msg.body.eval_string(kAttrRpcKind);
+  const std::uint64_t id =
+      static_cast<std::uint64_t>(msg.body.eval_int(kAttrRpcId));
+
+  if (kind == "rep") {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // late reply after timeout: ignore
+    auto [cb, timer] = std::move(it->second);
+    pending_.erase(it);
+    timer.cancel();
+    cb(std::move(msg.body));
+    return;
+  }
+  if (kind == "note") {
+    if (notify_) notify_(msg.body.eval_string(kAttrRpcCmd), msg.body);
+    return;
+  }
+  if (kind == "req") {
+    if (!serve_) {
+      endpoint_.abort(Error(ErrorKind::kProtocolError,
+                            "request received on client-only channel"));
+      return;
+    }
+    const std::string command = msg.body.eval_string(kAttrRpcCmd);
+    std::shared_ptr<bool> alive = alive_;
+    serve_(command, msg.body, [this, alive, id](classad::ClassAd reply) {
+      if (!*alive || !endpoint_.is_open()) return;
+      reply.set(kAttrRpcId, static_cast<std::int64_t>(id));
+      reply.set(kAttrRpcKind, "rep");
+      WireMessage out{kCmdReply, std::move(reply)};
+      (void)endpoint_.send(out.encode());
+    });
+    return;
+  }
+  endpoint_.abort(
+      Error(ErrorKind::kProtocolError, "rpc message with bad kind"));
+}
+
+void RpcChannel::on_close(const std::optional<Error>& error) {
+  const Error e = error.has_value()
+                      ? *error
+                      : Error(ErrorKind::kConnectionLost,
+                              "rpc channel closed by peer");
+  fail_all(e);
+  if (on_broken_ && !broken_reported_) {
+    broken_reported_ = true;
+    on_broken_(e);
+  }
+}
+
+void RpcChannel::fail_all(const Error& error) {
+  auto pending = std::move(pending_);
+  pending_.clear();
+  for (auto& [id, entry] : pending) {
+    entry.second.cancel();
+    entry.first(Error(error));
+  }
+}
+
+void RpcChannel::close() {
+  endpoint_.close();
+}
+
+void RpcChannel::abort(Error error) { endpoint_.abort(std::move(error)); }
+
+void rpc_connect(sim::Engine& engine, net::NetworkFabric& fabric,
+                 const std::string& from_host, const net::Address& to,
+                 SimTime request_timeout,
+                 std::function<void(Result<std::shared_ptr<RpcChannel>>)> cb) {
+  fabric.connect(from_host, to,
+                 [&engine, request_timeout,
+                  cb = std::move(cb)](Result<net::Endpoint> ep) {
+                   if (!ep.ok()) {
+                     cb(std::move(ep).error());
+                     return;
+                   }
+                   cb(std::make_shared<RpcChannel>(
+                       engine, std::move(ep).value(), request_timeout));
+                 });
+}
+
+}  // namespace esg::daemons

@@ -1,0 +1,83 @@
+// RpcChannel: request/reply and one-way notification over one Endpoint.
+//
+// The shadow <-> starter connection multiplexes job details, file
+// transfer, remote I/O, and the final summary, so messages carry an id and
+// replies may arrive in any order. A failure of the channel itself is a
+// process-scope condition ("a failure in RPC has process scope", §3.3):
+// every outstanding request fails with the connection's escaping error and
+// the owner's on_broken handler fires.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/simtime.hpp"
+#include "daemons/wire.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+class RpcChannel {
+ public:
+  using ReplyCb = std::function<void(Result<classad::ClassAd>)>;
+  using ServeFn =
+      std::function<void(const std::string& command, const classad::ClassAd&,
+                         std::function<void(classad::ClassAd)> reply)>;
+  using NotifyFn =
+      std::function<void(const std::string& command, const classad::ClassAd&)>;
+  using BrokenFn = std::function<void(const Error&)>;
+
+  RpcChannel(sim::Engine& engine, net::Endpoint endpoint,
+             SimTime request_timeout = SimTime::sec(30));
+  ~RpcChannel();
+
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  /// Issue a request; `cb` fires once with the reply body or an error.
+  /// A timeout aborts the connection (the RPC mechanism is broken).
+  void request(const std::string& command, classad::ClassAd body, ReplyCb cb);
+
+  /// Fire-and-forget message (no reply expected).
+  void notify(const std::string& command, classad::ClassAd body);
+
+  /// Install the server side: `serve` handles incoming requests (must call
+  /// reply exactly once), `notify` handles one-way messages.
+  void set_server(ServeFn serve, NotifyFn notify);
+
+  /// Called when the channel dies (escaping error or peer close).
+  void set_on_broken(BrokenFn fn) { on_broken_ = std::move(fn); }
+
+  [[nodiscard]] bool is_open() const { return endpoint_.is_open(); }
+
+  void close();                 ///< graceful
+  void abort(Error error);      ///< escaping
+
+ private:
+  void on_message(const std::string& wire);
+  void on_close(const std::optional<Error>& error);
+  void fail_all(const Error& error);
+
+  sim::Engine& engine_;
+  net::Endpoint endpoint_;
+  SimTime timeout_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::pair<ReplyCb, sim::TimerHandle>> pending_;
+  ServeFn serve_;
+  NotifyFn notify_;
+  BrokenFn on_broken_;
+  bool broken_reported_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Open a connection and wrap it in an RpcChannel. `cb` receives the ready
+/// channel or the connection error.
+void rpc_connect(sim::Engine& engine, net::NetworkFabric& fabric,
+                 const std::string& from_host, const net::Address& to,
+                 SimTime request_timeout,
+                 std::function<void(Result<std::shared_ptr<RpcChannel>>)> cb);
+
+}  // namespace esg::daemons

@@ -1,0 +1,452 @@
+#include "daemons/schedd.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace esg::daemons {
+
+Schedd::Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
+               fs::SimFileSystem& submit_fs, std::string host,
+               DisciplineConfig discipline, net::Address matchmaker,
+               Ports ports, Timeouts timeouts)
+    : Actor(engine, std::move(host)),
+      fabric_(fabric),
+      submit_fs_(submit_fs),
+      discipline_(discipline),
+      matchmaker_(std::move(matchmaker)),
+      ports_(ports),
+      timeouts_(timeouts) {
+  // The spool is the schedd's identity on disk; it must exist before the
+  // first submit, which may well precede boot().
+  (void)submit_fs_.mkdirs("/spool");
+}
+
+Schedd::~Schedd() { shutdown(); }
+
+void Schedd::boot() {
+  running_ = true;
+  Result<void> listening = fabric_.listen(
+      address(), [this](net::Endpoint ep) { on_accept(std::move(ep)); });
+  if (!listening.ok()) {
+    log().error("cannot listen: ", listening.error());
+    return;
+  }
+  advertise_loop();
+}
+
+void Schedd::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  active_.clear();
+  fabric_.unlisten(address());
+}
+
+JobId Schedd::submit(JobDescription description) {
+  const JobId id = job_ids_.next();
+  description.id = id;
+  JobRecord record;
+  record.description = std::move(description);
+  record.state = JobState::kIdle;
+  record.submitted = now();
+  journal_submit(record);
+  jobs_[id.value()] = std::move(record);
+  if (running_) advertise_now();
+  return id;
+}
+
+const JobRecord* Schedd::job(JobId id) const {
+  auto it = jobs_.find(id.value());
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+bool Schedd::all_done() const {
+  return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
+    return kv.second.state == JobState::kCompleted ||
+           kv.second.state == JobState::kUnexecutable;
+  });
+}
+
+std::size_t Schedd::idle_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const auto& kv) {
+        return kv.second.state == JobState::kIdle;
+      }));
+}
+
+void Schedd::journal(const std::string& event) {
+  // The queue is persistent storage (§2.1): every transition is journaled
+  // to the submit machine's spool. An offline spool is survivable — the
+  // in-memory state continues; real Condor would block instead.
+  Result<fs::FileHandle> h =
+      submit_fs_.open("/spool/journal.log", fs::OpenMode::kAppend);
+  if (!h.ok()) return;
+  (void)h.value().write("LOG [" + now().str() + "] " + event + "\n");
+}
+
+void Schedd::journal_submit(const JobRecord& record) {
+  Result<classad::ClassAd> ad = record.description.to_full_ad();
+  if (!ad.ok()) return;  // an undescribable job cannot be made durable
+  Result<fs::FileHandle> h =
+      submit_fs_.open("/spool/journal.log", fs::OpenMode::kAppend);
+  if (!h.ok()) return;
+  (void)h.value().write(
+      "SUBMIT " + std::to_string(record.description.id.value()) + " " +
+      ad.value().str() + "\n");
+}
+
+void Schedd::journal_final(std::uint64_t job_id, JobState state) {
+  Result<fs::FileHandle> h =
+      submit_fs_.open("/spool/journal.log", fs::OpenMode::kAppend);
+  if (!h.ok()) return;
+  (void)h.value().write("FINAL " + std::to_string(job_id) + " " +
+                        std::string(job_state_name(state)) + "\n");
+}
+
+std::size_t Schedd::recover_from_spool() {
+  Result<std::string> text = submit_fs_.read_file("/spool/journal.log");
+  if (!text.ok()) return 0;  // no journal: nothing to recover
+  std::map<std::uint64_t, JobDescription> pending;
+  std::uint64_t max_id = 0;
+  for (const std::string& line : split(text.value(), '\n')) {
+    if (starts_with(line, "SUBMIT ")) {
+      const std::vector<std::string> f = split_n(line, ' ', 3);
+      if (f.size() != 3) continue;  // torn write: skip defensively
+      const std::uint64_t id = std::strtoull(f[1].c_str(), nullptr, 10);
+      Result<classad::ClassAd> ad = classad::parse_classad(f[2]);
+      if (!ad.ok()) continue;
+      Result<JobDescription> job = JobDescription::from_ad(ad.value());
+      if (!job.ok()) continue;
+      job.value().id = JobId{id};
+      max_id = std::max(max_id, id);
+      pending[id] = std::move(job).value();
+    } else if (starts_with(line, "FINAL ")) {
+      const std::vector<std::string> f = split(line, ' ');
+      if (f.size() < 2) continue;
+      pending.erase(std::strtoull(f[1].c_str(), nullptr, 10));
+    }
+  }
+  for (auto& [id, description] : pending) {
+    JobRecord record;
+    record.description = std::move(description);
+    record.state = JobState::kIdle;
+    record.submitted = now();
+    jobs_[id] = std::move(record);
+  }
+  job_ids_ = IdGenerator<JobTag>(max_id);
+  journal("recovered " + std::to_string(pending.size()) + " jobs from spool");
+  return pending.size();
+}
+
+void Schedd::advertise_now() {
+  if (!running_) return;
+  classad::ClassAd ad;
+  ad.set("MyType", "Submitter");
+  ad.set("Name", "schedd@" + name());
+  ad.set("ScheddHost", name());
+  ad.set("ScheddPort", ports_.schedd);
+  // Attach the idle jobs' summary ads so the matchmaker can negotiate.
+  std::vector<classad::Value> job_ads;
+  constexpr std::size_t kMaxAdvertised = 64;
+  for (const auto& [id, record] : jobs_) {
+    if (record.state != JobState::kIdle) continue;
+    if (now() < record.not_before) continue;  // backing off
+    if (job_ads.size() >= kMaxAdvertised) break;
+    Result<classad::ClassAd> summary = record.description.to_summary_ad();
+    if (!summary.ok()) continue;  // unparsable job: stays idle, never runs
+    job_ads.push_back(classad::Value::ad(
+        std::make_shared<classad::ClassAd>(std::move(summary).value())));
+  }
+  ad.set("IdleJobs", static_cast<std::int64_t>(job_ads.size()));
+  ad.insert("Jobs", std::make_unique<classad::Literal>(
+                        classad::Value::list(std::move(job_ads))));
+
+  rpc_connect(engine(), fabric_, name(), matchmaker_, timeouts_.rpc_timeout,
+              [ad = std::move(ad)](Result<std::shared_ptr<RpcChannel>> ch) {
+                if (!ch.ok()) return;
+                ch.value()->notify(kCmdUpdateSubmitterAd, ad);
+                ch.value()->close();
+              });
+}
+
+void Schedd::advertise_loop() {
+  advertise_now();
+  after(timeouts_.advertise_interval, [this] { advertise_loop(); });
+}
+
+void Schedd::on_accept(net::Endpoint endpoint) {
+  auto channel = std::make_shared<RpcChannel>(engine(), std::move(endpoint),
+                                              SimTime::zero());
+  channel->set_server(
+      [](const std::string&, const classad::ClassAd&,
+         std::function<void(classad::ClassAd)> reply) {
+        classad::ClassAd nack;
+        nack.set("Ok", false);
+        reply(std::move(nack));
+      },
+      [this](const std::string& command, const classad::ClassAd& body) {
+        if (command == kCmdNotifyMatch) on_match(body);
+      });
+  inbound_.push_back(std::move(channel));
+  if (inbound_.size() % 64 == 0) {
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const std::shared_ptr<RpcChannel>& c) {
+                                    return !c->is_open();
+                                  }),
+                   inbound_.end());
+  }
+}
+
+bool Schedd::machine_avoided(const std::string& machine) const {
+  auto it = avoid_until_.find(machine);
+  return it != avoid_until_.end() && now() < it->second;
+}
+
+void Schedd::on_match(const classad::ClassAd& body) {
+  const std::uint64_t job_id =
+      static_cast<std::uint64_t>(body.eval_int("JobId"));
+  const std::string startd_name = body.eval_string("StartdName");
+  const std::string startd_host = body.eval_string("StartdHost");
+  const int startd_port = static_cast<int>(body.eval_int("StartdPort"));
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kIdle) return;
+  if (startd_host.empty() || startd_port == 0) return;
+  if (discipline_.schedd_avoidance && machine_avoided(startd_name)) {
+    log().debug("declining match to avoided machine ", startd_name);
+    return;
+  }
+  it->second.state = JobState::kClaiming;
+  try_claim(job_id, {startd_host, startd_port}, startd_name);
+}
+
+void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
+                       const std::string& startd_name) {
+  auto record_it = jobs_.find(job_id);
+  if (record_it == jobs_.end()) return;
+  Result<classad::ClassAd> summary =
+      record_it->second.description.to_summary_ad();
+  if (!summary.ok()) {
+    // The job cannot even be described: job scope, unexecutable.
+    finalize(record_it->second, JobState::kUnexecutable,
+             ExecutionSummary::environment(
+                 Error(ErrorKind::kBadJobDescription, ErrorScope::kJob,
+                       summary.error().message()),
+                 startd_name));
+    return;
+  }
+  classad::ClassAd body;
+  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
+                         std::make_shared<classad::ClassAd>(
+                             std::move(summary).value()))));
+
+  rpc_connect(
+      engine(), fabric_, name(), startd_addr, timeouts_.rpc_timeout,
+      [this, job_id, startd_addr, startd_name,
+       body = std::move(body)](Result<std::shared_ptr<RpcChannel>> ch) mutable {
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end() || it->second.state != JobState::kClaiming) {
+          return;
+        }
+        if (!ch.ok()) {
+          // Claiming is cheap to retry: back to idle, next cycle will
+          // offer another machine. (Matchmaking-level failures were
+          // always retried, even pre-redesign.)
+          it->second.state = JobState::kIdle;
+          advertise_now();
+          return;
+        }
+        std::shared_ptr<RpcChannel> channel = std::move(ch).value();
+        RpcChannel* raw = channel.get();
+        raw->request(
+            kCmdRequestClaim, std::move(body),
+            [this, job_id, startd_addr, startd_name,
+             channel](Result<classad::ClassAd> r) {
+              channel->close();
+              auto it = jobs_.find(job_id);
+              if (it == jobs_.end() ||
+                  it->second.state != JobState::kClaiming) {
+                return;
+              }
+              if (!r.ok() || !r.value().eval_bool("Granted")) {
+                ++claims_denied_;
+                it->second.state = JobState::kIdle;
+                advertise_now();  // the job is matchable again, right now
+                return;
+              }
+              const auto claim = ClaimId{static_cast<std::uint64_t>(
+                  r.value().eval_int("ClaimId"))};
+              start_shadow(job_id, startd_addr, startd_name, claim);
+            });
+      });
+}
+
+void Schedd::start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
+                          const std::string& startd_name, ClaimId claim) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  it->second.state = JobState::kRunning;
+  ++total_attempts_;
+  journal("start job " + std::to_string(job_id) + " on " + startd_name +
+          " attempt " + std::to_string(it->second.attempts.size() + 1));
+
+  AttemptRecord attempt;
+  attempt.machine = startd_name;
+  attempt.started = now();
+  it->second.attempts.push_back(std::move(attempt));
+
+  // The schedd starts a shadow, which provides the details of the job to
+  // be run (§2.1).
+  auto shadow = std::make_unique<Shadow>(
+      engine(), fabric_, name(), submit_fs_, discipline_, timeouts_,
+      it->second.description, startd_addr, startd_name, claim,
+      [this, job_id, startd_name](ExecutionSummary summary) {
+        // Defer: the shadow is deleted in on_attempt_done, and we are
+        // inside its callback.
+        engine().schedule(SimTime::zero(),
+                          [this, job_id, startd_name,
+                           summary = std::move(summary)] {
+                            on_attempt_done(job_id, startd_name, summary);
+                          });
+      });
+  shadow->run();
+  active_[job_id] = Running{std::move(shadow)};
+}
+
+void Schedd::note_machine_failure(const std::string& machine,
+                                  const Error& error) {
+  if (!discipline_.schedd_avoidance) return;
+  const int count = ++consecutive_failures_[machine];
+  if (count >= discipline_.avoidance_threshold) {
+    avoid_until_[machine] = now() + discipline_.avoidance_cooldown;
+    log().info("avoiding ", machine, " for ",
+               discipline_.avoidance_cooldown.str(), " after ", count,
+               " chronic failures (last: ", error.str(), ")");
+  }
+}
+
+void Schedd::note_machine_success(const std::string& machine) {
+  consecutive_failures_.erase(machine);
+  avoid_until_.erase(machine);
+}
+
+void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
+                             ExecutionSummary summary) {
+  active_.erase(job_id);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) return;
+  JobRecord& record = it->second;
+  if (!record.attempts.empty()) {
+    record.attempts.back().ended = now();
+    record.attempts.back().summary = summary;
+  }
+  journal("attempt done job " + std::to_string(job_id) + ": " +
+          summary.str());
+
+  if (!discipline_.scope_routing) {
+    // §2.3 behaviour: whatever happened is returned to the user, who must
+    // perform postmortem analysis to decide whether the job exited of its
+    // own account or because of accidental properties of the site.
+    finalize(record, JobState::kCompleted, std::move(summary));
+    return;
+  }
+
+  // The redesign: route by scope (Principle 3; Figure 3's last line of
+  // defense).
+  if (summary.have_program_result) {
+    note_machine_success(machine);
+    record.env_streak_start = SimTime::zero();
+    PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
+                                    "schedd@" + name());
+    finalize(record, JobState::kCompleted, std::move(summary));
+    return;
+  }
+
+  const Error& error = summary.environment_error.value();
+  note_machine_failure(machine, error);
+  PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
+                                  "schedd@" + name());
+
+  // §5: time is a factor in error propagation. Track how long this job's
+  // environment has been failing; persistence widens the effective scope
+  // of the condition, and a wide-enough scope ends the retry loop. An
+  // attempt that ran for a while before failing (an eviction after real
+  // progress) is churn, not a persistent fault: it restarts the streak.
+  if (!record.attempts.empty() &&
+      record.attempts.back().ended - record.attempts.back().started >=
+          discipline_.escalation_progress_reset) {
+    record.env_streak_start = now();  // churn: the streak starts afresh
+  } else if (record.env_streak_start == SimTime::zero()) {
+    record.env_streak_start =
+        record.attempts.empty() ? now() : record.attempts.back().started;
+  }
+  ErrorScope effective_scope = error.scope();
+  if (discipline_.use_escalation) {
+    static const ScopeEscalator escalator = ScopeEscalator::schedd_defaults();
+    effective_scope = escalator.scope_after(
+        error.scope(), now() - record.env_streak_start);
+    if (effective_scope != error.scope()) {
+      log().info("job ", job_id, " failure persisted ",
+                 (now() - record.env_streak_start).str(),
+                 "; scope escalated to ", scope_name(effective_scope));
+    }
+  }
+
+  switch (schedd_disposition(effective_scope)) {
+    case ScheddDisposition::kComplete:
+      finalize(record, JobState::kCompleted, std::move(summary));
+      return;
+    case ScheddDisposition::kUnexecutable: {
+      if (effective_scope != error.scope() &&
+          summary.environment_error.has_value()) {
+        summary.environment_error->widen_scope_in_place(effective_scope);
+      }
+      finalize(record, JobState::kUnexecutable, std::move(summary));
+      return;
+    }
+    case ScheddDisposition::kRetryElsewhere:
+      break;
+  }
+  if (static_cast<int>(record.attempts.size()) >= discipline_.max_attempts) {
+    log().warn("job ", job_id, " exhausted ", discipline_.max_attempts,
+               " attempts; returning last error to the user");
+    finalize(record, JobState::kUnexecutable, std::move(summary));
+    return;
+  }
+  // Log the error and attempt execution at a new site. The backoff
+  // doubles with consecutive incidental failures: a transient condition
+  // clears quickly, a persistent one (offline home filesystem) should not
+  // burn the attempt budget while it lasts — time is a factor in error
+  // propagation (§5).
+  int consecutive = 0;
+  for (auto it2 = record.attempts.rbegin(); it2 != record.attempts.rend();
+       ++it2) {
+    if (it2->summary.have_program_result) break;
+    ++consecutive;
+  }
+  SimTime backoff = discipline_.reschedule_delay;
+  for (int i = 1; i < consecutive && backoff < discipline_.max_backoff; ++i) {
+    backoff = backoff * std::int64_t{2};
+  }
+  if (backoff > discipline_.max_backoff) backoff = discipline_.max_backoff;
+  log().info("job ", job_id, " failed with ", error.str(), "; rescheduling in ",
+             backoff.str());
+  record.state = JobState::kIdle;
+  record.not_before = now() + backoff;
+  after(backoff, [this] { advertise_now(); });
+}
+
+void Schedd::finalize(JobRecord& record, JobState state,
+                      ExecutionSummary summary) {
+  record.state = state;
+  record.final_summary = std::move(summary);
+  record.finished = now();
+  journal_final(record.description.id.value(), state);
+  // A finished job's checkpoint is garbage; reclaim the spool space.
+  (void)submit_fs_.unlink(
+      checkpoint_path(record.description.id.value()));
+  journal("finalize job " + std::to_string(record.description.id.value()) +
+          " " + std::string(job_state_name(state)));
+  if (on_job_done_) on_job_done_(record);
+}
+
+}  // namespace esg::daemons

@@ -1,0 +1,123 @@
+// The schedd: keeper of the job queue and the last line of defense (§4).
+//
+// "If it detects an error of program scope, it identifies the job as
+// complete and returns it to the user. If it detects an error of job
+// scope, it identifies the job as unexecutable and also returns it to the
+// user. Anything in between causes it to log the error and then attempt to
+// execute the program at a new site."
+//
+// Under the naive discipline (scope_routing=false) every execution outcome
+// is returned to the user directly, reproducing §2.3. The §5 avoidance
+// mitigation tracks chronic per-machine failures and declines matches to
+// offending hosts for a cooldown period.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "daemons/config.hpp"
+#include "daemons/job.hpp"
+#include "daemons/rpc.hpp"
+#include "daemons/shadow.hpp"
+#include "fs/simfs.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+class Schedd : public sim::Actor {
+ public:
+  Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
+         fs::SimFileSystem& submit_fs, std::string host,
+         DisciplineConfig discipline, net::Address matchmaker, Ports ports,
+         Timeouts timeouts);
+  ~Schedd() override;
+
+  void boot();
+  void shutdown();
+
+  /// Crash recovery (§2.1: the schedd "keeps the job state in persistent
+  /// storage"): replay the spool journal and re-queue every job that was
+  /// submitted but never finalized. Call before boot() on a schedd that
+  /// replaces a crashed one over the same filesystem. Returns how many
+  /// jobs were recovered.
+  std::size_t recover_from_spool();
+
+  /// Enqueue a job; the id is assigned here. State starts Idle.
+  JobId submit(JobDescription description);
+
+  /// Give this schedd a disjoint job-id range (call before any submit).
+  /// Required when several schedds share one pool: attempt records are
+  /// keyed by job id across the whole grid.
+  void set_job_id_base(std::uint64_t base) {
+    job_ids_ = IdGenerator<JobTag>(base);
+  }
+
+  /// Fires when a job reaches a terminal state (Completed/Unexecutable).
+  void set_on_job_done(std::function<void(const JobRecord&)> fn) {
+    on_job_done_ = std::move(fn);
+  }
+
+  [[nodiscard]] net::Address address() const { return {name(), ports_.schedd}; }
+  [[nodiscard]] const JobRecord* job(JobId id) const;
+  [[nodiscard]] const std::map<std::uint64_t, JobRecord>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] std::size_t idle_count() const;
+  [[nodiscard]] std::uint64_t total_attempts() const { return total_attempts_; }
+  [[nodiscard]] std::uint64_t claims_denied() const { return claims_denied_; }
+  [[nodiscard]] const std::map<std::string, SimTime>& avoided_machines() const {
+    return avoid_until_;
+  }
+
+ private:
+  struct Running {
+    std::unique_ptr<Shadow> shadow;
+  };
+
+  void advertise_loop();
+  /// Push the submitter ad immediately; called on every job-state change
+  /// so the matchmaker never negotiates over a stale queue.
+  void advertise_now();
+  void on_accept(net::Endpoint endpoint);
+  void on_match(const classad::ClassAd& body);
+  void try_claim(std::uint64_t job_id, const net::Address& startd_addr,
+                 const std::string& startd_name);
+  void start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
+                    const std::string& startd_name, ClaimId claim);
+  void on_attempt_done(std::uint64_t job_id, const std::string& machine,
+                       ExecutionSummary summary);
+  void finalize(JobRecord& record, JobState state, ExecutionSummary summary);
+  void note_machine_failure(const std::string& machine, const Error& error);
+  void note_machine_success(const std::string& machine);
+  [[nodiscard]] bool machine_avoided(const std::string& machine) const;
+  void journal(const std::string& event);
+  void journal_submit(const JobRecord& record);
+  void journal_final(std::uint64_t job_id, JobState state);
+
+  net::NetworkFabric& fabric_;
+  fs::SimFileSystem& submit_fs_;
+  DisciplineConfig discipline_;
+  net::Address matchmaker_;
+  Ports ports_;
+  Timeouts timeouts_;
+
+  bool running_ = false;
+  IdGenerator<JobTag> job_ids_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::map<std::uint64_t, Running> active_;   // by job id
+  std::vector<std::shared_ptr<RpcChannel>> inbound_;
+  std::function<void(const JobRecord&)> on_job_done_;
+
+  // §5 avoidance state.
+  std::map<std::string, int> consecutive_failures_;
+  std::map<std::string, SimTime> avoid_until_;
+
+  std::uint64_t total_attempts_ = 0;
+  std::uint64_t claims_denied_ = 0;
+};
+
+}  // namespace esg::daemons

@@ -1,0 +1,278 @@
+#include "daemons/shadow.hpp"
+
+#include "jvm/jvm.hpp"
+
+namespace esg::daemons {
+
+Shadow::Shadow(sim::Engine& engine, net::NetworkFabric& fabric,
+               std::string submit_host, fs::SimFileSystem& submit_fs,
+               DisciplineConfig discipline, Timeouts timeouts,
+               JobDescription job, net::Address startd_addr,
+               std::string startd_name, ClaimId claim,
+               std::function<void(ExecutionSummary)> done)
+    : engine_(engine),
+      fabric_(fabric),
+      submit_host_(std::move(submit_host)),
+      submit_fs_(submit_fs),
+      log_("shadow@" + submit_host_ + "/job" + std::to_string(job.id.value())),
+      discipline_(discipline),
+      timeouts_(timeouts),
+      job_(std::move(job)),
+      startd_addr_(std::move(startd_addr)),
+      startd_name_(std::move(startd_name)),
+      claim_(claim),
+      done_(std::move(done)) {}
+
+Shadow::~Shadow() {
+  *alive_ = false;
+  watchdog_.cancel();
+}
+
+void Shadow::run() {
+  std::shared_ptr<bool> alive = alive_;
+  rpc_connect(engine_, fabric_, submit_host_, startd_addr_,
+              timeouts_.rpc_timeout,
+              [this, alive](Result<std::shared_ptr<RpcChannel>> channel) {
+                if (!*alive) return;
+                on_channel(std::move(channel));
+              });
+}
+
+void Shadow::on_channel(Result<std::shared_ptr<RpcChannel>> channel) {
+  if (!channel.ok()) {
+    // Cannot even reach the execution machine. At this instant the error
+    // has network scope; persistence would widen it (§5) — that judgement
+    // belongs to the schedd, which sees repetition.
+    fail(std::move(channel).error());
+    return;
+  }
+  channel_ = std::move(channel).value();
+  remote_io_ = std::make_unique<chirp::FsBackend>(
+      submit_fs_, "", ErrorScope::kLocalResource);
+
+  std::shared_ptr<bool> alive = alive_;
+  channel_->set_server(
+      [this, alive](const std::string& command, const classad::ClassAd& body,
+                    std::function<void(classad::ClassAd)> reply) {
+        if (*alive) serve(command, body, std::move(reply));
+      },
+      [this, alive](const std::string& command,
+                    const classad::ClassAd& body) {
+        if (*alive) on_notify(command, body);
+      });
+  channel_->set_on_broken([this, alive](const Error& error) {
+    if (!*alive) return;
+    // The claim's lifeline broke: starter crash, network fault, or our own
+    // watchdog. The escaping error arrives here — the level above the
+    // connection — as an explicit error (Principle 2 in action).
+    fail(Error(error));
+  });
+
+  // The inactivity watchdog bounds the job's *silence*, not its runtime:
+  // every message from the starter (remote I/O, checkpoints, keepalives)
+  // re-arms it. Only a wedged or unreachable execution site trips it.
+  arm_watchdog();
+
+  activate();
+}
+
+void Shadow::activate() {
+  Result<classad::ClassAd> full_ad = job_.to_full_ad();
+  if (!full_ad.ok()) {
+    fail(Error(ErrorKind::kBadJobDescription, ErrorScope::kJob,
+               "job cannot be serialized")
+             .caused_by(std::move(full_ad).error()));
+    return;
+  }
+  // Ship the latest checkpoint, if one survived a previous attempt. A
+  // checkpoint that fails to parse is ignored (fresh start) — stale spool
+  // contents must never make a job unexecutable.
+  if (Result<std::string> ckpt =
+          submit_fs_.read_file(checkpoint_path(job_.id.value()));
+      ckpt.ok()) {
+    if (jvm::Checkpoint::parse(ckpt.value()).ok()) {
+      full_ad.value().set("Checkpoint", ckpt.value());
+    }
+  }
+  classad::ClassAd body;
+  body.set("ClaimId", static_cast<std::int64_t>(claim_.value()));
+  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
+                         std::make_shared<classad::ClassAd>(
+                             std::move(full_ad).value()))));
+  std::shared_ptr<bool> alive = alive_;
+  channel_->request(kCmdActivateClaim, std::move(body),
+                    [this, alive](Result<classad::ClassAd> r) {
+                      if (!*alive) return;
+                      if (!r.ok()) {
+                        fail(std::move(r).error());
+                        return;
+                      }
+                      if (!r.value().eval_bool("Ok")) {
+                        std::optional<Error> e =
+                            error_from_ad(r.value(), "Error");
+                        fail(e.value_or(Error(ErrorKind::kClaimRejected,
+                                              "activation refused")));
+                        return;
+                      }
+                      log_.debug("claim activated on ", startd_name_);
+                    });
+}
+
+void Shadow::arm_watchdog() {
+  watchdog_.cancel();
+  std::shared_ptr<bool> alive = alive_;
+  watchdog_ = engine_.schedule(discipline_.job_watchdog, [this, alive] {
+    if (!*alive || finished_) return;
+    channel_->abort(Error(ErrorKind::kConnectionTimedOut,
+                          "job silent for " + discipline_.job_watchdog.str())
+                        .with_label("watchdog", "expired"));
+  });
+}
+
+void Shadow::serve(const std::string& command, const classad::ClassAd& body,
+                   std::function<void(classad::ClassAd)> reply) {
+  arm_watchdog();
+  if (command == kCmdFetchFile) {
+    const std::string path = body.eval_string("Path");
+    Result<std::string> data = submit_fs_.read_file(path);
+    classad::ClassAd response;
+    if (data.ok()) {
+      response.set("Ok", true);
+      response.set("Data", data.value());
+    } else {
+      Error e = std::move(data).error();
+      // Classify per Figure 3: a missing or unreadable input file is a
+      // defect of the *job* — it can never run anywhere. An offline home
+      // filesystem is a local-resource condition — the job cannot run
+      // right now.
+      if (e.kind() == ErrorKind::kFileNotFound ||
+          e.kind() == ErrorKind::kAccessDenied) {
+        e.widen_scope_in_place(ErrorScope::kJob);
+      } else if (e.kind() == ErrorKind::kMountOffline) {
+        e.widen_scope_in_place(ErrorScope::kLocalResource);
+      }
+      response.set("Ok", false);
+      const ErrorScope scope = e.scope();
+      error_to_ad(Error(ErrorKind::kInputUnavailable, scope,
+                        "cannot fetch " + path)
+                      .caused_by(std::move(e)),
+                  "Error", response);
+    }
+    reply(std::move(response));
+    return;
+  }
+
+  if (command == kCmdStoreFile) {
+    const std::string name = body.eval_string("Path");
+    const std::string dir = "/out/job_" + std::to_string(job_.id.value());
+    classad::ClassAd response;
+    Result<void> wrote = submit_fs_.mkdirs(dir);
+    if (wrote.ok()) {
+      wrote = submit_fs_.write_file(dir + "/" + name,
+                                    body.eval_string("Data"));
+    }
+    if (wrote.ok()) {
+      response.set("Ok", true);
+    } else {
+      response.set("Ok", false);
+      error_to_ad(std::move(wrote).error(), "Error", response);
+    }
+    reply(std::move(response));
+    return;
+  }
+
+  if (command == kCmdRemoteIo) {
+    Result<chirp::Request> req =
+        chirp::parse_request(body.eval_string("Payload"));
+    if (!req.ok()) {
+      classad::ClassAd response;
+      response.set("Payload",
+                   chirp::Response::fail(chirp::Code::kMalformed).encode());
+      reply(std::move(response));
+      return;
+    }
+    // Reuse the chirp dispatch table against the submit filesystem.
+    auto respond = [reply = std::move(reply)](chirp::Response resp) {
+      classad::ClassAd response;
+      response.set("Payload", resp.encode());
+      reply(std::move(response));
+    };
+    const chirp::Request& r = req.value();
+    auto int_arg = [&r](std::size_t i) -> std::int64_t {
+      return i < r.args.size() ? std::strtoll(r.args[i].c_str(), nullptr, 10)
+                               : -1;
+    };
+    if (r.command == "open" && r.args.size() == 2) {
+      remote_io_->op_open(r.args[0], r.args[1], respond);
+    } else if (r.command == "close" && r.args.size() == 1) {
+      remote_io_->op_close(int_arg(0), respond);
+    } else if (r.command == "read" && r.args.size() == 2) {
+      remote_io_->op_read(int_arg(0), int_arg(1), respond);
+    } else if (r.command == "write" && r.args.size() == 1) {
+      remote_io_->op_write(int_arg(0), r.data, respond);
+    } else if (r.command == "lseek" && r.args.size() == 2) {
+      remote_io_->op_lseek(int_arg(0), int_arg(1), respond);
+    } else if (r.command == "stat" && r.args.size() == 1) {
+      remote_io_->op_stat(r.args[0], respond);
+    } else if (r.command == "unlink" && r.args.size() == 1) {
+      remote_io_->op_unlink(r.args[0], respond);
+    } else if (r.command == "mkdir" && r.args.size() == 1) {
+      remote_io_->op_mkdir(r.args[0], respond);
+    } else if (r.command == "rmdir" && r.args.size() == 1) {
+      remote_io_->op_rmdir(r.args[0], respond);
+    } else if (r.command == "rename" && r.args.size() == 2) {
+      remote_io_->op_rename(r.args[0], r.args[1], respond);
+    } else if (r.command == "getdir" && r.args.size() == 1) {
+      remote_io_->op_getdir(r.args[0], respond);
+    } else {
+      respond(chirp::Response::fail(chirp::Code::kUnknownCommand));
+    }
+    return;
+  }
+
+  classad::ClassAd response;
+  response.set("Ok", false);
+  reply(std::move(response));
+}
+
+void Shadow::on_notify(const std::string& command,
+                       const classad::ClassAd& body) {
+  arm_watchdog();
+  if (command == kCmdKeepalive) return;  // its arrival was the message
+  if (command == kCmdCheckpoint) {
+    // Persist the checkpoint; failures here are survivable (the job just
+    // loses resume progress) and must not disturb the execution.
+    const std::string encoded = body.eval_string("Checkpoint");
+    if (!encoded.empty() && jvm::Checkpoint::parse(encoded).ok()) {
+      (void)submit_fs_.write_file(checkpoint_path(job_.id.value()), encoded);
+    }
+    return;
+  }
+  if (command != kCmdJobSummary) return;
+  Result<ExecutionSummary> summary = ExecutionSummary::from_ad(body);
+  if (!summary.ok()) {
+    // The starter sent garbage: the reporting mechanism is broken, which
+    // is a process-scope failure of the execution side.
+    fail(Error(ErrorKind::kProtocolError, ErrorScope::kProcess,
+               "unparsable execution summary")
+             .caused_by(std::move(summary).error()));
+    return;
+  }
+  finish(std::move(summary).value());
+}
+
+void Shadow::finish(ExecutionSummary summary) {
+  if (finished_) return;
+  finished_ = true;
+  watchdog_.cancel();
+  if (channel_) channel_->close();
+  if (summary.machine.empty()) summary.machine = startd_name_;
+  done_(std::move(summary));
+}
+
+void Shadow::fail(Error error) {
+  finish(ExecutionSummary::environment(
+      std::move(error).with_origin("shadow@" + submit_host_), startd_name_));
+}
+
+}  // namespace esg::daemons

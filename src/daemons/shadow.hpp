@@ -1,0 +1,75 @@
+// The shadow: the submit-side representative of one running job (§2.1).
+//
+// Provides the details of the job to the execution site, serves the
+// standard Condor remote I/O channel backed by the submit machine's
+// filesystem, receives the execution summary, and reports the attempt's
+// outcome to the schedd. The shadow manages local-resource scope: failures
+// of submit-side resources are its to classify (Figure 3: "The shadow
+// would be responsible for informing the schedd that the job cannot run
+// right now").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "chirp/server.hpp"
+#include "daemons/config.hpp"
+#include "daemons/job.hpp"
+#include "daemons/rpc.hpp"
+#include "fs/simfs.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+class Shadow {
+ public:
+  /// `done` fires exactly once with the attempt's outcome.
+  Shadow(sim::Engine& engine, net::NetworkFabric& fabric,
+         std::string submit_host, fs::SimFileSystem& submit_fs,
+         DisciplineConfig discipline, Timeouts timeouts, JobDescription job,
+         net::Address startd_addr, std::string startd_name, ClaimId claim,
+         std::function<void(ExecutionSummary)> done);
+  ~Shadow();
+
+  Shadow(const Shadow&) = delete;
+  Shadow& operator=(const Shadow&) = delete;
+
+  void run();
+
+ private:
+  void on_channel(Result<std::shared_ptr<RpcChannel>> channel);
+  void activate();
+  void serve(const std::string& command, const classad::ClassAd& body,
+             std::function<void(classad::ClassAd)> reply);
+  void on_notify(const std::string& command, const classad::ClassAd& body);
+  /// (Re)arm the inactivity watchdog; called on every sign of life from
+  /// the execution side.
+  void arm_watchdog();
+  void finish(ExecutionSummary summary);
+  void fail(Error error);
+
+  sim::Engine& engine_;
+  net::NetworkFabric& fabric_;
+  std::string submit_host_;
+  fs::SimFileSystem& submit_fs_;
+  Logger log_;
+  DisciplineConfig discipline_;
+  Timeouts timeouts_;
+  JobDescription job_;
+  net::Address startd_addr_;
+  std::string startd_name_;
+  ClaimId claim_;
+  std::function<void(ExecutionSummary)> done_;
+
+  std::shared_ptr<RpcChannel> channel_;
+  /// Remote I/O is served straight off the submit filesystem; errors that
+  /// invalidate the whole home filesystem carry local-resource scope.
+  std::unique_ptr<chirp::FsBackend> remote_io_;
+  sim::TimerHandle watchdog_;
+  bool finished_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace esg::daemons

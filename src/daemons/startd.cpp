@@ -1,0 +1,303 @@
+#include "daemons/startd.hpp"
+
+#include <algorithm>
+
+#include "classad/match.hpp"
+#include "daemons/starter.hpp"
+#include "jvm/javaio.hpp"
+
+namespace esg::daemons {
+
+Startd::Startd(sim::Engine& engine, net::NetworkFabric& fabric,
+               fs::SimFileSystem& machine_fs, std::string host,
+               StartdConfig config, DisciplineConfig discipline,
+               net::Address matchmaker, Ports ports, Timeouts timeouts)
+    : Actor(engine, std::move(host)),
+      fabric_(fabric),
+      machine_fs_(machine_fs),
+      config_(std::move(config)),
+      discipline_(discipline),
+      matchmaker_(std::move(matchmaker)),
+      ports_(ports),
+      timeouts_(timeouts) {}
+
+Startd::~Startd() { shutdown(); }
+
+void Startd::boot() {
+  running_ = true;
+  (void)machine_fs_.mkdirs("/scratch");
+  Result<void> listening = fabric_.listen(
+      address(), [this](net::Endpoint ep) { on_accept(std::move(ep)); });
+  if (!listening.ok()) {
+    log().error("cannot listen: ", listening.error());
+    return;
+  }
+  if (discipline_.startd_selftest) {
+    // §5: do not blindly accept the owner's assertion regarding the Java
+    // installation; test it at startup, Autoconf-style. If found lacking,
+    // simply decline to advertise the capability.
+    run_selftest([this] { advertise_loop(); });
+  } else {
+    has_java_ = config_.owner_asserts_java;
+    advertise_loop();
+  }
+}
+
+void Startd::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  if (starter_ != nullptr) starter_->kill("startd shutting down");
+  starter_.reset();
+  fabric_.unlisten(address());
+}
+
+void Startd::run_selftest(std::function<void()> then) {
+  if (!config_.owner_asserts_java || !config_.jvm.installed) {
+    // Nothing to test: either the owner never claimed Java, or there is no
+    // binary to exec (the probe's exec would fail exactly like a job's).
+    has_java_ = false;
+    log().info("java self-test: no usable JVM (not advertising java)");
+    then();
+    return;
+  }
+  (void)machine_fs_.mkdirs("/scratch/.selftest");
+  auto io = std::make_shared<jvm::LocalJavaIo>(machine_fs_,
+                                               jvm::IoDiscipline::kConcise);
+  auto probe_jvm = std::make_shared<jvm::SimJvm>(engine(), config_.jvm);
+  const jvm::JobProgram probe =
+      jvm::ProgramBuilder("SelfTestProbe").compute(SimTime::msec(10)).build();
+  probe_jvm->run(
+      probe, *io, jvm::WrapMode::kWrapped, &machine_fs_,
+      "/scratch/.selftest/result",
+      [this, io, probe_jvm, then = std::move(then)](
+          const jvm::JvmOutcome& outcome) {
+        has_java_ = outcome.completed_main;
+        log().info("java self-test: ",
+                   has_java_ ? "passed" : "FAILED (not advertising java)");
+        then();
+      });
+}
+
+classad::ClassAd Startd::machine_ad() const {
+  classad::ClassAd ad;
+  ad.set("MyType", "Machine");
+  ad.set("Name", name());
+  ad.set("Machine", name());
+  ad.set("StartdPort", ports_.startd);
+  ad.set("State", claim_.has_value() ? "Claimed" : "Unclaimed");
+  ad.set("Memory", config_.memory_mb);
+  if (has_java_) {
+    ad.set("HasJava", true);
+    ad.set("JavaVersion", config_.java_version);
+  }
+  // The owner's policy is the machine's Requirements for matchmaking. A
+  // policy that does not even parse admits nobody, and an active owner
+  // overrides everything.
+  if (owner_active_) {
+    ad.set("Requirements", false);
+  } else if (Result<void> r =
+                 ad.insert_expr("Requirements", config_.start_expr);
+             !r.ok()) {
+    ad.set("Requirements", false);
+  }
+  ad.set("Rank", 0);
+  return ad;
+}
+
+void Startd::advertise_now() {
+  if (!running_) return;
+  rpc_connect(engine(), fabric_, name(), matchmaker_, timeouts_.rpc_timeout,
+              [ad = machine_ad()](Result<std::shared_ptr<RpcChannel>> ch) {
+                if (!ch.ok()) return;  // matchmaker down: retry next round
+                ch.value()->notify(kCmdUpdateStartdAd, ad);
+                ch.value()->close();
+              });
+}
+
+void Startd::advertise_loop() {
+  advertise_now();
+  after(timeouts_.advertise_interval, [this] { advertise_loop(); });
+}
+
+void Startd::on_accept(net::Endpoint endpoint) {
+  auto channel = std::make_shared<RpcChannel>(engine(), std::move(endpoint),
+                                              SimTime::zero());
+  std::weak_ptr<RpcChannel> weak = channel;
+  channel->set_server(
+      [this, weak](const std::string& command, const classad::ClassAd& body,
+                   std::function<void(classad::ClassAd)> reply) {
+        if (auto ch = weak.lock()) {
+          handle_request(ch, command, body, std::move(reply));
+        }
+      },
+      [this](const std::string& command, const classad::ClassAd& body) {
+        if (command == kCmdReleaseClaim) {
+          const auto id =
+              ClaimId{static_cast<std::uint64_t>(body.eval_int("ClaimId"))};
+          if (claim_.has_value() && claim_->id == id) {
+            release_claim("released by schedd");
+          }
+        }
+      });
+  channel->set_on_broken([this, weak](const Error& error) {
+    // The activation channel is the claim's lifeline: if it breaks while a
+    // job is running, the job must die with it (the shadow is gone).
+    auto ch = weak.lock();
+    if (ch && starter_ != nullptr && claim_.has_value() &&
+        claim_->activated) {
+      starter_->kill("shadow channel broke: " + error.str());
+      starter_.reset();
+      release_claim("activation channel lost");
+    }
+  });
+  inbound_.push_back(std::move(channel));
+  if (inbound_.size() % 32 == 0) {
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const std::shared_ptr<RpcChannel>& c) {
+                                    return !c->is_open();
+                                  }),
+                   inbound_.end());
+  }
+}
+
+void Startd::handle_request(const std::shared_ptr<RpcChannel>& channel,
+                            const std::string& command,
+                            const classad::ClassAd& body,
+                            std::function<void(classad::ClassAd)> reply) {
+  if (command == kCmdRequestClaim) {
+    classad::ClassAd response;
+    if (claim_.has_value()) {
+      response.set("Granted", false);
+      response.set("Reason", "machine is already claimed");
+      reply(std::move(response));
+      return;
+    }
+    // Verify the owner's policy directly — the matchmaker's word is
+    // advisory (§2.1: matched parties verify that their needs are met).
+    const classad::Value job_value = body.eval_attr("Job");
+    if (!job_value.is_ad()) {
+      response.set("Granted", false);
+      response.set("Reason", "malformed claim request");
+      reply(std::move(response));
+      return;
+    }
+    const classad::ClassAd my_ad = machine_ad();
+    const classad::Value verdict = classad::eval_with_target(
+        my_ad, *job_value.as_ad(), "Requirements", now());
+    if (!verdict.is_bool() || !verdict.as_bool()) {
+      response.set("Granted", false);
+      response.set("Reason", "owner policy refuses this job");
+      reply(std::move(response));
+      return;
+    }
+    Claim claim;
+    claim.id = claim_ids_.next();
+    claim.job_id = static_cast<std::uint64_t>(
+        job_value.as_ad()->eval_attr("JobId").is_int()
+            ? job_value.as_ad()->eval_int("JobId")
+            : 0);
+    claim.granted = now();
+    claim_ = claim;
+    advertise_now();  // the machine is Claimed as of now
+    response.set("Granted", true);
+    response.set("ClaimId", static_cast<std::int64_t>(claim.id.value()));
+    reply(std::move(response));
+    // Unactivated claims expire: a shadow that never shows up must not
+    // wedge the machine.
+    const ClaimId expiring = claim.id;
+    after(SimTime::sec(60), [this, expiring] { claim_expired(expiring); });
+    return;
+  }
+
+  if (command == kCmdActivateClaim) {
+    classad::ClassAd response;
+    const auto id =
+        ClaimId{static_cast<std::uint64_t>(body.eval_int("ClaimId"))};
+    if (!claim_.has_value() || claim_->id != id) {
+      response.set("Ok", false);
+      error_to_ad(Error(ErrorKind::kClaimRejected,
+                        "no such claim on " + name()),
+                  "Error", response);
+      reply(std::move(response));
+      return;
+    }
+    if (claim_->activated) {
+      response.set("Ok", false);
+      error_to_ad(Error(ErrorKind::kClaimRejected, "claim already active"),
+                  "Error", response);
+      reply(std::move(response));
+      return;
+    }
+    const classad::Value job_value = body.eval_attr("Job");
+    Result<JobDescription> job =
+        job_value.is_ad()
+            ? JobDescription::from_ad(*job_value.as_ad())
+            : Result<JobDescription>(Error(ErrorKind::kBadJobDescription,
+                                           "activation without job ad"));
+    if (!job.ok()) {
+      response.set("Ok", false);
+      error_to_ad(job.error(), "Error", response);
+      reply(std::move(response));
+      return;
+    }
+    claim_->activated = true;
+    ++jobs_started_;
+    const int proxy_port = ports_.starter_proxy_base + (next_starter_port_++ % 100);
+    // Resume point, if the shadow shipped one with the activation.
+    jvm::Checkpoint resume;
+    if (const std::string encoded =
+            job_value.as_ad()->eval_string("Checkpoint");
+        !encoded.empty()) {
+      if (Result<jvm::Checkpoint> parsed = jvm::Checkpoint::parse(encoded);
+          parsed.ok()) {
+        resume = parsed.value();
+      }
+    }
+    starter_ = std::make_unique<Starter>(
+        engine(), fabric_, machine_fs_, name(), config_.jvm, discipline_,
+        timeouts_, std::move(job).value(), channel, proxy_port,
+        ground_truth_, [this] {
+          // Starter finished (summary already sent): release the machine.
+          // Destruction is deferred — we are inside the starter's own
+          // callback.
+          engine().schedule(SimTime::zero(), [this] { starter_.reset(); });
+          release_claim("job finished");
+        });
+    starter_->set_resume(resume);
+    response.set("Ok", true);
+    reply(std::move(response));
+    starter_->run();
+    return;
+  }
+
+  classad::ClassAd response;
+  response.set("Ok", false);
+  error_to_ad(Error(ErrorKind::kRequestMalformed, "unknown command " + command),
+              "Error", response);
+  reply(std::move(response));
+}
+
+void Startd::set_owner_active(bool active) {
+  if (owner_active_ == active) return;
+  owner_active_ = active;
+  if (active && starter_ != nullptr) {
+    log().info("owner returned; evicting visiting job");
+    starter_->preempt("machine owner returned");
+  }
+  if (running_) advertise_now();
+}
+
+void Startd::claim_expired(ClaimId id) {
+  if (claim_.has_value() && claim_->id == id && !claim_->activated) {
+    release_claim("claim never activated");
+  }
+}
+
+void Startd::release_claim(const std::string& why) {
+  if (!claim_.has_value()) return;
+  log().debug("claim released: ", why);
+  claim_.reset();
+  advertise_now();  // the machine is Unclaimed as of now
+}
+
+}  // namespace esg::daemons

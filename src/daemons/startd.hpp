@@ -1,0 +1,111 @@
+// The startd: representative of the execution machine's owner.
+//
+// Enforces the owner's policy (a START expression), advertises the
+// machine's capabilities, and manages claims. With the §5 self-test
+// enabled, the startd does not blindly accept the owner's assertion about
+// the Java installation: it runs a probe program through the real JVM at
+// boot — borrowed from Autoconf — and declines to advertise a Java
+// capability it cannot demonstrate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemons/config.hpp"
+#include "daemons/groundtruth.hpp"
+#include "daemons/job.hpp"
+#include "daemons/rpc.hpp"
+#include "fs/simfs.hpp"
+#include "jvm/jvm.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+class Starter;
+
+struct StartdConfig {
+  jvm::JvmConfig jvm;
+  /// What the machine owner asserts about the Java installation — possibly
+  /// wrong, which is the whole point of the self-test.
+  bool owner_asserts_java = true;
+  std::string java_version = "1.3.1";
+  /// Owner policy: when may visiting jobs run (ClassAd expression over the
+  /// job ad as TARGET).
+  std::string start_expr = "true";
+  std::int64_t memory_mb = 512;
+  std::int64_t scratch_capacity_bytes = 64LL << 20;
+};
+
+class Startd : public sim::Actor {
+ public:
+  Startd(sim::Engine& engine, net::NetworkFabric& fabric,
+         fs::SimFileSystem& machine_fs, std::string host, StartdConfig config,
+         DisciplineConfig discipline, net::Address matchmaker, Ports ports,
+         Timeouts timeouts);
+  ~Startd() override;
+
+  void boot();
+  void shutdown();
+
+  [[nodiscard]] net::Address address() const { return {name(), ports_.startd}; }
+  [[nodiscard]] bool advertises_java() const { return has_java_; }
+  [[nodiscard]] bool claimed() const { return claim_.has_value(); }
+  [[nodiscard]] std::uint64_t jobs_started() const { return jobs_started_; }
+
+  /// The machine's current classad (as would be sent to the matchmaker).
+  [[nodiscard]] classad::ClassAd machine_ad() const;
+
+  /// Harness hook: attempt outcomes are recorded here (may be null).
+  void set_ground_truth(GroundTruthLog* log) { ground_truth_ = log; }
+
+  /// The machine owner sits down (or leaves): while active, visiting jobs
+  /// are refused, and a running job is evicted — Condor's founding
+  /// scenario of scavenging idle workstation cycles (§2.1).
+  void set_owner_active(bool active);
+  [[nodiscard]] bool owner_active() const { return owner_active_; }
+
+ private:
+  struct Claim {
+    ClaimId id;
+    std::uint64_t job_id = 0;
+    SimTime granted{};
+    bool activated = false;
+  };
+
+  void run_selftest(std::function<void()> then);
+  void advertise_loop();
+  /// Push the current ad immediately (also on every claim transition, as
+  /// real startds do — the matchmaker must not act on a stale state).
+  void advertise_now();
+  void on_accept(net::Endpoint endpoint);
+  void handle_request(const std::shared_ptr<RpcChannel>& channel,
+                      const std::string& command, const classad::ClassAd& body,
+                      std::function<void(classad::ClassAd)> reply);
+  void claim_expired(ClaimId id);
+  void release_claim(const std::string& why);
+
+  net::NetworkFabric& fabric_;
+  fs::SimFileSystem& machine_fs_;
+  StartdConfig config_;
+  DisciplineConfig discipline_;
+  net::Address matchmaker_;
+  Ports ports_;
+  Timeouts timeouts_;
+
+  bool running_ = false;
+  bool has_java_ = false;
+  bool owner_active_ = false;
+  std::optional<Claim> claim_;
+  IdGenerator<ClaimTag> claim_ids_;
+  std::unique_ptr<Starter> starter_;
+  std::vector<std::shared_ptr<RpcChannel>> inbound_;
+  std::uint64_t jobs_started_ = 0;
+  int next_starter_port_ = 0;
+  GroundTruthLog* ground_truth_ = nullptr;
+};
+
+}  // namespace esg::daemons

@@ -1,0 +1,698 @@
+#include "daemons/starter.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esg::daemons {
+
+namespace {
+
+std::string basename(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+// ---- ProxyBackend ----
+
+ProxyBackend::ProxyBackend(fs::SimFileSystem& machine_fs,
+                           std::string scratch_dir,
+                           std::shared_ptr<RpcChannel> shadow)
+    : local_(machine_fs, std::move(scratch_dir), ErrorScope::kRemoteResource),
+      shadow_(std::move(shadow)) {}
+
+void ProxyBackend::forward(const chirp::Request& req, Reply reply) {
+  if (!shadow_ || !shadow_->is_open()) {
+    reply(chirp::Response::fail_scoped(chirp::Code::kDisconnected,
+                                       ErrorScope::kNetwork));
+    return;
+  }
+  classad::ClassAd body;
+  body.set("Payload", req.encode());
+  shadow_->request(
+      kCmdRemoteIo, std::move(body),
+      [reply = std::move(reply)](Result<classad::ClassAd> r) {
+        if (!r.ok()) {
+          // The remote I/O channel itself failed: this is not a file
+          // error; it is the loss of the mechanism, and the scope rides
+          // in the response so the I/O library can classify it.
+          reply(chirp::Response::fail_scoped(
+              chirp::kind_to_code(r.error().kind()),
+              r.error().scope()));
+          return;
+        }
+        Result<chirp::Response> resp =
+            chirp::parse_response(r.value().eval_string("Payload"));
+        if (!resp.ok()) {
+          reply(chirp::Response::fail_scoped(chirp::Code::kDisconnected,
+                                             ErrorScope::kProcess));
+          return;
+        }
+        reply(std::move(resp).value());
+      });
+}
+
+void ProxyBackend::op_open(const std::string& path, const std::string& mode,
+                           Reply reply) {
+  const std::int64_t fd = next_fd_++;
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "open";
+    req.args = {path, mode};
+    forward(req, [this, fd, reply = std::move(reply)](chirp::Response resp) {
+      if (resp.code == chirp::Code::kOk) {
+        fds_[fd] = FdEntry{true, resp.value};
+        resp.value = fd;
+      }
+      reply(std::move(resp));
+    });
+    return;
+  }
+  local_.op_open(path, mode,
+                 [this, fd, reply = std::move(reply)](chirp::Response resp) {
+                   if (resp.code == chirp::Code::kOk) {
+                     fds_[fd] = FdEntry{false, resp.value};
+                     resp.value = fd;
+                   }
+                   reply(std::move(resp));
+                 });
+}
+
+void ProxyBackend::op_close(std::int64_t fd, Reply reply) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    reply(chirp::Response::fail(chirp::Code::kBadFd));
+    return;
+  }
+  const FdEntry entry = it->second;
+  fds_.erase(it);
+  if (entry.remote) {
+    chirp::Request req;
+    req.command = "close";
+    req.args = {std::to_string(entry.backend_fd)};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_close(entry.backend_fd, std::move(reply));
+}
+
+void ProxyBackend::op_read(std::int64_t fd, std::int64_t length, Reply reply) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    reply(chirp::Response::fail(chirp::Code::kBadFd));
+    return;
+  }
+  if (it->second.remote) {
+    chirp::Request req;
+    req.command = "read";
+    req.args = {std::to_string(it->second.backend_fd), std::to_string(length)};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_read(it->second.backend_fd, length, std::move(reply));
+}
+
+void ProxyBackend::op_write(std::int64_t fd, const std::string& data,
+                            Reply reply) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    reply(chirp::Response::fail(chirp::Code::kBadFd));
+    return;
+  }
+  if (it->second.remote) {
+    chirp::Request req;
+    req.command = "write";
+    req.args = {std::to_string(it->second.backend_fd)};
+    req.data = data;
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_write(it->second.backend_fd, data, std::move(reply));
+}
+
+void ProxyBackend::op_lseek(std::int64_t fd, std::int64_t offset,
+                            Reply reply) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    reply(chirp::Response::fail(chirp::Code::kBadFd));
+    return;
+  }
+  if (it->second.remote) {
+    chirp::Request req;
+    req.command = "lseek";
+    req.args = {std::to_string(it->second.backend_fd), std::to_string(offset)};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_lseek(it->second.backend_fd, offset, std::move(reply));
+}
+
+void ProxyBackend::op_stat(const std::string& path, Reply reply) {
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "stat";
+    req.args = {path};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_stat(path, std::move(reply));
+}
+
+void ProxyBackend::op_unlink(const std::string& path, Reply reply) {
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "unlink";
+    req.args = {path};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_unlink(path, std::move(reply));
+}
+
+void ProxyBackend::op_mkdir(const std::string& path, Reply reply) {
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "mkdir";
+    req.args = {path};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_mkdir(path, std::move(reply));
+}
+
+void ProxyBackend::op_rmdir(const std::string& path, Reply reply) {
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "rmdir";
+    req.args = {path};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_rmdir(path, std::move(reply));
+}
+
+void ProxyBackend::op_rename(const std::string& from, const std::string& to,
+                             Reply reply) {
+  // A rename must stay on one side of the proxy; mixing local and remote
+  // would be a copy, which the protocol deliberately does not hide.
+  if (is_remote(from) != is_remote(to)) {
+    reply(chirp::Response::fail(chirp::Code::kNotAllowed));
+    return;
+  }
+  if (is_remote(from)) {
+    chirp::Request req;
+    req.command = "rename";
+    req.args = {from, to};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_rename(from, to, std::move(reply));
+}
+
+void ProxyBackend::op_getdir(const std::string& path, Reply reply) {
+  if (is_remote(path)) {
+    chirp::Request req;
+    req.command = "getdir";
+    req.args = {path};
+    forward(req, std::move(reply));
+    return;
+  }
+  local_.op_getdir(path, std::move(reply));
+}
+
+// ---- Starter ----
+
+Starter::Starter(sim::Engine& engine, net::NetworkFabric& fabric,
+                 fs::SimFileSystem& machine_fs, std::string host,
+                 jvm::JvmConfig jvm_config, DisciplineConfig discipline,
+                 Timeouts timeouts, JobDescription job,
+                 std::shared_ptr<RpcChannel> shadow, int proxy_port,
+                 GroundTruthLog* ground_truth,
+                 std::function<void()> on_finished)
+    : engine_(engine),
+      fabric_(fabric),
+      machine_fs_(machine_fs),
+      host_(std::move(host)),
+      log_("starter@" + host_),
+      jvm_config_(jvm_config),
+      discipline_(discipline),
+      timeouts_(timeouts),
+      job_(std::move(job)),
+      shadow_(std::move(shadow)),
+      proxy_port_(proxy_port),
+      ground_truth_(ground_truth),
+      on_finished_(std::move(on_finished)),
+      rng_(engine.rng().fork("starter@" + host_)) {}
+
+Starter::~Starter() {
+  *alive_ = false;
+  *cancelled_ = true;
+  if (proxy_listening_) {
+    fabric_.unlisten({host_, proxy_port_});
+  }
+}
+
+void Starter::run() {
+  std::ostringstream dir;
+  dir << "/scratch/job_" << job_.id.value() << "_p" << proxy_port_;
+  scratch_ = dir.str();
+
+  // Heartbeats feed the shadow's inactivity watchdog: a silent starter is
+  // indistinguishable from a dead one, so never be silent.
+  std::shared_ptr<bool> alive_ka = alive_;
+  engine_.schedule(timeouts_.keepalive_interval, [this, alive_ka] {
+    if (*alive_ka) keepalive();
+  });
+
+  // 1. The execution environment starts with a scratch directory (§2.1).
+  Result<void> made = machine_fs_.mkdirs(scratch_);
+  if (!made.ok()) {
+    fail_environment(Error(ErrorKind::kScratchUnavailable,
+                           ErrorScope::kRemoteResource,
+                           "cannot create scratch directory")
+                         .caused_by(std::move(made).error()));
+    return;
+  }
+
+  // 2. Transfer input files from the shadow.
+  std::shared_ptr<bool> alive = alive_;
+  fetch_inputs(0, [this, alive](Result<void> r) {
+    if (!*alive) return;
+    if (!r.ok()) {
+      // The shadow stamped the scope (job for a missing input,
+      // local-resource for an offline home filesystem).
+      fail_environment(std::move(r).error());
+      return;
+    }
+    // 3. Reveal the cookie through the local filesystem (§2.2).
+    std::ostringstream hex;
+    hex << std::hex << rng_.next_u64() << rng_.next_u64();
+    secret_ = hex.str();
+    Result<void> wrote =
+        machine_fs_.write_file(chirp::cookie_path(scratch_), secret_);
+    if (!wrote.ok()) {
+      fail_environment(Error(ErrorKind::kScratchUnavailable,
+                             ErrorScope::kRemoteResource,
+                             "cannot write chirp cookie")
+                           .caused_by(std::move(wrote).error()));
+      return;
+    }
+    // 4. Proxy, then 5. JVM.
+    start_proxy();
+    launch_job();
+  });
+}
+
+void Starter::fetch_inputs(std::size_t index,
+                           std::function<void(Result<void>)> done) {
+  if (index >= job_.input_files.size()) {
+    done(Ok());
+    return;
+  }
+  const std::string& path = job_.input_files[index];
+  classad::ClassAd body;
+  body.set("Path", path);
+  std::shared_ptr<bool> alive = alive_;
+  shadow_->request(
+      kCmdFetchFile, std::move(body),
+      [this, alive, index, path, done = std::move(done)](
+          Result<classad::ClassAd> r) mutable {
+        if (!*alive) return;
+        if (!r.ok()) {
+          done(std::move(r).error());
+          return;
+        }
+        if (!r.value().eval_bool("Ok")) {
+          std::optional<Error> e = error_from_ad(r.value(), "Error");
+          done(e.value_or(Error(ErrorKind::kProtocolError,
+                                "malformed FETCH_FILE reply")));
+          return;
+        }
+        Result<void> wrote = machine_fs_.write_file(
+            scratch_ + "/" + basename(path), r.value().eval_string("Data"));
+        if (!wrote.ok()) {
+          done(Error(ErrorKind::kScratchUnavailable,
+                     ErrorScope::kRemoteResource,
+                     "cannot stage input " + path)
+                   .caused_by(std::move(wrote).error()));
+          return;
+        }
+        fetch_inputs(index + 1, std::move(done));
+      });
+}
+
+void Starter::keepalive() {
+  if (finished_ || !shadow_->is_open()) return;
+  classad::ClassAd body;
+  body.set("JobId", static_cast<std::int64_t>(job_.id.value()));
+  shadow_->notify(kCmdKeepalive, std::move(body));
+  std::shared_ptr<bool> alive = alive_;
+  engine_.schedule(timeouts_.keepalive_interval, [this, alive] {
+    if (*alive) keepalive();
+  });
+}
+
+void Starter::start_proxy() {
+  backend_ = std::make_unique<ProxyBackend>(machine_fs_, scratch_, shadow_);
+  std::shared_ptr<bool> alive = alive_;
+  Result<void> listening = fabric_.listen(
+      {host_, proxy_port_}, [this, alive](net::Endpoint ep) {
+        if (!*alive) return;
+        proxy_servers_.push_back(std::make_unique<chirp::ChirpServer>(
+            std::move(ep), *backend_, secret_));
+      });
+  proxy_listening_ = listening.ok();
+}
+
+void Starter::launch_job() {
+  if (job_.universe == Universe::kVanilla) {
+    launch_vanilla();
+    return;
+  }
+  launch_java();
+}
+
+bool Starter::is_standard_universe() const {
+  return job_.universe == Universe::kStandard;
+}
+
+void Starter::launch_vanilla() {
+  // The Vanilla universe runs the program as a plain binary: no JVM, no
+  // wrapper, no Chirp proxy (§2.1: such jobs "cannot checkpoint or migrate
+  // outside of a shared file system"). I/O is the machine's own
+  // filesystem, relative paths resolving to the scratch directory, and the
+  // only program result is the exit code — even under the scoped
+  // discipline, the Vanilla universe simply has less to say.
+  vanilla_io_ = std::make_unique<jvm::LocalJavaIo>(
+      machine_fs_, jvm::IoDiscipline::kConcise, scratch_);
+  jvm::JvmConfig native;
+  native.installed = true;
+  native.classpath_ok = true;  // a native binary carries its own runtime
+  native.heap_bytes = 1LL << 40;  // bounded by the machine, not a VM flag
+  native.startup_time = SimTime::msec(5);
+  jvm_ = std::make_unique<jvm::SimJvm>(engine_, native);
+  std::shared_ptr<bool> alive = alive_;
+  jvm_control_ = jvm_->run(
+      job_.program, *vanilla_io_, jvm::WrapMode::kBare, &machine_fs_,
+      scratch_ + "/.result",
+      [this, alive](const jvm::JvmOutcome& outcome) {
+              if (!*alive) return;
+              cpu_seconds_ = outcome.cpu_time.as_sec();
+              if (ground_truth_ != nullptr) {
+                AttemptGroundTruth truth;
+                truth.job_id = job_.id.value();
+                truth.machine = host_;
+                truth.completed_main = outcome.completed_main;
+                truth.system_exit = outcome.system_exit;
+                truth.condition = outcome.condition;
+                truth.cpu_seconds = cpu_seconds_;
+                ground_truth_->record(truth);
+              }
+              if (preempt_error_.has_value()) {
+                Error reason = std::move(*preempt_error_);
+                preempt_error_.reset();
+                fail_environment(std::move(reason));
+                return;
+              }
+              interpret_bare(outcome);
+            },
+            cancelled_);
+}
+
+void Starter::launch_java() {
+  // A missing JVM binary fails at exec time — there is no JVM to produce
+  // even an exit code. (Standard-universe binaries carry their own
+  // runtime: the Condor library was linked in, no JVM is involved.)
+  if (!jvm_config_.installed && !is_standard_universe()) {
+    AttemptGroundTruth truth;
+    truth.job_id = job_.id.value();
+    truth.machine = host_;
+    truth.condition = Error(ErrorKind::kJvmMissing,
+                            "exec failed: owner-advertised JVM path is wrong")
+                          .with_label("injected", "jvm-missing");
+    if (ground_truth_ != nullptr) ground_truth_->record(truth);
+
+    if (discipline_.scope_routing) {
+      fail_environment(Error(ErrorKind::kJvmMissing,
+                             ErrorScope::kRemoteResource,
+                             "exec failed: cannot run advertised JVM"));
+    } else {
+      // Naive: the starter reports "the job exited with code 1" — the
+      // environmental failure is laundered into a program result (§2.3).
+      jvm::ResultFile rf;
+      rf.exit_by = jvm::ResultFile::ExitBy::kSystemExit;
+      rf.exit_code = 1;
+      report(ExecutionSummary::program(rf, host_, 0));
+    }
+    return;
+  }
+
+  // The job process: connect to the proxy over loopback, read the cookie
+  // through the local filesystem, authenticate, and run main.
+  std::shared_ptr<bool> alive = alive_;
+  fabric_.connect(
+      host_, {host_, proxy_port_},
+      [this, alive](Result<net::Endpoint> ep) {
+        if (!*alive) return;
+        if (!ep.ok()) {
+          fail_environment(Error(ErrorKind::kScratchUnavailable,
+                                 ErrorScope::kRemoteResource,
+                                 "job cannot reach I/O proxy")
+                               .caused_by(std::move(ep).error()));
+          return;
+        }
+        job_chirp_ = std::make_unique<chirp::ChirpClient>(
+            engine_, std::move(ep).value(), timeouts_.chirp_timeout);
+
+        Result<std::string> cookie =
+            machine_fs_.read_file(chirp::cookie_path(scratch_));
+        if (!cookie.ok()) {
+          fail_environment(Error(ErrorKind::kScratchUnavailable,
+                                 ErrorScope::kRemoteResource,
+                                 "job cannot read chirp cookie")
+                               .caused_by(std::move(cookie).error()));
+          return;
+        }
+        job_chirp_->authenticate(
+            cookie.value(), [this, alive](Result<void> auth) {
+              if (!*alive) return;
+              if (!auth.ok()) {
+                fail_environment(Error(ErrorKind::kAuthenticationFailed,
+                                       ErrorScope::kRemoteResource,
+                                       "job cannot authenticate to proxy")
+                                     .caused_by(std::move(auth).error()));
+                return;
+              }
+              jvm::ChirpJavaIo::Options io_options;
+              io_options.discipline = discipline_.io;
+              io_options.generic_diskfull_blocks =
+                  discipline_.generic_diskfull_blocks;
+              jvm::JvmConfig config = jvm_config_;
+              jvm::WrapMode wrap = discipline_.wrap;
+              if (is_standard_universe()) {
+                // The Condor syscall library *is* the concise interface;
+                // the binary needs no JVM and has no wrapper, and
+                // checkpointing is the universe's whole point.
+                io_options.discipline = jvm::IoDiscipline::kConcise;
+                config.installed = true;
+                config.classpath_ok = true;
+                config.startup_time = SimTime::msec(5);
+                wrap = jvm::WrapMode::kBare;
+              }
+              job_io_ = std::make_unique<jvm::ChirpJavaIo>(*job_chirp_,
+                                                           io_options);
+              jvm_ = std::make_unique<jvm::SimJvm>(engine_, config);
+              jvm::RunExtras extras;
+              if (discipline_.checkpointing || is_standard_universe()) {
+                extras.resume = resume_;
+                extras.sink = &checkpoint_sink_;
+                extras.checkpoint_interval = discipline_.checkpoint_interval;
+              }
+              jvm_control_ =
+                  jvm_->run(job_.program, *job_io_, wrap,
+                            &machine_fs_, scratch_ + "/.result",
+                            [this, alive](const jvm::JvmOutcome& outcome) {
+                              if (!*alive) return;
+                              on_jvm_outcome(outcome);
+                            },
+                            cancelled_, extras);
+            });
+      });
+}
+
+void Starter::on_jvm_outcome(const jvm::JvmOutcome& outcome) {
+  cpu_seconds_ = outcome.cpu_time.as_sec();
+  if (ground_truth_ != nullptr) {
+    AttemptGroundTruth truth;
+    truth.job_id = job_.id.value();
+    truth.machine = host_;
+    truth.completed_main = outcome.completed_main;
+    truth.system_exit = outcome.system_exit;
+    truth.condition = outcome.condition;
+    truth.cpu_seconds = cpu_seconds_;
+    ground_truth_->record(truth);
+  }
+  if (preempt_error_.has_value()) {
+    // The process died because we killed it; report the eviction, not the
+    // (absent) program result.
+    Error reason = std::move(*preempt_error_);
+    preempt_error_.reset();
+    fail_environment(std::move(reason));
+    return;
+  }
+  if (discipline_.wrap == jvm::WrapMode::kWrapped &&
+      !is_standard_universe()) {
+    interpret_wrapped(outcome);
+  } else {
+    interpret_bare(outcome);
+  }
+}
+
+void Starter::interpret_wrapped(const jvm::JvmOutcome& outcome) {
+  // The starter examines the result file and ignores the JVM exit code
+  // entirely (§4).
+  (void)outcome;
+  Result<std::string> text = machine_fs_.read_file(scratch_ + "/.result");
+  if (!text.ok()) {
+    fail_environment(Error(ErrorKind::kScratchUnavailable,
+                           ErrorScope::kRemoteResource,
+                           "wrapper result file unreadable")
+                         .caused_by(std::move(text).error()));
+    return;
+  }
+  Result<jvm::ResultFile> rf = jvm::ResultFile::parse(text.value());
+  if (!rf.ok()) {
+    fail_environment(Error(ErrorKind::kScratchUnavailable,
+                           ErrorScope::kRemoteResource,
+                           "wrapper result file corrupt")
+                         .caused_by(std::move(rf).error()));
+    return;
+  }
+  const jvm::ResultFile& result = rf.value();
+  if (result.exit_by == jvm::ResultFile::ExitBy::kException &&
+      result.error.has_value() &&
+      result.error->scope() != ErrorScope::kProgram) {
+    // An error in the surrounding environment, not a program result: the
+    // scope rides up the chain (Principle 3).
+    fail_environment(Error(*result.error));
+    return;
+  }
+  transfer_outputs(0, ExecutionSummary::program(result, host_, cpu_seconds_));
+}
+
+void Starter::interpret_bare(const jvm::JvmOutcome& outcome) {
+  // All the starter has is Figure 4's result code.
+  jvm::ResultFile rf;
+  if (outcome.exit_code == 0) {
+    rf.exit_by = jvm::ResultFile::ExitBy::kCompletion;
+    rf.exit_code = 0;
+  } else {
+    rf.exit_by = jvm::ResultFile::ExitBy::kSystemExit;
+    rf.exit_code = outcome.exit_code;
+  }
+  transfer_outputs(0, ExecutionSummary::program(rf, host_, cpu_seconds_));
+}
+
+void Starter::transfer_outputs(std::size_t index, ExecutionSummary summary) {
+  if (!summary.have_program_result ||
+      summary.program_result.exit_by == jvm::ResultFile::ExitBy::kException ||
+      index >= job_.output_files.size()) {
+    report(std::move(summary));
+    return;
+  }
+  const std::string& name = job_.output_files[index];
+  Result<std::string> data = machine_fs_.read_file(scratch_ + "/" + name);
+  if (!data.ok()) {
+    // The program chose not to produce this output; nothing to transfer.
+    transfer_outputs(index + 1, std::move(summary));
+    return;
+  }
+  classad::ClassAd body;
+  body.set("Path", name);
+  body.set("Data", data.value());
+  std::shared_ptr<bool> alive = alive_;
+  shadow_->request(
+      kCmdStoreFile, std::move(body),
+      [this, alive, index, name, summary = std::move(summary)](
+          Result<classad::ClassAd> r) mutable {
+        if (!*alive) return;
+        if (!r.ok()) {
+          fail_environment(std::move(r).error());
+          return;
+        }
+        if (!r.value().eval_bool("Ok")) {
+          std::optional<Error> e = error_from_ad(r.value(), "Error");
+          fail_environment(
+              Error(ErrorKind::kInputUnavailable, ErrorScope::kLocalResource,
+                    "cannot store output " + name)
+                  .caused_by(e.value_or(Error(ErrorKind::kUnknown))));
+          return;
+        }
+        transfer_outputs(index + 1, std::move(summary));
+      });
+}
+
+void Starter::report(ExecutionSummary summary) {
+  if (finished_) return;
+  finished_ = true;
+  log_.info("job ", job_.id.value(), ": ", summary.str());
+  if (shadow_->is_open()) {
+    shadow_->notify(kCmdJobSummary, summary.to_ad());
+  }
+  cleanup();
+  if (on_finished_) on_finished_();
+}
+
+void Starter::fail_environment(Error error) {
+  report(ExecutionSummary::environment(
+      std::move(error).with_origin("starter@" + host_), host_,
+      cpu_seconds_));
+}
+
+void Starter::ShadowCheckpointSink::store(const jvm::Checkpoint& checkpoint) {
+  if (owner_.finished_ || !owner_.shadow_->is_open()) return;
+  classad::ClassAd body;
+  body.set("JobId", static_cast<std::int64_t>(owner_.job_.id.value()));
+  body.set("Checkpoint", checkpoint.encode());
+  owner_.shadow_->notify(kCmdCheckpoint, std::move(body));
+}
+
+void Starter::preempt(const std::string& why) {
+  if (finished_) return;
+  Error reason = Error(ErrorKind::kPolicyRefused, ErrorScope::kRemoteResource,
+                       "evicted: " + why)
+                     .with_label("evicted", why);
+  if (jvm_control_ != nullptr && !jvm_control_->finished()) {
+    // Kill the process; its death report flows through on_jvm_outcome so
+    // the consumed CPU is still accounted for.
+    preempt_error_ = reason;
+    jvm_control_->terminate(std::move(reason));
+    return;
+  }
+  // Not running yet (staging phase): report directly.
+  *cancelled_ = true;
+  fail_environment(std::move(reason));
+}
+
+void Starter::kill(const std::string& why) {
+  if (finished_) return;
+  finished_ = true;
+  log_.info("job ", job_.id.value(), " killed: ", why);
+  *alive_ = false;
+  *cancelled_ = true;
+  cleanup();
+}
+
+void Starter::cleanup() {
+  if (proxy_listening_) {
+    fabric_.unlisten({host_, proxy_port_});
+    proxy_listening_ = false;
+  }
+  if (!scratch_.empty()) {
+    (void)machine_fs_.remove_all(scratch_);
+  }
+}
+
+}  // namespace esg::daemons

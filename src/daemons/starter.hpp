@@ -1,0 +1,162 @@
+// The starter: manager of one job's execution environment (§2.1, §2.2).
+//
+// Responsibilities, in order: create a scratch directory, transfer input
+// files from the shadow, reveal the Chirp cookie through the local
+// filesystem, run the I/O proxy, invoke the JVM (bare or wrapped per the
+// discipline), interpret the outcome, transfer outputs back, and report an
+// ExecutionSummary. The starter manages remote-resource scope: failures of
+// the machine it runs on are *its* to classify and report.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chirp/client.hpp"
+#include "chirp/server.hpp"
+#include "daemons/config.hpp"
+#include "daemons/groundtruth.hpp"
+#include "daemons/job.hpp"
+#include "daemons/rpc.hpp"
+#include "fs/simfs.hpp"
+#include "jvm/jvm.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::daemons {
+
+/// Routes proxy operations: relative paths go to the local scratch
+/// sandbox; absolute paths are forwarded to the shadow's remote I/O
+/// channel over the starter<->shadow RPC connection (§2.2: "We demonstrate
+/// a typical application of the proxy by making use of the standard Condor
+/// remote I/O channel to the shadow").
+class ProxyBackend final : public chirp::Backend {
+ public:
+  ProxyBackend(fs::SimFileSystem& machine_fs, std::string scratch_dir,
+               std::shared_ptr<RpcChannel> shadow);
+
+  void op_open(const std::string& path, const std::string& mode,
+               Reply reply) override;
+  void op_close(std::int64_t fd, Reply reply) override;
+  void op_read(std::int64_t fd, std::int64_t length, Reply reply) override;
+  void op_write(std::int64_t fd, const std::string& data,
+                Reply reply) override;
+  void op_lseek(std::int64_t fd, std::int64_t offset, Reply reply) override;
+  void op_stat(const std::string& path, Reply reply) override;
+  void op_unlink(const std::string& path, Reply reply) override;
+  void op_mkdir(const std::string& path, Reply reply) override;
+  void op_rmdir(const std::string& path, Reply reply) override;
+  void op_rename(const std::string& from, const std::string& to,
+                 Reply reply) override;
+  void op_getdir(const std::string& path, Reply reply) override;
+
+ private:
+  static bool is_remote(const std::string& path) {
+    return !path.empty() && path[0] == '/';
+  }
+  void forward(const chirp::Request& req, Reply reply);
+
+  chirp::FsBackend local_;
+  std::shared_ptr<RpcChannel> shadow_;
+  // Our fd namespace: maps to (remote?, backend fd).
+  struct FdEntry {
+    bool remote = false;
+    std::int64_t backend_fd = 0;
+  };
+  std::map<std::int64_t, FdEntry> fds_;
+  std::int64_t next_fd_ = 3;
+};
+
+class Starter {
+ public:
+  Starter(sim::Engine& engine, net::NetworkFabric& fabric,
+          fs::SimFileSystem& machine_fs, std::string host,
+          jvm::JvmConfig jvm_config, DisciplineConfig discipline,
+          Timeouts timeouts, JobDescription job,
+          std::shared_ptr<RpcChannel> shadow, int proxy_port,
+          GroundTruthLog* ground_truth, std::function<void()> on_finished);
+
+  /// Resume point shipped with the activation (empty = fresh start).
+  void set_resume(jvm::Checkpoint resume) { resume_ = resume; }
+  ~Starter();
+
+  Starter(const Starter&) = delete;
+  Starter& operator=(const Starter&) = delete;
+
+  void run();
+
+  /// Tear down without reporting (channel already dead or claim revoked).
+  void kill(const std::string& why);
+
+  /// Owner policy eviction: stop the job and report a remote-resource
+  /// scope condition — the job did nothing wrong; the machine withdrew.
+  void preempt(const std::string& why);
+
+  [[nodiscard]] const std::string& scratch_dir() const { return scratch_; }
+
+ private:
+  void fetch_inputs(std::size_t index, std::function<void(Result<void>)> done);
+  void start_proxy();
+  void keepalive();
+  void launch_job();
+  void launch_java();
+  void launch_vanilla();
+  [[nodiscard]] bool is_standard_universe() const;
+  void on_jvm_outcome(const jvm::JvmOutcome& outcome);
+  void interpret_wrapped(const jvm::JvmOutcome& outcome);
+  void interpret_bare(const jvm::JvmOutcome& outcome);
+  void transfer_outputs(std::size_t index, ExecutionSummary summary);
+  void report(ExecutionSummary summary);
+  void fail_environment(Error error);
+  void cleanup();
+
+  sim::Engine& engine_;
+  net::NetworkFabric& fabric_;
+  fs::SimFileSystem& machine_fs_;
+  std::string host_;
+  Logger log_;
+  jvm::JvmConfig jvm_config_;
+  DisciplineConfig discipline_;
+  Timeouts timeouts_;
+  JobDescription job_;
+  std::shared_ptr<RpcChannel> shadow_;
+  int proxy_port_;
+  GroundTruthLog* ground_truth_;
+  std::function<void()> on_finished_;
+
+  std::string scratch_;
+  std::string secret_;
+  Rng rng_;
+  std::unique_ptr<ProxyBackend> backend_;
+  std::vector<std::unique_ptr<chirp::ChirpServer>> proxy_servers_;
+  /// Forwards checkpoints over the shadow channel to stable storage.
+  class ShadowCheckpointSink final : public jvm::CheckpointSink {
+   public:
+    explicit ShadowCheckpointSink(Starter& owner) : owner_(owner) {}
+    void store(const jvm::Checkpoint& checkpoint) override;
+
+   private:
+    Starter& owner_;
+  };
+
+  std::unique_ptr<chirp::ChirpClient> job_chirp_;
+  std::unique_ptr<jvm::ChirpJavaIo> job_io_;
+  std::unique_ptr<jvm::LocalJavaIo> vanilla_io_;
+  std::unique_ptr<jvm::SimJvm> jvm_;
+  std::shared_ptr<jvm::JvmControl> jvm_control_;
+  ShadowCheckpointSink checkpoint_sink_{*this};
+  jvm::Checkpoint resume_;
+  /// Set while an eviction is being delivered: on_jvm_outcome reports this
+  /// instead of interpreting the (killed) process's result.
+  std::optional<Error> preempt_error_;
+  bool proxy_listening_ = false;
+  bool finished_ = false;
+  double cpu_seconds_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Inverse of alive_, for SimJvm's cancel token (true = killed).
+  std::shared_ptr<bool> cancelled_ = std::make_shared<bool>(false);
+};
+
+}  // namespace esg::daemons

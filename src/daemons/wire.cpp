@@ -1,0 +1,28 @@
+#include "daemons/wire.hpp"
+
+namespace esg::daemons {
+
+std::string WireMessage::encode() const {
+  return command + "\n" + body.str();
+}
+
+Result<WireMessage> WireMessage::parse(const std::string& wire) {
+  const std::size_t nl = wire.find('\n');
+  WireMessage out;
+  out.command = wire.substr(0, nl);
+  if (out.command.empty()) {
+    return Error(ErrorKind::kRequestMalformed, "empty wire command");
+  }
+  if (nl != std::string::npos && nl + 1 < wire.size()) {
+    Result<classad::ClassAd> ad = classad::parse_classad(wire.substr(nl + 1));
+    if (!ad.ok()) {
+      return Error(ErrorKind::kRequestMalformed,
+                   "bad wire body for " + out.command + ": " +
+                       ad.error().message());
+    }
+    out.body = std::move(ad).value();
+  }
+  return out;
+}
+
+}  // namespace esg::daemons

@@ -1,0 +1,42 @@
+// Wire format for daemon-to-daemon messages.
+//
+// Like real Condor, daemons speak ClassAds to each other: every message is
+// a command word plus an ad. Every parse is defensive — the peer is an
+// autonomous component and its output crosses a trust boundary.
+#pragma once
+
+#include <string>
+
+#include "classad/classad.hpp"
+#include "core/result.hpp"
+
+namespace esg::daemons {
+
+struct WireMessage {
+  std::string command;
+  classad::ClassAd body;
+
+  [[nodiscard]] std::string encode() const;
+  static Result<WireMessage> parse(const std::string& wire);
+};
+
+// Command vocabulary (concise and finite, per Principle 4).
+inline constexpr const char* kCmdUpdateStartdAd = "UPDATE_STARTD_AD";
+inline constexpr const char* kCmdUpdateSubmitterAd = "UPDATE_SUBMITTER_AD";
+inline constexpr const char* kCmdNotifyMatch = "NOTIFY_MATCH";
+inline constexpr const char* kCmdRequestClaim = "REQUEST_CLAIM";
+inline constexpr const char* kCmdClaimGranted = "CLAIM_GRANTED";
+inline constexpr const char* kCmdClaimDenied = "CLAIM_DENIED";
+inline constexpr const char* kCmdActivateClaim = "ACTIVATE_CLAIM";
+inline constexpr const char* kCmdActivated = "ACTIVATED";
+inline constexpr const char* kCmdActivateFailed = "ACTIVATE_FAILED";
+inline constexpr const char* kCmdReleaseClaim = "RELEASE_CLAIM";
+inline constexpr const char* kCmdFetchFile = "FETCH_FILE";
+inline constexpr const char* kCmdStoreFile = "STORE_FILE";
+inline constexpr const char* kCmdRemoteIo = "REMOTE_IO";
+inline constexpr const char* kCmdJobSummary = "JOB_SUMMARY";
+inline constexpr const char* kCmdCheckpoint = "CHECKPOINT_STORE";
+inline constexpr const char* kCmdKeepalive = "KEEPALIVE";
+inline constexpr const char* kCmdReply = "REPLY";
+
+}  // namespace esg::daemons

@@ -1,0 +1,113 @@
+#include "fs/retry.hpp"
+
+#include <memory>
+
+namespace esg::fs {
+
+bool is_retryable(const Error& error) {
+  switch (error.kind()) {
+    case ErrorKind::kMountOffline:
+    case ErrorKind::kIoError:
+    case ErrorKind::kConnectionTimedOut:
+    case ErrorKind::kConnectionLost:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+struct Attempt {
+  sim::Engine* engine;
+  SimFileSystem* fs;
+  std::string path;
+  RetryPolicy policy;
+  const ScopeEscalator* escalator;
+  std::function<void(PolicyOutcome)> done;
+  SimTime started{};
+  int attempts = 0;
+};
+
+void try_once(const std::shared_ptr<Attempt>& attempt) {
+  ++attempt->attempts;
+  Result<std::string> r = attempt->fs->read_file(attempt->path);
+  PolicyOutcome out;
+  out.attempts = attempt->attempts;
+  out.latency = attempt->engine->now() - attempt->started;
+  if (r.ok()) {
+    out.succeeded = true;
+    out.data = std::move(r).value();
+    attempt->done(std::move(out));
+    return;
+  }
+  Error e = std::move(r).error();
+  if (!is_retryable(e)) {
+    out.error = std::move(e);
+    attempt->done(std::move(out));
+    return;
+  }
+  switch (attempt->policy.mode) {
+    case RetryPolicy::Mode::kHard:
+      // Hide the error; keep trying. The caller hangs for the duration —
+      // exactly NFS's hard-mount behaviour.
+      attempt->engine->schedule(attempt->policy.retry_interval,
+                                [attempt] { try_once(attempt); });
+      return;
+    case RetryPolicy::Mode::kSoft:
+      if (attempt->attempts <= attempt->policy.max_retries) {
+        attempt->engine->schedule(attempt->policy.retry_interval,
+                                  [attempt] { try_once(attempt); });
+        return;
+      }
+      // Expose the failure after the fixed retry budget. What the caller
+      // sees is the NFS client's view — "server not responding", network
+      // scope — because from here the true scope is indeterminate (§5).
+      out.error = Error(ErrorKind::kConnectionTimedOut,
+                        "server not responding after " +
+                            std::to_string(attempt->policy.max_retries) +
+                            " retries")
+                      .caused_by(std::move(e));
+      attempt->done(std::move(out));
+      return;
+    case RetryPolicy::Mode::kDeadline: {
+      const SimTime persisted = attempt->engine->now() - attempt->started;
+      if (persisted < attempt->policy.deadline) {
+        attempt->engine->schedule(attempt->policy.retry_interval,
+                                  [attempt] { try_once(attempt); });
+        return;
+      }
+      // The caller's own deadline expired: surface the client-view error
+      // (network scope at first sight), escalated for the time the fault
+      // persisted (§5: a failure of one second is network scope; a
+      // persistent one invalidates more).
+      Error timeout = Error(ErrorKind::kConnectionTimedOut,
+                            "deadline of " + attempt->policy.deadline.str() +
+                                " expired")
+                          .caused_by(std::move(e));
+      out.error = attempt->escalator->escalate(
+          std::move(timeout), attempt->started, attempt->engine->now());
+      attempt->done(std::move(out));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void read_with_policy(sim::Engine& engine, SimFileSystem& fs,
+                      const std::string& path, const RetryPolicy& policy,
+                      const ScopeEscalator& escalator,
+                      std::function<void(PolicyOutcome)> done) {
+  auto attempt = std::make_shared<Attempt>();
+  attempt->engine = &engine;
+  attempt->fs = &fs;
+  attempt->path = path;
+  attempt->policy = policy;
+  attempt->escalator = &escalator;
+  attempt->done = std::move(done);
+  attempt->started = engine.now();
+  try_once(attempt);
+}
+
+}  // namespace esg::fs

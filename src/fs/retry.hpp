@@ -1,0 +1,45 @@
+// Retry policies over the filesystem — the §5 NFS hard/soft/deadline triad.
+//
+// "A file system may either be 'hard mounted' to hide all network errors
+// or 'soft mounted' to expose them to callers after a certain retry period
+// expires. Both of these choices are unsavory, as they offer no mechanism
+// for a single program to choose its own failure criteria."
+//
+// read_with_policy() is that mechanism: kHard retries forever, kSoft gives
+// up after a fixed retry budget, and kDeadline lets the caller pick its
+// own deadline — after which the error surfaces with its scope escalated
+// for the time the fault persisted.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/escalate.hpp"
+#include "fs/simfs.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::fs {
+
+struct PolicyOutcome {
+  bool succeeded = false;
+  std::string data;              ///< on success
+  std::optional<Error> error;    ///< on failure, scope possibly escalated
+  int attempts = 0;
+  SimTime latency{};             ///< total time until success or give-up
+};
+
+/// Is this the kind of transient, resource-level error a mount policy
+/// should retry? (Namespace errors like FileNotFound surface immediately:
+/// retrying cannot create the file.)
+bool is_retryable(const Error& error);
+
+/// Read a whole file under a retry policy. `done` fires exactly once.
+/// kHard never fails on retryable errors — the caller simply waits
+/// (possibly forever). The escalator is consulted only by kDeadline.
+void read_with_policy(sim::Engine& engine, SimFileSystem& fs,
+                      const std::string& path, const RetryPolicy& policy,
+                      const ScopeEscalator& escalator,
+                      std::function<void(PolicyOutcome)> done);
+
+}  // namespace esg::fs

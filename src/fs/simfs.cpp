@@ -1,0 +1,583 @@
+#include "fs/simfs.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace esg::fs {
+
+namespace detail {
+
+struct Node {
+  std::string name;
+  bool is_dir = false;
+  std::string data;                                   // files
+  std::map<std::string, std::shared_ptr<Node>> kids;  // directories
+  Mount* mount = nullptr;
+  SimTime mtime{};
+};
+
+struct Mount {
+  std::string prefix;            // normalized, no trailing slash except "/"
+  std::uint64_t capacity = 0;    // 0 = unlimited
+  std::uint64_t used = 0;
+  bool online = true;
+};
+
+}  // namespace detail
+
+using detail::Mount;
+using detail::Node;
+
+Result<std::string> normalize_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Error(ErrorKind::kRequestMalformed,
+                 "path must be absolute: '" + path + "'");
+  }
+  std::vector<std::string> parts;
+  for (const std::string& piece : split(path, '/')) {
+    if (piece.empty() || piece == ".") continue;
+    if (piece == "..") {
+      return Error(ErrorKind::kAccessDenied,
+                   "upward traversal forbidden: '" + path + "'");
+    }
+    parts.push_back(piece);
+  }
+  std::string out = "/";
+  out += join(parts, "/");
+  return out;
+}
+
+SimFileSystem::SimFileSystem(std::string host)
+    : host_(std::move(host)), fault_rng_(0) {
+  root_ = std::make_shared<Node>();
+  root_->is_dir = true;
+  root_->name = "/";
+  auto root_mount = std::make_unique<Mount>();
+  root_mount->prefix = "/";
+  mounts_.push_back(std::move(root_mount));
+  root_->mount = mounts_.front().get();
+}
+
+SimFileSystem::~SimFileSystem() = default;
+
+Result<std::vector<std::string>> SimFileSystem::components(
+    const std::string& path) const {
+  Result<std::string> norm = normalize_path(path);
+  if (!norm.ok()) return std::move(norm).error();
+  std::vector<std::string> parts;
+  for (const std::string& piece : split(norm.value(), '/')) {
+    if (!piece.empty()) parts.push_back(piece);
+  }
+  return parts;
+}
+
+Mount* SimFileSystem::mount_for(const std::string& path) {
+  return const_cast<Mount*>(
+      static_cast<const SimFileSystem*>(this)->mount_for(path));
+}
+
+const Mount* SimFileSystem::mount_for(const std::string& path) const {
+  const Mount* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& m : mounts_) {
+    const std::string& p = m->prefix;
+    const bool hit = p == "/" || path == p ||
+                     (starts_with(path, p) && path.size() > p.size() &&
+                      path[p.size()] == '/');
+    if (hit && p.size() >= best_len) {
+      best = m.get();
+      best_len = p.size();
+    }
+  }
+  return best;
+}
+
+Result<void> SimFileSystem::check_available(const std::string& path) {
+  const Mount* m = mount_for(path);
+  if (m != nullptr && !m->online) {
+    return Error(ErrorKind::kMountOffline,
+                 "filesystem '" + m->prefix + "' on " + host_ + " is offline")
+        .with_label("injected", "mount-offline");
+  }
+  return Ok();
+}
+
+Result<void> SimFileSystem::maybe_inject() {
+  ++ops_;
+  if (fault_rate_ > 0 && fault_rng_.chance(fault_rate_)) {
+    return Error(ErrorKind::kIoError, "transient device error on " + host_)
+        .with_label("injected", "transient-io");
+  }
+  return Ok();
+}
+
+Result<SimFileSystem::Resolved> SimFileSystem::resolve(
+    const std::string& path) {
+  Result<std::vector<std::string>> parts = components(path);
+  if (!parts.ok()) return std::move(parts).error();
+  Resolved out;
+  std::shared_ptr<Node> cur = root_;
+  out.parent = root_;
+  out.node = root_;
+  out.leaf = "/";
+  for (std::size_t i = 0; i < parts.value().size(); ++i) {
+    const std::string& name = parts.value()[i];
+    if (!cur->is_dir) {
+      return Error(ErrorKind::kNotDirectory,
+                   "'" + name + "' traverses a non-directory in " + path);
+    }
+    auto it = cur->kids.find(name);
+    out.leaf = name;
+    if (i + 1 == parts.value().size()) {
+      out.parent = cur;
+      out.node = it == cur->kids.end() ? nullptr : it->second;
+      return out;
+    }
+    if (it == cur->kids.end()) {
+      out.parent = nullptr;
+      out.node = nullptr;
+      return out;  // an intermediate directory is missing
+    }
+    cur = it->second;
+  }
+  return out;
+}
+
+namespace {
+
+Result<std::string> normalized(const std::string& path) {
+  return normalize_path(path);
+}
+
+}  // namespace
+
+Result<void> SimFileSystem::mkdir(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok()) return r;
+  if (Result<void> r = maybe_inject(); !r.ok()) return r;
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node != nullptr) {
+    if (res.value().node == root_) return Ok();
+    return Error(ErrorKind::kFileExists, "'" + path + "' exists");
+  }
+  if (res.value().parent == nullptr) {
+    return Error(ErrorKind::kFileNotFound,
+                 "parent of '" + path + "' does not exist");
+  }
+  auto node = std::make_shared<Node>();
+  node->name = res.value().leaf;
+  node->is_dir = true;
+  node->mount = mount_for(norm.value());
+  res.value().parent->kids[res.value().leaf] = std::move(node);
+  return Ok();
+}
+
+Result<void> SimFileSystem::mkdirs(const std::string& path) {
+  Result<std::vector<std::string>> parts = components(path);
+  if (!parts.ok()) return std::move(parts).error();
+  std::string prefix;
+  for (const std::string& piece : parts.value()) {
+    prefix += "/" + piece;
+    Result<Resolved> res = resolve(prefix);
+    if (!res.ok()) return std::move(res).error();
+    if (res.value().node != nullptr) {
+      if (!res.value().node->is_dir) {
+        return Error(ErrorKind::kNotDirectory, "'" + prefix + "' is a file");
+      }
+      continue;
+    }
+    if (Result<void> r = mkdir(prefix); !r.ok()) return r;
+  }
+  return Ok();
+}
+
+Result<FileHandle> SimFileSystem::open(const std::string& path,
+                                       OpenMode mode) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok())
+    return std::move(r).error();
+  if (Result<void> r = maybe_inject(); !r.ok()) return std::move(r).error();
+
+  // Access control.
+  bool readable = true;
+  bool writable = true;
+  for (const auto& [prefix, rw] : acls_) {
+    if (norm.value() == prefix ||
+        (starts_with(norm.value(), prefix) &&
+         (prefix == "/" || norm.value()[prefix.size()] == '/'))) {
+      readable = rw.first;
+      writable = rw.second;
+    }
+  }
+  const bool want_write = mode != OpenMode::kRead;
+  if (want_write && !writable) {
+    return Error(ErrorKind::kAccessDenied,
+                 "'" + path + "' is not writable on " + host_);
+  }
+  if (!want_write && !readable) {
+    return Error(ErrorKind::kAccessDenied,
+                 "'" + path + "' is not readable on " + host_);
+  }
+
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  std::shared_ptr<Node> node = res.value().node;
+  if (node != nullptr && node->is_dir) {
+    return Error(ErrorKind::kIsDirectory, "'" + path + "' is a directory");
+  }
+  if (mode == OpenMode::kRead) {
+    if (node == nullptr) {
+      return Error(ErrorKind::kFileNotFound, "'" + path + "' not found on " + host_);
+    }
+    return FileHandle(this, std::move(node), false);
+  }
+  if (node == nullptr) {
+    if (res.value().parent == nullptr) {
+      return Error(ErrorKind::kFileNotFound,
+                   "parent of '" + path + "' does not exist");
+    }
+    node = std::make_shared<Node>();
+    node->name = res.value().leaf;
+    node->mount = mount_for(norm.value());
+    res.value().parent->kids[res.value().leaf] = node;
+  } else if (mode == OpenMode::kWrite) {
+    // Truncate: release the mount bytes.
+    if (node->mount != nullptr) node->mount->used -= node->data.size();
+    node->data.clear();
+  }
+  FileHandle h(this, node, true);
+  if (mode == OpenMode::kAppend) h.offset_ = node->data.size();
+  return h;
+}
+
+Result<void> SimFileSystem::unlink(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok()) return r;
+  if (Result<void> r = maybe_inject(); !r.ok()) return r;
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + path + "' not found");
+  }
+  if (res.value().node->is_dir) {
+    return Error(ErrorKind::kIsDirectory, "'" + path + "' is a directory");
+  }
+  if (res.value().node->mount != nullptr) {
+    res.value().node->mount->used -= res.value().node->data.size();
+  }
+  res.value().parent->kids.erase(res.value().leaf);
+  return Ok();
+}
+
+Result<void> SimFileSystem::rmdir(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok()) return r;
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + path + "' not found");
+  }
+  if (!res.value().node->is_dir) {
+    return Error(ErrorKind::kNotDirectory, "'" + path + "' is not a directory");
+  }
+  if (!res.value().node->kids.empty()) {
+    return Error(ErrorKind::kAccessDenied, "'" + path + "' is not empty");
+  }
+  if (res.value().node == root_) {
+    return Error(ErrorKind::kAccessDenied, "cannot remove '/'");
+  }
+  res.value().parent->kids.erase(res.value().leaf);
+  return Ok();
+}
+
+namespace {
+
+void release_recursive(Node& node) {
+  if (!node.is_dir) {
+    if (node.mount != nullptr) node.mount->used -= node.data.size();
+    return;
+  }
+  for (auto& [name, kid] : node.kids) release_recursive(*kid);
+}
+
+}  // namespace
+
+Result<void> SimFileSystem::remove_all(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok()) return r;
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + path + "' not found");
+  }
+  if (res.value().node == root_) {
+    return Error(ErrorKind::kAccessDenied, "cannot remove '/'");
+  }
+  release_recursive(*res.value().node);
+  res.value().parent->kids.erase(res.value().leaf);
+  return Ok();
+}
+
+Result<void> SimFileSystem::rename(const std::string& from,
+                                   const std::string& to) {
+  Result<std::string> from_norm = normalized(from);
+  if (!from_norm.ok()) return std::move(from_norm).error();
+  Result<std::string> to_norm = normalized(to);
+  if (!to_norm.ok()) return std::move(to_norm).error();
+  if (Result<void> r = check_available(from_norm.value()); !r.ok()) return r;
+  if (Result<void> r = check_available(to_norm.value()); !r.ok()) return r;
+  if (Result<void> r = maybe_inject(); !r.ok()) return r;
+
+  const Mount* from_mount = mount_for(from_norm.value());
+  const Mount* to_mount = mount_for(to_norm.value());
+  if (from_mount != to_mount) {
+    return Error(ErrorKind::kAccessDenied,
+                 "rename across mounts: '" + from + "' -> '" + to + "'");
+  }
+  Result<Resolved> src = resolve(from_norm.value());
+  if (!src.ok()) return std::move(src).error();
+  if (src.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + from + "' not found");
+  }
+  if (src.value().node == root_) {
+    return Error(ErrorKind::kAccessDenied, "cannot rename '/'");
+  }
+  Result<Resolved> dst = resolve(to_norm.value());
+  if (!dst.ok()) return std::move(dst).error();
+  if (dst.value().node != nullptr) {
+    return Error(ErrorKind::kFileExists, "'" + to + "' exists");
+  }
+  if (dst.value().parent == nullptr) {
+    return Error(ErrorKind::kFileNotFound,
+                 "parent of '" + to + "' does not exist");
+  }
+  std::shared_ptr<Node> moving = src.value().node;
+  src.value().parent->kids.erase(src.value().leaf);
+  moving->name = dst.value().leaf;
+  dst.value().parent->kids[dst.value().leaf] = std::move(moving);
+  return Ok();
+}
+
+Result<Stat> SimFileSystem::stat(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok())
+    return std::move(r).error();
+  if (Result<void> r = maybe_inject(); !r.ok()) return std::move(r).error();
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + path + "' not found on " + host_);
+  }
+  Stat s;
+  s.is_dir = res.value().node->is_dir;
+  s.size = res.value().node->data.size();
+  s.mtime = res.value().node->mtime;
+  return s;
+}
+
+Result<std::vector<std::string>> SimFileSystem::list(const std::string& path) {
+  Result<std::string> norm = normalized(path);
+  if (!norm.ok()) return std::move(norm).error();
+  if (Result<void> r = check_available(norm.value()); !r.ok())
+    return std::move(r).error();
+  Result<Resolved> res = resolve(norm.value());
+  if (!res.ok()) return std::move(res).error();
+  if (res.value().node == nullptr) {
+    return Error(ErrorKind::kFileNotFound, "'" + path + "' not found");
+  }
+  if (!res.value().node->is_dir) {
+    return Error(ErrorKind::kNotDirectory, "'" + path + "' is not a directory");
+  }
+  std::vector<std::string> names;
+  names.reserve(res.value().node->kids.size());
+  for (const auto& [name, kid] : res.value().node->kids) names.push_back(name);
+  return names;
+}
+
+bool SimFileSystem::exists(const std::string& path) {
+  Result<Resolved> res = resolve(path);
+  return res.ok() && res.value().node != nullptr;
+}
+
+Result<std::string> SimFileSystem::read_file(const std::string& path) {
+  Result<FileHandle> h = open(path, OpenMode::kRead);
+  if (!h.ok()) return std::move(h).error();
+  Result<std::uint64_t> size = h.value().size();
+  if (!size.ok()) return std::move(size).error();
+  return h.value().read(static_cast<std::size_t>(size.value()));
+}
+
+Result<void> SimFileSystem::write_file(const std::string& path,
+                                       const std::string& data) {
+  Result<FileHandle> h = open(path, OpenMode::kWrite);
+  if (!h.ok()) return std::move(h).error();
+  return h.value().write(data);
+}
+
+void SimFileSystem::set_access(const std::string& path, bool readable,
+                               bool writable) {
+  Result<std::string> norm = normalize_path(path);
+  if (!norm.ok()) return;
+  acls_.emplace_back(norm.value(), std::make_pair(readable, writable));
+}
+
+void SimFileSystem::add_mount(const std::string& prefix,
+                              std::uint64_t capacity_bytes) {
+  Result<std::string> norm = normalize_path(prefix);
+  if (!norm.ok()) return;
+  auto m = std::make_unique<Mount>();
+  m->prefix = norm.value();
+  m->capacity = capacity_bytes;
+  mounts_.push_back(std::move(m));
+  (void)mkdirs(norm.value());
+}
+
+void SimFileSystem::set_mount_online(const std::string& prefix, bool online) {
+  Result<std::string> norm = normalize_path(prefix);
+  if (!norm.ok()) return;
+  for (auto& m : mounts_) {
+    if (m->prefix == norm.value()) m->online = online;
+  }
+}
+
+bool SimFileSystem::mount_online(const std::string& prefix) const {
+  const Mount* m = mount_for(prefix);
+  return m == nullptr || m->online;
+}
+
+std::uint64_t SimFileSystem::mount_used(const std::string& prefix) const {
+  const Mount* m = mount_for(prefix);
+  return m == nullptr ? 0 : m->used;
+}
+
+void SimFileSystem::set_transient_fault_rate(double prob, Rng rng) {
+  fault_rate_ = prob;
+  fault_rng_ = rng;
+}
+
+void SimFileSystem::set_silent_corruption_rate(double prob, Rng rng) {
+  corruption_rate_ = prob;
+  corruption_rng_ = rng;
+}
+
+Result<void> SimFileSystem::charge_mount(Node& node, std::uint64_t new_size) {
+  Mount* m = node.mount;
+  if (m == nullptr) return Ok();
+  const std::uint64_t old_size = node.data.size();
+  if (new_size > old_size) {
+    const std::uint64_t grow = new_size - old_size;
+    if (m->capacity != 0 && m->used + grow > m->capacity) {
+      return Error(ErrorKind::kDiskFull,
+                   "filesystem '" + m->prefix + "' on " + host_ + " is full");
+    }
+    m->used += grow;
+  } else {
+    m->used -= old_size - new_size;
+  }
+  return Ok();
+}
+
+// ---- FileHandle ----
+
+FileHandle::FileHandle(SimFileSystem* owner, std::shared_ptr<Node> node,
+                       bool writable)
+    : owner_(owner), node_(std::move(node)), writable_(writable) {}
+
+Result<std::string> FileHandle::read(std::size_t n) {
+  if (!valid()) {
+    return Error(ErrorKind::kBadFileDescriptor, "read on closed handle");
+  }
+  if (node_->mount != nullptr && !node_->mount->online) {
+    return Error(ErrorKind::kMountOffline, "filesystem '" +
+                                               node_->mount->prefix + "' on " +
+                                               owner_->host() + " is offline")
+        .with_label("injected", "mount-offline");
+  }
+  if (Result<void> r = owner_->maybe_inject(); !r.ok())
+    return std::move(r).error();
+  if (offset_ >= node_->data.size()) return std::string{};
+  const std::size_t avail = node_->data.size() - offset_;
+  const std::size_t take = std::min(n, avail);
+  std::string out = node_->data.substr(offset_, take);
+  offset_ += take;
+  // The implicit error: data presented as valid that is otherwise
+  // determined to be false (§3.1). No error is reported — deliberately.
+  // Only bulk reads are affected; see kCorruptionMinBytes.
+  if (out.size() >= SimFileSystem::kCorruptionMinBytes &&
+      owner_->corruption_rate_ > 0 &&
+      owner_->corruption_rng_.chance(owner_->corruption_rate_)) {
+    const std::size_t victim = static_cast<std::size_t>(
+        owner_->corruption_rng_.uniform_int(
+            0, static_cast<std::int64_t>(out.size()) - 1));
+    out[victim] = static_cast<char>(out[victim] ^ 0x20);
+    ++owner_->corruptions_;
+  }
+  return out;
+}
+
+Result<std::string> FileHandle::read_exact(std::size_t n) {
+  Result<std::string> r = read(n);
+  if (!r.ok()) return r;
+  if (r.value().size() != n) {
+    return Error(ErrorKind::kEndOfFile,
+                 "wanted " + std::to_string(n) + " bytes, got " +
+                     std::to_string(r.value().size()));
+  }
+  return r;
+}
+
+Result<void> FileHandle::write(const std::string& data) {
+  if (!valid()) {
+    return Error(ErrorKind::kBadFileDescriptor, "write on closed handle");
+  }
+  if (!writable_) {
+    return Error(ErrorKind::kAccessDenied, "handle opened read-only");
+  }
+  if (node_->mount != nullptr && !node_->mount->online) {
+    return Error(ErrorKind::kMountOffline, "filesystem '" +
+                                               node_->mount->prefix + "' on " +
+                                               owner_->host() + " is offline")
+        .with_label("injected", "mount-offline");
+  }
+  if (Result<void> r = owner_->maybe_inject(); !r.ok()) return r;
+  const std::uint64_t end = offset_ + data.size();
+  const std::uint64_t new_size =
+      std::max<std::uint64_t>(node_->data.size(), end);
+  if (Result<void> r = owner_->charge_mount(*node_, new_size); !r.ok()) {
+    return r;
+  }
+  if (node_->data.size() < end) node_->data.resize(end);
+  node_->data.replace(static_cast<std::size_t>(offset_), data.size(), data);
+  offset_ = end;
+  return Ok();
+}
+
+Result<void> FileHandle::seek(std::uint64_t offset) {
+  if (!valid()) {
+    return Error(ErrorKind::kBadFileDescriptor, "seek on closed handle");
+  }
+  offset_ = offset;
+  return Ok();
+}
+
+Result<std::uint64_t> FileHandle::size() const {
+  if (!valid()) {
+    return Error(ErrorKind::kBadFileDescriptor, "size on closed handle");
+  }
+  return static_cast<std::uint64_t>(node_->data.size());
+}
+
+void FileHandle::close() {
+  node_.reset();
+  owner_ = nullptr;
+}
+
+}  // namespace esg::fs

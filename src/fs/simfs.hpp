@@ -1,0 +1,175 @@
+// Simulated filesystem.
+//
+// Each host owns one SimFileSystem: an in-memory tree with mounts that can
+// go offline (the paper's "home file system was offline" case), capacity
+// limits (DiskFull), per-path access control (AccessDenied), and seeded
+// transient-fault injection (IoError). The error vocabulary deliberately
+// matches the paper's discussion of I/O interfaces: namespace operations
+// (open) fail with errors of permission and existence; data operations
+// (read/write) fail with bounds and capacity errors — and anything outside
+// that contract is the caller's cue for an escaping error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "core/result.hpp"
+
+namespace esg::fs {
+
+struct Stat {
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  SimTime mtime{};
+};
+
+enum class OpenMode {
+  kRead,      ///< existing file, read only
+  kWrite,     ///< create or truncate
+  kAppend,    ///< create or append
+};
+
+namespace detail {
+struct Node;
+struct Mount;
+}  // namespace detail
+
+class SimFileSystem;
+
+/// An open file. Handles stay usable across mount outages — operations
+/// fail while the mount is offline and succeed again when it returns —
+/// matching the NFS behaviour discussed in §5.
+class FileHandle {
+ public:
+  FileHandle() = default;
+
+  [[nodiscard]] bool valid() const { return node_ != nullptr; }
+
+  /// Read up to `n` bytes from the current offset. Returns an empty string
+  /// at end of file (POSIX convention).
+  Result<std::string> read(std::size_t n);
+
+  /// Read exactly `n` bytes or fail with kEndOfFile.
+  Result<std::string> read_exact(std::size_t n);
+
+  Result<void> write(const std::string& data);
+
+  /// Absolute seek. Seeking past EOF is allowed (sparse write semantics).
+  Result<void> seek(std::uint64_t offset);
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  Result<std::uint64_t> size() const;
+
+  void close();
+
+ private:
+  friend class SimFileSystem;
+  FileHandle(SimFileSystem* owner, std::shared_ptr<detail::Node> node,
+             bool writable);
+  SimFileSystem* owner_ = nullptr;
+  std::shared_ptr<detail::Node> node_;
+  std::uint64_t offset_ = 0;
+  bool writable_ = false;
+};
+
+class SimFileSystem {
+ public:
+  explicit SimFileSystem(std::string host);
+  ~SimFileSystem();  // out of line: detail::Mount is incomplete here
+
+  SimFileSystem(const SimFileSystem&) = delete;
+  SimFileSystem& operator=(const SimFileSystem&) = delete;
+
+  [[nodiscard]] const std::string& host() const { return host_; }
+
+  // -- namespace operations --
+  Result<void> mkdir(const std::string& path);
+  Result<void> mkdirs(const std::string& path);
+  Result<FileHandle> open(const std::string& path, OpenMode mode);
+  Result<void> unlink(const std::string& path);
+  Result<void> rmdir(const std::string& path);      ///< must be empty
+  Result<void> remove_all(const std::string& path); ///< recursive
+  /// Move a file or directory. The destination must not exist; moving
+  /// across mounts is rejected (like rename(2) across filesystems).
+  Result<void> rename(const std::string& from, const std::string& to);
+  Result<Stat> stat(const std::string& path);
+  Result<std::vector<std::string>> list(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path);
+
+  // -- whole-file conveniences --
+  Result<std::string> read_file(const std::string& path);
+  Result<void> write_file(const std::string& path, const std::string& data);
+
+  // -- access control --
+  /// Deny reads and/or writes under `path` (inclusive).
+  void set_access(const std::string& path, bool readable, bool writable);
+
+  // -- mounts --
+  /// Declare `prefix` a mount point with a byte capacity (0 = unlimited).
+  /// "/" is always an implicit unlimited mount.
+  void add_mount(const std::string& prefix, std::uint64_t capacity_bytes);
+  /// Take a mount offline / bring it back. Operations under an offline
+  /// mount fail with kMountOffline (local-resource scope by default).
+  void set_mount_online(const std::string& prefix, bool online);
+  [[nodiscard]] bool mount_online(const std::string& prefix) const;
+  [[nodiscard]] std::uint64_t mount_used(const std::string& prefix) const;
+
+  // -- fault injection --
+  /// Probability that any single operation fails with a transient kIoError.
+  void set_transient_fault_rate(double prob, Rng rng);
+
+  /// Probability that a bulk read (>= kCorruptionMinBytes) is *silently
+  /// corrupted* — one byte flipped, result presented as valid. This is the
+  /// paper's implicit error (§3.1/§5): no layer below the end user can
+  /// detect it, which is why the end-to-end machinery in
+  /// pool/reliable.hpp exists. Small metadata reads (cookies, result
+  /// files) are spared: corruption strikes data volume, and sparing
+  /// control metadata is precisely what keeps the error *implicit* — the
+  /// grid keeps functioning while quietly delivering wrong bytes.
+  void set_silent_corruption_rate(double prob, Rng rng);
+  static constexpr std::size_t kCorruptionMinBytes = 64;
+  [[nodiscard]] std::uint64_t corruptions_injected() const {
+    return corruptions_;
+  }
+
+  // -- introspection --
+  [[nodiscard]] std::uint64_t op_count() const { return ops_; }
+
+ private:
+  friend class FileHandle;
+
+  struct Resolved {
+    std::shared_ptr<detail::Node> node;        // may be null (not found)
+    std::shared_ptr<detail::Node> parent;      // deepest existing dir
+    std::string leaf;                          // final path component
+  };
+
+  Result<std::vector<std::string>> components(const std::string& path) const;
+  Result<Resolved> resolve(const std::string& path);
+  Result<void> check_available(const std::string& path);
+  detail::Mount* mount_for(const std::string& path);
+  const detail::Mount* mount_for(const std::string& path) const;
+  Result<void> charge_mount(detail::Node& node, std::uint64_t new_size);
+  Result<void> maybe_inject();
+
+  std::string host_;
+  std::shared_ptr<detail::Node> root_;
+  std::vector<std::unique_ptr<detail::Mount>> mounts_;
+  std::vector<std::pair<std::string, std::pair<bool, bool>>> acls_;
+  double fault_rate_ = 0;
+  Rng fault_rng_;
+  double corruption_rate_ = 0;
+  Rng corruption_rng_;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+/// Normalize a path: collapse '//', resolve '.', forbid '..' (the grid
+/// never needs upward traversal and forbidding it keeps sandboxing simple).
+Result<std::string> normalize_path(const std::string& path);
+
+}  // namespace esg::fs

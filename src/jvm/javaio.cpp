@@ -1,0 +1,261 @@
+#include "jvm/javaio.hpp"
+
+#include <algorithm>
+
+namespace esg::jvm {
+
+namespace {
+
+/// Payload used for simulated writes; content is irrelevant, size matters.
+std::string zeros(std::int64_t n) {
+  return std::string(static_cast<std::size_t>(std::max<std::int64_t>(0, n)),
+                     '\0');
+}
+
+}  // namespace
+
+JavaThrowable classify_io_failure(IoDiscipline discipline,
+                                  const ErrorInterface& contract, Error e) {
+  JavaThrowable out;
+  if (discipline == IoDiscipline::kGeneric) {
+    // Everything extends IOException; the program is handed errors whose
+    // scope it does not manage. Record the P4 violation (and the P3 one it
+    // implies) exactly once, at the conversion site.
+    if (!contract.allows(e.kind())) {
+      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kViolated,
+                                      contract.routine());
+      PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kViolated,
+                                      contract.routine());
+    }
+    out.is_java_error = false;
+    out.error = std::move(e);
+    return out;
+  }
+  // Concise discipline.
+  if (contract.allows(e.kind())) {
+    PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kApplied,
+                                    contract.routine());
+    out.is_java_error = false;
+    out.error = std::move(e);
+    return out;
+  }
+  // Outside the contract: escape as a Java Error (Principle 2). The scope
+  // travels with it so the wrapper can report it to the starter.
+  PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kApplied,
+                                  contract.routine());
+  out.is_java_error = true;
+  out.error = Error(e.kind(), e.scope(),
+                    "java.lang.Error escaping " + contract.routine() + ": " +
+                        e.message())
+                  .caused_by(std::move(e));
+  return out;
+}
+
+// ---- contracts ----
+
+const ErrorInterface& ChirpJavaIo::open_contract() {
+  static const ErrorInterface contract(
+      "JavaIo.open",
+      {ErrorKind::kFileNotFound, ErrorKind::kAccessDenied,
+       ErrorKind::kIsDirectory});
+  return contract;
+}
+
+const ErrorInterface& ChirpJavaIo::read_contract() {
+  static const ErrorInterface contract("JavaIo.read",
+                                       {ErrorKind::kEndOfFile});
+  return contract;
+}
+
+const ErrorInterface& ChirpJavaIo::write_contract() {
+  static const ErrorInterface contract("JavaIo.write",
+                                       {ErrorKind::kDiskFull});
+  return contract;
+}
+
+// ---- ChirpJavaIo ----
+
+ChirpJavaIo::ChirpJavaIo(chirp::ChirpClient& client, Options options)
+    : client_(client), options_(options) {}
+
+template <class T>
+void ChirpJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
+                                  const std::function<void(IoResult<T>)>& cb) {
+  if (options_.discipline == IoDiscipline::kGeneric &&
+      options_.generic_diskfull_blocks && e.kind() == ErrorKind::kDiskFull) {
+    // §3.4: this implementation "avoids" the unrepresentable error by
+    // blocking indefinitely. The callback is simply never invoked.
+    return;
+  }
+  cb(IoResult<T>{classify_io_failure(options_.discipline, contract,
+                                     std::move(e))});
+}
+
+void ChirpJavaIo::open_read(int stream, const std::string& path, OpenCb cb) {
+  client_.open(path, "r", [this, stream, cb = std::move(cb)](
+                              Result<std::int64_t> r) {
+    if (!r.ok()) {
+      deliver_failure<std::monostate>(open_contract(), std::move(r).error(),
+                                      cb);
+      return;
+    }
+    fds_[stream] = r.value();
+    cb(IoResult<std::monostate>{std::monostate{}});
+  });
+}
+
+void ChirpJavaIo::open_write(int stream, const std::string& path, OpenCb cb) {
+  client_.open(path, "w", [this, stream, cb = std::move(cb)](
+                              Result<std::int64_t> r) {
+    if (!r.ok()) {
+      deliver_failure<std::monostate>(open_contract(), std::move(r).error(),
+                                      cb);
+      return;
+    }
+    fds_[stream] = r.value();
+    cb(IoResult<std::monostate>{std::monostate{}});
+  });
+}
+
+void ChirpJavaIo::read(int stream, std::int64_t bytes, ReadCb cb) {
+  auto it = fds_.find(stream);
+  if (it == fds_.end()) {
+    deliver_failure<std::int64_t>(
+        read_contract(),
+        Error(ErrorKind::kBadFileDescriptor, "stream not open"), cb);
+    return;
+  }
+  client_.read(it->second, bytes,
+               [this, cb = std::move(cb)](Result<std::string> r) {
+                 if (!r.ok()) {
+                   deliver_failure<std::int64_t>(read_contract(),
+                                                 std::move(r).error(), cb);
+                   return;
+                 }
+                 cb(IoResult<std::int64_t>{
+                     static_cast<std::int64_t>(r.value().size())});
+               });
+}
+
+void ChirpJavaIo::write(int stream, std::int64_t bytes, WriteCb cb) {
+  auto it = fds_.find(stream);
+  if (it == fds_.end()) {
+    deliver_failure<std::int64_t>(
+        write_contract(),
+        Error(ErrorKind::kBadFileDescriptor, "stream not open"), cb);
+    return;
+  }
+  client_.write(it->second, zeros(bytes),
+                [this, cb = std::move(cb)](Result<std::int64_t> r) {
+                  if (!r.ok()) {
+                    deliver_failure<std::int64_t>(write_contract(),
+                                                  std::move(r).error(), cb);
+                    return;
+                  }
+                  cb(IoResult<std::int64_t>{r.value()});
+                });
+}
+
+void ChirpJavaIo::close(int stream, CloseCb cb) {
+  auto it = fds_.find(stream);
+  if (it == fds_.end()) {
+    // Closing an unopened stream is a no-op, matching Java semantics.
+    cb(IoResult<std::monostate>{std::monostate{}});
+    return;
+  }
+  const std::int64_t fd = it->second;
+  fds_.erase(it);
+  client_.close_fd(fd, [this, cb = std::move(cb)](Result<void> r) {
+    if (!r.ok()) {
+      deliver_failure<std::monostate>(write_contract(), std::move(r).error(),
+                                      cb);
+      return;
+    }
+    cb(IoResult<std::monostate>{std::monostate{}});
+  });
+}
+
+// ---- LocalJavaIo ----
+
+LocalJavaIo::LocalJavaIo(fs::SimFileSystem& fs, IoDiscipline discipline,
+                         std::string sandbox)
+    : fs_(fs), discipline_(discipline), sandbox_(std::move(sandbox)) {}
+
+std::string LocalJavaIo::map_path(const std::string& path) const {
+  if (path.empty() || path[0] == '/' || sandbox_.empty()) return path;
+  return sandbox_ + "/" + path;
+}
+
+template <class T>
+void LocalJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
+                                  const std::function<void(IoResult<T>)>& cb) {
+  cb(IoResult<T>{classify_io_failure(discipline_, contract, std::move(e))});
+}
+
+void LocalJavaIo::open_read(int stream, const std::string& path, OpenCb cb) {
+  Result<fs::FileHandle> h = fs_.open(map_path(path), fs::OpenMode::kRead);
+  if (!h.ok()) {
+    deliver_failure<std::monostate>(ChirpJavaIo::open_contract(),
+                                    std::move(h).error(), cb);
+    return;
+  }
+  handles_[stream] = std::move(h).value();
+  cb(IoResult<std::monostate>{std::monostate{}});
+}
+
+void LocalJavaIo::open_write(int stream, const std::string& path, OpenCb cb) {
+  Result<fs::FileHandle> h = fs_.open(map_path(path), fs::OpenMode::kWrite);
+  if (!h.ok()) {
+    deliver_failure<std::monostate>(ChirpJavaIo::open_contract(),
+                                    std::move(h).error(), cb);
+    return;
+  }
+  handles_[stream] = std::move(h).value();
+  cb(IoResult<std::monostate>{std::monostate{}});
+}
+
+void LocalJavaIo::read(int stream, std::int64_t bytes, ReadCb cb) {
+  auto it = handles_.find(stream);
+  if (it == handles_.end()) {
+    deliver_failure<std::int64_t>(
+        ChirpJavaIo::read_contract(),
+        Error(ErrorKind::kBadFileDescriptor, "stream not open"), cb);
+    return;
+  }
+  Result<std::string> r =
+      it->second.read(static_cast<std::size_t>(std::max<std::int64_t>(0, bytes)));
+  if (!r.ok()) {
+    deliver_failure<std::int64_t>(ChirpJavaIo::read_contract(),
+                                  std::move(r).error(), cb);
+    return;
+  }
+  cb(IoResult<std::int64_t>{static_cast<std::int64_t>(r.value().size())});
+}
+
+void LocalJavaIo::write(int stream, std::int64_t bytes, WriteCb cb) {
+  auto it = handles_.find(stream);
+  if (it == handles_.end()) {
+    deliver_failure<std::int64_t>(
+        ChirpJavaIo::write_contract(),
+        Error(ErrorKind::kBadFileDescriptor, "stream not open"), cb);
+    return;
+  }
+  Result<void> r = it->second.write(zeros(bytes));
+  if (!r.ok()) {
+    deliver_failure<std::int64_t>(ChirpJavaIo::write_contract(),
+                                  std::move(r).error(), cb);
+    return;
+  }
+  cb(IoResult<std::int64_t>{bytes});
+}
+
+void LocalJavaIo::close(int stream, CloseCb cb) {
+  auto it = handles_.find(stream);
+  if (it != handles_.end()) {
+    it->second.close();
+    handles_.erase(it);
+  }
+  cb(IoResult<std::monostate>{std::monostate{}});
+}
+
+}  // namespace esg::jvm

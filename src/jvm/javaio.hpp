@@ -1,0 +1,137 @@
+// The Java-style I/O library (§2.2, fixed in §4).
+//
+// The library presents stream abstractions to the program and speaks Chirp
+// to the proxy. Two disciplines are implemented:
+//
+//  * kGeneric — the paper's first, incorrect design: every proxy error is
+//    blindly converted into a corresponding Java exception extending the
+//    generic IOException, so the program receives "connection timed out"
+//    and "credentials expired" as if they were ordinary I/O results
+//    (violating Principles 3 and 4). As a faithful nod to §3.4, a DiskFull
+//    under this discipline can optionally block forever — "at least one
+//    Java implementation avoids this problem entirely by blocking
+//    indefinitely when the disk is full."
+//
+//  * kConcise — the fix: each operation has a concise, finite exception
+//    contract (open: FileNotFound/AccessDenied; read: EndOfFile;
+//    write: DiskFull). Any other failure is delivered as a Java *Error*
+//    (an escaping error) carrying the true scope, which the wrapper
+//    communicates to the starter through the result file.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "chirp/client.hpp"
+#include "core/core.hpp"
+#include "fs/simfs.hpp"
+
+namespace esg::jvm {
+
+/// How the library exposes failures to the program.
+enum class IoDiscipline {
+  kGeneric,  ///< naive: everything is an IOException (paper §2.3 behaviour)
+  kConcise,  ///< fixed: contractual exceptions + escaping Java Errors (§4)
+};
+
+/// What a Java I/O call delivers to the program when it fails.
+struct JavaThrowable {
+  /// true  => java.lang.Error: non-contractual, must escape the program
+  /// false => checked exception: part of the method's declared contract
+  bool is_java_error = false;
+  Error error;
+};
+
+template <class T>
+using IoResult = std::variant<T, JavaThrowable>;
+
+/// Abstract stream environment used by SimJvm to execute program I/O ops.
+/// Stream slots are small integers chosen by the program.
+class JavaIo {
+ public:
+  virtual ~JavaIo() = default;
+
+  using OpenCb = std::function<void(IoResult<std::monostate>)>;
+  using ReadCb = std::function<void(IoResult<std::int64_t>)>;  // bytes read
+  using WriteCb = std::function<void(IoResult<std::int64_t>)>; // bytes written
+  using CloseCb = std::function<void(IoResult<std::monostate>)>;
+
+  virtual void open_read(int stream, const std::string& path, OpenCb cb) = 0;
+  virtual void open_write(int stream, const std::string& path, OpenCb cb) = 0;
+  virtual void read(int stream, std::int64_t bytes, ReadCb cb) = 0;
+  virtual void write(int stream, std::int64_t bytes, WriteCb cb) = 0;
+  virtual void close(int stream, CloseCb cb) = 0;
+};
+
+/// The real library: streams over a ChirpClient.
+class ChirpJavaIo final : public JavaIo {
+ public:
+  struct Options {
+    IoDiscipline discipline = IoDiscipline::kConcise;
+    /// §3.4: under the generic discipline, a full disk blocks forever.
+    bool generic_diskfull_blocks = false;
+  };
+
+  ChirpJavaIo(chirp::ChirpClient& client, Options options);
+
+  void open_read(int stream, const std::string& path, OpenCb cb) override;
+  void open_write(int stream, const std::string& path, OpenCb cb) override;
+  void read(int stream, std::int64_t bytes, ReadCb cb) override;
+  void write(int stream, std::int64_t bytes, WriteCb cb) override;
+  void close(int stream, CloseCb cb) override;
+
+  /// The concise contracts, exposed for tests and documentation.
+  static const ErrorInterface& open_contract();
+  static const ErrorInterface& read_contract();
+  static const ErrorInterface& write_contract();
+
+ private:
+  /// Apply the discipline to a failed operation's error.
+  template <class T>
+  void deliver_failure(const ErrorInterface& contract, Error e,
+                       const std::function<void(IoResult<T>)>& cb);
+
+  chirp::ChirpClient& client_;
+  Options options_;
+  std::map<int, std::int64_t> fds_;  // stream slot -> remote fd
+};
+
+/// A direct-to-filesystem implementation (no proxy): used by unit tests,
+/// the startd's Java self-test probe, and the Vanilla universe (which has
+/// no Chirp library — it sees only the machine's own filesystem).
+/// Relative paths resolve under `sandbox` when one is given.
+class LocalJavaIo final : public JavaIo {
+ public:
+  LocalJavaIo(fs::SimFileSystem& fs, IoDiscipline discipline,
+              std::string sandbox = {});
+
+  void open_read(int stream, const std::string& path, OpenCb cb) override;
+  void open_write(int stream, const std::string& path, OpenCb cb) override;
+  void read(int stream, std::int64_t bytes, ReadCb cb) override;
+  void write(int stream, std::int64_t bytes, WriteCb cb) override;
+  void close(int stream, CloseCb cb) override;
+
+ private:
+  template <class T>
+  void deliver_failure(const ErrorInterface& contract, Error e,
+                       const std::function<void(IoResult<T>)>& cb);
+  std::string map_path(const std::string& path) const;
+
+  fs::SimFileSystem& fs_;
+  IoDiscipline discipline_;
+  std::string sandbox_;
+  std::map<int, fs::FileHandle> handles_;
+};
+
+/// Classify a failure per the discipline: returns the JavaThrowable the
+/// program will see. Under kConcise, errors outside `contract` become Java
+/// Errors (escaping) and keep their scope; under kGeneric everything is a
+/// checked exception (is_java_error=false) — a deliberate violation of
+/// Principle 4, recorded in the audit.
+JavaThrowable classify_io_failure(IoDiscipline discipline,
+                                  const ErrorInterface& contract, Error e);
+
+}  // namespace esg::jvm

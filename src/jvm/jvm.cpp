@@ -1,0 +1,348 @@
+#include "jvm/jvm.hpp"
+
+#include <cassert>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "classad/classad.hpp"
+
+namespace esg::jvm {
+
+namespace {
+
+/// Per-execution state, kept alive by the chain of callbacks.
+struct Run {
+  sim::Engine* engine = nullptr;
+  JvmConfig config;
+  JobProgram program;
+  JavaIo* io = nullptr;
+  WrapMode mode = WrapMode::kBare;
+  fs::SimFileSystem* scratch_fs = nullptr;
+  std::string result_path;
+  std::function<void(JvmOutcome)> done;
+
+  std::size_t pc = 0;            ///< next op index
+  std::int64_t heap_used = 0;
+  SimTime cpu_time{};
+  bool finished = false;
+  std::shared_ptr<const bool> cancel;
+  RunExtras extras;
+  std::set<int> open_streams;
+  SimTime last_checkpoint{};
+  double banked_cpu = 0;  ///< cpu from prior attempts (via the checkpoint)
+};
+
+using RunPtr = std::shared_ptr<Run>;
+
+void step(const RunPtr& run);
+
+/// Terminal path: assemble the outcome, let the wrapper write its result
+/// file (wrapped mode), and report the Figure 4 exit code.
+void finish(const RunPtr& run, JvmOutcome outcome) {
+  if (run->finished) return;
+  if (run->cancel && *run->cancel) {
+    run->finished = true;  // killed: report nothing
+    return;
+  }
+  run->finished = true;
+  outcome.cpu_time = run->cpu_time;
+
+  // Figure 4 exit-code semantics: the JVM collapses everything abnormal
+  // to 1.
+  if (outcome.completed_main) {
+    outcome.exit_code = 0;
+  } else if (outcome.system_exit.has_value()) {
+    outcome.exit_code = *outcome.system_exit;
+  } else {
+    outcome.exit_code = 1;
+  }
+
+  if (run->mode == WrapMode::kWrapped && run->scratch_fs != nullptr) {
+    // The wrapper catches the terminal condition and records the program
+    // result and the scope of any error discovered (§4). If the scratch
+    // filesystem itself is gone, the file cannot be written — the starter
+    // will interpret the missing file as a remote-resource error, which is
+    // exactly the scope of a broken scratch disk.
+    ResultFile rf;
+    if (outcome.completed_main) {
+      rf.exit_by = ResultFile::ExitBy::kCompletion;
+      rf.exit_code = 0;
+    } else if (outcome.system_exit.has_value()) {
+      rf.exit_by = ResultFile::ExitBy::kSystemExit;
+      rf.exit_code = *outcome.system_exit;
+    } else {
+      rf.exit_by = ResultFile::ExitBy::kException;
+      rf.exit_code = 1;
+      rf.error = outcome.condition;
+    }
+    Result<void> wrote =
+        run->scratch_fs->write_file(run->result_path, rf.encode());
+    outcome.wrote_result_file = wrote.ok();
+  }
+  run->done(outcome);
+}
+
+/// SIGKILL path: stop immediately, report without a result file.
+void kill_with(const RunPtr& run, Error error) {
+  if (run->finished) return;
+  run->finished = true;
+  JvmOutcome out;
+  out.exit_code = 137;  // 128 + SIGKILL
+  out.condition = std::move(error);
+  out.cpu_time = run->cpu_time;
+  run->done(out);
+}
+
+void fail_with(const RunPtr& run, Error error) {
+  JvmOutcome out;
+  out.condition = std::move(error);
+  finish(run, out);
+}
+
+/// Handle a JavaThrowable surfacing from an I/O operation. A checked
+/// exception that the (scripted, catch-less) program does not handle is an
+/// *uncaught exception escaping main* — a program-scope result, regardless
+/// of what the underlying condition was. That is precisely how the naive
+/// discipline launders environmental errors into program results (§2.3).
+/// A Java Error keeps its true scope for the wrapper to report.
+void on_throwable(const RunPtr& run, JavaThrowable thrown) {
+  if (thrown.is_java_error) {
+    fail_with(run, std::move(thrown.error));
+    return;
+  }
+  Error uncaught =
+      Error(ErrorKind::kUncaughtException, ErrorScope::kProgram,
+            "uncaught " + std::string(kind_name(thrown.error.kind())) +
+                " escaping main: " + thrown.error.message())
+          .caused_by(std::move(thrown.error));
+  fail_with(run, std::move(uncaught));
+}
+
+void exec_op(const RunPtr& run, const Op& op) {
+  switch (op.kind) {
+    case Op::Kind::kCompute:
+      run->cpu_time += op.duration;
+      run->engine->schedule(op.duration, [run] { step(run); });
+      return;
+
+    case Op::Kind::kAlloc:
+      run->heap_used += op.bytes;
+      if (run->heap_used > run->config.heap_bytes) {
+        fail_with(run,
+                  Error(ErrorKind::kOutOfMemory,
+                        "OutOfMemoryError: requested " +
+                            std::to_string(op.bytes) + " bytes, heap limit " +
+                            std::to_string(run->config.heap_bytes)));
+        return;
+      }
+      run->engine->schedule(SimTime::usec(10), [run] { step(run); });
+      return;
+
+    case Op::Kind::kFreeAll:
+      run->heap_used = 0;
+      run->engine->schedule(SimTime::usec(10), [run] { step(run); });
+      return;
+
+    case Op::Kind::kThrow: {
+      Error e(op.exception);
+      // A throw in the program text is the program's own doing.
+      fail_with(run, Error(op.exception, ErrorScope::kProgram,
+                           "exception thrown by program")
+                         .caused_by(std::move(e)));
+      return;
+    }
+
+    case Op::Kind::kExit: {
+      JvmOutcome out;
+      out.system_exit = op.exit_code;
+      finish(run, out);
+      return;
+    }
+
+    case Op::Kind::kOpenRead:
+      run->io->open_read(op.stream, op.path,
+                         [run, stream = op.stream](IoResult<std::monostate> r) {
+                           if (auto* t = std::get_if<JavaThrowable>(&r)) {
+                             on_throwable(run, std::move(*t));
+                             return;
+                           }
+                           run->open_streams.insert(stream);
+                           step(run);
+                         });
+      return;
+
+    case Op::Kind::kOpenWrite:
+      run->io->open_write(op.stream, op.path,
+                          [run, stream = op.stream](IoResult<std::monostate> r) {
+                            if (auto* t = std::get_if<JavaThrowable>(&r)) {
+                              on_throwable(run, std::move(*t));
+                              return;
+                            }
+                            run->open_streams.insert(stream);
+                            step(run);
+                          });
+      return;
+
+    case Op::Kind::kRead:
+      run->io->read(op.stream, op.bytes, [run](IoResult<std::int64_t> r) {
+        if (auto* t = std::get_if<JavaThrowable>(&r)) {
+          on_throwable(run, std::move(*t));
+          return;
+        }
+        step(run);
+      });
+      return;
+
+    case Op::Kind::kWrite:
+      run->io->write(op.stream, op.bytes, [run](IoResult<std::int64_t> r) {
+        if (auto* t = std::get_if<JavaThrowable>(&r)) {
+          on_throwable(run, std::move(*t));
+          return;
+        }
+        step(run);
+      });
+      return;
+
+    case Op::Kind::kCloseStream:
+      run->io->close(op.stream, [run, stream = op.stream](IoResult<std::monostate> r) {
+        if (auto* t = std::get_if<JavaThrowable>(&r)) {
+          on_throwable(run, std::move(*t));
+          return;
+        }
+        run->open_streams.erase(stream);
+        step(run);
+      });
+      return;
+  }
+}
+
+void step(const RunPtr& run) {
+  if (run->finished) return;
+  if (run->cancel && *run->cancel) {
+    run->finished = true;
+    return;
+  }
+  // Checkpoint at op boundaries: periodic, and only when no streams are
+  // open (connections cannot migrate).
+  if (run->extras.sink != nullptr && run->open_streams.empty() &&
+      run->pc > run->extras.resume.pc &&
+      run->engine->now() - run->last_checkpoint >=
+          run->extras.checkpoint_interval) {
+    run->last_checkpoint = run->engine->now();
+    Checkpoint ckpt;
+    ckpt.pc = run->pc;
+    ckpt.heap_used = run->heap_used;
+    ckpt.cpu_seconds = run->banked_cpu + run->cpu_time.as_sec();
+    run->extras.sink->store(ckpt);
+  }
+  if (run->pc >= run->program.ops.size()) {
+    JvmOutcome out;
+    out.completed_main = true;
+    finish(run, out);
+    return;
+  }
+  const Op& op = run->program.ops[run->pc++];
+  // A fixed dispatch overhead keeps time advancing even for free ops.
+  (void)run->config.io_dispatch_overhead;
+  exec_op(run, op);
+}
+
+class JvmControlImpl final : public JvmControl {
+ public:
+  explicit JvmControlImpl(RunPtr run) : run_(std::move(run)) {}
+  void terminate(Error condition) override {
+    kill_with(run_, std::move(condition));
+  }
+  [[nodiscard]] bool finished() const override { return run_->finished; }
+
+ private:
+  RunPtr run_;
+};
+
+}  // namespace
+
+std::string Checkpoint::encode() const {
+  classad::ClassAd ad;
+  ad.set("Pc", static_cast<std::int64_t>(pc));
+  ad.set("HeapUsed", heap_used);
+  ad.set("CpuSeconds", cpu_seconds);
+  return ad.str();
+}
+
+Result<Checkpoint> Checkpoint::parse(const std::string& text) {
+  Result<classad::ClassAd> ad = classad::parse_classad(text);
+  if (!ad.ok()) {
+    return Error(ErrorKind::kRequestMalformed,
+                 "unparsable checkpoint: " + ad.error().message());
+  }
+  Checkpoint out;
+  const std::int64_t pc = ad.value().eval_int("Pc", -1);
+  if (pc < 0) {
+    return Error(ErrorKind::kRequestMalformed, "checkpoint without Pc");
+  }
+  out.pc = static_cast<std::size_t>(pc);
+  out.heap_used = ad.value().eval_int("HeapUsed");
+  out.cpu_seconds = ad.value().eval_real("CpuSeconds");
+  return out;
+}
+
+SimJvm::SimJvm(sim::Engine& engine, JvmConfig config)
+    : engine_(engine), config_(config) {}
+
+std::shared_ptr<JvmControl> SimJvm::run(
+    const JobProgram& program, JavaIo& io, WrapMode mode,
+    fs::SimFileSystem* scratch_fs, const std::string& result_path,
+    std::function<void(JvmOutcome)> done, std::shared_ptr<const bool> cancel,
+    RunExtras extras) {
+  assert(config_.installed && "a missing JVM fails in the starter, not here");
+  auto run = std::make_shared<Run>();
+  run->cancel = std::move(cancel);
+  run->extras = std::move(extras);
+  run->pc = run->extras.resume.pc;
+  run->heap_used = run->extras.resume.heap_used;
+  run->banked_cpu = run->extras.resume.cpu_seconds;
+  // A resume point past the program is a corrupt checkpoint; start over.
+  if (run->pc > program.ops.size()) {
+    run->pc = 0;
+    run->heap_used = 0;
+    run->banked_cpu = 0;
+    run->extras.resume = Checkpoint{};
+  }
+  run->engine = &engine_;
+  run->config = config_;
+  run->program = program;
+  run->io = &io;
+  run->mode = mode;
+  run->scratch_fs = scratch_fs;
+  run->result_path = result_path;
+  run->done = std::move(done);
+
+  engine_.schedule(config_.startup_time, [run] {
+    // 1. The JVM locates its own standard libraries.
+    if (!run->config.classpath_ok) {
+      fail_with(run, Error(ErrorKind::kJvmMisconfigured,
+                           "NoClassDefFoundError: java/lang/Object "
+                           "(owner-specified classpath is wrong)")
+                         .with_label("injected", "jvm-misconfig"));
+      return;
+    }
+    // 2. Load and verify the program image.
+    if (!run->program.verifies()) {
+      fail_with(run, Error(ErrorKind::kCorruptImage,
+                           "ClassFormatError: bad checksum on " +
+                               run->program.main_class));
+      return;
+    }
+    if (run->program.main_class_missing) {
+      fail_with(run, Error(ErrorKind::kClassNotFound,
+                           "NoClassDefFoundError: " + run->program.main_class));
+      return;
+    }
+    // 3. Invoke main.
+    step(run);
+  });
+  return std::make_shared<JvmControlImpl>(run);
+}
+
+}  // namespace esg::jvm

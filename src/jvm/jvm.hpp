@@ -1,0 +1,119 @@
+// SimJvm: the simulated Java Virtual Machine, with Figure 4 semantics.
+//
+// The JVM executes a JobProgram against a configuration supplied by the
+// machine owner. Its exit code faithfully reproduces the paper's Figure 4:
+// a normal completion is 0, System.exit(x) is x, and *every* abnormal
+// condition — program exception, OutOfMemoryError, misconfigured
+// installation, offline home filesystem, corrupt image — collapses to 1.
+// The exit code therefore cannot distinguish error scopes; the JobWrapper
+// (§4) restores the distinction through the result file.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "fs/simfs.hpp"
+#include "jvm/javaio.hpp"
+#include "jvm/program.hpp"
+#include "jvm/resultfile.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::jvm {
+
+/// Machine-owner supplied configuration (§2.2: "The JVM binary, libraries,
+/// and configuration files are all specified by the machine owner").
+struct JvmConfig {
+  bool installed = true;       ///< binary present at the advertised path
+  bool classpath_ok = true;    ///< standard libraries locatable
+  std::int64_t heap_bytes = 256LL << 20;
+  SimTime startup_time = SimTime::msec(300);
+  SimTime io_dispatch_overhead = SimTime::usec(50);
+};
+
+/// Whether the starter interposes the JobWrapper (§4 fix) or trusts the
+/// JVM exit code (§2.3 naive design).
+enum class WrapMode { kBare, kWrapped };
+
+/// A checkpoint of a running program: enough to resume at an op boundary
+/// on another machine (§2.1: transparent checkpointing and process
+/// migration are Condor's founding tools for an unfriendly execution
+/// environment). Checkpoints are only taken with no streams open — open
+/// connections do not travel.
+struct Checkpoint {
+  std::size_t pc = 0;           ///< next op index
+  std::int64_t heap_used = 0;
+  double cpu_seconds = 0;       ///< cumulative compute already banked
+
+  [[nodiscard]] bool fresh() const { return pc == 0; }
+  [[nodiscard]] std::string encode() const;
+  static Result<Checkpoint> parse(const std::string& text);
+};
+
+/// Receives checkpoints as the program runs (the starter forwards them to
+/// the shadow's stable storage).
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual void store(const Checkpoint& checkpoint) = 0;
+};
+
+/// Optional execution extras: resume point and checkpoint stream.
+struct RunExtras {
+  Checkpoint resume;
+  CheckpointSink* sink = nullptr;
+  SimTime checkpoint_interval = SimTime::minutes(5);
+};
+
+/// Everything there is to know about one JVM execution. `exit_code` is
+/// the only field visible to a naive starter; `condition` is ground truth
+/// for the harness (and, in wrapped mode, is also serialized into the
+/// result file, which is how the *system* legitimately learns it).
+struct JvmOutcome {
+  int exit_code = 0;
+  bool completed_main = false;
+  std::optional<int> system_exit;
+  std::optional<Error> condition;
+  bool wrote_result_file = false;
+  SimTime cpu_time{};  ///< simulated compute consumed
+};
+
+/// Control handle for a running JVM process.
+class JvmControl {
+ public:
+  virtual ~JvmControl() = default;
+  /// Kill the process (SIGKILL semantics): the program stops mid-op, no
+  /// result file is written, and `done` fires once with exit code 137 and
+  /// `condition` as the terminal condition — so the supervisor still
+  /// learns what the process had consumed.
+  virtual void terminate(Error condition) = 0;
+  [[nodiscard]] virtual bool finished() const = 0;
+};
+
+class SimJvm {
+ public:
+  SimJvm(sim::Engine& engine, JvmConfig config);
+
+  /// Execute `program` with stream environment `io`. In kWrapped mode the
+  /// wrapper writes its result file to `result_path` on `scratch_fs`
+  /// before the JVM exits. `done` fires exactly once.
+  ///
+  /// Precondition: config.installed — a missing JVM fails at exec time in
+  /// the *starter*, before a JVM exists to run (see Starter::launch).
+  ///
+  /// `cancel`, when set and flipped true, kills the process: no further
+  /// ops run and `done` never fires (the starter tore the job down).
+  std::shared_ptr<JvmControl> run(
+      const JobProgram& program, JavaIo& io, WrapMode mode,
+      fs::SimFileSystem* scratch_fs, const std::string& result_path,
+      std::function<void(JvmOutcome)> done,
+      std::shared_ptr<const bool> cancel = nullptr, RunExtras extras = {});
+
+  [[nodiscard]] const JvmConfig& config() const { return config_; }
+
+ private:
+  sim::Engine& engine_;
+  JvmConfig config_;
+};
+
+}  // namespace esg::jvm

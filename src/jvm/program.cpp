@@ -1,0 +1,223 @@
+#include "jvm/program.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esg::jvm {
+
+std::uint32_t checksum(const std::string& bytes) {
+  // FNV-1a, 32 bit.
+  std::uint32_t h = 2166136261u;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+ProgramBuilder::ProgramBuilder(std::string main_class) {
+  program_.main_class = std::move(main_class);
+}
+
+ProgramBuilder& ProgramBuilder::compute(SimTime duration) {
+  Op op;
+  op.kind = Op::Kind::kCompute;
+  op.duration = duration;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::open_read(std::string path, int stream) {
+  Op op;
+  op.kind = Op::Kind::kOpenRead;
+  op.path = std::move(path);
+  op.stream = stream;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::open_write(std::string path, int stream) {
+  Op op;
+  op.kind = Op::Kind::kOpenWrite;
+  op.path = std::move(path);
+  op.stream = stream;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::read(int stream, std::int64_t bytes) {
+  Op op;
+  op.kind = Op::Kind::kRead;
+  op.stream = stream;
+  op.bytes = bytes;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::write(int stream, std::int64_t bytes) {
+  Op op;
+  op.kind = Op::Kind::kWrite;
+  op.stream = stream;
+  op.bytes = bytes;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::close_stream(int stream) {
+  Op op;
+  op.kind = Op::Kind::kCloseStream;
+  op.stream = stream;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alloc(std::int64_t bytes) {
+  Op op;
+  op.kind = Op::Kind::kAlloc;
+  op.bytes = bytes;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::free_all() {
+  Op op;
+  op.kind = Op::Kind::kFreeAll;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::throw_exception(ErrorKind kind) {
+  Op op;
+  op.kind = Op::Kind::kThrow;
+  op.exception = kind;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::exit(int code) {
+  Op op;
+  op.kind = Op::Kind::kExit;
+  op.exit_code = code;
+  program_.ops.push_back(op);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::corrupt_image() {
+  program_.image_corrupt = true;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::missing_main_class() {
+  program_.main_class_missing = true;
+  return *this;
+}
+
+JobProgram ProgramBuilder::build() const {
+  JobProgram out = program_;
+  out.image = serialize_program(out);
+  out.image_checksum = checksum(out.image);
+  return out;
+}
+
+std::string serialize_program(const JobProgram& program) {
+  std::ostringstream os;
+  os << "main " << program.main_class << "\n";
+  os << "corrupt " << (program.image_corrupt ? 1 : 0) << "\n";
+  os << "missing-main " << (program.main_class_missing ? 1 : 0) << "\n";
+  for (const Op& op : program.ops) {
+    switch (op.kind) {
+      case Op::Kind::kCompute:
+        os << "op compute " << op.duration.as_usec() << "\n";
+        break;
+      case Op::Kind::kOpenRead:
+        os << "op open-read " << op.stream << " " << op.path << "\n";
+        break;
+      case Op::Kind::kOpenWrite:
+        os << "op open-write " << op.stream << " " << op.path << "\n";
+        break;
+      case Op::Kind::kRead:
+        os << "op read " << op.stream << " " << op.bytes << "\n";
+        break;
+      case Op::Kind::kWrite:
+        os << "op write " << op.stream << " " << op.bytes << "\n";
+        break;
+      case Op::Kind::kCloseStream:
+        os << "op close " << op.stream << "\n";
+        break;
+      case Op::Kind::kAlloc:
+        os << "op alloc " << op.bytes << "\n";
+        break;
+      case Op::Kind::kFreeAll:
+        os << "op free-all\n";
+        break;
+      case Op::Kind::kThrow:
+        os << "op throw " << kind_name(op.exception) << "\n";
+        break;
+      case Op::Kind::kExit:
+        os << "op exit " << op.exit_code << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+Result<JobProgram> deserialize_program(const std::string& text) {
+  JobProgram program;
+  auto malformed = [](const std::string& line) {
+    return Error(ErrorKind::kCorruptImage, "bad program line: " + line);
+  };
+  for (const std::string& raw : split(text, '\n')) {
+    const std::string line{trim(raw)};
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split(line, ' ');
+    if (f[0] == "main" && f.size() == 2) {
+      program.main_class = f[1];
+    } else if (f[0] == "corrupt" && f.size() == 2) {
+      program.image_corrupt = f[1] == "1";
+    } else if (f[0] == "missing-main" && f.size() == 2) {
+      program.main_class_missing = f[1] == "1";
+    } else if (f[0] == "op" && f.size() >= 2) {
+      Op op;
+      const std::string& k = f[1];
+      if (k == "compute" && f.size() == 3) {
+        op.kind = Op::Kind::kCompute;
+        op.duration = SimTime::usec(std::strtoll(f[2].c_str(), nullptr, 10));
+      } else if ((k == "open-read" || k == "open-write") && f.size() == 4) {
+        op.kind = k == "open-read" ? Op::Kind::kOpenRead : Op::Kind::kOpenWrite;
+        op.stream = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+        op.path = f[3];
+      } else if ((k == "read" || k == "write") && f.size() == 4) {
+        op.kind = k == "read" ? Op::Kind::kRead : Op::Kind::kWrite;
+        op.stream = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+        op.bytes = std::strtoll(f[3].c_str(), nullptr, 10);
+      } else if (k == "close" && f.size() == 3) {
+        op.kind = Op::Kind::kCloseStream;
+        op.stream = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+      } else if (k == "alloc" && f.size() == 3) {
+        op.kind = Op::Kind::kAlloc;
+        op.bytes = std::strtoll(f[2].c_str(), nullptr, 10);
+      } else if (k == "free-all") {
+        op.kind = Op::Kind::kFreeAll;
+      } else if (k == "throw" && f.size() == 3) {
+        op.kind = Op::Kind::kThrow;
+        const std::optional<ErrorKind> kind = parse_kind(f[2]);
+        if (!kind.has_value()) return malformed(line);
+        op.exception = *kind;
+      } else if (k == "exit" && f.size() == 3) {
+        op.kind = Op::Kind::kExit;
+        op.exit_code = static_cast<int>(std::strtol(f[2].c_str(), nullptr, 10));
+      } else {
+        return malformed(line);
+      }
+      program.ops.push_back(std::move(op));
+    } else {
+      return malformed(line);
+    }
+  }
+  program.image = text;
+  program.image_checksum = checksum(text);
+  return program;
+}
+
+}  // namespace esg::jvm

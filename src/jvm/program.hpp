@@ -1,0 +1,97 @@
+// JobProgram: the scripted model of a user's Java program.
+//
+// A program is a linear sequence of operations — compute, stream I/O,
+// allocation, throw, exit — plus an image whose checksum is verified at
+// load time (a corrupt image is the paper's canonical job-scope error).
+// The builder interface keeps scenario definitions readable:
+//
+//   JobProgram p = ProgramBuilder("Sim")
+//       .compute(SimTime::sec(5))
+//       .open_read("/data/input")
+//       .read(0, 4096)
+//       .throw_exception(ErrorKind::kArrayIndexOutOfBounds)
+//       .build();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/kinds.hpp"
+#include "core/result.hpp"
+
+namespace esg::jvm {
+
+struct Op {
+  enum class Kind {
+    kCompute,     ///< burn CPU for `duration`
+    kOpenRead,    ///< open `path` for reading into stream slot `stream`
+    kOpenWrite,   ///< open `path` for writing into stream slot `stream`
+    kRead,        ///< read `bytes` from stream slot
+    kWrite,       ///< write `bytes` to stream slot
+    kCloseStream, ///< close stream slot
+    kAlloc,       ///< allocate `bytes` of heap (persists until kFreeAll)
+    kFreeAll,     ///< drop all allocations
+    kThrow,       ///< throw an exception of kind `exception`
+    kExit,        ///< System.exit(exit_code)
+  };
+
+  Kind kind = Kind::kCompute;
+  SimTime duration{};
+  std::string path;
+  int stream = 0;
+  std::int64_t bytes = 0;
+  ErrorKind exception = ErrorKind::kUncaughtException;
+  int exit_code = 0;
+};
+
+struct JobProgram {
+  std::string main_class = "Main";
+  std::string image;             ///< the program "bytes"
+  std::uint32_t image_checksum = 0;
+  bool image_corrupt = false;    ///< flips the stored checksum
+  bool main_class_missing = false;  ///< entry class absent from the image
+  std::vector<Op> ops;
+
+  /// Checksum actually stored with the image (wrong when corrupt).
+  [[nodiscard]] std::uint32_t stored_checksum() const {
+    return image_corrupt ? image_checksum ^ 0xdeadbeef : image_checksum;
+  }
+  [[nodiscard]] bool verifies() const {
+    return stored_checksum() == image_checksum;
+  }
+};
+
+std::uint32_t checksum(const std::string& bytes);
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string main_class);
+
+  ProgramBuilder& compute(SimTime duration);
+  ProgramBuilder& open_read(std::string path, int stream = 0);
+  ProgramBuilder& open_write(std::string path, int stream = 0);
+  ProgramBuilder& read(int stream, std::int64_t bytes);
+  ProgramBuilder& write(int stream, std::int64_t bytes);
+  ProgramBuilder& close_stream(int stream);
+  ProgramBuilder& alloc(std::int64_t bytes);
+  ProgramBuilder& free_all();
+  ProgramBuilder& throw_exception(ErrorKind kind);
+  ProgramBuilder& exit(int code);
+  ProgramBuilder& corrupt_image();
+  ProgramBuilder& missing_main_class();
+
+  /// Finalize: serializes the ops into the image and checksums it.
+  [[nodiscard]] JobProgram build() const;
+
+ private:
+  JobProgram program_;
+};
+
+/// Serialize a program as the "image" text and back — jobs travel the wire
+/// as their serialized form, so a transfer really moves the program.
+std::string serialize_program(const JobProgram& program);
+Result<JobProgram> deserialize_program(const std::string& text);
+
+}  // namespace esg::jvm

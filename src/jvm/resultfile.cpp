@@ -1,0 +1,75 @@
+#include "jvm/resultfile.hpp"
+
+#include "classad/classad.hpp"
+
+namespace esg::jvm {
+
+std::string_view exit_by_name(ResultFile::ExitBy e) {
+  switch (e) {
+    case ResultFile::ExitBy::kCompletion: return "completion";
+    case ResultFile::ExitBy::kSystemExit: return "system-exit";
+    case ResultFile::ExitBy::kException: return "exception";
+  }
+  return "?";
+}
+
+std::string ResultFile::encode() const {
+  classad::ClassAd ad;
+  ad.set("ExitBy", std::string(exit_by_name(exit_by)));
+  ad.set("ExitCode", exit_code);
+  if (error.has_value()) {
+    ad.set("ErrorKind", std::string(kind_name(error->kind())));
+    ad.set("ErrorScope", std::string(scope_name(error->scope())));
+    ad.set("Message", error->message());
+    // Ground-truth labels ride along so the harness can classify results
+    // end to end; daemons never read them.
+    for (const auto& [k, v] : error->labels()) {
+      ad.set("Label_" + k, v);
+    }
+  }
+  return ad.str();
+}
+
+Result<ResultFile> ResultFile::parse(const std::string& text) {
+  Result<classad::ClassAd> ad = classad::parse_classad(text);
+  if (!ad.ok()) {
+    return Error(ErrorKind::kRequestMalformed,
+                 "unparsable result file: " + ad.error().message());
+  }
+  ResultFile out;
+  const std::string exit_by = ad.value().eval_string("ExitBy");
+  if (exit_by == "completion") {
+    out.exit_by = ExitBy::kCompletion;
+  } else if (exit_by == "system-exit") {
+    out.exit_by = ExitBy::kSystemExit;
+  } else if (exit_by == "exception") {
+    out.exit_by = ExitBy::kException;
+  } else {
+    return Error(ErrorKind::kRequestMalformed,
+                 "result file has bad ExitBy: '" + exit_by + "'");
+  }
+  out.exit_code = static_cast<int>(ad.value().eval_int("ExitCode"));
+  if (out.exit_by == ExitBy::kException) {
+    const std::optional<ErrorKind> kind =
+        parse_kind(ad.value().eval_string("ErrorKind"));
+    const std::optional<ErrorScope> scope =
+        parse_scope(ad.value().eval_string("ErrorScope"));
+    if (!kind.has_value() || !scope.has_value()) {
+      return Error(ErrorKind::kRequestMalformed,
+                   "result file has bad error kind/scope");
+    }
+    Error e(*kind, *scope, ad.value().eval_string("Message"));
+    for (const std::string& name : ad.value().names()) {
+      constexpr std::string_view kPrefix = "Label_";
+      if (name.size() > kPrefix.size() &&
+          name.substr(0, kPrefix.size()) == kPrefix) {
+        e = std::move(e).with_label(name.substr(kPrefix.size()),
+                                    ad.value().eval_string(name));
+      }
+    }
+    out.error = std::move(e);
+  }
+  return out;
+}
+
+}  // namespace esg::jvm

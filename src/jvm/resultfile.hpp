@@ -1,0 +1,35 @@
+// The wrapper's result file (§4).
+//
+// "The wrapper locates the program, attempts to execute it, and catches
+// any exceptions it may throw. It examines the exception type, and then
+// produces a result file describing the program result and the scope of
+// any errors discovered. The starter examines this result file and ignores
+// the JVM result entirely."
+//
+// The file is encoded as a ClassAd — the same language the rest of the
+// kernel speaks — and crosses a trust boundary (the job wrote it), so
+// parsing is fully defensive.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/error.hpp"
+#include "core/result.hpp"
+
+namespace esg::jvm {
+
+struct ResultFile {
+  enum class ExitBy { kCompletion, kSystemExit, kException };
+
+  ExitBy exit_by = ExitBy::kCompletion;
+  int exit_code = 0;                 ///< for completion / System.exit
+  std::optional<Error> error;        ///< for exceptions, with true scope
+
+  [[nodiscard]] std::string encode() const;
+  static Result<ResultFile> parse(const std::string& text);
+};
+
+std::string_view exit_by_name(ResultFile::ExitBy e);
+
+}  // namespace esg::jvm

@@ -1,0 +1,276 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+
+namespace esg::net {
+
+namespace detail {
+
+struct ConnState {
+  ConnId id;
+  std::string host[2];
+  bool open = false;
+  bool broken = false;  // aborted (escaping error), vs gracefully closed
+  SimTime deliver_floor[2]{};  // per-direction FIFO: no message overtakes
+  std::function<void(const std::string&)> on_message[2];
+  std::function<void(const std::optional<Error>&)> on_close[2];
+  sim::Engine* engine = nullptr;
+  NetworkFabric* fabric = nullptr;
+};
+
+}  // namespace detail
+
+using detail::ConnState;
+
+// ---- Endpoint ----
+
+Endpoint::Endpoint(std::shared_ptr<ConnState> state, int side)
+    : state_(std::move(state)), side_(side) {}
+
+bool Endpoint::is_open() const { return state_ && state_->open; }
+
+const std::string& Endpoint::local_host() const {
+  static const std::string kNone;
+  return state_ ? state_->host[side_] : kNone;
+}
+
+const std::string& Endpoint::remote_host() const {
+  static const std::string kNone;
+  return state_ ? state_->host[1 - side_] : kNone;
+}
+
+ConnId Endpoint::id() const { return state_ ? state_->id : ConnId{}; }
+
+Result<void> Endpoint::send(std::string message) {
+  if (!is_open()) {
+    return Error(ErrorKind::kConnectionLost, "send on closed connection");
+  }
+  state_->fabric->deliver(state_, 1 - side_, std::move(message));
+  return Ok();
+}
+
+void Endpoint::set_on_message(std::function<void(const std::string&)> fn) {
+  if (state_) state_->on_message[side_] = std::move(fn);
+}
+
+void Endpoint::set_on_close(
+    std::function<void(const std::optional<Error>&)> fn) {
+  if (state_) state_->on_close[side_] = std::move(fn);
+}
+
+void Endpoint::close() {
+  if (!is_open()) return;
+  state_->open = false;
+  // The peer learns of a graceful close asynchronously, after any data
+  // already in flight (TCP FIN semantics). The closer's own handler does
+  // not fire (it already knows). The close notice travels at the maximum
+  // link latency so earlier sends, which travel at most that fast and were
+  // scheduled earlier, arrive first.
+  auto state = state_;
+  const int peer = 1 - side_;
+  const net::HostFaults& fa = state->fabric->faults_for(state->host[0]);
+  const net::HostFaults& fb = state->fabric->faults_for(state->host[1]);
+  const net::HostFaults& worse = fa.latency >= fb.latency ? fa : fb;
+  const SimTime fin_latency = worse.latency + worse.latency_jitter;
+  state->engine->schedule(fin_latency, [state, peer] {
+    if (state->broken) return;  // an abort superseded the graceful close
+    if (state->on_close[peer]) state->on_close[peer](std::nullopt);
+  });
+}
+
+void Endpoint::abort(Error error) {
+  if (!is_open()) return;
+  NetworkFabric::break_conn(state_, std::move(error));
+}
+
+// ---- NetworkFabric ----
+
+NetworkFabric::NetworkFabric(sim::Engine& engine)
+    : engine_(engine), rng_(engine.rng().fork("network-fabric")) {}
+
+Result<void> NetworkFabric::listen(const Address& addr,
+                                   std::function<void(Endpoint)> on_accept) {
+  if (listeners_.count(addr) != 0) {
+    return Error(ErrorKind::kRequestMalformed,
+                 "address already bound: " + addr.str());
+  }
+  listeners_[addr] = std::move(on_accept);
+  return Ok();
+}
+
+void NetworkFabric::unlisten(const Address& addr) { listeners_.erase(addr); }
+
+void NetworkFabric::set_host_faults(const std::string& host,
+                                    const HostFaults& faults) {
+  host_faults_[host] = faults;
+}
+
+const HostFaults& NetworkFabric::faults_for(const std::string& host) const {
+  auto it = host_faults_.find(host);
+  return it == host_faults_.end() ? default_faults_ : it->second;
+}
+
+void NetworkFabric::set_partitioned(const std::string& host,
+                                    bool partitioned) {
+  HostFaults f = faults_for(host);
+  f.partitioned = partitioned;
+  host_faults_[host] = f;
+}
+
+SimTime NetworkFabric::draw_latency(const std::string& a,
+                                    const std::string& b) {
+  const HostFaults& fa = faults_for(a);
+  const HostFaults& fb = faults_for(b);
+  const HostFaults& worse =
+      fa.latency >= fb.latency ? fa : fb;
+  const double jitter = rng_.uniform(
+      0, static_cast<double>(worse.latency_jitter.as_usec()));
+  return worse.latency + SimTime::usec(static_cast<std::int64_t>(jitter));
+}
+
+void NetworkFabric::connect(const std::string& from_host, const Address& to,
+                            std::function<void(Result<Endpoint>)> on_done) {
+  const SimTime latency = draw_latency(from_host, to.host);
+  // Capture decisions at delivery time, not now: a partition raised while
+  // the SYN is in flight still kills the attempt.
+  engine_.schedule(latency, [this, from_host, to,
+                             on_done = std::move(on_done)]() mutable {
+    const HostFaults& src = faults_for(from_host);
+    const HostFaults& dst = faults_for(to.host);
+    if (src.partitioned || dst.partitioned) {
+      on_done(Error(ErrorKind::kHostUnreachable,
+                    "no route to " + to.str() + " from " + from_host));
+      return;
+    }
+    auto listener = listeners_.find(to);
+    if (listener == listeners_.end()) {
+      on_done(Error(ErrorKind::kConnectionRefused,
+                    "nothing listening at " + to.str()));
+      return;
+    }
+    if (rng_.chance(dst.refuse_prob)) {
+      on_done(Error(ErrorKind::kConnectionRefused,
+                    "connection refused by " + to.str() + " (injected)")
+                  .with_label("injected", "refuse"));
+      return;
+    }
+    auto state = std::make_shared<ConnState>();
+    state->id = conn_ids_.next();
+    state->host[0] = from_host;
+    state->host[1] = to.host;
+    state->open = true;
+    state->engine = &engine_;
+    state->fabric = this;
+    conns_.push_back(state);
+    if (conns_.size() % 256 == 0) prune();
+    // Hand the server its end first (it installs handlers), then the
+    // client; both in this event.
+    listener->second(Endpoint(state, 1));
+    on_done(Endpoint(state, 0));
+  });
+}
+
+void NetworkFabric::deliver(std::shared_ptr<ConnState> state, int to_side,
+                            std::string message) {
+  ++messages_;
+  bytes_ += message.size();
+  const SimTime latency = draw_latency(state->host[0], state->host[1]);
+  // Transmission time: the slower endpoint's bandwidth governs.
+  const HostFaults& fa = faults_for(state->host[0]);
+  const HostFaults& fb = faults_for(state->host[1]);
+  std::uint64_t bw = fa.bandwidth_bytes_per_sec;
+  if (fb.bandwidth_bytes_per_sec != 0 &&
+      (bw == 0 || fb.bandwidth_bytes_per_sec < bw)) {
+    bw = fb.bandwidth_bytes_per_sec;
+  }
+  const SimTime transmission =
+      bw == 0 ? SimTime::zero()
+              : SimTime::usec(static_cast<std::int64_t>(
+                    (message.size() * 1000000ULL) / bw));
+  // TCP semantics: messages on one connection never overtake each other,
+  // whatever the per-message latency draw says, and each occupies the
+  // pipe for its transmission time.
+  SimTime when = engine_.now() + latency;
+  if (when < state->deliver_floor[to_side]) {
+    when = state->deliver_floor[to_side];
+  }
+  when += transmission;
+  state->deliver_floor[to_side] = when;
+  engine_.schedule_at(when, [this, state = std::move(state), to_side,
+                             message = std::move(message)] {
+    if (state->broken) return;  // data on a broken connection is gone
+    const HostFaults& src = faults_for(state->host[1 - to_side]);
+    const HostFaults& dst = faults_for(state->host[to_side]);
+    if (src.partitioned || dst.partitioned) {
+      break_conn(state, Error(ErrorKind::kConnectionTimedOut,
+                              "partition between " + state->host[0] + " and " +
+                                  state->host[1]));
+      return;
+    }
+    if (rng_.chance(std::max(src.drop_msg_prob, dst.drop_msg_prob))) {
+      break_conn(state, Error(ErrorKind::kConnectionLost,
+                              "message lost on " + state->host[0] + "<->" +
+                                  state->host[1] + " (injected)")
+                            .with_label("injected", "drop"));
+      return;
+    }
+    if (state->on_message[to_side]) state->on_message[to_side](message);
+  });
+}
+
+void NetworkFabric::break_conn(const std::shared_ptr<ConnState>& state,
+                               Error error) {
+  if (state->broken) return;
+  state->open = false;
+  state->broken = true;
+  // Both sides observe the escaping error. Delivery is immediate (within
+  // this event) — the connection object is the shared fate domain.
+  for (int side = 0; side < 2; ++side) {
+    if (state->on_close[side]) {
+      state->on_close[side](error);
+    }
+  }
+}
+
+void NetworkFabric::crash_host(const std::string& host) {
+  // Collect first: handlers may open/close connections reentrantly.
+  std::vector<std::shared_ptr<ConnState>> victims;
+  for (const auto& weak : conns_) {
+    if (auto state = weak.lock()) {
+      if (state->open && (state->host[0] == host || state->host[1] == host)) {
+        victims.push_back(std::move(state));
+      }
+    }
+  }
+  for (auto& state : victims) {
+    break_conn(state, Error(ErrorKind::kConnectionLost,
+                            "peer crashed: " + host)
+                          .with_label("injected", "crash"));
+  }
+  for (auto it = listeners_.begin(); it != listeners_.end();) {
+    if (it->first.host == host) {
+      it = listeners_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t NetworkFabric::open_connections() const {
+  std::size_t n = 0;
+  for (const auto& weak : conns_) {
+    if (auto state = weak.lock(); state && state->open) ++n;
+  }
+  return n;
+}
+
+void NetworkFabric::prune() {
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const std::weak_ptr<ConnState>& w) {
+                                auto s = w.lock();
+                                return !s || !s->open;
+                              }),
+               conns_.end());
+}
+
+}  // namespace esg::net

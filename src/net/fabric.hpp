@@ -1,0 +1,139 @@
+// Simulated network fabric.
+//
+// Hosts open duplex message connections through one NetworkFabric, which
+// injects latency and faults. The paper's rule for communicating an
+// escaping error over a network interface — "an escaping error is
+// communicated by breaking the connection" (§3.2) — is reified here:
+// Endpoint::abort(error) tears the connection down and delivers the error
+// to the peer's on_close handler; a graceful close delivers no error.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "core/error.hpp"
+#include "core/result.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::net {
+
+struct Address {
+  std::string host;
+  int port = 0;
+
+  [[nodiscard]] std::string str() const {
+    return host + ":" + std::to_string(port);
+  }
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+};
+
+namespace detail {
+struct ConnState;
+}
+
+/// One end of a duplex connection. Value-semantic handle; copies share the
+/// underlying connection.
+class Endpoint {
+ public:
+  Endpoint() = default;
+
+  [[nodiscard]] bool is_open() const;
+  [[nodiscard]] const std::string& local_host() const;
+  [[nodiscard]] const std::string& remote_host() const;
+  [[nodiscard]] ConnId id() const;
+
+  /// Deliver a message to the peer after the link latency. Fails
+  /// explicitly if the connection is already closed. A message-drop fault
+  /// breaks the whole connection (lost messages are indistinguishable from
+  /// a lost peer at this abstraction level).
+  Result<void> send(std::string message);
+
+  void set_on_message(std::function<void(const std::string&)> fn);
+  /// `error` is nullopt for a graceful close, the escaping error otherwise.
+  void set_on_close(std::function<void(const std::optional<Error>&)> fn);
+
+  /// Graceful shutdown: peer sees on_close(nullopt).
+  void close();
+
+  /// Break the connection to communicate an escaping error (§3.2): both
+  /// sides see on_close(error).
+  void abort(Error error);
+
+ private:
+  friend class NetworkFabric;
+  Endpoint(std::shared_ptr<detail::ConnState> state, int side);
+  std::shared_ptr<detail::ConnState> state_;
+  int side_ = 0;
+};
+
+/// Per-host fault model, applied to traffic to/from the host.
+struct HostFaults {
+  double refuse_prob = 0;     ///< connect() refused outright
+  double drop_msg_prob = 0;   ///< any message loss breaks the connection
+  bool partitioned = false;   ///< connect() fails; in-flight conns break lazily
+  SimTime latency = SimTime::usec(200);
+  SimTime latency_jitter = SimTime::usec(50);
+  /// Link bandwidth in bytes per simulated second (0 = unlimited). A
+  /// message occupies the connection for size/bandwidth; later messages
+  /// queue behind it (per-direction FIFO), so bulk transfers take time.
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+};
+
+class NetworkFabric {
+ public:
+  explicit NetworkFabric(sim::Engine& engine);
+
+  /// Accept connections at `addr`. The handler receives the server-side
+  /// endpoint. At most one listener per address.
+  Result<void> listen(const Address& addr,
+                      std::function<void(Endpoint)> on_accept);
+  void unlisten(const Address& addr);
+
+  /// Open a connection from `from_host` to `to`. The callback fires after
+  /// connection latency with the client endpoint, or with an explicit
+  /// error (refused / unreachable / partitioned).
+  void connect(const std::string& from_host, const Address& to,
+               std::function<void(Result<Endpoint>)> on_done);
+
+  void set_default_faults(const HostFaults& faults) { default_faults_ = faults; }
+  void set_host_faults(const std::string& host, const HostFaults& faults);
+  [[nodiscard]] const HostFaults& faults_for(const std::string& host) const;
+
+  /// Partition or heal a host. Existing connections break on next use.
+  void set_partitioned(const std::string& host, bool partitioned);
+
+  /// Simulate a host crash: every open connection touching the host breaks
+  /// with a ConnectionLost escaping error, and its listeners are removed.
+  void crash_host(const std::string& host);
+
+  [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
+  [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t open_connections() const;
+
+ private:
+  friend class Endpoint;
+  SimTime draw_latency(const std::string& a, const std::string& b);
+  void deliver(std::shared_ptr<detail::ConnState> state, int to_side,
+               std::string message);
+  static void break_conn(const std::shared_ptr<detail::ConnState>& state,
+                         Error error);
+  void prune();
+
+  sim::Engine& engine_;
+  Rng rng_;
+  std::map<Address, std::function<void(Endpoint)>> listeners_;
+  std::vector<std::weak_ptr<detail::ConnState>> conns_;
+  std::map<std::string, HostFaults> host_faults_;
+  HostFaults default_faults_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+  IdGenerator<ConnTag> conn_ids_;
+};
+
+}  // namespace esg::net

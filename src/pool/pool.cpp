@@ -1,0 +1,273 @@
+#include "pool/pool.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace esg::pool {
+
+// ---- MachineSpec factories ----
+
+MachineSpec MachineSpec::good(std::string name) {
+  MachineSpec spec;
+  spec.name = std::move(name);
+  return spec;
+}
+
+MachineSpec MachineSpec::misconfigured_java(std::string name) {
+  MachineSpec spec;
+  spec.name = std::move(name);
+  spec.startd.owner_asserts_java = true;      // the owner *believes* it works
+  spec.startd.jvm.installed = true;           // the binary exists...
+  spec.startd.jvm.classpath_ok = false;       // ...but its libraries do not
+  return spec;
+}
+
+MachineSpec MachineSpec::tiny_heap(std::string name, std::int64_t bytes) {
+  MachineSpec spec;
+  spec.name = std::move(name);
+  spec.startd.jvm.heap_bytes = bytes;
+  return spec;
+}
+
+// ---- Pool ----
+
+Pool::Pool(PoolConfig config)
+    : config_(std::move(config)), engine_(config_.seed), fabric_(engine_) {
+  // Name anonymous machines.
+  for (std::size_t i = 0; i < config_.machines.size(); ++i) {
+    if (config_.machines[i].name.empty()) {
+      config_.machines[i].name = "exec" + std::to_string(i);
+    }
+  }
+
+  const daemons::Ports ports;
+  const net::Address mm_addr{"central", ports.matchmaker};
+
+  matchmaker_ = std::make_unique<daemons::Matchmaker>(
+      engine_, fabric_, "central", ports, config_.timeouts);
+
+  submit_fs_ = std::make_unique<fs::SimFileSystem>(config_.submit.name);
+  submit_fs_->add_mount("/home", 0);
+  (void)submit_fs_->mkdirs("/out");
+  (void)submit_fs_->mkdirs("/spool");
+  if (config_.submit.fs_fault_rate > 0) {
+    submit_fs_->set_transient_fault_rate(
+        config_.submit.fs_fault_rate,
+        engine_.rng().fork("fs@" + config_.submit.name));
+  }
+  schedd_ = std::make_unique<daemons::Schedd>(
+      engine_, fabric_, *submit_fs_, config_.submit.name, config_.discipline,
+      mm_addr, ports, config_.timeouts);
+
+  for (const SubmitSpec& spec : config_.extra_submitters) {
+    Submitter submitter;
+    submitter.fs = std::make_unique<fs::SimFileSystem>(spec.name);
+    submitter.fs->add_mount("/home", 0);
+    (void)submitter.fs->mkdirs("/out");
+    (void)submitter.fs->mkdirs("/spool");
+    if (spec.fs_fault_rate > 0) {
+      submitter.fs->set_transient_fault_rate(
+          spec.fs_fault_rate, engine_.rng().fork("fs@" + spec.name));
+    }
+    submitter.schedd = std::make_unique<daemons::Schedd>(
+        engine_, fabric_, *submitter.fs, spec.name, config_.discipline,
+        mm_addr, ports, config_.timeouts);
+    // Disjoint job-id ranges: attempt ground truth is keyed by job id
+    // across the whole grid.
+    submitter.schedd->set_job_id_base((extra_submitters_.size() + 1) *
+                                      1000000ULL);
+    extra_submitters_[spec.name] = std::move(submitter);
+  }
+
+  for (const MachineSpec& spec : config_.machines) {
+    Machine machine;
+    machine.fs = std::make_unique<fs::SimFileSystem>(spec.name);
+    machine.fs->add_mount("/scratch", spec.startd.scratch_capacity_bytes);
+    if (spec.fs_fault_rate > 0) {
+      machine.fs->set_transient_fault_rate(
+          spec.fs_fault_rate, engine_.rng().fork("fs@" + spec.name));
+    }
+    if (spec.silent_corruption_rate > 0) {
+      machine.fs->set_silent_corruption_rate(
+          spec.silent_corruption_rate,
+          engine_.rng().fork("corrupt@" + spec.name));
+    }
+    machine.startd = std::make_unique<daemons::Startd>(
+        engine_, fabric_, *machine.fs, spec.name, spec.startd,
+        config_.discipline, mm_addr, ports, config_.timeouts);
+    machine.startd->set_ground_truth(&ground_truth_);
+    fabric_.set_host_faults(spec.name, spec.net_faults);
+    machines_[spec.name] = std::move(machine);
+  }
+}
+
+Pool::~Pool() = default;
+
+void Pool::boot() {
+  if (booted_) return;
+  booted_ = true;
+  matchmaker_->boot();
+  schedd_->boot();
+  for (auto& [name, submitter] : extra_submitters_) submitter.schedd->boot();
+  for (auto& [name, machine] : machines_) machine.startd->boot();
+}
+
+fs::SimFileSystem* Pool::machine_fs(const std::string& name) {
+  auto it = machines_.find(name);
+  return it == machines_.end() ? nullptr : it->second.fs.get();
+}
+
+daemons::Startd* Pool::startd(const std::string& name) {
+  auto it = machines_.find(name);
+  return it == machines_.end() ? nullptr : it->second.startd.get();
+}
+
+void Pool::stage_input(const std::string& path, const std::string& data) {
+  (void)submit_fs_->mkdirs(path.substr(0, path.rfind('/')));
+  Result<void> wrote = submit_fs_->write_file(path, data);
+  (void)wrote;
+}
+
+JobId Pool::submit(daemons::JobDescription description) {
+  const JobId id = schedd_->submit(std::move(description));
+  submitted_.push_back(id);
+  return id;
+}
+
+daemons::Schedd* Pool::schedd_at(const std::string& host) {
+  if (host == config_.submit.name) return schedd_.get();
+  auto it = extra_submitters_.find(host);
+  return it == extra_submitters_.end() ? nullptr : it->second.schedd.get();
+}
+
+JobId Pool::submit_at(const std::string& host,
+                      daemons::JobDescription description) {
+  daemons::Schedd* schedd = schedd_at(host);
+  if (schedd == nullptr) return JobId{};
+  return schedd->submit(std::move(description));
+}
+
+bool Pool::run_until_done(SimTime limit) {
+  boot();
+  return engine_.run_until(
+      [this] {
+        if (!schedd_->all_done()) return false;
+        for (const auto& [name, submitter] : extra_submitters_) {
+          if (!submitter.schedd->all_done()) return false;
+        }
+        return true;
+      },
+      engine_.now() + limit);
+}
+
+std::string Pool::status_string() const {
+  std::string out;
+  out += strfmt("%-12s %-10s %-6s %-6s\n", "machine", "state", "java",
+                "owner");
+  for (const auto& [name, machine] : machines_) {
+    out += strfmt("%-12s %-10s %-6s %-6s\n", name.c_str(),
+                  machine.startd->claimed() ? "Claimed" : "Unclaimed",
+                  machine.startd->advertises_java() ? "yes" : "no",
+                  machine.startd->owner_active() ? "active" : "away");
+  }
+  out += strfmt("\n%-6s %-14s %-9s %-10s %s\n", "job", "state", "attempts",
+                "universe", "last machine");
+  std::vector<const daemons::Schedd*> schedds{schedd_.get()};
+  for (const auto& [name, submitter] : extra_submitters_) {
+    schedds.push_back(submitter.schedd.get());
+  }
+  for (const daemons::Schedd* schedd : schedds) {
+    for (const auto& [id, record] : schedd->jobs()) {
+      out += strfmt(
+          "%-6llu %-14s %-9zu %-10s %s\n",
+          static_cast<unsigned long long>(id),
+          std::string(daemons::job_state_name(record.state)).c_str(),
+          record.attempts.size(),
+          std::string(daemons::universe_name(record.description.universe))
+              .c_str(),
+          record.attempts.empty() ? "-"
+                                  : record.attempts.back().machine.c_str());
+    }
+  }
+  return out;
+}
+
+PoolReport Pool::report() const {
+  PoolReport report;
+  report.discipline = config_.discipline.name();
+  report.network_messages = fabric_.total_messages();
+  report.network_bytes = fabric_.total_bytes();
+  report.makespan_seconds = engine_.now().as_sec();
+
+  // Index ground truth by job id; the last entry per job is the attempt
+  // whose outcome (if any) the user ultimately received.
+  std::map<std::uint64_t, const daemons::AttemptGroundTruth*> last_truth;
+  for (const daemons::AttemptGroundTruth& truth : ground_truth_.entries()) {
+    ++report.total_attempts;  // only *executed* attempts have ground truth
+    if (truth.incidental()) {
+      ++report.incidental_attempts;
+      report.wasted_cpu_seconds += truth.cpu_seconds;
+    }
+    last_truth[truth.job_id] = &truth;
+  }
+
+  std::vector<const daemons::Schedd*> schedds{schedd_.get()};
+  for (const auto& [name, submitter] : extra_submitters_) {
+    schedds.push_back(submitter.schedd.get());
+  }
+  double turnaround_sum = 0;
+  int finished = 0;
+  for (const daemons::Schedd* schedd : schedds)
+  for (const auto& [id, record] : schedd->jobs()) {
+    ++report.jobs_total;
+    switch (record.state) {
+      case daemons::JobState::kIdle:
+      case daemons::JobState::kClaiming:
+      case daemons::JobState::kRunning:
+        ++report.unfinished;
+        continue;
+      case daemons::JobState::kUnexecutable: {
+        ++report.unexecutable;
+        const bool job_scope =
+            record.final_summary.environment_error.has_value() &&
+            record.final_summary.environment_error->scope() ==
+                ErrorScope::kJob;
+        if (!job_scope) ++report.gave_up;
+        break;
+      }
+      case daemons::JobState::kCompleted: {
+        const auto truth_it = last_truth.find(id);
+        const daemons::AttemptGroundTruth* truth =
+            truth_it == last_truth.end() ? nullptr : truth_it->second;
+        const bool genuinely_program =
+            truth != nullptr && !truth->incidental();
+        if (record.final_summary.have_program_result && genuinely_program) {
+          report.goodput_cpu_seconds += truth->cpu_seconds;
+          const auto& rf = record.final_summary.program_result;
+          const bool is_error =
+              rf.exit_by == jvm::ResultFile::ExitBy::kException ||
+              (rf.exit_by == jvm::ResultFile::ExitBy::kSystemExit &&
+               rf.exit_code != 0);
+          if (is_error) {
+            ++report.completed_program_error;
+          } else {
+            ++report.completed_genuine;
+          }
+        } else {
+          // The user was handed an environmental condition — either
+          // labelled as such (naive completes with an error summary) or
+          // silently laundered into a program result.
+          ++report.user_incidental_exposures;
+        }
+        break;
+      }
+    }
+    turnaround_sum += (record.finished - record.submitted).as_sec();
+    ++finished;
+  }
+  if (finished > 0) report.mean_turnaround_seconds = turnaround_sum / finished;
+  return report;
+}
+
+}  // namespace esg::pool

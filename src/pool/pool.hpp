@@ -1,0 +1,124 @@
+// Pool: builds a whole simulated grid and runs experiments on it.
+//
+// One Pool owns the engine, the network fabric, a submit machine (schedd +
+// filesystem), N execution machines (startd + filesystem each), and a
+// matchmaker. Experiment code configures machines and faults, submits
+// jobs, runs to completion, and reads a PoolReport.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemons/config.hpp"
+#include "daemons/groundtruth.hpp"
+#include "daemons/matchmaker.hpp"
+#include "daemons/schedd.hpp"
+#include "daemons/startd.hpp"
+#include "fs/simfs.hpp"
+#include "net/fabric.hpp"
+#include "pool/report.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::pool {
+
+struct MachineSpec {
+  std::string name;                  ///< defaults to "execN"
+  daemons::StartdConfig startd;
+  double fs_fault_rate = 0;          ///< transient I/O fault probability
+  /// Probability any local read is silently corrupted (implicit errors,
+  /// §5) — detectable only by end-to-end machinery (pool/reliable.hpp).
+  double silent_corruption_rate = 0;
+  net::HostFaults net_faults;        ///< host-level network fault model
+
+  /// A correctly configured machine.
+  static MachineSpec good(std::string name = {});
+  /// The paper's black hole: the owner asserts Java but the installation
+  /// is broken — jobs are attracted, started, and fail immediately.
+  static MachineSpec misconfigured_java(std::string name = {});
+  /// JVM present but with a tiny heap (virtual-machine-scope failures).
+  static MachineSpec tiny_heap(std::string name = {}, std::int64_t bytes = 1 << 20);
+};
+
+struct SubmitSpec {
+  std::string name = "submit0";
+  double fs_fault_rate = 0;
+};
+
+struct PoolConfig {
+  std::uint64_t seed = 42;
+  daemons::DisciplineConfig discipline;
+  daemons::Timeouts timeouts;
+  SubmitSpec submit;
+  /// Additional submit machines (each with its own schedd and filesystem);
+  /// all share the one matchmaker and the execution machines.
+  std::vector<SubmitSpec> extra_submitters;
+  std::vector<MachineSpec> machines;
+};
+
+class Pool {
+ public:
+  explicit Pool(PoolConfig config);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Start all daemons. Must be called before submitting.
+  void boot();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::NetworkFabric& fabric() { return fabric_; }
+  [[nodiscard]] daemons::Schedd& schedd() { return *schedd_; }
+  /// A named submitter's schedd (the primary or an extra); null if absent.
+  [[nodiscard]] daemons::Schedd* schedd_at(const std::string& host);
+  [[nodiscard]] daemons::Matchmaker& matchmaker() { return *matchmaker_; }
+  [[nodiscard]] fs::SimFileSystem& submit_fs() { return *submit_fs_; }
+  [[nodiscard]] fs::SimFileSystem* machine_fs(const std::string& name);
+  [[nodiscard]] daemons::Startd* startd(const std::string& name);
+  [[nodiscard]] daemons::GroundTruthLog& ground_truth() {
+    return ground_truth_;
+  }
+  [[nodiscard]] const PoolConfig& config() const { return config_; }
+
+  /// Put a file on the submit machine (job inputs).
+  void stage_input(const std::string& path, const std::string& data);
+
+  JobId submit(daemons::JobDescription description);
+  /// Submit via a named extra submitter.
+  JobId submit_at(const std::string& host, daemons::JobDescription description);
+
+  /// Run until every submitted job is terminal or `limit` elapses.
+  /// Returns true when everything finished.
+  bool run_until_done(SimTime limit = SimTime::hours(4));
+
+  [[nodiscard]] PoolReport report() const;
+
+  /// condor_status-style snapshot: one line per machine (state, java,
+  /// owner activity) and one per job (state, attempts, machine).
+  [[nodiscard]] std::string status_string() const;
+
+ private:
+  PoolConfig config_;
+  sim::Engine engine_;
+  net::NetworkFabric fabric_;
+  daemons::GroundTruthLog ground_truth_;
+  std::unique_ptr<fs::SimFileSystem> submit_fs_;
+  std::unique_ptr<daemons::Matchmaker> matchmaker_;
+  std::unique_ptr<daemons::Schedd> schedd_;
+  struct Submitter {
+    std::unique_ptr<fs::SimFileSystem> fs;
+    std::unique_ptr<daemons::Schedd> schedd;
+  };
+  std::map<std::string, Submitter> extra_submitters_;
+  struct Machine {
+    std::unique_ptr<fs::SimFileSystem> fs;
+    std::unique_ptr<daemons::Startd> startd;
+  };
+  std::map<std::string, Machine> machines_;
+  std::vector<JobId> submitted_;
+  bool booted_ = false;
+};
+
+}  // namespace esg::pool

@@ -1,0 +1,64 @@
+#include "pool/reliable.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/audit.hpp"
+#include "pool/pool.hpp"
+
+namespace esg::pool {
+
+std::vector<JobId> submit_redundant(Pool& pool,
+                                    const daemons::JobDescription& job,
+                                    int replicas) {
+  std::vector<JobId> ids;
+  ids.reserve(static_cast<std::size_t>(std::max(0, replicas)));
+  for (int i = 0; i < replicas; ++i) {
+    daemons::JobDescription clone = job;
+    clone.id = JobId{};  // the schedd assigns ids
+    ids.push_back(pool.submit(std::move(clone)));
+  }
+  return ids;
+}
+
+ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
+                            const std::string& output_name) {
+  ReliableResult result;
+  result.replicas = static_cast<int>(ids.size());
+
+  std::vector<std::string> outputs;
+  for (const JobId id : ids) {
+    const std::string path =
+        "/out/job_" + std::to_string(id.value()) + "/" + output_name;
+    Result<std::string> data = pool.submit_fs().read_file(path);
+    if (data.ok()) outputs.push_back(std::move(data).value());
+  }
+  result.outputs_collected = static_cast<int>(outputs.size());
+  if (outputs.empty()) return result;
+
+  // Majority vote over content.
+  std::map<std::string, int> votes;
+  for (const std::string& out : outputs) ++votes[out];
+  auto winner = std::max_element(
+      votes.begin(), votes.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  result.agreeing = winner->second;
+  result.implicit_error_detected = votes.size() > 1;
+
+  if (winner->second * 2 <= static_cast<int>(outputs.size())) {
+    // Detected but unmaskable: every copy might be the wrong one.
+    result.no_majority = true;
+    return result;
+  }
+  if (result.implicit_error_detected) {
+    // A minority of replicas silently produced wrong bytes; the vote
+    // masked the implicit error before it became a user-visible failure.
+    PrincipleAudit::global().record(Principle::kP1, AuditOutcome::kApplied,
+                                    "vote_outputs");
+  }
+  result.delivered = true;
+  result.output = winner->first;
+  return result;
+}
+
+}  // namespace esg::pool

@@ -1,0 +1,49 @@
+// End-to-end reliability above the grid (§5).
+//
+// "The end-to-end principle tells us that the ultimate responsibility for
+// detecting such [implicit] errors lies with a higher level of software. A
+// process above Condor may work on behalf of the user to analyze outputs
+// and replicate or resubmit jobs that fail due to implicit errors or
+// failures in Condor itself."
+//
+// This is that process: submit N replicas of a job, collect their declared
+// outputs, and majority-vote. Disagreement *is* the detection of an
+// implicit error; a majority masks it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "daemons/job.hpp"
+
+namespace esg::pool {
+
+class Pool;
+
+struct ReliableResult {
+  /// A majority output exists and was delivered.
+  bool delivered = false;
+  /// Some replica's output disagreed with the majority: an implicit error
+  /// was detected (and, if delivered, masked).
+  bool implicit_error_detected = false;
+  /// No majority: the implicit error was detected but cannot be masked.
+  bool no_majority = false;
+  int replicas = 0;
+  int outputs_collected = 0;
+  int agreeing = 0;            ///< votes for the winning content
+  std::string output;          ///< the winning content (when delivered)
+};
+
+/// Submit `replicas` clones of `job` (ids are returned in order). The job
+/// must declare at least one output file; `job.id` is ignored.
+std::vector<JobId> submit_redundant(Pool& pool,
+                                    const daemons::JobDescription& job,
+                                    int replicas);
+
+/// After the pool has run to completion: collect `output_name` from each
+/// replica's output directory and majority-vote the contents.
+ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
+                            const std::string& output_name);
+
+}  // namespace esg::pool

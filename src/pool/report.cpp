@@ -1,0 +1,46 @@
+#include "pool/report.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::pool {
+
+std::string PoolReport::str() const {
+  std::string out;
+  out += strfmt("discipline                 %s\n", discipline.c_str());
+  out += strfmt("jobs total                 %d\n", jobs_total);
+  out += strfmt("  completed (genuine)      %d\n", completed_genuine);
+  out += strfmt("  completed (program err)  %d\n", completed_program_error);
+  out += strfmt("  incidental exposures     %d\n", user_incidental_exposures);
+  out += strfmt("  unexecutable             %d (gave up: %d)\n", unexecutable,
+                gave_up);
+  out += strfmt("  unfinished               %d\n", unfinished);
+  out += strfmt("attempts                   %llu (incidental: %llu)\n",
+                static_cast<unsigned long long>(total_attempts),
+                static_cast<unsigned long long>(incidental_attempts));
+  out += strfmt("wasted cpu                 %.1fs\n", wasted_cpu_seconds);
+  out += strfmt("goodput cpu                %.1fs\n", goodput_cpu_seconds);
+  out += strfmt("network                    %llu msgs, %llu bytes\n",
+                static_cast<unsigned long long>(network_messages),
+                static_cast<unsigned long long>(network_bytes));
+  out += strfmt("makespan                   %.1fs\n", makespan_seconds);
+  out += strfmt("mean turnaround            %.1fs\n", mean_turnaround_seconds);
+  return out;
+}
+
+std::string PoolReport::table_header() {
+  return strfmt("%-22s %5s %6s %7s %7s %7s %8s %9s %9s %9s",
+                "configuration", "jobs", "ok", "prgerr", "incid", "unexec",
+                "attempts", "wasteCPUs", "goodCPUs", "netMsgs");
+}
+
+std::string PoolReport::table_row(const std::string& label) const {
+  return strfmt("%-22s %5d %6d %7d %7d %7d %8llu %9.1f %9.1f %9llu",
+                label.c_str(), jobs_total, completed_genuine,
+                completed_program_error, user_incidental_exposures,
+                unexecutable,
+                static_cast<unsigned long long>(total_attempts),
+                wasted_cpu_seconds, goodput_cpu_seconds,
+                static_cast<unsigned long long>(network_messages));
+}
+
+}  // namespace esg::pool

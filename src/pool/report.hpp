@@ -1,0 +1,59 @@
+// PoolReport: the experiment harness's view of one run.
+//
+// Combines three sources: the schedd's job records (what the *user* saw),
+// the ground-truth log (what *actually* happened at execution sites), and
+// the fabric's traffic counters. The headline metric is the paper's: how
+// often was the user exposed to an incidental error as if it were a
+// program result — the postmortem burden of §2.3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esg::pool {
+
+struct PoolReport {
+  std::string discipline;
+
+  int jobs_total = 0;
+  /// Program genuinely finished (per ground truth) and the user was told
+  /// a program result.
+  int completed_genuine = 0;
+  /// Job ended with a genuine program-scope error (its own exception /
+  /// exit code) delivered to the user — desirable delivery (§2.3: users
+  /// *wanted* ArrayIndexOutOfBounds).
+  int completed_program_error = 0;
+  /// The user received an incidental (environment) condition as if it were
+  /// the job's own doing — the §2.3 postmortem burden.
+  int user_incidental_exposures = 0;
+  /// Job returned as unexecutable with a job-scope explanation.
+  int unexecutable = 0;
+  /// Jobs the schedd gave up on after max_attempts (subset of
+  /// unexecutable).
+  int gave_up = 0;
+  /// Jobs still pending when time ran out.
+  int unfinished = 0;
+
+  std::uint64_t total_attempts = 0;
+  /// Execution attempts that ended for environmental reasons.
+  std::uint64_t incidental_attempts = 0;
+  /// CPU burned by attempts that ended incidentally (the §5 waste).
+  double wasted_cpu_seconds = 0;
+  /// CPU from attempts that produced the job's final program result.
+  double goodput_cpu_seconds = 0;
+
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+
+  double makespan_seconds = 0;
+  /// Mean time from submit to terminal state, over finished jobs.
+  double mean_turnaround_seconds = 0;
+
+  [[nodiscard]] std::string str() const;
+
+  /// One formatted table row (pairs with table_header()).
+  [[nodiscard]] std::string table_row(const std::string& label) const;
+  static std::string table_header();
+};
+
+}  // namespace esg::pool

@@ -1,0 +1,145 @@
+#include "pool/submit.hpp"
+
+#include "common/strings.hpp"
+
+namespace esg::pool {
+
+namespace {
+
+Error bad(const std::string& message) {
+  return Error(ErrorKind::kBadJobDescription, ErrorScope::kJob, message);
+}
+
+std::vector<std::string> parse_file_list(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& piece : split(text, ',')) {
+    const std::string_view trimmed = trim(piece);
+    if (!trimmed.empty()) out.emplace_back(trimmed);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<void> stage_program(fs::SimFileSystem& fs, const std::string& path,
+                           const jvm::JobProgram& program) {
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string::npos && slash > 0) {
+    if (Result<void> r = fs.mkdirs(path.substr(0, slash)); !r.ok()) return r;
+  }
+  return fs.write_file(path, jvm::serialize_program(program));
+}
+
+Result<std::vector<daemons::JobDescription>> parse_submit_text(
+    fs::SimFileSystem& fs, const std::string& text) {
+  daemons::JobDescription prototype;
+  prototype.requirements = "TARGET.HasJava =?= true";
+  bool have_executable = false;
+  int queued_total = 0;
+  std::vector<daemons::JobDescription> jobs;
+
+  for (const std::string& raw : split(text, '\n')) {
+    std::string line{trim(raw)};
+    // Strip comments.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = std::string(trim(line.substr(0, hash)));
+    }
+    if (line.empty()) continue;
+
+    // `queue [N]` emits N copies of the prototype as configured so far.
+    if (iequals(line.substr(0, 5), "queue")) {
+      // Materialize: trim() returns a view, and line.substr() is a
+      // temporary that must not outlive this statement.
+      const std::string arg{trim(line.substr(5))};
+      int count = 1;
+      if (!arg.empty()) {
+        char* end = nullptr;
+        count = static_cast<int>(std::strtol(arg.c_str(), &end, 10));
+        if (end == arg.c_str() || count <= 0) {
+          return bad("bad queue count: '" + arg + "'");
+        }
+      }
+      if (!have_executable) {
+        return bad("queue before executable");
+      }
+      // Validate the prototype's expressions per batch — later batches may
+      // have different (possibly broken) requirements.
+      if (Result<classad::ClassAd> ad = prototype.to_summary_ad(); !ad.ok()) {
+        return std::move(ad).error();
+      }
+      for (int i = 0; i < count; ++i) jobs.push_back(prototype);
+      queued_total += count;
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return bad("not a 'key = value' line: '" + line + "'");
+    }
+    const std::string key = to_lower(trim(line.substr(0, eq)));
+    const std::string value{trim(line.substr(eq + 1))};
+
+    if (key == "universe") {
+      const std::optional<daemons::Universe> universe =
+          daemons::parse_universe(to_lower(value));
+      if (!universe.has_value()) {
+        return bad("unknown universe '" + value + "'");
+      }
+      prototype.universe = *universe;
+      if (*universe != daemons::Universe::kJava &&
+          prototype.requirements == "TARGET.HasJava =?= true") {
+        prototype.requirements = "true";  // non-java default needs no JVM
+      }
+    } else if (key == "executable") {
+      Result<std::string> image = fs.read_file(value);
+      if (!image.ok()) {
+        return bad("cannot read executable '" + value + "': " +
+                   image.error().message());
+      }
+      Result<jvm::JobProgram> program =
+          jvm::deserialize_program(image.value());
+      if (!program.ok()) {
+        return bad("executable '" + value + "' is not a valid program: " +
+                   program.error().message());
+      }
+      prototype.program = std::move(program).value();
+      have_executable = true;
+    } else if (key == "requirements") {
+      prototype.requirements = value;
+    } else if (key == "rank") {
+      prototype.rank = value;
+    } else if (key == "owner") {
+      prototype.owner = value;
+    } else if (key == "image_size_mb") {
+      char* end = nullptr;
+      prototype.image_size_mb = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || prototype.image_size_mb <= 0) {
+        return bad("bad image_size_mb: '" + value + "'");
+      }
+    } else if (key == "transfer_input_files") {
+      prototype.input_files = parse_file_list(value);
+    } else if (key == "transfer_output_files") {
+      prototype.output_files = parse_file_list(value);
+    } else {
+      // Principle 4 applied to the submit language too: a concise, finite
+      // vocabulary. Unknown keys are errors, not silently-ignored typos.
+      return bad("unknown submit key '" + key + "'");
+    }
+  }
+  if (queued_total == 0) {
+    return bad("submit description queues no jobs (missing 'queue'?)");
+  }
+  return jobs;
+}
+
+Result<std::vector<daemons::JobDescription>> parse_submit_file(
+    fs::SimFileSystem& fs, const std::string& path) {
+  Result<std::string> text = fs.read_file(path);
+  if (!text.ok()) {
+    return bad("cannot read submit file '" + path + "': " +
+               text.error().message());
+  }
+  return parse_submit_text(fs, text.value());
+}
+
+}  // namespace esg::pool

@@ -1,0 +1,45 @@
+// Submit description files — the condor_submit surface.
+//
+// A user describes jobs in a small key = value language and queues N of
+// them; the executable is a program image staged on the submit machine's
+// filesystem:
+//
+//   universe               = java
+//   executable             = /home/alice/sim.prog
+//   requirements           = TARGET.HasJava =?= true && TARGET.Memory >= 64
+//   rank                   = TARGET.Memory
+//   owner                  = alice
+//   image_size_mb          = 32
+//   transfer_input_files   = /home/alice/a.dat, /home/alice/b.dat
+//   transfer_output_files  = result.dat
+//   queue 3
+//
+// Parsing is defensive (user input), and the executable must deserialize
+// as a valid program image — a corrupt one is rejected here, before it
+// wastes grid capacity (contrast with JobProgram::image_corrupt, which
+// models corruption the submit side *cannot* see).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "daemons/job.hpp"
+#include "fs/simfs.hpp"
+
+namespace esg::pool {
+
+/// Parse a submit description. `fs` is the submit machine's filesystem,
+/// used to load the executable. Returns one JobDescription per queued
+/// instance (ids unassigned — the schedd assigns them at submit).
+Result<std::vector<daemons::JobDescription>> parse_submit_text(
+    fs::SimFileSystem& fs, const std::string& text);
+
+/// Load and parse a submit file from the submit machine's filesystem.
+Result<std::vector<daemons::JobDescription>> parse_submit_file(
+    fs::SimFileSystem& fs, const std::string& path);
+
+/// Store a program image where a submit file's `executable` can name it.
+Result<void> stage_program(fs::SimFileSystem& fs, const std::string& path,
+                           const jvm::JobProgram& program);
+
+}  // namespace esg::pool

@@ -1,0 +1,56 @@
+#include "pool/workload.hpp"
+
+#include "pool/pool.hpp"
+
+namespace esg::pool {
+
+namespace {
+constexpr const char* kRemoteInput = "/home/data/input.dat";
+}
+
+std::vector<daemons::JobDescription> make_workload(
+    const WorkloadOptions& options, Rng& rng) {
+  std::vector<daemons::JobDescription> jobs;
+  jobs.reserve(static_cast<std::size_t>(options.count));
+  for (int i = 0; i < options.count; ++i) {
+    const SimTime compute = SimTime::usec(static_cast<std::int64_t>(
+        rng.exponential(static_cast<double>(options.mean_compute.as_usec()))));
+
+    jvm::ProgramBuilder builder("Job" + std::to_string(i));
+    builder.compute(compute);
+    if (rng.chance(options.remote_io_fraction)) {
+      builder.open_read(kRemoteInput, 0).read(0, 4096).close_stream(0);
+    }
+    if (rng.chance(options.big_alloc_fraction)) {
+      builder.alloc(options.big_alloc_bytes);
+    }
+    if (rng.chance(options.remote_write_fraction)) {
+      builder.open_write("/home/data/out_" + std::to_string(i), 1)
+          .write(1, 1024)
+          .close_stream(1);
+    }
+    if (rng.chance(options.program_error_fraction)) {
+      builder.throw_exception(ErrorKind::kArrayIndexOutOfBounds);
+    } else if (rng.chance(options.nonzero_exit_fraction)) {
+      builder.exit(3);
+    }
+
+    daemons::JobDescription job;
+    job.owner = "user";
+    job.program = builder.build();
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void stage_workload_inputs(Pool& pool) {
+  pool.stage_input(kRemoteInput, std::string(64 << 10, 'x'));
+}
+
+daemons::JobDescription make_hello_job(SimTime compute) {
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Hello").compute(compute).build();
+  return job;
+}
+
+}  // namespace esg::pool

@@ -1,0 +1,40 @@
+// Workload generators for the experiments.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "daemons/job.hpp"
+
+namespace esg::pool {
+
+struct WorkloadOptions {
+  int count = 50;
+  /// Mean compute time per job (exponentially distributed).
+  SimTime mean_compute = SimTime::sec(20);
+  /// Fraction of jobs that legitimately throw (program-scope error).
+  double program_error_fraction = 0.0;
+  /// Fraction of jobs that call System.exit with a nonzero code.
+  double nonzero_exit_fraction = 0.0;
+  /// Fraction of jobs that read a remote (submit-side) input via the
+  /// proxy during execution.
+  double remote_io_fraction = 0.0;
+  /// Fraction of jobs that write a remote output via the proxy.
+  double remote_write_fraction = 0.0;
+  /// Fraction of jobs that allocate aggressively (exercises heap limits).
+  double big_alloc_fraction = 0.0;
+  std::int64_t big_alloc_bytes = 1LL << 30;
+};
+
+/// Generate a mixed batch of jobs. Paths under /home/data/... are staged
+/// by stage_workload_inputs(). Deterministic for a given rng state.
+std::vector<daemons::JobDescription> make_workload(const WorkloadOptions& options,
+                                                   Rng& rng);
+
+/// Stage the input files the workload expects onto the submit machine.
+void stage_workload_inputs(class Pool& pool);
+
+/// One trivial always-succeeds job (quickstart and tests).
+daemons::JobDescription make_hello_job(SimTime compute = SimTime::sec(1));
+
+}  // namespace esg::pool

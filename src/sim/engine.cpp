@@ -1,0 +1,61 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace esg::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+TimerHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= SimTime::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+TimerHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, seq_++, std::move(fn), cancelled});
+  return TimerHandle(std::move(cancelled));
+}
+
+bool Engine::pop_and_run(SimTime limit) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > limit) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run(SimTime limit) {
+  std::uint64_t count = 0;
+  const std::uint64_t start = executed_;
+  while (pop_and_run(limit)) {
+    ++count;
+    if (event_cap_ != 0 && executed_ - start >= event_cap_) break;
+  }
+  // Advance the clock to the limit when asked to run a bounded window,
+  // so repeated bounded runs see monotone time.
+  if (limit != SimTime::max() && now_ < limit) now_ = limit;
+  return count;
+}
+
+bool Engine::run_until(const std::function<bool()>& predicate, SimTime limit) {
+  if (predicate()) return true;
+  const std::uint64_t start = executed_;
+  while (pop_and_run(limit)) {
+    if (predicate()) return true;
+    if (event_cap_ != 0 && executed_ - start >= event_cap_) break;
+  }
+  return predicate();
+}
+
+bool Engine::step(SimTime limit) { return pop_and_run(limit); }
+
+}  // namespace esg::sim

@@ -1,0 +1,127 @@
+// Deterministic discrete-event simulation engine.
+//
+// One Engine drives the whole grid: every daemon, network delivery, and
+// timer is an event on one priority queue ordered by (time, sequence), so
+// a given seed replays the exact same execution. The engine is single
+// threaded on purpose — determinism is worth more than parallel speedup for
+// studying error propagation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+
+namespace esg::sim {
+
+/// Handle to a scheduled event, usable to cancel it.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  [[nodiscard]] bool valid() const { return cancel_ != nullptr && *cancel_ == false; }
+
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
+  void cancel() {
+    if (cancel_) *cancel_ = true;
+  }
+
+ private:
+  friend class Engine;
+  explicit TimerHandle(std::shared_ptr<bool> cancel)
+      : cancel_(std::move(cancel)) {}
+  std::shared_ptr<bool> cancel_;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 42);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run after `delay` (>= 0). Returns a cancellable
+  /// handle. Events at equal times run in scheduling order.
+  TimerHandle schedule(SimTime delay, std::function<void()> fn);
+  TimerHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Run until the queue is empty or `limit` is reached; returns the
+  /// number of events executed.
+  std::uint64_t run(SimTime limit = SimTime::max());
+
+  /// Run until `predicate` becomes true (checked after every event), the
+  /// queue empties, or `limit` passes. Returns true if the predicate held.
+  bool run_until(const std::function<bool()>& predicate,
+                 SimTime limit = SimTime::max());
+
+  /// Execute exactly one event if any is pending before `limit`.
+  bool step(SimTime limit = SimTime::max());
+
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Hard cap on events per run() call — a runaway-loop backstop. 0 means
+  /// unlimited.
+  void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_and_run(SimTime limit);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_{};
+  std::uint64_t seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_cap_ = 0;
+  Rng rng_;
+};
+
+/// Base class for simulation actors (daemons). Binds a name, the engine,
+/// a logger, and a forked RNG stream.
+class Actor {
+ public:
+  Actor(Engine& engine, std::string name)
+      : engine_(&engine),
+        name_(std::move(name)),
+        log_(name_),
+        rng_(engine.rng().fork(name_)) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Engine& engine() const { return *engine_; }
+  [[nodiscard]] SimTime now() const { return engine_->now(); }
+
+ protected:
+  [[nodiscard]] const Logger& log() const { return log_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+  TimerHandle after(SimTime delay, std::function<void()> fn) {
+    return engine_->schedule(delay, std::move(fn));
+  }
+
+ private:
+  Engine* engine_;
+  std::string name_;
+  Logger log_;
+  Rng rng_;
+};
+
+}  // namespace esg::sim

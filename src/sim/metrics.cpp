@@ -1,0 +1,74 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace esg::sim {
+
+double Histogram::sum() const {
+  double total = 0;
+  for (double v : samples_) total += v;
+  return total;
+}
+
+double Histogram::mean() const {
+  return samples_.empty() ? 0 : sum() / static_cast<double>(samples_.size());
+}
+
+void Histogram::ensure_sorted() const {
+  if (sorted_valid_ && sorted_.size() == samples_.size()) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1 - frac) + sorted_[hi] * frac;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::string MetricsRegistry::str() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h.count() << " mean=" << h.mean()
+       << " p50=" << h.quantile(0.5) << " p99=" << h.quantile(0.99) << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace esg::sim

@@ -1,0 +1,80 @@
+// Metrics: counters, gauges, and histograms for the experiment harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esg::sim {
+
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Reservoir-free histogram: stores all samples (simulations are small
+/// enough) and computes order statistics on demand.
+class Histogram {
+ public:
+  void observe(double v) { samples_.push_back(v); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// q in [0, 1]; returns 0 with no samples.
+  [[nodiscard]] double quantile(double q) const;
+  void reset() { samples_.clear(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  void ensure_sorted() const;
+};
+
+/// Named metric registry; each Pool owns one.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Render all metrics as "name value" lines, sorted by name.
+  [[nodiscard]] std::string str() const;
+
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace esg::sim

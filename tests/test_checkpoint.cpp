@@ -1,0 +1,223 @@
+// Tests for transparent checkpointing and migration.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+daemons::JobDescription long_job(SimTime slice = SimTime::minutes(2),
+                                 int slices = 10) {
+  // Ten two-minute compute slices: checkpoints can land between slices.
+  jvm::ProgramBuilder builder("longhaul");
+  for (int i = 0; i < slices; ++i) builder.compute(slice);
+  daemons::JobDescription job;
+  job.program = builder.build();
+  return job;
+}
+
+TEST(CheckpointUnit, EncodeParseRoundTrip) {
+  jvm::Checkpoint ckpt;
+  ckpt.pc = 7;
+  ckpt.heap_used = 12345;
+  ckpt.cpu_seconds = 99.5;
+  Result<jvm::Checkpoint> back = jvm::Checkpoint::parse(ckpt.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().pc, 7u);
+  EXPECT_EQ(back.value().heap_used, 12345);
+  EXPECT_DOUBLE_EQ(back.value().cpu_seconds, 99.5);
+}
+
+TEST(CheckpointUnit, GarbageRejected) {
+  EXPECT_FALSE(jvm::Checkpoint::parse("not an ad [").ok());
+  EXPECT_FALSE(jvm::Checkpoint::parse("[HeapUsed = 3]").ok());  // no Pc
+}
+
+TEST(CheckpointUnit, JvmResumesFromPc) {
+  sim::Engine engine(3);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  jvm::LocalJavaIo io(fs, jvm::IoDiscipline::kConcise);
+  jvm::JvmConfig config;
+  jvm::SimJvm jvm(engine, config);
+
+  const jvm::JobProgram program = jvm::ProgramBuilder("p")
+                                      .compute(SimTime::sec(10))
+                                      .compute(SimTime::sec(10))
+                                      .compute(SimTime::sec(10))
+                                      .build();
+  jvm::RunExtras extras;
+  extras.resume.pc = 2;  // two slices already done elsewhere
+  bool done = false;
+  jvm.run(program, io, jvm::WrapMode::kBare, &fs, "/scratch/.result",
+          [&](const jvm::JvmOutcome& outcome) {
+            done = true;
+            EXPECT_TRUE(outcome.completed_main);
+            // Only the remaining slice was computed here.
+            EXPECT_EQ(outcome.cpu_time, SimTime::sec(10));
+          },
+          nullptr, extras);
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CheckpointUnit, CorruptResumePointRestarts) {
+  sim::Engine engine(3);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  jvm::LocalJavaIo io(fs, jvm::IoDiscipline::kConcise);
+  jvm::SimJvm jvm(engine, jvm::JvmConfig{});
+  const jvm::JobProgram program =
+      jvm::ProgramBuilder("p").compute(SimTime::sec(5)).build();
+  jvm::RunExtras extras;
+  extras.resume.pc = 99;  // past the end: stale/corrupt
+  bool done = false;
+  jvm.run(program, io, jvm::WrapMode::kBare, &fs, "/scratch/.result",
+          [&](const jvm::JvmOutcome& outcome) {
+            done = true;
+            EXPECT_TRUE(outcome.completed_main);
+            EXPECT_EQ(outcome.cpu_time, SimTime::sec(5));  // ran from 0
+          },
+          nullptr, extras);
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(CheckpointUnit, NoCheckpointWhileStreamsOpen) {
+  sim::Engine engine(3);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  (void)fs.write_file("/data", std::string(1 << 16, 'x'));
+  jvm::LocalJavaIo io(fs, jvm::IoDiscipline::kConcise);
+  jvm::SimJvm jvm(engine, jvm::JvmConfig{});
+
+  struct Recorder final : jvm::CheckpointSink {
+    std::vector<jvm::Checkpoint> stored;
+    void store(const jvm::Checkpoint& c) override { stored.push_back(c); }
+  } recorder;
+
+  // Stream open from op1 through op4; checkpointable only before/after.
+  const jvm::JobProgram program = jvm::ProgramBuilder("p")
+                                      .compute(SimTime::minutes(2))   // pc 0
+                                      .open_read("/data", 0)          // pc 1
+                                      .compute(SimTime::minutes(10))  // pc 2
+                                      .read(0, 128)                   // pc 3
+                                      .close_stream(0)                // pc 4
+                                      .compute(SimTime::minutes(2))   // pc 5
+                                      .build();
+  jvm::RunExtras extras;
+  extras.sink = &recorder;
+  extras.checkpoint_interval = SimTime::minutes(1);
+  bool done = false;
+  jvm.run(program, io, jvm::WrapMode::kBare, &fs, "/scratch/.result",
+          [&](const jvm::JvmOutcome&) { done = true; }, nullptr, extras);
+  engine.run();
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(recorder.stored.empty());
+  for (const jvm::Checkpoint& c : recorder.stored) {
+    // Never inside the open-stream window (pcs 2..4 pending ops with the
+    // stream open mean a checkpoint there would capture a connection).
+    EXPECT_TRUE(c.pc <= 1 || c.pc >= 5) << "checkpoint at pc " << c.pc;
+  }
+}
+
+// ---- end to end ----
+
+TEST(CheckpointE2E, EvictionResumesInsteadOfRestarting) {
+  PoolConfig config;
+  config.seed = 41;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = true;
+  config.discipline.checkpoint_interval = SimTime::minutes(1);
+  config.machines.push_back(MachineSpec::good("aaa_desk"));
+  config.machines.push_back(MachineSpec::good("zzz_farm"));
+  Pool pool(config);
+  const JobId id = pool.submit(long_job());  // 20 minutes of compute
+  pool.boot();
+  // Eviction at minute 11: about half the work is done and checkpointed.
+  pool.engine().schedule(SimTime::minutes(11), [&pool] {
+    pool.startd("aaa_desk")->set_owner_active(true);
+    pool.startd("zzz_farm")->set_owner_active(false);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(3)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_EQ(record->state, daemons::JobState::kCompleted);
+  ASSERT_EQ(record->attempts.size(), 2u);
+  // Total compute across both attempts stays near the program's 20
+  // minutes: the second attempt resumed rather than starting over.
+  double total_cpu = 0;
+  for (const auto& truth : pool.ground_truth().entries()) {
+    total_cpu += truth.cpu_seconds;
+  }
+  EXPECT_LT(total_cpu, 26 * 60.0);  // 20 min + at most one lost interval + slack
+  EXPECT_GE(total_cpu, 20 * 60.0 - 1);
+}
+
+TEST(CheckpointE2E, WithoutCheckpointingEvictionRestarts) {
+  PoolConfig config;
+  config.seed = 41;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = false;
+  config.machines.push_back(MachineSpec::good("aaa_desk"));
+  config.machines.push_back(MachineSpec::good("zzz_farm"));
+  Pool pool(config);
+  const JobId id = pool.submit(long_job());
+  pool.boot();
+  pool.engine().schedule(SimTime::minutes(11), [&pool] {
+    pool.startd("aaa_desk")->set_owner_active(true);
+    pool.startd("zzz_farm")->set_owner_active(false);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(3)));
+  ASSERT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  double total_cpu = 0;
+  for (const auto& truth : pool.ground_truth().entries()) {
+    total_cpu += truth.cpu_seconds;
+  }
+  // The evicted ~10 minutes are repeated from scratch.
+  EXPECT_GE(total_cpu, 29 * 60.0);
+}
+
+TEST(CheckpointE2E, CheckpointFileClearedAfterCompletion) {
+  PoolConfig config;
+  config.seed = 43;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = true;
+  config.discipline.checkpoint_interval = SimTime::minutes(1);
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  const JobId id = pool.submit(long_job(SimTime::minutes(2), 3));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  EXPECT_FALSE(
+      pool.submit_fs().exists(daemons::checkpoint_path(id.value())));
+}
+
+TEST(CheckpointE2E, HostCrashAlsoResumes) {
+  PoolConfig config;
+  config.seed = 47;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = true;
+  config.discipline.checkpoint_interval = SimTime::minutes(1);
+  config.machines.push_back(MachineSpec::good("aaa_dies"));
+  config.machines.push_back(MachineSpec::good("zzz_lives"));
+  Pool pool(config);
+  const JobId id = pool.submit(long_job());
+  pool.boot();
+  pool.engine().schedule(SimTime::minutes(11), [&pool] {
+    pool.fabric().crash_host("aaa_dies");
+    pool.startd("aaa_dies")->shutdown();
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(3)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  double total_cpu = 0;
+  for (const auto& truth : pool.ground_truth().entries()) {
+    total_cpu += truth.cpu_seconds;
+  }
+  // The crash loses at most the last un-checkpointed interval (plus the
+  // slice in flight).
+  EXPECT_LT(total_cpu, 26 * 60.0);
+}
+
+}  // namespace
+}  // namespace esg::pool

@@ -1,0 +1,378 @@
+// Unit tests for the Chirp protocol, server, and client.
+#include <gtest/gtest.h>
+
+#include "chirp/client.hpp"
+#include "chirp/server.hpp"
+
+namespace esg::chirp {
+namespace {
+
+// ---- codec ----
+
+TEST(ChirpCodec, RequestRoundTrip) {
+  Request req;
+  req.command = "open";
+  req.args = {"/data/file", "r"};
+  Result<Request> parsed = parse_request(req.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().command, "open");
+  EXPECT_EQ(parsed.value().args, req.args);
+}
+
+TEST(ChirpCodec, RequestWithPayload) {
+  Request req;
+  req.command = "write";
+  req.args = {"3"};
+  req.data = "line one\nline two";
+  Result<Request> parsed = parse_request(req.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().data, "line one\nline two");
+}
+
+TEST(ChirpCodec, ResponseRoundTripWithScope) {
+  Response r = Response::fail_scoped(Code::kOffline,
+                                     ErrorScope::kLocalResource);
+  Result<Response> parsed = parse_response(r.encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().code, Code::kOffline);
+  ASSERT_TRUE(parsed.value().scope.has_value());
+  EXPECT_EQ(*parsed.value().scope, ErrorScope::kLocalResource);
+  const Error e = parsed.value().to_error();
+  EXPECT_EQ(e.kind(), ErrorKind::kMountOffline);
+  EXPECT_EQ(e.scope(), ErrorScope::kLocalResource);
+}
+
+TEST(ChirpCodec, ResponseWithoutScopeUsesKindDefault) {
+  Result<Response> parsed =
+      parse_response(Response::fail(Code::kNotFound).encode());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().scope.has_value());
+  EXPECT_EQ(parsed.value().to_error().scope(), ErrorScope::kFile);
+}
+
+TEST(ChirpCodec, MalformedInputsRejected) {
+  EXPECT_FALSE(parse_request("").ok());
+  EXPECT_FALSE(parse_response("").ok());
+  EXPECT_FALSE(parse_response("notanumber 0 -").ok());
+}
+
+TEST(ChirpCodec, CodeKindMappingRoundTrips) {
+  // Every error code maps to a kind that maps back to the same code.
+  for (int c = -16; c <= -1; ++c) {
+    const Code code = static_cast<Code>(c);
+    const ErrorKind kind = code_to_kind(code);
+    // kUnknownCommand and kMalformed share a kind; accept either code.
+    const Code back = kind_to_code(kind);
+    if (code == Code::kUnknownCommand) {
+      EXPECT_EQ(back, Code::kMalformed);
+    } else {
+      EXPECT_EQ(back, code) << "code " << c;
+    }
+  }
+}
+
+// ---- client/server over the fabric ----
+
+struct ChirpFixture {
+  sim::Engine engine{11};
+  net::NetworkFabric fabric{engine};
+  fs::SimFileSystem fs{"exec0"};
+  FsBackend backend{fs, "/sandbox"};
+  std::unique_ptr<ChirpServer> server;
+  std::unique_ptr<ChirpClient> client;
+  static constexpr const char* kSecret = "s3cret";
+
+  ChirpFixture() {
+    EXPECT_TRUE(fs.mkdirs("/sandbox").ok());
+    EXPECT_TRUE(fabric
+                    .listen({"exec0", 9000},
+                            [this](net::Endpoint ep) {
+                              server = std::make_unique<ChirpServer>(
+                                  std::move(ep), backend, kSecret);
+                            })
+                    .ok());
+    fabric.connect("exec0", {"exec0", 9000}, [this](Result<net::Endpoint> ep) {
+      ASSERT_TRUE(ep.ok());
+      client = std::make_unique<ChirpClient>(engine, std::move(ep).value(),
+                                             SimTime::sec(5));
+    });
+    engine.run();
+  }
+
+  void auth() {
+    bool done = false;
+    client->authenticate(kSecret, [&](Result<void> r) {
+      ASSERT_TRUE(r.ok());
+      done = true;
+    });
+    engine.run();
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST(ChirpSession, RejectsOpsBeforeAuthentication) {
+  ChirpFixture f;
+  bool failed = false;
+  f.client->open("x", "w", [&](Result<std::int64_t> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kAuthenticationFailed);
+    failed = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(ChirpSession, RejectsWrongCookie) {
+  ChirpFixture f;
+  bool failed = false;
+  f.client->authenticate("wrong", [&](Result<void> r) {
+    ASSERT_FALSE(r.ok());
+    failed = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(f.server->authenticated());
+}
+
+TEST(ChirpSession, OpenWriteReadCloseCycle) {
+  ChirpFixture f;
+  f.auth();
+  std::string read_back;
+  f.client->open("file.txt", "w", [&](Result<std::int64_t> fd) {
+    ASSERT_TRUE(fd.ok());
+    f.client->write(fd.value(), "hello chirp", [&, fd = fd.value()](
+                                                    Result<std::int64_t> n) {
+      ASSERT_TRUE(n.ok());
+      EXPECT_EQ(n.value(), 11);
+      f.client->lseek(fd, 0, [&, fd](Result<void> s) {
+        ASSERT_TRUE(s.ok());
+        f.client->read(fd, 100, [&, fd](Result<std::string> data) {
+          ASSERT_TRUE(data.ok());
+          read_back = data.value();
+          f.client->close_fd(fd, [](Result<void>) {});
+        });
+      });
+    });
+  });
+  f.engine.run();
+  EXPECT_EQ(read_back, "hello chirp");
+  // The file really lives in the sandbox.
+  EXPECT_TRUE(f.fs.exists("/sandbox/file.txt"));
+}
+
+TEST(ChirpSession, OpenMissingIsNotFound) {
+  ChirpFixture f;
+  f.auth();
+  bool checked = false;
+  f.client->open("absent", "r", [&](Result<std::int64_t> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kFileNotFound);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChirpSession, StatUnlinkMkdir) {
+  ChirpFixture f;
+  f.auth();
+  ASSERT_TRUE(f.fs.write_file("/sandbox/f", "12345").ok());
+  bool done = false;
+  f.client->stat("f", [&](Result<std::int64_t> size) {
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), 5);
+    f.client->mkdir("sub", [&](Result<void> m) {
+      ASSERT_TRUE(m.ok());
+      f.client->unlink("f", [&](Result<void> u) {
+        ASSERT_TRUE(u.ok());
+        done = true;
+      });
+    });
+  });
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(f.fs.exists("/sandbox/f"));
+  EXPECT_TRUE(f.fs.exists("/sandbox/sub"));
+}
+
+TEST(ChirpSession, BadFdIsExplicit) {
+  ChirpFixture f;
+  f.auth();
+  bool checked = false;
+  f.client->read(999, 10, [&](Result<std::string> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kBadFileDescriptor);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChirpSession, DiskFullSurfacesThroughProtocol) {
+  ChirpFixture f;
+  f.fs.add_mount("/sandbox/quota", 4);
+  f.auth();
+  bool checked = false;
+  f.client->open("quota/f", "w", [&](Result<std::int64_t> fd) {
+    ASSERT_TRUE(fd.ok());
+    f.client->write(fd.value(), "way too much data",
+                    [&](Result<std::int64_t> w) {
+                      ASSERT_FALSE(w.ok());
+                      EXPECT_EQ(w.error().kind(), ErrorKind::kDiskFull);
+                      checked = true;
+                    });
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChirpSession, OfflineScratchCarriesResourceScope) {
+  sim::Engine engine{3};
+  net::NetworkFabric fabric{engine};
+  fs::SimFileSystem fs{"exec0"};
+  ASSERT_TRUE(fs.mkdirs("/sandbox").ok());
+  fs.add_mount("/sandbox", 0);
+  // A scratch-side backend stamps remote-resource scope on outages.
+  FsBackend backend{fs, "/sandbox", ErrorScope::kRemoteResource};
+  std::unique_ptr<ChirpServer> server;
+  std::unique_ptr<ChirpClient> client;
+  ASSERT_TRUE(fabric
+                  .listen({"exec0", 9000},
+                          [&](net::Endpoint ep) {
+                            server = std::make_unique<ChirpServer>(
+                                std::move(ep), backend, "k");
+                          })
+                  .ok());
+  fabric.connect("exec0", {"exec0", 9000}, [&](Result<net::Endpoint> ep) {
+    client = std::make_unique<ChirpClient>(engine, std::move(ep).value());
+  });
+  engine.run();
+  bool done = false;
+  client->authenticate("k", [&](Result<void>) {
+    fs.set_mount_online("/sandbox", false);
+    client->open("f", "w", [&](Result<std::int64_t> r) {
+      ASSERT_FALSE(r.ok());
+      EXPECT_EQ(r.error().kind(), ErrorKind::kMountOffline);
+      EXPECT_EQ(r.error().scope(), ErrorScope::kRemoteResource);
+      done = true;
+    });
+  });
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(ChirpSession, TimeoutAbortsConnectionAsEscapingError) {
+  // A server that never answers: the client times out, breaks the
+  // connection (escaping error), and every pending op fails explicitly.
+  sim::Engine engine{5};
+  net::NetworkFabric fabric{engine};
+  // Listener that accepts but installs no handlers: black hole.
+  net::Endpoint hold;
+  ASSERT_TRUE(fabric.listen({"b", 1}, [&](net::Endpoint ep) {
+    hold = ep;
+  }).ok());
+  std::unique_ptr<ChirpClient> client;
+  fabric.connect("a", {"b", 1}, [&](Result<net::Endpoint> ep) {
+    client = std::make_unique<ChirpClient>(engine, std::move(ep).value(),
+                                           SimTime::sec(2));
+  });
+  engine.run();
+  bool failed = false;
+  client->authenticate("x", [&](Result<void> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionTimedOut);
+    failed = true;
+  });
+  engine.run();
+  EXPECT_TRUE(failed);
+  EXPECT_FALSE(client->connected());
+  ASSERT_TRUE(client->connection_error().has_value());
+}
+
+TEST(ChirpSession, PipelinedRequestsKeepFifoOrder) {
+  ChirpFixture f;
+  f.auth();
+  ASSERT_TRUE(f.fs.write_file("/sandbox/a", "AAAA").ok());
+  ASSERT_TRUE(f.fs.write_file("/sandbox/b", "BB").ok());
+  std::vector<std::int64_t> sizes;
+  f.client->stat("a", [&](Result<std::int64_t> r) {
+    ASSERT_TRUE(r.ok());
+    sizes.push_back(r.value());
+  });
+  f.client->stat("b", [&](Result<std::int64_t> r) {
+    ASSERT_TRUE(r.ok());
+    sizes.push_back(r.value());
+  });
+  f.engine.run();
+  EXPECT_EQ(sizes, (std::vector<std::int64_t>{4, 2}));
+}
+
+}  // namespace
+}  // namespace esg::chirp
+
+namespace esg::chirp {
+namespace {
+
+TEST(ChirpSession, RmdirRenameGetdir) {
+  ChirpFixture f;
+  f.auth();
+  ASSERT_TRUE(f.fs.mkdirs("/sandbox/dir").ok());
+  ASSERT_TRUE(f.fs.write_file("/sandbox/dir/a", "1").ok());
+  ASSERT_TRUE(f.fs.write_file("/sandbox/dir/b", "2").ok());
+
+  std::vector<std::string> listing;
+  bool done = false;
+  f.client->getdir("dir", [&](Result<std::vector<std::string>> r) {
+    ASSERT_TRUE(r.ok());
+    listing = r.value();
+    f.client->rename("dir/a", "dir/c", [&](Result<void> mv) {
+      ASSERT_TRUE(mv.ok());
+      f.client->unlink("dir/b", [&](Result<void> rm) {
+        ASSERT_TRUE(rm.ok());
+        f.client->unlink("dir/c", [&](Result<void> rm2) {
+          ASSERT_TRUE(rm2.ok());
+          f.client->rmdir("dir", [&](Result<void> rd) {
+            ASSERT_TRUE(rd.ok());
+            done = true;
+          });
+        });
+      });
+    });
+  });
+  f.engine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(listing, (std::vector<std::string>{"a", "b"}));
+  EXPECT_FALSE(f.fs.exists("/sandbox/dir"));
+}
+
+TEST(ChirpSession, RmdirNonEmptyFails) {
+  ChirpFixture f;
+  f.auth();
+  ASSERT_TRUE(f.fs.mkdirs("/sandbox/full").ok());
+  ASSERT_TRUE(f.fs.write_file("/sandbox/full/f", "x").ok());
+  bool checked = false;
+  f.client->rmdir("full", [&](Result<void> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kAccessDenied);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChirpSession, GetdirOnFileFails) {
+  ChirpFixture f;
+  f.auth();
+  ASSERT_TRUE(f.fs.write_file("/sandbox/plain", "x").ok());
+  bool checked = false;
+  f.client->getdir("plain", [&](Result<std::vector<std::string>> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kNotDirectory);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace esg::chirp

@@ -1,0 +1,429 @@
+// Unit tests for the ClassAd language.
+#include <gtest/gtest.h>
+
+#include "classad/classad.hpp"
+#include "classad/match.hpp"
+
+namespace esg::classad {
+namespace {
+
+Value eval(const std::string& text) {
+  Result<ExprPtr> e = parse_expr(text);
+  EXPECT_TRUE(e.ok()) << text << ": "
+                      << (e.ok() ? "" : e.error().message());
+  if (!e.ok()) return Value::error("parse failed");
+  EvalContext ctx;
+  return e.value()->eval(ctx);
+}
+
+// ---- literals & arithmetic ----
+
+TEST(ClassAdEval, Literals) {
+  EXPECT_TRUE(eval("42").is_int());
+  EXPECT_EQ(eval("42").as_int(), 42);
+  EXPECT_DOUBLE_EQ(eval("3.5").as_real(), 3.5);
+  EXPECT_EQ(eval("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(eval("true").as_bool());
+  EXPECT_FALSE(eval("false").as_bool());
+  EXPECT_TRUE(eval("undefined").is_undefined());
+  EXPECT_TRUE(eval("error").is_error());
+}
+
+TEST(ClassAdEval, IntegerArithmetic) {
+  EXPECT_EQ(eval("2 + 3 * 4").as_int(), 14);
+  EXPECT_EQ(eval("(2 + 3) * 4").as_int(), 20);
+  EXPECT_EQ(eval("7 / 2").as_int(), 3);
+  EXPECT_EQ(eval("7 % 3").as_int(), 1);
+  EXPECT_EQ(eval("-5 + 2").as_int(), -3);
+}
+
+TEST(ClassAdEval, RealPromotion) {
+  EXPECT_TRUE(eval("1 + 0.5").is_real());
+  EXPECT_DOUBLE_EQ(eval("1 + 0.5").as_real(), 1.5);
+  EXPECT_DOUBLE_EQ(eval("7.0 / 2").as_real(), 3.5);
+}
+
+TEST(ClassAdEval, DivisionByZeroIsError) {
+  EXPECT_TRUE(eval("1 / 0").is_error());
+  EXPECT_TRUE(eval("1 % 0").is_error());
+  EXPECT_TRUE(eval("1.0 / 0.0").is_error());
+}
+
+TEST(ClassAdEval, StringConcatViaPlus) {
+  EXPECT_EQ(eval("\"a\" + \"b\"").as_string(), "ab");
+}
+
+TEST(ClassAdEval, ArithmeticOnStringsIsError) {
+  EXPECT_TRUE(eval("\"a\" - \"b\"").is_error());
+  EXPECT_TRUE(eval("true + 1").is_error());
+}
+
+// ---- three-valued logic ----
+
+TEST(ClassAdEval, UndefinedPropagatesThroughStrictOps) {
+  EXPECT_TRUE(eval("1 + undefined").is_undefined());
+  EXPECT_TRUE(eval("undefined < 3").is_undefined());
+}
+
+TEST(ClassAdEval, ErrorDominatesUndefined) {
+  EXPECT_TRUE(eval("error + undefined").is_error());
+  EXPECT_TRUE(eval("undefined + error").is_error());
+}
+
+TEST(ClassAdEval, BooleanShortCircuit) {
+  // The famous ClassAd truth table.
+  EXPECT_FALSE(eval("false && undefined").as_bool());
+  EXPECT_TRUE(eval("undefined && false").is_bool());
+  EXPECT_FALSE(eval("undefined && false").as_bool());
+  EXPECT_TRUE(eval("true || undefined").as_bool());
+  EXPECT_TRUE(eval("undefined || true").as_bool());
+  EXPECT_TRUE(eval("true && undefined").is_undefined());
+  EXPECT_TRUE(eval("false || undefined").is_undefined());
+  EXPECT_FALSE(eval("false && error").as_bool());
+  EXPECT_TRUE(eval("true || error").as_bool());
+  EXPECT_TRUE(eval("true && error").is_error());
+}
+
+TEST(ClassAdEval, NotOperator) {
+  EXPECT_FALSE(eval("!true").as_bool());
+  EXPECT_TRUE(eval("!undefined").is_undefined());
+  EXPECT_TRUE(eval("!3").is_error());
+}
+
+// ---- comparisons ----
+
+TEST(ClassAdEval, NumericComparisonWithPromotion) {
+  EXPECT_TRUE(eval("2 < 2.5").as_bool());
+  EXPECT_TRUE(eval("3 == 3.0").as_bool());
+  EXPECT_TRUE(eval("4 >= 4").as_bool());
+}
+
+TEST(ClassAdEval, StringEqualityIsCaseInsensitive) {
+  EXPECT_TRUE(eval("\"LINUX\" == \"linux\"").as_bool());
+  EXPECT_FALSE(eval("\"a\" == \"b\"").as_bool());
+  EXPECT_TRUE(eval("\"abc\" < \"abd\"").as_bool());
+}
+
+TEST(ClassAdEval, MixedComparisonIsError) {
+  EXPECT_TRUE(eval("1 == \"1\"").is_error());
+  EXPECT_TRUE(eval("true < false").is_error());
+}
+
+TEST(ClassAdEval, MetaEqualsNeverUndefined) {
+  EXPECT_TRUE(eval("undefined =?= undefined").as_bool());
+  EXPECT_FALSE(eval("undefined =?= 1").as_bool());
+  EXPECT_TRUE(eval("1 =?= 1").as_bool());
+  EXPECT_FALSE(eval("\"A\" =?= \"a\"").as_bool());  // case sensitive
+  EXPECT_TRUE(eval("undefined =!= 5").as_bool());
+  // `is` / `isnt` keyword aliases.
+  EXPECT_TRUE(eval("undefined is undefined").as_bool());
+  EXPECT_TRUE(eval("1 isnt 2").as_bool());
+}
+
+// ---- conditional, lists, subscripts ----
+
+TEST(ClassAdEval, Conditional) {
+  EXPECT_EQ(eval("true ? 1 : 2").as_int(), 1);
+  EXPECT_EQ(eval("false ? 1 : 2").as_int(), 2);
+  EXPECT_TRUE(eval("undefined ? 1 : 2").is_undefined());
+  EXPECT_TRUE(eval("3 ? 1 : 2").is_error());
+}
+
+TEST(ClassAdEval, ListsAndSubscripts) {
+  EXPECT_EQ(eval("{10, 20, 30}[1]").as_int(), 20);
+  EXPECT_TRUE(eval("{10}[5]").is_error());
+  EXPECT_TRUE(eval("{1,2}[undefined]").is_undefined());
+  EXPECT_TRUE(eval("5[0]").is_error());
+}
+
+TEST(ClassAdEval, NestedAdSelection) {
+  EXPECT_EQ(eval("[a = 1; b = [c = 7]].b.c").as_int(), 7);
+  EXPECT_TRUE(eval("[a = 1].missing").is_undefined());
+}
+
+// ---- builtins ----
+
+TEST(ClassAdBuiltins, TypePredicates) {
+  EXPECT_TRUE(eval("isUndefined(undefined)").as_bool());
+  EXPECT_FALSE(eval("isUndefined(0)").as_bool());
+  EXPECT_TRUE(eval("isError(1/0)").as_bool());
+  EXPECT_TRUE(eval("isString(\"x\")").as_bool());
+  EXPECT_TRUE(eval("isInteger(3)").as_bool());
+  EXPECT_TRUE(eval("isReal(3.0)").as_bool());
+  EXPECT_TRUE(eval("isBoolean(true)").as_bool());
+  EXPECT_TRUE(eval("isList({1})").as_bool());
+}
+
+TEST(ClassAdBuiltins, Conversions) {
+  EXPECT_EQ(eval("int(3.9)").as_int(), 3);
+  EXPECT_EQ(eval("int(\"17\")").as_int(), 17);
+  EXPECT_TRUE(eval("int(\"xyz\")").is_error());
+  EXPECT_DOUBLE_EQ(eval("real(2)").as_real(), 2.0);
+  EXPECT_EQ(eval("string(42)").as_string(), "42");
+}
+
+TEST(ClassAdBuiltins, Rounding) {
+  EXPECT_EQ(eval("floor(2.9)").as_int(), 2);
+  EXPECT_EQ(eval("ceiling(2.1)").as_int(), 3);
+  EXPECT_EQ(eval("round(2.5)").as_int(), 3);
+  EXPECT_EQ(eval("abs(-4)").as_int(), 4);
+}
+
+TEST(ClassAdBuiltins, MinMax) {
+  EXPECT_EQ(eval("min(3, 1, 2)").as_int(), 1);
+  EXPECT_EQ(eval("max({3, 1, 2})").as_int(), 3);
+  EXPECT_TRUE(eval("min(1, \"a\")").is_error());
+}
+
+TEST(ClassAdBuiltins, Strings) {
+  EXPECT_EQ(eval("strcat(\"a\", 1, true)").as_string(), "a1true");
+  EXPECT_EQ(eval("substr(\"hello\", 1, 3)").as_string(), "ell");
+  EXPECT_EQ(eval("substr(\"hello\", -2)").as_string(), "lo");
+  EXPECT_EQ(eval("size(\"abc\")").as_int(), 3);
+  EXPECT_EQ(eval("size({1,2})").as_int(), 2);
+  EXPECT_EQ(eval("toLower(\"AbC\")").as_string(), "abc");
+  EXPECT_EQ(eval("toUpper(\"aBc\")").as_string(), "ABC");
+}
+
+TEST(ClassAdBuiltins, Membership) {
+  EXPECT_TRUE(eval("member(2, {1, 2, 3})").as_bool());
+  EXPECT_TRUE(eval("member(\"A\", {\"a\"})").as_bool());
+  EXPECT_FALSE(eval("member(9, {1})").as_bool());
+  EXPECT_TRUE(eval("stringListMember(\"b\", \"a, b, c\")").as_bool());
+  EXPECT_FALSE(eval("stringListMember(\"z\", \"a,b\")").as_bool());
+}
+
+TEST(ClassAdBuiltins, IfThenElse) {
+  EXPECT_EQ(eval("ifThenElse(true, 1, 2)").as_int(), 1);
+  EXPECT_TRUE(eval("ifThenElse(undefined, 1, 2)").is_undefined());
+}
+
+TEST(ClassAdBuiltins, StrictnessPropagatesErrors) {
+  EXPECT_TRUE(eval("size(undefined)").is_undefined());
+  EXPECT_TRUE(eval("strcat(\"a\", error)").is_error());
+}
+
+TEST(ClassAdBuiltins, UnknownFunctionRejectedAtParse) {
+  EXPECT_FALSE(parse_expr("frobnicate(1)").ok());
+}
+
+// ---- parsing edges ----
+
+TEST(ClassAdParse, Comments) {
+  EXPECT_EQ(eval("1 + /* two */ 2 // trailing").as_int(), 3);
+}
+
+TEST(ClassAdParse, Errors) {
+  EXPECT_FALSE(parse_expr("").ok());
+  EXPECT_FALSE(parse_expr("1 +").ok());
+  EXPECT_FALSE(parse_expr("(1").ok());
+  EXPECT_FALSE(parse_expr("\"unterminated").ok());
+  EXPECT_FALSE(parse_expr("1 2").ok());
+  EXPECT_FALSE(parse_expr("{1,").ok());
+}
+
+TEST(ClassAdParse, StringEscapes) {
+  EXPECT_EQ(eval("\"a\\\"b\\n\"").as_string(), "a\"b\n");
+}
+
+TEST(ClassAdParse, ScientificNotation) {
+  EXPECT_TRUE(eval("1e3").is_real());
+  EXPECT_DOUBLE_EQ(eval("1e3").as_real(), 1000.0);
+  EXPECT_DOUBLE_EQ(eval("2.5e-1").as_real(), 0.25);
+}
+
+// ---- attribute references & ads ----
+
+TEST(ClassAdAds, AttrLookupAndRecursion) {
+  Result<ClassAd> ad = parse_classad("a = 1; b = a + 1; c = b * 2");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad.value().eval_attr("c").as_int(), 4);
+  EXPECT_TRUE(ad.value().eval_attr("missing").is_undefined());
+}
+
+TEST(ClassAdAds, CaseInsensitiveNames) {
+  Result<ClassAd> ad = parse_classad("Memory = 512");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad.value().eval_attr("memory").as_int(), 512);
+  EXPECT_EQ(ad.value().eval_attr("MEMORY").as_int(), 512);
+}
+
+TEST(ClassAdAds, CyclicAttributesYieldErrorNotHang) {
+  Result<ClassAd> ad = parse_classad("a = b; b = a");
+  ASSERT_TRUE(ad.ok());
+  EXPECT_TRUE(ad.value().eval_attr("a").is_error());
+}
+
+TEST(ClassAdAds, RoundTripThroughText) {
+  Result<ClassAd> ad =
+      parse_classad("[a = 1; s = \"x\"; e = a + 2; l = {1, 2}]");
+  ASSERT_TRUE(ad.ok());
+  Result<ClassAd> again = parse_classad(ad.value().str());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().eval_attr("e").as_int(), 3);
+  EXPECT_EQ(again.value().eval_attr("l").as_list().size(), 2u);
+}
+
+TEST(ClassAdAds, InsertEraseUpdate) {
+  ClassAd ad;
+  ad.set("x", 1);
+  ad.set("x", 2);
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.eval_int("x"), 2);
+  EXPECT_TRUE(ad.erase("X"));
+  EXPECT_FALSE(ad.contains("x"));
+  EXPECT_FALSE(ad.erase("x"));
+}
+
+// ---- matchmaking ----
+
+TEST(ClassAdMatch, SymmetricMatchBothWays) {
+  Result<ClassAd> job = parse_classad(
+      "MyType = \"Job\"; ImageSizeMB = 64;"
+      "Requirements = TARGET.Memory >= MY.ImageSizeMB;"
+      "Rank = TARGET.Memory");
+  Result<ClassAd> machine = parse_classad(
+      "MyType = \"Machine\"; Memory = 512;"
+      "Requirements = TARGET.ImageSizeMB <= 256; Rank = 0");
+  ASSERT_TRUE(job.ok() && machine.ok());
+  const MatchResult m = symmetric_match(job.value(), machine.value());
+  EXPECT_TRUE(m.matched);
+  EXPECT_DOUBLE_EQ(m.left_rank, 512);
+}
+
+TEST(ClassAdMatch, OneSidedRefusalBlocksMatch) {
+  Result<ClassAd> job =
+      parse_classad("ImageSizeMB = 1000; Requirements = true");
+  Result<ClassAd> machine = parse_classad(
+      "Memory = 512; Requirements = TARGET.ImageSizeMB <= MY.Memory");
+  ASSERT_TRUE(job.ok() && machine.ok());
+  const MatchResult m = symmetric_match(job.value(), machine.value());
+  EXPECT_FALSE(m.matched);
+  EXPECT_TRUE(m.left_accepts);
+  EXPECT_FALSE(m.right_accepts);
+}
+
+TEST(ClassAdMatch, UndefinedRequirementsNeverAdmit) {
+  // An absent or undefined policy must not admit a match — undefined is
+  // not true (the language's own Principle 4 discipline).
+  Result<ClassAd> a = parse_classad("Requirements = TARGET.NoSuchAttr");
+  Result<ClassAd> b = parse_classad("Requirements = true");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(symmetric_match(a.value(), b.value()).matched);
+  ClassAd empty;
+  EXPECT_FALSE(symmetric_match(empty, b.value()).matched);
+}
+
+TEST(ClassAdMatch, HasJavaIdiom) {
+  // The Java Universe matching idiom used throughout the benches: =?=
+  // true admits only machines that *advertise* java.
+  Result<ClassAd> job =
+      parse_classad("Requirements = TARGET.HasJava =?= true");
+  Result<ClassAd> with_java =
+      parse_classad("HasJava = true; Requirements = true");
+  Result<ClassAd> without =
+      parse_classad("Requirements = true");
+  ASSERT_TRUE(job.ok() && with_java.ok() && without.ok());
+  EXPECT_TRUE(symmetric_match(job.value(), with_java.value()).matched);
+  EXPECT_FALSE(symmetric_match(job.value(), without.value()).matched);
+}
+
+// ---- parameterized: every binary op propagates undefined strictly ----
+
+class StrictOpTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StrictOpTest, UndefinedIn_UndefinedOut) {
+  const std::string expr = std::string("1 ") + GetParam() + " undefined";
+  const Value v = eval(expr);
+  EXPECT_TRUE(v.is_undefined()) << expr << " -> " << v.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrictOps, StrictOpTest,
+                         ::testing::Values("+", "-", "*", "/", "%", "<", "<=",
+                                           ">", ">=", "==", "!="));
+
+}  // namespace
+}  // namespace esg::classad
+
+namespace esg::classad {
+namespace {
+
+Value eval2(const std::string& text) {
+  Result<ExprPtr> e = parse_expr(text);
+  EXPECT_TRUE(e.ok()) << text;
+  if (!e.ok()) return Value::error("parse failed");
+  EvalContext ctx;
+  return e.value()->eval(ctx);
+}
+
+TEST(ClassAdBuiltins, Regexp) {
+  EXPECT_TRUE(eval2("regexp(\"^abc\", \"abcdef\")").as_bool());
+  EXPECT_TRUE(eval2("regexp(\"cde\", \"abcdef\")").as_bool());  // partial
+  EXPECT_FALSE(eval2("regexp(\"^cde\", \"abcdef\")").as_bool());
+  EXPECT_TRUE(eval2("regexp(\"ABC\", \"abcdef\", \"i\")").as_bool());
+  EXPECT_FALSE(eval2("regexp(\"abc\", \"abcdef\", \"f\")").as_bool());
+  EXPECT_TRUE(eval2("regexp(\"abc.*\", \"abcdef\", \"f\")").as_bool());
+  EXPECT_TRUE(eval2("regexp(\"[\", \"x\")").is_error());  // bad pattern
+  EXPECT_TRUE(eval2("regexp(1, \"x\")").is_error());
+  EXPECT_TRUE(eval2("regexp(undefined, \"x\")").is_undefined());
+}
+
+TEST(ClassAdBuiltins, RegexpMachineNameIdiom) {
+  // The policy idiom: admit only machines from a trusted domain.
+  Result<ClassAd> job = parse_classad(
+      "Requirements = regexp(\"\\\\.cs\\\\.wisc\\\\.edu$\", TARGET.Machine)");
+  Result<ClassAd> good =
+      parse_classad("Machine = \"c01.cs.wisc.edu\"; Requirements = true");
+  Result<ClassAd> bad =
+      parse_classad("Machine = \"evil.example.com\"; Requirements = true");
+  ASSERT_TRUE(job.ok() && good.ok() && bad.ok());
+  EXPECT_TRUE(symmetric_match(job.value(), good.value()).matched);
+  EXPECT_FALSE(symmetric_match(job.value(), bad.value()).matched);
+}
+
+TEST(ClassAdBuiltins, StringListNumerics) {
+  EXPECT_EQ(eval2("stringListSize(\"a, b, c\")").as_int(), 3);
+  EXPECT_EQ(eval2("stringListSize(\"\")").as_int(), 0);
+  EXPECT_EQ(eval2("stringListSize(\"a;b\", \";\")").as_int(), 2);
+  EXPECT_DOUBLE_EQ(eval2("stringListSum(\"1, 2, 3.5\")").as_real(), 6.5);
+  EXPECT_DOUBLE_EQ(eval2("stringListAvg(\"2, 4\")").as_real(), 3.0);
+  EXPECT_DOUBLE_EQ(eval2("stringListMin(\"5, 2, 9\")").as_real(), 2.0);
+  EXPECT_DOUBLE_EQ(eval2("stringListMax(\"5, 2, 9\")").as_real(), 9.0);
+  EXPECT_TRUE(eval2("stringListSum(\"1, x\")").is_error());
+  EXPECT_TRUE(eval2("stringListMin(\"\")").is_undefined());
+}
+
+}  // namespace
+}  // namespace esg::classad
+
+namespace esg::classad {
+namespace {
+
+TEST(ValueCorners, SameAsAcrossTypes) {
+  EXPECT_TRUE(Value::undefined().same_as(Value::undefined()));
+  EXPECT_TRUE(Value::error("a").same_as(Value::error("b")));  // reason ignored
+  EXPECT_FALSE(Value::integer(1).same_as(Value::real(1.0)));  // type-strict
+  EXPECT_TRUE(Value::list({Value::integer(1)})
+                  .same_as(Value::list({Value::integer(1)})));
+  EXPECT_FALSE(Value::list({Value::integer(1)})
+                   .same_as(Value::list({Value::integer(2)})));
+  EXPECT_FALSE(Value::list({}).same_as(Value::list({Value::integer(1)})));
+}
+
+TEST(ValueCorners, StringRendering) {
+  EXPECT_EQ(Value::real(2.0).str(), "2.0");   // reals re-parse as reals
+  EXPECT_EQ(Value::string("a\"b\n").str(), "\"a\\\"b\\n\"");
+  EXPECT_EQ(Value::list({Value::integer(1), Value::boolean(true)}).str(),
+            "{1, true}");
+}
+
+TEST(ValueCorners, QuoteRoundTripsThroughParser) {
+  const std::string nasty = "line1\nline2\t\"quoted\"\\slash";
+  Result<ExprPtr> parsed = parse_expr(quote_string(nasty));
+  ASSERT_TRUE(parsed.ok());
+  EvalContext ctx;
+  EXPECT_EQ(parsed.value()->eval(ctx).as_string(), nasty);
+}
+
+}  // namespace
+}  // namespace esg::classad

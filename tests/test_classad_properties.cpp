@@ -1,0 +1,216 @@
+// Property-style tests for the ClassAd language: generated-expression
+// round trips, the full operator/type matrix, and evaluation invariants.
+#include <gtest/gtest.h>
+
+#include "classad/classad.hpp"
+#include "classad/match.hpp"
+#include "common/rng.hpp"
+
+namespace esg::classad {
+namespace {
+
+// ---- generated expressions: unparse/eval round-trip property ----
+
+/// Generate a random well-formed expression of bounded depth.
+std::string gen_expr(Rng& rng, int depth) {
+  if (depth <= 0 || rng.chance(0.35)) {
+    switch (rng.uniform_int(0, 5)) {
+      case 0: return std::to_string(rng.uniform_int(-100, 100));
+      case 1: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", rng.uniform(-50, 50));
+        return buf;
+      }
+      case 2: return rng.chance(0.5) ? "true" : "false";
+      case 3: return "\"s" + std::to_string(rng.uniform_int(0, 9)) + "\"";
+      case 4: return "undefined";
+      default: return "x" + std::to_string(rng.uniform_int(0, 3));
+    }
+  }
+  switch (rng.uniform_int(0, 4)) {
+    case 0: {
+      static const char* kOps[] = {"+", "-", "*", "/", "%",  "<",  "<=",
+                                   ">", ">=", "==", "!=", "&&", "||",
+                                   "=?=", "=!="};
+      const char* op = kOps[rng.uniform_int(0, 14)];
+      return "(" + gen_expr(rng, depth - 1) + " " + op + " " +
+             gen_expr(rng, depth - 1) + ")";
+    }
+    case 1:
+      return "(" + gen_expr(rng, depth - 1) + " ? " + gen_expr(rng, depth - 1) +
+             " : " + gen_expr(rng, depth - 1) + ")";
+    case 2:
+      return "-(" + gen_expr(rng, depth - 1) + ")";
+    case 3:
+      return "{" + gen_expr(rng, depth - 1) + ", " + gen_expr(rng, depth - 1) +
+             "}";
+    default:
+      return "ifThenElse(isInteger(" + gen_expr(rng, depth - 1) + "), " +
+             gen_expr(rng, depth - 1) + ", " + gen_expr(rng, depth - 1) + ")";
+  }
+}
+
+TEST(ClassAdProperty, UnparseReparseEvalFixpoint) {
+  // For any generated expression: it parses; its unparse parses; and the
+  // reparse evaluates to the same value (unparse is semantically lossless).
+  Rng rng(2024);
+  Result<ClassAd> env = parse_classad("x0 = 1; x1 = 2.5; x2 = \"s\"; x3 = true");
+  ASSERT_TRUE(env.ok());
+  for (int i = 0; i < 800; ++i) {
+    const std::string text = gen_expr(rng, 4);
+    Result<ExprPtr> parsed = parse_expr(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EvalContext ctx;
+    ctx.my = &env.value();
+    const Value v1 = parsed.value()->eval(ctx);
+    const std::string unparsed = parsed.value()->str();
+    Result<ExprPtr> reparsed = parse_expr(unparsed);
+    ASSERT_TRUE(reparsed.ok()) << unparsed;
+    const Value v2 = reparsed.value()->eval(ctx);
+    EXPECT_TRUE(v1.same_as(v2)) << text << " -> " << v1.str() << " vs "
+                                << unparsed << " -> " << v2.str();
+  }
+}
+
+TEST(ClassAdProperty, CloneEvaluatesIdentically) {
+  Rng rng(2025);
+  for (int i = 0; i < 300; ++i) {
+    Result<ExprPtr> parsed = parse_expr(gen_expr(rng, 4));
+    ASSERT_TRUE(parsed.ok());
+    const ExprPtr clone = parsed.value()->clone();
+    EvalContext ctx;
+    EXPECT_TRUE(parsed.value()->eval(ctx).same_as(clone->eval(ctx)));
+  }
+}
+
+TEST(ClassAdProperty, EvaluationIsPure) {
+  // Evaluating twice yields the same value (no hidden state).
+  Rng rng(2026);
+  for (int i = 0; i < 300; ++i) {
+    Result<ExprPtr> parsed = parse_expr(gen_expr(rng, 4));
+    ASSERT_TRUE(parsed.ok());
+    EvalContext ctx;
+    EXPECT_TRUE(parsed.value()->eval(ctx).same_as(parsed.value()->eval(ctx)));
+  }
+}
+
+// ---- full operator/type matrix ----
+
+struct TypedOperand {
+  const char* label;
+  const char* text;
+};
+
+const TypedOperand kOperands[] = {
+    {"int", "3"},        {"real", "2.5"},   {"string", "\"a\""},
+    {"bool", "true"},    {"undef", "undefined"}, {"error", "error"},
+    {"list", "{1, 2}"},
+};
+
+class OperatorMatrix
+    : public ::testing::TestWithParam<std::tuple<const char*, int, int>> {};
+
+TEST_P(OperatorMatrix, TotalAndClosed) {
+  // Every operator applied to every operand pair yields *some* value —
+  // never a crash — and meta-comparisons never yield undefined/error.
+  const auto& [op, left_index, right_index] = GetParam();
+  const std::string text = std::string("(") + kOperands[left_index].text +
+                           " " + op + " " + kOperands[right_index].text + ")";
+  Result<ExprPtr> parsed = parse_expr(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EvalContext ctx;
+  const Value v = parsed.value()->eval(ctx);
+  if (std::string(op) == "=?=" || std::string(op) == "=!=") {
+    EXPECT_TRUE(v.is_bool()) << text << " -> " << v.str();
+  }
+  // Strictness: an error operand contaminates every strict operator.
+  if (std::string(kOperands[left_index].label) == "error" &&
+      std::string(op) != "=?=" && std::string(op) != "=!=" &&
+      std::string(op) != "||" && std::string(op) != "&&") {
+    EXPECT_TRUE(v.is_error()) << text << " -> " << v.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, OperatorMatrix,
+    ::testing::Combine(::testing::Values("+", "-", "*", "/", "%", "<", "<=",
+                                         ">", ">=", "==", "!=", "&&", "||",
+                                         "=?=", "=!="),
+                       ::testing::Range(0, 7), ::testing::Range(0, 7)));
+
+// ---- matchmaking invariants ----
+
+TEST(MatchProperty, MatchIsSymmetricInOutcome) {
+  Result<ClassAd> a = parse_classad(
+      "Memory = 128; Requirements = TARGET.Memory >= 64; Rank = 1");
+  Result<ClassAd> b = parse_classad(
+      "Memory = 256; Requirements = TARGET.Memory >= 100; Rank = 2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  const MatchResult ab = symmetric_match(a.value(), b.value());
+  const MatchResult ba = symmetric_match(b.value(), a.value());
+  EXPECT_EQ(ab.matched, ba.matched);
+  EXPECT_EQ(ab.left_accepts, ba.right_accepts);
+  EXPECT_EQ(ab.right_accepts, ba.left_accepts);
+  EXPECT_DOUBLE_EQ(ab.left_rank, ba.right_rank);
+}
+
+TEST(MatchProperty, ErrorRequirementsNeverAdmit) {
+  Result<ClassAd> broken = parse_classad("Requirements = 1 / 0");
+  Result<ClassAd> open = parse_classad("Requirements = true");
+  ASSERT_TRUE(broken.ok() && open.ok());
+  EXPECT_FALSE(symmetric_match(broken.value(), open.value()).matched);
+}
+
+TEST(MatchProperty, NonBooleanRequirementsNeverAdmit) {
+  Result<ClassAd> numeric = parse_classad("Requirements = 42");
+  Result<ClassAd> open = parse_classad("Requirements = true");
+  ASSERT_TRUE(numeric.ok() && open.ok());
+  EXPECT_FALSE(symmetric_match(numeric.value(), open.value()).matched);
+}
+
+TEST(MatchProperty, TimeIsAvailableToPolicies) {
+  // An owner policy that only admits jobs after t=100s.
+  Result<ClassAd> machine =
+      parse_classad("Requirements = time() >= 100; Rank = 0");
+  Result<ClassAd> job = parse_classad("Requirements = true; Rank = 0");
+  ASSERT_TRUE(machine.ok() && job.ok());
+  EXPECT_FALSE(
+      symmetric_match(machine.value(), job.value(), SimTime::sec(50)).matched);
+  EXPECT_TRUE(
+      symmetric_match(machine.value(), job.value(), SimTime::sec(150)).matched);
+}
+
+// ---- ad-level invariants ----
+
+TEST(ClassAdProperty, UpdateIsIdempotent) {
+  Result<ClassAd> a = parse_classad("x = 1; y = 2");
+  Result<ClassAd> b = parse_classad("y = 3; z = 4");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ClassAd once = a.value();
+  once.update(b.value());
+  ClassAd twice = once;
+  twice.update(b.value());
+  EXPECT_EQ(once.str(), twice.str());
+  EXPECT_EQ(once.eval_int("y"), 3);
+  EXPECT_EQ(once.size(), 3u);
+}
+
+TEST(ClassAdProperty, CopyIsDeep) {
+  Result<ClassAd> a = parse_classad("x = 1 + 1");
+  ASSERT_TRUE(a.ok());
+  ClassAd copy = a.value();
+  a.value().set("x", 99);
+  EXPECT_EQ(copy.eval_int("x"), 2);
+}
+
+TEST(ClassAdProperty, MultilineRenderingParsesBack) {
+  Result<ClassAd> a =
+      parse_classad("Requirements = TARGET.HasJava =?= true; Rank = Memory");
+  ASSERT_TRUE(a.ok());
+  Result<ClassAd> back = parse_classad(a.value().str_multiline());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().str(), a.value().str());
+}
+
+}  // namespace
+}  // namespace esg::classad

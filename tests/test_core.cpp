@@ -1,0 +1,427 @@
+// Unit tests for the error-scope core library.
+#include <gtest/gtest.h>
+
+#include "core/core.hpp"
+
+namespace esg {
+namespace {
+
+// ---- scope ----
+
+TEST(Scope, NamesRoundTrip) {
+  for (ErrorScope s : kAllScopes) {
+    const auto parsed = parse_scope(scope_name(s));
+    ASSERT_TRUE(parsed.has_value()) << scope_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(Scope, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_scope("").has_value());
+  EXPECT_FALSE(parse_scope("banana").has_value());
+  EXPECT_FALSE(parse_scope("Program").has_value());  // names are lowercase
+}
+
+TEST(Scope, RankIsStrictlyMonotoneOverChain) {
+  // The paper's Java Universe chain, §4 / Figure 3.
+  EXPECT_LT(scope_rank(ErrorScope::kProgram),
+            scope_rank(ErrorScope::kVirtualMachine));
+  EXPECT_LT(scope_rank(ErrorScope::kVirtualMachine),
+            scope_rank(ErrorScope::kRemoteResource));
+  EXPECT_LT(scope_rank(ErrorScope::kRemoteResource),
+            scope_rank(ErrorScope::kLocalResource));
+  EXPECT_LT(scope_rank(ErrorScope::kLocalResource),
+            scope_rank(ErrorScope::kJob));
+}
+
+TEST(Scope, AllRanksDistinct) {
+  for (ErrorScope a : kAllScopes) {
+    for (ErrorScope b : kAllScopes) {
+      if (a != b) EXPECT_NE(scope_rank(a), scope_rank(b));
+    }
+  }
+}
+
+TEST(Scope, ContainsIsReflexiveAndAntisymmetricish) {
+  for (ErrorScope s : kAllScopes) {
+    EXPECT_TRUE(scope_contains(s, s));
+  }
+  EXPECT_TRUE(scope_contains(ErrorScope::kJob, ErrorScope::kProgram));
+  EXPECT_FALSE(scope_contains(ErrorScope::kProgram, ErrorScope::kJob));
+}
+
+TEST(Scope, ScheddDispositionMatchesPaper) {
+  // §4: program -> complete; job -> unexecutable; in between -> retry.
+  EXPECT_EQ(schedd_disposition(ErrorScope::kProgram),
+            ScheddDisposition::kComplete);
+  EXPECT_EQ(schedd_disposition(ErrorScope::kJob),
+            ScheddDisposition::kUnexecutable);
+  EXPECT_EQ(schedd_disposition(ErrorScope::kVirtualMachine),
+            ScheddDisposition::kRetryElsewhere);
+  EXPECT_EQ(schedd_disposition(ErrorScope::kRemoteResource),
+            ScheddDisposition::kRetryElsewhere);
+  EXPECT_EQ(schedd_disposition(ErrorScope::kLocalResource),
+            ScheddDisposition::kRetryElsewhere);
+  EXPECT_EQ(schedd_disposition(ErrorScope::kNetwork),
+            ScheddDisposition::kRetryElsewhere);
+  // Anything at or above job scope ends the job.
+  EXPECT_EQ(schedd_disposition(ErrorScope::kPool),
+            ScheddDisposition::kUnexecutable);
+}
+
+// ---- kinds ----
+
+TEST(Kinds, NamesRoundTrip) {
+  for (ErrorKind k : kAllKinds) {
+    const auto parsed = parse_kind(kind_name(k));
+    ASSERT_TRUE(parsed.has_value()) << kind_name(k);
+    EXPECT_EQ(*parsed, k);
+  }
+}
+
+TEST(Kinds, Figure4DefaultScopes) {
+  // The rows of Figure 4, bottom to top.
+  EXPECT_EQ(default_scope(ErrorKind::kNullPointer), ErrorScope::kProgram);
+  EXPECT_EQ(default_scope(ErrorKind::kOutOfMemory),
+            ErrorScope::kVirtualMachine);
+  EXPECT_EQ(default_scope(ErrorKind::kJvmMisconfigured),
+            ErrorScope::kRemoteResource);
+  EXPECT_EQ(default_scope(ErrorKind::kInputUnavailable),
+            ErrorScope::kLocalResource);
+  EXPECT_EQ(default_scope(ErrorKind::kCorruptImage), ErrorScope::kJob);
+}
+
+TEST(Kinds, FileErrorsHaveFileScope) {
+  EXPECT_EQ(default_scope(ErrorKind::kFileNotFound), ErrorScope::kFile);
+  EXPECT_EQ(default_scope(ErrorKind::kDiskFull), ErrorScope::kFile);
+  EXPECT_EQ(default_scope(ErrorKind::kEndOfFile), ErrorScope::kFile);
+}
+
+// ---- Error ----
+
+TEST(Error, WidenScopeNeverNarrows) {
+  Error e(ErrorKind::kConnectionLost);  // network scope
+  e.widen_scope_in_place(ErrorScope::kFile);
+  EXPECT_EQ(e.scope(), ErrorScope::kNetwork);
+  e.widen_scope_in_place(ErrorScope::kCluster);
+  EXPECT_EQ(e.scope(), ErrorScope::kCluster);
+}
+
+TEST(Error, CauseChainIsPreservedAndRendered) {
+  Error low = Error(ErrorKind::kMountOffline, "nfs server gone");
+  Error high = Error(ErrorKind::kInputUnavailable, "cannot stage input")
+                   .caused_by(std::move(low));
+  ASSERT_NE(high.cause(), nullptr);
+  EXPECT_EQ(high.cause()->kind(), ErrorKind::kMountOffline);
+  const std::string text = high.describe();
+  EXPECT_NE(text.find("caused by"), std::string::npos);
+  EXPECT_NE(text.find("nfs server gone"), std::string::npos);
+}
+
+TEST(Error, LabelsPropagateThroughCauseChains) {
+  Error low = Error(ErrorKind::kIoError).with_label("injected", "transient");
+  Error high = Error(ErrorKind::kUncaughtException).caused_by(std::move(low));
+  ASSERT_NE(high.label("injected"), nullptr);
+  EXPECT_EQ(*high.label("injected"), "transient");
+}
+
+TEST(Error, StrMentionsKindScopeAndOrigin) {
+  const Error e =
+      Error(ErrorKind::kDiskFull, "no space").with_origin("starter@exec0");
+  const std::string s = e.str();
+  EXPECT_NE(s.find("disk-full"), std::string::npos);
+  EXPECT_NE(s.find("file"), std::string::npos);
+  EXPECT_NE(s.find("starter@exec0"), std::string::npos);
+}
+
+// ---- Result ----
+
+TEST(Result, ValueAndErrorArms) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> bad = Error(ErrorKind::kDiskFull);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind(), ErrorKind::kDiskFull);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, MonadicComposition) {
+  Result<int> r = Result<int>(10)
+                      .and_then([](int v) -> Result<int> { return v * 2; })
+                      .map([](int v) { return v + 1; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 21);
+
+  Result<int> e = Result<int>(Error(ErrorKind::kEndOfFile))
+                      .and_then([](int v) -> Result<int> { return v; });
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error().kind(), ErrorKind::kEndOfFile);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = Ok();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = Error(ErrorKind::kAccessDenied);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().kind(), ErrorKind::kAccessDenied);
+}
+
+// ---- escape ----
+
+TEST(Escape, CatchEscapeConvertsToExplicit) {
+  // Principle 2: the escaping error becomes explicit one level up.
+  Result<int> r = catch_escape([]() -> int {
+    escape(Error(ErrorKind::kConnectionLost, "wire cut"));
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionLost);
+}
+
+TEST(Escape, PassesValuesThrough) {
+  Result<int> r = catch_escape([]() -> int { return 5; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+
+  Result<void> v = catch_escape([] {});
+  EXPECT_TRUE(v.ok());
+}
+
+TEST(Escape, UnifiesWithResultReturningCallables) {
+  Result<int> explicit_err = catch_escape(
+      []() -> Result<int> { return Error(ErrorKind::kFileNotFound); });
+  ASSERT_FALSE(explicit_err.ok());
+  EXPECT_EQ(explicit_err.error().kind(), ErrorKind::kFileNotFound);
+
+  Result<int> escaped = catch_escape([]() -> Result<int> {
+    escape(Error(ErrorKind::kOutOfMemory));
+  });
+  ASSERT_FALSE(escaped.ok());
+  EXPECT_EQ(escaped.error().kind(), ErrorKind::kOutOfMemory);
+}
+
+// ---- ErrorInterface ----
+
+TEST(ErrorInterface, AllowsContractualErrors) {
+  const ErrorInterface open_contract(
+      "open", {ErrorKind::kFileNotFound, ErrorKind::kAccessDenied});
+  Result<int> r =
+      open_contract.filter(Result<int>(Error(ErrorKind::kFileNotFound)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kFileNotFound);
+}
+
+TEST(ErrorInterface, EscapesNonContractualErrors) {
+  const ErrorInterface open_contract("open", {ErrorKind::kFileNotFound});
+  bool escaped = false;
+  try {
+    (void)open_contract.filter(Result<int>(Error(ErrorKind::kConnectionLost)),
+                               ErrorScope::kProcess);
+  } catch (const EscapingError& e) {
+    escaped = true;
+    EXPECT_EQ(e.error().kind(), ErrorKind::kConnectionLost);
+    EXPECT_GE(scope_rank(e.error().scope()), scope_rank(ErrorScope::kProcess));
+  }
+  EXPECT_TRUE(escaped);
+}
+
+TEST(ErrorInterface, PassesSuccessUntouched) {
+  const ErrorInterface contract("f", {ErrorKind::kEndOfFile});
+  Result<int> r = contract.filter(Result<int>(9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 9);
+}
+
+TEST(ErrorInterface, LeakRecordsViolation) {
+  PrincipleAudit::global().reset();
+  const ErrorInterface contract("write", {ErrorKind::kDiskFull});
+  Result<int> r =
+      contract.leak(Result<int>(Error(ErrorKind::kCredentialsExpired)));
+  ASSERT_FALSE(r.ok());  // the error was leaked, not escaped
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 1u);
+}
+
+// ---- ScopeRouter ----
+
+TEST(ScopeRouter, RoutesToExactScopeManager) {
+  ScopeRouter router;
+  std::string handled_by;
+  router.register_handler(ErrorScope::kVirtualMachine, "jvm",
+                          [&](Error&) {
+                            handled_by = "jvm";
+                            return Disposition::kHandled;
+                          });
+  router.register_handler(ErrorScope::kJob, "schedd", [&](Error&) {
+    handled_by = "schedd";
+    return Disposition::kHandled;
+  });
+  RouteOutcome out = router.route(Error(ErrorKind::kOutOfMemory));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(handled_by, "jvm");
+}
+
+TEST(ScopeRouter, EscalatesToNearestEnclosingScope) {
+  ScopeRouter router;
+  std::string handled_by;
+  router.register_handler(ErrorScope::kJob, "schedd", [&](Error&) {
+    handled_by = "schedd";
+    return Disposition::kHandled;
+  });
+  // file-scope error, but nothing manages file/program/...: the schedd is
+  // the nearest enclosing manager.
+  RouteOutcome out = router.route(Error(ErrorKind::kFileNotFound));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(handled_by, "schedd");
+  ASSERT_EQ(out.path.size(), 1u);
+  EXPECT_EQ(out.path[0].scope, ErrorScope::kJob);
+}
+
+TEST(ScopeRouter, PropagationWidensAndWalksUp) {
+  ScopeRouter router;
+  std::vector<std::string> visits;
+  router.register_handler(ErrorScope::kVirtualMachine, "jvm", [&](Error&) {
+    visits.push_back("jvm");
+    return Disposition::kPropagate;
+  });
+  router.register_handler(ErrorScope::kRemoteResource, "starter",
+                          [&](Error&) {
+                            visits.push_back("starter");
+                            return Disposition::kPropagate;
+                          });
+  router.register_handler(ErrorScope::kJob, "schedd", [&](Error& e) {
+    visits.push_back("schedd");
+    EXPECT_EQ(e.scope(), ErrorScope::kJob);  // widened on the way up
+    return Disposition::kHandled;
+  });
+  RouteOutcome out = router.route(Error(ErrorKind::kOutOfMemory));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(visits, (std::vector<std::string>{"jvm", "starter", "schedd"}));
+}
+
+TEST(ScopeRouter, UnroutableIsReportedNotDropped) {
+  PrincipleAudit::global().reset();
+  ScopeRouter router;
+  RouteOutcome out = router.route(Error(ErrorKind::kOutOfMemory));
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 1u);
+}
+
+TEST(ScopeRouter, MaskedStopsPropagation) {
+  ScopeRouter router;
+  bool upper_called = false;
+  router.register_handler(ErrorScope::kNetwork, "retrier", [&](Error&) {
+    return Disposition::kMasked;
+  });
+  router.register_handler(ErrorScope::kJob, "schedd", [&](Error&) {
+    upper_called = true;
+    return Disposition::kHandled;
+  });
+  RouteOutcome out = router.route(Error(ErrorKind::kConnectionLost));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_FALSE(upper_called);
+  EXPECT_EQ(out.path[0].disposition, Disposition::kMasked);
+}
+
+// ---- ScopeEscalator ----
+
+TEST(Escalator, NoRulesNoChange) {
+  const ScopeEscalator e;
+  EXPECT_EQ(e.scope_after(ErrorScope::kNetwork, SimTime::hours(100)),
+            ErrorScope::kNetwork);
+}
+
+TEST(Escalator, GridDefaultsWidenWithTime) {
+  // §5: one second of failure is network scope; persistence widens it.
+  const ScopeEscalator e = ScopeEscalator::grid_defaults();
+  EXPECT_EQ(e.scope_after(ErrorScope::kNetwork, SimTime::sec(1)),
+            ErrorScope::kNetwork);
+  EXPECT_EQ(e.scope_after(ErrorScope::kNetwork, SimTime::sec(30)),
+            ErrorScope::kRemoteResource);
+  EXPECT_EQ(e.scope_after(ErrorScope::kNetwork, SimTime::minutes(11)),
+            ErrorScope::kCluster);
+  EXPECT_EQ(e.scope_after(ErrorScope::kNetwork, SimTime::hours(7)),
+            ErrorScope::kPool);
+}
+
+TEST(Escalator, EscalateAppliesToError) {
+  const ScopeEscalator e = ScopeEscalator::grid_defaults();
+  Error err(ErrorKind::kConnectionTimedOut);
+  const Error widened =
+      e.escalate(std::move(err), SimTime::zero(), SimTime::minutes(1));
+  EXPECT_EQ(widened.scope(), ErrorScope::kRemoteResource);
+}
+
+TEST(Escalator, NeverNarrows) {
+  ScopeEscalator e;
+  e.add_rule({ErrorScope::kJob, SimTime::sec(1), ErrorScope::kFile});
+  EXPECT_EQ(e.scope_after(ErrorScope::kJob, SimTime::sec(5)),
+            ErrorScope::kJob);
+}
+
+// ---- detectors ----
+
+TEST(Detect, ValidatorFlagsImplicitError) {
+  const OutputValidator<int> validator("non-negative",
+                                       [](const int& v) { return v >= 0; });
+  EXPECT_FALSE(validator.check(3).has_value());
+  const auto detected = validator.check(-1);
+  ASSERT_TRUE(detected.has_value());
+  EXPECT_EQ(detected->scope(), ErrorScope::kProgram);
+}
+
+TEST(Detect, RedundantVoteMasksMinorityCorruption) {
+  int call = 0;
+  std::function<Result<int>()> run = [&]() -> Result<int> {
+    ++call;
+    return call == 2 ? 999 : 42;  // one silently wrong copy
+  };
+  Result<int> r = redundant_vote(run, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Detect, RedundantVoteRefusesWithoutMajority) {
+  int call = 0;
+  std::function<Result<int>()> run = [&]() -> Result<int> {
+    return ++call;  // all different
+  };
+  Result<int> r = redundant_vote(run, 2);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Detect, RedundantVoteSurfacesAllFailures) {
+  std::function<Result<int>()> run = []() -> Result<int> {
+    return Error(ErrorKind::kIoError);
+  };
+  Result<int> r = redundant_vote(run, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kIoError);
+}
+
+// ---- audit ----
+
+TEST(Audit, CountsPerPrinciple) {
+  PrincipleAudit::global().reset();
+  PrincipleAudit::global().record(Principle::kP1, AuditOutcome::kApplied, "a");
+  PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kViolated, "b");
+  PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kViolated, "c");
+  EXPECT_EQ(PrincipleAudit::global().applied(Principle::kP1), 1u);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP2), 2u);
+  EXPECT_EQ(PrincipleAudit::global().applied(Principle::kP3), 0u);
+}
+
+TEST(Audit, EventLogIsBounded) {
+  PrincipleAudit::global().reset();
+  PrincipleAudit::global().set_event_capacity(8);
+  for (int i = 0; i < 100; ++i) {
+    PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kApplied,
+                                    "x");
+  }
+  EXPECT_LE(PrincipleAudit::global().events().size(), 8u);
+  EXPECT_EQ(PrincipleAudit::global().applied(Principle::kP4), 100u);
+  PrincipleAudit::global().set_event_capacity(4096);
+}
+
+}  // namespace
+}  // namespace esg

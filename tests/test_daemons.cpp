@@ -1,0 +1,478 @@
+// Unit tests for the daemon substrate: wire format, RPC channel, job
+// serialization, matchmaker, startd claim protocol.
+#include <gtest/gtest.h>
+
+#include "daemons/matchmaker.hpp"
+#include "daemons/rpc.hpp"
+#include "daemons/startd.hpp"
+#include "daemons/starter.hpp"
+#include "daemons/wire.hpp"
+
+namespace esg::daemons {
+namespace {
+
+// ---- wire ----
+
+TEST(Wire, RoundTrip) {
+  WireMessage msg;
+  msg.command = "TEST_CMD";
+  msg.body.set("A", 1);
+  msg.body.set("S", "hello");
+  Result<WireMessage> back = WireMessage::parse(msg.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().command, "TEST_CMD");
+  EXPECT_EQ(back.value().body.eval_int("A"), 1);
+  EXPECT_EQ(back.value().body.eval_string("S"), "hello");
+}
+
+TEST(Wire, RejectsGarbage) {
+  EXPECT_FALSE(WireMessage::parse("").ok());
+  EXPECT_FALSE(WireMessage::parse("CMD\nnot [ valid").ok());
+}
+
+// ---- job serialization ----
+
+TEST(JobSerialization, FullAdRoundTrip) {
+  JobDescription job;
+  job.id = JobId{5};
+  job.owner = "alice";
+  job.program = jvm::ProgramBuilder("Sim").compute(SimTime::sec(1)).build();
+  job.requirements = "TARGET.HasJava =?= true && TARGET.Memory >= 64";
+  job.rank = "TARGET.Memory";
+  job.input_files = {"/home/a/in1", "/home/a/in2"};
+  job.output_files = {"result.dat"};
+
+  Result<classad::ClassAd> ad = job.to_full_ad();
+  ASSERT_TRUE(ad.ok());
+  Result<JobDescription> back = JobDescription::from_ad(ad.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().id, job.id);
+  EXPECT_EQ(back.value().owner, "alice");
+  EXPECT_EQ(back.value().input_files, job.input_files);
+  EXPECT_EQ(back.value().output_files, job.output_files);
+  EXPECT_EQ(back.value().program.main_class, "Sim");
+  EXPECT_TRUE(back.value().program.verifies());
+}
+
+TEST(JobSerialization, BadRequirementsRejected) {
+  JobDescription job;
+  job.requirements = "this is (not a valid expression";
+  EXPECT_FALSE(job.to_summary_ad().ok());
+}
+
+TEST(JobSerialization, MissingImageRejected) {
+  classad::ClassAd ad;
+  ad.set("JobId", 1);
+  EXPECT_FALSE(JobDescription::from_ad(ad).ok());
+}
+
+TEST(ExecutionSummaryTest, ProgramArmRoundTrip) {
+  jvm::ResultFile rf;
+  rf.exit_by = jvm::ResultFile::ExitBy::kSystemExit;
+  rf.exit_code = 3;
+  ExecutionSummary s = ExecutionSummary::program(rf, "exec1", 12.5);
+  Result<ExecutionSummary> back = ExecutionSummary::from_ad(s.to_ad());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().have_program_result);
+  EXPECT_EQ(back.value().program_result.exit_code, 3);
+  EXPECT_EQ(back.value().machine, "exec1");
+  EXPECT_DOUBLE_EQ(back.value().cpu_seconds, 12.5);
+}
+
+TEST(ExecutionSummaryTest, EnvironmentArmKeepsScopeAndLabels) {
+  ExecutionSummary s = ExecutionSummary::environment(
+      Error(ErrorKind::kJvmMisconfigured, ErrorScope::kRemoteResource, "bad")
+          .with_label("injected", "jvm-misconfig"),
+      "exec2");
+  Result<ExecutionSummary> back = ExecutionSummary::from_ad(s.to_ad());
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back.value().environment_error.has_value());
+  EXPECT_EQ(back.value().environment_error->scope(),
+            ErrorScope::kRemoteResource);
+  ASSERT_NE(back.value().environment_error->label("injected"), nullptr);
+}
+
+TEST(ExecutionSummaryTest, EmptySummaryRejected) {
+  classad::ClassAd ad;
+  ad.set("HaveProgramResult", false);
+  EXPECT_FALSE(ExecutionSummary::from_ad(ad).ok());
+}
+
+// ---- rpc ----
+
+struct RpcFixture {
+  sim::Engine engine{23};
+  net::NetworkFabric fabric{engine};
+  std::shared_ptr<RpcChannel> server;
+  std::shared_ptr<RpcChannel> client;
+
+  explicit RpcFixture(SimTime timeout = SimTime::sec(5)) {
+    EXPECT_TRUE(fabric
+                    .listen({"s", 1},
+                            [this, timeout](net::Endpoint ep) {
+                              server = std::make_shared<RpcChannel>(
+                                  engine, std::move(ep), timeout);
+                            })
+                    .ok());
+    rpc_connect(engine, fabric, "c", {"s", 1}, timeout,
+                [this](Result<std::shared_ptr<RpcChannel>> ch) {
+                  ASSERT_TRUE(ch.ok());
+                  client = std::move(ch).value();
+                });
+    engine.run();
+  }
+};
+
+TEST(Rpc, RequestReply) {
+  RpcFixture f;
+  f.server->set_server(
+      [](const std::string& cmd, const classad::ClassAd& body,
+         std::function<void(classad::ClassAd)> reply) {
+        EXPECT_EQ(cmd, "ADD");
+        classad::ClassAd out;
+        out.set("Sum", body.eval_int("A") + body.eval_int("B"));
+        reply(std::move(out));
+      },
+      nullptr);
+  classad::ClassAd req;
+  req.set("A", 2);
+  req.set("B", 3);
+  std::int64_t sum = 0;
+  f.client->request("ADD", std::move(req), [&](Result<classad::ClassAd> r) {
+    ASSERT_TRUE(r.ok());
+    sum = r.value().eval_int("Sum");
+  });
+  f.engine.run();
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(Rpc, NotifyIsOneWay) {
+  RpcFixture f;
+  std::string got;
+  f.server->set_server(nullptr, [&](const std::string& cmd,
+                                    const classad::ClassAd& body) {
+    got = cmd + ":" + body.eval_string("X");
+  });
+  classad::ClassAd body;
+  body.set("X", "y");
+  f.client->notify("PING", std::move(body));
+  f.engine.run();
+  EXPECT_EQ(got, "PING:y");
+}
+
+TEST(Rpc, TimeoutBreaksChannelAndFailsRequest) {
+  RpcFixture f(SimTime::sec(2));
+  // Server installed with a handler that never replies.
+  f.server->set_server(
+      [](const std::string&, const classad::ClassAd&,
+         std::function<void(classad::ClassAd)>) { /* swallow */ },
+      nullptr);
+  bool failed = false;
+  bool broken = false;
+  f.client->set_on_broken([&](const Error&) { broken = true; });
+  f.client->request("HANG", {}, [&](Result<classad::ClassAd> r) {
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionTimedOut);
+    failed = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(broken);
+  EXPECT_FALSE(f.client->is_open());
+}
+
+TEST(Rpc, BrokenChannelFailsOutstandingRequests) {
+  RpcFixture f;
+  f.server->set_server(
+      [](const std::string&, const classad::ClassAd&,
+         std::function<void(classad::ClassAd)>) {},
+      nullptr);
+  bool failed = false;
+  f.client->request("X", {}, [&](Result<classad::ClassAd> r) {
+    failed = !r.ok();
+  });
+  f.client->abort(Error(ErrorKind::kConnectionLost, "test"));
+  f.engine.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Rpc, GarbageOnChannelEscapes) {
+  // A peer that speaks garbage invalidates the RPC mechanism: the channel
+  // must break (process scope), not limp along.
+  sim::Engine engine{29};
+  net::NetworkFabric fabric{engine};
+  net::Endpoint raw_server;
+  std::shared_ptr<RpcChannel> client;
+  ASSERT_TRUE(fabric
+                  .listen({"s", 1},
+                          [&](net::Endpoint ep) { raw_server = ep; })
+                  .ok());
+  rpc_connect(engine, fabric, "c", {"s", 1}, SimTime::sec(5),
+              [&](Result<std::shared_ptr<RpcChannel>> ch) {
+                client = std::move(ch).value();
+              });
+  engine.run();
+  bool broken = false;
+  client->set_on_broken([&](const Error& e) {
+    broken = true;
+    EXPECT_EQ(e.kind(), ErrorKind::kProtocolError);
+  });
+  (void)raw_server.send("complete garbage [[[");
+  engine.run();
+  EXPECT_TRUE(broken);
+}
+
+TEST(Rpc, RequestOnClosedChannelFailsImmediately) {
+  RpcFixture f;
+  f.client->close();
+  bool failed = false;
+  f.client->request("X", {}, [&](Result<classad::ClassAd> r) {
+    failed = !r.ok();
+    EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionLost);
+  });
+  EXPECT_TRUE(failed);
+}
+
+// ---- matchmaker + startd integration ----
+
+TEST(MatchmakerTest, StartdAdvertisesAndExpires) {
+  sim::Engine engine{31};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  Timeouts timeouts;
+  Matchmaker mm(engine, fabric, "central", ports, timeouts);
+  mm.boot();
+
+  fs::SimFileSystem machine_fs("exec0");
+  StartdConfig cfg;
+  Startd startd(engine, fabric, machine_fs, "exec0", cfg, {},
+                {"central", ports.matchmaker}, ports, timeouts);
+  startd.boot();
+
+  engine.run(SimTime::sec(12));
+  EXPECT_EQ(mm.known_startds(), 1u);
+
+  // Stop the startd; its ad must eventually expire.
+  startd.shutdown();
+  engine.run(engine.now() + timeouts.ad_lifetime +
+             timeouts.matchmaker_interval * std::int64_t{2} + SimTime::sec(1));
+  EXPECT_EQ(mm.known_startds(), 0u);
+}
+
+TEST(StartdTest, SelfTestSuppressesBrokenJavaAd) {
+  sim::Engine engine{37};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  Timeouts timeouts;
+  fs::SimFileSystem machine_fs("exec0");
+  StartdConfig cfg;
+  cfg.owner_asserts_java = true;
+  cfg.jvm.classpath_ok = false;  // the owner is wrong
+  DisciplineConfig discipline = DisciplineConfig::scoped();
+  discipline.startd_selftest = true;
+  Startd startd(engine, fabric, machine_fs, "exec0", cfg, discipline,
+                {"central", ports.matchmaker}, ports, timeouts);
+  startd.boot();
+  engine.run(SimTime::sec(5));
+  EXPECT_FALSE(startd.advertises_java());
+  EXPECT_FALSE(startd.machine_ad().contains("HasJava"));
+}
+
+TEST(StartdTest, WithoutSelfTestOwnerAssertionWins) {
+  sim::Engine engine{41};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  fs::SimFileSystem machine_fs("exec0");
+  StartdConfig cfg;
+  cfg.owner_asserts_java = true;
+  cfg.jvm.classpath_ok = false;  // broken, but nobody checks
+  Startd startd(engine, fabric, machine_fs, "exec0", cfg,
+                DisciplineConfig::scoped(), {"central", ports.matchmaker},
+                ports, {});
+  startd.boot();
+  engine.run(SimTime::sec(2));
+  EXPECT_TRUE(startd.advertises_java());
+}
+
+TEST(StartdTest, SelfTestPassesOnHealthyJava) {
+  sim::Engine engine{43};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  fs::SimFileSystem machine_fs("exec0");
+  StartdConfig cfg;
+  DisciplineConfig discipline = DisciplineConfig::scoped();
+  discipline.startd_selftest = true;
+  Startd startd(engine, fabric, machine_fs, "exec0", cfg, discipline,
+                {"central", ports.matchmaker}, ports, {});
+  startd.boot();
+  engine.run(SimTime::sec(2));
+  EXPECT_TRUE(startd.advertises_java());
+}
+
+TEST(StartdTest, PolicyRefusalDeniesClaim) {
+  sim::Engine engine{47};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  fs::SimFileSystem machine_fs("exec0");
+  StartdConfig cfg;
+  cfg.start_expr = "TARGET.Owner == \"vip\"";  // picky owner
+  Startd startd(engine, fabric, machine_fs, "exec0", cfg,
+                DisciplineConfig::scoped(), {"central", ports.matchmaker},
+                ports, {});
+  startd.boot();
+  engine.run(SimTime::sec(1));
+
+  std::shared_ptr<RpcChannel> channel;
+  rpc_connect(engine, fabric, "submit0", startd.address(), SimTime::sec(5),
+              [&](Result<std::shared_ptr<RpcChannel>> ch) {
+                channel = std::move(ch).value();
+              });
+  engine.run(engine.now() + SimTime::sec(2));
+  ASSERT_NE(channel, nullptr);
+
+  JobDescription job;
+  job.id = JobId{1};
+  job.owner = "peasant";
+  job.program = jvm::ProgramBuilder("P").build();
+  classad::ClassAd body;
+  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
+                         std::make_shared<classad::ClassAd>(
+                             job.to_summary_ad().value()))));
+  bool denied = false;
+  channel->request(kCmdRequestClaim, std::move(body),
+                   [&](Result<classad::ClassAd> r) {
+                     ASSERT_TRUE(r.ok());
+                     denied = !r.value().eval_bool("Granted");
+                   });
+  engine.run(engine.now() + SimTime::sec(2));
+  EXPECT_TRUE(denied);
+  EXPECT_FALSE(startd.claimed());
+}
+
+}  // namespace
+}  // namespace esg::daemons
+
+namespace esg::daemons {
+namespace {
+
+TEST(StartdTest, UnactivatedClaimExpires) {
+  sim::Engine engine{67};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  fs::SimFileSystem machine_fs("exec0");
+  Startd startd(engine, fabric, machine_fs, "exec0", StartdConfig{},
+                DisciplineConfig::scoped(), {"central", ports.matchmaker},
+                ports, {});
+  startd.boot();
+  engine.run(SimTime::sec(1));
+
+  // Claim the machine, then never activate (the shadow "died").
+  std::shared_ptr<RpcChannel> channel;
+  rpc_connect(engine, fabric, "submit0", startd.address(), SimTime::sec(5),
+              [&](Result<std::shared_ptr<RpcChannel>> ch) {
+                channel = std::move(ch).value();
+              });
+  engine.run(engine.now() + SimTime::sec(2));
+  ASSERT_NE(channel, nullptr);
+  JobDescription job;
+  job.id = JobId{1};
+  job.program = jvm::ProgramBuilder("P").build();
+  classad::ClassAd body;
+  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
+                         std::make_shared<classad::ClassAd>(
+                             job.to_summary_ad().value()))));
+  bool granted = false;
+  channel->request(kCmdRequestClaim, std::move(body),
+                   [&](Result<classad::ClassAd> r) {
+                     granted = r.ok() && r.value().eval_bool("Granted");
+                   });
+  engine.run(engine.now() + SimTime::sec(2));
+  ASSERT_TRUE(granted);
+  EXPECT_TRUE(startd.claimed());
+  // After the expiry window the machine frees itself.
+  engine.run(engine.now() + SimTime::sec(90));
+  EXPECT_FALSE(startd.claimed());
+}
+
+TEST(StartdTest, ReleaseClaimNotifyFreesTheMachine) {
+  sim::Engine engine{68};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  fs::SimFileSystem machine_fs("exec0");
+  Startd startd(engine, fabric, machine_fs, "exec0", StartdConfig{},
+                DisciplineConfig::scoped(), {"central", ports.matchmaker},
+                ports, {});
+  startd.boot();
+  engine.run(SimTime::sec(1));
+
+  std::shared_ptr<RpcChannel> channel;
+  rpc_connect(engine, fabric, "submit0", startd.address(), SimTime::sec(5),
+              [&](Result<std::shared_ptr<RpcChannel>> ch) {
+                channel = std::move(ch).value();
+              });
+  engine.run(engine.now() + SimTime::sec(2));
+  JobDescription job;
+  job.id = JobId{1};
+  job.program = jvm::ProgramBuilder("P").build();
+  classad::ClassAd body;
+  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
+                         std::make_shared<classad::ClassAd>(
+                             job.to_summary_ad().value()))));
+  std::int64_t claim_id = 0;
+  channel->request(kCmdRequestClaim, std::move(body),
+                   [&](Result<classad::ClassAd> r) {
+                     ASSERT_TRUE(r.ok());
+                     claim_id = r.value().eval_int("ClaimId");
+                   });
+  engine.run(engine.now() + SimTime::sec(2));
+  ASSERT_TRUE(startd.claimed());
+
+  classad::ClassAd release;
+  release.set("ClaimId", claim_id);
+  channel->notify(kCmdReleaseClaim, std::move(release));
+  engine.run(engine.now() + SimTime::sec(2));
+  EXPECT_FALSE(startd.claimed());
+}
+
+}  // namespace
+}  // namespace esg::daemons
+
+namespace esg::daemons {
+namespace {
+
+TEST(ProxyBackendTest, MixedRenameRefusedAndDeadChannelIsScoped) {
+  fs::SimFileSystem fs("exec0");
+  ASSERT_TRUE(fs.mkdirs("/scratch").ok());
+  ProxyBackend backend(fs, "/scratch", nullptr);
+
+  chirp::Response got;
+  backend.op_rename("local.txt", "/remote/x",
+                    [&](chirp::Response r) { got = std::move(r); });
+  EXPECT_EQ(got.code, chirp::Code::kNotAllowed);
+
+  // Remote operations with no shadow channel fail with a scoped
+  // disconnection, not a crash.
+  backend.op_stat("/remote/x", [&](chirp::Response r) { got = std::move(r); });
+  EXPECT_EQ(got.code, chirp::Code::kDisconnected);
+  ASSERT_TRUE(got.scope.has_value());
+  EXPECT_EQ(*got.scope, ErrorScope::kNetwork);
+}
+
+TEST(ProxyBackendTest, LocalOpsRouteToScratchSandbox) {
+  fs::SimFileSystem fs("exec0");
+  ASSERT_TRUE(fs.mkdirs("/scratch").ok());
+  ProxyBackend backend(fs, "/scratch", nullptr);
+  chirp::Response got;
+  backend.op_open("file.txt", "w",
+                  [&](chirp::Response r) { got = std::move(r); });
+  ASSERT_EQ(got.code, chirp::Code::kOk);
+  const std::int64_t fd = got.value;
+  backend.op_write(fd, "hello", [&](chirp::Response r) { got = std::move(r); });
+  ASSERT_EQ(got.code, chirp::Code::kOk);
+  backend.op_close(fd, [&](chirp::Response r) { got = std::move(r); });
+  ASSERT_EQ(got.code, chirp::Code::kOk);
+  EXPECT_EQ(fs.read_file("/scratch/file.txt").value(), "hello");
+}
+
+}  // namespace
+}  // namespace esg::daemons

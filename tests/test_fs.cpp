@@ -1,0 +1,290 @@
+// Unit tests for the simulated filesystem.
+#include <gtest/gtest.h>
+
+#include "fs/simfs.hpp"
+
+namespace esg::fs {
+namespace {
+
+TEST(Paths, Normalization) {
+  EXPECT_EQ(normalize_path("/a//b/./c").value(), "/a/b/c");
+  EXPECT_EQ(normalize_path("/").value(), "/");
+  EXPECT_FALSE(normalize_path("relative").ok());
+  EXPECT_FALSE(normalize_path("/a/../b").ok());
+}
+
+TEST(SimFs, WriteThenReadBack) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/hello.txt", "world").ok());
+  Result<std::string> r = fs.read_file("/hello.txt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "world");
+}
+
+TEST(SimFs, OpenMissingFileIsFileNotFound) {
+  SimFileSystem fs("host");
+  Result<FileHandle> h = fs.open("/missing", OpenMode::kRead);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.error().kind(), ErrorKind::kFileNotFound);
+  EXPECT_EQ(h.error().scope(), ErrorScope::kFile);
+}
+
+TEST(SimFs, MkdirRequiresParent) {
+  SimFileSystem fs("host");
+  EXPECT_FALSE(fs.mkdir("/a/b").ok());
+  ASSERT_TRUE(fs.mkdirs("/a/b/c").ok());
+  EXPECT_TRUE(fs.exists("/a/b/c"));
+  Result<Stat> s = fs.stat("/a/b");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.value().is_dir);
+}
+
+TEST(SimFs, MkdirOnExistingFileFails) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/f", "x").ok());
+  EXPECT_EQ(fs.mkdir("/f").error().kind(), ErrorKind::kFileExists);
+  EXPECT_EQ(fs.mkdirs("/f/sub").error().kind(), ErrorKind::kNotDirectory);
+}
+
+TEST(SimFs, UnlinkAndRmdirSemantics) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/d").ok());
+  ASSERT_TRUE(fs.write_file("/d/f", "x").ok());
+  EXPECT_EQ(fs.rmdir("/d").error().kind(), ErrorKind::kAccessDenied);
+  EXPECT_EQ(fs.unlink("/d").error().kind(), ErrorKind::kIsDirectory);
+  ASSERT_TRUE(fs.unlink("/d/f").ok());
+  ASSERT_TRUE(fs.rmdir("/d").ok());
+  EXPECT_FALSE(fs.exists("/d"));
+}
+
+TEST(SimFs, RemoveAllIsRecursive) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/tree/a/b").ok());
+  ASSERT_TRUE(fs.write_file("/tree/a/b/f", "x").ok());
+  ASSERT_TRUE(fs.remove_all("/tree").ok());
+  EXPECT_FALSE(fs.exists("/tree"));
+}
+
+TEST(SimFs, ListSortedNames) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/d").ok());
+  ASSERT_TRUE(fs.write_file("/d/b", "").ok());
+  ASSERT_TRUE(fs.write_file("/d/a", "").ok());
+  Result<std::vector<std::string>> names = fs.list("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SimFs, ReadWriteOffsets) {
+  SimFileSystem fs("host");
+  Result<FileHandle> h = fs.open("/f", OpenMode::kWrite);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h.value().write("abcdef").ok());
+  ASSERT_TRUE(h.value().seek(2).ok());
+  ASSERT_TRUE(h.value().write("XY").ok());
+  EXPECT_EQ(fs.read_file("/f").value(), "abXYef");
+
+  Result<FileHandle> r = fs.open("/f", OpenMode::kRead);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().read(3).value(), "abX");
+  EXPECT_EQ(r.value().read(100).value(), "Yef");
+  EXPECT_EQ(r.value().read(10).value(), "");  // EOF -> empty
+  EXPECT_EQ(r.value().read_exact(1).error().kind(), ErrorKind::kEndOfFile);
+}
+
+TEST(SimFs, AppendMode) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/log", "one\n").ok());
+  Result<FileHandle> h = fs.open("/log", OpenMode::kAppend);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h.value().write("two\n").ok());
+  EXPECT_EQ(fs.read_file("/log").value(), "one\ntwo\n");
+}
+
+TEST(SimFs, TruncateOnWriteOpen) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/f", "long content").ok());
+  ASSERT_TRUE(fs.write_file("/f", "x").ok());
+  EXPECT_EQ(fs.read_file("/f").value(), "x");
+}
+
+TEST(SimFs, WriteOnReadOnlyHandleFails) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/f", "x").ok());
+  Result<FileHandle> h = fs.open("/f", OpenMode::kRead);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().write("y").error().kind(), ErrorKind::kAccessDenied);
+}
+
+TEST(SimFs, ClosedHandleIsBadFd) {
+  SimFileSystem fs("host");
+  Result<FileHandle> h = fs.open("/f", OpenMode::kWrite);
+  ASSERT_TRUE(h.ok());
+  h.value().close();
+  EXPECT_EQ(h.value().read(1).error().kind(), ErrorKind::kBadFileDescriptor);
+  EXPECT_EQ(h.value().write("x").error().kind(),
+            ErrorKind::kBadFileDescriptor);
+}
+
+// ---- mounts ----
+
+TEST(Mounts, CapacityEnforcedAsDiskFull) {
+  SimFileSystem fs("host");
+  fs.add_mount("/small", 10);
+  Result<FileHandle> h = fs.open("/small/f", OpenMode::kWrite);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h.value().write("12345").ok());
+  Result<void> r = h.value().write("6789012345");  // would exceed 10
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kDiskFull);
+  // Freeing space makes room again.
+  ASSERT_TRUE(fs.unlink("/small/f").ok());
+  EXPECT_EQ(fs.mount_used("/small/x"), 0u);
+  EXPECT_TRUE(fs.write_file("/small/g", "0123456789").ok());
+}
+
+TEST(Mounts, TruncateReleasesBytes) {
+  SimFileSystem fs("host");
+  fs.add_mount("/m", 10);
+  ASSERT_TRUE(fs.write_file("/m/f", "0123456789").ok());
+  // Re-opening with truncate must release the quota.
+  ASSERT_TRUE(fs.write_file("/m/f", "abc").ok());
+  EXPECT_EQ(fs.mount_used("/m/f"), 3u);
+}
+
+TEST(Mounts, OfflineMountFailsAllOps) {
+  SimFileSystem fs("host");
+  fs.add_mount("/home", 0);
+  ASSERT_TRUE(fs.write_file("/home/f", "x").ok());
+  fs.set_mount_online("/home", false);
+  EXPECT_EQ(fs.read_file("/home/f").error().kind(), ErrorKind::kMountOffline);
+  EXPECT_EQ(fs.write_file("/home/g", "y").error().kind(),
+            ErrorKind::kMountOffline);
+  EXPECT_EQ(fs.stat("/home/f").error().kind(), ErrorKind::kMountOffline);
+  // The root mount is unaffected.
+  EXPECT_TRUE(fs.write_file("/elsewhere", "z").ok());
+  // Back online: the data survived the outage.
+  fs.set_mount_online("/home", true);
+  EXPECT_EQ(fs.read_file("/home/f").value(), "x");
+}
+
+TEST(Mounts, OpenHandleSurvivesOutage) {
+  // §5 NFS semantics: operations fail during the outage and succeed after.
+  SimFileSystem fs("host");
+  fs.add_mount("/home", 0);
+  ASSERT_TRUE(fs.write_file("/home/f", "data").ok());
+  Result<FileHandle> h = fs.open("/home/f", OpenMode::kRead);
+  ASSERT_TRUE(h.ok());
+  fs.set_mount_online("/home", false);
+  EXPECT_EQ(h.value().read(4).error().kind(), ErrorKind::kMountOffline);
+  fs.set_mount_online("/home", true);
+  EXPECT_EQ(h.value().read(4).value(), "data");
+}
+
+TEST(Mounts, OfflineErrorCarriesLocalResourceScope) {
+  SimFileSystem fs("host");
+  fs.add_mount("/home", 0);
+  fs.set_mount_online("/home", false);
+  Result<std::string> r = fs.read_file("/home/f");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().scope(), ErrorScope::kLocalResource);
+  ASSERT_NE(r.error().label("injected"), nullptr);
+}
+
+// ---- access control ----
+
+TEST(Acl, DenyWrite) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/ro").ok());
+  fs.set_access("/ro", true, false);
+  EXPECT_EQ(fs.write_file("/ro/f", "x").error().kind(),
+            ErrorKind::kAccessDenied);
+}
+
+TEST(Acl, DenyRead) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/secret", "x").ok());
+  fs.set_access("/secret", false, true);
+  EXPECT_EQ(fs.read_file("/secret").error().kind(), ErrorKind::kAccessDenied);
+}
+
+// ---- fault injection ----
+
+TEST(Faults, TransientRateZeroNeverFires) {
+  SimFileSystem fs("host");
+  fs.set_transient_fault_rate(0.0, Rng(1));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(fs.write_file("/f", "x").ok());
+  }
+}
+
+TEST(Faults, TransientRateOneAlwaysFires) {
+  SimFileSystem fs("host");
+  fs.set_transient_fault_rate(1.0, Rng(1));
+  Result<void> r = fs.write_file("/f", "x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kIoError);
+}
+
+}  // namespace
+}  // namespace esg::fs
+
+namespace esg::fs {
+namespace {
+
+// ---- rename ----
+
+TEST(Rename, MovesFilesWithinAMount) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/a/b").ok());
+  ASSERT_TRUE(fs.write_file("/a/b/f", "data").ok());
+  ASSERT_TRUE(fs.rename("/a/b/f", "/a/g").ok());
+  EXPECT_FALSE(fs.exists("/a/b/f"));
+  EXPECT_EQ(fs.read_file("/a/g").value(), "data");
+}
+
+TEST(Rename, MovesWholeDirectories) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.mkdirs("/src/deep").ok());
+  ASSERT_TRUE(fs.write_file("/src/deep/f", "x").ok());
+  ASSERT_TRUE(fs.rename("/src", "/dst").ok());
+  EXPECT_EQ(fs.read_file("/dst/deep/f").value(), "x");
+  EXPECT_FALSE(fs.exists("/src"));
+}
+
+TEST(Rename, RefusesExistingDestination) {
+  SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/a", "1").ok());
+  ASSERT_TRUE(fs.write_file("/b", "2").ok());
+  EXPECT_EQ(fs.rename("/a", "/b").error().kind(), ErrorKind::kFileExists);
+}
+
+TEST(Rename, RefusesMissingSourceAndParent) {
+  SimFileSystem fs("host");
+  EXPECT_EQ(fs.rename("/nope", "/x").error().kind(),
+            ErrorKind::kFileNotFound);
+  ASSERT_TRUE(fs.write_file("/f", "x").ok());
+  EXPECT_EQ(fs.rename("/f", "/no/such/dir/f").error().kind(),
+            ErrorKind::kFileNotFound);
+}
+
+TEST(Rename, RefusesCrossMountMoves) {
+  SimFileSystem fs("host");
+  fs.add_mount("/mnt", 0);
+  ASSERT_TRUE(fs.write_file("/f", "x").ok());
+  Result<void> r = fs.rename("/f", "/mnt/f");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kAccessDenied);
+}
+
+TEST(Rename, OfflineMountRefusesRename) {
+  SimFileSystem fs("host");
+  fs.add_mount("/m", 0);
+  ASSERT_TRUE(fs.write_file("/m/f", "x").ok());
+  fs.set_mount_online("/m", false);
+  EXPECT_EQ(fs.rename("/m/f", "/m/g").error().kind(),
+            ErrorKind::kMountOffline);
+}
+
+}  // namespace
+}  // namespace esg::fs

@@ -1,0 +1,164 @@
+// Defensive-parsing fuzz: every parser that reads data from across a trust
+// boundary (wire messages, chirp frames, result files, program images,
+// classad text) must reject garbage with an explicit error — never crash,
+// never hang, never accept nonsense as valid.
+//
+// Deterministic: a seeded generator produces both random bytes and
+// "almost valid" mutations of real encodings.
+#include <gtest/gtest.h>
+
+#include "chirp/protocol.hpp"
+#include "classad/classad.hpp"
+#include "common/rng.hpp"
+#include "daemons/job.hpp"
+#include "daemons/wire.hpp"
+#include "jvm/program.hpp"
+#include "jvm/resultfile.hpp"
+
+namespace esg {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.uniform_int(1, 255));  // no embedded NUL
+  }
+  return out;
+}
+
+/// Mutate a valid encoding: flip, delete, or duplicate a few characters.
+std::string mutate(Rng& rng, std::string s) {
+  if (s.empty()) return s;
+  const int edits = static_cast<int>(rng.uniform_int(1, 4));
+  for (int i = 0; i < edits && !s.empty(); ++i) {
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        s[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:
+        s.erase(pos, 1);
+        break;
+      default:
+        s.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+    }
+  }
+  return s;
+}
+
+TEST(Fuzz, ClassAdParserNeverCrashes) {
+  Rng rng(1001);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = random_bytes(rng, 200);
+    (void)classad::parse_expr(input);
+    (void)classad::parse_classad(input);
+  }
+}
+
+TEST(Fuzz, ClassAdMutationsParseOrFailCleanly) {
+  Rng rng(1002);
+  const std::string valid =
+      "[a = 1; b = \"text\"; c = a + 2 * 3; d = {1, 2.5, \"x\"};"
+      " e = isUndefined(f) ? 0 : f]";
+  for (int i = 0; i < 2000; ++i) {
+    Result<classad::ClassAd> r = classad::parse_classad(mutate(rng, valid));
+    if (r.ok()) {
+      // If it parsed, it must also re-render and re-parse.
+      Result<classad::ClassAd> again = classad::parse_classad(r.value().str());
+      EXPECT_TRUE(again.ok()) << r.value().str();
+    }
+  }
+}
+
+TEST(Fuzz, ChirpCodecsNeverCrash) {
+  Rng rng(1003);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string input = random_bytes(rng, 100);
+    (void)chirp::parse_request(input);
+    (void)chirp::parse_response(input);
+  }
+}
+
+TEST(Fuzz, ChirpResponseMutationsRoundTripWhenAccepted) {
+  Rng rng(1004);
+  const std::string valid =
+      chirp::Response::fail_scoped(chirp::Code::kOffline,
+                                   ErrorScope::kLocalResource)
+          .encode();
+  for (int i = 0; i < 2000; ++i) {
+    Result<chirp::Response> r = chirp::parse_response(mutate(rng, valid));
+    if (r.ok()) {
+      (void)chirp::parse_response(r.value().encode());
+    }
+  }
+}
+
+TEST(Fuzz, WireMessagesNeverCrash) {
+  Rng rng(1005);
+  for (int i = 0; i < 1000; ++i) {
+    (void)daemons::WireMessage::parse(random_bytes(rng, 300));
+  }
+}
+
+TEST(Fuzz, ResultFileNeverCrashesAndNeverInventsScopes) {
+  Rng rng(1006);
+  jvm::ResultFile valid;
+  valid.exit_by = jvm::ResultFile::ExitBy::kException;
+  valid.exit_code = 1;
+  valid.error = Error(ErrorKind::kOutOfMemory, "x");
+  const std::string encoded = valid.encode();
+  for (int i = 0; i < 2000; ++i) {
+    Result<jvm::ResultFile> r = jvm::ResultFile::parse(mutate(rng, encoded));
+    if (r.ok() && r.value().error.has_value()) {
+      // Whatever was accepted, the scope is a member of the closed set.
+      const ErrorScope s = r.value().error->scope();
+      EXPECT_TRUE(parse_scope(scope_name(s)).has_value());
+    }
+  }
+  for (int i = 0; i < 1000; ++i) {
+    (void)jvm::ResultFile::parse(random_bytes(rng, 200));
+  }
+}
+
+TEST(Fuzz, ProgramImagesNeverCrash) {
+  Rng rng(1007);
+  const std::string valid = jvm::serialize_program(
+      jvm::ProgramBuilder("F")
+          .compute(SimTime::sec(1))
+          .open_read("/a", 0)
+          .read(0, 10)
+          .throw_exception(ErrorKind::kNullPointer)
+          .build());
+  for (int i = 0; i < 2000; ++i) {
+    Result<jvm::JobProgram> r = jvm::deserialize_program(mutate(rng, valid));
+    if (r.ok()) {
+      // An accepted image must round-trip exactly.
+      const std::string again = jvm::serialize_program(r.value());
+      Result<jvm::JobProgram> r2 = jvm::deserialize_program(again);
+      ASSERT_TRUE(r2.ok());
+      EXPECT_EQ(jvm::serialize_program(r2.value()), again);
+    }
+  }
+  for (int i = 0; i < 1000; ++i) {
+    (void)jvm::deserialize_program(random_bytes(rng, 300));
+  }
+}
+
+TEST(Fuzz, JobAdsFromHostileAdsNeverCrash) {
+  Rng rng(1008);
+  daemons::JobDescription job;
+  job.id = JobId{9};
+  job.program = jvm::ProgramBuilder("X").compute(SimTime::sec(1)).build();
+  const std::string valid = job.to_full_ad().value().str();
+  for (int i = 0; i < 1500; ++i) {
+    Result<classad::ClassAd> ad = classad::parse_classad(mutate(rng, valid));
+    if (!ad.ok()) continue;
+    (void)daemons::JobDescription::from_ad(ad.value());
+  }
+}
+
+}  // namespace
+}  // namespace esg

@@ -1,0 +1,446 @@
+// Unit tests for the simulated JVM, the wrapper, and the Java I/O library.
+#include <gtest/gtest.h>
+
+#include "jvm/jvm.hpp"
+
+namespace esg::jvm {
+namespace {
+
+struct JvmFixture {
+  sim::Engine engine{17};
+  fs::SimFileSystem fs{"exec0"};
+  JvmConfig config;
+  std::unique_ptr<LocalJavaIo> io;
+
+  JvmFixture() {
+    EXPECT_TRUE(fs.mkdirs("/scratch").ok());
+    io = std::make_unique<LocalJavaIo>(fs, IoDiscipline::kConcise);
+  }
+
+  JvmOutcome run(const JobProgram& program, WrapMode mode) {
+    SimJvm jvm(engine, config);
+    JvmOutcome out;
+    bool done = false;
+    jvm.run(program, *io, mode, &fs, "/scratch/.result",
+            [&](const JvmOutcome& o) {
+              out = o;
+              done = true;
+            });
+    engine.run();
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  ResultFile result_file() {
+    Result<std::string> text = fs.read_file("/scratch/.result");
+    EXPECT_TRUE(text.ok());
+    Result<ResultFile> rf = ResultFile::parse(text.value());
+    EXPECT_TRUE(rf.ok());
+    return rf.ok() ? rf.value() : ResultFile{};
+  }
+};
+
+// ---- Figure 4: JVM result codes ----
+
+TEST(Figure4, CompletionIsZero) {
+  JvmFixture f;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").compute(SimTime::msec(1)).build(),
+            WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_TRUE(out.completed_main);
+}
+
+TEST(Figure4, SystemExitIsX) {
+  JvmFixture f;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").exit(42).build(), WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 42);
+  ASSERT_TRUE(out.system_exit.has_value());
+}
+
+TEST(Figure4, NullPointerIsOne) {
+  JvmFixture f;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").throw_exception(ErrorKind::kNullPointer).build(),
+            WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 1);
+  ASSERT_TRUE(out.condition.has_value());
+  EXPECT_EQ(out.condition->scope(), ErrorScope::kProgram);
+}
+
+TEST(Figure4, OutOfMemoryIsAlsoOne) {
+  JvmFixture f;
+  f.config.heap_bytes = 1 << 10;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").alloc(1 << 20).build(), WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 1);
+  ASSERT_TRUE(out.condition.has_value());
+  EXPECT_EQ(out.condition->kind(), ErrorKind::kOutOfMemory);
+  EXPECT_EQ(out.condition->scope(), ErrorScope::kVirtualMachine);
+}
+
+TEST(Figure4, MisconfiguredInstallIsAlsoOne) {
+  JvmFixture f;
+  f.config.classpath_ok = false;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").compute(SimTime::msec(1)).build(),
+            WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 1);
+  ASSERT_TRUE(out.condition.has_value());
+  EXPECT_EQ(out.condition->scope(), ErrorScope::kRemoteResource);
+}
+
+TEST(Figure4, CorruptImageIsAlsoOne) {
+  JvmFixture f;
+  const JvmOutcome out = f.run(
+      ProgramBuilder("P").compute(SimTime::msec(1)).corrupt_image().build(),
+      WrapMode::kBare);
+  EXPECT_EQ(out.exit_code, 1);
+  ASSERT_TRUE(out.condition.has_value());
+  EXPECT_EQ(out.condition->scope(), ErrorScope::kJob);
+}
+
+TEST(Figure4, ExitCodeOneIsAmbiguousAcrossScopes) {
+  // The crux of Figure 4: four different scopes, one indistinguishable
+  // exit code.
+  JvmFixture null_ptr;
+  JvmFixture oom;
+  oom.config.heap_bytes = 1;
+  JvmFixture misconfig;
+  misconfig.config.classpath_ok = false;
+  JvmFixture corrupt;
+
+  const int c1 = null_ptr
+                     .run(ProgramBuilder("P")
+                              .throw_exception(ErrorKind::kNullPointer)
+                              .build(),
+                          WrapMode::kBare)
+                     .exit_code;
+  const int c2 =
+      oom.run(ProgramBuilder("P").alloc(100).build(), WrapMode::kBare)
+          .exit_code;
+  const int c3 = misconfig
+                     .run(ProgramBuilder("P").compute(SimTime::msec(1)).build(),
+                          WrapMode::kBare)
+                     .exit_code;
+  const int c4 =
+      corrupt
+          .run(ProgramBuilder("P").corrupt_image().build(), WrapMode::kBare)
+          .exit_code;
+  EXPECT_EQ(c1, 1);
+  EXPECT_EQ(c2, 1);
+  EXPECT_EQ(c3, 1);
+  EXPECT_EQ(c4, 1);
+}
+
+// ---- The wrapper fix (§4) ----
+
+TEST(Wrapper, ResultFileDistinguishesWhatExitCodesCannot) {
+  JvmFixture oom;
+  oom.config.heap_bytes = 1;
+  (void)oom.run(ProgramBuilder("P").alloc(100).build(), WrapMode::kWrapped);
+  const ResultFile rf1 = oom.result_file();
+  ASSERT_TRUE(rf1.error.has_value());
+  EXPECT_EQ(rf1.error->scope(), ErrorScope::kVirtualMachine);
+
+  JvmFixture corrupt;
+  (void)corrupt.run(ProgramBuilder("P").corrupt_image().build(),
+                    WrapMode::kWrapped);
+  const ResultFile rf2 = corrupt.result_file();
+  ASSERT_TRUE(rf2.error.has_value());
+  EXPECT_EQ(rf2.error->scope(), ErrorScope::kJob);
+}
+
+TEST(Wrapper, CompletionRecorded) {
+  JvmFixture f;
+  (void)f.run(ProgramBuilder("P").compute(SimTime::msec(1)).build(),
+              WrapMode::kWrapped);
+  const ResultFile rf = f.result_file();
+  EXPECT_EQ(rf.exit_by, ResultFile::ExitBy::kCompletion);
+  EXPECT_EQ(rf.exit_code, 0);
+}
+
+TEST(Wrapper, SystemExitRecorded) {
+  JvmFixture f;
+  (void)f.run(ProgramBuilder("P").exit(7).build(), WrapMode::kWrapped);
+  const ResultFile rf = f.result_file();
+  EXPECT_EQ(rf.exit_by, ResultFile::ExitBy::kSystemExit);
+  EXPECT_EQ(rf.exit_code, 7);
+}
+
+TEST(Wrapper, ProgramExceptionKeepsProgramScope) {
+  JvmFixture f;
+  (void)f.run(ProgramBuilder("P")
+                  .throw_exception(ErrorKind::kArrayIndexOutOfBounds)
+                  .build(),
+              WrapMode::kWrapped);
+  const ResultFile rf = f.result_file();
+  EXPECT_EQ(rf.exit_by, ResultFile::ExitBy::kException);
+  ASSERT_TRUE(rf.error.has_value());
+  EXPECT_EQ(rf.error->scope(), ErrorScope::kProgram);
+  EXPECT_EQ(rf.error->kind(), ErrorKind::kArrayIndexOutOfBounds);
+}
+
+TEST(Wrapper, MissingMainClassIsJobScope) {
+  JvmFixture f;
+  (void)f.run(ProgramBuilder("P").missing_main_class().build(),
+              WrapMode::kWrapped);
+  const ResultFile rf = f.result_file();
+  ASSERT_TRUE(rf.error.has_value());
+  EXPECT_EQ(rf.error->kind(), ErrorKind::kClassNotFound);
+  EXPECT_EQ(rf.error->scope(), ErrorScope::kJob);
+}
+
+TEST(Wrapper, NoResultFileWhenScratchVanishes) {
+  JvmFixture f;
+  f.fs.add_mount("/scratch", 0);
+  f.fs.set_mount_online("/scratch", false);
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").compute(SimTime::msec(1)).build(),
+            WrapMode::kWrapped);
+  EXPECT_FALSE(out.wrote_result_file);
+}
+
+// ---- heap accounting ----
+
+TEST(Heap, FreeAllReleasesMemory) {
+  JvmFixture f;
+  f.config.heap_bytes = 1000;
+  const JvmOutcome out = f.run(ProgramBuilder("P")
+                                   .alloc(800)
+                                   .free_all()
+                                   .alloc(800)
+                                   .build(),
+                               WrapMode::kBare);
+  EXPECT_TRUE(out.completed_main);
+}
+
+TEST(Heap, CumulativeAllocationsOverflow) {
+  JvmFixture f;
+  f.config.heap_bytes = 1000;
+  const JvmOutcome out =
+      f.run(ProgramBuilder("P").alloc(600).alloc(600).build(),
+            WrapMode::kBare);
+  EXPECT_FALSE(out.completed_main);
+  ASSERT_TRUE(out.condition.has_value());
+  EXPECT_EQ(out.condition->kind(), ErrorKind::kOutOfMemory);
+}
+
+// ---- I/O disciplines ----
+
+TEST(JavaIoDiscipline, ConciseContractualErrorIsCheckedException) {
+  const ErrorInterface& contract = ChirpJavaIo::open_contract();
+  const JavaThrowable t = classify_io_failure(
+      IoDiscipline::kConcise, contract, Error(ErrorKind::kFileNotFound));
+  EXPECT_FALSE(t.is_java_error);
+  EXPECT_EQ(t.error.kind(), ErrorKind::kFileNotFound);
+}
+
+TEST(JavaIoDiscipline, ConciseNonContractualBecomesJavaError) {
+  // §4: "we applied Principle 2 and modified the I/O library to send an
+  // escaping error (a Java Error) to the program wrapper."
+  const ErrorInterface& contract = ChirpJavaIo::write_contract();
+  const JavaThrowable t = classify_io_failure(
+      IoDiscipline::kConcise, contract,
+      Error(ErrorKind::kMountOffline, ErrorScope::kLocalResource, "home gone"));
+  EXPECT_TRUE(t.is_java_error);
+  EXPECT_EQ(t.error.scope(), ErrorScope::kLocalResource);
+}
+
+TEST(JavaIoDiscipline, GenericHandsEverythingToTheProgram) {
+  PrincipleAudit::global().reset();
+  const ErrorInterface& contract = ChirpJavaIo::write_contract();
+  const JavaThrowable t = classify_io_failure(
+      IoDiscipline::kGeneric, contract,
+      Error(ErrorKind::kCredentialsExpired, "ticket expired"));
+  EXPECT_FALSE(t.is_java_error);  // just another IOException subclass
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 1u);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 1u);
+}
+
+TEST(JavaIo, UncaughtCheckedExceptionBecomesProgramScope) {
+  // Under the generic discipline an environmental error reaches the
+  // program as an IOException; an uncaught IOException *is* a program
+  // result — this is exactly how §2.3's laundering happens.
+  JvmFixture f;
+  f.io = std::make_unique<LocalJavaIo>(f.fs, IoDiscipline::kGeneric);
+  f.fs.add_mount("/home", 0);
+  f.fs.set_mount_online("/home", false);
+  const JvmOutcome out = f.run(
+      ProgramBuilder("P").open_read("/home/data", 0).build(), WrapMode::kWrapped);
+  EXPECT_EQ(out.exit_code, 1);
+  const ResultFile rf = f.result_file();
+  ASSERT_TRUE(rf.error.has_value());
+  EXPECT_EQ(rf.error->scope(), ErrorScope::kProgram);  // laundered!
+  // But the ground-truth label still remembers the injection.
+  ASSERT_NE(rf.error->label("injected"), nullptr);
+}
+
+TEST(JavaIo, ConciseEscapesEnvironmentalErrorWithTrueScope) {
+  JvmFixture f;  // concise by default
+  f.fs.add_mount("/home", 0);
+  f.fs.set_mount_online("/home", false);
+  const JvmOutcome out = f.run(
+      ProgramBuilder("P").open_read("/home/data", 0).build(), WrapMode::kWrapped);
+  EXPECT_EQ(out.exit_code, 1);  // the exit code still can't tell...
+  const ResultFile rf = f.result_file();
+  ASSERT_TRUE(rf.error.has_value());
+  // ...but the result file carries the true scope.
+  EXPECT_EQ(rf.error->scope(), ErrorScope::kLocalResource);
+}
+
+TEST(JavaIo, ConciseFileNotFoundStaysProgramResult) {
+  // A genuinely contractual error (the program asked for a file that is
+  // not there) is the program's own business in both disciplines.
+  JvmFixture f;
+  const JvmOutcome out = f.run(
+      ProgramBuilder("P").open_read("/no/such/file", 0).build(),
+      WrapMode::kWrapped);
+  EXPECT_EQ(out.exit_code, 1);
+  const ResultFile rf = f.result_file();
+  ASSERT_TRUE(rf.error.has_value());
+  EXPECT_EQ(rf.error->scope(), ErrorScope::kProgram);
+}
+
+TEST(JavaIo, ReadAndWriteThroughStreams) {
+  JvmFixture f;
+  ASSERT_TRUE(f.fs.write_file("/data", "0123456789").ok());
+  const JvmOutcome out = f.run(ProgramBuilder("P")
+                                   .open_read("/data", 0)
+                                   .read(0, 4)
+                                   .close_stream(0)
+                                   .open_write("/out", 1)
+                                   .write(1, 128)
+                                   .close_stream(1)
+                                   .build(),
+                               WrapMode::kBare);
+  EXPECT_TRUE(out.completed_main);
+  EXPECT_EQ(f.fs.stat("/out").value().size, 128u);
+}
+
+// ---- program serialization ----
+
+TEST(Program, SerializationRoundTrip) {
+  const JobProgram p = ProgramBuilder("My.Main")
+                           .compute(SimTime::msec(5))
+                           .open_read("/in", 0)
+                           .read(0, 100)
+                           .write(0, 50)
+                           .close_stream(0)
+                           .alloc(1024)
+                           .free_all()
+                           .exit(2)
+                           .build();
+  Result<JobProgram> back = deserialize_program(serialize_program(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().main_class, "My.Main");
+  ASSERT_EQ(back.value().ops.size(), p.ops.size());
+  EXPECT_TRUE(back.value().verifies());
+}
+
+TEST(Program, CorruptionSurvivesSerialization) {
+  const JobProgram p = ProgramBuilder("P").corrupt_image().build();
+  EXPECT_FALSE(p.verifies());
+  Result<JobProgram> back = deserialize_program(serialize_program(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().verifies());
+}
+
+TEST(Program, GarbageImagesRejected) {
+  EXPECT_FALSE(deserialize_program("op bogus 1 2 3").ok());
+  EXPECT_FALSE(deserialize_program("op throw not-a-kind").ok());
+  EXPECT_TRUE(deserialize_program("").ok());  // empty program: legal, no-op
+}
+
+// ---- result file ----
+
+TEST(ResultFileTest, RoundTripWithError) {
+  ResultFile rf;
+  rf.exit_by = ResultFile::ExitBy::kException;
+  rf.exit_code = 1;
+  rf.error = Error(ErrorKind::kOutOfMemory, "heap exhausted")
+                 .with_label("injected", "oom");
+  Result<ResultFile> back = ResultFile::parse(rf.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().exit_by, ResultFile::ExitBy::kException);
+  ASSERT_TRUE(back.value().error.has_value());
+  EXPECT_EQ(back.value().error->kind(), ErrorKind::kOutOfMemory);
+  EXPECT_EQ(back.value().error->scope(), ErrorScope::kVirtualMachine);
+  ASSERT_NE(back.value().error->label("injected"), nullptr);
+}
+
+TEST(ResultFileTest, DefensiveAgainstGarbage) {
+  EXPECT_FALSE(ResultFile::parse("not a classad at all [").ok());
+  EXPECT_FALSE(ResultFile::parse("[ExitBy = \"weird\"]").ok());
+  EXPECT_FALSE(
+      ResultFile::parse("[ExitBy = \"exception\"; ErrorKind = \"zz\"]").ok());
+}
+
+}  // namespace
+}  // namespace esg::jvm
+
+namespace esg::jvm {
+namespace {
+
+// Parameterized sweep: for every throwable kind, the wrapper's recorded
+// scope agrees with the canonical taxonomy — a thrown X surfaces at
+// program scope (the program's own doing); the kinds the JVM raises
+// internally keep their canonical scopes.
+class WrapperClassification : public ::testing::TestWithParam<ErrorKind> {};
+
+TEST_P(WrapperClassification, ProgramThrowsAreProgramScope) {
+  const ErrorKind kind = GetParam();
+  sim::Engine engine(61);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  LocalJavaIo io(fs, IoDiscipline::kConcise);
+  SimJvm jvm(engine, JvmConfig{});
+  bool done = false;
+  jvm.run(ProgramBuilder("P").throw_exception(kind).build(), io,
+          WrapMode::kWrapped, &fs, "/scratch/.result",
+          [&](const JvmOutcome& outcome) {
+            done = true;
+            EXPECT_EQ(outcome.exit_code, 1);
+          });
+  engine.run();
+  ASSERT_TRUE(done);
+  Result<std::string> text = fs.read_file("/scratch/.result");
+  ASSERT_TRUE(text.ok());
+  Result<ResultFile> rf = ResultFile::parse(text.value());
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rf.value().error.has_value());
+  // A throw statement in main is the program's result, whatever the type.
+  EXPECT_EQ(rf.value().error->scope(), ErrorScope::kProgram);
+  EXPECT_EQ(rf.value().error->kind(), kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThrowableKinds, WrapperClassification,
+    ::testing::Values(ErrorKind::kNullPointer,
+                      ErrorKind::kArrayIndexOutOfBounds,
+                      ErrorKind::kArithmeticError,
+                      ErrorKind::kUncaughtException));
+
+// Exit-code sweep: System.exit(x) surfaces x exactly, for edge values too.
+class ExitCodeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExitCodeSweep, ExitCodeIsPreserved) {
+  sim::Engine engine(62);
+  fs::SimFileSystem fs("exec0");
+  (void)fs.mkdirs("/scratch");
+  LocalJavaIo io(fs, IoDiscipline::kConcise);
+  SimJvm jvm(engine, JvmConfig{});
+  int seen = -1;
+  jvm.run(ProgramBuilder("P").exit(GetParam()).build(), io, WrapMode::kBare,
+          &fs, "/scratch/.result",
+          [&](const JvmOutcome& outcome) { seen = outcome.exit_code; });
+  engine.run();
+  EXPECT_EQ(seen, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, ExitCodeSweep,
+                         ::testing::Values(0, 1, 2, 17, 42, 126, 255));
+
+}  // namespace
+}  // namespace esg::jvm

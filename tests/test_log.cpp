@@ -1,0 +1,113 @@
+// Tests for the logging substrate and common string utilities.
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace esg {
+namespace {
+
+struct CapturedLog {
+  std::vector<std::string> lines;
+
+  CapturedLog() {
+    LogSink::instance().set_writer(
+        [this](const std::string& line) { lines.push_back(line); });
+    LogSink::instance().set_level(LogLevel::kTrace);
+  }
+  ~CapturedLog() {
+    LogSink::instance().set_level(LogLevel::kOff);
+    LogSink::instance().set_writer([](const std::string&) {});
+    LogSink::instance().clear_clock();
+  }
+};
+
+TEST(Log, ComponentAndMessageAppear) {
+  CapturedLog capture;
+  Logger log("schedd@submit0");
+  log.info("job ", 42, " completed");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_NE(capture.lines[0].find("schedd@submit0"), std::string::npos);
+  EXPECT_NE(capture.lines[0].find("job 42 completed"), std::string::npos);
+  EXPECT_NE(capture.lines[0].find("INFO"), std::string::npos);
+}
+
+TEST(Log, LevelFiltering) {
+  CapturedLog capture;
+  LogSink::instance().set_level(LogLevel::kWarn);
+  Logger log("x");
+  log.debug("hidden");
+  log.info("hidden");
+  log.warn("visible");
+  log.error("visible");
+  EXPECT_EQ(capture.lines.size(), 2u);
+}
+
+TEST(Log, OffSuppressesEverything) {
+  CapturedLog capture;
+  LogSink::instance().set_level(LogLevel::kOff);
+  Logger log("x");
+  log.error("even errors");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Log, ClockPrefixesSimTime) {
+  CapturedLog capture;
+  LogSink::instance().set_clock([] { return SimTime::sec(3); });
+  Logger log("x");
+  log.info("tick");
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_NE(capture.lines[0].find("[3.000s]"), std::string::npos);
+}
+
+// ---- string utilities ----
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Strings, SplitN) {
+  EXPECT_EQ(split_n("a b c d", ' ', 3),
+            (std::vector<std::string>{"a", "b", "c d"}));
+  EXPECT_EQ(split_n("a", ' ', 3), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split_n("a b", ' ', 1), (std::vector<std::string>{"a b"}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_TRUE(iequals("HasJava", "hasjava"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, Strfmt) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strfmt("%.2f", 1.5), "1.50");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace esg

@@ -1,0 +1,345 @@
+// Unit tests for the simulated network fabric.
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+
+namespace esg::net {
+namespace {
+
+struct Fixture {
+  sim::Engine engine{7};
+  NetworkFabric fabric{engine};
+};
+
+TEST(Fabric, ConnectAndExchangeMessages) {
+  Fixture f;
+  std::string server_got;
+  std::string client_got;
+  Endpoint server_end;
+  ASSERT_TRUE(f.fabric
+                  .listen({"b", 100},
+                          [&](Endpoint ep) {
+                            server_end = ep;
+                            server_end.set_on_message(
+                                [&](const std::string& m) {
+                                  server_got = m;
+                                  (void)server_end.send("pong");
+                                });
+                          })
+                  .ok());
+  Endpoint client;
+  f.fabric.connect("a", {"b", 100}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    client = std::move(ep).value();
+    client.set_on_message([&](const std::string& m) { client_got = m; });
+    (void)client.send("ping");
+  });
+  f.engine.run();
+  EXPECT_EQ(server_got, "ping");
+  EXPECT_EQ(client_got, "pong");
+  EXPECT_EQ(f.fabric.total_messages(), 2u);
+}
+
+TEST(Fabric, ConnectionRefusedWhenNobodyListens) {
+  Fixture f;
+  bool failed = false;
+  f.fabric.connect("a", {"nowhere", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_FALSE(ep.ok());
+    EXPECT_EQ(ep.error().kind(), ErrorKind::kConnectionRefused);
+    failed = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Fabric, DoubleBindRejected) {
+  Fixture f;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  EXPECT_FALSE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  f.fabric.unlisten({"b", 1});
+  EXPECT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+}
+
+TEST(Fabric, GracefulCloseDeliversInFlightDataFirst) {
+  Fixture f;
+  std::vector<std::string> events;
+  ASSERT_TRUE(f.fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string& m) {
+                              events.push_back("msg:" + m);
+                            });
+                            held.set_on_close(
+                                [&](const std::optional<Error>& e) {
+                                  events.push_back(e.has_value() ? "broken"
+                                                                 : "closed");
+                                });
+                          })
+                  .ok());
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    Endpoint client = std::move(ep).value();
+    (void)client.send("last words");
+    client.close();
+  });
+  f.engine.run();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "msg:last words");
+  EXPECT_EQ(events[1], "closed");
+}
+
+TEST(Fabric, AbortDeliversEscapingErrorToBothSides) {
+  // §3.2: "On a network connection, an escaping error is communicated by
+  // breaking the connection."
+  Fixture f;
+  std::optional<Error> server_saw;
+  ASSERT_TRUE(f.fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_close(
+                                [&](const std::optional<Error>& e) {
+                                  server_saw = e;
+                                });
+                          })
+                  .ok());
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    Endpoint client = std::move(ep).value();
+    client.abort(Error(ErrorKind::kProtocolError, "peer spoke nonsense"));
+  });
+  f.engine.run();
+  ASSERT_TRUE(server_saw.has_value());
+  EXPECT_EQ(server_saw->kind(), ErrorKind::kProtocolError);
+}
+
+TEST(Fabric, SendOnClosedConnectionIsExplicitError) {
+  Fixture f;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  Endpoint client;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    client = std::move(ep).value();
+  });
+  f.engine.run();
+  client.close();
+  Result<void> r = client.send("too late");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionLost);
+}
+
+TEST(Fabric, MessageDropBreaksConnection) {
+  Fixture f;
+  HostFaults faults;
+  faults.drop_msg_prob = 1.0;
+  f.fabric.set_host_faults("b", faults);
+  std::optional<Error> client_saw;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    static Endpoint client;
+    client = std::move(ep).value();
+    client.set_on_close(
+        [&](const std::optional<Error>& e) { client_saw = e; });
+    (void)client.send("doomed");
+  });
+  f.engine.run();
+  ASSERT_TRUE(client_saw.has_value());
+  EXPECT_EQ(client_saw->kind(), ErrorKind::kConnectionLost);
+  ASSERT_NE(client_saw->label("injected"), nullptr);
+}
+
+TEST(Fabric, PartitionBlocksNewConnections) {
+  Fixture f;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  f.fabric.set_partitioned("b", true);
+  bool failed = false;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_FALSE(ep.ok());
+    EXPECT_EQ(ep.error().kind(), ErrorKind::kHostUnreachable);
+    failed = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(failed);
+  // Healing restores connectivity.
+  f.fabric.set_partitioned("b", false);
+  bool connected = false;
+  f.fabric.connect("a", {"b", 1},
+                   [&](Result<Endpoint> ep) { connected = ep.ok(); });
+  f.engine.run();
+  EXPECT_TRUE(connected);
+}
+
+TEST(Fabric, CrashHostBreaksConnectionsAndListeners) {
+  Fixture f;
+  std::optional<Error> peer_saw;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    static Endpoint client;
+    client = std::move(ep).value();
+    client.set_on_close([&](const std::optional<Error>& e) { peer_saw = e; });
+  });
+  f.engine.run();
+  f.fabric.crash_host("b");
+  ASSERT_TRUE(peer_saw.has_value());
+  EXPECT_EQ(peer_saw->kind(), ErrorKind::kConnectionLost);
+  // The listener died with the host.
+  bool refused = false;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    refused = !ep.ok();
+  });
+  f.engine.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST(Fabric, RefuseProbability) {
+  Fixture f;
+  HostFaults faults;
+  faults.refuse_prob = 1.0;
+  f.fabric.set_host_faults("b", faults);
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  bool refused = false;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    refused = !ep.ok() &&
+              ep.error().kind() == ErrorKind::kConnectionRefused;
+  });
+  f.engine.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST(Fabric, LatencyAdvancesClock) {
+  Fixture f;
+  HostFaults faults;
+  faults.latency = SimTime::msec(5);
+  faults.latency_jitter = SimTime::zero();
+  f.fabric.set_default_faults(faults);
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  SimTime connected_at;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    connected_at = f.engine.now();
+  });
+  f.engine.run();
+  EXPECT_GE(connected_at, SimTime::msec(5));
+}
+
+}  // namespace
+}  // namespace esg::net
+
+namespace esg::net {
+namespace {
+
+TEST(Bandwidth, BulkTransferTakesProportionalTime) {
+  sim::Engine engine{7};
+  NetworkFabric fabric{engine};
+  HostFaults faults;
+  faults.latency = SimTime::msec(1);
+  faults.latency_jitter = SimTime::zero();
+  faults.bandwidth_bytes_per_sec = 1 << 20;  // 1 MiB/s
+  fabric.set_default_faults(faults);
+
+  SimTime delivered_at;
+  ASSERT_TRUE(fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string&) {
+                              delivered_at = engine.now();
+                            });
+                          })
+                  .ok());
+  fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    Endpoint client = std::move(ep).value();
+    (void)client.send(std::string(1 << 20, 'x'));  // 1 MiB
+  });
+  engine.run();
+  // Roughly one second of transmission (plus small latencies).
+  EXPECT_GE(delivered_at, SimTime::sec(1));
+  EXPECT_LT(delivered_at, SimTime::sec_f(1.1));
+}
+
+TEST(Bandwidth, SmallMessagesAreCheap) {
+  sim::Engine engine{7};
+  NetworkFabric fabric{engine};
+  HostFaults faults;
+  faults.latency = SimTime::msec(1);
+  faults.latency_jitter = SimTime::zero();
+  faults.bandwidth_bytes_per_sec = 1 << 20;
+  fabric.set_default_faults(faults);
+  SimTime delivered_at;
+  ASSERT_TRUE(fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string&) {
+                              delivered_at = engine.now();
+                            });
+                          })
+                  .ok());
+  fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    Endpoint client = std::move(ep).value();
+    (void)client.send("tiny");
+  });
+  engine.run();
+  EXPECT_LT(delivered_at, SimTime::msec(10));
+}
+
+TEST(Bandwidth, QueuedTransfersSerialize) {
+  sim::Engine engine{7};
+  NetworkFabric fabric{engine};
+  HostFaults faults;
+  faults.latency = SimTime::msec(1);
+  faults.latency_jitter = SimTime::zero();
+  faults.bandwidth_bytes_per_sec = 1 << 20;
+  fabric.set_default_faults(faults);
+  std::vector<SimTime> deliveries;
+  ASSERT_TRUE(fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string&) {
+                              deliveries.push_back(engine.now());
+                            });
+                          })
+                  .ok());
+  fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    Endpoint client = std::move(ep).value();
+    (void)client.send(std::string(512 << 10, 'x'));  // 0.5 MiB -> ~0.5s
+    (void)client.send(std::string(512 << 10, 'y'));  // queues behind
+  });
+  engine.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_GE(deliveries[1] - deliveries[0], SimTime::msec(450));
+  EXPECT_GE(deliveries[1], SimTime::sec(1));
+}
+
+TEST(Bandwidth, UnlimitedByDefault) {
+  sim::Engine engine{7};
+  NetworkFabric fabric{engine};
+  SimTime delivered_at;
+  ASSERT_TRUE(fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string&) {
+                              delivered_at = engine.now();
+                            });
+                          })
+                  .ok());
+  fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    Endpoint client = std::move(ep).value();
+    (void)client.send(std::string(64 << 20, 'x'));  // 64 MiB, instantaneous
+  });
+  engine.run();
+  EXPECT_LT(delivered_at, SimTime::msec(10));
+}
+
+}  // namespace
+}  // namespace esg::net

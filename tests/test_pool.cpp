@@ -1,0 +1,302 @@
+// End-to-end integration tests: whole-grid scenarios through the Pool.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+PoolConfig two_good_machines(daemons::DisciplineConfig discipline) {
+  PoolConfig config;
+  config.seed = 101;
+  config.discipline = discipline;
+  config.machines.push_back(MachineSpec::good("exec0"));
+  config.machines.push_back(MachineSpec::good("exec1"));
+  return config;
+}
+
+TEST(PoolEndToEnd, HelloJobCompletes) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  const JobId id = pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::minutes(10)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  ASSERT_TRUE(record->final_summary.have_program_result);
+  EXPECT_EQ(record->final_summary.program_result.exit_by,
+            jvm::ResultFile::ExitBy::kCompletion);
+}
+
+TEST(PoolEndToEnd, BatchOfJobsAllComplete) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  Rng rng(5);
+  WorkloadOptions options;
+  options.count = 10;
+  options.mean_compute = SimTime::sec(5);
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.jobs_total, 10);
+  EXPECT_EQ(report.completed_genuine, 10);
+  EXPECT_EQ(report.user_incidental_exposures, 0);
+}
+
+TEST(PoolEndToEnd, ProgramErrorsAreDeliveredToUser) {
+  // §2.3: users *want* to see ArrayIndexOutOfBoundsException.
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Crashy")
+                    .throw_exception(ErrorKind::kArrayIndexOutOfBounds)
+                    .build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::minutes(10)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  ASSERT_TRUE(record->final_summary.have_program_result);
+  ASSERT_TRUE(record->final_summary.program_result.error.has_value());
+  EXPECT_EQ(record->final_summary.program_result.error->kind(),
+            ErrorKind::kArrayIndexOutOfBounds);
+  // One attempt only — program errors must not trigger retries.
+  EXPECT_EQ(record->attempts.size(), 1u);
+}
+
+TEST(PoolEndToEnd, MisconfiguredMachineRetriedElsewhereUnderScopedDiscipline) {
+  PoolConfig config;
+  config.seed = 7;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(MachineSpec::good("good0"));
+  Pool pool(config);
+  const JobId id = pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.user_incidental_exposures, 0);
+}
+
+TEST(PoolEndToEnd, NaiveDisciplineExposesIncidentalErrors) {
+  // The §2.3 experience: with only a broken machine available, the user
+  // gets the failure as a result.
+  PoolConfig config;
+  config.seed = 7;
+  config.discipline = daemons::DisciplineConfig::naive();
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  Pool pool(config);
+  pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.user_incidental_exposures, 1);
+  EXPECT_EQ(report.completed_genuine, 0);
+}
+
+TEST(PoolEndToEnd, ScopedDisciplineShieldsWhenAlternativeExists) {
+  PoolConfig config;
+  config.seed = 9;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(MachineSpec::good("good0"));
+  Pool pool(config);
+  Rng rng(2);
+  WorkloadOptions options;
+  options.count = 6;
+  options.mean_compute = SimTime::sec(2);
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.completed_genuine, 6);
+  EXPECT_EQ(report.user_incidental_exposures, 0);
+}
+
+TEST(PoolEndToEnd, CorruptImageIsUnexecutableNotRetriedForever) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Broken").corrupt_image().build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kUnexecutable);
+  // Job scope: one attempt was enough to know.
+  EXPECT_EQ(record->attempts.size(), 1u);
+}
+
+TEST(PoolEndToEnd, MissingInputFileIsJobScope) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("NeedsInput").build();
+  job.input_files = {"/home/data/never_staged"};
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kUnexecutable);
+  ASSERT_TRUE(record->final_summary.environment_error.has_value());
+  EXPECT_EQ(record->final_summary.environment_error->scope(),
+            ErrorScope::kJob);
+}
+
+TEST(PoolEndToEnd, RemoteIoThroughProxyWorks) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  stage_workload_inputs(pool);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Reader")
+                    .open_read("/home/data/input.dat", 0)
+                    .read(0, 1024)
+                    .close_stream(0)
+                    .open_write("/home/data/copy.out", 1)
+                    .write(1, 512)
+                    .close_stream(1)
+                    .build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  // The write really landed on the submit machine, via proxy + shadow.
+  EXPECT_EQ(pool.submit_fs().stat("/home/data/copy.out").value().size, 512u);
+}
+
+TEST(PoolEndToEnd, InputFileTransferStagesData) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  pool.stage_input("/home/data/payload", "PAYLOAD-BYTES");
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Consumer")
+                    .open_read("payload", 0)  // relative: scratch copy
+                    .read(0, 13)
+                    .close_stream(0)
+                    .build();
+  job.input_files = {"/home/data/payload"};
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+TEST(PoolEndToEnd, OutputFilesComeBack) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Producer")
+                    .open_write("result.dat", 0)  // relative: scratch
+                    .write(0, 256)
+                    .close_stream(0)
+                    .build();
+  job.output_files = {"result.dat"};
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  ASSERT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  const std::string path =
+      "/out/job_" + std::to_string(id.value()) + "/result.dat";
+  Result<fs::Stat> s = pool.submit_fs().stat(path);
+  ASSERT_TRUE(s.ok()) << path;
+  EXPECT_EQ(s.value().size, 256u);
+}
+
+TEST(PoolEndToEnd, OfflineHomeFilesystemRetriesUntilItReturns) {
+  // §4: "the home file system was offline" — local-resource scope; the
+  // schedd keeps the job and retries rather than bouncing it to the user.
+  PoolConfig config = two_good_machines(daemons::DisciplineConfig::scoped());
+  Pool pool(config);
+  stage_workload_inputs(pool);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Reader")
+                    .open_read("/home/data/input.dat", 0)
+                    .read(0, 64)
+                    .close_stream(0)
+                    .build();
+  const JobId id = pool.submit(std::move(job));
+  pool.boot();
+  // Take /home down now and bring it back after two minutes.
+  pool.submit_fs().set_mount_online("/home", false);
+  pool.engine().schedule(SimTime::minutes(2), [&pool] {
+    pool.submit_fs().set_mount_online("/home", true);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  EXPECT_GE(record->attempts.size(), 2u);  // at least one failed attempt
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.user_incidental_exposures, 0);
+}
+
+TEST(PoolEndToEnd, OutOfMemoryMachineRetriedElsewhere) {
+  PoolConfig config;
+  config.seed = 13;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::tiny_heap("small0", 1 << 10));
+  config.machines.push_back(MachineSpec::good("big0"));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program =
+      jvm::ProgramBuilder("Hungry").alloc(1 << 20).compute(SimTime::sec(1)).build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted)
+      << record->final_summary.str();
+}
+
+TEST(PoolEndToEnd, ReportAccountingIsConsistent) {
+  Pool pool(two_good_machines(daemons::DisciplineConfig::scoped()));
+  Rng rng(3);
+  WorkloadOptions options;
+  options.count = 12;
+  options.mean_compute = SimTime::sec(3);
+  options.program_error_fraction = 0.3;
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.jobs_total, 12);
+  EXPECT_EQ(report.completed_genuine + report.completed_program_error +
+                report.user_incidental_exposures + report.unexecutable +
+                report.unfinished,
+            12);
+  EXPECT_EQ(report.unfinished, 0);
+  EXPECT_GT(report.network_messages, 0u);
+}
+
+}  // namespace
+}  // namespace esg::pool
+
+namespace esg::pool {
+namespace {
+
+TEST(Report, RenderingsContainHeadlineNumbers) {
+  PoolReport report;
+  report.discipline = "scoped";
+  report.jobs_total = 9;
+  report.completed_genuine = 5;
+  report.user_incidental_exposures = 2;
+  report.wasted_cpu_seconds = 12.5;
+  const std::string text = report.str();
+  EXPECT_NE(text.find("scoped"), std::string::npos);
+  EXPECT_NE(text.find("9"), std::string::npos);
+  EXPECT_NE(text.find("12.5"), std::string::npos);
+  const std::string row = report.table_row("mylabel");
+  EXPECT_NE(row.find("mylabel"), std::string::npos);
+  // Header and row columns align in count.
+  EXPECT_FALSE(PoolReport::table_header().empty());
+}
+
+TEST(Workload, GeneratorsAreDeterministicPerRngState) {
+  WorkloadOptions options;
+  options.count = 10;
+  options.program_error_fraction = 0.3;
+  options.remote_io_fraction = 0.5;
+  Rng a(5);
+  Rng b(5);
+  const auto jobs_a = make_workload(options, a);
+  const auto jobs_b = make_workload(options, b);
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_EQ(jvm::serialize_program(jobs_a[i].program),
+              jvm::serialize_program(jobs_b[i].program));
+  }
+}
+
+}  // namespace
+}  // namespace esg::pool

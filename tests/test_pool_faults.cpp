@@ -1,0 +1,539 @@
+// Pool-level fault-injection scenarios: universes, eviction, matchmaker
+// outage, escalation, flaky networks, and discipline properties over
+// seeds.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+PoolConfig small_pool(daemons::DisciplineConfig discipline,
+                      std::uint64_t seed = 51) {
+  PoolConfig config;
+  config.seed = seed;
+  config.discipline = discipline;
+  config.machines.push_back(MachineSpec::good("exec0"));
+  config.machines.push_back(MachineSpec::good("exec1"));
+  return config;
+}
+
+// ---- Vanilla universe ----
+
+TEST(VanillaUniverse, RunsWithoutJvmOrProxy) {
+  Pool pool(small_pool(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.universe = daemons::Universe::kVanilla;
+  job.requirements = "true";  // no HasJava needed
+  job.program = jvm::ProgramBuilder("native_sim")
+                    .compute(SimTime::sec(3))
+                    .open_write("out.dat", 0)  // relative: scratch
+                    .write(0, 100)
+                    .close_stream(0)
+                    .build();
+  job.output_files = {"out.dat"};
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  // Output transfer works for vanilla too.
+  const std::string out_path =
+      "/out/job_" + std::to_string(id.value()) + "/out.dat";
+  EXPECT_TRUE(pool.submit_fs().exists(out_path));
+}
+
+TEST(VanillaUniverse, RunsOnMachinesWithoutJava) {
+  PoolConfig config;
+  config.seed = 5;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec nojava = MachineSpec::good("nojava0");
+  nojava.startd.owner_asserts_java = false;
+  config.machines.push_back(nojava);
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.universe = daemons::Universe::kVanilla;
+  job.requirements = "true";
+  job.program = jvm::ProgramBuilder("p").compute(SimTime::sec(1)).build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+TEST(VanillaUniverse, JavaJobsDoNotMatchNoJavaMachines) {
+  PoolConfig config;
+  config.seed = 5;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec nojava = MachineSpec::good("nojava0");
+  nojava.startd.owner_asserts_java = false;
+  config.machines.push_back(nojava);
+  Pool pool(config);
+  const JobId id = pool.submit(make_hello_job());  // java universe
+  EXPECT_FALSE(pool.run_until_done(SimTime::minutes(5)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kIdle);
+}
+
+TEST(VanillaUniverse, ExitCodeIsAllTheUserGets) {
+  // Vanilla has no wrapper: an environmental failure inside the program
+  // surfaces as a bare exit code, even under the scoped discipline.
+  Pool pool(small_pool(daemons::DisciplineConfig::scoped()));
+  daemons::JobDescription job;
+  job.universe = daemons::Universe::kVanilla;
+  job.requirements = "true";
+  job.program = jvm::ProgramBuilder("p")
+                    .throw_exception(ErrorKind::kNullPointer)
+                    .build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  ASSERT_TRUE(record->final_summary.have_program_result);
+  EXPECT_EQ(record->final_summary.program_result.exit_code, 1);
+}
+
+// ---- owner activity / eviction ----
+
+TEST(Eviction, OwnerReturnEvictsAndJobMovesOn) {
+  PoolConfig config;
+  config.seed = 77;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("aaa_desk"));
+  config.machines.push_back(MachineSpec::good("zzz_farm"));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("long").compute(SimTime::minutes(10)).build();
+  const JobId id = pool.submit(std::move(job));
+  pool.boot();
+  // The workstation owner sits down one minute in.
+  pool.engine().schedule(SimTime::minutes(1), [&pool] {
+    pool.startd("aaa_desk")->set_owner_active(true);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  // The eviction surfaced with remote-resource scope and triggered a
+  // retry — not a user-visible failure.
+  bool saw_eviction = false;
+  for (const daemons::AttemptRecord& attempt : record->attempts) {
+    if (!attempt.summary.have_program_result &&
+        attempt.summary.environment_error.has_value() &&
+        attempt.summary.environment_error->kind() ==
+            ErrorKind::kPolicyRefused) {
+      saw_eviction = true;
+      EXPECT_EQ(attempt.summary.environment_error->scope(),
+                ErrorScope::kRemoteResource);
+    }
+  }
+  EXPECT_TRUE(saw_eviction);
+  EXPECT_EQ(pool.report().user_incidental_exposures, 0);
+}
+
+TEST(Eviction, ActiveOwnerRefusesNewClaims) {
+  PoolConfig config;
+  config.seed = 78;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("desk0"));
+  Pool pool(config);
+  pool.boot();
+  pool.startd("desk0")->set_owner_active(true);
+  const JobId id = pool.submit(make_hello_job());
+  EXPECT_FALSE(pool.run_until_done(SimTime::minutes(3)));
+  EXPECT_NE(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  // Owner leaves; the job proceeds.
+  pool.startd("desk0")->set_owner_active(false);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+// ---- matchmaker outage ----
+
+TEST(MatchmakerOutage, PoolStallsAndRecovers) {
+  Pool pool(small_pool(daemons::DisciplineConfig::scoped(), 91));
+  const JobId id = pool.submit(make_hello_job());
+  pool.boot();
+  pool.matchmaker().shutdown();
+  EXPECT_FALSE(pool.run_until_done(SimTime::minutes(3)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kIdle);
+  // The matchmaker comes back (same address); ads flow again and the job
+  // completes without anyone having restarted schedds or startds.
+  pool.matchmaker().boot();
+  ASSERT_TRUE(pool.run_until_done(SimTime::minutes(10)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+// ---- scope escalation in the schedd ----
+
+TEST(Escalation, PersistentVmFailureIsGivenUpWithEscalatedScope) {
+  // Only machine: a heap too small for the job, forever. Without
+  // escalation the schedd would burn max_attempts; with it, the job is
+  // returned once the virtual-machine-scope streak crosses the threshold.
+  PoolConfig config;
+  config.seed = 13;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.max_attempts = 1000;  // escalation must fire first
+  config.machines.push_back(MachineSpec::tiny_heap("small0", 1 << 10));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("hungry").alloc(1 << 20).build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(4)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kUnexecutable);
+  ASSERT_TRUE(record->final_summary.environment_error.has_value());
+  // Scope was widened past virtual-machine by persistence.
+  EXPECT_GE(scope_rank(record->final_summary.environment_error->scope()),
+            scope_rank(ErrorScope::kCluster));
+  EXPECT_LT(record->attempts.size(), 1000u);
+}
+
+TEST(Escalation, DisabledMeansMaxAttemptsGoverns) {
+  PoolConfig config;
+  config.seed = 13;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.use_escalation = false;
+  config.discipline.max_attempts = 5;
+  config.machines.push_back(MachineSpec::tiny_heap("small0", 1 << 10));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("hungry").alloc(1 << 20).build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(4)));
+  EXPECT_EQ(pool.schedd().job(id)->attempts.size(), 5u);
+}
+
+// ---- flaky networks ----
+
+TEST(FlakyNetwork, JobsSurviveMessageLoss) {
+  PoolConfig config;
+  config.seed = 23;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  for (int i = 0; i < 3; ++i) {
+    MachineSpec spec = MachineSpec::good("exec" + std::to_string(i));
+    spec.net_faults.drop_msg_prob = 0.002;  // breaks ~1 connection in 500 msgs
+    config.machines.push_back(spec);
+  }
+  Pool pool(config);
+  Rng rng(23);
+  WorkloadOptions options;
+  options.count = 15;
+  options.mean_compute = SimTime::sec(10);
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(6)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.unfinished, 0);
+  EXPECT_EQ(report.user_incidental_exposures, 0);
+}
+
+TEST(Partition, ExecHostPartitionBreaksJobAndHeals) {
+  PoolConfig config;
+  config.seed = 29;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("island0"));
+  config.machines.push_back(MachineSpec::good("mainland0"));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("long")
+                    .compute(SimTime::minutes(5))
+                    .open_read("/home/data/input.dat", 0)
+                    .read(0, 1024)
+                    .close_stream(0)
+                    .build();
+  const JobId id = pool.submit(std::move(job));
+  stage_workload_inputs(pool);
+  pool.boot();
+  // island0 is cut off two minutes in; heals after ten minutes.
+  pool.engine().schedule(SimTime::minutes(2), [&pool] {
+    pool.fabric().set_partitioned("island0", true);
+  });
+  pool.engine().schedule(SimTime::minutes(12), [&pool] {
+    pool.fabric().set_partitioned("island0", false);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(4)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  EXPECT_EQ(pool.report().user_incidental_exposures, 0);
+}
+
+// ---- mitigations at pool level ----
+
+TEST(Mitigations, SelfTestKeepsBrokenMachinesOutOfTheAdStream) {
+  PoolConfig config;
+  config.seed = 31;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.startd_selftest = true;
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(MachineSpec::good("good0"));
+  Pool pool(config);
+  const JobId id = pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  // Exactly one attempt: the broken machine never advertised Java.
+  EXPECT_EQ(record->attempts.size(), 1u);
+  EXPECT_EQ(record->attempts[0].machine, "good0");
+}
+
+TEST(Mitigations, AvoidanceShunsChronicallyFailingMachine) {
+  PoolConfig config;
+  config.seed = 37;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.schedd_avoidance = true;
+  config.discipline.avoidance_threshold = 2;
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(MachineSpec::good("good0"));
+  Pool pool(config);
+  Rng rng(37);
+  WorkloadOptions options;
+  options.count = 10;
+  options.mean_compute = SimTime::sec(5);
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  // After the threshold, bad0 is on the avoid list.
+  EXPECT_GE(pool.schedd().avoided_machines().count("bad0"), 1u);
+  // Waste is bounded by the threshold, not the job count.
+  std::uint64_t bad_attempts = 0;
+  for (const auto& truth : pool.ground_truth().entries()) {
+    if (truth.machine == "bad0") ++bad_attempts;
+  }
+  EXPECT_LE(bad_attempts, 4u);  // threshold + races
+}
+
+// ---- properties over seeds ----
+
+class DisciplineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisciplineProperty, ScopedNeverExposesIncidentalsWhenGoodMachinesExist) {
+  PoolConfig config;
+  config.seed = GetParam();
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(MachineSpec::tiny_heap("small0", 4 << 20));
+  config.machines.push_back(MachineSpec::good("good0"));
+  config.machines.push_back(MachineSpec::good("good1"));
+  Pool pool(config);
+  pool::stage_workload_inputs(pool);
+  Rng rng(GetParam());
+  WorkloadOptions options;
+  options.count = 20;
+  options.mean_compute = SimTime::sec(10);
+  options.program_error_fraction = 0.2;
+  options.remote_io_fraction = 0.3;
+  options.big_alloc_fraction = 0.2;
+  options.big_alloc_bytes = 32 << 20;
+  for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(8)));
+  const PoolReport report = pool.report();
+  EXPECT_EQ(report.user_incidental_exposures, 0) << report.str();
+  EXPECT_EQ(report.unfinished, 0);
+  // Accounting identity holds for every seed.
+  EXPECT_EQ(report.completed_genuine + report.completed_program_error +
+                report.user_incidental_exposures + report.unexecutable,
+            report.jobs_total);
+}
+
+TEST_P(DisciplineProperty, DeterministicReplay) {
+  auto run_once = [&] {
+    PoolConfig config;
+    config.seed = GetParam();
+    config.discipline = daemons::DisciplineConfig::scoped();
+    config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+    config.machines.push_back(MachineSpec::good("good0"));
+    Pool pool(config);
+    Rng rng(GetParam());
+    WorkloadOptions options;
+    options.count = 8;
+    for (auto& job : make_workload(options, rng)) pool.submit(std::move(job));
+    pool.run_until_done(SimTime::hours(2));
+    const PoolReport report = pool.report();
+    return std::make_tuple(report.total_attempts, report.network_messages,
+                           report.makespan_seconds);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisciplineProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace esg::pool
+
+namespace esg::pool {
+namespace {
+
+TEST(Status, SnapshotListsMachinesAndJobs) {
+  PoolConfig config;
+  config.seed = 99;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  const JobId id = pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const std::string status = pool.status_string();
+  EXPECT_NE(status.find("exec0"), std::string::npos);
+  EXPECT_NE(status.find("Unclaimed"), std::string::npos);
+  EXPECT_NE(status.find("completed"), std::string::npos);
+  EXPECT_NE(status.find(std::to_string(id.value())), std::string::npos);
+}
+
+TEST(HostileMessages, ScheddIgnoresGarbageMatchNotifications) {
+  PoolConfig config;
+  config.seed = 98;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  const JobId id = pool.submit(make_hello_job());
+  pool.boot();
+
+  // A hostile/buggy peer floods the schedd with malformed notifications.
+  daemons::Timeouts timeouts;
+  for (int i = 0; i < 5; ++i) {
+    daemons::rpc_connect(
+        pool.engine(), pool.fabric(), "intruder",
+        pool.schedd().address(), timeouts.rpc_timeout,
+        [i](Result<std::shared_ptr<daemons::RpcChannel>> ch) {
+          if (!ch.ok()) return;
+          classad::ClassAd junk;
+          junk.set("JobId", 9999 + i);          // no such job
+          junk.set("StartdName", "phantom");
+          junk.set("StartdHost", "");           // missing host
+          ch.value()->notify(daemons::kCmdNotifyMatch, junk);
+          ch.value()->close();
+        });
+  }
+  // And raw garbage bytes at the protocol level.
+  pool.fabric().connect("intruder", pool.schedd().address(),
+                        [](Result<net::Endpoint> ep) {
+                          if (ep.ok()) {
+                            net::Endpoint e = std::move(ep).value();
+                            (void)e.send("complete garbage [[[ ;;");
+                          }
+                        });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+TEST(HostileMessages, StartdSurvivesMalformedClaimRequests) {
+  PoolConfig config;
+  config.seed = 97;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  pool.boot();
+  daemons::Timeouts timeouts;
+  bool denied = false;
+  daemons::rpc_connect(
+      pool.engine(), pool.fabric(), "intruder",
+      pool.startd("exec0")->address(), timeouts.rpc_timeout,
+      [&denied](Result<std::shared_ptr<daemons::RpcChannel>> ch) {
+        if (!ch.ok()) return;
+        static std::shared_ptr<daemons::RpcChannel> held;
+        held = std::move(ch).value();
+        classad::ClassAd junk;  // claim request without a job ad
+        held->request(daemons::kCmdRequestClaim, junk,
+                      [&denied](Result<classad::ClassAd> r) {
+                        denied = r.ok() && !r.value().eval_bool("Granted");
+                      });
+      });
+  pool.engine().run(pool.engine().now() + SimTime::sec(5));
+  EXPECT_TRUE(denied);
+  EXPECT_FALSE(pool.startd("exec0")->claimed());
+  // The machine still works for real jobs afterwards.
+  const JobId id = pool.submit(make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+}
+
+}  // namespace
+}  // namespace esg::pool
+
+namespace esg::pool {
+namespace {
+
+TEST(Mitigations, AvoidanceExpiresAfterCooldown) {
+  PoolConfig config;
+  config.seed = 131;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.schedd_avoidance = true;
+  config.discipline.avoidance_threshold = 1;
+  config.discipline.avoidance_cooldown = SimTime::minutes(2);
+  config.discipline.use_escalation = false;
+  config.discipline.max_attempts = 8;
+  config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  Pool pool(config);
+  pool.submit(make_hello_job());
+  // With only one (broken) machine, the job eventually exhausts attempts;
+  // what matters here is the avoidance rhythm in between.
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(4)));
+  const auto& truths = pool.ground_truth().entries();
+  ASSERT_GE(truths.size(), 2u);
+  // bad0 was retried again (the cooldown expired) — avoidance is a
+  // temporary judgement, not a blacklist.
+  int bad_attempts = 0;
+  for (const auto& truth : truths) {
+    if (truth.machine == "bad0") ++bad_attempts;
+  }
+  EXPECT_GE(bad_attempts, 2);
+}
+
+}  // namespace
+}  // namespace esg::pool
+
+namespace esg::pool {
+namespace {
+
+TEST(AuditIntegration, ScopedRunAppliesThePrinciples) {
+  PrincipleAudit::global().reset();
+  PoolConfig config;
+  config.seed = 141;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  stage_workload_inputs(pool);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("reader")
+                    .open_read("/home/data/input.dat", 0)
+                    .read(0, 256)
+                    .close_stream(0)
+                    .build();
+  pool.submit(std::move(job));
+  pool.boot();
+  // An offline window at the start forces the first attempt's open into
+  // an escaping conversion (P2); recovery lets the retry complete.
+  pool.submit_fs().set_mount_online("/home", false);
+  pool.engine().schedule(SimTime::minutes(2), [&pool] {
+    pool.submit_fs().set_mount_online("/home", true);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  // P2 fired in the I/O library, P3 in the schedd, P4 on contractual
+  // errors; no violations anywhere under the scoped discipline.
+  EXPECT_GT(PrincipleAudit::global().applied(Principle::kP2), 0u);
+  EXPECT_GT(PrincipleAudit::global().applied(Principle::kP3), 0u);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 0u);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 0u);
+}
+
+TEST(AuditIntegration, NaiveRunViolatesThePrinciples) {
+  PrincipleAudit::global().reset();
+  PoolConfig config;
+  config.seed = 142;
+  config.discipline = daemons::DisciplineConfig::naive();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  stage_workload_inputs(pool);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("reader")
+                    .open_read("/home/data/input.dat", 0)
+                    .read(0, 256)
+                    .close_stream(0)
+                    .build();
+  pool.submit(std::move(job));
+  pool.boot();
+  pool.submit_fs().set_mount_online("/home", false);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  // The generic I/O library leaked a non-contractual error to the program:
+  // P4 (and the P3 it implies) violated.
+  EXPECT_GT(PrincipleAudit::global().violated(Principle::kP4), 0u);
+  EXPECT_GT(PrincipleAudit::global().violated(Principle::kP3), 0u);
+}
+
+}  // namespace
+}  // namespace esg::pool

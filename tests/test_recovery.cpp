@@ -1,0 +1,153 @@
+// Schedd crash recovery from the spool journal (§2.1: "a user submits
+// jobs to a schedd, which keeps the job state in persistent storage").
+#include <gtest/gtest.h>
+
+#include "daemons/matchmaker.hpp"
+#include "daemons/schedd.hpp"
+#include "daemons/startd.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::daemons {
+namespace {
+
+struct GridFixture {
+  sim::Engine engine{53};
+  net::NetworkFabric fabric{engine};
+  Ports ports;
+  Timeouts timeouts;
+  fs::SimFileSystem submit_fs{"submit0"};
+  fs::SimFileSystem machine_fs{"exec0"};
+  Matchmaker matchmaker{engine, fabric, "central", ports, timeouts};
+  Startd startd{engine,
+                fabric,
+                machine_fs,
+                "exec0",
+                StartdConfig{},
+                DisciplineConfig::scoped(),
+                {"central", ports.matchmaker},
+                ports,
+                timeouts};
+
+  std::unique_ptr<Schedd> make_schedd() {
+    return std::make_unique<Schedd>(engine, fabric, submit_fs, "submit0",
+                                    DisciplineConfig::scoped(),
+                                    net::Address{"central", ports.matchmaker},
+                                    ports, timeouts);
+  }
+};
+
+TEST(Recovery, UnfinishedJobsSurviveAScheddCrash) {
+  GridFixture grid;
+  grid.matchmaker.boot();
+  grid.startd.boot();
+
+  // First incarnation: submit three jobs, crash before any can run.
+  auto first = grid.make_schedd();
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(first->submit(pool::make_hello_job(SimTime::sec(5))));
+  }
+  first->shutdown();
+  first.reset();  // the process is gone; only the spool remains
+
+  // Second incarnation over the same filesystem.
+  auto second = grid.make_schedd();
+  EXPECT_EQ(second->recover_from_spool(), 3u);
+  second->boot();
+  ASSERT_TRUE(grid.engine.run_until([&] { return second->all_done(); },
+                                    SimTime::hours(1)));
+  for (const JobId id : ids) {
+    const JobRecord* record = second->job(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->state, JobState::kCompleted);
+  }
+}
+
+TEST(Recovery, FinalizedJobsAreNotResubmitted) {
+  GridFixture grid;
+  grid.matchmaker.boot();
+  grid.startd.boot();
+
+  auto first = grid.make_schedd();
+  first->boot();
+  const JobId done_id = first->submit(pool::make_hello_job(SimTime::sec(2)));
+  ASSERT_TRUE(grid.engine.run_until([&] { return first->all_done(); },
+                                    SimTime::hours(1)));
+  const JobId pending_id =
+      first->submit(pool::make_hello_job(SimTime::sec(2)));
+  first->shutdown();
+  first.reset();
+
+  auto second = grid.make_schedd();
+  EXPECT_EQ(second->recover_from_spool(), 1u);
+  EXPECT_EQ(second->job(done_id), nullptr);       // finished: not revived
+  ASSERT_NE(second->job(pending_id), nullptr);    // unfinished: revived
+}
+
+TEST(Recovery, RecoveredIdsDoNotCollideWithNewSubmissions) {
+  GridFixture grid;
+  auto first = grid.make_schedd();
+  const JobId a = first->submit(pool::make_hello_job());
+  const JobId b = first->submit(pool::make_hello_job());
+  first.reset();
+
+  auto second = grid.make_schedd();
+  second->recover_from_spool();
+  const JobId fresh = second->submit(pool::make_hello_job());
+  EXPECT_NE(fresh.value(), a.value());
+  EXPECT_NE(fresh.value(), b.value());
+  EXPECT_GT(fresh.value(), b.value());
+}
+
+TEST(Recovery, CorruptJournalLinesAreSkipped) {
+  GridFixture grid;
+  auto first = grid.make_schedd();
+  (void)first->submit(pool::make_hello_job());
+  first.reset();
+  // Vandalize the journal with garbage and torn lines.
+  {
+    Result<fs::FileHandle> h =
+        grid.submit_fs.open("/spool/journal.log", fs::OpenMode::kAppend);
+    ASSERT_TRUE(h.ok());
+    ASSERT_TRUE(h.value().write("SUBMIT not-a-number [broken\n").ok());
+    ASSERT_TRUE(h.value().write("GARBAGE LINE\n").ok());
+    ASSERT_TRUE(h.value().write("SUBMIT 77\n").ok());  // torn: no ad
+  }
+  auto second = grid.make_schedd();
+  EXPECT_EQ(second->recover_from_spool(), 1u);  // only the real one
+}
+
+TEST(Recovery, EmptySpoolRecoversNothing) {
+  GridFixture grid;
+  auto schedd = grid.make_schedd();
+  EXPECT_EQ(schedd->recover_from_spool(), 0u);
+}
+
+TEST(Recovery, ProgramContentSurvivesTheRoundTrip) {
+  GridFixture grid;
+  auto first = grid.make_schedd();
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("Precious")
+                    .compute(SimTime::sec(9))
+                    .alloc(123)
+                    .exit(5)
+                    .build();
+  job.owner = "alice";
+  job.output_files = {"x.dat"};
+  const JobId id = first->submit(std::move(job));
+  first.reset();
+
+  auto second = grid.make_schedd();
+  ASSERT_EQ(second->recover_from_spool(), 1u);
+  const JobRecord* record = second->job(id);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->description.owner, "alice");
+  EXPECT_EQ(record->description.program.main_class, "Precious");
+  ASSERT_EQ(record->description.program.ops.size(), 3u);
+  EXPECT_EQ(record->description.output_files,
+            (std::vector<std::string>{"x.dat"}));
+  EXPECT_TRUE(record->description.program.verifies());
+}
+
+}  // namespace
+}  // namespace esg::daemons

@@ -1,0 +1,128 @@
+// Tests for implicit errors and the end-to-end layer (§5).
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/reliable.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+daemons::JobDescription producing_job() {
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("producer")
+                    .compute(SimTime::sec(5))
+                    .open_write("answer.dat", 0)
+                    .write(0, 256)
+                    .close_stream(0)
+                    .build();
+  job.output_files = {"answer.dat"};
+  return job;
+}
+
+TEST(SilentCorruption, FsFlipsBytesWithoutReportingErrors) {
+  fs::SimFileSystem fs("host");
+  fs.set_silent_corruption_rate(1.0, Rng(9));
+  const std::string payload(256, 'A');
+  ASSERT_TRUE(fs.write_file("/f", payload).ok());
+  Result<std::string> r = fs.read_file("/f");
+  ASSERT_TRUE(r.ok());              // presented as valid...
+  EXPECT_NE(r.value(), payload);    // ...but false: the implicit error
+  EXPECT_GE(fs.corruptions_injected(), 1u);
+  // The stored data itself is intact: only the read path lies.
+  fs.set_silent_corruption_rate(0.0, Rng(9));
+  EXPECT_EQ(fs.read_file("/f").value(), payload);
+}
+
+TEST(SilentCorruption, SmallMetadataReadsAreSpared) {
+  fs::SimFileSystem fs("host");
+  fs.set_silent_corruption_rate(1.0, Rng(9));
+  ASSERT_TRUE(fs.write_file("/cookie", "tiny-secret").ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fs.read_file("/cookie").value(), "tiny-secret");
+  }
+}
+
+TEST(SilentCorruption, ZeroRateNeverCorrupts) {
+  fs::SimFileSystem fs("host");
+  ASSERT_TRUE(fs.write_file("/f", std::string(1024, 'x')).ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fs.read_file("/f").value(), std::string(1024, 'x'));
+  }
+  EXPECT_EQ(fs.corruptions_injected(), 0u);
+}
+
+TEST(Reliable, SingleCopyDeliversCorruptedOutputUnnoticed) {
+  // The grid works "correctly" — no component ever sees an error — yet the
+  // user receives wrong bytes. This is why the end-to-end layer exists.
+  PoolConfig config;
+  config.seed = 83;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec liar = MachineSpec::good("liar0");
+  liar.silent_corruption_rate = 1.0;  // every read lies
+  config.machines.push_back(liar);
+  Pool pool(config);
+  const std::vector<JobId> ids = submit_redundant(pool, producing_job(), 1);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const ReliableResult r = vote_outputs(pool, ids, "answer.dat");
+  ASSERT_TRUE(r.delivered);                    // nothing flagged anything
+  EXPECT_FALSE(r.implicit_error_detected);     // one copy: undetectable
+  EXPECT_NE(r.output, std::string(256, '\0'));  // ...and it is wrong
+}
+
+TEST(Reliable, ThreeCopiesDetectAndMaskMinorityCorruption) {
+  PoolConfig config;
+  config.seed = 84;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec liar = MachineSpec::good("aaa_liar");
+  liar.silent_corruption_rate = 1.0;
+  config.machines.push_back(liar);
+  config.machines.push_back(MachineSpec::good("zzz_honest0"));
+  config.machines.push_back(MachineSpec::good("zzz_honest1"));
+  Pool pool(config);
+  const std::vector<JobId> ids = submit_redundant(pool, producing_job(), 3);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const ReliableResult r = vote_outputs(pool, ids, "answer.dat");
+  ASSERT_EQ(r.outputs_collected, 3);
+  ASSERT_TRUE(r.delivered);
+  // Whether detection fires depends on which machines the replicas landed
+  // on; at minimum the delivered answer must be the honest one.
+  EXPECT_EQ(r.output, std::string(256, '\0'));
+  EXPECT_GE(r.agreeing, 2);
+}
+
+TEST(Reliable, AllHonestMachinesAgreeUnanimously) {
+  PoolConfig config;
+  config.seed = 85;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  config.machines.push_back(MachineSpec::good("exec1"));
+  Pool pool(config);
+  const std::vector<JobId> ids = submit_redundant(pool, producing_job(), 3);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  const ReliableResult r = vote_outputs(pool, ids, "answer.dat");
+  ASSERT_TRUE(r.delivered);
+  EXPECT_FALSE(r.implicit_error_detected);
+  EXPECT_EQ(r.agreeing, 3);
+  EXPECT_EQ(r.output, std::string(256, '\0'));
+}
+
+TEST(Reliable, MissingOutputsAreCountedNotFatal) {
+  PoolConfig config;
+  config.seed = 86;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  // A job that never writes its declared output.
+  daemons::JobDescription lazy;
+  lazy.program = jvm::ProgramBuilder("lazy").compute(SimTime::sec(1)).build();
+  lazy.output_files = {"answer.dat"};
+  const std::vector<JobId> ids = submit_redundant(pool, lazy, 2);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const ReliableResult r = vote_outputs(pool, ids, "answer.dat");
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.outputs_collected, 0);
+}
+
+}  // namespace
+}  // namespace esg::pool

@@ -1,0 +1,149 @@
+// Unit tests for filesystem retry policies (§5 NFS hard/soft/deadline).
+#include <gtest/gtest.h>
+
+#include "fs/retry.hpp"
+
+namespace esg::fs {
+namespace {
+
+struct RetryFixture {
+  sim::Engine engine{19};
+  SimFileSystem fs{"submit0"};
+  ScopeEscalator escalator = ScopeEscalator::grid_defaults();
+
+  RetryFixture() {
+    fs.add_mount("/home", 0);
+    EXPECT_TRUE(fs.write_file("/home/data", "payload").ok());
+  }
+
+  PolicyOutcome read(const RetryPolicy& policy, SimTime outage,
+                     SimTime limit = SimTime::hours(5)) {
+    if (outage > SimTime::zero()) {
+      fs.set_mount_online("/home", false);
+      engine.schedule(outage, [this] { fs.set_mount_online("/home", true); });
+    }
+    PolicyOutcome out;
+    bool done = false;
+    read_with_policy(engine, fs, "/home/data", policy, escalator,
+                     [&](PolicyOutcome o) {
+                       out = std::move(o);
+                       done = true;
+                     });
+    engine.run(limit);
+    EXPECT_TRUE(done) << "policy never completed";
+    return out;
+  }
+};
+
+TEST(Retry, ImmediateSuccessNeedsOneAttempt) {
+  RetryFixture f;
+  const PolicyOutcome out = f.read(RetryPolicy::hard(), SimTime::zero());
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.data, "payload");
+}
+
+TEST(Retry, HardWaitsOutAnyOutage) {
+  RetryFixture f;
+  const PolicyOutcome out = f.read(RetryPolicy::hard(), SimTime::minutes(10));
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_GE(out.latency, SimTime::minutes(10));
+  EXPECT_GT(out.attempts, 100);  // one per second for ten minutes
+}
+
+TEST(Retry, SoftGivesUpAfterBudget) {
+  RetryFixture f;
+  const PolicyOutcome out =
+      f.read(RetryPolicy::soft(3, SimTime::sec(1)), SimTime::minutes(10));
+  ASSERT_FALSE(out.succeeded);
+  EXPECT_EQ(out.attempts, 4);  // initial try + 3 retries
+  ASSERT_TRUE(out.error.has_value());
+  EXPECT_EQ(out.error->kind(), ErrorKind::kConnectionTimedOut);
+  EXPECT_EQ(out.error->scope(), ErrorScope::kNetwork);
+  // The true cause is preserved underneath.
+  ASSERT_NE(out.error->cause(), nullptr);
+  EXPECT_EQ(out.error->cause()->kind(), ErrorKind::kMountOffline);
+}
+
+TEST(Retry, SoftSucceedsWithinBudget) {
+  RetryFixture f;
+  const PolicyOutcome out =
+      f.read(RetryPolicy::soft(5, SimTime::sec(1)), SimTime::sec(3));
+  EXPECT_TRUE(out.succeeded);
+}
+
+TEST(Retry, DeadlineSurvivesShortOutage) {
+  RetryFixture f;
+  const PolicyOutcome out = f.read(
+      RetryPolicy::with_deadline(SimTime::minutes(1), SimTime::sec(1)),
+      SimTime::sec(20));
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_GE(out.latency, SimTime::sec(20));
+}
+
+TEST(Retry, DeadlineEscalatesScopeOnExpiry) {
+  RetryFixture f;
+  const PolicyOutcome out = f.read(
+      RetryPolicy::with_deadline(SimTime::minutes(1), SimTime::sec(2)),
+      SimTime::hours(1));
+  ASSERT_FALSE(out.succeeded);
+  ASSERT_TRUE(out.error.has_value());
+  // 60s of persistence crosses the 30s network->remote-resource rule.
+  EXPECT_EQ(out.error->scope(), ErrorScope::kRemoteResource);
+  EXPECT_GE(out.latency, SimTime::minutes(1));
+}
+
+TEST(Retry, NonRetryableErrorsSurfaceImmediately) {
+  RetryFixture f;
+  PolicyOutcome out;
+  bool done = false;
+  read_with_policy(f.engine, f.fs, "/home/never_created",
+                   RetryPolicy::hard(), f.escalator, [&](PolicyOutcome o) {
+                     out = std::move(o);
+                     done = true;
+                   });
+  f.engine.run(SimTime::minutes(1));
+  ASSERT_TRUE(done);
+  ASSERT_FALSE(out.succeeded);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.error->kind(), ErrorKind::kFileNotFound);
+}
+
+TEST(Retry, IsRetryableClassification) {
+  EXPECT_TRUE(is_retryable(Error(ErrorKind::kMountOffline)));
+  EXPECT_TRUE(is_retryable(Error(ErrorKind::kIoError)));
+  EXPECT_TRUE(is_retryable(Error(ErrorKind::kConnectionLost)));
+  EXPECT_FALSE(is_retryable(Error(ErrorKind::kFileNotFound)));
+  EXPECT_FALSE(is_retryable(Error(ErrorKind::kAccessDenied)));
+  EXPECT_FALSE(is_retryable(Error(ErrorKind::kDiskFull)));
+}
+
+TEST(Retry, TransientIoErrorsAreAlsoRetried) {
+  RetryFixture f;
+  // 60% transient failure rate: hard mount grinds through it.
+  f.fs.set_transient_fault_rate(0.6, Rng(5));
+  const PolicyOutcome out = f.read(RetryPolicy::hard(), SimTime::zero());
+  EXPECT_TRUE(out.succeeded);
+}
+
+// Parameterized sweep: for every policy, a zero-length outage must succeed
+// on the first attempt with zero latency.
+class PolicySweep : public ::testing::TestWithParam<RetryPolicy::Mode> {};
+
+TEST_P(PolicySweep, NoFaultNoLatency) {
+  RetryFixture f;
+  RetryPolicy policy;
+  policy.mode = GetParam();
+  const PolicyOutcome out = f.read(policy, SimTime::zero());
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.latency, SimTime::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PolicySweep,
+                         ::testing::Values(RetryPolicy::Mode::kHard,
+                                           RetryPolicy::Mode::kSoft,
+                                           RetryPolicy::Mode::kDeadline));
+
+}  // namespace
+}  // namespace esg::fs

@@ -1,0 +1,202 @@
+// Unit tests for the discrete-event engine, RNG, and metrics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+
+namespace esg::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(SimTime::sec(3), [&] { order.push_back(3); });
+  engine.schedule(SimTime::sec(1), [&] { order.push_back(1); });
+  engine.schedule(SimTime::sec(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), SimTime::sec(3));
+}
+
+TEST(Engine, EqualTimesRunInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(SimTime::sec(1), [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, NestedSchedulingAdvancesClock) {
+  Engine engine;
+  SimTime inner_time;
+  engine.schedule(SimTime::sec(1), [&] {
+    engine.schedule(SimTime::sec(2), [&] { inner_time = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(inner_time, SimTime::sec(3));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  TimerHandle handle = engine.schedule(SimTime::sec(1), [&] { ran = true; });
+  handle.cancel();
+  engine.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Engine, RunUntilPredicate) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    engine.schedule(SimTime::sec(1), tick);
+  };
+  engine.schedule(SimTime::sec(1), tick);
+  const bool reached = engine.run_until([&] { return count >= 5; },
+                                        SimTime::hours(1));
+  EXPECT_TRUE(reached);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, RunRespectsLimit) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    engine.schedule(SimTime::sec(10), tick);
+  };
+  engine.schedule(SimTime::sec(10), tick);
+  engine.run(SimTime::sec(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(engine.now(), SimTime::sec(35));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine(123);
+    std::vector<std::uint64_t> draws;
+    for (int i = 0; i < 8; ++i) draws.push_back(engine.rng().next_u64());
+    return draws;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const std::int64_t n = rng.uniform_int(3, 9);
+    EXPECT_GE(n, 3);
+    EXPECT_LE(n, 9);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ForkByLabelIsStable) {
+  Rng a(99);
+  Rng b(99);
+  EXPECT_EQ(a.fork("schedd").next_u64(), b.fork("schedd").next_u64());
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights{0, 10, 0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Metrics, HistogramQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.quantile(0.5), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Metrics, EmptyHistogramIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+}
+
+TEST(Metrics, RegistryNamesAreStable) {
+  MetricsRegistry reg;
+  reg.counter("jobs").add(3);
+  reg.counter("jobs").add(2);
+  EXPECT_EQ(reg.counter_value("jobs"), 5);
+  EXPECT_EQ(reg.counter_value("absent"), 0);
+}
+
+TEST(SimTimeTest, ArithmeticAndFormat) {
+  EXPECT_EQ(SimTime::sec(2) + SimTime::msec(500), SimTime::msec(2500));
+  EXPECT_EQ((SimTime::sec(10) - SimTime::sec(4)).as_sec(), 6.0);
+  EXPECT_EQ(SimTime::sec(1).str(), "1.000s");
+  EXPECT_LT(SimTime::msec(1), SimTime::sec(1));
+}
+
+}  // namespace
+}  // namespace esg::sim
+
+namespace esg::sim {
+namespace {
+
+TEST(Engine, EventCapStopsRunawayLoops) {
+  Engine engine;
+  engine.set_event_cap(100);
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    engine.schedule(SimTime::usec(1), forever);
+  };
+  engine.schedule(SimTime::usec(1), forever);
+  engine.run();
+  EXPECT_LE(count, 101);
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine engine;
+  int count = 0;
+  engine.schedule(SimTime::sec(1), [&] { ++count; });
+  engine.schedule(SimTime::sec(2), [&] { ++count; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, PendingCountsUncancelledEvents) {
+  Engine engine;
+  TimerHandle h1 = engine.schedule(SimTime::sec(1), [] {});
+  engine.schedule(SimTime::sec(2), [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  h1.cancel();
+  // Cancelled events stay queued but do not execute.
+  engine.run();
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+}  // namespace
+}  // namespace esg::sim

@@ -1,0 +1,113 @@
+// The Standard universe: re-linked binaries with remote I/O and
+// transparent checkpointing (§2.1), but no wrapper — results are exit
+// codes only.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+daemons::JobDescription standard_job(jvm::JobProgram program) {
+  daemons::JobDescription job;
+  job.universe = daemons::Universe::kStandard;
+  job.requirements = "true";  // no JVM needed
+  job.program = std::move(program);
+  return job;
+}
+
+TEST(StandardUniverse, RunsWithRemoteIoOnMachinesWithoutJava) {
+  PoolConfig config;
+  config.seed = 91;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec nojava = MachineSpec::good("nojava0");
+  nojava.startd.owner_asserts_java = false;
+  nojava.startd.jvm.installed = false;  // truly no JVM anywhere
+  config.machines.push_back(nojava);
+  Pool pool(config);
+  stage_workload_inputs(pool);
+
+  const JobId id = pool.submit(standard_job(
+      jvm::ProgramBuilder("relinked")
+          .open_read("/home/data/input.dat", 0)  // remote syscall via shadow
+          .read(0, 2048)
+          .close_stream(0)
+          .compute(SimTime::sec(5))
+          .open_write("/home/data/out.bin", 1)
+          .write(1, 512)
+          .close_stream(1)
+          .build()));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  EXPECT_EQ(pool.submit_fs().stat("/home/data/out.bin").value().size, 512u);
+}
+
+TEST(StandardUniverse, CheckpointsEvenWhenDisciplineDisablesThem) {
+  // Checkpointing is the universe's defining feature, not a config knob.
+  PoolConfig config;
+  config.seed = 92;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = false;  // java universe would not ckpt
+  config.discipline.checkpoint_interval = SimTime::minutes(1);
+  config.machines.push_back(MachineSpec::good("aaa_desk"));
+  config.machines.push_back(MachineSpec::good("zzz_farm"));
+  Pool pool(config);
+
+  jvm::ProgramBuilder builder("longhaul");
+  for (int i = 0; i < 10; ++i) builder.compute(SimTime::minutes(2));
+  const JobId id = pool.submit(standard_job(builder.build()));
+  pool.boot();
+  pool.engine().schedule(SimTime::minutes(11), [&pool] {
+    pool.startd("aaa_desk")->set_owner_active(true);
+    pool.startd("zzz_farm")->set_owner_active(false);
+  });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(3)));
+  ASSERT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  double total_cpu = 0;
+  for (const auto& truth : pool.ground_truth().entries()) {
+    total_cpu += truth.cpu_seconds;
+  }
+  // Resumed, not restarted: total compute stays near the program's 20 min.
+  EXPECT_LT(total_cpu, 26 * 60.0);
+}
+
+TEST(StandardUniverse, ExitCodeOnlyEvenUnderScopedDiscipline) {
+  // No wrapper exists for native binaries: an environmental error inside
+  // the program surfaces as exit code 1 (the Figure 4 conflation), even
+  // though the rest of the grid runs the redesigned discipline.
+  PoolConfig config;
+  config.seed = 93;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  // The program reads a remote file whose home filesystem is permanently
+  // offline: concise library escapes, but nothing reads the scope.
+  pool.submit(standard_job(jvm::ProgramBuilder("reader")
+                               .open_read("/home/data/gone", 0)
+                               .read(0, 64)
+                               .build()));
+  pool.boot();
+  pool.submit_fs().set_mount_online("/home", false);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const PoolReport report = pool.report();
+  // The incidental condition reached the user as a program result.
+  EXPECT_EQ(report.user_incidental_exposures, 1);
+}
+
+TEST(StandardUniverse, SummaryAdRoundTripsUniverse) {
+  daemons::JobDescription job = standard_job(
+      jvm::ProgramBuilder("x").compute(SimTime::sec(1)).build());
+  job.id = JobId{4};
+  Result<classad::ClassAd> ad = job.to_full_ad();
+  ASSERT_TRUE(ad.ok());
+  EXPECT_EQ(ad.value().eval_string("JobUniverse"), "standard");
+  Result<daemons::JobDescription> back =
+      daemons::JobDescription::from_ad(ad.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().universe, daemons::Universe::kStandard);
+}
+
+}  // namespace
+}  // namespace esg::pool

@@ -1,0 +1,158 @@
+// Tests for the condor_submit-style submit description language.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/submit.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+struct SubmitFixture {
+  fs::SimFileSystem fs{"submit0"};
+
+  SubmitFixture() {
+    const jvm::JobProgram program = jvm::ProgramBuilder("Sim")
+                                        .compute(SimTime::sec(10))
+                                        .open_write("out.dat", 0)
+                                        .write(0, 64)
+                                        .close_stream(0)
+                                        .build();
+    EXPECT_TRUE(stage_program(fs, "/home/alice/sim.prog", program).ok());
+  }
+};
+
+TEST(SubmitFile, FullDescriptionParses) {
+  SubmitFixture f;
+  ASSERT_TRUE(f.fs.write_file("/home/alice/a.dat", "A").ok());
+  const char* text = R"(
+    # my simulation
+    universe              = java
+    executable            = /home/alice/sim.prog
+    requirements          = TARGET.HasJava =?= true && TARGET.Memory >= 64
+    rank                  = TARGET.Memory
+    owner                 = alice
+    image_size_mb         = 32
+    transfer_input_files  = /home/alice/a.dat
+    transfer_output_files = out.dat
+    queue 3
+  )";
+  Result<std::vector<daemons::JobDescription>> jobs =
+      parse_submit_text(f.fs, text);
+  ASSERT_TRUE(jobs.ok()) << jobs.error().str();
+  ASSERT_EQ(jobs.value().size(), 3u);
+  const daemons::JobDescription& job = jobs.value().front();
+  EXPECT_EQ(job.owner, "alice");
+  EXPECT_EQ(job.universe, daemons::Universe::kJava);
+  EXPECT_EQ(job.image_size_mb, 32);
+  EXPECT_EQ(job.program.main_class, "Sim");
+  EXPECT_EQ(job.input_files, (std::vector<std::string>{"/home/alice/a.dat"}));
+  EXPECT_EQ(job.output_files, (std::vector<std::string>{"out.dat"}));
+}
+
+TEST(SubmitFile, MultipleQueueStatementsVaryThePrototype) {
+  SubmitFixture f;
+  const char* text = R"(
+    executable = /home/alice/sim.prog
+    owner = alice
+    queue 1
+    owner = bob
+    queue 2
+  )";
+  Result<std::vector<daemons::JobDescription>> jobs =
+      parse_submit_text(f.fs, text);
+  ASSERT_TRUE(jobs.ok());
+  ASSERT_EQ(jobs.value().size(), 3u);
+  EXPECT_EQ(jobs.value()[0].owner, "alice");
+  EXPECT_EQ(jobs.value()[1].owner, "bob");
+  EXPECT_EQ(jobs.value()[2].owner, "bob");
+}
+
+TEST(SubmitFile, VanillaDefaultsDropJavaRequirement) {
+  SubmitFixture f;
+  const char* text =
+      "universe = vanilla\nexecutable = /home/alice/sim.prog\nqueue\n";
+  Result<std::vector<daemons::JobDescription>> jobs =
+      parse_submit_text(f.fs, text);
+  ASSERT_TRUE(jobs.ok());
+  EXPECT_EQ(jobs.value()[0].universe, daemons::Universe::kVanilla);
+  EXPECT_EQ(jobs.value()[0].requirements, "true");
+}
+
+TEST(SubmitFile, Rejections) {
+  SubmitFixture f;
+  // Unknown key (a typo must not be silently ignored).
+  EXPECT_FALSE(parse_submit_text(
+                   f.fs,
+                   "executable = /home/alice/sim.prog\nrankk = 1\nqueue\n")
+                   .ok());
+  // Missing executable.
+  EXPECT_FALSE(parse_submit_text(f.fs, "owner = x\nqueue\n").ok());
+  // No queue statement.
+  EXPECT_FALSE(
+      parse_submit_text(f.fs, "executable = /home/alice/sim.prog\n").ok());
+  // Nonexistent executable.
+  EXPECT_FALSE(
+      parse_submit_text(f.fs, "executable = /no/such\nqueue\n").ok());
+  // Bad queue count.
+  EXPECT_FALSE(parse_submit_text(
+                   f.fs, "executable = /home/alice/sim.prog\nqueue -2\n")
+                   .ok());
+  // Unknown universe.
+  EXPECT_FALSE(
+      parse_submit_text(
+          f.fs, "universe = pvm\nexecutable = /home/alice/sim.prog\nqueue\n")
+          .ok());
+  // Unparsable requirements expression.
+  EXPECT_FALSE(parse_submit_text(f.fs,
+                                 "executable = /home/alice/sim.prog\n"
+                                 "requirements = ((broken\nqueue\n")
+                   .ok());
+}
+
+TEST(SubmitFile, GarbageExecutableRejectedAtSubmitTime) {
+  SubmitFixture f;
+  ASSERT_TRUE(f.fs.write_file("/home/alice/garbage", "op bogus x y").ok());
+  Result<std::vector<daemons::JobDescription>> jobs = parse_submit_text(
+      f.fs, "executable = /home/alice/garbage\nqueue\n");
+  ASSERT_FALSE(jobs.ok());
+  EXPECT_EQ(jobs.error().scope(), ErrorScope::kJob);
+}
+
+TEST(SubmitFile, EndToEndThroughThePool) {
+  PoolConfig config;
+  config.seed = 121;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.machines.push_back(MachineSpec::good("exec0"));
+  config.machines.push_back(MachineSpec::good("exec1"));
+  Pool pool(config);
+
+  const jvm::JobProgram program = jvm::ProgramBuilder("Batch")
+                                      .compute(SimTime::sec(5))
+                                      .open_write("result.dat", 0)
+                                      .write(0, 128)
+                                      .close_stream(0)
+                                      .build();
+  ASSERT_TRUE(
+      stage_program(pool.submit_fs(), "/home/user/batch.prog", program).ok());
+  ASSERT_TRUE(pool.submit_fs()
+                  .write_file("/home/user/batch.submit",
+                              "executable = /home/user/batch.prog\n"
+                              "transfer_output_files = result.dat\n"
+                              "queue 4\n")
+                  .ok());
+  Result<std::vector<daemons::JobDescription>> jobs =
+      parse_submit_file(pool.submit_fs(), "/home/user/batch.submit");
+  ASSERT_TRUE(jobs.ok());
+  std::vector<JobId> ids;
+  for (auto& job : jobs.value()) ids.push_back(pool.submit(std::move(job)));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  for (const JobId id : ids) {
+    EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+    EXPECT_TRUE(pool.submit_fs().exists(
+        "/out/job_" + std::to_string(id.value()) + "/result.dat"));
+  }
+}
+
+}  // namespace
+}  // namespace esg::pool

@@ -1,0 +1,115 @@
+// Tests for the shadow's inactivity watchdog and the starter keepalive.
+#include <gtest/gtest.h>
+
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+TEST(Watchdog, LongQuietComputeSurvivesThanksToKeepalives) {
+  PoolConfig config;
+  config.seed = 3;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.job_watchdog = SimTime::minutes(12);
+  config.timeouts.keepalive_interval = SimTime::minutes(5);
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  daemons::JobDescription job;
+  // A full hour of silent compute: far beyond the watchdog, fine with
+  // keepalives flowing.
+  job.program = jvm::ProgramBuilder("quiet").compute(SimTime::hours(1)).build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(3)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  EXPECT_EQ(record->state, daemons::JobState::kCompleted);
+  EXPECT_EQ(record->attempts.size(), 1u);
+}
+
+TEST(Watchdog, TrulySilentStarterIsAborted) {
+  // Break keepalives by making them far rarer than the watchdog: a
+  // genuinely hung execution site is then detected and the job retried.
+  PoolConfig config;
+  config.seed = 3;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.job_watchdog = SimTime::minutes(5);
+  config.timeouts.keepalive_interval = SimTime::hours(10);
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  daemons::JobDescription job;
+  job.program = jvm::ProgramBuilder("quiet").compute(SimTime::hours(1)).build();
+  const JobId id = pool.submit(std::move(job));
+  // The watchdog fires repeatedly; with only one machine the job keeps
+  // being retried and never finishes within the horizon.
+  EXPECT_FALSE(pool.run_until_done(SimTime::minutes(40)));
+  const daemons::JobRecord* record = pool.schedd().job(id);
+  ASSERT_FALSE(record->attempts.empty());
+  const auto& summary = record->attempts.front().summary;
+  ASSERT_FALSE(summary.have_program_result);
+  ASSERT_TRUE(summary.environment_error.has_value());
+  ASSERT_NE(summary.environment_error->label("watchdog"), nullptr);
+}
+
+TEST(Watchdog, RemoteIoTrafficAlsoCountsAsLife) {
+  // A job doing steady remote I/O keeps the shadow busy serving it; the
+  // watchdog must treat that as activity even without keepalives.
+  PoolConfig config;
+  config.seed = 3;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.job_watchdog = SimTime::minutes(3);
+  config.timeouts.keepalive_interval = SimTime::hours(10);  // effectively off
+  config.machines.push_back(MachineSpec::good("exec0"));
+  Pool pool(config);
+  stage_workload_inputs(pool);
+  jvm::ProgramBuilder builder("reader");
+  builder.open_read("/home/data/input.dat", 0);
+  for (int i = 0; i < 30; ++i) {
+    builder.compute(SimTime::minutes(2)).read(0, 512);
+  }
+  builder.close_stream(0);
+  daemons::JobDescription job;
+  job.program = builder.build();
+  const JobId id = pool.submit(std::move(job));
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(4)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted);
+  EXPECT_EQ(pool.schedd().job(id)->attempts.size(), 1u);
+}
+
+TEST(Escalation, EvictionChurnIsNotAPersistentFault) {
+  // A machine that evicts after substantial progress must not drive the
+  // escalation streak to give-up: progress resets it.
+  PoolConfig config;
+  config.seed = 3;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.checkpointing = true;
+  config.discipline.checkpoint_interval = SimTime::minutes(2);
+  config.machines.push_back(MachineSpec::good("desk0"));
+  Pool pool(config);
+  jvm::ProgramBuilder builder("long");
+  for (int i = 0; i < 30; ++i) builder.compute(SimTime::minutes(2));
+  daemons::JobDescription job;
+  job.program = builder.build();
+  const JobId id = pool.submit(std::move(job));
+  pool.boot();
+  // The owner flaps every 10 minutes, forever.
+  struct Flapper {
+    Pool* pool;
+    bool active = false;
+    void flap() {
+      active = !active;
+      pool->startd("desk0")->set_owner_active(active);
+      pool->engine().schedule(active ? SimTime::minutes(1)
+                                     : SimTime::minutes(10),
+                              [this] { flap(); });
+    }
+  };
+  static Flapper flapper;
+  flapper = Flapper{&pool};
+  pool.engine().schedule(SimTime::minutes(10), [] { flapper.flap(); });
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(10)));
+  EXPECT_EQ(pool.schedd().job(id)->state, daemons::JobState::kCompleted)
+      << pool.schedd().job(id)->final_summary.str();
+}
+
+}  // namespace
+}  // namespace esg::pool
