@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fixes.dir/ablation_fixes.cpp.o"
+  "CMakeFiles/ablation_fixes.dir/ablation_fixes.cpp.o.d"
+  "ablation_fixes"
+  "ablation_fixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackhole.dir/blackhole.cpp.o"
+  "CMakeFiles/blackhole.dir/blackhole.cpp.o.d"
+  "blackhole"
+  "blackhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

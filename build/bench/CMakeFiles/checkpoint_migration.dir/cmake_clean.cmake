@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_migration.dir/checkpoint_migration.cpp.o"
+  "CMakeFiles/checkpoint_migration.dir/checkpoint_migration.cpp.o.d"
+  "checkpoint_migration"
+  "checkpoint_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chirp_bench.dir/chirp_bench.cpp.o"
+  "CMakeFiles/chirp_bench.dir/chirp_bench.cpp.o.d"
+  "chirp_bench"
+  "chirp_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chirp_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classad_bench.dir/classad_bench.cpp.o"
+  "CMakeFiles/classad_bench.dir/classad_bench.cpp.o.d"
+  "classad_bench"
+  "classad_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classad_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend.dir/endtoend.cpp.o"
+  "CMakeFiles/endtoend.dir/endtoend.cpp.o.d"
+  "endtoend"
+  "endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

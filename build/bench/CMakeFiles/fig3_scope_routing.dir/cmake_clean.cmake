@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_scope_routing.dir/fig3_scope_routing.cpp.o"
+  "CMakeFiles/fig3_scope_routing.dir/fig3_scope_routing.cpp.o.d"
+  "fig3_scope_routing"
+  "fig3_scope_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_scope_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_jvm_result_codes.dir/fig4_jvm_result_codes.cpp.o"
+  "CMakeFiles/fig4_jvm_result_codes.dir/fig4_jvm_result_codes.cpp.o.d"
+  "fig4_jvm_result_codes"
+  "fig4_jvm_result_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_jvm_result_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_jvm_result_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_jvm_result_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fs_bench.cpp" "bench/CMakeFiles/fs_bench.dir/fs_bench.cpp.o" "gcc" "bench/CMakeFiles/fs_bench.dir/fs_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pool/CMakeFiles/esg_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/daemons/CMakeFiles/esg_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/esg_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/esg_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/esg_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/esg_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_bench.dir/fs_bench.cpp.o"
+  "CMakeFiles/fs_bench.dir/fs_bench.cpp.o.d"
+  "fs_bench"
+  "fs_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

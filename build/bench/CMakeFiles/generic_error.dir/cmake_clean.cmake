@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_error.dir/generic_error.cpp.o"
+  "CMakeFiles/generic_error.dir/generic_error.cpp.o.d"
+  "generic_error"
+  "generic_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/initial_experience.dir/initial_experience.cpp.o"
+  "CMakeFiles/initial_experience.dir/initial_experience.cpp.o.d"
+  "initial_experience"
+  "initial_experience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/initial_experience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

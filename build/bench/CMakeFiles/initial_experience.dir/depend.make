@@ -1,0 +1,2 @@
+# Empty dependencies file for initial_experience.
+# This may be replaced when dependencies are built.

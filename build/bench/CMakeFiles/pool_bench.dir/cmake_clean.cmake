@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_bench.dir/pool_bench.cpp.o"
+  "CMakeFiles/pool_bench.dir/pool_bench.cpp.o.d"
+  "pool_bench"
+  "pool_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_bench.dir/sim_bench.cpp.o"
+  "CMakeFiles/sim_bench.dir/sim_bench.cpp.o.d"
+  "sim_bench"
+  "sim_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

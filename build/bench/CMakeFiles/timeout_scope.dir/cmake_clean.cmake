@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_scope.dir/timeout_scope.cpp.o"
+  "CMakeFiles/timeout_scope.dir/timeout_scope.cpp.o.d"
+  "timeout_scope"
+  "timeout_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

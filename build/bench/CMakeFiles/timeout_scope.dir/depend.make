@@ -1,0 +1,2 @@
+# Empty dependencies file for timeout_scope.
+# This may be replaced when dependencies are built.

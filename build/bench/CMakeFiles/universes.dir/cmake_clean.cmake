@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universes.dir/universes.cpp.o"
+  "CMakeFiles/universes.dir/universes.cpp.o.d"
+  "universes"
+  "universes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blackhole_pool.dir/blackhole_pool.cpp.o"
+  "CMakeFiles/blackhole_pool.dir/blackhole_pool.cpp.o.d"
+  "blackhole_pool"
+  "blackhole_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blackhole_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

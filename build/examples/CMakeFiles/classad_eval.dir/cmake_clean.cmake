@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classad_eval.dir/classad_eval.cpp.o"
+  "CMakeFiles/classad_eval.dir/classad_eval.cpp.o.d"
+  "classad_eval"
+  "classad_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classad_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

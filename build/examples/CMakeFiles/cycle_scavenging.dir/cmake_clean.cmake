@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_scavenging.dir/cycle_scavenging.cpp.o"
+  "CMakeFiles/cycle_scavenging.dir/cycle_scavenging.cpp.o.d"
+  "cycle_scavenging"
+  "cycle_scavenging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_scavenging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

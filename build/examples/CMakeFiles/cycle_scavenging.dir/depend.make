@@ -1,0 +1,2 @@
+# Empty dependencies file for cycle_scavenging.
+# This may be replaced when dependencies are built.

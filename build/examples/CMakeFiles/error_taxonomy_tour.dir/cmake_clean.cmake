@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_taxonomy_tour.dir/error_taxonomy_tour.cpp.o"
+  "CMakeFiles/error_taxonomy_tour.dir/error_taxonomy_tour.cpp.o.d"
+  "error_taxonomy_tour"
+  "error_taxonomy_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_taxonomy_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

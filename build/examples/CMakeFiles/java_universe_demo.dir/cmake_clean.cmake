@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_universe_demo.dir/java_universe_demo.cpp.o"
+  "CMakeFiles/java_universe_demo.dir/java_universe_demo.cpp.o.d"
+  "java_universe_demo"
+  "java_universe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_universe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for java_universe_demo.
+# This may be replaced when dependencies are built.

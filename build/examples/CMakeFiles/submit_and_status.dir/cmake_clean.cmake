@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submit_and_status.dir/submit_and_status.cpp.o"
+  "CMakeFiles/submit_and_status.dir/submit_and_status.cpp.o.d"
+  "submit_and_status"
+  "submit_and_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submit_and_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

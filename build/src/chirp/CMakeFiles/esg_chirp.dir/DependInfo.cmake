@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chirp/client.cpp" "src/chirp/CMakeFiles/esg_chirp.dir/client.cpp.o" "gcc" "src/chirp/CMakeFiles/esg_chirp.dir/client.cpp.o.d"
+  "/root/repo/src/chirp/protocol.cpp" "src/chirp/CMakeFiles/esg_chirp.dir/protocol.cpp.o" "gcc" "src/chirp/CMakeFiles/esg_chirp.dir/protocol.cpp.o.d"
+  "/root/repo/src/chirp/server.cpp" "src/chirp/CMakeFiles/esg_chirp.dir/server.cpp.o" "gcc" "src/chirp/CMakeFiles/esg_chirp.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/esg_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

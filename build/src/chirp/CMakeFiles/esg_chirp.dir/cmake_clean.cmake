@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_chirp.dir/client.cpp.o"
+  "CMakeFiles/esg_chirp.dir/client.cpp.o.d"
+  "CMakeFiles/esg_chirp.dir/protocol.cpp.o"
+  "CMakeFiles/esg_chirp.dir/protocol.cpp.o.d"
+  "CMakeFiles/esg_chirp.dir/server.cpp.o"
+  "CMakeFiles/esg_chirp.dir/server.cpp.o.d"
+  "libesg_chirp.a"
+  "libesg_chirp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

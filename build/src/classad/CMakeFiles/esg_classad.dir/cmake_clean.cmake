@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_classad.dir/builtins.cpp.o"
+  "CMakeFiles/esg_classad.dir/builtins.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/classad.cpp.o"
+  "CMakeFiles/esg_classad.dir/classad.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/expr.cpp.o"
+  "CMakeFiles/esg_classad.dir/expr.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/lexer.cpp.o"
+  "CMakeFiles/esg_classad.dir/lexer.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/match.cpp.o"
+  "CMakeFiles/esg_classad.dir/match.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/parser.cpp.o"
+  "CMakeFiles/esg_classad.dir/parser.cpp.o.d"
+  "CMakeFiles/esg_classad.dir/value.cpp.o"
+  "CMakeFiles/esg_classad.dir/value.cpp.o.d"
+  "libesg_classad.a"
+  "libesg_classad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesg_classad.a"
+)

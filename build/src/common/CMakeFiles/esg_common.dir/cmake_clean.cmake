@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_common.dir/log.cpp.o"
+  "CMakeFiles/esg_common.dir/log.cpp.o.d"
+  "CMakeFiles/esg_common.dir/rng.cpp.o"
+  "CMakeFiles/esg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/esg_common.dir/strings.cpp.o"
+  "CMakeFiles/esg_common.dir/strings.cpp.o.d"
+  "libesg_common.a"
+  "libesg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/esg_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/error.cpp" "src/core/CMakeFiles/esg_core.dir/error.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/error.cpp.o.d"
+  "/root/repo/src/core/escalate.cpp" "src/core/CMakeFiles/esg_core.dir/escalate.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/escalate.cpp.o.d"
+  "/root/repo/src/core/interface.cpp" "src/core/CMakeFiles/esg_core.dir/interface.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/interface.cpp.o.d"
+  "/root/repo/src/core/kinds.cpp" "src/core/CMakeFiles/esg_core.dir/kinds.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/kinds.cpp.o.d"
+  "/root/repo/src/core/router.cpp" "src/core/CMakeFiles/esg_core.dir/router.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/router.cpp.o.d"
+  "/root/repo/src/core/scope.cpp" "src/core/CMakeFiles/esg_core.dir/scope.cpp.o" "gcc" "src/core/CMakeFiles/esg_core.dir/scope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_core.dir/audit.cpp.o"
+  "CMakeFiles/esg_core.dir/audit.cpp.o.d"
+  "CMakeFiles/esg_core.dir/error.cpp.o"
+  "CMakeFiles/esg_core.dir/error.cpp.o.d"
+  "CMakeFiles/esg_core.dir/escalate.cpp.o"
+  "CMakeFiles/esg_core.dir/escalate.cpp.o.d"
+  "CMakeFiles/esg_core.dir/interface.cpp.o"
+  "CMakeFiles/esg_core.dir/interface.cpp.o.d"
+  "CMakeFiles/esg_core.dir/kinds.cpp.o"
+  "CMakeFiles/esg_core.dir/kinds.cpp.o.d"
+  "CMakeFiles/esg_core.dir/router.cpp.o"
+  "CMakeFiles/esg_core.dir/router.cpp.o.d"
+  "CMakeFiles/esg_core.dir/scope.cpp.o"
+  "CMakeFiles/esg_core.dir/scope.cpp.o.d"
+  "libesg_core.a"
+  "libesg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_daemons.dir/job.cpp.o"
+  "CMakeFiles/esg_daemons.dir/job.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/matchmaker.cpp.o"
+  "CMakeFiles/esg_daemons.dir/matchmaker.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/rpc.cpp.o"
+  "CMakeFiles/esg_daemons.dir/rpc.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/schedd.cpp.o"
+  "CMakeFiles/esg_daemons.dir/schedd.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/shadow.cpp.o"
+  "CMakeFiles/esg_daemons.dir/shadow.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/startd.cpp.o"
+  "CMakeFiles/esg_daemons.dir/startd.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/starter.cpp.o"
+  "CMakeFiles/esg_daemons.dir/starter.cpp.o.d"
+  "CMakeFiles/esg_daemons.dir/wire.cpp.o"
+  "CMakeFiles/esg_daemons.dir/wire.cpp.o.d"
+  "libesg_daemons.a"
+  "libesg_daemons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_fs.dir/retry.cpp.o"
+  "CMakeFiles/esg_fs.dir/retry.cpp.o.d"
+  "CMakeFiles/esg_fs.dir/simfs.cpp.o"
+  "CMakeFiles/esg_fs.dir/simfs.cpp.o.d"
+  "libesg_fs.a"
+  "libesg_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for esg_fs.
+# This may be replaced when dependencies are built.

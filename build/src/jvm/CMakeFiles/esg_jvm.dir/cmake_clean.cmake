@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_jvm.dir/javaio.cpp.o"
+  "CMakeFiles/esg_jvm.dir/javaio.cpp.o.d"
+  "CMakeFiles/esg_jvm.dir/jvm.cpp.o"
+  "CMakeFiles/esg_jvm.dir/jvm.cpp.o.d"
+  "CMakeFiles/esg_jvm.dir/program.cpp.o"
+  "CMakeFiles/esg_jvm.dir/program.cpp.o.d"
+  "CMakeFiles/esg_jvm.dir/resultfile.cpp.o"
+  "CMakeFiles/esg_jvm.dir/resultfile.cpp.o.d"
+  "libesg_jvm.a"
+  "libesg_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

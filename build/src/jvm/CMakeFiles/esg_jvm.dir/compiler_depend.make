@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esg_jvm.
+# This may be replaced when dependencies are built.

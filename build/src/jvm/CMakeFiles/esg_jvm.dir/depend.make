@@ -1,0 +1,2 @@
+# Empty dependencies file for esg_jvm.
+# This may be replaced when dependencies are built.

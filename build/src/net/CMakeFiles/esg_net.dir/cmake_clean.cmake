@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_net.dir/fabric.cpp.o"
+  "CMakeFiles/esg_net.dir/fabric.cpp.o.d"
+  "libesg_net.a"
+  "libesg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

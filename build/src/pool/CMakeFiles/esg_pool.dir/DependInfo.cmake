@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pool/pool.cpp" "src/pool/CMakeFiles/esg_pool.dir/pool.cpp.o" "gcc" "src/pool/CMakeFiles/esg_pool.dir/pool.cpp.o.d"
+  "/root/repo/src/pool/reliable.cpp" "src/pool/CMakeFiles/esg_pool.dir/reliable.cpp.o" "gcc" "src/pool/CMakeFiles/esg_pool.dir/reliable.cpp.o.d"
+  "/root/repo/src/pool/report.cpp" "src/pool/CMakeFiles/esg_pool.dir/report.cpp.o" "gcc" "src/pool/CMakeFiles/esg_pool.dir/report.cpp.o.d"
+  "/root/repo/src/pool/submit.cpp" "src/pool/CMakeFiles/esg_pool.dir/submit.cpp.o" "gcc" "src/pool/CMakeFiles/esg_pool.dir/submit.cpp.o.d"
+  "/root/repo/src/pool/workload.cpp" "src/pool/CMakeFiles/esg_pool.dir/workload.cpp.o" "gcc" "src/pool/CMakeFiles/esg_pool.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/daemons/CMakeFiles/esg_daemons.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/esg_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/chirp/CMakeFiles/esg_chirp.dir/DependInfo.cmake"
+  "/root/repo/build/src/classad/CMakeFiles/esg_classad.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/esg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/esg_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/esg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_pool.dir/pool.cpp.o"
+  "CMakeFiles/esg_pool.dir/pool.cpp.o.d"
+  "CMakeFiles/esg_pool.dir/reliable.cpp.o"
+  "CMakeFiles/esg_pool.dir/reliable.cpp.o.d"
+  "CMakeFiles/esg_pool.dir/report.cpp.o"
+  "CMakeFiles/esg_pool.dir/report.cpp.o.d"
+  "CMakeFiles/esg_pool.dir/submit.cpp.o"
+  "CMakeFiles/esg_pool.dir/submit.cpp.o.d"
+  "CMakeFiles/esg_pool.dir/workload.cpp.o"
+  "CMakeFiles/esg_pool.dir/workload.cpp.o.d"
+  "libesg_pool.a"
+  "libesg_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

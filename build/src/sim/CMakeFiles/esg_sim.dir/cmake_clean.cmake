@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_sim.dir/engine.cpp.o"
+  "CMakeFiles/esg_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/esg_sim.dir/metrics.cpp.o"
+  "CMakeFiles/esg_sim.dir/metrics.cpp.o.d"
+  "libesg_sim.a"
+  "libesg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

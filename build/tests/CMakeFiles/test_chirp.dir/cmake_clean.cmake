@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chirp.dir/test_chirp.cpp.o"
+  "CMakeFiles/test_chirp.dir/test_chirp.cpp.o.d"
+  "test_chirp"
+  "test_chirp.pdb"
+  "test_chirp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chirp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

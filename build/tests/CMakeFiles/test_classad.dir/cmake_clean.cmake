@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classad.dir/test_classad.cpp.o"
+  "CMakeFiles/test_classad.dir/test_classad.cpp.o.d"
+  "test_classad"
+  "test_classad.pdb"
+  "test_classad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

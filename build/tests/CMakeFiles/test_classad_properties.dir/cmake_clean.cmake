@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classad_properties.dir/test_classad_properties.cpp.o"
+  "CMakeFiles/test_classad_properties.dir/test_classad_properties.cpp.o.d"
+  "test_classad_properties"
+  "test_classad_properties.pdb"
+  "test_classad_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classad_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

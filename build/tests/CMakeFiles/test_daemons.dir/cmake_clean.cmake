@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_daemons.dir/test_daemons.cpp.o"
+  "CMakeFiles/test_daemons.dir/test_daemons.cpp.o.d"
+  "test_daemons"
+  "test_daemons.pdb"
+  "test_daemons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_daemons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

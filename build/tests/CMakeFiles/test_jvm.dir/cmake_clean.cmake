@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jvm.dir/test_jvm.cpp.o"
+  "CMakeFiles/test_jvm.dir/test_jvm.cpp.o.d"
+  "test_jvm"
+  "test_jvm.pdb"
+  "test_jvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log.dir/test_log.cpp.o"
+  "CMakeFiles/test_log.dir/test_log.cpp.o.d"
+  "test_log"
+  "test_log.pdb"
+  "test_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

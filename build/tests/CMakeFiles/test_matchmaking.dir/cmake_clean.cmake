@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matchmaking.dir/test_matchmaking.cpp.o"
+  "CMakeFiles/test_matchmaking.dir/test_matchmaking.cpp.o.d"
+  "test_matchmaking"
+  "test_matchmaking.pdb"
+  "test_matchmaking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matchmaking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

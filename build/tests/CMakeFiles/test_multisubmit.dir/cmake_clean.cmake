@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisubmit.dir/test_multisubmit.cpp.o"
+  "CMakeFiles/test_multisubmit.dir/test_multisubmit.cpp.o.d"
+  "test_multisubmit"
+  "test_multisubmit.pdb"
+  "test_multisubmit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisubmit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pool_faults.dir/test_pool_faults.cpp.o"
+  "CMakeFiles/test_pool_faults.dir/test_pool_faults.cpp.o.d"
+  "test_pool_faults"
+  "test_pool_faults.pdb"
+  "test_pool_faults[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pool_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

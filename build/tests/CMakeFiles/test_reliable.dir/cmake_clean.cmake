@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliable.dir/test_reliable.cpp.o"
+  "CMakeFiles/test_reliable.dir/test_reliable.cpp.o.d"
+  "test_reliable"
+  "test_reliable.pdb"
+  "test_reliable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retry.dir/test_retry.cpp.o"
+  "CMakeFiles/test_retry.dir/test_retry.cpp.o.d"
+  "test_retry"
+  "test_retry.pdb"
+  "test_retry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standard_universe.dir/test_standard_universe.cpp.o"
+  "CMakeFiles/test_standard_universe.dir/test_standard_universe.cpp.o.d"
+  "test_standard_universe"
+  "test_standard_universe.pdb"
+  "test_standard_universe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standard_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

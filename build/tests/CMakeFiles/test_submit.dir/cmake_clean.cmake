@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_submit.dir/test_submit.cpp.o"
+  "CMakeFiles/test_submit.dir/test_submit.cpp.o.d"
+  "test_submit"
+  "test_submit.pdb"
+  "test_submit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_watchdog.dir/test_watchdog.cpp.o"
+  "CMakeFiles/test_watchdog.dir/test_watchdog.cpp.o.d"
+  "test_watchdog"
+  "test_watchdog.pdb"
+  "test_watchdog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_classad[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fs[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_chirp[1]_include.cmake")
+include("/root/repo/build/tests/test_jvm[1]_include.cmake")
+include("/root/repo/build/tests/test_daemons[1]_include.cmake")
+include("/root/repo/build/tests/test_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_retry[1]_include.cmake")
+include("/root/repo/build/tests/test_pool_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_checkpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_watchdog[1]_include.cmake")
+include("/root/repo/build/tests/test_multisubmit[1]_include.cmake")
+include("/root/repo/build/tests/test_classad_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_matchmaking[1]_include.cmake")
+include("/root/repo/build/tests/test_reliable[1]_include.cmake")
+include("/root/repo/build/tests/test_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_standard_universe[1]_include.cmake")
+include("/root/repo/build/tests/test_log[1]_include.cmake")
+include("/root/repo/build/tests/test_submit[1]_include.cmake")
