@@ -1,0 +1,97 @@
+// µ-TRACE — flight-recorder overhead: the same whole-grid simulation run
+// with the recorder disabled (the default) and enabled. The disabled case
+// must cost ~nothing (one branch per instrumentation site); the enabled
+// case must stay within ~10% of it.
+#include <benchmark/benchmark.h>
+
+#include "obs/trace.hpp"
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+// One faulty-pool run: mixed good/misconfigured machines so the error
+// paths (where the instrumentation lives) actually execute.
+std::uint64_t run_pool_once() {
+  pool::PoolConfig config;
+  config.seed = 11;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  config.discipline.schedd_avoidance = true;
+  for (int i = 0; i < 8; ++i) {
+    config.machines.push_back(
+        pool::MachineSpec::good("good" + std::to_string(i)));
+  }
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad1"));
+  pool::Pool pool(config);
+  Rng rng(11);
+  pool::WorkloadOptions options;
+  options.count = 40;
+  options.mean_compute = SimTime::sec(10);
+  options.program_error_fraction = 0.2;
+  for (auto& job : pool::make_workload(options, rng)) {
+    pool.submit(std::move(job));
+  }
+  benchmark::DoNotOptimize(pool.run_until_done(SimTime::hours(12)));
+  return pool.engine().executed();
+}
+
+void BM_PoolTraceDisabled(benchmark::State& state) {
+  obs::FlightRecorder::global().set_enabled(false);
+  std::uint64_t events = 0;
+  for (auto _ : state) events += run_pool_once();
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PoolTraceDisabled)->Unit(benchmark::kMillisecond);
+
+void BM_PoolTraceEnabled(benchmark::State& state) {
+  auto& rec = obs::FlightRecorder::global();
+  rec.set_enabled(true);
+  rec.set_capacity(8192);
+  std::uint64_t events = 0;
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    rec.clear();
+    events += run_pool_once();
+    spans += rec.total_recorded();
+  }
+  rec.set_enabled(false);
+  rec.clear();
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["spans/iter"] = benchmark::Counter(
+      static_cast<double>(spans) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PoolTraceEnabled)->Unit(benchmark::kMillisecond);
+
+// Tightest possible loop over a disabled sink: the guard branch itself.
+void BM_DisabledSinkCall(benchmark::State& state) {
+  obs::FlightRecorder::global().set_enabled(false);
+  const obs::TraceSink sink("bench");
+  const Error e(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, "x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sink.raised(e, 1));
+  }
+}
+BENCHMARK(BM_DisabledSinkCall);
+
+void BM_EnabledSinkCall(benchmark::State& state) {
+  auto& rec = obs::FlightRecorder::global();
+  rec.set_enabled(true);
+  rec.set_capacity(8192);
+  const obs::TraceSink sink("bench");
+  const Error e(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, "x");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sink.raised(e, 1));
+  }
+  rec.set_enabled(false);
+  rec.clear();
+}
+BENCHMARK(BM_EnabledSinkCall);
+
+}  // namespace
+
+BENCHMARK_MAIN();

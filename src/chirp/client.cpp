@@ -1,8 +1,15 @@
 #include "chirp/client.hpp"
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::chirp {
+namespace {
+const obs::TraceSink& chirp_trace() {
+  static const obs::TraceSink sink("chirp-client");
+  return sink;
+}
+}  // namespace
 
 ChirpClient::ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
                          SimTime timeout)
@@ -47,8 +54,14 @@ void ChirpClient::send(Request req, RawCb done) {
       // The proxy stopped answering: the RPC mechanism itself is no longer
       // trustworthy. Break the connection (escaping error, §3.2); on_close
       // fails every outstanding operation.
-      endpoint_.abort(Error(ErrorKind::kConnectionTimedOut,
-                            "chirp response timed out"));
+      Error timed_out(ErrorKind::kConnectionTimedOut,
+                      "chirp response timed out");
+      const std::uint64_t silence = chirp_trace().implicit(
+          ErrorKind::kConnectionTimedOut, ErrorScope::kNetwork, 0,
+          "proxy silent past chirp timeout");
+      chirp_trace().converted_to_escaping(
+          timed_out, 0, "aborting the chirp connection", silence);
+      endpoint_.abort(std::move(timed_out));
     });
   }
   pending_.emplace_back(std::move(done), timer);
@@ -58,8 +71,10 @@ void ChirpClient::on_response(const std::string& wire) {
   if (pending_.empty()) {
     // Unsolicited response: protocol violation by the peer; the function
     // call mechanism is invalid. Escape by breaking the connection.
-    endpoint_.abort(
-        Error(ErrorKind::kProtocolError, "unsolicited chirp response"));
+    Error unsolicited(ErrorKind::kProtocolError, "unsolicited chirp response");
+    chirp_trace().converted_to_escaping(unsolicited, 0,
+                                        "aborting the chirp connection");
+    endpoint_.abort(std::move(unsolicited));
     return;
   }
   auto [cb, timer] = std::move(pending_.front());
@@ -74,6 +89,13 @@ void ChirpClient::on_close(const std::optional<Error>& error) {
                     ? *error
                     : Error(ErrorKind::kConnectionLost,
                             "chirp connection closed by peer");
+  // The escaping break surfaces here as an explicit error: handed to every
+  // caller still waiting, and latched as conn_error_ for every future call
+  // (Principle 2's catch half).
+  chirp_trace().converted_to_explicit(
+      *conn_error_, 0,
+      "failing " + std::to_string(pending_.size()) +
+          " outstanding chirp ops; latched for future calls");
   fail_all(*conn_error_);
 }
 

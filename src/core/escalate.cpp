@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace esg {
 
 void ScopeEscalator::add_rule(EscalationRule rule) {
@@ -62,8 +64,13 @@ ErrorScope ScopeEscalator::scope_after(ErrorScope initial,
 Error ScopeEscalator::escalate(Error e, SimTime first_seen,
                                SimTime now) const {
   const SimTime persisted = now - first_seen;
-  const ErrorScope widened = scope_after(e.scope(), persisted);
+  const ErrorScope initial = e.scope();
+  const ErrorScope widened = scope_after(initial, persisted);
   e.widen_scope_in_place(widened);
+  if (widened != initial) {
+    static const obs::TraceSink sink("escalator");
+    sink.escalated(e, initial, 0, "persisted " + persisted.str());
+  }
   return e;
 }
 

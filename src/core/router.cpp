@@ -1,6 +1,14 @@
 #include "core/router.hpp"
 
+#include "obs/trace.hpp"
+
 namespace esg {
+namespace {
+const obs::TraceSink& router_trace() {
+  static const obs::TraceSink sink("router");
+  return sink;
+}
+}  // namespace
 
 void ScopeRouter::register_handler(ErrorScope scope, std::string handler_name,
                                    Handler handler) {
@@ -34,9 +42,15 @@ RouteOutcome ScopeRouter::route(Error error) {
     // application of Principle 3.
     PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
                                     it->second.name);
+    router_trace().routed(error, it->second.name);
     const Disposition d = it->second.handler(error);
     outcome.path.push_back(RouteStep{handler_scope, it->second.name, d});
     if (d != Disposition::kPropagate) {
+      if (d == Disposition::kHandled) {
+        router_trace().consumed(error, 0, "by " + it->second.name);
+      } else {
+        router_trace().masked(error, 0, "by " + it->second.name);
+      }
       outcome.delivered = true;
       outcome.final_error = std::move(error);
       return outcome;
@@ -54,6 +68,7 @@ RouteOutcome ScopeRouter::route(Error error) {
   // structure. Record the P3 violation and report non-delivery.
   PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kViolated,
                                   "unrouted:" + std::string(scope_name(error.scope())));
+  router_trace().dropped(error, 0, "no handler manages this scope");
   outcome.delivered = false;
   outcome.final_error = std::move(error);
   return outcome;

@@ -66,6 +66,11 @@ void Matchmaker::on_update(const std::string& command,
     const std::string name = body.eval_string("Name");
     if (name.empty()) {
       log().warn("startd ad without Name ignored");
+      const Error malformed(ErrorKind::kRequestMalformed, ErrorScope::kProcess,
+                            "startd ad without Name");
+      const std::uint64_t got = trace().raised(malformed, 0, "validating ad");
+      trace().consumed(malformed, 0, "ad ignored; sender will re-advertise",
+                       got);
       return;
     }
     StartdEntry& entry = startd_ads_[name];

@@ -321,6 +321,12 @@ void Schedd::note_machine_failure(const std::string& machine,
     log().info("avoiding ", machine, " for ",
                discipline_.avoidance_cooldown.str(), " after ", count,
                " chronic failures (last: ", error.str(), ")");
+    // The flight recorder takes its "last N events before failure" dump at
+    // exactly this moment — the schedd has just decided a machine is
+    // chronically bad.
+    obs::FlightRecorder::global().chronic_failure(
+        "machine " + machine + " after " + std::to_string(count) +
+        " consecutive failures (last: " + error.str() + ")");
   }
 }
 
@@ -346,6 +352,10 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
     // §2.3 behaviour: whatever happened is returned to the user, who must
     // perform postmortem analysis to decide whether the job exited of its
     // own account or because of accidental properties of the site.
+    if (summary.environment_error.has_value()) {
+      trace().delivered(summary.environment_error.value(), job_id,
+                        "naive: returned to user for postmortem");
+    }
     finalize(record, JobState::kCompleted, std::move(summary));
     return;
   }
@@ -365,6 +375,7 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   note_machine_failure(machine, error);
   PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
                                   "schedd@" + name());
+  trace().routed(error, "schedd@" + name(), job_id);
 
   // §5: time is a factor in error propagation. Track how long this job's
   // environment has been failing; persistence widens the effective scope
@@ -388,11 +399,17 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
       log().info("job ", job_id, " failure persisted ",
                  (now() - record.env_streak_start).str(),
                  "; scope escalated to ", scope_name(effective_scope));
+      Error widened = error;
+      widened.widen_scope_in_place(effective_scope);
+      trace().escalated(widened, error.scope(), job_id,
+                        "environment failure persisted " +
+                            (now() - record.env_streak_start).str());
     }
   }
 
   switch (schedd_disposition(effective_scope)) {
     case ScheddDisposition::kComplete:
+      trace().delivered(error, job_id, "job-scope condition is the job's own result");
       finalize(record, JobState::kCompleted, std::move(summary));
       return;
     case ScheddDisposition::kUnexecutable: {
@@ -400,6 +417,8 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
           summary.environment_error.has_value()) {
         summary.environment_error->widen_scope_in_place(effective_scope);
       }
+      trace().delivered(summary.environment_error.value(), job_id,
+                        "job marked unexecutable");
       finalize(record, JobState::kUnexecutable, std::move(summary));
       return;
     }
@@ -409,6 +428,7 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   if (static_cast<int>(record.attempts.size()) >= discipline_.max_attempts) {
     log().warn("job ", job_id, " exhausted ", discipline_.max_attempts,
                " attempts; returning last error to the user");
+    trace().delivered(error, job_id, "attempt budget exhausted");
     finalize(record, JobState::kUnexecutable, std::move(summary));
     return;
   }
@@ -430,6 +450,7 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   if (backoff > discipline_.max_backoff) backoff = discipline_.max_backoff;
   log().info("job ", job_id, " failed with ", error.str(), "; rescheduling in ",
              backoff.str());
+  trace().masked(error, job_id, "rescheduling elsewhere in " + backoff.str());
   record.state = JobState::kIdle;
   record.not_before = now() + backoff;
   after(backoff, [this] { advertise_now(); });

@@ -15,6 +15,8 @@ Shadow::Shadow(sim::Engine& engine, net::NetworkFabric& fabric,
       submit_host_(std::move(submit_host)),
       submit_fs_(submit_fs),
       log_("shadow@" + submit_host_ + "/job" + std::to_string(job.id.value())),
+      trace_("shadow@" + submit_host_ + "/job" +
+             std::to_string(job.id.value())),
       discipline_(discipline),
       timeouts_(timeouts),
       job_(std::move(job)),
@@ -43,7 +45,10 @@ void Shadow::on_channel(Result<std::shared_ptr<RpcChannel>> channel) {
     // Cannot even reach the execution machine. At this instant the error
     // has network scope; persistence would widen it (§5) — that judgement
     // belongs to the schedd, which sees repetition.
-    fail(std::move(channel).error());
+    Error unreachable = std::move(channel).error();
+    trace_.raised(unreachable, job_.id.value(),
+                  "cannot reach execution machine");
+    fail(std::move(unreachable));
     return;
   }
   channel_ = std::move(channel).value();
@@ -65,6 +70,8 @@ void Shadow::on_channel(Result<std::shared_ptr<RpcChannel>> channel) {
     // The claim's lifeline broke: starter crash, network fault, or our own
     // watchdog. The escaping error arrives here — the level above the
     // connection — as an explicit error (Principle 2 in action).
+    trace_.converted_to_explicit(error, job_.id.value(),
+                                 "escaping connection break caught (P2)");
     fail(Error(error));
   });
 
@@ -123,9 +130,19 @@ void Shadow::arm_watchdog() {
   std::shared_ptr<bool> alive = alive_;
   watchdog_ = engine_.schedule(discipline_.job_watchdog, [this, alive] {
     if (!*alive || finished_) return;
-    channel_->abort(Error(ErrorKind::kConnectionTimedOut,
-                          "job silent for " + discipline_.job_watchdog.str())
-                        .with_label("watchdog", "expired"));
+    Error timed_out = Error(ErrorKind::kConnectionTimedOut,
+                            "job silent for " + discipline_.job_watchdog.str())
+                          .with_label("watchdog", "expired");
+    // Silence is an implicit error; the watchdog is the device that turns
+    // it into an escaping one (the abort), which Principle 2 converts back
+    // to explicit at set_on_broken above.
+    const std::uint64_t silence = trace_.implicit(
+        ErrorKind::kConnectionTimedOut, ErrorScope::kNetwork,
+        job_.id.value(), "watchdog: job silent");
+    trace_.converted_to_escaping(timed_out, job_.id.value(),
+                                 "watchdog aborts the claim channel",
+                                 silence);
+    channel_->abort(std::move(timed_out));
   });
 }
 
@@ -253,9 +270,11 @@ void Shadow::on_notify(const std::string& command,
   if (!summary.ok()) {
     // The starter sent garbage: the reporting mechanism is broken, which
     // is a process-scope failure of the execution side.
-    fail(Error(ErrorKind::kProtocolError, ErrorScope::kProcess,
-               "unparsable execution summary")
-             .caused_by(std::move(summary).error()));
+    Error garbage = Error(ErrorKind::kProtocolError, ErrorScope::kProcess,
+                          "unparsable execution summary")
+                        .caused_by(std::move(summary).error());
+    trace_.raised(garbage, job_.id.value());
+    fail(std::move(garbage));
     return;
   }
   finish(std::move(summary).value());

@@ -55,6 +55,7 @@ class Shadow {
   std::string submit_host_;
   fs::SimFileSystem& submit_fs_;
   Logger log_;
+  obs::TraceSink trace_;
   DisciplineConfig discipline_;
   Timeouts timeouts_;
   JobDescription job_;

@@ -74,6 +74,17 @@ void Startd::run_selftest(std::function<void()> then) {
         has_java_ = outcome.completed_main;
         log().info("java self-test: ",
                    has_java_ ? "passed" : "FAILED (not advertising java)");
+        if (!has_java_) {
+          // §5 mitigation: the owner's assertion was wrong, the probe
+          // found out, and the machine consumes the condition itself by
+          // not advertising java — the black hole never forms.
+          Error broken = outcome.condition.value_or(
+              Error(ErrorKind::kJvmMisconfigured, ErrorScope::kRemoteResource,
+                    "self-test probe failed"));
+          const std::uint64_t found = trace().raised(broken, 0, "self-test");
+          trace().consumed(broken, 0, "withholding HasJava from the ad",
+                           found);
+        }
         then();
       });
 }

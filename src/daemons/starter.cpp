@@ -236,6 +236,7 @@ Starter::Starter(sim::Engine& engine, net::NetworkFabric& fabric,
       machine_fs_(machine_fs),
       host_(std::move(host)),
       log_("starter@" + host_),
+      trace_("starter@" + host_),
       jvm_config_(jvm_config),
       discipline_(discipline),
       timeouts_(timeouts),
@@ -441,6 +442,16 @@ void Starter::launch_java() {
     } else {
       // Naive: the starter reports "the job exited with code 1" — the
       // environmental failure is laundered into a program result (§2.3).
+      // The starter *knew* the explicit cause and destroyed it; linking the
+      // implicit event to the raise is exactly the P1 violation the
+      // checker exists to catch.
+      const std::uint64_t knew = trace_.raised(
+          Error(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource,
+                "exec failed: cannot run advertised JVM"),
+          job_.id.value(), "naive discipline");
+      trace_.implicit(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource,
+                      job_.id.value(), "laundered to program exit code 1",
+                      knew);
       jvm::ResultFile rf;
       rf.exit_by = jvm::ResultFile::ExitBy::kSystemExit;
       rf.exit_code = 1;
@@ -646,6 +657,8 @@ void Starter::report(ExecutionSummary summary) {
 }
 
 void Starter::fail_environment(Error error) {
+  trace_.raised(error, job_.id.value(),
+                "starter classifies environment failure");
   report(ExecutionSummary::environment(
       std::move(error).with_origin("starter@" + host_), host_,
       cpu_seconds_));

@@ -117,6 +117,7 @@ class Starter {
   fs::SimFileSystem& machine_fs_;
   std::string host_;
   Logger log_;
+  obs::TraceSink trace_;
   jvm::JvmConfig jvm_config_;
   DisciplineConfig discipline_;
   Timeouts timeouts_;

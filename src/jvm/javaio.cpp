@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace esg::jvm {
 
 namespace {
+
+const obs::TraceSink& javaio_trace() {
+  static const obs::TraceSink sink("javaio");
+  return sink;
+}
 
 /// Payload used for simulated writes; content is irrelevant, size matters.
 std::string zeros(std::int64_t n) {
@@ -48,6 +55,8 @@ JavaThrowable classify_io_failure(IoDiscipline discipline,
                     "java.lang.Error escaping " + contract.routine() + ": " +
                         e.message())
                   .caused_by(std::move(e));
+  out.trace_span = javaio_trace().converted_to_escaping(
+      out.error, 0, "out of " + contract.routine() + " contract (P2 raise)");
   return out;
 }
 
@@ -84,7 +93,13 @@ void ChirpJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
   if (options_.discipline == IoDiscipline::kGeneric &&
       options_.generic_diskfull_blocks && e.kind() == ErrorKind::kDiskFull) {
     // §3.4: this implementation "avoids" the unrepresentable error by
-    // blocking indefinitely. The callback is simply never invoked.
+    // blocking indefinitely. The callback is simply never invoked. The
+    // explicit DiskFull existed right here and became pure silence.
+    const std::uint64_t knew =
+        javaio_trace().raised(e, 0, "write failed under generic discipline");
+    javaio_trace().implicit(e.kind(), e.scope(), 0,
+                            "blocking forever instead of reporting DiskFull",
+                            knew);
     return;
   }
   cb(IoResult<T>{classify_io_failure(options_.discipline, contract,

@@ -43,6 +43,9 @@ struct JavaThrowable {
   /// false => checked exception: part of the method's declared contract
   bool is_java_error = false;
   Error error;
+  /// Flight-recorder span of the escaping conversion (0 when tracing is
+  /// off); the catcher links its own event to it.
+  std::uint64_t trace_span = 0;
 };
 
 template <class T>

@@ -6,10 +6,16 @@
 #include <sstream>
 
 #include "classad/classad.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::jvm {
 
 namespace {
+
+const obs::TraceSink& jvm_trace() {
+  static const obs::TraceSink sink("jvm");
+  return sink;
+}
 
 /// Per-execution state, kept alive by the chain of callbacks.
 struct Run {
@@ -31,6 +37,7 @@ struct Run {
   std::set<int> open_streams;
   SimTime last_checkpoint{};
   double banked_cpu = 0;  ///< cpu from prior attempts (via the checkpoint)
+  std::uint64_t trace_span = 0;  ///< span of the terminal condition's raise
 };
 
 using RunPtr = std::shared_ptr<Run>;
@@ -79,6 +86,22 @@ void finish(const RunPtr& run, JvmOutcome outcome) {
     Result<void> wrote =
         run->scratch_fs->write_file(run->result_path, rf.encode());
     outcome.wrote_result_file = wrote.ok();
+    if (rf.error.has_value() && wrote.ok()) {
+      jvm_trace().converted_to_explicit(
+          *rf.error, 0, "wrapper result file preserves error and scope",
+          run->trace_span);
+    }
+  } else if (outcome.condition.has_value() &&
+             outcome.condition->scope() != ErrorScope::kProgram &&
+             !outcome.completed_main) {
+    // Bare mode: an environment-scope condition leaves the process as
+    // nothing but Figure 4's exit code — the information is destroyed
+    // right here. Linking the collapse to the raise is a P1 violation by
+    // construction, which is the point.
+    jvm_trace().implicit(
+        outcome.condition->kind(), outcome.condition->scope(), 0,
+        "Figure 4: collapsed to exit code " + std::to_string(outcome.exit_code),
+        run->trace_span);
   }
   run->done(outcome);
 }
@@ -95,6 +118,7 @@ void kill_with(const RunPtr& run, Error error) {
 }
 
 void fail_with(const RunPtr& run, Error error) {
+  run->trace_span = jvm_trace().raised(error, 0);
   JvmOutcome out;
   out.condition = std::move(error);
   finish(run, out);
@@ -108,15 +132,32 @@ void fail_with(const RunPtr& run, Error error) {
 /// A Java Error keeps its true scope for the wrapper to report.
 void on_throwable(const RunPtr& run, JavaThrowable thrown) {
   if (thrown.is_java_error) {
-    fail_with(run, std::move(thrown.error));
+    // The level above main catches the escaping Java Error and
+    // re-expresses it explicitly (Principle 2's catch half) — the wrapper
+    // in wrapped mode, the JVM's own top-level handler in bare mode.
+    run->trace_span = jvm_trace().converted_to_explicit(
+        thrown.error, 0,
+        run->mode == WrapMode::kWrapped
+            ? "wrapper catches escaping java.lang.Error"
+            : "JVM top-level catches escaping java.lang.Error",
+        thrown.trace_span);
+    JvmOutcome out;
+    out.condition = std::move(thrown.error);
+    finish(run, out);
     return;
   }
+  const std::uint64_t origin = jvm_trace().raised(thrown.error, 0);
   Error uncaught =
       Error(ErrorKind::kUncaughtException, ErrorScope::kProgram,
             "uncaught " + std::string(kind_name(thrown.error.kind())) +
                 " escaping main: " + thrown.error.message())
           .caused_by(std::move(thrown.error));
-  fail_with(run, std::move(uncaught));
+  run->trace_span = jvm_trace().converted_to_explicit(
+      uncaught, 0, "checked exception escaping main collapses scope to program",
+      origin);
+  JvmOutcome out;
+  out.condition = std::move(uncaught);
+  finish(run, out);
 }
 
 void exec_op(const RunPtr& run, const Op& op) {

@@ -1,0 +1,162 @@
+#include "obs/checker.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace esg::obs {
+namespace {
+
+std::string_view principle_name(Principle p) {
+  switch (p) {
+    case Principle::kP1: return "P1";
+    case Principle::kP2: return "P2";
+    case Principle::kP3: return "P3";
+    case Principle::kP4: return "P4";
+  }
+  return "?";
+}
+
+/// Walk parent links within the given snapshot (the journal may have
+/// evicted an ancestor; the walk simply stops there).
+std::vector<TraceEvent> chain_of(
+    const std::map<std::uint64_t, const TraceEvent*>& by_id,
+    const TraceEvent& tip) {
+  std::vector<TraceEvent> reversed;
+  const TraceEvent* cur = &tip;
+  while (cur != nullptr) {
+    reversed.push_back(*cur);
+    auto it = cur->parent != 0 ? by_id.find(cur->parent) : by_id.end();
+    cur = it != by_id.end() ? it->second : nullptr;
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+bool is_terminal(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kConsumed:
+    case TraceEventType::kMasked:
+    case TraceEventType::kDelivered:
+    case TraceEventType::kDropped:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string Violation::str() const {
+  std::ostringstream os;
+  os << principle_name(principle) << " violated: " << message << "\n";
+  for (const TraceEvent& event : chain) os << "    " << event.str() << "\n";
+  return os.str();
+}
+
+std::string CheckReport::str() const {
+  std::ostringstream os;
+  os << "principle check: " << events_checked << " events, " << chains_checked
+     << " chains, " << violations.size() << " violation(s), "
+     << warnings.size() << " warning(s)\n";
+  for (const Violation& v : violations) os << "  " << v.str();
+  for (const std::string& w : warnings) os << "  warning: " << w << "\n";
+  return os.str();
+}
+
+CheckReport PrincipleChecker::check(
+    const std::vector<TraceEvent>& events) const {
+  CheckReport report;
+  report.events_checked = events.size();
+
+  std::map<std::uint64_t, const TraceEvent*> by_id;
+  std::map<std::uint64_t, std::size_t> child_count;
+  for (const TraceEvent& event : events) by_id.emplace(event.id, &event);
+  for (const TraceEvent& event : events) {
+    if (event.parent != 0 && by_id.count(event.parent) != 0) {
+      ++child_count[event.parent];
+    }
+  }
+
+  for (const TraceEvent& event : events) {
+    // P1: an implicit error directly downstream of an explicit one means
+    // a component received the explicit error and destroyed it.
+    if (event.form == ErrorForm::kImplicit && event.parent != 0) {
+      auto it = by_id.find(event.parent);
+      if (it != by_id.end() && it->second->form == ErrorForm::kExplicit) {
+        Violation v;
+        v.principle = Principle::kP1;
+        std::ostringstream msg;
+        msg << "explicit " << kind_name(it->second->kind) << " at "
+            << it->second->component << " became implicit at "
+            << event.component
+            << (event.detail.empty() ? "" : " (" + event.detail + ")");
+        v.message = msg.str();
+        v.chain = chain_of(by_id, event);
+        report.violations.push_back(std::move(v));
+      }
+    }
+
+    // P2: an escaping error with no descendant was never caught and
+    // converted back to an explicit error one level up.
+    if (event.form == ErrorForm::kEscaping && child_count[event.id] == 0) {
+      Violation v;
+      v.principle = Principle::kP2;
+      std::ostringstream msg;
+      msg << "escaping " << kind_name(event.kind) << " from "
+          << event.component << " was never converted back to explicit";
+      v.message = msg.str();
+      v.chain = chain_of(by_id, event);
+      report.violations.push_back(std::move(v));
+    }
+
+    // P3: a dropped event is an error discarded with no consumer whose
+    // scope manages it.
+    if (event.type == TraceEventType::kDropped) {
+      Violation v;
+      v.principle = Principle::kP3;
+      std::ostringstream msg;
+      msg << kind_name(event.kind) << " (scope " << scope_name(event.scope)
+          << ") dropped at " << event.component << " with no consumer";
+      v.message = msg.str();
+      v.chain = chain_of(by_id, event);
+      report.violations.push_back(std::move(v));
+    }
+
+    // P4: delivering kUnknown to the user means the interface lost the
+    // error's identity in transit — the opposite of a concise, finite
+    // error vocabulary.
+    if (event.type == TraceEventType::kDelivered &&
+        event.kind == ErrorKind::kUnknown) {
+      Violation v;
+      v.principle = Principle::kP4;
+      std::ostringstream msg;
+      msg << event.component << " delivered an unclassified error (kUnknown)";
+      v.message = msg.str();
+      v.chain = chain_of(by_id, event);
+      report.violations.push_back(std::move(v));
+    }
+  }
+
+  // Chain accounting: tips are events nobody references as a parent.
+  for (const TraceEvent& event : events) {
+    if (child_count[event.id] != 0) continue;
+    ++report.chains_checked;
+    if (options_.strict_p3 && !is_terminal(event.type) &&
+        event.form != ErrorForm::kEscaping) {
+      // Escaping tips are already P2 violations; everything else that ends
+      // mid-air is an error still in flight — in strict mode, a hole.
+      std::ostringstream msg;
+      msg << "chain ending at span #" << event.id << " ("
+          << event_type_name(event.type) << " " << kind_name(event.kind)
+          << " at " << event.component << ") has no terminal disposition";
+      report.warnings.push_back(msg.str());
+    }
+  }
+
+  return report;
+}
+
+CheckReport PrincipleChecker::check(const FlightRecorder& recorder) const {
+  return check(recorder.events());
+}
+
+}  // namespace esg::obs

@@ -1,0 +1,75 @@
+// PrincipleChecker: the paper's four principles as machine-checked
+// invariants over the flight recorder's journal.
+//
+// DESIGN.md states the principles; core/audit.hpp counts how often the
+// mechanisms claim to apply them. This checker closes the loop: it reads
+// the *recorded causal history* and verifies that the journeys errors
+// actually took obey the principles, reporting each violation together with
+// the offending span chain so an operator can see exactly where the
+// structure broke.
+//
+// Checked invariants (each deliberately narrow, so a pass means something
+// and a violation is a real structural hole, not instrumentation noise):
+//
+//   P1  No implicit error may be causally downstream of an explicit one:
+//       an implicit-form event whose parent is an explicit-form event means
+//       some component received a perfectly good explicit error and
+//       destroyed it (the Figure-4 exit-code collapse, result-file
+//       laundering, and friends).
+//   P2  An escaping error must be converted back to an explicit one a
+//       level up: an escaping-form event with no causal descendant means
+//       the exception/abort was never caught — the error evaporated.
+//   P3  Every error must reach the manager of its scope: a `dropped` event
+//       is an error discarded with no consumer. In strict mode, any chain
+//       that ends without a terminal disposition (consumed, masked,
+//       delivered, or dropped-and-flagged) is also reported.
+//   P4  Interfaces must be concise and finite: delivering `kUnknown` to
+//       the user means the interface lost the error's identity on the way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "obs/trace.hpp"
+
+namespace esg::obs {
+
+/// One invariant breach, with the causal span chain that proves it.
+struct Violation {
+  Principle principle = Principle::kP1;
+  std::string message;
+  std::vector<TraceEvent> chain;  ///< root..offending event
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  std::vector<std::string> warnings;
+  std::size_t events_checked = 0;
+  std::size_t chains_checked = 0;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::string str() const;
+};
+
+class PrincipleChecker {
+ public:
+  struct Options {
+    /// Also flag chains with no terminal disposition (P3). Off by default:
+    /// a journal snapshot taken mid-flight legitimately has open chains.
+    bool strict_p3 = false;
+  };
+
+  PrincipleChecker() = default;
+  explicit PrincipleChecker(Options options) : options_(options) {}
+
+  [[nodiscard]] CheckReport check(const std::vector<TraceEvent>& events) const;
+  [[nodiscard]] CheckReport check(const FlightRecorder& recorder) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esg::obs

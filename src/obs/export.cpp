@@ -1,0 +1,157 @@
+#include "obs/export.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace esg::obs {
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  // Chrome's trace_event format wants integer thread ids; give each
+  // component its own "thread" and name it with a metadata event so the
+  // viewer shows one track per daemon.
+  std::map<std::string, int> tids;
+  for (const TraceEvent& event : events) {
+    const std::string& comp =
+        event.component.empty() ? std::string("(unknown)") : event.component;
+    tids.emplace(comp, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << obj;
+  };
+
+  for (const auto& [comp, tid] : tids) {
+    std::ostringstream m;
+    m << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+      << ",\"args\":{\"name\":\"" << json_escape(comp) << "\"}}";
+    emit(m.str());
+  }
+
+  for (const TraceEvent& event : events) {
+    const std::string comp =
+        event.component.empty() ? std::string("(unknown)") : event.component;
+    const int tid = tids.at(comp);
+    const std::int64_t ts = event.when.as_usec();
+    std::ostringstream e;
+    e << "{\"name\":\"" << event_type_name(event.type) << " "
+      << json_escape(kind_name(event.kind)) << "\",\"cat\":\""
+      << form_name(event.form) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts
+      << ",\"pid\":1,\"tid\":" << tid << ",\"args\":{\"span\":" << event.id
+      << ",\"parent\":" << event.parent << ",\"scope\":\""
+      << json_escape(scope_name(event.scope)) << "\",\"job\":" << event.job
+      << ",\"detail\":\"" << json_escape(event.detail) << "\"}}";
+    emit(e.str());
+
+    // Causal parent link as a flow arrow. The flow step ("s") sits on the
+    // parent's track at the parent's time; the finish ("f") on this event.
+    if (event.parent != 0) {
+      const TraceEvent* parent = nullptr;
+      for (const TraceEvent& p : events) {
+        if (p.id == event.parent) {
+          parent = &p;
+          break;
+        }
+      }
+      if (parent != nullptr) {
+        const std::string pcomp = parent->component.empty()
+                                      ? std::string("(unknown)")
+                                      : parent->component;
+        std::ostringstream fs;
+        fs << "{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+           << event.id << ",\"ts\":" << parent->when.as_usec()
+           << ",\"pid\":1,\"tid\":" << tids.at(pcomp) << "}";
+        emit(fs.str());
+        std::ostringstream ff;
+        ff << "{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+           << "\"id\":" << event.id << ",\"ts\":" << ts
+           << ",\"pid\":1,\"tid\":" << tid << "}";
+        emit(ff.str());
+      }
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string to_chrome_trace(const FlightRecorder& recorder) {
+  return to_chrome_trace(recorder.events());
+}
+
+std::string to_prometheus(const FlightRecorder& recorder,
+                          std::string_view merge) {
+  static constexpr TraceEventType kTypes[] = {
+      TraceEventType::kRaised,    TraceEventType::kConverted,
+      TraceEventType::kEscalated, TraceEventType::kRouted,
+      TraceEventType::kConsumed,  TraceEventType::kMasked,
+      TraceEventType::kDropped,   TraceEventType::kDelivered,
+      TraceEventType::kImplicit,
+  };
+  std::ostringstream os;
+  os << "# HELP esg_trace_events_total Error lifecycle events recorded, by "
+        "type.\n";
+  os << "# TYPE esg_trace_events_total counter\n";
+  for (TraceEventType type : kTypes) {
+    os << "esg_trace_events_total{type=\"" << event_type_name(type) << "\"} "
+       << recorder.count(type) << "\n";
+  }
+  os << "# HELP esg_trace_retained_events Events currently held in the "
+        "ring buffer.\n";
+  os << "# TYPE esg_trace_retained_events gauge\n";
+  os << "esg_trace_retained_events " << recorder.size() << "\n";
+  os << "# HELP esg_trace_chronic_marks_total Chronic-failure detections "
+        "marked by the schedd.\n";
+  os << "# TYPE esg_trace_chronic_marks_total counter\n";
+  os << "esg_trace_chronic_marks_total " << recorder.chronic_marks().size()
+     << "\n";
+  if (!merge.empty()) {
+    os << merge;
+    if (merge.back() != '\n') os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_dump(const std::vector<TraceEvent>& events,
+                        std::string_view reason) {
+  std::ostringstream os;
+  os << "==== flight recorder dump";
+  if (!reason.empty()) os << ": " << reason;
+  os << " (" << events.size() << " events, newest last) ====\n";
+  for (const TraceEvent& event : events) os << "  " << event.str() << "\n";
+  os << "==== end of dump ====\n";
+  return os.str();
+}
+
+}  // namespace esg::obs

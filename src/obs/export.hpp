@@ -1,0 +1,37 @@
+// Exporters for the flight recorder's journal:
+//   - Chrome trace_event JSON (load in chrome://tracing or Perfetto),
+//   - Prometheus text exposition (merges with sim::MetricsRegistry output),
+//   - a human-readable "last N events before failure" dump.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace esg::obs {
+
+/// Render events as Chrome trace_event JSON ("JSON Object Format":
+/// {"traceEvents": [...]}). Each span becomes an instant event on a
+/// per-component track; parent links become flow events, so Perfetto draws
+/// the causal arrows of the error's journey. Timestamps are simulated
+/// microseconds.
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Convenience: export the recorder's retained events.
+std::string to_chrome_trace(const FlightRecorder& recorder);
+
+/// Render the recorder's lifetime counters in Prometheus text exposition
+/// format (esg_trace_events_total{type="raised"} ... etc.). If `merge` is
+/// non-empty it is appended verbatim — pass
+/// sim::MetricsRegistry::prometheus_str() to serve one combined page.
+std::string to_prometheus(const FlightRecorder& recorder,
+                          std::string_view merge = {});
+
+/// Human-readable table of events, newest last, under a banner explaining
+/// why the dump was taken ("chronic failure on machine c03", ...).
+std::string render_dump(const std::vector<TraceEvent>& events,
+                        std::string_view reason);
+
+}  // namespace esg::obs

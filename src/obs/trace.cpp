@@ -1,0 +1,175 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace esg::obs {
+
+std::string_view form_name(ErrorForm form) {
+  switch (form) {
+    case ErrorForm::kExplicit: return "explicit";
+    case ErrorForm::kEscaping: return "escaping";
+    case ErrorForm::kImplicit: return "implicit";
+  }
+  return "?";
+}
+
+std::string_view event_type_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kRaised: return "raised";
+    case TraceEventType::kConverted: return "converted";
+    case TraceEventType::kEscalated: return "escalated";
+    case TraceEventType::kRouted: return "routed";
+    case TraceEventType::kConsumed: return "consumed";
+    case TraceEventType::kMasked: return "masked";
+    case TraceEventType::kDropped: return "dropped";
+    case TraceEventType::kDelivered: return "delivered";
+    case TraceEventType::kImplicit: return "implicit";
+  }
+  return "?";
+}
+
+std::string TraceEvent::str() const {
+  std::ostringstream os;
+  os << "[" << when.str() << "] #" << id;
+  if (parent != 0) os << "<-#" << parent;
+  os << " " << event_type_name(type) << "/" << form_name(form) << " "
+     << kind_name(kind) << " scope=" << scope_name(scope);
+  if (job != 0) os << " job=" << job;
+  if (!component.empty()) os << " @" << component;
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (ring_.size() > capacity) {
+    // Keep the newest `capacity` events, oldest first, and reset the head.
+    std::vector<TraceEvent> kept = last(capacity);
+    ring_ = std::move(kept);
+    head_ = 0;
+  } else if (head_ != 0) {
+    // Un-rotate so future pushes stay simple.
+    std::vector<TraceEvent> kept = events();
+    ring_ = std::move(kept);
+    head_ = 0;
+  }
+  capacity_ = capacity;
+}
+
+std::uint64_t FlightRecorder::record(TraceEvent event) {
+  event.id = next_id_++;
+  if (event.when == SimTime::zero() && clock_) event.when = clock_();
+  // Causal linking: unless the caller supplied a parent, chain onto the
+  // most recent event touching the same job (or component, for job-less
+  // events). Raised events are fresh discoveries and root a new chain; so
+  // do implicit observations — silence has no cause on record unless the
+  // instrumentation point knows one and links it explicitly.
+  const bool roots_chain = event.type == TraceEventType::kRaised ||
+                           event.type == TraceEventType::kImplicit;
+  if (event.parent == 0 && !roots_chain) {
+    if (event.job != 0) {
+      auto it = last_by_job_.find(event.job);
+      if (it != last_by_job_.end()) event.parent = it->second;
+    } else if (!event.component.empty()) {
+      auto it = last_by_component_.find(event.component);
+      if (it != last_by_component_.end()) event.parent = it->second;
+    }
+  }
+  if (event.job != 0) {
+    last_by_job_[event.job] = event.id;
+  } else if (!event.component.empty()) {
+    last_by_component_[event.component] = event.id;
+  }
+
+  ++total_;
+  ++counts_[static_cast<std::size_t>(event.type)];
+  const std::uint64_t id = event.id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[head_] = std::move(event);
+    head_ = (head_ + 1) % capacity_;
+  }
+  return id;
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> FlightRecorder::last(std::size_t n) const {
+  std::vector<TraceEvent> all = events();
+  if (all.size() <= n) return all;
+  return {all.end() - static_cast<std::ptrdiff_t>(n), all.end()};
+}
+
+std::uint64_t FlightRecorder::count(TraceEventType type) const {
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+const TraceEvent* FlightRecorder::find(std::uint64_t id) const {
+  for (const TraceEvent& event : ring_) {
+    if (event.id == id) return &event;
+  }
+  return nullptr;
+}
+
+std::vector<TraceEvent> FlightRecorder::chain(std::uint64_t id) const {
+  std::vector<TraceEvent> reversed;
+  const TraceEvent* cur = find(id);
+  while (cur != nullptr) {
+    reversed.push_back(*cur);
+    cur = cur->parent != 0 ? find(cur->parent) : nullptr;
+  }
+  return {reversed.rbegin(), reversed.rend()};
+}
+
+void FlightRecorder::chronic_failure(const std::string& reason) {
+  if (!enabled_) return;
+  SimTime when = clock_ ? clock_() : SimTime::zero();
+  chronic_marks_.emplace_back(when, reason);
+  if (on_chronic_) on_chronic_(reason);
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  next_id_ = 1;
+  total_ = 0;
+  for (std::uint64_t& c : counts_) c = 0;
+  last_by_job_.clear();
+  last_by_component_.clear();
+  chronic_marks_.clear();
+}
+
+std::uint64_t TraceSink::emit(TraceEventType type, ErrorForm form,
+                              ErrorKind kind, ErrorScope scope,
+                              std::uint64_t job, std::string detail,
+                              std::uint64_t parent, const Error* e) const {
+  TraceEvent event;
+  event.parent = parent;
+  event.type = type;
+  event.form = form;
+  event.kind = kind;
+  event.scope = scope;
+  event.job = job;
+  event.component = component_;
+  event.detail = std::move(detail);
+  if (e != nullptr) {
+    if (e->when() != SimTime::zero()) event.when = e->when();
+    if (event.detail.empty()) event.detail = e->message();
+  }
+  return FlightRecorder::global().record(std::move(event));
+}
+
+}  // namespace esg::obs

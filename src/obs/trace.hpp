@@ -1,0 +1,282 @@
+// The error-propagation flight recorder.
+//
+// The paper's principles say where an error *should* travel: to the program
+// that manages its scope (P3), explicitly (P1), with escaping errors
+// converted back to explicit ones a level up (P2), through concise finite
+// interfaces (P4). DESIGN.md argues the mechanisms enforce this; nothing in
+// the seed *observed* an error's actual journey through
+// schedd -> shadow -> starter -> JVM at runtime. This module records that
+// journey: every error lifecycle transition (raised, converted
+// explicit<->escaping, escalated, routed, consumed, masked, dropped,
+// delivered, or observed only implicitly) becomes a span in a bounded
+// ring-buffer journal keyed by simulated time, job id, and scope.
+//
+// Components hold a TraceSink — the same idiom as esg::Logger: a cheap
+// handle bound to a component name whose emit methods are a single inline
+// branch when tracing is disabled, so the hot paths pay (nearly) nothing
+// unless a flight is being recorded.
+//
+// Layering note: obs sits beside core (core/router and core/escalate emit
+// through it, and obs renders core's kinds and scopes), so the two static
+// libraries reference each other. CMake supports this cycle explicitly; see
+// src/obs/CMakeLists.txt.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/error.hpp"
+
+namespace esg::obs {
+
+/// The paper's §3.1 taxonomy of error communication, as a span attribute:
+/// which form the error had when the event was recorded.
+enum class ErrorForm {
+  kExplicit,  ///< an ordinary result in the routine's range
+  kEscaping,  ///< a change of control flow (exception / broken connection)
+  kImplicit,  ///< no communication at all: silence, wrong data, collapse
+};
+
+std::string_view form_name(ErrorForm form);
+
+/// What happened to the error at this point of its journey.
+enum class TraceEventType {
+  kRaised,     ///< first discovered and represented as an Error value
+  kConverted,  ///< changed form (explicit<->escaping, or collapsed)
+  kEscalated,  ///< scope widened (by a layer, or by time, §5)
+  kRouted,     ///< handed to the manager of a scope (Principle 3 delivery)
+  kConsumed,   ///< a scope manager accepted it; the condition ends here
+  kMasked,     ///< hidden by fault tolerance (retry, replica, reschedule)
+  kDropped,    ///< discarded without a consumer — a hole in the structure
+  kDelivered,  ///< crossed the final boundary to the user
+  kImplicit,   ///< an implicit error was observed (crash/silence/corruption)
+};
+
+inline constexpr std::size_t kNumTraceEventTypes = 9;
+
+std::string_view event_type_name(TraceEventType type);
+
+/// One span in an error's causal journey.
+struct TraceEvent {
+  std::uint64_t id = 0;      ///< unique span id (assigned by the recorder)
+  std::uint64_t parent = 0;  ///< causal predecessor span; 0 = chain root
+  SimTime when{};            ///< simulated time of the event
+  TraceEventType type = TraceEventType::kRaised;
+  ErrorForm form = ErrorForm::kExplicit;
+  ErrorKind kind = ErrorKind::kUnknown;
+  ErrorScope scope = ErrorScope::kProcess;
+  std::uint64_t job = 0;  ///< owning job id; 0 = not job-associated
+  std::string component;  ///< who recorded it ("schedd@submit0", ...)
+  std::string detail;     ///< free-form context (message, handler, ...)
+
+  /// One-line rendering for dumps and logs.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Bounded ring-buffer journal of TraceEvents, plus per-type counters that
+/// survive ring eviction. Process-wide singleton (the simulation is single
+/// threaded, like LogSink and PrincipleAudit).
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// The hot-path guard. A static inline flag so TraceSink's emit methods
+  /// compile to one predictable branch when tracing is off.
+  [[nodiscard]] static bool enabled() { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Ring capacity; shrinking drops the oldest events. Must be >= 1.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Simulated-time source for events recorded without an explicit time
+  /// (Pool installs the engine clock, like LogSink).
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  /// Append an event. Assigns the span id; stamps `when` from the clock if
+  /// it is zero; if `parent` is 0, links the event to the most recent event
+  /// of the same job (or, for job-less events, of the same component) —
+  /// in a deterministic single-threaded simulation that reconstructs the
+  /// causal chain faithfully. Raised events always start a fresh chain.
+  /// Returns the assigned id.
+  std::uint64_t record(TraceEvent event);
+
+  /// All retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  /// The most recent `n` events, oldest first — the flight-recorder dump.
+  [[nodiscard]] std::vector<TraceEvent> last(std::size_t n) const;
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  /// Total events ever recorded, including ones the ring has dropped.
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  /// Events of a given type ever recorded (survives ring eviction).
+  [[nodiscard]] std::uint64_t count(TraceEventType type) const;
+
+  /// Find a retained event by span id; nullptr if evicted or unknown.
+  [[nodiscard]] const TraceEvent* find(std::uint64_t id) const;
+  /// The causal chain root..id (walking parent links through retained
+  /// events; an evicted ancestor truncates the walk).
+  [[nodiscard]] std::vector<TraceEvent> chain(std::uint64_t id) const;
+
+  /// Chronic-failure hook: the schedd marks the moment its avoidance logic
+  /// detects a chronically failing machine; the registered handler (demo,
+  /// operators) typically renders last(n) — "the last N events before the
+  /// failure". Marks are recorded even with no handler installed.
+  void set_on_chronic(std::function<void(const std::string& reason)> fn) {
+    on_chronic_ = std::move(fn);
+  }
+  void chronic_failure(const std::string& reason);
+  [[nodiscard]] const std::vector<std::pair<SimTime, std::string>>&
+  chronic_marks() const {
+    return chronic_marks_;
+  }
+
+  /// Drop all events, marks, counters and causal state. Keeps the enabled
+  /// flag, capacity, clock, and chronic handler.
+  void clear();
+
+ private:
+  FlightRecorder() = default;
+  static inline bool enabled_ = false;
+
+  std::vector<TraceEvent> ring_;  ///< circular once size() == capacity_
+  std::size_t head_ = 0;          ///< next slot to overwrite when full
+  std::size_t capacity_ = 8192;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_ = 0;
+  std::uint64_t counts_[kNumTraceEventTypes] = {};
+  std::map<std::uint64_t, std::uint64_t> last_by_job_;
+  std::map<std::string, std::uint64_t> last_by_component_;
+  std::function<SimTime()> clock_;
+  std::function<void(const std::string&)> on_chronic_;
+  std::vector<std::pair<SimTime, std::string>> chronic_marks_;
+};
+
+/// A cheap component-bound handle for emitting trace events — the tracing
+/// twin of esg::Logger. Copyable; all methods are no-ops (one inline
+/// branch) while the recorder is disabled, and every method returns the
+/// span id it recorded (0 when disabled) so callers may thread explicit
+/// causal parents when the default per-job linking is not enough.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  explicit TraceSink(std::string component)
+      : component_(std::move(component)) {}
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+  [[nodiscard]] static bool enabled() { return FlightRecorder::enabled(); }
+
+  /// An error was first discovered here as an explicit Error value.
+  std::uint64_t raised(const Error& e, std::uint64_t job = 0,
+                       std::string detail = {},
+                       std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kRaised, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// An explicit (or potential implicit) error became an escaping one:
+  /// a thrown Error, an aborted connection, a unique exit code (P2 raise).
+  std::uint64_t converted_to_escaping(const Error& e, std::uint64_t job = 0,
+                                      std::string detail = {},
+                                      std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kConverted, ErrorForm::kEscaping, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// An escaping error was caught one level up and became explicit again
+  /// (the second half of Principle 2).
+  std::uint64_t converted_to_explicit(const Error& e, std::uint64_t job = 0,
+                                      std::string detail = {},
+                                      std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kConverted, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// The error's scope was widened — by a layer reconsidering it, or by
+  /// persistence (§5). `from` is the scope before widening.
+  std::uint64_t escalated(const Error& e, ErrorScope from,
+                          std::uint64_t job = 0, std::string detail = {},
+                          std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    std::string d = std::string(scope_name(from)) + " -> " +
+                    std::string(scope_name(e.scope()));
+    if (!detail.empty()) d += ": " + detail;
+    return emit(TraceEventType::kEscalated, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(d), parent, &e);
+  }
+
+  /// The error was handed to `handler`, the manager of its scope (P3).
+  std::uint64_t routed(const Error& e, const std::string& handler,
+                       std::uint64_t job = 0, std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kRouted, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, "to " + handler, parent, &e);
+  }
+
+  /// A scope manager consumed the error: the condition is resolved here.
+  std::uint64_t consumed(const Error& e, std::uint64_t job = 0,
+                         std::string detail = {},
+                         std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kConsumed, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// The error was hidden by a fault-tolerance technique (retry,
+  /// reschedule, replica vote) — deliberately invisible to the user.
+  std::uint64_t masked(const Error& e, std::uint64_t job = 0,
+                       std::string detail = {},
+                       std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kMasked, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// The error was discarded with no consumer — a P3 hole.
+  std::uint64_t dropped(const Error& e, std::uint64_t job = 0,
+                        std::string detail = {},
+                        std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kDropped, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// The outcome crossed the final boundary to the user.
+  std::uint64_t delivered(const Error& e, std::uint64_t job = 0,
+                          std::string detail = {},
+                          std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kDelivered, ErrorForm::kExplicit, e.kind(),
+                e.scope(), job, std::move(detail), parent, &e);
+  }
+
+  /// An implicit error was observed: a crash, silence, corrupt data, or a
+  /// deliberate collapse of information (the Figure 4 exit code). There may
+  /// be no Error value — only the absence of a correct result.
+  std::uint64_t implicit(ErrorKind kind, ErrorScope scope,
+                         std::uint64_t job = 0, std::string detail = {},
+                         std::uint64_t parent = 0) const {
+    if (!enabled()) return 0;
+    return emit(TraceEventType::kImplicit, ErrorForm::kImplicit, kind, scope,
+                job, std::move(detail), parent, nullptr);
+  }
+
+ private:
+  std::uint64_t emit(TraceEventType type, ErrorForm form, ErrorKind kind,
+                     ErrorScope scope, std::uint64_t job, std::string detail,
+                     std::uint64_t parent, const Error* e) const;
+
+  std::string component_;
+};
+
+}  // namespace esg::obs

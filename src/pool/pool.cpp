@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::pool {
 
@@ -34,6 +35,10 @@ MachineSpec MachineSpec::tiny_heap(std::string name, std::int64_t bytes) {
 
 Pool::Pool(PoolConfig config)
     : config_(std::move(config)), engine_(config_.seed), fabric_(engine_) {
+  // Stamp flight-recorder events with this pool's simulated clock (the
+  // same arrangement LogSink uses). The destructor detaches it.
+  obs::FlightRecorder::global().set_clock([this] { return engine_.now(); });
+
   // Name anonymous machines.
   for (std::size_t i = 0; i < config_.machines.size(); ++i) {
     if (config_.machines[i].name.empty()) {
@@ -102,7 +107,7 @@ Pool::Pool(PoolConfig config)
   }
 }
 
-Pool::~Pool() = default;
+Pool::~Pool() { obs::FlightRecorder::global().clear_clock(); }
 
 void Pool::boot() {
   if (booted_) return;

@@ -17,6 +17,7 @@
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
+#include "obs/trace.hpp"
 
 namespace esg::sim {
 
@@ -93,13 +94,15 @@ class Engine {
 };
 
 /// Base class for simulation actors (daemons). Binds a name, the engine,
-/// a logger, and a forked RNG stream.
+/// a logger, a trace sink for the error flight recorder, and a forked RNG
+/// stream.
 class Actor {
  public:
   Actor(Engine& engine, std::string name)
       : engine_(&engine),
         name_(std::move(name)),
         log_(name_),
+        trace_(name_),
         rng_(engine.rng().fork(name_)) {}
   virtual ~Actor() = default;
 
@@ -112,6 +115,7 @@ class Actor {
 
  protected:
   [[nodiscard]] const Logger& log() const { return log_; }
+  [[nodiscard]] const obs::TraceSink& trace() const { return trace_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   TimerHandle after(SimTime delay, std::function<void()> fn) {
     return engine_->schedule(delay, std::move(fn));
@@ -121,6 +125,7 @@ class Actor {
   Engine* engine_;
   std::string name_;
   Logger log_;
+  obs::TraceSink trace_;
   Rng rng_;
 };
 

@@ -65,6 +65,46 @@ std::string MetricsRegistry::str() const {
   return os.str();
 }
 
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; anything else (dots,
+/// dashes, slashes in our registry names) becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::prometheus_str() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " counter\n";
+    os << pn << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " gauge\n";
+    os << pn << " " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prometheus_name(name);
+    os << "# TYPE " << pn << " summary\n";
+    for (double q : {0.5, 0.9, 0.99}) {
+      os << pn << "{quantile=\"" << q << "\"} " << h.quantile(q) << "\n";
+    }
+    os << pn << "_sum " << h.sum() << "\n";
+    os << pn << "_count " << h.count() << "\n";
+  }
+  return os.str();
+}
+
 void MetricsRegistry::reset() {
   counters_.clear();
   gauges_.clear();

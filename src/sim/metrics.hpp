@@ -30,15 +30,25 @@ class Gauge {
 
 /// Reservoir-free histogram: stores all samples (simulations are small
 /// enough) and computes order statistics on demand.
+///
+/// Empty-histogram contract: with no samples, `sum()`, `mean()`, `min()`,
+/// `max()`, and `quantile()` all return exactly 0 — never NaN, never a
+/// sentinel like +/-infinity. Callers that must distinguish "no data" from
+/// "data that averages to zero" check `empty()` first.
 class Histogram {
  public:
   void observe(double v) { samples_.push_back(v); }
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  /// 0 with no samples.
   [[nodiscard]] double sum() const;
+  /// 0 with no samples (not NaN: no 0/0 division is performed).
   [[nodiscard]] double mean() const;
+  /// 0 with no samples (not +infinity).
   [[nodiscard]] double min() const;
+  /// 0 with no samples (not -infinity).
   [[nodiscard]] double max() const;
-  /// q in [0, 1]; returns 0 with no samples.
+  /// q in [0, 1], clamped; returns 0 with no samples.
   [[nodiscard]] double quantile(double q) const;
   void reset() { samples_.clear(); }
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
@@ -62,12 +72,20 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, Counter>& counters() const {
     return counters_;
   }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const {
+    return gauges_;
+  }
   [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
   }
 
   /// Render all metrics as "name value" lines, sorted by name.
   [[nodiscard]] std::string str() const;
+
+  /// Prometheus text exposition format: counters as counters, gauges as
+  /// gauges, histograms as <name>_count/_sum plus quantile gauges. Merges
+  /// cleanly with obs::to_prometheus (pass this string as its `merge`).
+  [[nodiscard]] std::string prometheus_str() const;
 
   void reset();
 

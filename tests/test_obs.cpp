@@ -1,0 +1,463 @@
+// Tests for the error-propagation flight recorder, its exporters, and the
+// runtime principle checker.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/checker.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+#include "sim/metrics.hpp"
+
+namespace esg::obs {
+namespace {
+
+/// Every test drives the process-wide recorder: start enabled and empty,
+/// leave it disabled and empty so unrelated tests see the zero-cost path.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder& rec = FlightRecorder::global();
+    rec.clear();
+    rec.set_capacity(8192);
+    rec.set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder& rec = FlightRecorder::global();
+    rec.set_enabled(false);
+    rec.set_on_chronic(nullptr);
+    rec.clear_clock();
+    rec.clear();
+  }
+};
+
+Error sample_error(ErrorKind kind = ErrorKind::kFileNotFound) {
+  return Error(kind, "sample condition");
+}
+
+// ---- recorder core ----
+
+TEST_F(ObsTest, DisabledRecorderCostsNothingAndRecordsNothing) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.set_enabled(false);
+  const TraceSink sink("idle");
+  EXPECT_EQ(sink.raised(sample_error()), 0u);
+  EXPECT_EQ(sink.implicit(ErrorKind::kUnknown, ErrorScope::kProcess), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+}
+
+TEST_F(ObsTest, RingBufferWrapsKeepingNewestEvents) {
+  FlightRecorder& rec = FlightRecorder::global();
+  rec.set_capacity(8);
+  const TraceSink sink("ring");
+  std::uint64_t last_id = 0;
+  for (int i = 0; i < 20; ++i) {
+    last_id = sink.raised(sample_error(), 0, "event " + std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 8u);
+  EXPECT_EQ(rec.total_recorded(), 20u);
+  EXPECT_EQ(rec.count(TraceEventType::kRaised), 20u);
+
+  const std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest first, and exactly the newest eight survive.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].id, events[i].id);
+  }
+  EXPECT_EQ(events.back().id, last_id);
+  EXPECT_EQ(events.front().id, last_id - 7);
+  EXPECT_EQ(events.back().detail, "event 19");
+
+  // last(n) returns the n newest, still oldest first.
+  const std::vector<TraceEvent> tail = rec.last(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().id, last_id - 2);
+  EXPECT_EQ(tail.back().id, last_id);
+  // Asking for more than retained returns everything retained.
+  EXPECT_EQ(rec.last(100).size(), 8u);
+}
+
+TEST_F(ObsTest, ShrinkingCapacityDropsOldest) {
+  FlightRecorder& rec = FlightRecorder::global();
+  const TraceSink sink("shrink");
+  for (int i = 0; i < 10; ++i) sink.raised(sample_error());
+  rec.set_capacity(4);
+  const std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().id, 7u);
+  EXPECT_EQ(events.back().id, 10u);
+}
+
+TEST_F(ObsTest, EventsChainCausallyPerJob) {
+  const TraceSink sink("chain");
+  const std::uint64_t a = sink.raised(sample_error(), 7);
+  const std::uint64_t b = sink.routed(sample_error(), "schedd", 7);
+  const std::uint64_t c = sink.masked(sample_error(), 7, "retrying");
+  // A different job's events must not interleave into job 7's chain.
+  sink.raised(sample_error(), 8);
+  const std::uint64_t d = sink.delivered(sample_error(), 7);
+
+  FlightRecorder& rec = FlightRecorder::global();
+  const std::vector<TraceEvent> chain = rec.chain(d);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0].id, a);
+  EXPECT_EQ(chain[1].id, b);
+  EXPECT_EQ(chain[2].id, c);
+  EXPECT_EQ(chain[3].id, d);
+  EXPECT_EQ(chain[1].parent, a);
+
+  // A new raise for job 7 roots a fresh chain.
+  const std::uint64_t e = sink.raised(sample_error(), 7);
+  EXPECT_EQ(rec.find(e)->parent, 0u);
+}
+
+TEST_F(ObsTest, ExplicitParentOverridesAutoLinking) {
+  const TraceSink sink("explicit");
+  const std::uint64_t a = sink.raised(sample_error(), 3);
+  sink.routed(sample_error(), "somewhere", 3);
+  const std::uint64_t c = sink.consumed(sample_error(), 3, "done", a);
+  EXPECT_EQ(FlightRecorder::global().find(c)->parent, a);
+}
+
+TEST_F(ObsTest, ChronicFailureHookFiresAndMarks) {
+  FlightRecorder& rec = FlightRecorder::global();
+  std::vector<std::string> reasons;
+  rec.set_on_chronic([&](const std::string& r) { reasons.push_back(r); });
+  rec.chronic_failure("machine bad0 looks like a black hole");
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], "machine bad0 looks like a black hole");
+  ASSERT_EQ(rec.chronic_marks().size(), 1u);
+}
+
+// ---- Chrome trace export ----
+
+/// Minimal JSON validator: enough structure-checking to prove the export
+/// is loadable (balanced containers, quoted strings, legal escapes, no
+/// trailing garbage) without a JSON library in the repo.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(s_[pos_])) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(s_[pos_]) || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(s_[pos_])) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(ObsTest, ChromeTraceIsWellFormedJson) {
+  const TraceSink sink("exporter \"quoted\"\n");  // hostile component name
+  const std::uint64_t a =
+      sink.raised(sample_error().with_message("line1\nline2\t\"x\""), 5);
+  sink.routed(sample_error(), "schedd", 5, a);
+  sink.delivered(sample_error(), 5);
+  const std::string json = to_chrome_trace(FlightRecorder::global());
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // The format chrome://tracing expects: a traceEvents array, instant
+  // events, and flow arrows for the parent links.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceOfEmptyJournalIsValid) {
+  const std::string json = to_chrome_trace(FlightRecorder::global());
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+// ---- Prometheus export ----
+
+TEST_F(ObsTest, PrometheusExportCountsAndMerges) {
+  const TraceSink sink("prom");
+  sink.raised(sample_error());
+  sink.raised(sample_error());
+  sink.dropped(sample_error());
+
+  sim::MetricsRegistry reg;
+  reg.counter("jobs.completed").add(11);
+  const std::string text =
+      to_prometheus(FlightRecorder::global(), reg.prometheus_str());
+  EXPECT_NE(text.find("esg_trace_events_total{type=\"raised\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("esg_trace_events_total{type=\"dropped\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("esg_trace_retained_events 3"), std::string::npos);
+  // The registry's own metrics ride along on the same page.
+  EXPECT_NE(text.find("jobs_completed 11"), std::string::npos);
+}
+
+// ---- human dump ----
+
+TEST_F(ObsTest, DumpRendersReasonAndEvents) {
+  const TraceSink sink("dumper");
+  sink.raised(sample_error(ErrorKind::kJvmMissing), 9, "exec failed");
+  const std::string dump =
+      render_dump(FlightRecorder::global().last(10), "chronic failure");
+  EXPECT_NE(dump.find("chronic failure"), std::string::npos);
+  EXPECT_NE(dump.find("jvm-missing"), std::string::npos);
+  EXPECT_NE(dump.find("job=9"), std::string::npos);
+}
+
+// ---- principle checker ----
+
+TEST_F(ObsTest, SeededP1ViolationIsCaughtWithChain) {
+  // A daemon that receives a perfectly explicit error and turns it into an
+  // implicit crash — the exact failure mode Principle 1 forbids.
+  const TraceSink sink("bad-daemon");
+  const Error explicit_error = sample_error(ErrorKind::kJvmMissing);
+  const std::uint64_t raise = sink.raised(explicit_error, 4);
+  const std::uint64_t route = sink.routed(explicit_error, "bad-daemon", 4);
+  sink.implicit(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, 4,
+                "mapped to silent exit", route);
+
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  ASSERT_FALSE(report.ok());
+  const Violation* p1 = nullptr;
+  for (const Violation& v : report.violations) {
+    if (v.principle == Principle::kP1) p1 = &v;
+  }
+  ASSERT_NE(p1, nullptr) << report.str();
+  // The offending causal span chain: raise -> route -> implicit collapse.
+  ASSERT_EQ(p1->chain.size(), 3u);
+  EXPECT_EQ(p1->chain[0].id, raise);
+  EXPECT_EQ(p1->chain[1].id, route);
+  EXPECT_EQ(p1->chain[2].form, ErrorForm::kImplicit);
+  EXPECT_NE(p1->message.find("bad-daemon"), std::string::npos);
+}
+
+TEST_F(ObsTest, UncaughtEscapingErrorViolatesP2) {
+  const TraceSink sink("thrower");
+  Error e = sample_error(ErrorKind::kDiskFull);
+  sink.converted_to_escaping(e, 2, "thrown and never caught");
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  ASSERT_EQ(report.violations.size(), 1u) << report.str();
+  EXPECT_EQ(report.violations[0].principle, Principle::kP2);
+}
+
+TEST_F(ObsTest, CaughtEscapingErrorSatisfiesP2) {
+  const TraceSink sink("thrower");
+  Error e = sample_error(ErrorKind::kDiskFull);
+  sink.converted_to_escaping(e, 2, "thrown");
+  sink.converted_to_explicit(e, 2, "caught one level up");
+  sink.consumed(e, 2);
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST_F(ObsTest, DroppedErrorViolatesP3) {
+  const TraceSink sink("leaky");
+  const std::uint64_t raise = sink.raised(sample_error(), 6);
+  sink.dropped(sample_error(), 6, "nobody manages this scope");
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  ASSERT_EQ(report.violations.size(), 1u) << report.str();
+  EXPECT_EQ(report.violations[0].principle, Principle::kP3);
+  ASSERT_EQ(report.violations[0].chain.size(), 2u);
+  EXPECT_EQ(report.violations[0].chain[0].id, raise);
+}
+
+TEST_F(ObsTest, DeliveringUnknownViolatesP4) {
+  const TraceSink sink("vague");
+  sink.delivered(Error(ErrorKind::kUnknown, "something went wrong"), 1);
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  ASSERT_EQ(report.violations.size(), 1u) << report.str();
+  EXPECT_EQ(report.violations[0].principle, Principle::kP4);
+}
+
+TEST_F(ObsTest, StrictModeWarnsOnOpenChains) {
+  const TraceSink sink("open");
+  sink.raised(sample_error(), 1);  // never consumed, masked, or delivered
+  const CheckReport lax = PrincipleChecker().check(FlightRecorder::global());
+  EXPECT_TRUE(lax.ok());
+  EXPECT_TRUE(lax.warnings.empty());
+
+  PrincipleChecker::Options options;
+  options.strict_p3 = true;
+  const CheckReport strict =
+      PrincipleChecker(options).check(FlightRecorder::global());
+  EXPECT_TRUE(strict.ok());  // warnings, not violations
+  EXPECT_EQ(strict.warnings.size(), 1u);
+}
+
+// ---- end-to-end: instrumented grid workloads ----
+
+TEST_F(ObsTest, ScopedBlackHolePoolPassesAllPrincipleChecks) {
+  // The flagship scenario: a black-hole machine in a scoped-discipline
+  // pool. With the redesign's mechanisms in place the journal must show a
+  // principled journey for every error — no violations.
+  daemons::DisciplineConfig discipline = daemons::DisciplineConfig::scoped();
+  discipline.schedd_avoidance = true;
+
+  pool::PoolConfig config;
+  config.seed = 11;
+  config.discipline = discipline;
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(pool::MachineSpec::good("good0"));
+  config.machines.push_back(pool::MachineSpec::good("good1"));
+
+  std::vector<std::string> chronic;
+  FlightRecorder::global().set_on_chronic(
+      [&](const std::string& reason) { chronic.push_back(reason); });
+
+  pool::Pool pool(config);
+  Rng rng(3);
+  pool::WorkloadOptions options;
+  options.count = 12;
+  options.mean_compute = SimTime::sec(5);
+  for (auto& job : pool::make_workload(options, rng)) {
+    pool.submit(std::move(job));
+  }
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(6)));
+
+  FlightRecorder& rec = FlightRecorder::global();
+  EXPECT_GT(rec.total_recorded(), 0u);
+  // The black hole produced raises at the starter and maskings (retries)
+  // at the schedd.
+  EXPECT_GT(rec.count(TraceEventType::kRaised), 0u);
+  EXPECT_GT(rec.count(TraceEventType::kMasked), 0u);
+
+  const CheckReport report = PrincipleChecker().check(rec);
+  EXPECT_TRUE(report.ok()) << report.str();
+
+  // Avoidance kicked in: the chronic-failure hook saw bad0.
+  ASSERT_FALSE(chronic.empty());
+  EXPECT_NE(chronic[0].find("bad0"), std::string::npos);
+
+  // And the journal exports cleanly.
+  EXPECT_TRUE(JsonValidator(to_chrome_trace(rec)).valid());
+}
+
+TEST_F(ObsTest, NaiveDisciplineProducesP1ViolationEndToEnd) {
+  // The §2.3 pathology, observed live: under the naive discipline the
+  // starter launders a missing JVM into "exit code 1". The checker must
+  // see the explicit error become implicit.
+  pool::PoolConfig config;
+  config.seed = 13;
+  config.discipline = daemons::DisciplineConfig::naive();
+  pool::MachineSpec liar;
+  liar.name = "bad0";
+  liar.startd.owner_asserts_java = true;
+  liar.startd.jvm.installed = false;  // exec fails outright
+  config.machines.push_back(std::move(liar));
+
+  pool::Pool pool(config);
+  pool.submit(pool::make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  bool found_p1 = false;
+  for (const Violation& v : report.violations) {
+    if (v.principle == Principle::kP1 &&
+        v.message.find("jvm-missing") != std::string::npos) {
+      found_p1 = true;
+      EXPECT_GE(v.chain.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_p1) << report.str();
+}
+
+}  // namespace
+}  // namespace esg::obs

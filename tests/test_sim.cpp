@@ -135,10 +135,42 @@ TEST(Metrics, HistogramQuantiles) {
 }
 
 TEST(Metrics, EmptyHistogramIsSafe) {
+  // The documented empty-case contract: every statistic is exactly 0 (not
+  // NaN, not an infinity sentinel), and empty() is the discriminator.
   Histogram h;
+  EXPECT_TRUE(h.empty());
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0);
   EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.quantile(1), 0);
+  h.observe(7);
+  EXPECT_FALSE(h.empty());
+  EXPECT_DOUBLE_EQ(h.min(), 7);
+  EXPECT_DOUBLE_EQ(h.max(), 7);
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("jobs.done").add(4);
+  reg.gauge("pool-size").set(2.5);
+  reg.histogram("latency").observe(1);
+  reg.histogram("latency").observe(3);
+  const std::string text = reg.prometheus_str();
+  // Non [a-zA-Z0-9_:] characters must be mangled to '_'.
+  EXPECT_NE(text.find("# TYPE jobs_done counter\njobs_done 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_size gauge\npool_size 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("latency{quantile=\"0.5\"} 2\n"), std::string::npos);
 }
 
 TEST(Metrics, RegistryNamesAreStable) {
