@@ -2,7 +2,7 @@
 //
 //   $ ./classad_eval '2 + 3 * 4'
 //   $ ./classad_eval --ad 'a = 1; b = a * 2' b
-//   $ ./classad_eval --match 'Requirements = TARGET.Memory > 100' \
+//   $ ./classad_eval --match 'Requirements = TARGET.Memory > 100'
 //                            'Memory = 512; Requirements = true'
 #include <cstdio>
 #include <cstring>

@@ -1,0 +1,103 @@
+#include "analysis/sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace esg::analysis::sarif {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Log::add_rule(Rule rule) {
+  for (const Rule& r : rules_) {
+    if (r.id == rule.id) return;
+  }
+  rules_.push_back(std::move(rule));
+}
+
+void Log::add_result(Result result) { results_.push_back(std::move(result)); }
+
+std::string Log::str() const {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n    {\n"
+     << "      \"tool\": {\n        \"driver\": {\n"
+     << "          \"name\": \"" << json_escape(tool_) << "\",\n"
+     << "          \"version\": \"" << json_escape(version_) << "\",\n"
+     << "          \"informationUri\": "
+        "\"https://github.com/errorscope/errorscope\",\n"
+     << "          \"rules\": [";
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (i) os << ",";
+    os << "\n            {\"id\": \"" << json_escape(rules_[i].id)
+       << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(rules_[i].description) << "\"}}";
+  }
+  if (!rules_.empty()) os << "\n          ";
+  os << "]\n        }\n      },\n"
+     << "      \"results\": [";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const Result& r = results_[i];
+    if (i) os << ",";
+    os << "\n        {\n"
+       << "          \"ruleId\": \"" << json_escape(r.rule_id) << "\",\n"
+       << "          \"level\": \"" << json_escape(r.level) << "\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(r.message)
+       << "\"}";
+    const bool physical = !r.uri.empty();
+    const bool logical = !r.logical.empty();
+    if (physical || logical) {
+      os << ",\n          \"locations\": [\n            {";
+      if (physical) {
+        os << "\n              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << json_escape(r.uri) << "\"}";
+        if (r.line > 0) {
+          os << ",\n                \"region\": {\"startLine\": " << r.line
+             << "}";
+        }
+        os << "\n              }";
+        if (logical) os << ",";
+      }
+      if (logical) {
+        os << "\n              \"logicalLocations\": [";
+        for (std::size_t j = 0; j < r.logical.size(); ++j) {
+          if (j) os << ",";
+          os << "\n                {\"fullyQualifiedName\": \""
+             << json_escape(r.logical[j]) << "\"}";
+        }
+        os << "\n              ]";
+      }
+      os << "\n            }\n          ]";
+    }
+    os << "\n        }";
+  }
+  if (!results_.empty()) os << "\n      ";
+  os << "]\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace esg::analysis::sarif

@@ -1,0 +1,53 @@
+// Minimal SARIF 2.1.0 writer (Static Analysis Results Interchange Format).
+//
+// Both static layers — the scope verifier's model findings and esg-lint's
+// source findings — emit through this one writer so CI uploads a single
+// artifact format. Only the slice of the standard we need: one run, a tool
+// driver with rule metadata, and results carrying a message plus either a
+// physical location (file:line, lint) or logical locations (declaration
+// chain, verifier).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace esg::analysis::sarif {
+
+struct Rule {
+  std::string id;               ///< stable rule id ("esv/p3-routing-hole")
+  std::string description;      ///< one-line shortDescription
+};
+
+struct Result {
+  std::string rule_id;
+  std::string level = "error";  ///< "error" | "warning" | "note"
+  std::string message;
+  std::string uri;              ///< physical artifact (may be empty)
+  int line = 0;                 ///< 1-based; 0 = no physical location
+  std::vector<std::string> logical;  ///< declaration chain (may be empty)
+};
+
+class Log {
+ public:
+  explicit Log(std::string tool_name, std::string tool_version = "1.0.0")
+      : tool_(std::move(tool_name)), version_(std::move(tool_version)) {}
+
+  void add_rule(Rule rule);
+  void add_result(Result result);
+
+  [[nodiscard]] std::size_t result_count() const { return results_.size(); }
+
+  /// Serialize the whole log as a SARIF 2.1.0 JSON document.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string tool_;
+  std::string version_;
+  std::vector<Rule> rules_;
+  std::vector<Result> results_;
+};
+
+/// JSON string escaping shared with the writer (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace esg::analysis::sarif

@@ -1,0 +1,148 @@
+#include "analysis/topology.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace esg::analysis {
+
+bool InterfaceDecl::allows(ErrorKind kind) const {
+  return std::find(allowed.begin(), allowed.end(), kind) != allowed.end();
+}
+
+void TopologyModel::declare_component(std::string name) {
+  if (std::find(components_.begin(), components_.end(), name) ==
+      components_.end()) {
+    components_.push_back(std::move(name));
+  }
+}
+
+void TopologyModel::declare_interface(InterfaceDecl decl) {
+  declare_component(decl.component);
+  interfaces_.push_back(std::move(decl));
+}
+
+void TopologyModel::declare_handler(std::string component, ErrorScope scope) {
+  declare_component(component);
+  // At most one handler per scope; re-registration replaces (a restarted
+  // daemon taking over the scope), mirroring ScopeRouter::register_handler.
+  for (HandlerDecl& h : handlers_) {
+    if (h.scope == scope) {
+      h.component = std::move(component);
+      return;
+    }
+  }
+  handlers_.push_back(HandlerDecl{std::move(component), scope});
+}
+
+void TopologyModel::declare_detection(DetectionDecl decl) {
+  declare_component(decl.component);
+  detections_.push_back(std::move(decl));
+}
+
+void TopologyModel::declare_escalation(std::string component, ErrorScope from,
+                                       ErrorScope to) {
+  declare_component(component);
+  escalations_.push_back(EscalationDecl{std::move(component), from, to});
+}
+
+void TopologyModel::declare_flow(std::string from, std::string to) {
+  flows_.push_back(FlowDecl{std::move(from), std::move(to)});
+}
+
+void TopologyModel::unregister(ErrorScope scope) {
+  auto it = std::find_if(handlers_.begin(), handlers_.end(),
+                         [&](const HandlerDecl& h) { return h.scope == scope; });
+  if (it == handlers_.end()) return;
+  unregistered_.push_back(UnregisterDecl{it->component, it->scope});
+  handlers_.erase(it);
+}
+
+const InterfaceDecl* TopologyModel::find_interface(
+    const std::string& routine) const {
+  for (const InterfaceDecl& i : interfaces_) {
+    if (i.routine == routine) return &i;
+  }
+  return nullptr;
+}
+
+const DetectionDecl* TopologyModel::find_detection(
+    const std::string& point) const {
+  for (const DetectionDecl& d : detections_) {
+    if (d.point == point) return &d;
+  }
+  return nullptr;
+}
+
+std::optional<HandlerDecl> TopologyModel::handler_at_or_above(
+    ErrorScope scope) const {
+  const int rank = scope_rank(scope);
+  std::optional<HandlerDecl> best;
+  for (const HandlerDecl& h : handlers_) {
+    const int hrank = scope_rank(h.scope);
+    if (hrank < rank) continue;
+    if (!best || hrank < scope_rank(best->scope)) best = h;
+  }
+  return best;
+}
+
+std::vector<ErrorScope> TopologyModel::escalation_closure(
+    ErrorScope scope) const {
+  std::vector<ErrorScope> closure{scope};
+  // Fixed point over the (tiny) edge set; widening only, as the runtime
+  // ScopeEscalator applies its rules.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const EscalationDecl& e : escalations_) {
+      if (scope_rank(e.to) <= scope_rank(e.from)) continue;
+      const bool have_from =
+          std::find(closure.begin(), closure.end(), e.from) != closure.end();
+      const bool have_to =
+          std::find(closure.begin(), closure.end(), e.to) != closure.end();
+      if (have_from && !have_to) {
+        closure.push_back(e.to);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+std::string TopologyModel::str() const {
+  std::ostringstream os;
+  os << "topology: " << components_.size() << " component(s), "
+     << interfaces_.size() << " interface(s), " << handlers_.size()
+     << " handler(s), " << detections_.size() << " detection point(s), "
+     << flows_.size() << " flow(s), " << escalations_.size()
+     << " escalation edge(s)\n";
+  for (const HandlerDecl& h : handlers_) {
+    os << "  handler " << h.component << " manages " << scope_name(h.scope)
+       << "\n";
+  }
+  for (const UnregisterDecl& u : unregistered_) {
+    os << "  window: " << u.component << " unregistered from "
+       << scope_name(u.scope) << "\n";
+  }
+  for (const DetectionDecl& d : detections_) {
+    os << "  detection " << d.point << " (" << d.component << "):";
+    for (ErrorKind k : d.kinds) os << " " << kind_name(k);
+    os << "\n";
+  }
+  for (const InterfaceDecl& i : interfaces_) {
+    os << "  interface " << i.routine << " (" << i.component << ", "
+       << (i.mode == InterfaceMode::kFilter ? "filter" : "leak")
+       << (i.terminal ? ", terminal" : "") << "):";
+    for (ErrorKind k : i.allowed) os << " " << kind_name(k);
+    os << "\n";
+  }
+  for (const FlowDecl& f : flows_) {
+    os << "  flow " << f.from << " -> " << f.to << "\n";
+  }
+  for (const EscalationDecl& e : escalations_) {
+    os << "  escalation (" << e.component << ") " << scope_name(e.from)
+       << " -> " << scope_name(e.to) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace esg::analysis

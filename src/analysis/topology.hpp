@@ -1,0 +1,159 @@
+// TopologyModel: the pool's error topology as data (the static half of the
+// paper's four principles).
+//
+// PrincipleAudit counts what the mechanisms *did*; obs::PrincipleChecker
+// judges the journeys errors *took*. Both are dynamic: a routing hole or a
+// leaky interface is only found on the execution paths a scenario happens
+// to exercise. But the principles are design-time properties — "an error
+// must be propagated to the program that manages its scope", "error
+// interfaces must be concise and finite" — so they are checkable over the
+// *declared* topology without running anything. This header is that
+// declaration language: components state their error interfaces, scope
+// registrations, detection points, flows, and escalation edges; the
+// ScopeVerifier (verify.hpp) then proves or refutes P1–P4 over the model.
+//
+// Each daemon exports its declarations through a describe_topology() hook
+// (schedd, shadow, starter, startd, matchmaker, jvm, chirp);
+// pool/topology.hpp assembles the whole-pool model for a discipline.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+
+namespace esg::analysis {
+
+/// What an interface does with a non-contractual error reaching its
+/// boundary. kFilter is ErrorInterface::filter (escape, Principle 2);
+/// kLeak is ErrorInterface::leak — the naive §2.3 behaviour of delivering
+/// the error to the caller as if it were contractual.
+enum class InterfaceMode { kFilter, kLeak };
+
+/// One ErrorInterface contract: a routine boundary, the explicit kinds that
+/// are part of its contract, and what happens to everything else.
+struct InterfaceDecl {
+  std::string component;            ///< declaring daemon ("starter", ...)
+  std::string routine;              ///< unique node name ("JavaIo.open")
+  std::vector<ErrorKind> allowed;   ///< the finite contract (P4)
+  /// Scope floor applied when a non-contractual error escapes here.
+  ErrorScope escape_floor = ErrorScope::kProcess;
+  InterfaceMode mode = InterfaceMode::kFilter;
+  /// Terminal boundary: results cross to a human (the user / operator)
+  /// and flow no further.
+  bool terminal = false;
+
+  [[nodiscard]] bool allows(ErrorKind kind) const;
+};
+
+/// A ScopeRouter registration: `component` manages `scope` (Principle 3).
+struct HandlerDecl {
+  std::string component;
+  ErrorScope scope;
+};
+
+/// A detection point: a place where errors of the listed kinds are first
+/// discovered and represented as Error values.
+struct DetectionDecl {
+  std::string component;
+  std::string point;                ///< unique node name ("jvm.execute")
+  std::vector<ErrorKind> kinds;
+};
+
+/// An escalation edge: a fault classified at `from` scope that persists is
+/// reconsidered at `to` scope (§5: time widens scope). Declared from the
+/// same ScopeEscalator rules the runtime applies.
+struct EscalationDecl {
+  std::string component;            ///< who applies the rule ("schedd")
+  ErrorScope from;
+  ErrorScope to;
+};
+
+/// An explicit-error flow edge: results produced at node `from` (a
+/// detection point or an interface) surface at interface `to`.
+struct FlowDecl {
+  std::string from;
+  std::string to;
+};
+
+/// A routing window: a handler that was unregistered (a restarted or
+/// detached daemon). Kept in the model so a hole it opens can be reported
+/// with the window that caused it.
+struct UnregisterDecl {
+  std::string component;
+  ErrorScope scope;
+};
+
+/// The declared error topology of a whole pool. Built by daemon
+/// describe_topology() hooks plus inter-component flow wiring; consumed by
+/// the ScopeVerifier. Purely data — nothing here runs the simulation.
+class TopologyModel {
+ public:
+  void declare_component(std::string name);
+  void declare_interface(InterfaceDecl decl);
+  void declare_handler(std::string component, ErrorScope scope);
+  void declare_detection(DetectionDecl decl);
+  void declare_escalation(std::string component, ErrorScope from,
+                          ErrorScope to);
+  /// Wire node `from` (detection point or interface) into interface `to`.
+  void declare_flow(std::string from, std::string to);
+
+  /// Remove the handler for `scope`, recording the window it opens — the
+  /// static twin of ScopeRouter::unregister on a restarted daemon.
+  void unregister(ErrorScope scope);
+
+  [[nodiscard]] const std::vector<std::string>& components() const {
+    return components_;
+  }
+  [[nodiscard]] const std::vector<InterfaceDecl>& interfaces() const {
+    return interfaces_;
+  }
+  [[nodiscard]] const std::vector<HandlerDecl>& handlers() const {
+    return handlers_;
+  }
+  [[nodiscard]] const std::vector<DetectionDecl>& detections() const {
+    return detections_;
+  }
+  [[nodiscard]] const std::vector<EscalationDecl>& escalations() const {
+    return escalations_;
+  }
+  [[nodiscard]] const std::vector<FlowDecl>& flows() const { return flows_; }
+  [[nodiscard]] const std::vector<UnregisterDecl>& unregistered() const {
+    return unregistered_;
+  }
+
+  [[nodiscard]] const InterfaceDecl* find_interface(
+      const std::string& routine) const;
+  [[nodiscard]] const DetectionDecl* find_detection(
+      const std::string& point) const;
+
+  /// The handler managing `scope`, or the nearest registered enclosing
+  /// one — the static mirror of ScopeRouter::route's upper_bound walk.
+  /// nullopt when no handler exists at or above `scope` (a P3 hole).
+  [[nodiscard]] std::optional<HandlerDecl> handler_at_or_above(
+      ErrorScope scope) const;
+
+  /// Scopes reachable from `scope` by following escalation edges
+  /// transitively (always includes `scope` itself). Widening is monotone:
+  /// an edge that would narrow is ignored, as ScopeEscalator does.
+  [[nodiscard]] std::vector<ErrorScope> escalation_closure(
+      ErrorScope scope) const;
+
+  /// One-line per declaration, for dumps and debugging.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> components_;
+  std::vector<InterfaceDecl> interfaces_;
+  std::vector<HandlerDecl> handlers_;
+  std::vector<DetectionDecl> detections_;
+  std::vector<EscalationDecl> escalations_;
+  std::vector<FlowDecl> flows_;
+  std::vector<UnregisterDecl> unregistered_;
+};
+
+}  // namespace esg::analysis

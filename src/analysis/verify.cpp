@@ -1,0 +1,259 @@
+#include "analysis/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace esg::analysis {
+
+namespace {
+
+std::string principle_label(Principle p) {
+  switch (p) {
+    case Principle::kP1: return "P1";
+    case Principle::kP2: return "P2";
+    case Principle::kP3: return "P3";
+    case Principle::kP4: return "P4";
+  }
+  return "P?";
+}
+
+std::string describe_detection(const DetectionDecl& d, ErrorKind kind) {
+  return "detection " + d.point + " (" + d.component + ") raises " +
+         std::string(kind_name(kind)) + " at scope " +
+         std::string(scope_name(default_scope(kind)));
+}
+
+std::string describe_interface(const InterfaceDecl& i, ErrorKind kind) {
+  std::string verdict = i.allows(kind)
+                            ? "admits"
+                            : (i.mode == InterfaceMode::kFilter
+                                   ? "escapes (filter)"
+                                   : "leaks past");
+  return "interface " + i.routine + " (" + i.component + ", " +
+         (i.terminal ? "terminal, " : "") +
+         std::to_string(i.allowed.size()) + " kind(s)) " + verdict + " " +
+         std::string(kind_name(kind));
+}
+
+/// The walking state of one explicit kind moving along flow edges.
+struct WalkState {
+  std::string node;
+  bool representable = false;  ///< some interface admitted it so far
+  std::vector<std::string> chain;
+};
+
+/// A routing obligation: scope S must have a handler at or above it.
+struct Obligation {
+  ErrorScope scope;
+  std::string component;           ///< where the obligation arises
+  std::vector<std::string> chain;  ///< how an error reaches this scope
+};
+
+}  // namespace
+
+std::string Finding::str() const {
+  std::ostringstream os;
+  os << principle_label(principle) << " [" << rule << "] " << component
+     << ": " << message << "\n";
+  for (const std::string& link : chain) os << "    " << link << "\n";
+  return os.str();
+}
+
+bool AnalysisReport::has(Principle p) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.principle == p; });
+}
+
+std::string AnalysisReport::str() const {
+  std::ostringstream os;
+  os << "static scope verification: " << findings.size() << " finding(s), "
+     << detections_checked << " detection(s), " << interfaces_checked
+     << " interface(s), " << scopes_checked << " scope(s), " << paths_walked
+     << " path step(s)\n";
+  for (const Finding& f : findings) os << f.str();
+  return os.str();
+}
+
+AnalysisReport ScopeVerifier::verify(const TopologyModel& model) const {
+  AnalysisReport report;
+
+  // ---- P4: interfaces concise and finite ----------------------------------
+  for (const InterfaceDecl& i : model.interfaces()) {
+    ++report.interfaces_checked;
+    if (i.allows(ErrorKind::kUnknown)) {
+      Finding f;
+      f.principle = Principle::kP4;
+      f.rule = "esv/p4-catch-all";
+      f.component = i.component;
+      f.message = "interface '" + i.routine +
+                  "' admits the catch-all kind 'unknown' — a generic error "
+                  "that widens until it means nothing (§3.4)";
+      f.chain.push_back(describe_interface(i, ErrorKind::kUnknown));
+      report.findings.push_back(std::move(f));
+    }
+    if (i.allowed.size() > options_.finiteness_budget) {
+      Finding f;
+      f.principle = Principle::kP4;
+      f.rule = "esv/p4-budget";
+      f.component = i.component;
+      f.message = "interface '" + i.routine + "' enumerates " +
+                  std::to_string(i.allowed.size()) +
+                  " kinds, over the finiteness budget of " +
+                  std::to_string(options_.finiteness_budget);
+      f.chain.push_back("interface " + i.routine + " (" + i.component + ") " +
+                        std::to_string(i.allowed.size()) + " kind(s) > budget " +
+                        std::to_string(options_.finiteness_budget));
+      report.findings.push_back(std::move(f));
+    }
+  }
+
+  // ---- walk every (detection, kind) along the flow graph ------------------
+  // Collect routing obligations (P3) and laundering/escape findings (P1/P2)
+  // along the way. De-duplicate findings per (rule, node, kind): many
+  // detections can feed one leaky boundary.
+  std::vector<Obligation> obligations;
+  std::set<std::pair<std::string, std::string>> reported;
+  auto report_once = [&](Finding f, const std::string& node, ErrorKind kind) {
+    const auto key = std::make_pair(f.rule + "@" + node,
+                                    std::string(kind_name(kind)));
+    if (!reported.insert(key).second) return;
+    report.findings.push_back(std::move(f));
+  };
+
+  for (const DetectionDecl& d : model.detections()) {
+    ++report.detections_checked;
+    for (ErrorKind kind : d.kinds) {
+      // Every kind, when first discovered, invalidates its default scope;
+      // someone must manage that scope whether or not an explicit flow path
+      // also carries the result upward.
+      obligations.push_back(Obligation{
+          default_scope(kind), d.component, {describe_detection(d, kind)}});
+
+      std::vector<WalkState> frontier{
+          WalkState{d.point, false, {describe_detection(d, kind)}}};
+      std::set<std::string> visited{d.point};
+      while (!frontier.empty()) {
+        WalkState state = std::move(frontier.back());
+        frontier.pop_back();
+        for (const FlowDecl& flow : model.flows()) {
+          if (flow.from != state.node) continue;
+          ++report.paths_walked;
+          const InterfaceDecl* next = model.find_interface(flow.to);
+          if (next == nullptr) continue;  // dangling edge: nothing to prove
+          WalkState onward = state;
+          onward.node = flow.to;
+          onward.chain.push_back(describe_interface(*next, kind));
+
+          if (next->allows(kind)) {
+            onward.representable = true;
+          } else if (next->mode == InterfaceMode::kFilter &&
+                     !next->terminal) {
+            // Principle 2 applied: the kind escapes here with its scope
+            // widened to at least the floor; it stops flowing explicitly
+            // and becomes a routing obligation instead.
+            ErrorScope escaped = default_scope(kind);
+            if (scope_rank(next->escape_floor) > scope_rank(escaped)) {
+              escaped = next->escape_floor;
+            }
+            std::vector<std::string> chain = onward.chain;
+            chain.push_back("escapes at scope " +
+                            std::string(scope_name(escaped)));
+            obligations.push_back(
+                Obligation{escaped, next->component, std::move(chain)});
+            continue;
+          } else {
+            // A non-contractual explicit kind crosses this boundary: the
+            // consumer's interface cannot represent it, so its identity is
+            // laundered — the §2.3 path, found structurally.
+            Finding f;
+            f.principle = Principle::kP1;
+            f.rule = "esv/p1-laundering";
+            f.component = next->component;
+            f.message = "explicit kind '" + std::string(kind_name(kind)) +
+                        "' is deliverable to '" + next->routine +
+                        "' whose interface does not allow it; the error's "
+                        "identity is destroyed at this boundary";
+            f.chain = onward.chain;
+            report_once(std::move(f), next->routine, kind);
+          }
+
+          if (next->terminal) {
+            if (!onward.representable) {
+              // The kind reached the end of its path without ever being
+              // contractual and without ever escaping: no disciplined exit.
+              Finding f;
+              f.principle = Principle::kP2;
+              f.rule = "esv/p2-escape-gap";
+              f.component = next->component;
+              f.message = "kind '" + std::string(kind_name(kind)) +
+                          "' is non-contractual along its whole path and "
+                          "never meets an escaping conversion";
+              f.chain = onward.chain;
+              report_once(std::move(f), next->routine, kind);
+            }
+            continue;
+          }
+          if (visited.insert(flow.to).second) {
+            frontier.push_back(std::move(onward));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- P3: every raisable scope has a manager at or above it --------------
+  // Expand each obligation through the escalation edges (§5: time widens
+  // scope), then check the handler table once per distinct scope, keeping
+  // the shortest chain that reaches it as the witness.
+  std::map<int, Obligation> by_scope;
+  for (const Obligation& o : obligations) {
+    for (ErrorScope scope : model.escalation_closure(o.scope)) {
+      Obligation widened = o;
+      if (scope != o.scope) {
+        widened.chain.push_back("escalates " +
+                                std::string(scope_name(o.scope)) + " -> " +
+                                std::string(scope_name(scope)) +
+                                " (persistence rule)");
+      }
+      widened.scope = scope;
+      auto it = by_scope.find(scope_rank(scope));
+      if (it == by_scope.end() ||
+          widened.chain.size() < it->second.chain.size()) {
+        by_scope[scope_rank(scope)] = std::move(widened);
+      }
+    }
+  }
+  for (auto& [rank, obligation] : by_scope) {
+    (void)rank;
+    ++report.scopes_checked;
+    if (model.handler_at_or_above(obligation.scope)) continue;
+    Finding f;
+    f.principle = Principle::kP3;
+    f.rule = "esv/p3-routing-hole";
+    f.component = obligation.component;
+    f.message = "errors of scope '" +
+                std::string(scope_name(obligation.scope)) +
+                "' are raisable but no handler is registered at or above "
+                "that scope";
+    f.chain = obligation.chain;
+    f.chain.push_back("no handler at or above scope " +
+                      std::string(scope_name(obligation.scope)));
+    // If a window (unregister) would have covered the scope, name it: the
+    // hole was opened, not designed.
+    for (const UnregisterDecl& u : model.unregistered()) {
+      if (scope_rank(u.scope) >= scope_rank(obligation.scope)) {
+        f.chain.push_back("window: handler '" + u.component +
+                          "' was unregistered from scope " +
+                          std::string(scope_name(u.scope)));
+      }
+    }
+    report.findings.push_back(std::move(f));
+  }
+
+  return report;
+}
+
+}  // namespace esg::analysis

@@ -1,0 +1,81 @@
+// ScopeVerifier: whole-pool model checking of the paper's four principles
+// over a declared TopologyModel — without running the simulation.
+//
+// What is proved (or refuted), per check:
+//
+//   P3  Routing holes. Every scope at which an error can be raised —
+//       detection-point default scopes, escape floors of filter
+//       interfaces, and everything reachable from those by escalation
+//       edges — must have a handler registered at or above it. A scope
+//       with none is a hole in the management structure; if an
+//       unregistered handler (a restarted daemon's window) would have
+//       covered it, the window is named in the finding.
+//   P1  Laundering hazards. An explicit error kind deliverable to a
+//       boundary whose interface does not allow it, with no escaping
+//       conversion in between (a leak-mode interface or a terminal
+//       consumer), will have its identity destroyed — the §2.3 path of
+//       "useful explicit error becomes generic result", found
+//       structurally.
+//   P2  Escape gaps. A kind that is non-contractual at every interface
+//       along its flow path and never meets a filter (escaping
+//       conversion) has no disciplined exit: the topology offers it no
+//       representation and no escape.
+//   P4  Finiteness. An interface whose contract contains the catch-all
+//       kUnknown, or enumerates more kinds than the finiteness budget,
+//       is not "concise and finite".
+//
+// Every finding carries the offending declaration chain (detection ->
+// interfaces -> handler/window) so the hole can be read off the report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/topology.hpp"
+#include "core/audit.hpp"
+
+namespace esg::analysis {
+
+/// One statically proven principle violation, with the declaration chain
+/// that exhibits it.
+struct Finding {
+  Principle principle = Principle::kP1;
+  std::string rule;               ///< stable rule id ("esv/p1-laundering")
+  std::string component;          ///< offending component
+  std::string message;
+  std::vector<std::string> chain;  ///< declaration chain, root first
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> findings;
+  std::size_t detections_checked = 0;
+  std::size_t interfaces_checked = 0;
+  std::size_t scopes_checked = 0;
+  std::size_t paths_walked = 0;
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+  [[nodiscard]] bool has(Principle p) const;
+  [[nodiscard]] std::string str() const;
+};
+
+class ScopeVerifier {
+ public:
+  struct Options {
+    /// P4 budget: an interface enumerating more explicit kinds than this
+    /// is no longer "concise and finite".
+    std::size_t finiteness_budget = 20;
+  };
+
+  ScopeVerifier() = default;
+  explicit ScopeVerifier(Options options) : options_(options) {}
+
+  [[nodiscard]] AnalysisReport verify(const TopologyModel& model) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esg::analysis

@@ -50,8 +50,34 @@ Code kind_to_code(ErrorKind kind) {
     case ErrorKind::kConnectionRefused:
     case ErrorKind::kHostUnreachable:
       return Code::kDisconnected;
-    default: return Code::kTransient;
+    // Everything else has no wire code of its own and degrades to
+    // TRANSIENT. Exhaustive on purpose: a new kind must choose its code
+    // here rather than silently falling into a default.
+    case ErrorKind::kNameTooLong:
+    case ErrorKind::kProtocolError:
+    case ErrorKind::kNullPointer:
+    case ErrorKind::kArrayIndexOutOfBounds:
+    case ErrorKind::kArithmeticError:
+    case ErrorKind::kUncaughtException:
+    case ErrorKind::kExitNonZero:
+    case ErrorKind::kOutOfMemory:
+    case ErrorKind::kStackOverflow:
+    case ErrorKind::kInternalVmError:
+    case ErrorKind::kJvmMisconfigured:
+    case ErrorKind::kJvmMissing:
+    case ErrorKind::kScratchUnavailable:
+    case ErrorKind::kCorruptImage:
+    case ErrorKind::kClassNotFound:
+    case ErrorKind::kBadJobDescription:
+    case ErrorKind::kInputUnavailable:
+    case ErrorKind::kClaimRejected:
+    case ErrorKind::kPolicyRefused:
+    case ErrorKind::kMatchExpired:
+    case ErrorKind::kDaemonCrashed:
+    case ErrorKind::kUnknown:
+      return Code::kTransient;
   }
+  return Code::kTransient;
 }
 
 std::string_view code_name(Code code) {

@@ -1,5 +1,7 @@
 #include "chirp/server.hpp"
 
+#include "analysis/topology.hpp"
+
 namespace esg::chirp {
 
 // ---- FsBackend ----
@@ -272,6 +274,35 @@ void ChirpServer::flush() {
     slots_.pop_front();
     ++base_;
   }
+}
+
+void describe_topology(analysis::TopologyModel& model) {
+  model.declare_component("chirp");
+
+  // What the transport layer can discover on its own: connection faults
+  // (network scope), malformed traffic, and authentication refusals.
+  model.declare_detection(
+      {"chirp",
+       "chirp.transport",
+       {ErrorKind::kConnectionRefused, ErrorKind::kConnectionLost,
+        ErrorKind::kConnectionTimedOut, ErrorKind::kHostUnreachable,
+        ErrorKind::kProtocolError, ErrorKind::kRequestMalformed,
+        ErrorKind::kAuthenticationFailed}});
+
+  // The RPC result contract: the finite set of error codes the wire
+  // protocol can carry back to a caller (protocol.cpp kind_to_code).
+  analysis::InterfaceDecl rpc;
+  rpc.component = "chirp";
+  rpc.routine = "chirp.rpc";
+  rpc.allowed = {ErrorKind::kFileNotFound,      ErrorKind::kAccessDenied,
+                 ErrorKind::kFileExists,        ErrorKind::kNotDirectory,
+                 ErrorKind::kIsDirectory,       ErrorKind::kEndOfFile,
+                 ErrorKind::kDiskFull,          ErrorKind::kIoError,
+                 ErrorKind::kBadFileDescriptor, ErrorKind::kMountOffline,
+                 ErrorKind::kQuotaExceeded,     ErrorKind::kNotAuthorized};
+  rpc.escape_floor = ErrorScope::kNetwork;
+  model.declare_interface(std::move(rpc));
+  model.declare_flow("chirp.transport", "chirp.rpc");
 }
 
 }  // namespace esg::chirp

@@ -17,6 +17,10 @@
 #include "fs/simfs.hpp"
 #include "net/fabric.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::chirp {
 
 /// Asynchronous backend interface. Implementations call `reply` exactly
@@ -118,5 +122,11 @@ class ChirpServer {
   std::size_t base_ = 0;  ///< index of the first unsent slot
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
+
+/// Static error-topology declaration for the chirp layer (the analysis/
+/// model-checker hook). The protocol's error vocabulary is fixed by the
+/// wire codes, so this is discipline-independent: the transport detection
+/// point ("chirp.transport") and the RPC result contract ("chirp.rpc").
+void describe_topology(analysis::TopologyModel& model);
 
 }  // namespace esg::chirp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/topology.hpp"
+
 namespace esg::daemons {
 
 Matchmaker::Matchmaker(sim::Engine& engine, net::NetworkFabric& fabric,
@@ -194,6 +196,24 @@ void Matchmaker::negotiate() {
   }
 
   after(timeouts_.matchmaker_interval, [this] { negotiate(); });
+}
+
+void Matchmaker::describe_topology(analysis::TopologyModel& model) {
+  model.declare_component("matchmaker");
+
+  model.declare_detection(
+      {"matchmaker",
+       "matchmaker.negotiate",
+       {ErrorKind::kMatchExpired, ErrorKind::kRequestMalformed}});
+
+  // The matchmaker's word is advisory: the only condition it reports to a
+  // schedd is that a match went stale. Malformed updates escape here.
+  analysis::InterfaceDecl advise;
+  advise.component = "matchmaker";
+  advise.routine = "matchmaker.advise";
+  advise.allowed = {ErrorKind::kMatchExpired};
+  model.declare_interface(std::move(advise));
+  model.declare_flow("matchmaker.negotiate", "matchmaker.advise");
 }
 
 }  // namespace esg::daemons

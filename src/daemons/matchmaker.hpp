@@ -18,6 +18,10 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::daemons {
 
 class Matchmaker : public sim::Actor {
@@ -42,6 +46,12 @@ class Matchmaker : public sim::Actor {
   [[nodiscard]] std::size_t known_submitters() const {
     return submitter_ads_.size();
   }
+
+  /// Static error-topology declaration (the analysis/ model-checker hook):
+  /// negotiation detections ("matchmaker.negotiate") and the advisory
+  /// contract towards the schedd ("matchmaker.advise"). The matchmaker's
+  /// word is advisory, so its topology is discipline-independent.
+  static void describe_topology(analysis::TopologyModel& model);
 
  private:
   struct StartdEntry {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/topology.hpp"
 #include "common/strings.hpp"
+#include "core/escalate.hpp"
 
 namespace esg::daemons {
 
@@ -468,6 +470,47 @@ void Schedd::finalize(JobRecord& record, JobState state,
   journal("finalize job " + std::to_string(record.description.id.value()) +
           " " + std::string(job_state_name(state)));
   if (on_job_done_) on_job_done_(record);
+}
+
+void Schedd::describe_topology(analysis::TopologyModel& model,
+                               const DisciplineConfig& discipline) {
+  model.declare_component("schedd");
+
+  // Queue-side discoveries: bad submissions and claim/match breakdowns.
+  model.declare_detection(
+      {"schedd",
+       "schedd.queue",
+       {ErrorKind::kBadJobDescription, ErrorKind::kClaimRejected,
+        ErrorKind::kMatchExpired, ErrorKind::kDaemonCrashed}});
+
+  analysis::InterfaceDecl disposition;
+  disposition.component = "schedd";
+  disposition.routine = "schedd.disposition";
+  if (discipline.scope_routing) {
+    // §4: the last line of defense. Program and job scope go back to the
+    // user; anything in between is the schedd's to retry elsewhere.
+    model.declare_handler("schedd", ErrorScope::kJob);
+    if (discipline.use_escalation) {
+      const ScopeEscalator escalator = ScopeEscalator::schedd_defaults();
+      for (const EscalationRule& rule : escalator.rules()) {
+        model.declare_escalation("schedd", rule.from, rule.to);
+      }
+    }
+    disposition.allowed = {
+        ErrorKind::kNullPointer,     ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError, ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero,     ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow,   ErrorKind::kInternalVmError,
+        ErrorKind::kCorruptImage,    ErrorKind::kClassNotFound,
+        ErrorKind::kBadJobDescription};
+    disposition.escape_floor = ErrorScope::kJob;
+  } else {
+    // §2.3: every outcome is returned to the user directly.
+    disposition.allowed = {ErrorKind::kExitNonZero};
+    disposition.mode = analysis::InterfaceMode::kLeak;
+  }
+  model.declare_interface(std::move(disposition));
+  model.declare_flow("schedd.queue", "schedd.disposition");
 }
 
 }  // namespace esg::daemons

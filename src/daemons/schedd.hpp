@@ -25,6 +25,10 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::daemons {
 
 class Schedd : public sim::Actor {
@@ -72,6 +76,14 @@ class Schedd : public sim::Actor {
   [[nodiscard]] const std::map<std::string, SimTime>& avoided_machines() const {
     return avoid_until_;
   }
+
+  /// Static error-topology declaration (the analysis/ model-checker hook):
+  /// queue-side detections ("schedd.queue") and the disposition contract
+  /// towards the user ("schedd.disposition"). Under the scoped discipline
+  /// the schedd registers as job-scope manager and contributes its
+  /// ScopeEscalator::schedd_defaults() escalation edges.
+  static void describe_topology(analysis::TopologyModel& model,
+                                const DisciplineConfig& discipline);
 
  private:
   struct Running {

@@ -1,5 +1,6 @@
 #include "daemons/shadow.hpp"
 
+#include "analysis/topology.hpp"
 #include "jvm/jvm.hpp"
 
 namespace esg::daemons {
@@ -292,6 +293,54 @@ void Shadow::finish(ExecutionSummary summary) {
 void Shadow::fail(Error error) {
   finish(ExecutionSummary::environment(
       std::move(error).with_origin("shadow@" + submit_host_), startd_name_));
+}
+
+void Shadow::describe_topology(analysis::TopologyModel& model,
+                               const DisciplineConfig& discipline) {
+  model.declare_component("shadow");
+
+  // Submit-side I/O served off the home filesystem: per-file failures plus
+  // an offline mount, which invalidates the whole local resource.
+  model.declare_detection(
+      {"shadow",
+       "shadow.submit-io",
+       {ErrorKind::kFileNotFound, ErrorKind::kAccessDenied,
+        ErrorKind::kIsDirectory, ErrorKind::kEndOfFile, ErrorKind::kDiskFull,
+        ErrorKind::kIoError, ErrorKind::kMountOffline}});
+
+  // What the shadow concludes about an attempt from its own vantage point:
+  // submit-side unavailability and execution-channel breakdowns.
+  model.declare_detection(
+      {"shadow",
+       "shadow.classify",
+       {ErrorKind::kInputUnavailable, ErrorKind::kConnectionLost,
+        ErrorKind::kConnectionTimedOut, ErrorKind::kDaemonCrashed}});
+
+  analysis::InterfaceDecl attempt;
+  attempt.component = "shadow";
+  attempt.routine = "shadow.attempt";
+  if (discipline.scope_routing) {
+    // Figure 3: the shadow manages local-resource scope and reports a
+    // scope-bearing attempt outcome to the schedd.
+    model.declare_handler("shadow", ErrorScope::kLocalResource);
+    attempt.allowed = {
+        ErrorKind::kNullPointer,      ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError,  ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero,      ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow,    ErrorKind::kInternalVmError,
+        ErrorKind::kCorruptImage,     ErrorKind::kClassNotFound,
+        ErrorKind::kJvmMissing,       ErrorKind::kJvmMisconfigured,
+        ErrorKind::kScratchUnavailable, ErrorKind::kInputUnavailable,
+        ErrorKind::kConnectionLost,   ErrorKind::kConnectionTimedOut,
+        ErrorKind::kDaemonCrashed,    ErrorKind::kMountOffline};
+    attempt.escape_floor = ErrorScope::kLocalResource;
+  } else {
+    // Naive: the attempt outcome is whatever exit code came back.
+    attempt.allowed = {ErrorKind::kExitNonZero};
+    attempt.mode = analysis::InterfaceMode::kLeak;
+  }
+  model.declare_interface(std::move(attempt));
+  model.declare_flow("shadow.classify", "shadow.attempt");
 }
 
 }  // namespace esg::daemons

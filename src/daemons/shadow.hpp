@@ -21,6 +21,10 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::daemons {
 
 class Shadow {
@@ -37,6 +41,14 @@ class Shadow {
   Shadow& operator=(const Shadow&) = delete;
 
   void run();
+
+  /// Static error-topology declaration (the analysis/ model-checker hook):
+  /// what the shadow detects on the submit side ("shadow.submit-io",
+  /// "shadow.classify") and the attempt-outcome contract it reports
+  /// upward ("shadow.attempt"). Under the scoped discipline the shadow
+  /// also registers as local-resource scope manager (Figure 3).
+  static void describe_topology(analysis::TopologyModel& model,
+                                const DisciplineConfig& discipline);
 
  private:
   void on_channel(Result<std::shared_ptr<RpcChannel>> channel);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/topology.hpp"
 #include "classad/match.hpp"
 #include "daemons/starter.hpp"
 #include "jvm/javaio.hpp"
@@ -309,6 +310,21 @@ void Startd::release_claim(const std::string& why) {
   log().debug("claim released: ", why);
   claim_.reset();
   advertise_now();  // the machine is Unclaimed as of now
+}
+
+void Startd::describe_topology(analysis::TopologyModel& model,
+                               const DisciplineConfig& discipline) {
+  model.declare_component("startd");
+
+  std::vector<ErrorKind> kinds = {ErrorKind::kPolicyRefused,
+                                  ErrorKind::kClaimRejected};
+  // Without the §5 self-test, the owner's wrong assertion about Java is
+  // only discovered by a visiting job; with it, the broken installation is
+  // never advertised, so the fault cannot reach the pool's error paths.
+  if (!discipline.startd_selftest) {
+    kinds.push_back(ErrorKind::kJvmMisconfigured);
+  }
+  model.declare_detection({"startd", "startd.policy", std::move(kinds)});
 }
 
 }  // namespace esg::daemons

@@ -23,6 +23,10 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::daemons {
 
 class Starter;
@@ -67,6 +71,13 @@ class Startd : public sim::Actor {
   /// scenario of scavenging idle workstation cycles (§2.1).
   void set_owner_active(bool active);
   [[nodiscard]] bool owner_active() const { return owner_active_; }
+
+  /// Static error-topology declaration (the analysis/ model-checker hook):
+  /// the owner-policy detections ("startd.policy"). With the §5 self-test
+  /// on, a misconfigured Java never reaches jobs — the kind drops out of
+  /// the detection set entirely.
+  static void describe_topology(analysis::TopologyModel& model,
+                                const DisciplineConfig& discipline);
 
  private:
   struct Claim {

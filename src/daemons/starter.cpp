@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/topology.hpp"
 #include "common/strings.hpp"
 
 namespace esg::daemons {
@@ -706,6 +707,47 @@ void Starter::cleanup() {
   if (!scratch_.empty()) {
     (void)machine_fs_.remove_all(scratch_);
   }
+}
+
+void Starter::describe_topology(analysis::TopologyModel& model,
+                                const DisciplineConfig& discipline) {
+  model.declare_component("starter");
+
+  // Environment faults the starter discovers while building the job's
+  // world: exec-time JVM failures, scratch space, and image problems.
+  model.declare_detection(
+      {"starter",
+       "starter.environment",
+       {ErrorKind::kJvmMissing, ErrorKind::kJvmMisconfigured,
+        ErrorKind::kScratchUnavailable, ErrorKind::kCorruptImage,
+        ErrorKind::kClassNotFound}});
+
+  analysis::InterfaceDecl report;
+  report.component = "starter";
+  report.routine = "starter.report";
+  if (discipline.wrap == jvm::WrapMode::kWrapped) {
+    // §4: the starter reads the wrapper's result file, adds what it knows
+    // about the environment, and reports a scope-bearing summary. It
+    // manages remote-resource scope — this machine's failures are its own.
+    model.declare_handler("starter", ErrorScope::kRemoteResource);
+    report.allowed = {
+        ErrorKind::kNullPointer,      ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError,  ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero,      ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow,    ErrorKind::kInternalVmError,
+        ErrorKind::kCorruptImage,     ErrorKind::kClassNotFound,
+        ErrorKind::kJvmMissing,       ErrorKind::kJvmMisconfigured,
+        ErrorKind::kScratchUnavailable};
+    report.escape_floor = ErrorScope::kRemoteResource;
+  } else {
+    // §2.3: the report is the JVM exit code. Every condition — program
+    // exception, missing JVM, offline filesystem — collapses into it, and
+    // the starter passes it along as if it were the program's own doing.
+    report.allowed = {ErrorKind::kExitNonZero};
+    report.mode = analysis::InterfaceMode::kLeak;
+  }
+  model.declare_interface(std::move(report));
+  model.declare_flow("starter.environment", "starter.report");
 }
 
 }  // namespace esg::daemons

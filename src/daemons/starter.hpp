@@ -25,6 +25,10 @@
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::daemons {
 
 /// Routes proxy operations: relative paths go to the local scratch
@@ -95,6 +99,14 @@ class Starter {
   void preempt(const std::string& why);
 
   [[nodiscard]] const std::string& scratch_dir() const { return scratch_; }
+
+  /// Static error-topology declaration (the analysis/ model-checker hook):
+  /// the environment faults the starter discovers ("starter.environment")
+  /// and the report it sends the shadow ("starter.report"). Under kWrapped
+  /// the report preserves scope and the starter manages remote-resource
+  /// scope; under kBare it is the exit code — the §2.3 laundering boundary.
+  static void describe_topology(analysis::TopologyModel& model,
+                                const DisciplineConfig& discipline);
 
  private:
   void fetch_inputs(std::size_t index, std::function<void(Result<void>)> done);

@@ -5,15 +5,54 @@
 namespace esg::fs {
 
 bool is_retryable(const Error& error) {
+  // Exhaustive on purpose: a new kind must make a deliberate choice about
+  // retry semantics rather than silently inheriting "permanent".
   switch (error.kind()) {
     case ErrorKind::kMountOffline:
     case ErrorKind::kIoError:
     case ErrorKind::kConnectionTimedOut:
     case ErrorKind::kConnectionLost:
       return true;
-    default:
+    case ErrorKind::kFileNotFound:
+    case ErrorKind::kAccessDenied:
+    case ErrorKind::kFileExists:
+    case ErrorKind::kNotDirectory:
+    case ErrorKind::kIsDirectory:
+    case ErrorKind::kNameTooLong:
+    case ErrorKind::kEndOfFile:
+    case ErrorKind::kDiskFull:
+    case ErrorKind::kBadFileDescriptor:
+    case ErrorKind::kQuotaExceeded:
+    case ErrorKind::kConnectionRefused:
+    case ErrorKind::kHostUnreachable:
+    case ErrorKind::kProtocolError:
+    case ErrorKind::kAuthenticationFailed:
+    case ErrorKind::kCredentialsExpired:
+    case ErrorKind::kNotAuthorized:
+    case ErrorKind::kNullPointer:
+    case ErrorKind::kArrayIndexOutOfBounds:
+    case ErrorKind::kArithmeticError:
+    case ErrorKind::kUncaughtException:
+    case ErrorKind::kExitNonZero:
+    case ErrorKind::kOutOfMemory:
+    case ErrorKind::kStackOverflow:
+    case ErrorKind::kInternalVmError:
+    case ErrorKind::kJvmMisconfigured:
+    case ErrorKind::kJvmMissing:
+    case ErrorKind::kScratchUnavailable:
+    case ErrorKind::kCorruptImage:
+    case ErrorKind::kClassNotFound:
+    case ErrorKind::kBadJobDescription:
+    case ErrorKind::kInputUnavailable:
+    case ErrorKind::kClaimRejected:
+    case ErrorKind::kPolicyRefused:
+    case ErrorKind::kMatchExpired:
+    case ErrorKind::kDaemonCrashed:
+    case ErrorKind::kRequestMalformed:
+    case ErrorKind::kUnknown:
       return false;
   }
+  return false;
 }
 
 namespace {

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/topology.hpp"
 #include "classad/classad.hpp"
 #include "obs/trace.hpp"
 
@@ -384,6 +385,82 @@ std::shared_ptr<JvmControl> SimJvm::run(
     step(run);
   });
   return std::make_shared<JvmControlImpl>(run);
+}
+
+void describe_topology(analysis::TopologyModel& model, IoDiscipline io,
+                       WrapMode wrap) {
+  using analysis::InterfaceDecl;
+  using analysis::InterfaceMode;
+
+  // Everything a JVM execution can discover on its own: the program's
+  // doing (program scope) and the machine's (virtual-machine scope).
+  model.declare_detection(
+      {"jvm",
+       "jvm.execute",
+       {ErrorKind::kNullPointer, ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError, ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero, ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow, ErrorKind::kInternalVmError}});
+
+  if (wrap == WrapMode::kWrapped) {
+    // The §4 wrapper manages program scope (it catches every throwable)
+    // and the JVM itself manages virtual-machine scope (Figure 3).
+    model.declare_handler("jvm-wrapper", ErrorScope::kProgram);
+    model.declare_handler("jvm", ErrorScope::kVirtualMachine);
+    // The result-file vocabulary: concise, finite, and scope-bearing.
+    InterfaceDecl wrapper;
+    wrapper.component = "jvm";
+    wrapper.routine = "jvm.wrapper";
+    wrapper.allowed = {
+        ErrorKind::kNullPointer,   ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError, ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero,   ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow, ErrorKind::kInternalVmError,
+        ErrorKind::kCorruptImage,  ErrorKind::kClassNotFound};
+    wrapper.escape_floor = ErrorScope::kVirtualMachine;
+    model.declare_interface(std::move(wrapper));
+    model.declare_flow("jvm.execute", "jvm.wrapper");
+  }
+  // In bare mode there is no wrapper node: pool wiring sends "jvm.execute"
+  // straight into the starter's exit-code boundary, where Figure 4's
+  // collapse shows up as a statically provable P1 laundering hazard.
+
+  if (io == IoDiscipline::kConcise) {
+    // Declare the *runtime* contract objects, so the static model can
+    // never drift from what ErrorInterface::filter actually enforces.
+    for (const ErrorInterface* contract :
+         {&ChirpJavaIo::open_contract(), &ChirpJavaIo::read_contract(),
+          &ChirpJavaIo::write_contract()}) {
+      InterfaceDecl decl;
+      decl.component = "jvm";
+      decl.routine = contract->routine();
+      decl.allowed = contract->allowed();
+      decl.escape_floor = ErrorScope::kProcess;
+      model.declare_interface(std::move(decl));
+      model.declare_flow(contract->routine(), "program.catch");
+    }
+    // What the program is written to catch: the union of the concise
+    // contracts. Anything else escapes at program scope for the wrapper.
+    InterfaceDecl prog;
+    prog.component = "program";
+    prog.routine = "program.catch";
+    prog.allowed = {ErrorKind::kFileNotFound, ErrorKind::kAccessDenied,
+                    ErrorKind::kIsDirectory, ErrorKind::kEndOfFile,
+                    ErrorKind::kDiskFull};
+    prog.escape_floor = ErrorScope::kProgram;
+    model.declare_interface(std::move(prog));
+  } else {
+    // §3.4: everything extends IOException. One catch-all contract that
+    // *leaks* — non-contractual kinds are handed to the program as if they
+    // were ordinary I/O results. The verifier flags the kUnknown catch-all
+    // (P4) and every laundering delivery through it (P1).
+    InterfaceDecl generic;
+    generic.component = "jvm";
+    generic.routine = "JavaIo.IOException";
+    generic.allowed = {ErrorKind::kUnknown};
+    generic.mode = InterfaceMode::kLeak;
+    model.declare_interface(std::move(generic));
+  }
 }
 
 }  // namespace esg::jvm

@@ -19,6 +19,10 @@
 #include "jvm/resultfile.hpp"
 #include "sim/engine.hpp"
 
+namespace esg::analysis {
+class TopologyModel;
+}
+
 namespace esg::jvm {
 
 /// Machine-owner supplied configuration (§2.2: "The JVM binary, libraries,
@@ -115,5 +119,15 @@ class SimJvm {
   sim::Engine& engine_;
   JvmConfig config_;
 };
+
+/// Static error-topology declaration for the JVM layer (the analysis/
+/// model-checker hook). Declares the execution detection point
+/// ("jvm.execute"), the wrapper's result-file contract ("jvm.wrapper",
+/// wrapped mode only), the I/O library contracts — the *same*
+/// ErrorInterface objects the runtime enforces ("JavaIo.open/read/write"
+/// under kConcise; the catch-all "JavaIo.IOException" under kGeneric) —
+/// and the program's catch boundary ("program.catch").
+void describe_topology(analysis::TopologyModel& model, IoDiscipline io,
+                       WrapMode wrap);
 
 }  // namespace esg::jvm

@@ -1,0 +1,93 @@
+#include "pool/topology.hpp"
+
+#include "chirp/server.hpp"
+#include "core/escalate.hpp"
+#include "daemons/matchmaker.hpp"
+#include "daemons/schedd.hpp"
+#include "daemons/shadow.hpp"
+#include "daemons/startd.hpp"
+#include "daemons/starter.hpp"
+#include "jvm/jvm.hpp"
+
+namespace esg::pool {
+
+analysis::TopologyModel describe_pool_topology(
+    const daemons::DisciplineConfig& discipline) {
+  analysis::TopologyModel model;
+
+  // Each component states what it knows in isolation.
+  chirp::describe_topology(model);
+  jvm::describe_topology(model, discipline.io, discipline.wrap);
+  daemons::Starter::describe_topology(model, discipline);
+  daemons::Shadow::describe_topology(model, discipline);
+  daemons::Schedd::describe_topology(model, discipline);
+  daemons::Startd::describe_topology(model, discipline);
+  daemons::Matchmaker::describe_topology(model);
+
+  // The user: terminal consumer of job dispositions and, as the party who
+  // submitted work to the pool, the manager of last resort — cluster- and
+  // pool-scope conditions land on a human either way (§4: "identifies the
+  // job as complete and returns it to the user").
+  model.declare_component("user");
+  model.declare_handler("user", ErrorScope::kPool);
+  analysis::InterfaceDecl user;
+  user.component = "user";
+  user.routine = "user.results";
+  if (discipline.scope_routing) {
+    user.allowed = {
+        ErrorKind::kNullPointer,     ErrorKind::kArrayIndexOutOfBounds,
+        ErrorKind::kArithmeticError, ErrorKind::kUncaughtException,
+        ErrorKind::kExitNonZero,     ErrorKind::kOutOfMemory,
+        ErrorKind::kStackOverflow,   ErrorKind::kInternalVmError,
+        ErrorKind::kCorruptImage,    ErrorKind::kClassNotFound,
+        ErrorKind::kBadJobDescription};
+  } else {
+    user.allowed = {ErrorKind::kExitNonZero};
+    user.mode = analysis::InterfaceMode::kLeak;
+  }
+  user.terminal = true;
+  model.declare_interface(std::move(user));
+
+  // Inter-component flows: how one component's results become another's
+  // inputs, mirroring the runtime wiring.
+  //
+  // The shadow's remote I/O channel is a chirp backend: submit-side
+  // failures travel the wire as chirp result codes.
+  model.declare_flow("shadow.submit-io", "chirp.rpc");
+  // The proxy's results surface inside the JVM's I/O library.
+  if (discipline.io == jvm::IoDiscipline::kConcise) {
+    model.declare_flow("chirp.rpc", "JavaIo.open");
+    model.declare_flow("chirp.rpc", "JavaIo.read");
+    model.declare_flow("chirp.rpc", "JavaIo.write");
+  } else {
+    model.declare_flow("chirp.rpc", "JavaIo.IOException");
+    // §2.3: whatever came out of the catch-all lands in the exit code.
+    model.declare_flow("JavaIo.IOException", "starter.report");
+  }
+  // The JVM's outcome crosses into the starter's report: the wrapper's
+  // result file under §4, the bare exit code under §2.3.
+  if (discipline.wrap == jvm::WrapMode::kWrapped) {
+    model.declare_flow("jvm.wrapper", "starter.report");
+  } else {
+    model.declare_flow("jvm.execute", "starter.report");
+  }
+  // Reports ascend the management chain to the user.
+  model.declare_flow("starter.report", "shadow.attempt");
+  model.declare_flow("shadow.attempt", "schedd.disposition");
+  model.declare_flow("startd.policy", "schedd.disposition");
+  model.declare_flow("matchmaker.advise", "schedd.disposition");
+  model.declare_flow("schedd.disposition", "user.results");
+
+  // §5: time widens scope. The pool-wide escalation ladder is declared
+  // from the same rules the runtime applies.
+  if (discipline.use_escalation) {
+    const ScopeEscalator escalator = ScopeEscalator::grid_defaults();
+    for (const EscalationRule& rule : escalator.rules()) {
+      model.declare_escalation("escalator", rule.from, rule.to);
+    }
+  }
+
+  return model;
+}
+
+}  // namespace esg::pool

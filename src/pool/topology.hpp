@@ -1,0 +1,26 @@
+// Whole-pool error topology: assembles every component's declarations into
+// one TopologyModel for a discipline, wired together the way the runtime
+// actually connects them.
+//
+// The per-component describe_topology() hooks declare what each daemon
+// knows in isolation; this file adds the inter-component flows — proxy I/O
+// riding the chirp channel to the shadow, the JVM's outcome crossing into
+// the starter's report, reports ascending shadow -> schedd -> user — and
+// the pool-wide escalation edges. The resulting model is what the
+// ScopeVerifier proves P1–P4 over: the scoped discipline verifies clean,
+// the naive one exhibits the paper's §2.3 hazards statically.
+#pragma once
+
+#include "analysis/topology.hpp"
+#include "daemons/config.hpp"
+
+namespace esg::pool {
+
+/// Build the declared error topology of a whole pool running under
+/// `discipline` (one matchmaker, one schedd/shadow chain, one
+/// startd/starter/jvm chain, chirp I/O between them, and the user at the
+/// top as pool-scope manager).
+[[nodiscard]] analysis::TopologyModel describe_pool_topology(
+    const daemons::DisciplineConfig& discipline);
+
+}  // namespace esg::pool

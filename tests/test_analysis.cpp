@@ -1,0 +1,283 @@
+// Tests for the static error-scope verifier: the TopologyModel declaration
+// language, the ScopeVerifier's P1–P4 proofs over the whole-pool model, and
+// the SARIF writer both static layers emit through.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/sarif.hpp"
+#include "analysis/topology.hpp"
+#include "analysis/verify.hpp"
+#include "daemons/config.hpp"
+#include "pool/topology.hpp"
+
+namespace esg::analysis {
+namespace {
+
+using daemons::DisciplineConfig;
+
+bool chain_mentions(const Finding& finding, const std::string& needle) {
+  return std::any_of(finding.chain.begin(), finding.chain.end(),
+                     [&](const std::string& link) {
+                       return link.find(needle) != std::string::npos;
+                     });
+}
+
+const Finding* first_with_rule(const AnalysisReport& report,
+                               const std::string& rule) {
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// ---- TopologyModel ----
+
+TEST(TopologyModel, HandlerAtOrAboveFindsNearestEnclosing) {
+  TopologyModel model;
+  model.declare_handler("jvm", ErrorScope::kVirtualMachine);
+  model.declare_handler("user", ErrorScope::kPool);
+
+  // Exact scope wins.
+  auto vm = model.handler_at_or_above(ErrorScope::kVirtualMachine);
+  ASSERT_TRUE(vm.has_value());
+  EXPECT_EQ(vm->component, "jvm");
+
+  // A scope with no handler of its own resolves to the nearest enclosing
+  // one, never a narrower one.
+  auto net = model.handler_at_or_above(ErrorScope::kNetwork);
+  ASSERT_TRUE(net.has_value());
+  EXPECT_EQ(net->component, "user");
+  EXPECT_EQ(net->scope, ErrorScope::kPool);
+
+  // Nothing above pool: widest scope covered means everything is.
+  auto fn = model.handler_at_or_above(ErrorScope::kFunction);
+  ASSERT_TRUE(fn.has_value());
+  EXPECT_EQ(fn->component, "jvm");
+}
+
+TEST(TopologyModel, ReRegistrationReplacesHandlerForScope) {
+  TopologyModel model;
+  model.declare_handler("schedd-old", ErrorScope::kJob);
+  model.declare_handler("schedd-new", ErrorScope::kJob);
+  ASSERT_EQ(model.handlers().size(), 1u);
+  EXPECT_EQ(model.handlers()[0].component, "schedd-new");
+}
+
+TEST(TopologyModel, UnregisterRecordsWindowAndOpensHole) {
+  TopologyModel model;
+  model.declare_handler("user", ErrorScope::kPool);
+  model.unregister(ErrorScope::kPool);
+  EXPECT_FALSE(model.handler_at_or_above(ErrorScope::kJob).has_value());
+  ASSERT_EQ(model.unregistered().size(), 1u);
+  EXPECT_EQ(model.unregistered()[0].component, "user");
+  EXPECT_EQ(model.unregistered()[0].scope, ErrorScope::kPool);
+}
+
+TEST(TopologyModel, EscalationClosureIsTransitiveAndMonotone) {
+  TopologyModel model;
+  model.declare_escalation("e", ErrorScope::kNetwork,
+                           ErrorScope::kRemoteResource);
+  model.declare_escalation("e", ErrorScope::kRemoteResource,
+                           ErrorScope::kCluster);
+  // A narrowing edge must be ignored, exactly as ScopeEscalator ignores it.
+  model.declare_escalation("e", ErrorScope::kCluster, ErrorScope::kFile);
+
+  const std::vector<ErrorScope> closure =
+      model.escalation_closure(ErrorScope::kNetwork);
+  EXPECT_NE(std::find(closure.begin(), closure.end(), ErrorScope::kNetwork),
+            closure.end());
+  EXPECT_NE(
+      std::find(closure.begin(), closure.end(), ErrorScope::kRemoteResource),
+      closure.end());
+  EXPECT_NE(std::find(closure.begin(), closure.end(), ErrorScope::kCluster),
+            closure.end());
+  EXPECT_EQ(std::find(closure.begin(), closure.end(), ErrorScope::kFile),
+            closure.end());
+}
+
+// ---- ScopeVerifier over the whole-pool model ----
+
+TEST(ScopeVerifier, ScopedPoolTopologyVerifiesClean) {
+  const TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::scoped());
+  const AnalysisReport report = ScopeVerifier().verify(model);
+  EXPECT_TRUE(report.ok()) << report.str();
+  EXPECT_GT(report.detections_checked, 0u);
+  EXPECT_GT(report.interfaces_checked, 0u);
+  EXPECT_GT(report.paths_walked, 0u);
+}
+
+TEST(ScopeVerifier, NaiveDisciplineExhibitsLaunderingAtStarterBoundary) {
+  const TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::naive());
+  const AnalysisReport report = ScopeVerifier().verify(model);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Principle::kP1));
+
+  // The §2.3 hazard: the bare starter's report boundary destroys the
+  // identity of the explicit JVM errors flowing into it. The finding must
+  // carry the declaration chain that exhibits the leak.
+  const Finding* laundering = first_with_rule(report, "esv/p1-laundering");
+  ASSERT_NE(laundering, nullptr);
+  bool starter_chain = false;
+  for (const Finding& f : report.findings) {
+    if (f.rule == "esv/p1-laundering" && chain_mentions(f, "starter.report")) {
+      starter_chain = true;
+      EXPECT_FALSE(f.chain.empty());
+      break;
+    }
+  }
+  EXPECT_TRUE(starter_chain)
+      << "no laundering finding carries the starter.report boundary";
+}
+
+TEST(ScopeVerifier, GenericInterfaceViolatesFiniteness) {
+  const TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::naive());
+  const AnalysisReport report = ScopeVerifier().verify(model);
+  EXPECT_TRUE(report.has(Principle::kP4));
+
+  const Finding* catch_all = first_with_rule(report, "esv/p4-catch-all");
+  ASSERT_NE(catch_all, nullptr);
+  // The generic java.io.IOException-shaped interface is the offender.
+  EXPECT_NE(catch_all->message.find("JavaIo.IOException"), std::string::npos)
+      << catch_all->str();
+}
+
+TEST(ScopeVerifier, UnregisteredPoolHandlerSeedsP3HoleWithWindow) {
+  TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::scoped());
+  model.unregister(ErrorScope::kPool);
+
+  const AnalysisReport report = ScopeVerifier().verify(model);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has(Principle::kP3));
+
+  const Finding* hole = first_with_rule(report, "esv/p3-routing-hole");
+  ASSERT_NE(hole, nullptr);
+  // The finding names the window: the restarted daemon whose unregister
+  // opened the hole, so the report reads as a diagnosis, not a symptom.
+  EXPECT_TRUE(chain_mentions(*hole, "unregistered")) << hole->str();
+  EXPECT_TRUE(chain_mentions(*hole, "user")) << hole->str();
+  EXPECT_FALSE(hole->chain.empty());
+}
+
+TEST(ScopeVerifier, FinitenessBudgetIsEnforced) {
+  // The scoped topology is clean under the default budget but some of its
+  // interfaces enumerate more than four kinds — a tiny budget must trip
+  // the p4-budget rule without inventing any other violation class.
+  ScopeVerifier::Options options;
+  options.finiteness_budget = 4;
+  const TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::scoped());
+  const AnalysisReport report = ScopeVerifier(options).verify(model);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(first_with_rule(report, "esv/p4-budget"), nullptr);
+  EXPECT_EQ(first_with_rule(report, "esv/p1-laundering"), nullptr);
+  EXPECT_EQ(first_with_rule(report, "esv/p3-routing-hole"), nullptr);
+}
+
+TEST(ScopeVerifier, FindingsRenderWithChains) {
+  TopologyModel model =
+      pool::describe_pool_topology(DisciplineConfig::scoped());
+  model.unregister(ErrorScope::kPool);
+  const AnalysisReport report = ScopeVerifier().verify(model);
+  const std::string rendered = report.str();
+  EXPECT_NE(rendered.find("esv/p3-routing-hole"), std::string::npos);
+  EXPECT_NE(rendered.find("finding(s)"), std::string::npos);
+}
+
+// ---- SARIF writer ----
+
+/// Minimal structural validation: balanced braces/brackets outside strings.
+bool json_balanced(const std::string& text) {
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      default: break;
+    }
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(Sarif, LogEmitsStructurallyValidSarif210) {
+  sarif::Log log("esg-verify", "1.0");
+  log.add_rule({"esv/p3-routing-hole", "scope with no handler at or above"});
+  log.add_result({.rule_id = "esv/p3-routing-hole",
+                  .level = "error",
+                  .message = "no handler at or above scope pool",
+                  .uri = "",
+                  .line = 0,
+                  .logical = {"component:user", "detection jvm.execute"}});
+  const std::string doc = log.str();
+
+  EXPECT_TRUE(json_balanced(doc)) << doc;
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(doc.find("\"runs\""), std::string::npos);
+  EXPECT_NE(doc.find("\"driver\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"esg-verify\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"esv/p3-routing-hole\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("logicalLocations"), std::string::npos);
+  EXPECT_NE(doc.find("component:user"), std::string::npos);
+}
+
+TEST(Sarif, PhysicalLocationCarriesUriAndLine) {
+  sarif::Log log("esg-lint", "1.0");
+  log.add_rule({"lint/naked-throw", "throw outside core/escape"});
+  log.add_result({.rule_id = "lint/naked-throw",
+                  .level = "error",
+                  .message = "naked throw",
+                  .uri = "src/jvm/jvm.cpp",
+                  .line = 42,
+                  .logical = {}});
+  const std::string doc = log.str();
+  EXPECT_TRUE(json_balanced(doc)) << doc;
+  EXPECT_NE(doc.find("physicalLocation"), std::string::npos);
+  EXPECT_NE(doc.find("src/jvm/jvm.cpp"), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 42"), std::string::npos);
+}
+
+TEST(Sarif, JsonEscapeHandlesControlAndQuote) {
+  EXPECT_EQ(sarif::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(sarif::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(sarif::json_escape("a\nb"), "a\\nb");
+}
+
+TEST(Sarif, RulesAreDedupedById) {
+  sarif::Log log("esg-lint");
+  log.add_rule({"lint/naked-throw", "first"});
+  log.add_rule({"lint/naked-throw", "duplicate"});
+  const std::string doc = log.str();
+  std::size_t count = 0;
+  for (std::size_t pos = doc.find("\"id\": \"lint/naked-throw\"");
+       pos != std::string::npos;
+       pos = doc.find("\"id\": \"lint/naked-throw\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace esg::analysis

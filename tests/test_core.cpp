@@ -37,7 +37,9 @@ TEST(Scope, RankIsStrictlyMonotoneOverChain) {
 TEST(Scope, AllRanksDistinct) {
   for (ErrorScope a : kAllScopes) {
     for (ErrorScope b : kAllScopes) {
-      if (a != b) EXPECT_NE(scope_rank(a), scope_rank(b));
+      if (a != b) {
+        EXPECT_NE(scope_rank(a), scope_rank(b));
+      }
     }
   }
 }
@@ -321,6 +323,72 @@ TEST(ScopeRouter, MaskedStopsPropagation) {
   EXPECT_TRUE(out.delivered);
   EXPECT_FALSE(upper_called);
   EXPECT_EQ(out.path[0].disposition, Disposition::kMasked);
+}
+
+TEST(ScopeRouter, UnregisterOpensRoutingHole) {
+  // A daemon going away (restart, crash) unregisters its scope; until the
+  // replacement registers, errors of that scope fall into a window.
+  PrincipleAudit::global().reset();
+  ScopeRouter router;
+  router.register_handler(ErrorScope::kVirtualMachine, "jvm",
+                          [](Error&) { return Disposition::kHandled; });
+  EXPECT_TRUE(router.route(Error(ErrorKind::kOutOfMemory)).delivered);
+
+  router.unregister(ErrorScope::kVirtualMachine);
+  RouteOutcome out = router.route(Error(ErrorKind::kOutOfMemory));
+  EXPECT_FALSE(out.delivered);
+  EXPECT_TRUE(out.path.empty());
+  EXPECT_GE(PrincipleAudit::global().violated(Principle::kP3), 1u);
+  EXPECT_FALSE(router.has_handler(ErrorScope::kVirtualMachine));
+}
+
+TEST(ScopeRouter, ReRegistrationReplacesRestartedDaemon) {
+  // The restarted daemon takes the scope over: exactly one handler per
+  // scope, and the newcomer wins.
+  ScopeRouter router;
+  std::vector<std::string> visits;
+  router.register_handler(ErrorScope::kJob, "schedd-1", [&](Error&) {
+    visits.push_back("schedd-1");
+    return Disposition::kHandled;
+  });
+  router.register_handler(ErrorScope::kJob, "schedd-2", [&](Error&) {
+    visits.push_back("schedd-2");
+    return Disposition::kHandled;
+  });
+  ASSERT_NE(router.handler_name(ErrorScope::kJob), nullptr);
+  EXPECT_EQ(*router.handler_name(ErrorScope::kJob), "schedd-2");
+
+  RouteOutcome out = router.route(Error(ErrorKind::kBadJobDescription));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_EQ(visits, (std::vector<std::string>{"schedd-2"}));
+}
+
+TEST(ScopeRouter, EscalationNeverNarrows) {
+  // Propagation walks strictly upward: a handler below the error's scope is
+  // never consulted, and the error's scope never shrinks along the path.
+  ScopeRouter router;
+  bool file_called = false;
+  router.register_handler(ErrorScope::kFile, "program", [&](Error&) {
+    file_called = true;
+    return Disposition::kHandled;
+  });
+  router.register_handler(ErrorScope::kRemoteResource, "starter",
+                          [](Error&) { return Disposition::kPropagate; });
+  router.register_handler(ErrorScope::kPool, "user",
+                          [](Error&) { return Disposition::kHandled; });
+
+  RouteOutcome out = router.route(Error(ErrorKind::kJvmMisconfigured));
+  EXPECT_TRUE(out.delivered);
+  EXPECT_FALSE(file_called);
+  ASSERT_EQ(out.path.size(), 2u);
+  EXPECT_EQ(out.path[0].scope, ErrorScope::kRemoteResource);
+  EXPECT_EQ(out.path[1].scope, ErrorScope::kPool);
+  int prev = -1;
+  for (const RouteStep& step : out.path) {
+    EXPECT_GT(scope_rank(step.scope), prev);
+    prev = scope_rank(step.scope);
+  }
+  EXPECT_EQ(out.final_error.scope(), ErrorScope::kPool);
 }
 
 // ---- ScopeEscalator ----

@@ -1,0 +1,274 @@
+// Tests for esg-lint: the token-level discipline pass. Each rule gets a
+// positive (fires) and a negative (stays silent) case over synthetic
+// sources, plus the suppression comment, the self-parsed enum vocabulary,
+// and the ambiguity filter that keeps the name-based discard rule honest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace esg::lint {
+namespace {
+
+/// The enum vocabulary every case learns from. Mirrors the real headers'
+/// shape: `enum class ErrorKind { ... };` with trailing comma tolerated.
+const char* kVocab = R"(
+enum class ErrorKind {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+enum class ErrorScope { kFunction, kProgram, kPool };
+enum class Disposition { kHandled, kMasked, kPropagate };
+)";
+
+std::vector<Finding> run(const std::string& body,
+                         const std::string& path = "case.cpp") {
+  Linter linter;
+  linter.scan("vocab.hpp", kVocab);
+  linter.scan(path, body);
+  linter.lint(path, body);
+  return linter.findings();
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---- lint/exhaustive-switch ----
+
+TEST(ExhaustiveSwitch, DefaultLabelIsFlagged) {
+  const auto findings = run(R"(
+void f(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kAlpha: break;
+    default: break;
+  }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/exhaustive-switch"), 1u);
+}
+
+TEST(ExhaustiveSwitch, MissingEnumeratorIsFlaggedByName) {
+  const auto findings = run(R"(
+void f(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kAlpha: break;
+    case ErrorKind::kBeta: break;
+  }
+}
+)");
+  ASSERT_EQ(count_rule(findings, "lint/exhaustive-switch"), 1u);
+  const auto it =
+      std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.rule == "lint/exhaustive-switch";
+      });
+  EXPECT_NE(it->message.find("kGamma"), std::string::npos) << it->message;
+}
+
+TEST(ExhaustiveSwitch, CompleteSwitchIsClean) {
+  const auto findings = run(R"(
+void f(ErrorKind k) {
+  switch (k) {
+    case ErrorKind::kAlpha: break;
+    case ErrorKind::kBeta: break;
+    case ErrorKind::kGamma: break;
+  }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/exhaustive-switch"), 0u);
+}
+
+TEST(ExhaustiveSwitch, ForeignEnumIsIgnored) {
+  // Switches over enums outside the error vocabulary are not our business.
+  const auto findings = run(R"(
+void f(Color c) {
+  switch (c) {
+    case Color::kRed: break;
+    default: break;
+  }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/exhaustive-switch"), 0u);
+}
+
+TEST(ExhaustiveSwitch, NestedSwitchDoesNotBleedCases) {
+  const auto findings = run(R"(
+void f(ErrorKind k, ErrorScope s) {
+  switch (k) {
+    case ErrorKind::kAlpha:
+      switch (s) {
+        case ErrorScope::kFunction: break;
+        case ErrorScope::kProgram: break;
+        case ErrorScope::kPool: break;
+      }
+      break;
+    case ErrorKind::kBeta: break;
+    case ErrorKind::kGamma: break;
+  }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/exhaustive-switch"), 0u);
+}
+
+// ---- lint/discarded-result ----
+
+TEST(DiscardedResult, StatementLevelCallIsFlagged) {
+  const auto findings = run(R"(
+Result<int> fetch_thing(int n);
+void g() {
+  fetch_thing(3);
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/discarded-result"), 1u);
+}
+
+TEST(DiscardedResult, ConsumedValueIsClean) {
+  const auto findings = run(R"(
+Result<int> fetch_thing(int n);
+void g() {
+  auto r = fetch_thing(3);
+  if (fetch_thing(4)) {}
+  int v = fetch_thing(5) ? 1 : 0;
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/discarded-result"), 0u);
+}
+
+TEST(DiscardedResult, AmbiguousNameIsNotFlagged) {
+  // `size` is declared both Result-returning and plain: too ambiguous for
+  // a token-level rule, so the discard check must stand down.
+  const auto findings = run(R"(
+Result<int> size(int fd);
+int size(const Buffer& b);
+void g(Buffer& b) {
+  size(b);
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/discarded-result"), 0u);
+}
+
+TEST(DiscardedResult, ForHeaderSemicolonsAreNotStatementEnds) {
+  const auto findings = run(R"(
+Result<int> fetch_thing(int n);
+void g(const std::vector<int>& rules) {
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    int x = i;
+  }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/discarded-result"), 0u);
+}
+
+// ---- lint/naked-throw ----
+
+TEST(NakedThrow, ThrowOutsideEscapeIsFlagged) {
+  const auto findings = run(R"(
+void g() { throw 42; }
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-throw"), 1u);
+}
+
+TEST(NakedThrow, EscapeHeaderIsExempt) {
+  const auto findings = run(R"(
+void raise(Error e) { throw EscapingError(e); }
+)",
+                            "src/core/escape.hpp");
+  EXPECT_EQ(count_rule(findings, "lint/naked-throw"), 0u);
+}
+
+// ---- lint/unraised-scope ----
+
+TEST(UnraisedScope, ListeningOnSilentFrequencyIsFlagged) {
+  const auto findings = run(R"(
+void g(ScopeRouter& router) {
+  router.register_handler(ErrorScope::kPool, "user", handler);
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/unraised-scope"), 1u);
+}
+
+TEST(UnraisedScope, RaisedScopeIsClean) {
+  const auto findings = run(R"(
+void g(ScopeRouter& router) {
+  router.register_handler(ErrorScope::kPool, "user", handler);
+  Error e(ErrorKind::kAlpha, ErrorScope::kPool, "raised here");
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/unraised-scope"), 0u);
+}
+
+// ---- suppressions ----
+
+TEST(Suppression, SameLineAllowSilencesTheRule) {
+  const auto findings = run(R"(
+void g() { throw 42; }  // esg-lint: allow(lint/naked-throw)
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-throw"), 0u);
+}
+
+TEST(Suppression, PrecedingLineAllowSilencesTheRule) {
+  const auto findings = run(R"(
+Result<int> fetch_thing(int n);
+void g() {
+  // esg-lint: allow(lint/discarded-result)
+  fetch_thing(3);
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/discarded-result"), 0u);
+}
+
+TEST(Suppression, AllowForOtherRuleDoesNotSilence) {
+  const auto findings = run(R"(
+void g() { throw 42; }  // esg-lint: allow(lint/discarded-result)
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-throw"), 1u);
+}
+
+// ---- vocabulary self-parsing & rendering ----
+
+TEST(Vocabulary, EnumsAreLearnedFromScannedSources) {
+  Linter linter;
+  linter.scan("vocab.hpp", kVocab);
+  const auto& enums = linter.enums();
+  ASSERT_EQ(enums.count("ErrorKind"), 1u);
+  EXPECT_EQ(enums.at("ErrorKind"),
+            (std::vector<std::string>{"kAlpha", "kBeta", "kGamma"}));
+  ASSERT_EQ(enums.count("Disposition"), 1u);
+  EXPECT_EQ(enums.at("Disposition").size(), 3u);
+}
+
+TEST(Vocabulary, ResultFunctionsAreLearned) {
+  Linter linter;
+  linter.scan("f.hpp", "Result<int> fetch_thing(int n);\n");
+  EXPECT_EQ(linter.result_functions().count("fetch_thing"), 1u);
+}
+
+TEST(Rendering, FindingStrAndSarifCarryRuleAndLocation) {
+  const auto findings = run("void g() { throw 42; }\n", "src/x.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string line = findings[0].str();
+  EXPECT_NE(line.find("src/x.cpp"), std::string::npos);
+  EXPECT_NE(line.find("lint/naked-throw"), std::string::npos);
+
+  const std::string doc = to_sarif(findings);
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"lint/naked-throw\""), std::string::npos);
+  EXPECT_NE(doc.find("src/x.cpp"), std::string::npos);
+}
+
+TEST(Rendering, CleanFileProducesNoFindings) {
+  const auto findings = run(R"(
+int add(int a, int b) { return a + b; }
+)");
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace esg::lint

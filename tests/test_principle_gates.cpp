@@ -1,0 +1,215 @@
+// Principle gates: the runtime PrincipleChecker run over the repertoire of
+// example/bench workloads as CTest cases, plus the dynamic-vs-static
+// cross-check — the flight recorder's verdict on what errors *did* must
+// agree with the ScopeVerifier's verdict on what the declared topology
+// *permits*.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/verify.hpp"
+#include "common/rng.hpp"
+#include "daemons/config.hpp"
+#include "obs/checker.hpp"
+#include "obs/trace.hpp"
+#include "pool/pool.hpp"
+#include "pool/topology.hpp"
+#include "pool/workload.hpp"
+
+namespace esg {
+namespace {
+
+using obs::CheckReport;
+using obs::FlightRecorder;
+using obs::PrincipleChecker;
+
+/// Same contract as test_obs's fixture: the process-wide recorder starts
+/// enabled and empty, and is left disabled and empty for unrelated tests.
+class PrincipleGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder& rec = FlightRecorder::global();
+    rec.clear();
+    rec.set_capacity(1 << 15);
+    rec.set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder& rec = FlightRecorder::global();
+    rec.set_enabled(false);
+    rec.set_on_chronic(nullptr);
+    rec.clear_clock();
+    rec.clear();
+  }
+
+  /// Run `config` with a make_workload batch and principle-check the
+  /// recorded journal. Every scoped-discipline workload must come back
+  /// clean: these are the per-workload gates.
+  CheckReport run_gate(pool::PoolConfig config,
+                       pool::WorkloadOptions options,
+                       std::uint64_t workload_seed = 3) {
+    pool::Pool pool(std::move(config));
+    pool::stage_workload_inputs(pool);
+    Rng rng(workload_seed);
+    for (auto& job : pool::make_workload(options, rng)) {
+      pool.submit(std::move(job));
+    }
+    EXPECT_TRUE(pool.run_until_done(SimTime::hours(8)));
+    EXPECT_GT(FlightRecorder::global().total_recorded(), 0u);
+    return PrincipleChecker().check(FlightRecorder::global());
+  }
+};
+
+pool::PoolConfig scoped_config(std::uint64_t seed) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  return config;
+}
+
+// ---- per-workload gates (examples/ and bench/ scenarios) ----
+
+TEST_F(PrincipleGateTest, QuickstartHelloWorkloadIsPrincipled) {
+  pool::PoolConfig config = scoped_config(7);
+  config.machines.push_back(pool::MachineSpec::good());
+
+  pool::Pool pool(std::move(config));
+  pool.submit(pool::make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const CheckReport report =
+      PrincipleChecker().check(FlightRecorder::global());
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST_F(PrincipleGateTest, BlackHolePoolWorkloadIsPrincipled) {
+  // examples/blackhole_pool + flight_recorder_demo: a lying machine in a
+  // scoped pool with avoidance on.
+  pool::PoolConfig config = scoped_config(11);
+  config.discipline.schedd_avoidance = true;
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(pool::MachineSpec::good("good0"));
+  config.machines.push_back(pool::MachineSpec::good("good1"));
+
+  pool::WorkloadOptions options;
+  options.count = 12;
+  options.mean_compute = SimTime::sec(5);
+  const CheckReport report = run_gate(std::move(config), options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST_F(PrincipleGateTest, JavaUniverseMixedWorkloadIsPrincipled) {
+  // examples/java_universe_demo + bench/endtoend: program errors, nonzero
+  // exits, and proxy I/O in one batch.
+  pool::PoolConfig config = scoped_config(19);
+  config.machines.push_back(pool::MachineSpec::good("exec0"));
+  config.machines.push_back(pool::MachineSpec::good("exec1"));
+
+  pool::WorkloadOptions options;
+  options.count = 14;
+  options.mean_compute = SimTime::sec(5);
+  options.program_error_fraction = 0.2;
+  options.nonzero_exit_fraction = 0.2;
+  options.remote_io_fraction = 0.3;
+  options.remote_write_fraction = 0.2;
+  const CheckReport report = run_gate(std::move(config), options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST_F(PrincipleGateTest, TinyHeapWorkloadIsPrincipled) {
+  // bench/fig4_jvm_result_codes territory: virtual-machine-scope failures
+  // from aggressive allocation on a small-heap machine.
+  pool::PoolConfig config = scoped_config(23);
+  config.machines.push_back(pool::MachineSpec::tiny_heap("small0"));
+  config.machines.push_back(pool::MachineSpec::good("good0"));
+
+  pool::WorkloadOptions options;
+  options.count = 10;
+  options.mean_compute = SimTime::sec(5);
+  options.big_alloc_fraction = 0.4;
+  options.big_alloc_bytes = 1LL << 26;
+  const CheckReport report = run_gate(std::move(config), options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST_F(PrincipleGateTest, FaultyFilesystemWorkloadIsPrincipled) {
+  // bench/fs_bench territory: transient local I/O faults are masked by
+  // retries — masking is a principled disposition, not a violation.
+  pool::PoolConfig config = scoped_config(29);
+  pool::MachineSpec flaky = pool::MachineSpec::good("flaky0");
+  flaky.fs_fault_rate = 0.1;
+  config.machines.push_back(std::move(flaky));
+  config.machines.push_back(pool::MachineSpec::good("good0"));
+
+  pool::WorkloadOptions options;
+  options.count = 10;
+  options.mean_compute = SimTime::sec(5);
+  options.remote_io_fraction = 0.3;
+  const CheckReport report = run_gate(std::move(config), options);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+// ---- dynamic-vs-static cross-check ----
+
+TEST_F(PrincipleGateTest, ScopedDynamicAndStaticVerdictsAgreeOnClean) {
+  // Both layers must acquit the scoped discipline: the verifier over the
+  // declared topology, and the checker over an actual run's journal.
+  const analysis::AnalysisReport static_report = analysis::ScopeVerifier()
+      .verify(pool::describe_pool_topology(daemons::DisciplineConfig::scoped()));
+  EXPECT_TRUE(static_report.ok()) << static_report.str();
+
+  pool::PoolConfig config = scoped_config(31);
+  config.discipline.schedd_avoidance = true;
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  config.machines.push_back(pool::MachineSpec::good("good0"));
+
+  pool::WorkloadOptions options;
+  options.count = 10;
+  options.mean_compute = SimTime::sec(5);
+  const CheckReport dynamic_report = run_gate(std::move(config), options);
+  EXPECT_TRUE(dynamic_report.ok()) << dynamic_report.str();
+}
+
+TEST_F(PrincipleGateTest, NaiveDynamicViolationsArePredictedStatically) {
+  // The cross-check with teeth: every principle the checker catches the
+  // naive discipline breaking at runtime must already be a finding of the
+  // static verifier over the naive topology — the model checker predicts
+  // the crash before the crash.
+  const analysis::AnalysisReport static_report = analysis::ScopeVerifier()
+      .verify(pool::describe_pool_topology(daemons::DisciplineConfig::naive()));
+  ASSERT_FALSE(static_report.ok());
+
+  pool::PoolConfig config;
+  config.seed = 13;
+  config.discipline = daemons::DisciplineConfig::naive();
+  pool::MachineSpec liar;
+  liar.name = "bad0";
+  liar.startd.owner_asserts_java = true;
+  liar.startd.jvm.installed = false;
+  config.machines.push_back(std::move(liar));
+
+  pool::Pool pool(std::move(config));
+  pool.submit(pool::make_hello_job());
+  pool.submit(pool::make_hello_job());
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
+
+  const CheckReport dynamic_report =
+      PrincipleChecker().check(FlightRecorder::global());
+  ASSERT_FALSE(dynamic_report.ok()) << "naive run produced no violations";
+
+  std::set<Principle> dynamic_principles;
+  for (const obs::Violation& v : dynamic_report.violations) {
+    dynamic_principles.insert(v.principle);
+  }
+  EXPECT_NE(dynamic_principles.count(Principle::kP1), 0u)
+      << dynamic_report.str();
+  for (const Principle p : dynamic_principles) {
+    EXPECT_TRUE(static_report.has(p))
+        << "dynamic violation of " << static_cast<int>(p)
+        << " was not predicted by the static verifier:\n"
+        << static_report.str();
+  }
+}
+
+}  // namespace
+}  // namespace esg

@@ -1,0 +1,440 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "analysis/sarif.hpp"
+
+namespace esg::lint {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+using Suppressions = std::map<int, std::set<std::string>>;
+
+bool is_identifier(const std::string& s) {
+  return !s.empty() &&
+         (std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_');
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void note_suppressions(const std::string& comment, int line,
+                       Suppressions& out) {
+  static const std::string kTag = "esg-lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kTag, pos)) != std::string::npos) {
+    pos += kTag.size();
+    const std::size_t end = comment.find(')', pos);
+    if (end == std::string::npos) break;
+    out[line].insert(comment.substr(pos, end - pos));
+    pos = end;
+  }
+}
+
+/// Comments and literals are consumed here (string/char literals collapse
+/// to an empty-literal token), so every rule below sees only code.
+std::vector<Token> tokenize(const std::string& text,
+                            Suppressions* suppressions) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto two = [&](std::size_t j) {
+    return j + 1 < n ? text.substr(j, 2) : std::string();
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (two(i) == "//") {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      if (suppressions) {
+        note_suppressions(text.substr(i, end - i), line, *suppressions);
+      }
+      i = end;
+      continue;
+    }
+    if (two(i) == "/*") {
+      const std::size_t end = text.find("*/", i + 2);
+      const std::size_t stop = end == std::string::npos ? n : end + 2;
+      const std::string body = text.substr(i, stop - i);
+      if (suppressions) note_suppressions(body, line, *suppressions);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = stop;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != c) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      tokens.push_back({std::string(2, c), line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '.' || text[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Two-char operators are kept whole so `=` below always means plain
+    // assignment and `::` / `->` can be matched as single tokens.
+    static const char* kTwoChar[] = {"::", "->", "==", "!=", "<=", ">=",
+                                     "+=", "-=", "*=", "/=", "%=", "|=",
+                                     "&=", "^=", "&&", "||", "++", "--",
+                                     "<<", ">>"};
+    bool matched = false;
+    for (const char* op : kTwoChar) {
+      if (two(i) == op) {
+        tokens.push_back({op, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back({std::string(1, c), line});
+    ++i;
+  }
+  return tokens;
+}
+
+/// Index of the token closing the bracket opened at `open`, or size().
+std::size_t match_forward(const std::vector<Token>& t, std::size_t open,
+                          const std::string& open_text,
+                          const std::string& close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == open_text) {
+      ++depth;
+    } else if (t[i].text == close_text) {
+      if (--depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+/// End of a template argument list whose `<` is at `open`; `>>` closes two
+/// levels. Bails (returns size()) if the construct turns out not to be a
+/// template.
+std::size_t template_end(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "<") {
+      ++depth;
+    } else if (s == ">") {
+      if (--depth == 0) return i;
+    } else if (s == ">>") {
+      depth -= 2;
+      if (depth <= 0) return i;
+    } else if (s == ";" || s == "{") {
+      return t.size();
+    }
+  }
+  return t.size();
+}
+
+const std::set<std::string>& statement_keywords() {
+  static const std::set<std::string> kKeywords = {
+      "if",      "else",      "for",       "while",     "do",
+      "switch",  "case",      "return",    "break",     "continue",
+      "goto",    "new",       "delete",    "using",     "namespace",
+      "template", "public",   "private",   "protected", "co_return",
+      "co_await", "co_yield", "throw",     "default",   "sizeof",
+      "static_assert", "typedef"};
+  return kKeywords;
+}
+
+}  // namespace
+
+std::string Finding::str() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+void Linter::scan(const std::string& path, const std::string& text) {
+  (void)path;
+  const std::vector<Token> tokens = tokenize(text, nullptr);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    // Vocabulary: enum class ErrorKind / ErrorScope / Disposition { ... }.
+    if (tokens[i].text == "enum" && i + 2 < tokens.size() &&
+        tokens[i + 1].text == "class") {
+      const std::string& name = tokens[i + 2].text;
+      if (name != "ErrorKind" && name != "ErrorScope" &&
+          name != "Disposition") {
+        continue;
+      }
+      std::size_t j = i + 3;
+      while (j < tokens.size() && tokens[j].text != "{" &&
+             tokens[j].text != ";") {
+        ++j;
+      }
+      if (j >= tokens.size() || tokens[j].text != "{") continue;
+      const std::size_t end = match_forward(tokens, j, "{", "}");
+      std::vector<std::string> enumerators;
+      for (std::size_t k = j + 1; k < end && k < tokens.size(); ++k) {
+        if ((tokens[k - 1].text == "{" || tokens[k - 1].text == ",") &&
+            is_identifier(tokens[k].text)) {
+          enumerators.push_back(tokens[k].text);
+        }
+      }
+      if (!enumerators.empty()) enums_[name] = std::move(enumerators);
+      continue;
+    }
+    // Result<...> name( ... declares a Result-returning function.
+    if (tokens[i].text == "Result" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "<") {
+      const std::size_t close = template_end(tokens, i + 1);
+      if (close >= tokens.size()) continue;
+      std::string last;
+      std::size_t j = close + 1;
+      while (j < tokens.size() &&
+             (is_identifier(tokens[j].text) || tokens[j].text == "::")) {
+        if (is_identifier(tokens[j].text)) last = tokens[j].text;
+        ++j;
+      }
+      if (!last.empty() && j < tokens.size() && tokens[j].text == "(") {
+        result_functions_.insert(last);
+      }
+      continue;
+    }
+    // A function declared with a *non*-Result return type under the same
+    // name makes the name ambiguous for the token-level discard rule:
+    // `void fail(...)` next to `Result<Response> fail(...)`.
+    if (i >= 1 && i + 1 < tokens.size() && is_identifier(tokens[i].text) &&
+        tokens[i + 1].text == "(" && is_identifier(tokens[i - 1].text) &&
+        statement_keywords().count(tokens[i - 1].text) == 0 &&
+        tokens[i - 1].text != "Result") {
+      ambiguous_names_.insert(tokens[i].text);
+    }
+    // ErrorScope::kX used as a value (not a case label, not router
+    // bookkeeping) is evidence the scope can actually be raised.
+    if (tokens[i].text == "ErrorScope" && i + 2 < tokens.size() &&
+        tokens[i + 1].text == "::") {
+      if (i > 0 && tokens[i - 1].text == "case") continue;
+      if (i >= 2 && tokens[i - 1].text == "(" &&
+          (tokens[i - 2].text == "register_handler" ||
+           tokens[i - 2].text == "unregister")) {
+        continue;
+      }
+      raised_scopes_.insert(tokens[i + 2].text);
+    }
+  }
+}
+
+void Linter::lint(const std::string& path, const std::string& text) {
+  Suppressions suppressions;
+  const std::vector<Token> tokens = tokenize(text, &suppressions);
+
+  auto suppressed = [&](const std::string& rule, int line) {
+    for (const int l : {line, line - 1}) {
+      auto it = suppressions.find(l);
+      if (it != suppressions.end() && it->second.count(rule) != 0) return true;
+    }
+    return false;
+  };
+  auto add = [&](std::string rule, int line, std::string message) {
+    if (suppressed(rule, line)) return;
+    findings_.push_back(
+        Finding{std::move(rule), path, line, std::move(message)});
+  };
+
+  // ---- lint/exhaustive-switch ----------------------------------------------
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].text != "switch") continue;
+    if (i + 1 >= tokens.size() || tokens[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+    if (close + 1 >= tokens.size() || tokens[close + 1].text != "{") continue;
+    const std::size_t body_end = match_forward(tokens, close + 1, "{", "}");
+
+    std::map<std::string, std::set<std::string>> seen;
+    int default_line = 0;
+    for (std::size_t k = close + 2; k < body_end && k < tokens.size(); ++k) {
+      // A nested switch gets its own visit from the outer loop.
+      if (tokens[k].text == "switch" && k + 1 < body_end &&
+          tokens[k + 1].text == "(") {
+        const std::size_t inner = match_forward(tokens, k + 1, "(", ")");
+        if (inner + 1 < body_end && tokens[inner + 1].text == "{") {
+          k = match_forward(tokens, inner + 1, "{", "}");
+        }
+        continue;
+      }
+      if (tokens[k].text == "case" && k + 3 < body_end &&
+          tokens[k + 2].text == "::" && enums_.count(tokens[k + 1].text) != 0) {
+        seen[tokens[k + 1].text].insert(tokens[k + 3].text);
+      }
+      if (tokens[k].text == "default" && k + 1 < body_end &&
+          tokens[k + 1].text == ":") {
+        default_line = tokens[k].line;
+      }
+    }
+    if (seen.empty()) continue;  // not a switch over a scoped-error enum
+
+    const auto& [enum_name, labels] = *seen.begin();
+    if (default_line != 0) {
+      add("lint/exhaustive-switch", default_line,
+          "switch over " + enum_name +
+              " has a default label; list every enumerator so a new kind "
+              "cannot be silently absorbed");
+      continue;
+    }
+    std::vector<std::string> missing;
+    for (const std::string& e : enums_.at(enum_name)) {
+      if (labels.count(e) == 0) missing.push_back(e);
+    }
+    if (!missing.empty()) {
+      std::string list;
+      for (std::size_t m = 0; m < missing.size() && m < 5; ++m) {
+        if (m != 0) list += ", ";
+        list += missing[m];
+      }
+      if (missing.size() > 5) list += ", ...";
+      add("lint/exhaustive-switch", tokens[i].line,
+          "switch over " + enum_name + " is missing " +
+              std::to_string(missing.size()) + " enumerator(s): " + list);
+    }
+  }
+
+  // ---- lint/discarded-result -----------------------------------------------
+  std::size_t start = 0;
+  int paren_depth = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& s = tokens[i].text;
+    if (s == "(") ++paren_depth;
+    if (s == ")" && paren_depth > 0) --paren_depth;
+    if (s != ";" && s != "{" && s != "}") continue;
+    // A ';' inside parentheses (a for-loop header) ends nothing.
+    if (s == ";" && paren_depth > 0) continue;
+    if (s == "{" || s == "}") paren_depth = 0;
+    const std::size_t first = start;
+    start = i + 1;
+    if (s != ";" || i < 2 || tokens[i - 1].text != ")") continue;
+    if (first >= i || !is_identifier(tokens[first].text)) continue;
+    if (statement_keywords().count(tokens[first].text) != 0) continue;
+    // Any plain assignment in the statement means the value is consumed.
+    bool assigned = false;
+    int depth = 0;
+    for (std::size_t k = first; k < i; ++k) {
+      const std::string& t = tokens[k].text;
+      if (t == "(" || t == "[") ++depth;
+      if (t == ")" || t == "]") --depth;
+      if (t == "=" && depth == 0) {
+        assigned = true;
+        break;
+      }
+    }
+    if (assigned) continue;
+    // The callee of the statement's final call.
+    int close_depth = 0;
+    std::size_t open = i;  // will land on the '(' matching tokens[i-1]
+    for (std::size_t k = i - 1; k > first; --k) {
+      if (tokens[k].text == ")") ++close_depth;
+      if (tokens[k].text == "(") {
+        if (--close_depth == 0) {
+          open = k;
+          break;
+        }
+      }
+    }
+    if (open == i || open == first) continue;
+    const std::string& callee = tokens[open - 1].text;
+    // Only genuine call syntax: the callee sits at the statement start or
+    // behind ./->/:: — a name behind a type or a '>' is a declaration.
+    const bool call_context =
+        open - 1 == first ||
+        (open >= 2 && (tokens[open - 2].text == "." ||
+                       tokens[open - 2].text == "->" ||
+                       tokens[open - 2].text == "::"));
+    if (!call_context) continue;
+    if (is_identifier(callee) && result_functions_.count(callee) != 0 &&
+        ambiguous_names_.count(callee) == 0) {
+      add("lint/discarded-result", tokens[open - 1].line,
+          "call to '" + callee +
+              "' discards its Result — an explicit error silently becomes "
+              "no error; assign it or cast to (void) deliberately");
+    }
+  }
+
+  // ---- lint/naked-throw ----------------------------------------------------
+  if (!ends_with(path, "core/escape.hpp")) {
+    for (const Token& t : tokens) {
+      if (t.text == "throw") {
+        add("lint/naked-throw", t.line,
+            "`throw` outside core/escape.hpp — escaping (Principle 2) is "
+            "the only sanctioned nonlocal exit");
+      }
+    }
+  }
+
+  // ---- lint/unraised-scope -------------------------------------------------
+  for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
+    if (tokens[i].text != "register_handler") continue;
+    if (tokens[i + 1].text != "(" || tokens[i + 2].text != "ErrorScope" ||
+        tokens[i + 3].text != "::") {
+      continue;
+    }
+    const std::string& scope = tokens[i + 4].text;
+    if (raised_scopes_.count(scope) == 0) {
+      add("lint/unraised-scope", tokens[i].line,
+          "handler registered for ErrorScope::" + scope +
+              " but nothing in the scanned sources raises that scope");
+    }
+  }
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  analysis::sarif::Log log("esg-lint", "1.0");
+  log.add_rule({"lint/exhaustive-switch",
+                "switches over error enums list every enumerator, no default"});
+  log.add_rule({"lint/discarded-result",
+                "Result<T> return values must not be dropped on the floor"});
+  log.add_rule({"lint/naked-throw",
+                "throw outside core/escape.hpp; escaping is the only "
+                "sanctioned nonlocal exit"});
+  log.add_rule({"lint/unraised-scope",
+                "registered handler scopes must be raisable somewhere"});
+  for (const Finding& f : findings) {
+    analysis::sarif::Result r;
+    r.rule_id = f.rule;
+    r.message = f.message;
+    r.uri = f.file;
+    r.line = f.line;
+    log.add_result(std::move(r));
+  }
+  return log.str();
+}
+
+}  // namespace esg::lint

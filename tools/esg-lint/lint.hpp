@@ -1,0 +1,81 @@
+// esg-lint: a token-level discipline pass over the C++ sources.
+//
+// The static verifier (src/analysis) proves the principles over the
+// *declared* topology; this linter enforces the source habits that keep
+// the declarations and the code from drifting apart:
+//
+//   lint/exhaustive-switch  A switch over ErrorKind, ErrorScope, or
+//                           Disposition must list every enumerator and
+//                           carry no default label: adding a kind must
+//                           force every dispatch site to choose (P4's
+//                           finite vocabulary, enforced at use sites).
+//   lint/discarded-result   A statement-level call to a function returning
+//                           Result<T> whose value is dropped on the floor
+//                           (an explicit error silently becoming no error).
+//   lint/naked-throw        A `throw` outside core/escape.hpp: escaping is
+//                           the only sanctioned nonlocal exit (P2).
+//   lint/unraised-scope     register_handler(ErrorScope::kX) with no
+//                           evidence anywhere in the corpus that the scope
+//                           is raised: a handler listening on a frequency
+//                           nobody transmits on.
+//
+// A finding can be suppressed with a comment on the same or the preceding
+// line:  // esg-lint: allow(<rule>)
+//
+// The enum vocabularies and the Result-returning function set are parsed
+// out of the scanned sources themselves, so the linter follows the headers
+// without a hand-maintained list. Run scan() over every file first, then
+// lint() each file.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace esg::lint {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+class Linter {
+ public:
+  /// Pass A: learn enum vocabularies, Result-returning function names, and
+  /// raised-scope evidence from one file. Call for every file first.
+  void scan(const std::string& path, const std::string& text);
+
+  /// Pass B: lint one file against everything scan() learned.
+  void lint(const std::string& path, const std::string& text);
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<std::string>>& enums()
+      const {
+    return enums_;
+  }
+  [[nodiscard]] const std::set<std::string>& result_functions() const {
+    return result_functions_;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> enums_;
+  std::set<std::string> result_functions_;
+  /// Names also declared with a non-Result return type somewhere: too
+  /// ambiguous for the name-based discard rule.
+  std::set<std::string> ambiguous_names_;
+  std::set<std::string> raised_scopes_;
+  std::vector<Finding> findings_;
+};
+
+/// Render findings as SARIF 2.1.0 (same structural shape as the verifier's
+/// output, so CI uploads both as one artifact family).
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace esg::lint

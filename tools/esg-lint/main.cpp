@@ -1,0 +1,98 @@
+// esg-lint CLI: lint C++ sources for error-discipline violations.
+//
+//   esg-lint [--sarif <out.json>] <file-or-directory>...
+//
+// Directories are walked recursively for .hpp/.cpp files. All files are
+// scanned first (building the enum vocabulary and the Result-returning
+// function set), then linted. Exit status 1 when any finding survives
+// suppressions, 2 on usage/IO errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: esg-lint [--sarif <out.json>] <file-or-dir>...\n";
+  return 2;
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sarif_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sarif") {
+      if (i + 1 >= argc) return usage();
+      sarif_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(root, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "esg-lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<std::pair<std::string, std::string>> contents;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "esg-lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    contents.emplace_back(file, body.str());
+  }
+
+  esg::lint::Linter linter;
+  for (const auto& [file, text] : contents) linter.scan(file, text);
+  for (const auto& [file, text] : contents) linter.lint(file, text);
+
+  for (const esg::lint::Finding& f : linter.findings()) {
+    std::cout << f.str() << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "esg-lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << esg::lint::to_sarif(linter.findings());
+  }
+  std::cout << "esg-lint: " << contents.size() << " file(s), "
+            << linter.findings().size() << " finding(s)\n";
+  return linter.findings().empty() ? 0 : 1;
+}

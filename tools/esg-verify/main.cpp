@@ -1,0 +1,118 @@
+// esg-verify CLI: static whole-pool verification of the four principles.
+//
+//   esg-verify [--discipline scoped|naive] [--sarif <out.json>]
+//              [--unregister <scope>] [--dump]
+//
+// Builds the declared pool topology for the discipline (the same
+// describe_topology() hooks the daemons export), runs the ScopeVerifier,
+// prints the report, and exits 1 when any finding survives — so a CTest /
+// CI gate is just `esg-verify --discipline scoped`.
+//
+// --unregister opens a routing window first (the static twin of a manager
+// daemon going away), e.g. `--unregister pool` reproduces the seeded P3
+// hole from the paper's restarted-schedd discussion.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/sarif.hpp"
+#include "analysis/verify.hpp"
+#include "core/scope.hpp"
+#include "pool/topology.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: esg-verify [--discipline scoped|naive]"
+               " [--sarif <out.json>] [--unregister <scope>] [--dump]\n";
+  return 2;
+}
+
+const char* rule_description(const std::string& rule) {
+  if (rule == "esv/p1-laundering") {
+    return "explicit errors must not become implicit at a boundary (P1)";
+  }
+  if (rule == "esv/p2-escape-gap") {
+    return "non-contractual kinds need an escaping conversion on every "
+           "path (P2)";
+  }
+  if (rule == "esv/p3-routing-hole") {
+    return "every raisable scope needs a handler at or above it (P3)";
+  }
+  if (rule == "esv/p4-catch-all" || rule == "esv/p4-budget") {
+    return "error interfaces must be concise and finite (P4)";
+  }
+  return "error-scope principle violation";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string discipline_name = "scoped";
+  std::string sarif_path;
+  std::string unregister_name;
+  bool dump = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--discipline") {
+      if (i + 1 >= argc) return usage();
+      discipline_name = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) return usage();
+      sarif_path = argv[++i];
+    } else if (arg == "--unregister") {
+      if (i + 1 >= argc) return usage();
+      unregister_name = argv[++i];
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      return usage();
+    }
+  }
+
+  esg::daemons::DisciplineConfig discipline;
+  if (discipline_name == "scoped") {
+    discipline = esg::daemons::DisciplineConfig::scoped();
+  } else if (discipline_name == "naive") {
+    discipline = esg::daemons::DisciplineConfig::naive();
+  } else {
+    return usage();
+  }
+
+  esg::analysis::TopologyModel model =
+      esg::pool::describe_pool_topology(discipline);
+  if (!unregister_name.empty()) {
+    const auto scope = esg::parse_scope(unregister_name);
+    if (!scope) {
+      std::cerr << "esg-verify: unknown scope: " << unregister_name << "\n";
+      return 2;
+    }
+    model.unregister(*scope);
+  }
+  if (dump) std::cout << model.str();
+
+  const esg::analysis::AnalysisReport report =
+      esg::analysis::ScopeVerifier().verify(model);
+  std::cout << "discipline: " << discipline_name << "\n" << report.str();
+
+  if (!sarif_path.empty()) {
+    esg::analysis::sarif::Log log("esg-verify", "1.0");
+    for (const esg::analysis::Finding& f : report.findings) {
+      log.add_rule({f.rule, rule_description(f.rule)});
+      esg::analysis::sarif::Result r;
+      r.rule_id = f.rule;
+      r.message = f.message;
+      r.logical = f.chain;
+      r.logical.insert(r.logical.begin(), "component:" + f.component);
+      log.add_result(std::move(r));
+    }
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "esg-verify: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << log.str();
+  }
+  return report.ok() ? 0 : 1;
+}
