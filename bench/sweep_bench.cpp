@@ -1,0 +1,142 @@
+// Sweep-runner scaling: the same seed×fault-rate grid of independent pool
+// simulations executed at 1, 2, 4, and 8 worker threads. Every width
+// produces byte-identical per-cell reports (checked here, not assumed);
+// what changes is the wall clock.
+//
+//   $ ./sweep_bench [--seeds N] [--jobs N] [--json FILE]
+//
+// Prints a human-readable scaling table; with --json also writes
+// machine-readable results ({"widths": [{"threads": 1, "wall_s": ...}]}).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pool/sweep.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+pool::SweepCell make_cell(std::uint64_t seed, double fault_rate, int jobs) {
+  pool::SweepCell cell;
+  cell.config.seed = seed;
+  cell.config.discipline = daemons::DisciplineConfig::scoped();
+  cell.config.discipline.schedd_avoidance = true;
+  cell.config.machines.push_back(
+      pool::MachineSpec::misconfigured_java("bad0"));
+  pool::MachineSpec flaky = pool::MachineSpec::good("good0");
+  flaky.fs_fault_rate = fault_rate;
+  cell.config.machines.push_back(std::move(flaky));
+  cell.config.machines.push_back(pool::MachineSpec::good("good1"));
+  std::ostringstream label;
+  label << "seed" << seed << "/fault" << static_cast<int>(fault_rate * 100);
+  cell.label = label.str();
+  cell.setup = [seed, jobs](pool::Pool& p) {
+    pool::stage_workload_inputs(p);
+    pool::WorkloadOptions options;
+    options.count = jobs;
+    options.mean_compute = SimTime::sec(10);
+    options.remote_io_fraction = 0.25;
+    options.program_error_fraction = 0.15;
+    Rng rng(seed * 7919 + 17);
+    for (auto& job : pool::make_workload(options, rng)) {
+      p.submit(std::move(job));
+    }
+  };
+  return cell;
+}
+
+/// One comparable string per cell: the determinism cross-check between
+/// widths rides on report bytes plus the engine-event fingerprint.
+std::string fingerprint(const pool::SweepReport& sweep) {
+  std::ostringstream out;
+  for (const pool::CellOutcome& cell : sweep.cells) {
+    out << cell.label << "|" << cell.engine_events << "|"
+        << cell.report.str() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 8;
+  int jobs = 12;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--seeds N] [--jobs N] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<double> fault_rates = {0.0, 0.05, 0.1, 0.2};
+  std::vector<pool::SweepCell> grid;
+  for (int s = 0; s < seeds; ++s) {
+    for (const double rate : fault_rates) {
+      grid.push_back(
+          make_cell(100 + static_cast<std::uint64_t>(s), rate, jobs));
+    }
+  }
+  std::printf("grid: %d seed(s) x %zu fault rate(s) = %zu cells, %d jobs each\n\n",
+              seeds, fault_rates.size(), grid.size(), jobs);
+
+  struct Row {
+    unsigned threads;
+    double wall_s;
+  };
+  std::vector<Row> rows;
+  std::string reference;
+  bool identical = true;
+  for (const unsigned width : {1u, 2u, 4u, 8u}) {
+    const pool::SweepReport sweep = pool::SweepRunner(width).run(grid);
+    rows.push_back({width, sweep.wall_seconds});
+    const std::string fp = fingerprint(sweep);
+    if (reference.empty()) {
+      reference = fp;
+    } else if (fp != reference) {
+      identical = false;
+    }
+  }
+
+  const double base = rows.front().wall_s;
+  std::printf("%8s %10s %9s %11s\n", "threads", "wall (s)", "speedup",
+              "cells/sec");
+  for (const Row& row : rows) {
+    std::printf("%8u %10.3f %8.2fx %11.1f\n", row.threads, row.wall_s,
+                base / row.wall_s,
+                static_cast<double>(grid.size()) / row.wall_s);
+  }
+  std::printf("\ncross-width determinism: %s\n",
+              identical ? "byte-identical at every width"
+                        : "MISMATCH (bug!)");
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    out << "{\n  \"cells\": " << grid.size()
+        << ",\n  \"jobs_per_cell\": " << jobs
+        << ",\n  \"identical_across_widths\": "
+        << (identical ? "true" : "false") << ",\n  \"widths\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out << "    {\"threads\": " << rows[i].threads
+          << ", \"wall_s\": " << rows[i].wall_s
+          << ", \"speedup\": " << base / rows[i].wall_s << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path);
+  }
+  return identical ? 0 : 1;
+}

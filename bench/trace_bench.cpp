@@ -13,10 +13,14 @@ using namespace esg;
 namespace {
 
 // One faulty-pool run: mixed good/misconfigured machines so the error
-// paths (where the instrumentation lives) actually execute.
-std::uint64_t run_pool_once() {
+// paths (where the instrumentation lives) actually execute. Tracing is a
+// per-pool knob (PoolConfig::trace), so each run measures its own
+// recorder — no process-wide state to arm or disarm.
+std::uint64_t run_pool_once(bool trace, std::uint64_t* spans) {
   pool::PoolConfig config;
   config.seed = 11;
+  config.trace = trace;
+  config.trace_capacity = 8192;
   config.discipline = daemons::DisciplineConfig::scoped();
   config.discipline.schedd_avoidance = true;
   for (int i = 0; i < 8; ++i) {
@@ -35,31 +39,24 @@ std::uint64_t run_pool_once() {
     pool.submit(std::move(job));
   }
   benchmark::DoNotOptimize(pool.run_until_done(SimTime::hours(12)));
+  if (spans != nullptr) *spans += pool.recorder().total_recorded();
   return pool.engine().executed();
 }
 
 void BM_PoolTraceDisabled(benchmark::State& state) {
-  obs::FlightRecorder::global().set_enabled(false);
   std::uint64_t events = 0;
-  for (auto _ : state) events += run_pool_once();
+  for (auto _ : state) events += run_pool_once(false, nullptr);
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_PoolTraceDisabled)->Unit(benchmark::kMillisecond);
 
 void BM_PoolTraceEnabled(benchmark::State& state) {
-  auto& rec = obs::FlightRecorder::global();
-  rec.set_enabled(true);
-  rec.set_capacity(8192);
   std::uint64_t events = 0;
   std::uint64_t spans = 0;
   for (auto _ : state) {
-    rec.clear();
-    events += run_pool_once();
-    spans += rec.total_recorded();
+    events += run_pool_once(true, &spans);
   }
-  rec.set_enabled(false);
-  rec.clear();
   state.counters["events/s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["spans/iter"] = benchmark::Counter(
@@ -68,9 +65,10 @@ void BM_PoolTraceEnabled(benchmark::State& state) {
 BENCHMARK(BM_PoolTraceEnabled)->Unit(benchmark::kMillisecond);
 
 // Tightest possible loop over a disabled sink: the guard branch itself.
+// The sink binds an explicit (local) recorder, as all in-sim sinks do now.
 void BM_DisabledSinkCall(benchmark::State& state) {
-  obs::FlightRecorder::global().set_enabled(false);
-  const obs::TraceSink sink("bench");
+  obs::FlightRecorder rec;
+  const obs::TraceSink sink("bench", &rec);
   const Error e(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, "x");
   for (auto _ : state) {
     benchmark::DoNotOptimize(sink.raised(e, 1));
@@ -79,16 +77,14 @@ void BM_DisabledSinkCall(benchmark::State& state) {
 BENCHMARK(BM_DisabledSinkCall);
 
 void BM_EnabledSinkCall(benchmark::State& state) {
-  auto& rec = obs::FlightRecorder::global();
+  obs::FlightRecorder rec;
   rec.set_enabled(true);
   rec.set_capacity(8192);
-  const obs::TraceSink sink("bench");
+  const obs::TraceSink sink("bench", &rec);
   const Error e(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, "x");
   for (auto _ : state) {
     benchmark::DoNotOptimize(sink.raised(e, 1));
   }
-  rec.set_enabled(false);
-  rec.clear();
 }
 BENCHMARK(BM_EnabledSinkCall);
 

@@ -11,6 +11,13 @@ namespace {
 
 void banner(const char* title) { std::printf("\n== %s ==\n", title); }
 
+// The tour's audit ledger: mechanisms take the audit they report to as an
+// explicit argument (a simulation would pass its SimContext's audit).
+PrincipleAudit& tour_audit() {
+  static PrincipleAudit audit;
+  return audit;
+}
+
 // A toy storage layer with a concise, finite error interface (P4).
 Result<std::string> storage_read(bool backing_store_up) {
   static const ErrorInterface contract("storage.read",
@@ -21,7 +28,7 @@ Result<std::string> storage_read(bool backing_store_up) {
           : Result<std::string>(
                 Error(ErrorKind::kMountOffline, "backing store unavailable"));
   // filter(): contractual errors pass; anything else escapes (P2).
-  return contract.filter(std::move(raw), ErrorScope::kProcess);
+  return contract.filter(std::move(raw), ErrorScope::kProcess, &tour_audit());
 }
 
 }  // namespace
@@ -69,7 +76,7 @@ int main() {
 
   banner("Principle 3: route errors to the manager of their scope");
   {
-    ScopeRouter router;
+    ScopeRouter router(&tour_audit(), nullptr);
     router.register_handler(ErrorScope::kVirtualMachine, "jvm", [](Error&) {
       std::printf("  jvm handler: cannot fix a heap this small, propagating\n");
       return Disposition::kPropagate;
@@ -106,7 +113,7 @@ int main() {
 
   banner("the audit ledger");
   {
-    const PrincipleAudit& audit = PrincipleAudit::global();
+    const PrincipleAudit& audit = tour_audit();
     std::printf("  P2 applied %llu times, P3 applied %llu times this run\n",
                 static_cast<unsigned long long>(audit.applied(Principle::kP2)),
                 static_cast<unsigned long long>(audit.applied(Principle::kP3)));

@@ -53,18 +53,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Arm the recorder before the pool exists so every event is captured.
-  auto& recorder = obs::FlightRecorder::global();
-  recorder.set_enabled(true);
-  recorder.set_capacity(8192);
-  recorder.set_on_chronic([&](const std::string& reason) {
-    // The "last N events before failure" readout, at the instant the
-    // schedd diagnoses the black hole.
-    std::printf("%s\n", obs::render_dump(recorder.last(25), reason).c_str());
-  });
-
   pool::PoolConfig config;
   config.seed = seed;
+  // Tracing is armed per-pool at construction, so every event is captured
+  // in the pool's own recorder — no process-wide state involved.
+  config.trace = true;
+  config.trace_capacity = 8192;
   config.discipline = daemons::DisciplineConfig::scoped();
   config.discipline.schedd_avoidance = true;  // the chronic-failure detector
   for (int i = 0; i < bad; ++i) {
@@ -77,6 +71,12 @@ int main(int argc, char** argv) {
   }
 
   pool::Pool pool(config);
+  obs::FlightRecorder& recorder = pool.recorder();
+  recorder.set_on_chronic([&](const std::string& reason) {
+    // The "last N events before failure" readout, at the instant the
+    // schedd diagnoses the black hole.
+    std::printf("%s\n", obs::render_dump(recorder.last(25), reason).c_str());
+  });
   Rng rng(seed);
   pool::WorkloadOptions options;
   options.count = jobs;
@@ -111,7 +111,5 @@ int main(int argc, char** argv) {
                 trace_out);
   }
 
-  recorder.set_on_chronic(nullptr);
-  recorder.set_enabled(false);
   return check.ok() ? 0 : 1;
 }

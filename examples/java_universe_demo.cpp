@@ -15,9 +15,6 @@ using namespace esg;
 
 int main(int argc, char** argv) {
   const bool verbose = argc > 1 && std::string(argv[1]) == "-v";
-  if (verbose) {
-    LogSink::instance().set_level(LogLevel::kInfo);
-  }
 
   pool::PoolConfig config;
   config.seed = 2002;
@@ -26,7 +23,8 @@ int main(int argc, char** argv) {
   config.machines.push_back(pool::MachineSpec::good("exec1"));
   pool::Pool pool(config);
   if (verbose) {
-    LogSink::instance().set_clock([&pool] { return pool.engine().now(); });
+    // The pool's own log sink (its engine already drives the sim clock).
+    pool.context().log_sink().set_level(LogLevel::kInfo);
   }
 
   pool.stage_input("/home/data/genome.dat", std::string(32 << 10, 'G'));

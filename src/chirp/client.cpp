@@ -4,16 +4,13 @@
 #include "obs/trace.hpp"
 
 namespace esg::chirp {
-namespace {
-const obs::TraceSink& chirp_trace() {
-  static const obs::TraceSink sink("chirp-client");
-  return sink;
-}
-}  // namespace
 
 ChirpClient::ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
                          SimTime timeout)
-    : engine_(engine), endpoint_(std::move(endpoint)), timeout_(timeout) {
+    : engine_(engine),
+      endpoint_(std::move(endpoint)),
+      trace_(engine.context().trace("chirp-client")),
+      timeout_(timeout) {
   std::shared_ptr<bool> alive = alive_;
   endpoint_.set_on_message([this, alive](const std::string& wire) {
     if (*alive) on_response(wire);
@@ -56,11 +53,11 @@ void ChirpClient::send(Request req, RawCb done) {
       // fails every outstanding operation.
       Error timed_out(ErrorKind::kConnectionTimedOut,
                       "chirp response timed out");
-      const std::uint64_t silence = chirp_trace().implicit(
+      const std::uint64_t silence = trace_.implicit(
           ErrorKind::kConnectionTimedOut, ErrorScope::kNetwork, 0,
           "proxy silent past chirp timeout");
-      chirp_trace().converted_to_escaping(
-          timed_out, 0, "aborting the chirp connection", silence);
+      trace_.converted_to_escaping(timed_out, 0,
+                                   "aborting the chirp connection", silence);
       endpoint_.abort(std::move(timed_out));
     });
   }
@@ -72,8 +69,8 @@ void ChirpClient::on_response(const std::string& wire) {
     // Unsolicited response: protocol violation by the peer; the function
     // call mechanism is invalid. Escape by breaking the connection.
     Error unsolicited(ErrorKind::kProtocolError, "unsolicited chirp response");
-    chirp_trace().converted_to_escaping(unsolicited, 0,
-                                        "aborting the chirp connection");
+    trace_.converted_to_escaping(unsolicited, 0,
+                                 "aborting the chirp connection");
     endpoint_.abort(std::move(unsolicited));
     return;
   }
@@ -92,7 +89,7 @@ void ChirpClient::on_close(const std::optional<Error>& error) {
   // The escaping break surfaces here as an explicit error: handed to every
   // caller still waiting, and latched as conn_error_ for every future call
   // (Principle 2's catch half).
-  chirp_trace().converted_to_explicit(
+  trace_.converted_to_explicit(
       *conn_error_, 0,
       "failing " + std::to_string(pending_.size()) +
           " outstanding chirp ops; latched for future calls");

@@ -18,6 +18,7 @@
 #include "chirp/protocol.hpp"
 #include "common/simtime.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace esg::chirp {
@@ -59,6 +60,10 @@ class ChirpClient {
 
   [[nodiscard]] bool connected() const { return endpoint_.is_open(); }
 
+  /// The engine this client runs on; layers above (the Java I/O library)
+  /// use it to bind to the same simulation context.
+  [[nodiscard]] sim::Engine& engine() const { return engine_; }
+
   /// The error that killed the connection, if any.
   [[nodiscard]] const std::optional<Error>& connection_error() const {
     return conn_error_;
@@ -75,6 +80,7 @@ class ChirpClient {
 
   sim::Engine& engine_;
   net::Endpoint endpoint_;
+  obs::TraceSink trace_;
   SimTime timeout_;
   std::deque<std::pair<RawCb, sim::TimerHandle>> pending_;
   std::optional<Error> conn_error_;

@@ -37,8 +37,10 @@ class StrongId {
   std::uint64_t value_ = kInvalid;
 };
 
-/// Monotonic generator for a StrongId family. Not thread safe; the
-/// simulation is single threaded by design (determinism).
+/// Monotonic generator for a StrongId family. Not thread safe; each
+/// simulation owns its generators (see IdGenerators / sim::SimContext), so
+/// id sequences are deterministic per run and independent across
+/// concurrently running simulations.
 template <class Tag>
 class IdGenerator {
  public:
@@ -66,6 +68,18 @@ using ClaimId = StrongId<ClaimTag>;
 using ConnId = StrongId<ConnTag>;
 using FdId = StrongId<FdTag>;
 using AttemptId = StrongId<AttemptTag>;
+
+/// The id families a simulation mints centrally, bundled so a simulation
+/// context can own all of them in one place. Job ids are the exception:
+/// each schedd keeps its own generator because multi-submitter pools give
+/// every schedd a disjoint base range (see Schedd::set_job_id_base).
+struct IdGenerators {
+  IdGenerator<MatchTag> match;
+  IdGenerator<ClaimTag> claim;
+  IdGenerator<ConnTag> conn;
+  IdGenerator<FdTag> fd;
+  IdGenerator<AttemptTag> attempt;
+};
 
 }  // namespace esg
 

@@ -20,6 +20,7 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 LogSink& LogSink::instance() {
+  // The compat shim's one sanctioned definition site.
   static LogSink sink;
   return sink;
 }

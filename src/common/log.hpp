@@ -1,8 +1,15 @@
 // Component-tagged leveled logging.
 //
 // Every daemon in the simulated grid logs through a Logger bound to a
-// component name ("schedd@submit0", "starter@exec3", ...). The global sink
-// is quiet by default so tests and benches stay clean; examples turn it up.
+// component name ("schedd@submit0", "starter@exec3", ...) and to a LogSink.
+// A LogSink is an ordinary object: each simulation owns one (via
+// sim::SimContext), so several simulations can log concurrently without
+// sharing any state. Sinks are quiet by default so tests and benches stay
+// clean; examples turn them up.
+//
+// `LogSink::instance()` survives only as a compatibility shim for code that
+// runs outside a simulation (tools, ad-hoc scripts). New simulation code
+// must bind a Logger to its context's sink; esg-lint enforces this.
 #pragma once
 
 #include <functional>
@@ -15,9 +22,15 @@ namespace esg {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log configuration. Single threaded by design.
+/// Log configuration and output. Instantiable: one per simulation context.
+/// A single LogSink is not thread safe; concurrent simulations each use
+/// their own.
 class LogSink {
  public:
+  LogSink();
+
+  /// Compatibility shim: the process-wide default sink used by loggers that
+  /// were never bound to a context. Do not introduce new callers.
   static LogSink& instance();
 
   void set_level(LogLevel level) { level_ = level; }
@@ -35,19 +48,26 @@ class LogSink {
              const std::string& message);
 
  private:
-  LogSink();
   LogLevel level_ = LogLevel::kOff;
   std::function<void(const std::string&)> writer_;
   std::function<SimTime()> clock_;
 };
 
-/// A cheap handle that prefixes messages with a component name.
+/// A cheap handle that prefixes messages with a component name. When bound
+/// to a sink it writes there; a default-constructed or name-only Logger
+/// falls back to the process-wide shim sink.
 class Logger {
  public:
   Logger() = default;
   explicit Logger(std::string component) : component_(std::move(component)) {}
+  Logger(std::string component, LogSink* sink)
+      : component_(std::move(component)), sink_(sink) {}
 
   [[nodiscard]] const std::string& component() const { return component_; }
+  [[nodiscard]] LogSink& sink() const {
+    // Compat fallback for unbound loggers.  esg-lint: allow(lint/global-singleton)
+    return sink_ != nullptr ? *sink_ : LogSink::instance();
+  }
 
   template <class... Args>
   void trace(const Args&... args) const {
@@ -73,13 +93,15 @@ class Logger {
  private:
   template <class... Args>
   void log(LogLevel level, const Args&... args) const {
-    if (level < LogSink::instance().level()) return;
+    LogSink& s = sink();
+    if (level < s.level()) return;
     std::ostringstream os;
     (os << ... << args);
-    LogSink::instance().write(level, component_, os.str());
+    s.write(level, component_, os.str());
   }
 
   std::string component_;
+  LogSink* sink_ = nullptr;
 };
 
 }  // namespace esg

@@ -31,7 +31,13 @@ struct AuditEvent {
 
 class PrincipleAudit {
  public:
-  /// Process-wide instance. The simulation is single threaded.
+  /// Instantiable: each simulation context owns its own ledger, so
+  /// concurrent simulations never share counters.
+  PrincipleAudit() = default;
+
+  /// Compatibility shim: the process-wide ledger used by code that was
+  /// never bound to a context. Do not introduce new callers (esg-lint's
+  /// lint/global-singleton rule rejects them).
   static PrincipleAudit& global();
 
   void record(Principle p, AuditOutcome outcome, std::string site);

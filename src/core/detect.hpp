@@ -46,9 +46,11 @@ class OutputValidator {
 /// Detect implicit errors by duplicating a computation N times and
 /// majority-voting the results — the classic redundancy technique from the
 /// fault-tolerance literature the paper builds on. T must be
-/// equality-comparable.
+/// equality-comparable. Simulation callers pass their context's audit
+/// ledger; unbound callers fall back to the process-wide shim.
 template <class T>
-Result<T> redundant_vote(const std::function<Result<T>()>& run, int copies) {
+Result<T> redundant_vote(const std::function<Result<T>()>& run, int copies,
+                         PrincipleAudit* audit = nullptr) {
   std::vector<T> values;
   std::optional<Error> last_error;
   for (int i = 0; i < copies; ++i) {
@@ -84,8 +86,10 @@ Result<T> redundant_vote(const std::function<Result<T>()>& run, int copies) {
   }
   if (best_count < values.size()) {
     // A minority of copies were silently wrong; the vote masked them.
-    PrincipleAudit::global().record(Principle::kP1, AuditOutcome::kApplied,
-                                    "redundant_vote");
+    PrincipleAudit& ledger =
+        // Compat fallback for unbound callers.  esg-lint: allow(lint/global-singleton)
+        audit != nullptr ? *audit : PrincipleAudit::global();
+    ledger.record(Principle::kP1, AuditOutcome::kApplied, "redundant_vote");
   }
   return values[best_index];
 }

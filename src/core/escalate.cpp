@@ -61,15 +61,20 @@ ErrorScope ScopeEscalator::scope_after(ErrorScope initial,
   return scope;
 }
 
-Error ScopeEscalator::escalate(Error e, SimTime first_seen,
-                               SimTime now) const {
+Error ScopeEscalator::escalate(Error e, SimTime first_seen, SimTime now,
+                               const obs::TraceSink* trace) const {
   const SimTime persisted = now - first_seen;
   const ErrorScope initial = e.scope();
   const ErrorScope widened = scope_after(initial, persisted);
   e.widen_scope_in_place(widened);
   if (widened != initial) {
-    static const obs::TraceSink sink("escalator");
-    sink.escalated(e, initial, 0, "persisted " + persisted.str());
+    if (trace != nullptr) {
+      trace->escalated(e, initial, 0, "persisted " + persisted.str());
+    } else {
+      // Unbound callers (tools, examples) fall back to the shim recorder.
+      static const obs::TraceSink sink("escalator");
+      sink.escalated(e, initial, 0, "persisted " + persisted.str());
+    }
   }
   return e;
 }

@@ -17,6 +17,10 @@
 #include "common/simtime.hpp"
 #include "core/error.hpp"
 
+namespace esg::obs {
+class TraceSink;
+}  // namespace esg::obs
+
 namespace esg {
 
 struct EscalationRule {
@@ -48,9 +52,14 @@ class ScopeEscalator {
   [[nodiscard]] ErrorScope scope_after(ErrorScope initial,
                                        SimTime persisted) const;
 
-  /// Apply to an error given the time it was first observed and now.
-  [[nodiscard]] Error escalate(Error e, SimTime first_seen,
-                               SimTime now) const;
+  /// Apply to an error given the time it was first observed and now. When
+  /// the caller runs inside a simulation it passes its context-bound trace
+  /// sink so the escalation span lands in that simulation's journal; with
+  /// no sink the span goes to the process-wide shim recorder. Escalators
+  /// themselves stay stateless (they are often shared, even `static
+  /// const`), which is why the sink is a parameter and not a member.
+  [[nodiscard]] Error escalate(Error e, SimTime first_seen, SimTime now,
+                               const obs::TraceSink* trace = nullptr) const;
 
   [[nodiscard]] const std::vector<EscalationRule>& rules() const {
     return rules_;

@@ -42,17 +42,20 @@ class ErrorInterface {
   ///  - non-contractual error: raised as an escaping error, its scope
   ///    widened to at least `escape_floor` so the enclosing system can
   ///    route it (never delivered to the caller as an explicit result).
+  ///
+  /// Contracts are immutable and freely shared (often `static const`), so
+  /// the audit ledger is a parameter, not a member: simulation code passes
+  /// `&context.audit()`; unbound callers fall back to the shim ledger.
   template <class T>
-  Result<T> filter(Result<T> r,
-                   ErrorScope escape_floor = ErrorScope::kProcess) const {
+  Result<T> filter(Result<T> r, ErrorScope escape_floor = ErrorScope::kProcess,
+                   PrincipleAudit* audit = nullptr) const {
+    PrincipleAudit& ledger = resolve(audit);
     if (r.ok()) return r;
     if (allows(r.error().kind())) {
-      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kApplied,
-                                      routine_);
+      ledger.record(Principle::kP4, AuditOutcome::kApplied, routine_);
       return r;
     }
-    PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kApplied,
-                                    routine_);
+    ledger.record(Principle::kP2, AuditOutcome::kApplied, routine_);
     Error e = std::move(r).error();
     e.widen_scope_in_place(escape_floor);
     escape(Error(e.kind(), e.scope(),
@@ -65,15 +68,19 @@ class ErrorInterface {
   /// passed to the caller as if it were an ordinary explicit result, and
   /// the violation of Principle 4 is recorded.
   template <class T>
-  Result<T> leak(Result<T> r) const {
+  Result<T> leak(Result<T> r, PrincipleAudit* audit = nullptr) const {
     if (!r.ok() && !allows(r.error().kind())) {
-      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kViolated,
-                                      routine_);
+      resolve(audit).record(Principle::kP4, AuditOutcome::kViolated, routine_);
     }
     return r;
   }
 
  private:
+  static PrincipleAudit& resolve(PrincipleAudit* audit) {
+    // Compat fallback for unbound callers.  esg-lint: allow(lint/global-singleton)
+    return audit != nullptr ? *audit : PrincipleAudit::global();
+  }
+
   std::string routine_;
   std::vector<ErrorKind> allowed_;
 };

@@ -1,14 +1,6 @@
 #include "core/router.hpp"
 
-#include "obs/trace.hpp"
-
 namespace esg {
-namespace {
-const obs::TraceSink& router_trace() {
-  static const obs::TraceSink sink("router");
-  return sink;
-}
-}  // namespace
 
 void ScopeRouter::register_handler(ErrorScope scope, std::string handler_name,
                                    Handler handler) {
@@ -40,16 +32,15 @@ RouteOutcome ScopeRouter::route(Error error) {
     const ErrorScope handler_scope = scope_by_rank_.at(it->first);
     // Delivering to a handler whose scope encloses the error's is a correct
     // application of Principle 3.
-    PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
-                                    it->second.name);
-    router_trace().routed(error, it->second.name);
+    audit().record(Principle::kP3, AuditOutcome::kApplied, it->second.name);
+    trace_.routed(error, it->second.name);
     const Disposition d = it->second.handler(error);
     outcome.path.push_back(RouteStep{handler_scope, it->second.name, d});
     if (d != Disposition::kPropagate) {
       if (d == Disposition::kHandled) {
-        router_trace().consumed(error, 0, "by " + it->second.name);
+        trace_.consumed(error, 0, "by " + it->second.name);
       } else {
-        router_trace().masked(error, 0, "by " + it->second.name);
+        trace_.masked(error, 0, "by " + it->second.name);
       }
       outcome.delivered = true;
       outcome.final_error = std::move(error);
@@ -66,9 +57,9 @@ RouteOutcome ScopeRouter::route(Error error) {
   }
   // No handler manages a scope this large: a hole in the management
   // structure. Record the P3 violation and report non-delivery.
-  PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kViolated,
-                                  "unrouted:" + std::string(scope_name(error.scope())));
-  router_trace().dropped(error, 0, "no handler manages this scope");
+  audit().record(Principle::kP3, AuditOutcome::kViolated,
+                 "unrouted:" + std::string(scope_name(error.scope())));
+  trace_.dropped(error, 0, "no handler manages this scope");
   outcome.delivered = false;
   outcome.final_error = std::move(error);
   return outcome;

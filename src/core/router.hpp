@@ -16,6 +16,7 @@
 
 #include "core/audit.hpp"
 #include "core/error.hpp"
+#include "obs/trace.hpp"
 
 namespace esg {
 
@@ -45,6 +46,14 @@ class ScopeRouter {
   /// (widen scope, wrap with context) via the reference.
   using Handler = std::function<Disposition(Error&)>;
 
+  /// An unbound router records into the process-wide shim audit/recorder;
+  /// a router constructed inside a simulation binds to that simulation's
+  /// ledger and journal (sim code passes `&context.audit(),
+  /// &context.recorder()`).
+  ScopeRouter() : trace_("router") {}
+  ScopeRouter(PrincipleAudit* audit, obs::FlightRecorder* recorder)
+      : audit_(audit), trace_("router", recorder) {}
+
   /// Register `handler_name` as the manager of `scope`. At most one
   /// handler per scope; re-registration replaces (a restarted daemon).
   void register_handler(ErrorScope scope, std::string handler_name,
@@ -68,9 +77,17 @@ class ScopeRouter {
     std::string name;
     Handler handler;
   };
+
+  [[nodiscard]] PrincipleAudit& audit() const {
+    // Compat fallback for unbound routers.  esg-lint: allow(lint/global-singleton)
+    return audit_ != nullptr ? *audit_ : PrincipleAudit::global();
+  }
+
   // Keyed by rank so "nearest enclosing" is a simple upper_bound walk.
   std::map<int, Entry> by_rank_;
   std::map<int, ErrorScope> scope_by_rank_;
+  PrincipleAudit* audit_ = nullptr;
+  obs::TraceSink trace_;
 };
 
 }  // namespace esg

@@ -326,7 +326,7 @@ void Schedd::note_machine_failure(const std::string& machine,
     // The flight recorder takes its "last N events before failure" dump at
     // exactly this moment — the schedd has just decided a machine is
     // chronically bad.
-    obs::FlightRecorder::global().chronic_failure(
+    context().recorder().chronic_failure(
         "machine " + machine + " after " + std::to_string(count) +
         " consecutive failures (last: " + error.str() + ")");
   }
@@ -367,16 +367,16 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   if (summary.have_program_result) {
     note_machine_success(machine);
     record.env_streak_start = SimTime::zero();
-    PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
-                                    "schedd@" + name());
+    context().audit().record(Principle::kP3, AuditOutcome::kApplied,
+                             "schedd@" + name());
     finalize(record, JobState::kCompleted, std::move(summary));
     return;
   }
 
   const Error& error = summary.environment_error.value();
   note_machine_failure(machine, error);
-  PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kApplied,
-                                  "schedd@" + name());
+  context().audit().record(Principle::kP3, AuditOutcome::kApplied,
+                           "schedd@" + name());
   trace().routed(error, "schedd@" + name(), job_id);
 
   // §5: time is a factor in error propagation. Track how long this job's

@@ -15,9 +15,10 @@ Shadow::Shadow(sim::Engine& engine, net::NetworkFabric& fabric,
       fabric_(fabric),
       submit_host_(std::move(submit_host)),
       submit_fs_(submit_fs),
-      log_("shadow@" + submit_host_ + "/job" + std::to_string(job.id.value())),
-      trace_("shadow@" + submit_host_ + "/job" +
-             std::to_string(job.id.value())),
+      log_(engine.context().logger("shadow@" + submit_host_ + "/job" +
+                                   std::to_string(job.id.value()))),
+      trace_(engine.context().trace("shadow@" + submit_host_ + "/job" +
+                                    std::to_string(job.id.value()))),
       discipline_(discipline),
       timeouts_(timeouts),
       job_(std::move(job)),

@@ -62,8 +62,8 @@ void Startd::run_selftest(std::function<void()> then) {
     return;
   }
   (void)machine_fs_.mkdirs("/scratch/.selftest");
-  auto io = std::make_shared<jvm::LocalJavaIo>(machine_fs_,
-                                               jvm::IoDiscipline::kConcise);
+  auto io = std::make_shared<jvm::LocalJavaIo>(
+      machine_fs_, jvm::IoDiscipline::kConcise, "", &context());
   auto probe_jvm = std::make_shared<jvm::SimJvm>(engine(), config_.jvm);
   const jvm::JobProgram probe =
       jvm::ProgramBuilder("SelfTestProbe").compute(SimTime::msec(10)).build();
@@ -203,7 +203,7 @@ void Startd::handle_request(const std::shared_ptr<RpcChannel>& channel,
       return;
     }
     Claim claim;
-    claim.id = claim_ids_.next();
+    claim.id = context().ids().claim.next();
     claim.job_id = static_cast<std::uint64_t>(
         job_value.as_ad()->eval_attr("JobId").is_int()
             ? job_value.as_ad()->eval_int("JobId")

@@ -111,7 +111,6 @@ class Startd : public sim::Actor {
   bool has_java_ = false;
   bool owner_active_ = false;
   std::optional<Claim> claim_;
-  IdGenerator<ClaimTag> claim_ids_;
   std::unique_ptr<Starter> starter_;
   std::vector<std::shared_ptr<RpcChannel>> inbound_;
   std::uint64_t jobs_started_ = 0;

@@ -236,8 +236,8 @@ Starter::Starter(sim::Engine& engine, net::NetworkFabric& fabric,
       fabric_(fabric),
       machine_fs_(machine_fs),
       host_(std::move(host)),
-      log_("starter@" + host_),
-      trace_("starter@" + host_),
+      log_(engine.context().logger("starter@" + host_)),
+      trace_(engine.context().trace("starter@" + host_)),
       jvm_config_(jvm_config),
       discipline_(discipline),
       timeouts_(timeouts),
@@ -388,7 +388,7 @@ void Starter::launch_vanilla() {
   // only program result is the exit code — even under the scoped
   // discipline, the Vanilla universe simply has less to say.
   vanilla_io_ = std::make_unique<jvm::LocalJavaIo>(
-      machine_fs_, jvm::IoDiscipline::kConcise, scratch_);
+      machine_fs_, jvm::IoDiscipline::kConcise, scratch_, &engine_.context());
   jvm::JvmConfig native;
   native.installed = true;
   native.classpath_ok = true;  // a native binary carries its own runtime

@@ -63,6 +63,7 @@ struct Attempt {
   std::string path;
   RetryPolicy policy;
   const ScopeEscalator* escalator;
+  obs::TraceSink trace;  ///< bound to the engine's recorder
   std::function<void(PolicyOutcome)> done;
   SimTime started{};
   int attempts = 0;
@@ -124,8 +125,10 @@ void try_once(const std::shared_ptr<Attempt>& attempt) {
                             "deadline of " + attempt->policy.deadline.str() +
                                 " expired")
                           .caused_by(std::move(e));
-      out.error = attempt->escalator->escalate(
-          std::move(timeout), attempt->started, attempt->engine->now());
+      out.error = attempt->escalator->escalate(std::move(timeout),
+                                               attempt->started,
+                                               attempt->engine->now(),
+                                               &attempt->trace);
       attempt->done(std::move(out));
       return;
     }
@@ -144,6 +147,7 @@ void read_with_policy(sim::Engine& engine, SimFileSystem& fs,
   attempt->path = path;
   attempt->policy = policy;
   attempt->escalator = &escalator;
+  attempt->trace = engine.context().trace("escalator");
   attempt->done = std::move(done);
   attempt->started = engine.now();
   try_once(attempt);

@@ -8,9 +8,16 @@ namespace esg::jvm {
 
 namespace {
 
-const obs::TraceSink& javaio_trace() {
+/// Fallbacks for classify_io_failure callers that run outside a simulation
+/// context (benches, tools).
+const obs::TraceSink& shim_trace() {
   static const obs::TraceSink sink("javaio");
   return sink;
+}
+
+PrincipleAudit& resolve_audit(PrincipleAudit* audit) {
+  // Compat fallback for unbound callers.  esg-lint: allow(lint/global-singleton)
+  return audit != nullptr ? *audit : PrincipleAudit::global();
 }
 
 /// Payload used for simulated writes; content is irrelevant, size matters.
@@ -22,17 +29,21 @@ std::string zeros(std::int64_t n) {
 }  // namespace
 
 JavaThrowable classify_io_failure(IoDiscipline discipline,
-                                  const ErrorInterface& contract, Error e) {
+                                  const ErrorInterface& contract, Error e,
+                                  PrincipleAudit* audit,
+                                  const obs::TraceSink* trace) {
+  PrincipleAudit& ledger = resolve_audit(audit);
+  const obs::TraceSink& sink = trace != nullptr ? *trace : shim_trace();
   JavaThrowable out;
   if (discipline == IoDiscipline::kGeneric) {
     // Everything extends IOException; the program is handed errors whose
     // scope it does not manage. Record the P4 violation (and the P3 one it
     // implies) exactly once, at the conversion site.
     if (!contract.allows(e.kind())) {
-      PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kViolated,
-                                      contract.routine());
-      PrincipleAudit::global().record(Principle::kP3, AuditOutcome::kViolated,
-                                      contract.routine());
+      ledger.record(Principle::kP4, AuditOutcome::kViolated,
+                    contract.routine());
+      ledger.record(Principle::kP3, AuditOutcome::kViolated,
+                    contract.routine());
     }
     out.is_java_error = false;
     out.error = std::move(e);
@@ -40,22 +51,20 @@ JavaThrowable classify_io_failure(IoDiscipline discipline,
   }
   // Concise discipline.
   if (contract.allows(e.kind())) {
-    PrincipleAudit::global().record(Principle::kP4, AuditOutcome::kApplied,
-                                    contract.routine());
+    ledger.record(Principle::kP4, AuditOutcome::kApplied, contract.routine());
     out.is_java_error = false;
     out.error = std::move(e);
     return out;
   }
   // Outside the contract: escape as a Java Error (Principle 2). The scope
   // travels with it so the wrapper can report it to the starter.
-  PrincipleAudit::global().record(Principle::kP2, AuditOutcome::kApplied,
-                                  contract.routine());
+  ledger.record(Principle::kP2, AuditOutcome::kApplied, contract.routine());
   out.is_java_error = true;
   out.error = Error(e.kind(), e.scope(),
                     "java.lang.Error escaping " + contract.routine() + ": " +
                         e.message())
                   .caused_by(std::move(e));
-  out.trace_span = javaio_trace().converted_to_escaping(
+  out.trace_span = sink.converted_to_escaping(
       out.error, 0, "out of " + contract.routine() + " contract (P2 raise)");
   return out;
 }
@@ -85,7 +94,10 @@ const ErrorInterface& ChirpJavaIo::write_contract() {
 // ---- ChirpJavaIo ----
 
 ChirpJavaIo::ChirpJavaIo(chirp::ChirpClient& client, Options options)
-    : client_(client), options_(options) {}
+    : client_(client),
+      options_(options),
+      audit_(&client.engine().context().audit()),
+      trace_(client.engine().context().trace("javaio")) {}
 
 template <class T>
 void ChirpJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
@@ -96,14 +108,13 @@ void ChirpJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
     // blocking indefinitely. The callback is simply never invoked. The
     // explicit DiskFull existed right here and became pure silence.
     const std::uint64_t knew =
-        javaio_trace().raised(e, 0, "write failed under generic discipline");
-    javaio_trace().implicit(e.kind(), e.scope(), 0,
-                            "blocking forever instead of reporting DiskFull",
-                            knew);
+        trace_.raised(e, 0, "write failed under generic discipline");
+    trace_.implicit(e.kind(), e.scope(), 0,
+                    "blocking forever instead of reporting DiskFull", knew);
     return;
   }
   cb(IoResult<T>{classify_io_failure(options_.discipline, contract,
-                                     std::move(e))});
+                                     std::move(e), audit_, &trace_)});
 }
 
 void ChirpJavaIo::open_read(int stream, const std::string& path, OpenCb cb) {
@@ -193,8 +204,13 @@ void ChirpJavaIo::close(int stream, CloseCb cb) {
 // ---- LocalJavaIo ----
 
 LocalJavaIo::LocalJavaIo(fs::SimFileSystem& fs, IoDiscipline discipline,
-                         std::string sandbox)
-    : fs_(fs), discipline_(discipline), sandbox_(std::move(sandbox)) {}
+                         std::string sandbox, sim::SimContext* ctx)
+    : fs_(fs),
+      discipline_(discipline),
+      sandbox_(std::move(sandbox)),
+      audit_(ctx != nullptr ? &ctx->audit() : nullptr),
+      trace_(ctx != nullptr ? ctx->trace("javaio")
+                            : obs::TraceSink("javaio")) {}
 
 std::string LocalJavaIo::map_path(const std::string& path) const {
   if (path.empty() || path[0] == '/' || sandbox_.empty()) return path;
@@ -204,7 +220,8 @@ std::string LocalJavaIo::map_path(const std::string& path) const {
 template <class T>
 void LocalJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
                                   const std::function<void(IoResult<T>)>& cb) {
-  cb(IoResult<T>{classify_io_failure(discipline_, contract, std::move(e))});
+  cb(IoResult<T>{classify_io_failure(discipline_, contract, std::move(e),
+                                     audit_, &trace_)});
 }
 
 void LocalJavaIo::open_read(int stream, const std::string& path, OpenCb cb) {

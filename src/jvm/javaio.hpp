@@ -28,6 +28,8 @@
 #include "chirp/client.hpp"
 #include "core/core.hpp"
 #include "fs/simfs.hpp"
+#include "obs/trace.hpp"
+#include "sim/context.hpp"
 
 namespace esg::jvm {
 
@@ -99,6 +101,8 @@ class ChirpJavaIo final : public JavaIo {
 
   chirp::ChirpClient& client_;
   Options options_;
+  PrincipleAudit* audit_;   ///< the client's engine-context ledger
+  obs::TraceSink trace_;    ///< bound to the same context's recorder
   std::map<int, std::int64_t> fds_;  // stream slot -> remote fd
 };
 
@@ -108,8 +112,10 @@ class ChirpJavaIo final : public JavaIo {
 /// Relative paths resolve under `sandbox` when one is given.
 class LocalJavaIo final : public JavaIo {
  public:
+  /// `ctx` binds audit records and trace spans to a simulation context;
+  /// without one (unit tests, tools) they fall to the process-wide shims.
   LocalJavaIo(fs::SimFileSystem& fs, IoDiscipline discipline,
-              std::string sandbox = {});
+              std::string sandbox = {}, sim::SimContext* ctx = nullptr);
 
   void open_read(int stream, const std::string& path, OpenCb cb) override;
   void open_write(int stream, const std::string& path, OpenCb cb) override;
@@ -126,6 +132,8 @@ class LocalJavaIo final : public JavaIo {
   fs::SimFileSystem& fs_;
   IoDiscipline discipline_;
   std::string sandbox_;
+  PrincipleAudit* audit_ = nullptr;
+  obs::TraceSink trace_;
   std::map<int, fs::FileHandle> handles_;
 };
 
@@ -133,8 +141,12 @@ class LocalJavaIo final : public JavaIo {
 /// program will see. Under kConcise, errors outside `contract` become Java
 /// Errors (escaping) and keep their scope; under kGeneric everything is a
 /// checked exception (is_java_error=false) — a deliberate violation of
-/// Principle 4, recorded in the audit.
+/// Principle 4, recorded in the audit. Simulation callers pass their
+/// context's audit ledger and trace sink; unbound callers (benches, tools)
+/// omit them and fall back to the process-wide shims.
 JavaThrowable classify_io_failure(IoDiscipline discipline,
-                                  const ErrorInterface& contract, Error e);
+                                  const ErrorInterface& contract, Error e,
+                                  PrincipleAudit* audit = nullptr,
+                                  const obs::TraceSink* trace = nullptr);
 
 }  // namespace esg::jvm

@@ -13,14 +13,10 @@ namespace esg::jvm {
 
 namespace {
 
-const obs::TraceSink& jvm_trace() {
-  static const obs::TraceSink sink("jvm");
-  return sink;
-}
-
 /// Per-execution state, kept alive by the chain of callbacks.
 struct Run {
   sim::Engine* engine = nullptr;
+  obs::TraceSink trace;  ///< bound to the engine's context recorder
   JvmConfig config;
   JobProgram program;
   JavaIo* io = nullptr;
@@ -88,7 +84,7 @@ void finish(const RunPtr& run, JvmOutcome outcome) {
         run->scratch_fs->write_file(run->result_path, rf.encode());
     outcome.wrote_result_file = wrote.ok();
     if (rf.error.has_value() && wrote.ok()) {
-      jvm_trace().converted_to_explicit(
+      run->trace.converted_to_explicit(
           *rf.error, 0, "wrapper result file preserves error and scope",
           run->trace_span);
     }
@@ -99,7 +95,7 @@ void finish(const RunPtr& run, JvmOutcome outcome) {
     // nothing but Figure 4's exit code — the information is destroyed
     // right here. Linking the collapse to the raise is a P1 violation by
     // construction, which is the point.
-    jvm_trace().implicit(
+    run->trace.implicit(
         outcome.condition->kind(), outcome.condition->scope(), 0,
         "Figure 4: collapsed to exit code " + std::to_string(outcome.exit_code),
         run->trace_span);
@@ -119,7 +115,7 @@ void kill_with(const RunPtr& run, Error error) {
 }
 
 void fail_with(const RunPtr& run, Error error) {
-  run->trace_span = jvm_trace().raised(error, 0);
+  run->trace_span = run->trace.raised(error, 0);
   JvmOutcome out;
   out.condition = std::move(error);
   finish(run, out);
@@ -136,7 +132,7 @@ void on_throwable(const RunPtr& run, JavaThrowable thrown) {
     // The level above main catches the escaping Java Error and
     // re-expresses it explicitly (Principle 2's catch half) — the wrapper
     // in wrapped mode, the JVM's own top-level handler in bare mode.
-    run->trace_span = jvm_trace().converted_to_explicit(
+    run->trace_span = run->trace.converted_to_explicit(
         thrown.error, 0,
         run->mode == WrapMode::kWrapped
             ? "wrapper catches escaping java.lang.Error"
@@ -147,13 +143,13 @@ void on_throwable(const RunPtr& run, JavaThrowable thrown) {
     finish(run, out);
     return;
   }
-  const std::uint64_t origin = jvm_trace().raised(thrown.error, 0);
+  const std::uint64_t origin = run->trace.raised(thrown.error, 0);
   Error uncaught =
       Error(ErrorKind::kUncaughtException, ErrorScope::kProgram,
             "uncaught " + std::string(kind_name(thrown.error.kind())) +
                 " escaping main: " + thrown.error.message())
           .caused_by(std::move(thrown.error));
-  run->trace_span = jvm_trace().converted_to_explicit(
+  run->trace_span = run->trace.converted_to_explicit(
       uncaught, 0, "checked exception escaping main collapses scope to program",
       origin);
   JvmOutcome out;
@@ -352,6 +348,7 @@ std::shared_ptr<JvmControl> SimJvm::run(
     run->extras.resume = Checkpoint{};
   }
   run->engine = &engine_;
+  run->trace = engine_.context().trace("jvm");
   run->config = config_;
   run->program = program;
   run->io = &io;

@@ -155,7 +155,7 @@ void NetworkFabric::connect(const std::string& from_host, const Address& to,
       return;
     }
     auto state = std::make_shared<ConnState>();
-    state->id = conn_ids_.next();
+    state->id = engine_.context().ids().conn.next();
     state->host[0] = from_host;
     state->host[1] = to.host;
     state->open = true;

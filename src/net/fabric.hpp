@@ -133,7 +133,6 @@ class NetworkFabric {
   HostFaults default_faults_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
-  IdGenerator<ConnTag> conn_ids_;
 };
 
 }  // namespace esg::net

@@ -41,6 +41,7 @@ std::string TraceEvent::str() const {
 }
 
 FlightRecorder& FlightRecorder::global() {
+  // The compat shim's one sanctioned definition site.
   static FlightRecorder recorder;
   return recorder;
 }
@@ -169,7 +170,7 @@ std::uint64_t TraceSink::emit(TraceEventType type, ErrorForm form,
     if (e->when() != SimTime::zero()) event.when = e->when();
     if (event.detail.empty()) event.detail = e->message();
   }
-  return FlightRecorder::global().record(std::move(event));
+  return recorder().record(std::move(event));
 }
 
 }  // namespace esg::obs

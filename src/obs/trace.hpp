@@ -80,15 +80,22 @@ struct TraceEvent {
 };
 
 /// Bounded ring-buffer journal of TraceEvents, plus per-type counters that
-/// survive ring eviction. Process-wide singleton (the simulation is single
-/// threaded, like LogSink and PrincipleAudit).
+/// survive ring eviction. Instantiable: each simulation context owns its
+/// own recorder (like LogSink and PrincipleAudit), so concurrent
+/// simulations produce fully independent journals.
 class FlightRecorder {
  public:
+  FlightRecorder() = default;
+
+  /// Compatibility shim: the process-wide recorder used by sinks that were
+  /// never bound to a context. Do not introduce new callers (esg-lint's
+  /// lint/global-singleton rule rejects them).
   static FlightRecorder& global();
 
-  /// The hot-path guard. A static inline flag so TraceSink's emit methods
-  /// compile to one predictable branch when tracing is off.
-  [[nodiscard]] static bool enabled() { return enabled_; }
+  /// The hot-path guard: one predictable branch in TraceSink's emit
+  /// methods when tracing is off. Per-recorder, so one simulation can
+  /// record a flight while its neighbours stay dark.
+  [[nodiscard]] bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
   /// Ring capacity; shrinking drops the oldest events. Must be >= 1.
@@ -143,8 +150,7 @@ class FlightRecorder {
   void clear();
 
  private:
-  FlightRecorder() = default;
-  static inline bool enabled_ = false;
+  bool enabled_ = false;
 
   std::vector<TraceEvent> ring_;  ///< circular once size() == capacity_
   std::size_t head_ = 0;          ///< next slot to overwrite when full
@@ -164,14 +170,24 @@ class FlightRecorder {
 /// branch) while the recorder is disabled, and every method returns the
 /// span id it recorded (0 when disabled) so callers may thread explicit
 /// causal parents when the default per-job linking is not enough.
+///
+/// A sink bound to a recorder (the normal case inside a simulation: bound
+/// to the context's recorder) emits there; an unbound sink falls back to
+/// the process-wide shim recorder.
 class TraceSink {
  public:
   TraceSink() = default;
   explicit TraceSink(std::string component)
       : component_(std::move(component)) {}
+  TraceSink(std::string component, FlightRecorder* recorder)
+      : component_(std::move(component)), recorder_(recorder) {}
 
   [[nodiscard]] const std::string& component() const { return component_; }
-  [[nodiscard]] static bool enabled() { return FlightRecorder::enabled(); }
+  [[nodiscard]] FlightRecorder& recorder() const {
+    // Compat fallback for unbound sinks.  esg-lint: allow(lint/global-singleton)
+    return recorder_ != nullptr ? *recorder_ : FlightRecorder::global();
+  }
+  [[nodiscard]] bool enabled() const { return recorder().enabled(); }
 
   /// An error was first discovered here as an explicit Error value.
   std::uint64_t raised(const Error& e, std::uint64_t job = 0,
@@ -277,6 +293,7 @@ class TraceSink {
                      std::uint64_t parent, const Error* e) const;
 
   std::string component_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace esg::obs

@@ -35,9 +35,13 @@ MachineSpec MachineSpec::tiny_heap(std::string name, std::int64_t bytes) {
 
 Pool::Pool(PoolConfig config)
     : config_(std::move(config)), engine_(config_.seed), fabric_(engine_) {
-  // Stamp flight-recorder events with this pool's simulated clock (the
-  // same arrangement LogSink uses). The destructor detaches it.
-  obs::FlightRecorder::global().set_clock([this] { return engine_.now(); });
+  // The engine's own context stamps log lines and trace events with this
+  // pool's simulated clock; nothing process-wide is touched, so any number
+  // of pools can coexist (pool/sweep.hpp runs them on separate threads).
+  if (config_.trace) {
+    engine_.context().recorder().set_enabled(true);
+    engine_.context().recorder().set_capacity(config_.trace_capacity);
+  }
 
   // Name anonymous machines.
   for (std::size_t i = 0; i < config_.machines.size(); ++i) {
@@ -107,7 +111,7 @@ Pool::Pool(PoolConfig config)
   }
 }
 
-Pool::~Pool() { obs::FlightRecorder::global().clear_clock(); }
+Pool::~Pool() = default;
 
 void Pool::boot() {
   if (booted_) return;

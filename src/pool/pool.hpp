@@ -55,6 +55,10 @@ struct PoolConfig {
   /// all share the one matchmaker and the execution machines.
   std::vector<SubmitSpec> extra_submitters;
   std::vector<MachineSpec> machines;
+  /// Enable this pool's flight recorder at construction (the per-context
+  /// twin of the old FlightRecorder::global().set_enabled(true) dance).
+  bool trace = false;
+  std::size_t trace_capacity = 8192;
 };
 
 class Pool {
@@ -69,6 +73,13 @@ class Pool {
   void boot();
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+  /// This pool's simulation context and its observability organs — the
+  /// replacements for the old process-wide singletons.
+  [[nodiscard]] sim::SimContext& context() { return engine_.context(); }
+  [[nodiscard]] obs::FlightRecorder& recorder() {
+    return engine_.context().recorder();
+  }
+  [[nodiscard]] PrincipleAudit& audit() { return engine_.context().audit(); }
   [[nodiscard]] net::NetworkFabric& fabric() { return fabric_; }
   [[nodiscard]] daemons::Schedd& schedd() { return *schedd_; }
   /// A named submitter's schedd (the primary or an extra); null if absent.

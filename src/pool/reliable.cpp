@@ -53,8 +53,9 @@ ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
   if (result.implicit_error_detected) {
     // A minority of replicas silently produced wrong bytes; the vote
     // masked the implicit error before it became a user-visible failure.
-    PrincipleAudit::global().record(Principle::kP1, AuditOutcome::kApplied,
-                                    "vote_outputs");
+    pool.engine().context().audit().record(Principle::kP1,
+                                           AuditOutcome::kApplied,
+                                           "vote_outputs");
   }
   result.delivered = true;
   result.output = winner->first;

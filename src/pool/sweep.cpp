@@ -1,0 +1,143 @@
+#include "pool/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace esg::pool {
+namespace {
+
+/// A per-worker deque of cell indices. The owner pops from the back,
+/// thieves take from the front — opposite ends keep the common case
+/// (owner working through its own deal) contention-free in practice; a
+/// plain mutex is plenty at sweep-cell granularity, where each task is a
+/// whole simulation.
+class StealQueue {
+ public:
+  void push(std::size_t index) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(index);
+  }
+
+  bool pop_back(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+  bool steal_front(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<std::size_t> q_;
+};
+
+/// Run one cell to completion. Everything the cell touches is owned by the
+/// Pool constructed here, so this is safe to call from any thread.
+CellOutcome run_cell(const SweepCell& cell, std::size_t index) {
+  CellOutcome out;
+  out.index = index;
+  out.seed = cell.config.seed;
+  out.label = cell.label.empty() ? "seed" + std::to_string(cell.config.seed)
+                                 : cell.label;
+  Pool pool(cell.config);
+  if (cell.setup) cell.setup(pool);
+  out.finished = pool.run_until_done(cell.limit);
+  out.report = pool.report();
+  out.engine_events = pool.engine().executed();
+  if (cell.config.trace) {
+    out.trace_events = pool.recorder().total_recorded();
+    out.trace_dump = obs::render_dump(pool.recorder().events(), out.label);
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepReport SweepRunner::run(std::vector<SweepCell> cells) const {
+  SweepReport sweep;
+  sweep.cells.resize(cells.size());
+  if (cells.empty()) return sweep;
+
+  unsigned width = threads_ != 0 ? threads_ : std::thread::hardware_concurrency();
+  if (width == 0) width = 1;
+  if (width > cells.size()) width = static_cast<unsigned>(cells.size());
+  sweep.threads_used = width;
+
+  // Deal the cells round-robin; stealing rebalances whatever the deal got
+  // wrong about per-cell cost.
+  std::vector<StealQueue> queues(width);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    queues[i % width].push(i);
+  }
+
+  std::atomic<std::size_t> remaining{cells.size()};
+  auto worker = [&](unsigned me) {
+    std::size_t index = 0;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      bool got = queues[me].pop_back(index);
+      for (unsigned k = 1; !got && k < width; ++k) {
+        got = queues[(me + k) % width].steal_front(index);
+      }
+      if (!got) {
+        // Every deque is empty; the cells still in flight belong to other
+        // workers. Nothing left to steal — yield until they finish.
+        std::this_thread::yield();
+        continue;
+      }
+      sweep.cells[index] = run_cell(cells[index], index);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(width - 1);
+  for (unsigned w = 1; w < width; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return sweep;
+}
+
+const CellOutcome* SweepReport::find(const std::string& label) const {
+  for (const CellOutcome& cell : cells) {
+    if (cell.label == label) return &cell;
+  }
+  return nullptr;
+}
+
+std::string SweepReport::str() const {
+  std::ostringstream out;
+  out << PoolReport::table_header() << "\n";
+  int unfinished = 0;
+  for (const CellOutcome& cell : cells) {
+    out << cell.report.table_row(cell.label) << "\n";
+    if (!cell.finished) ++unfinished;
+  }
+  out << "sweep: " << cells.size() << " cell(s) on " << threads_used
+      << " thread(s), " << wall_seconds << "s wall";
+  if (unfinished > 0) out << ", " << unfinished << " cell(s) hit the limit";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace esg::pool

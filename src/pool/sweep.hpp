@@ -1,0 +1,86 @@
+// Parallel deterministic sweeps: run N independent pool simulations across
+// a work-stealing thread pool.
+//
+// Each cell constructs its own Pool, and therefore its own Engine and
+// SimContext — log sink, flight recorder, principle audit, id generators
+// are all per-cell. Nothing in a cell touches process-wide state, so cells
+// are free to run on any thread in any order: a cell's PoolReport and
+// trace journal are byte-identical whether the sweep runs serially, on one
+// worker, or on eight.
+//
+//   SweepRunner runner(8);
+//   SweepReport sweep = runner.run(cells);
+//   for (const CellOutcome& cell : sweep.cells) { ... }
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pool/pool.hpp"
+#include "pool/report.hpp"
+
+namespace esg::pool {
+
+/// One cell of a parameter sweep: a pool configuration plus the experiment
+/// to run on it.
+struct SweepCell {
+  PoolConfig config;
+  /// Stages inputs and submits jobs. Runs on the worker thread that picked
+  /// the cell up, with exclusive ownership of the Pool — it must not touch
+  /// anything outside the Pool it is given.
+  std::function<void(Pool&)> setup;
+  /// Wall-clock budget in *simulated* time (passed to run_until_done).
+  SimTime limit = SimTime::hours(8);
+  /// Row label in the report; defaults to "seed<N>".
+  std::string label;
+};
+
+/// What came out of one cell. `cells` in SweepReport keeps submission
+/// order regardless of which worker ran what when.
+struct CellOutcome {
+  std::size_t index = 0;
+  std::string label;
+  std::uint64_t seed = 0;
+  /// run_until_done's verdict: every submitted job reached a terminal
+  /// state within the cell's limit.
+  bool finished = false;
+  PoolReport report;
+  /// Human-readable journal dump (empty unless config.trace was set).
+  /// Deterministic per seed — the byte-identity witness for tests.
+  std::string trace_dump;
+  std::uint64_t trace_events = 0;
+  /// Engine events executed — a cheap determinism fingerprint.
+  std::uint64_t engine_events = 0;
+};
+
+struct SweepReport {
+  std::vector<CellOutcome> cells;
+  unsigned threads_used = 0;
+  double wall_seconds = 0;
+
+  /// Formatted table: one PoolReport row per cell plus a footer.
+  [[nodiscard]] std::string str() const;
+  /// The outcome with this label, or null.
+  [[nodiscard]] const CellOutcome* find(const std::string& label) const;
+};
+
+/// Runs sweep cells across a work-stealing thread pool. Cells are dealt
+/// round-robin to per-worker deques; a worker drains its own deque from
+/// the back and steals from other workers' fronts when idle, so uneven
+/// cell costs still saturate every thread.
+class SweepRunner {
+ public:
+  /// `threads` = 0 picks std::thread::hardware_concurrency(). The
+  /// effective width never exceeds the number of cells.
+  explicit SweepRunner(unsigned threads = 0) : threads_(threads) {}
+
+  [[nodiscard]] SweepReport run(std::vector<SweepCell> cells) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace esg::pool

@@ -1,0 +1,61 @@
+// SimContext: all per-simulation runtime state in one owned bundle.
+//
+// Historically the log sink, the error-propagation flight recorder, the
+// principle-audit ledger, the trace-enabled flag, and the id generators
+// were process-wide singletons, which meant exactly one simulation could
+// run per process and Monte Carlo sweeps had to execute serially. A
+// SimContext owns one instance of each, the Engine owns the SimContext,
+// and every Actor (and every non-actor component holding an Engine&) binds
+// its Logger / TraceSink / audit references through it. Two Pools in one
+// process — or eight sweep workers on eight threads — therefore share no
+// mutable state at all, and each run's journal, audit counters, and id
+// sequences are byte-identical to what a serial run produces.
+//
+// The old `LogSink::instance()` / `FlightRecorder::global()` /
+// `PrincipleAudit::global()` entry points survive as deprecated compat
+// shims for code running outside a simulation (tools, ad-hoc examples);
+// esg-lint's lint/global-singleton rule rejects new callers in src/.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "core/audit.hpp"
+#include "obs/trace.hpp"
+
+namespace esg::sim {
+
+class SimContext {
+ public:
+  SimContext() = default;
+
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+
+  [[nodiscard]] LogSink& log_sink() { return log_sink_; }
+  [[nodiscard]] obs::FlightRecorder& recorder() { return recorder_; }
+  [[nodiscard]] PrincipleAudit& audit() { return audit_; }
+  [[nodiscard]] IdGenerators& ids() { return ids_; }
+
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+  [[nodiscard]] const PrincipleAudit& audit() const { return audit_; }
+
+  /// Convenience factories for component-bound handles.
+  [[nodiscard]] Logger logger(std::string component) {
+    return Logger(std::move(component), &log_sink_);
+  }
+  [[nodiscard]] obs::TraceSink trace(std::string component) {
+    return obs::TraceSink(std::move(component), &recorder_);
+  }
+
+ private:
+  LogSink log_sink_;
+  obs::FlightRecorder recorder_;
+  PrincipleAudit audit_;
+  IdGenerators ids_;
+};
+
+}  // namespace esg::sim

@@ -1,11 +1,16 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
-#include <memory>
+#include <utility>
 
 namespace esg::sim {
 
-Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+Engine::Engine(std::uint64_t seed) : rng_(seed) {
+  // Bind the context's clocks to this engine so log lines and trace
+  // events carry simulated time without any global hookup.
+  context_.log_sink().set_clock([this] { return now_; });
+  context_.recorder().set_clock([this] { return now_; });
+}
 
 TimerHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
   assert(delay >= SimTime::zero());
@@ -14,9 +19,29 @@ TimerHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
 
 TimerHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
   assert(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, seq_++, std::move(fn), cancelled});
-  return TimerHandle(std::move(cancelled));
+  const std::uint32_t slot = acquire_slot();
+  const std::uint32_t generation = slots_[slot].generation;
+  queue_.push(Event{when, seq_++, std::move(fn), slot, generation});
+  return TimerHandle(this, slot, generation);
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot].cancelled = false;
+    return slot;
+  }
+  slots_.push_back(Slot{});
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  // Bumping the generation invalidates every outstanding handle to the
+  // event that just left the queue; the slot is then safe to reuse.
+  ++slots_[slot].generation;
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
 }
 
 bool Engine::pop_and_run(SimTime limit) {
@@ -24,7 +49,9 @@ bool Engine::pop_and_run(SimTime limit) {
     if (queue_.top().when > limit) return false;
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    if (*ev.cancelled) continue;
+    const bool live = slot_live(ev.slot, ev.generation);
+    release_slot(ev.slot);
+    if (!live) continue;
     now_ = ev.when;
     ++executed_;
     ev.fn();

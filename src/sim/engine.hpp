@@ -1,15 +1,18 @@
 // Deterministic discrete-event simulation engine.
 //
-// One Engine drives the whole grid: every daemon, network delivery, and
-// timer is an event on one priority queue ordered by (time, sequence), so
-// a given seed replays the exact same execution. The engine is single
-// threaded on purpose — determinism is worth more than parallel speedup for
-// studying error propagation.
+// One Engine drives one simulated grid: every daemon, network delivery,
+// and timer is an event on one priority queue ordered by (time, sequence),
+// so a given seed replays the exact same execution. Each engine is single
+// threaded *inside* — determinism is worth more than parallel speedup for
+// studying error propagation — but engines are fully isolated from one
+// another: every Engine owns a SimContext (log sink, flight recorder,
+// principle audit, id generators), so many engines can run concurrently on
+// different threads (see pool/sweep.hpp) without sharing any mutable
+// state.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -18,34 +21,56 @@
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
 #include "obs/trace.hpp"
+#include "sim/context.hpp"
 
 namespace esg::sim {
 
-/// Handle to a scheduled event, usable to cancel it.
+class Engine;
+
+/// Handle to a scheduled event, usable to cancel it. Implemented as a
+/// (slot, generation) pair into the engine's slot table: no allocation per
+/// event, and a handle whose event has fired or been cancelled is simply
+/// stale (its generation no longer matches). Handles must not outlive
+/// their engine.
 class TimerHandle {
  public:
   TimerHandle() = default;
 
-  [[nodiscard]] bool valid() const { return cancel_ != nullptr && *cancel_ == false; }
+  /// True while the event is still pending (scheduled, not yet fired or
+  /// cancelled).
+  [[nodiscard]] bool valid() const;
 
-  /// Cancel the event if it has not fired yet. Safe to call repeatedly.
-  void cancel() {
-    if (cancel_) *cancel_ = true;
-  }
+  /// Cancel the event if it has not fired yet. Safe to call repeatedly,
+  /// and on handles whose event already ran.
+  void cancel();
 
  private:
   friend class Engine;
-  explicit TimerHandle(std::shared_ptr<bool> cancel)
-      : cancel_(std::move(cancel)) {}
-  std::shared_ptr<bool> cancel_;
+  TimerHandle(Engine* engine, std::uint32_t slot, std::uint32_t generation)
+      : engine_(engine), slot_(slot), generation_(generation) {}
+
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 class Engine {
  public:
   explicit Engine(std::uint64_t seed = 42);
 
+  // An engine's context hands out pointers into the engine (clock
+  // closures, bound sinks), so engines are pinned in memory.
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// The per-simulation runtime state: log sink, flight recorder,
+  /// principle audit, id generators. Everything constructed against this
+  /// engine binds through here instead of process-wide singletons.
+  [[nodiscard]] SimContext& context() { return context_; }
+  [[nodiscard]] const SimContext& context() const { return context_; }
 
   /// Schedule `fn` to run after `delay` (>= 0). Returns a cancellable
   /// handle. Events at equal times run in scheduling order.
@@ -72,20 +97,47 @@ class Engine {
   void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
 
  private:
+  friend class TimerHandle;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t generation;
     bool operator>(const Event& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
+  /// One entry per in-flight event. `generation` advances when the event
+  /// leaves the queue (fired or reaped after cancellation), invalidating
+  /// outstanding handles; the slot then returns to the freelist.
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool cancelled = false;
+  };
+
+  [[nodiscard]] bool slot_live(std::uint32_t slot,
+                               std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           !slots_[slot].cancelled;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+    if (slot < slots_.size() && slots_[slot].generation == generation) {
+      slots_[slot].cancelled = true;
+    }
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
   bool pop_and_run(SimTime limit);
 
+  SimContext context_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_{};
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -93,16 +145,24 @@ class Engine {
   Rng rng_;
 };
 
+inline bool TimerHandle::valid() const {
+  return engine_ != nullptr && engine_->slot_live(slot_, generation_);
+}
+
+inline void TimerHandle::cancel() {
+  if (engine_ != nullptr) engine_->cancel_slot(slot_, generation_);
+}
+
 /// Base class for simulation actors (daemons). Binds a name, the engine,
-/// a logger, a trace sink for the error flight recorder, and a forked RNG
-/// stream.
+/// a logger and a trace sink (both bound to the engine's context), and a
+/// forked RNG stream.
 class Actor {
  public:
   Actor(Engine& engine, std::string name)
       : engine_(&engine),
         name_(std::move(name)),
-        log_(name_),
-        trace_(name_),
+        log_(engine.context().logger(name_)),
+        trace_(engine.context().trace(name_)),
         rng_(engine.rng().fork(name_)) {}
   virtual ~Actor() = default;
 
@@ -116,6 +176,7 @@ class Actor {
  protected:
   [[nodiscard]] const Logger& log() const { return log_; }
   [[nodiscard]] const obs::TraceSink& trace() const { return trace_; }
+  [[nodiscard]] SimContext& context() const { return engine_->context(); }
   [[nodiscard]] Rng& rng() { return rng_; }
   TimerHandle after(SimTime delay, std::function<void()> fn) {
     return engine_->schedule(delay, std::move(fn));

@@ -204,6 +204,60 @@ void g(ScopeRouter& router) {
   EXPECT_EQ(count_rule(findings, "lint/unraised-scope"), 0u);
 }
 
+// ---- lint/global-singleton ----
+
+TEST(GlobalSingleton, ShimCallsAreFlagged) {
+  const auto findings = run(R"(
+void g() {
+  LogSink::instance().set_level(LogLevel::kInfo);
+  FlightRecorder::global().set_enabled(true);
+  auto& audit = PrincipleAudit::global();
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/global-singleton"), 3u);
+}
+
+TEST(GlobalSingleton, DefiningFilesAreExempt) {
+  EXPECT_EQ(count_rule(run(R"(
+LogSink& LogSink::instance() { static LogSink sink; return sink; }
+)",
+                          "src/common/log.cpp"),
+                       "lint/global-singleton"),
+            0u);
+  EXPECT_EQ(count_rule(run(R"(
+FlightRecorder& FlightRecorder::global() { static FlightRecorder r; return r; }
+)",
+                          "src/obs/trace.cpp"),
+                       "lint/global-singleton"),
+            0u);
+  EXPECT_EQ(count_rule(run(R"(
+PrincipleAudit& PrincipleAudit::global() { static PrincipleAudit a; return a; }
+)",
+                          "src/core/audit.cpp"),
+                       "lint/global-singleton"),
+            0u);
+}
+
+TEST(GlobalSingleton, AllowMarkerSilencesCompatFallbacks) {
+  const auto findings = run(R"(
+LogSink& sink() const {
+  // Compat fallback for unbound loggers.  esg-lint: allow(lint/global-singleton)
+  return sink_ != nullptr ? *sink_ : LogSink::instance();
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/global-singleton"), 0u);
+}
+
+TEST(GlobalSingleton, BoundContextUseIsClean) {
+  const auto findings = run(R"(
+void g(sim::Engine& engine) {
+  engine.context().recorder().set_enabled(true);
+  engine.context().audit().reset();
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/global-singleton"), 0u);
+}
+
 // ---- suppressions ----
 
 TEST(Suppression, SameLineAllowSilencesTheRule) {

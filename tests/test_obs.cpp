@@ -397,11 +397,12 @@ TEST_F(ObsTest, ScopedBlackHolePoolPassesAllPrincipleChecks) {
   config.machines.push_back(pool::MachineSpec::good("good0"));
   config.machines.push_back(pool::MachineSpec::good("good1"));
 
-  std::vector<std::string> chronic;
-  FlightRecorder::global().set_on_chronic(
-      [&](const std::string& reason) { chronic.push_back(reason); });
+  config.trace = true;
 
   pool::Pool pool(config);
+  std::vector<std::string> chronic;
+  pool.recorder().set_on_chronic(
+      [&](const std::string& reason) { chronic.push_back(reason); });
   Rng rng(3);
   pool::WorkloadOptions options;
   options.count = 12;
@@ -411,7 +412,7 @@ TEST_F(ObsTest, ScopedBlackHolePoolPassesAllPrincipleChecks) {
   }
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(6)));
 
-  FlightRecorder& rec = FlightRecorder::global();
+  FlightRecorder& rec = pool.recorder();
   EXPECT_GT(rec.total_recorded(), 0u);
   // The black hole produced raises at the starter and maskings (retries)
   // at the schedd.
@@ -441,13 +442,13 @@ TEST_F(ObsTest, NaiveDisciplineProducesP1ViolationEndToEnd) {
   liar.startd.owner_asserts_java = true;
   liar.startd.jvm.installed = false;  // exec fails outright
   config.machines.push_back(std::move(liar));
+  config.trace = true;
 
   pool::Pool pool(config);
   pool.submit(pool::make_hello_job());
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
 
-  const CheckReport report =
-      PrincipleChecker().check(FlightRecorder::global());
+  const CheckReport report = PrincipleChecker().check(pool.recorder());
   bool found_p1 = false;
   for (const Violation& v : report.violations) {
     if (v.principle == Principle::kP1 &&

@@ -481,7 +481,6 @@ namespace esg::pool {
 namespace {
 
 TEST(AuditIntegration, ScopedRunAppliesThePrinciples) {
-  PrincipleAudit::global().reset();
   PoolConfig config;
   config.seed = 141;
   config.discipline = daemons::DisciplineConfig::scoped();
@@ -505,14 +504,13 @@ TEST(AuditIntegration, ScopedRunAppliesThePrinciples) {
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
   // P2 fired in the I/O library, P3 in the schedd, P4 on contractual
   // errors; no violations anywhere under the scoped discipline.
-  EXPECT_GT(PrincipleAudit::global().applied(Principle::kP2), 0u);
-  EXPECT_GT(PrincipleAudit::global().applied(Principle::kP3), 0u);
-  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 0u);
-  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 0u);
+  EXPECT_GT(pool.audit().applied(Principle::kP2), 0u);
+  EXPECT_GT(pool.audit().applied(Principle::kP3), 0u);
+  EXPECT_EQ(pool.audit().violated(Principle::kP3), 0u);
+  EXPECT_EQ(pool.audit().violated(Principle::kP4), 0u);
 }
 
 TEST(AuditIntegration, NaiveRunViolatesThePrinciples) {
-  PrincipleAudit::global().reset();
   PoolConfig config;
   config.seed = 142;
   config.discipline = daemons::DisciplineConfig::naive();
@@ -531,8 +529,8 @@ TEST(AuditIntegration, NaiveRunViolatesThePrinciples) {
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
   // The generic I/O library leaked a non-contractual error to the program:
   // P4 (and the P3 it implies) violated.
-  EXPECT_GT(PrincipleAudit::global().violated(Principle::kP4), 0u);
-  EXPECT_GT(PrincipleAudit::global().violated(Principle::kP3), 0u);
+  EXPECT_GT(pool.audit().violated(Principle::kP4), 0u);
+  EXPECT_GT(pool.audit().violated(Principle::kP3), 0u);
 }
 
 }  // namespace

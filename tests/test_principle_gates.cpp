@@ -22,33 +22,21 @@ namespace esg {
 namespace {
 
 using obs::CheckReport;
-using obs::FlightRecorder;
 using obs::PrincipleChecker;
 
-/// Same contract as test_obs's fixture: the process-wide recorder starts
-/// enabled and empty, and is left disabled and empty for unrelated tests.
+/// Each gate runs its pool with per-pool tracing (PoolConfig::trace), so
+/// the journal under test is the pool's own recorder — no process-wide
+/// state to set up or tear down.
 class PrincipleGateTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    FlightRecorder& rec = FlightRecorder::global();
-    rec.clear();
-    rec.set_capacity(1 << 15);
-    rec.set_enabled(true);
-  }
-  void TearDown() override {
-    FlightRecorder& rec = FlightRecorder::global();
-    rec.set_enabled(false);
-    rec.set_on_chronic(nullptr);
-    rec.clear_clock();
-    rec.clear();
-  }
-
   /// Run `config` with a make_workload batch and principle-check the
   /// recorded journal. Every scoped-discipline workload must come back
   /// clean: these are the per-workload gates.
   CheckReport run_gate(pool::PoolConfig config,
                        pool::WorkloadOptions options,
                        std::uint64_t workload_seed = 3) {
+    config.trace = true;
+    config.trace_capacity = 1 << 15;
     pool::Pool pool(std::move(config));
     pool::stage_workload_inputs(pool);
     Rng rng(workload_seed);
@@ -56,8 +44,8 @@ class PrincipleGateTest : public ::testing::Test {
       pool.submit(std::move(job));
     }
     EXPECT_TRUE(pool.run_until_done(SimTime::hours(8)));
-    EXPECT_GT(FlightRecorder::global().total_recorded(), 0u);
-    return PrincipleChecker().check(FlightRecorder::global());
+    EXPECT_GT(pool.recorder().total_recorded(), 0u);
+    return PrincipleChecker().check(pool.recorder());
   }
 };
 
@@ -72,13 +60,13 @@ pool::PoolConfig scoped_config(std::uint64_t seed) {
 
 TEST_F(PrincipleGateTest, QuickstartHelloWorkloadIsPrincipled) {
   pool::PoolConfig config = scoped_config(7);
+  config.trace = true;
   config.machines.push_back(pool::MachineSpec::good());
 
   pool::Pool pool(std::move(config));
   pool.submit(pool::make_hello_job());
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
-  const CheckReport report =
-      PrincipleChecker().check(FlightRecorder::global());
+  const CheckReport report = PrincipleChecker().check(pool.recorder());
   EXPECT_TRUE(report.ok()) << report.str();
 }
 
@@ -181,6 +169,7 @@ TEST_F(PrincipleGateTest, NaiveDynamicViolationsArePredictedStatically) {
 
   pool::PoolConfig config;
   config.seed = 13;
+  config.trace = true;
   config.discipline = daemons::DisciplineConfig::naive();
   pool::MachineSpec liar;
   liar.name = "bad0";
@@ -194,7 +183,7 @@ TEST_F(PrincipleGateTest, NaiveDynamicViolationsArePredictedStatically) {
   ASSERT_TRUE(pool.run_until_done(SimTime::hours(2)));
 
   const CheckReport dynamic_report =
-      PrincipleChecker().check(FlightRecorder::global());
+      PrincipleChecker().check(pool.recorder());
   ASSERT_FALSE(dynamic_report.ok()) << "naive run produced no violations";
 
   std::set<Principle> dynamic_principles;

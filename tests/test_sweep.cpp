@@ -1,0 +1,140 @@
+// The sweep runner's central promise: per-cell isolation makes parallelism
+// invisible. A cell's PoolReport and trace journal depend only on its
+// PoolConfig and workload — not on which thread ran it, what ran next to
+// it, or how many other pools were alive in the process at the time.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "daemons/config.hpp"
+#include "pool/pool.hpp"
+#include "pool/sweep.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::pool {
+namespace {
+
+/// A cell with enough machinery to exercise real error paths: one
+/// misconfigured machine in a scoped pool, a mixed workload, tracing on.
+SweepCell make_cell(std::uint64_t seed, double fault_rate = 0.0) {
+  SweepCell cell;
+  cell.config.seed = seed;
+  cell.config.trace = true;
+  cell.config.discipline = daemons::DisciplineConfig::scoped();
+  cell.config.discipline.schedd_avoidance = true;
+  cell.config.machines.push_back(MachineSpec::misconfigured_java("bad0"));
+  MachineSpec flaky = MachineSpec::good("good0");
+  flaky.fs_fault_rate = fault_rate;
+  cell.config.machines.push_back(std::move(flaky));
+  cell.config.machines.push_back(MachineSpec::good("good1"));
+  cell.label = "seed" + std::to_string(seed) + "/fault" +
+               std::to_string(static_cast<int>(fault_rate * 100));
+  cell.setup = [seed](Pool& pool) {
+    stage_workload_inputs(pool);
+    WorkloadOptions options;
+    options.count = 8;
+    options.mean_compute = SimTime::sec(5);
+    options.remote_io_fraction = 0.25;
+    options.program_error_fraction = 0.15;
+    Rng rng(seed * 7919 + 17);
+    for (auto& job : make_workload(options, rng)) {
+      pool.submit(std::move(job));
+    }
+  };
+  return cell;
+}
+
+/// The seed×fault-rate grid used by the cross-thread identity tests.
+std::vector<SweepCell> make_grid(int seeds, const std::vector<double>& rates) {
+  std::vector<SweepCell> cells;
+  for (int s = 0; s < seeds; ++s) {
+    for (const double rate : rates) {
+      cells.push_back(make_cell(100 + static_cast<std::uint64_t>(s), rate));
+    }
+  }
+  return cells;
+}
+
+/// Everything a cell is promised to reproduce, as one comparable string.
+std::string fingerprint(const CellOutcome& cell) {
+  return cell.report.str() + "|events=" + std::to_string(cell.engine_events) +
+         "|spans=" + std::to_string(cell.trace_events) + "|" + cell.trace_dump;
+}
+
+TEST(SweepDeterminism, RepeatedSerialRunsAreByteIdentical) {
+  std::vector<SweepCell> cells;
+  cells.push_back(make_cell(7));
+  cells.push_back(make_cell(11, 0.1));
+
+  const SweepReport first = SweepRunner(1).run(cells);
+  const SweepReport second = SweepRunner(1).run(cells);
+  ASSERT_EQ(first.cells.size(), second.cells.size());
+  for (std::size_t i = 0; i < first.cells.size(); ++i) {
+    EXPECT_GT(first.cells[i].trace_events, 0u) << first.cells[i].label;
+    EXPECT_EQ(fingerprint(first.cells[i]), fingerprint(second.cells[i]))
+        << first.cells[i].label;
+  }
+}
+
+TEST(SweepDeterminism, OneThreadAndEightThreadsAgreeOnEveryCell) {
+  // The acceptance grid: 8 seeds x 4 fault rates = 32 cells, byte-identical
+  // between a serial sweep and an 8-thread sweep.
+  const std::vector<SweepCell> grid =
+      make_grid(8, {0.0, 0.05, 0.1, 0.2});
+  ASSERT_GE(grid.size(), 32u);
+
+  const SweepReport serial = SweepRunner(1).run(grid);
+  const SweepReport wide = SweepRunner(8).run(grid);
+  ASSERT_EQ(serial.cells.size(), grid.size());
+  ASSERT_EQ(wide.cells.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_TRUE(serial.cells[i].finished) << serial.cells[i].label;
+    EXPECT_EQ(fingerprint(serial.cells[i]), fingerprint(wide.cells[i]))
+        << serial.cells[i].label;
+  }
+}
+
+TEST(SweepDeterminism, CoexistingPoolsDoNotPerturbEachOther) {
+  // Reference: the cell run alone in a quiet process.
+  const SweepCell cell = make_cell(23, 0.1);
+  const CellOutcome alone = SweepRunner(1).run({cell}).cells.at(0);
+
+  // Now two pools from the same config, alive simultaneously, with their
+  // lifetimes interleaved: construct both, run the second, then the first,
+  // then read both. With per-engine SimContexts neither can see the other.
+  Pool a(cell.config);
+  Pool b(cell.config);
+  cell.setup(a);
+  cell.setup(b);
+  ASSERT_TRUE(b.run_until_done(cell.limit));
+  ASSERT_TRUE(a.run_until_done(cell.limit));
+
+  EXPECT_EQ(a.report().str(), alone.report.str());
+  EXPECT_EQ(b.report().str(), alone.report.str());
+  EXPECT_EQ(a.engine().executed(), alone.engine_events);
+  EXPECT_EQ(b.engine().executed(), alone.engine_events);
+  EXPECT_EQ(a.recorder().total_recorded(), alone.trace_events);
+  EXPECT_EQ(b.recorder().total_recorded(), alone.trace_events);
+}
+
+TEST(SweepReportApi, LabelsDefaultAndFindWorks) {
+  SweepCell unlabeled = make_cell(31);
+  unlabeled.label.clear();
+  const SweepReport sweep = SweepRunner(2).run({unlabeled, make_cell(37)});
+  EXPECT_NE(sweep.find("seed31"), nullptr);
+  EXPECT_NE(sweep.find("seed37/fault0"), nullptr);
+  EXPECT_EQ(sweep.find("no-such-cell"), nullptr);
+  EXPECT_FALSE(sweep.str().empty());
+  EXPECT_LE(sweep.threads_used, 2u);
+}
+
+TEST(SweepReportApi, EmptySweepIsHarmless) {
+  const SweepReport sweep = SweepRunner(4).run({});
+  EXPECT_TRUE(sweep.cells.empty());
+  EXPECT_FALSE(sweep.str().empty());
+}
+
+}  // namespace
+}  // namespace esg::pool

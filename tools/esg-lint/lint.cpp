@@ -399,6 +399,35 @@ void Linter::lint(const std::string& path, const std::string& text) {
     }
   }
 
+  // ---- lint/global-singleton -----------------------------------------------
+  // The process-wide accessors survive only as compat shims for unbound
+  // callers; everything inside a simulation reaches these organs through
+  // its engine's SimContext. The file defining a shim is exempt (it must
+  // name itself); any other use needs an explicit allow marker.
+  struct Shim {
+    const char* cls;
+    const char* method;
+    const char* defining_file;
+  };
+  static const Shim kShims[] = {
+      {"LogSink", "instance", "common/log.cpp"},
+      {"FlightRecorder", "global", "obs/trace.cpp"},
+      {"PrincipleAudit", "global", "core/audit.cpp"},
+  };
+  for (const Shim& shim : kShims) {
+    if (ends_with(path, shim.defining_file)) continue;
+    for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+      if (tokens[i].text != shim.cls || tokens[i + 1].text != "::" ||
+          tokens[i + 2].text != shim.method || tokens[i + 3].text != "(") {
+        continue;
+      }
+      add("lint/global-singleton", tokens[i].line,
+          std::string(shim.cls) + "::" + shim.method +
+              "() is a deprecated compat shim — bind through "
+              "sim::SimContext instead so concurrent engines stay isolated");
+    }
+  }
+
   // ---- lint/unraised-scope -------------------------------------------------
   for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
     if (tokens[i].text != "register_handler") continue;
@@ -426,6 +455,9 @@ std::string to_sarif(const std::vector<Finding>& findings) {
                 "sanctioned nonlocal exit"});
   log.add_rule({"lint/unraised-scope",
                 "registered handler scopes must be raisable somewhere"});
+  log.add_rule({"lint/global-singleton",
+                "deprecated process-wide singletons; bind through "
+                "sim::SimContext"});
   for (const Finding& f : findings) {
     analysis::sarif::Result r;
     r.rule_id = f.rule;

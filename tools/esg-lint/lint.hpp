@@ -18,6 +18,13 @@
 //                           evidence anywhere in the corpus that the scope
 //                           is raised: a handler listening on a frequency
 //                           nobody transmits on.
+//   lint/global-singleton   A call to LogSink::instance(),
+//                           FlightRecorder::global(), or
+//                           PrincipleAudit::global() outside the file that
+//                           defines the shim. The singletons survive only
+//                           for compatibility; simulation code binds
+//                           through sim::SimContext so concurrent engines
+//                           stay isolated.
 //
 // A finding can be suppressed with a comment on the same or the preceding
 // line:  // esg-lint: allow(<rule>)
