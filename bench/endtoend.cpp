@@ -9,8 +9,16 @@
 // never notices — every protocol step succeeds. Sweep replica count and
 // measure how often the user ends up holding wrong bytes, and how often
 // the voting layer detects/masks the corruption.
+//
+// --dashboard-json FILE additionally traces every round, merges the
+// error-flow aggregates across all rounds (deterministically: submission
+// order), and writes the dashboard JSON dump to FILE — CI uploads it as
+// the endtoend dashboard artifact.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
+#include "obs/dashboard.hpp"
 #include "pool/pool.hpp"
 #include "pool/reliable.hpp"
 #include "pool/workload.hpp"
@@ -27,12 +35,14 @@ struct Tally {
   int unresolved = 0;        // no majority / nothing delivered
 };
 
-Tally run_rounds(int replicas, int rounds, std::uint64_t seed) {
+Tally run_rounds(int replicas, int rounds, std::uint64_t seed,
+                 obs::FlowAggregate* flow) {
   Tally tally;
   const std::string good_output(256, '\0');
   for (int round = 0; round < rounds; ++round) {
     pool::PoolConfig config;
     config.seed = seed + static_cast<std::uint64_t>(round) * 101;
+    config.trace = flow != nullptr;
     config.discipline = daemons::DisciplineConfig::scoped();
     pool::MachineSpec liar = pool::MachineSpec::good("liar0");
     liar.silent_corruption_rate = 1.0;  // this machine always lies on bulk reads
@@ -62,13 +72,26 @@ Tally run_rounds(int replicas, int rounds, std::uint64_t seed) {
     } else if (r.implicit_error_detected) {
       ++tally.masked;
     }
+    if (flow != nullptr) flow->merge(pool.report().flow);
   }
   return tally;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* dashboard_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--dashboard-json") && i + 1 < argc) {
+      dashboard_out = argv[++i];
+    } else {
+      std::printf("usage: %s [--dashboard-json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  obs::FlowAggregate merged_flow;
+  obs::FlowAggregate* flow = dashboard_out != nullptr ? &merged_flow : nullptr;
+
   constexpr int kRounds = 30;
   std::printf(
       "EXP-E2E (paper §5): implicit errors vs end-to-end replication\n"
@@ -81,7 +104,7 @@ int main() {
   Tally one;
   Tally three;
   for (const int replicas : {1, 3, 5}) {
-    const Tally t = run_rounds(replicas, kRounds, 1000);
+    const Tally t = run_rounds(replicas, kRounds, 1000, flow);
     std::printf("%-9d %7d %7d %9d %8d %11d\n", replicas, t.rounds,
                 t.wrong_delivered, t.detected, t.masked, t.unresolved);
     if (replicas == 1) one = t;
@@ -99,5 +122,17 @@ int main() {
   std::printf("  verdict: %s\n",
               ok ? "REPRODUCES the end-to-end argument"
                  : "DOES NOT match the expected shape");
+
+  if (dashboard_out != nullptr) {
+    std::ofstream out(dashboard_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", dashboard_out);
+      return 1;
+    }
+    out << obs::dashboard_json(merged_flow, "endtoend");
+    std::printf("\nwrote merged error-flow dashboard (%llu spans) to %s\n",
+                static_cast<unsigned long long>(merged_flow.events_seen),
+                dashboard_out);
+  }
   return ok ? 0 : 1;
 }

@@ -2,7 +2,17 @@
 // with the recorder disabled (the default) and enabled. The disabled case
 // must cost ~nothing (one branch per instrumentation site); the enabled
 // case must stay within ~10% of it.
+//
+// Two entry points:
+//   (default)   google-benchmark microbenchmarks, as before
+//   --budget    the CI overhead gate (ctest: trace_overhead_budget): wall
+//               timing with min-of-reps, nonzero exit when the enabled
+//               overhead or the disabled per-call cost exceeds its budget
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string_view>
 
 #include "obs/trace.hpp"
 #include "pool/pool.hpp"
@@ -88,6 +98,127 @@ void BM_EnabledSinkCall(benchmark::State& state) {
 }
 BENCHMARK(BM_EnabledSinkCall);
 
+// ---- the CI overhead budget (--budget) ----
+
+// Sanitizer builds distort relative timings (instrumented memory accesses
+// dominate), so their budgets are looser. GCC defines __SANITIZE_*;
+// clang needs __has_feature.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+/// Minimum wall time of `reps` runs of `fn`, in seconds. Min, not mean:
+/// the shortest observation is the one least polluted by scheduler noise,
+/// which is what an overhead *ratio* needs on a shared CI machine.
+template <typename Fn>
+double min_wall_sec(Fn&& fn, int reps) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Enabled-vs-disabled whole-pool overhead ratio (0.07 == 7% slower).
+double measure_overhead() {
+  std::uint64_t sink = 0;
+  std::uint64_t spans = 0;
+  const double off = min_wall_sec([&] { sink += run_pool_once(false, nullptr); },
+                                  7);
+  const double on = min_wall_sec([&] { sink += run_pool_once(true, &spans); },
+                                 7);
+  benchmark::DoNotOptimize(sink);
+  if (spans == 0) {
+    std::fprintf(stderr, "budget: enabled run recorded no spans?\n");
+    return 1e300;  // instrumentation vanished; fail loudly
+  }
+  return off > 0 ? on / off - 1.0 : 1e300;
+}
+
+/// Per-call cost of a disabled sink, in nanoseconds.
+double measure_disabled_ns() {
+  obs::FlightRecorder rec;  // disabled: the default
+  const obs::TraceSink sink("budget", &rec);
+  const Error e(ErrorKind::kJvmMissing, ErrorScope::kRemoteResource, "x");
+  constexpr int kCalls = 20'000'000;
+  const double sec = min_wall_sec(
+      [&] {
+        for (int i = 0; i < kCalls; ++i) {
+          benchmark::DoNotOptimize(sink.raised(e, 1));
+        }
+      },
+      3);
+  return sec / kCalls * 1e9;
+}
+
+int run_budget() {
+  // The gate ISSUE-4 pinned: tracing must stay within 10% of the untraced
+  // run when enabled, and a disabled call site must stay within a few
+  // branch-plus-call nanoseconds (i.e. not measurably on the profile).
+  const double overhead_limit = kSanitized ? 0.25 : 0.10;
+  const double disabled_ns_limit = kSanitized ? 250.0 : 25.0;
+
+  run_pool_once(true, nullptr);  // warm allocators and code before timing
+
+  double overhead = measure_overhead();
+  // A shared CI box can lose the coin toss even on min-of-reps; believe a
+  // failure only if it reproduces.
+  for (int retry = 0; retry < 2 && overhead > overhead_limit; ++retry) {
+    std::fprintf(stderr,
+                 "budget: enabled overhead %.1f%% over %.0f%% limit; "
+                 "re-measuring\n",
+                 overhead * 100, overhead_limit * 100);
+    overhead = std::min(overhead, measure_overhead());
+  }
+
+  double disabled_ns = measure_disabled_ns();
+  for (int retry = 0; retry < 2 && disabled_ns > disabled_ns_limit; ++retry) {
+    std::fprintf(stderr,
+                 "budget: disabled call %.2fns over %.0fns limit; "
+                 "re-measuring\n",
+                 disabled_ns, disabled_ns_limit);
+    disabled_ns = std::min(disabled_ns, measure_disabled_ns());
+  }
+
+  std::printf("trace overhead budget%s:\n", kSanitized ? " (sanitized)" : "");
+  std::printf("  enabled whole-pool overhead  %6.1f%%   (limit %.0f%%)\n",
+              overhead * 100, overhead_limit * 100);
+  std::printf("  disabled sink call           %6.2fns  (limit %.0fns)\n",
+              disabled_ns, disabled_ns_limit);
+
+  bool ok = true;
+  if (overhead > overhead_limit) {
+    std::fprintf(stderr, "budget FAIL: enabled tracing overhead too high\n");
+    ok = false;
+  }
+  if (disabled_ns > disabled_ns_limit) {
+    std::fprintf(stderr, "budget FAIL: disabled tracing is not free\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--budget") return run_budget();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,7 +39,11 @@ pool::PoolReport run(daemons::Universe universe, std::uint64_t seed) {
     daemons::JobDescription job;
     job.universe = universe;
     if (universe != daemons::Universe::kJava) job.requirements = "true";
-    jvm::ProgramBuilder builder("u" + std::to_string(i));
+    // Built in two steps to dodge GCC's -Wrestrict false positive on
+    // "literal" + to_string (PR105651) under -Werror.
+    std::string program_name = "u";
+    program_name += std::to_string(i);
+    jvm::ProgramBuilder builder(program_name);
     builder.compute(SimTime::sec(static_cast<std::int64_t>(
         rng.exponential(15.0)) + 1));
     if (rng.chance(0.5)) {

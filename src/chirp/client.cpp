@@ -6,10 +6,10 @@
 namespace esg::chirp {
 
 ChirpClient::ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
-                         SimTime timeout)
+                         SimTime timeout, std::string component)
     : engine_(engine),
       endpoint_(std::move(endpoint)),
-      trace_(engine.context().trace("chirp-client")),
+      trace_(engine.context().trace(std::move(component))),
       timeout_(timeout) {
   std::shared_ptr<bool> alive = alive_;
   endpoint_.set_on_message([this, alive](const std::string& wire) {

@@ -26,9 +26,12 @@ namespace esg::chirp {
 class ChirpClient {
  public:
   /// `timeout`: if a response takes longer, the connection is aborted with
-  /// kConnectionTimedOut (zero disables).
+  /// kConnectionTimedOut (zero disables). `component` labels trace spans;
+  /// launchers host-qualify it ("chirp-client@exec3") for dashboard
+  /// machine attribution.
   ChirpClient(sim::Engine& engine, net::Endpoint endpoint,
-              SimTime timeout = SimTime::sec(30));
+              SimTime timeout = SimTime::sec(30),
+              std::string component = "chirp-client");
   ~ChirpClient();
 
   ChirpClient(const ChirpClient&) = delete;

@@ -8,6 +8,7 @@
 // the schedd applies as the last line of defense.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -64,6 +65,10 @@ enum class ScheddDisposition { kComplete, kUnexecutable, kRetryElsewhere };
 ScheddDisposition schedd_disposition(ErrorScope scope);
 
 std::ostream& operator<<(std::ostream& os, ErrorScope scope);
+
+/// Number of ErrorScope enumerators; arrays indexed by
+/// static_cast<std::size_t>(scope) use this bound.
+inline constexpr std::size_t kNumErrorScopes = 11;
 
 /// All scopes, in rank order; used by sweeps and parameterized tests.
 inline constexpr ErrorScope kAllScopes[] = {

@@ -369,6 +369,13 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
     record.env_streak_start = SimTime::zero();
     context().audit().record(Principle::kP3, AuditOutcome::kApplied,
                              "schedd@" + name());
+    if (summary.program_result.error.has_value()) {
+      // A program-scope error is the job's own result (Figure 3): handing
+      // it back explicit and unmangled is the final delivery of the
+      // condition to its true manager, the user.
+      trace().delivered(*summary.program_result.error, job_id,
+                        "program-scope error is the job's own result");
+    }
     finalize(record, JobState::kCompleted, std::move(summary));
     return;
   }

@@ -394,7 +394,7 @@ void Starter::launch_vanilla() {
   native.classpath_ok = true;  // a native binary carries its own runtime
   native.heap_bytes = 1LL << 40;  // bounded by the machine, not a VM flag
   native.startup_time = SimTime::msec(5);
-  jvm_ = std::make_unique<jvm::SimJvm>(engine_, native);
+  jvm_ = std::make_unique<jvm::SimJvm>(engine_, native, "jvm@" + host_);
   std::shared_ptr<bool> alive = alive_;
   jvm_control_ = jvm_->run(
       job_.program, *vanilla_io_, jvm::WrapMode::kBare, &machine_fs_,
@@ -476,7 +476,8 @@ void Starter::launch_java() {
           return;
         }
         job_chirp_ = std::make_unique<chirp::ChirpClient>(
-            engine_, std::move(ep).value(), timeouts_.chirp_timeout);
+            engine_, std::move(ep).value(), timeouts_.chirp_timeout,
+            "chirp-client@" + host_);
 
         Result<std::string> cookie =
             machine_fs_.read_file(chirp::cookie_path(scratch_));
@@ -501,6 +502,7 @@ void Starter::launch_java() {
               io_options.discipline = discipline_.io;
               io_options.generic_diskfull_blocks =
                   discipline_.generic_diskfull_blocks;
+              io_options.component = "javaio@" + host_;
               jvm::JvmConfig config = jvm_config_;
               jvm::WrapMode wrap = discipline_.wrap;
               if (is_standard_universe()) {
@@ -515,7 +517,8 @@ void Starter::launch_java() {
               }
               job_io_ = std::make_unique<jvm::ChirpJavaIo>(*job_chirp_,
                                                            io_options);
-              jvm_ = std::make_unique<jvm::SimJvm>(engine_, config);
+              jvm_ = std::make_unique<jvm::SimJvm>(engine_, config,
+                                                   "jvm@" + host_);
               jvm::RunExtras extras;
               if (discipline_.checkpointing || is_standard_universe()) {
                 extras.resume = resume_;

@@ -147,7 +147,7 @@ void read_with_policy(sim::Engine& engine, SimFileSystem& fs,
   attempt->path = path;
   attempt->policy = policy;
   attempt->escalator = &escalator;
-  attempt->trace = engine.context().trace("escalator");
+  attempt->trace = engine.context().trace("escalator@" + fs.host());
   attempt->done = std::move(done);
   attempt->started = engine.now();
   try_once(attempt);

@@ -95,9 +95,9 @@ const ErrorInterface& ChirpJavaIo::write_contract() {
 
 ChirpJavaIo::ChirpJavaIo(chirp::ChirpClient& client, Options options)
     : client_(client),
-      options_(options),
+      options_(std::move(options)),
       audit_(&client.engine().context().audit()),
-      trace_(client.engine().context().trace("javaio")) {}
+      trace_(client.engine().context().trace(options_.component)) {}
 
 template <class T>
 void ChirpJavaIo::deliver_failure(const ErrorInterface& contract, Error e,
@@ -209,8 +209,8 @@ LocalJavaIo::LocalJavaIo(fs::SimFileSystem& fs, IoDiscipline discipline,
       discipline_(discipline),
       sandbox_(std::move(sandbox)),
       audit_(ctx != nullptr ? &ctx->audit() : nullptr),
-      trace_(ctx != nullptr ? ctx->trace("javaio")
-                            : obs::TraceSink("javaio")) {}
+      trace_(ctx != nullptr ? ctx->trace("javaio@" + fs.host())
+                            : obs::TraceSink("javaio@" + fs.host())) {}
 
 std::string LocalJavaIo::map_path(const std::string& path) const {
   if (path.empty() || path[0] == '/' || sandbox_.empty()) return path;

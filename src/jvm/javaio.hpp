@@ -78,6 +78,9 @@ class ChirpJavaIo final : public JavaIo {
     IoDiscipline discipline = IoDiscipline::kConcise;
     /// §3.4: under the generic discipline, a full disk blocks forever.
     bool generic_diskfull_blocks = false;
+    /// Trace-span component; launchers host-qualify it ("javaio@exec3")
+    /// so dashboards attribute I/O errors to the executing machine.
+    std::string component = "javaio";
   };
 
   ChirpJavaIo(chirp::ChirpClient& client, Options options);

@@ -325,8 +325,8 @@ Result<Checkpoint> Checkpoint::parse(const std::string& text) {
   return out;
 }
 
-SimJvm::SimJvm(sim::Engine& engine, JvmConfig config)
-    : engine_(engine), config_(config) {}
+SimJvm::SimJvm(sim::Engine& engine, JvmConfig config, std::string component)
+    : engine_(engine), config_(config), component_(std::move(component)) {}
 
 std::shared_ptr<JvmControl> SimJvm::run(
     const JobProgram& program, JavaIo& io, WrapMode mode,
@@ -348,7 +348,7 @@ std::shared_ptr<JvmControl> SimJvm::run(
     run->extras.resume = Checkpoint{};
   }
   run->engine = &engine_;
-  run->trace = engine_.context().trace("jvm");
+  run->trace = engine_.context().trace(component_);
   run->config = config_;
   run->program = program;
   run->io = &io;

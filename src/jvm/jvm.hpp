@@ -96,7 +96,10 @@ class JvmControl {
 
 class SimJvm {
  public:
-  SimJvm(sim::Engine& engine, JvmConfig config);
+  /// `component` labels this JVM's trace spans; launchers pass a
+  /// host-qualified name ("jvm@exec3") so dashboards can attribute
+  /// virtual-machine-scope errors to the machine running the VM.
+  SimJvm(sim::Engine& engine, JvmConfig config, std::string component = "jvm");
 
   /// Execute `program` with stream environment `io`. In kWrapped mode the
   /// wrapper writes its result file to `result_path` on `scratch_fs`
@@ -118,6 +121,7 @@ class SimJvm {
  private:
   sim::Engine& engine_;
   JvmConfig config_;
+  std::string component_;
 };
 
 /// Static error-topology declaration for the JVM layer (the analysis/

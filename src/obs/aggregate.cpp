@@ -1,0 +1,172 @@
+#include "obs/aggregate.hpp"
+
+#include <algorithm>
+
+namespace esg::obs {
+
+std::string_view disposition_name(FlowDisposition disposition) {
+  switch (disposition) {
+    case FlowDisposition::kRaised: return "raised";
+    case FlowDisposition::kPropagated: return "propagated";
+    case FlowDisposition::kConsumed: return "consumed";
+    case FlowDisposition::kMasked: return "masked";
+    case FlowDisposition::kEscaped: return "escaped";
+  }
+  return "?";
+}
+
+FlowDisposition flow_disposition(TraceEventType type) {
+  // Not a switch over ErrorKind/ErrorScope, so the lint exhaustive-switch
+  // rule does not apply; still kept exhaustive by hand.
+  switch (type) {
+    case TraceEventType::kRaised: return FlowDisposition::kRaised;
+    case TraceEventType::kConverted:
+    case TraceEventType::kEscalated:
+    case TraceEventType::kRouted: return FlowDisposition::kPropagated;
+    case TraceEventType::kConsumed:
+    case TraceEventType::kDelivered: return FlowDisposition::kConsumed;
+    case TraceEventType::kMasked: return FlowDisposition::kMasked;
+    case TraceEventType::kDropped:
+    case TraceEventType::kImplicit: return FlowDisposition::kEscaped;
+  }
+  return FlowDisposition::kEscaped;
+}
+
+std::string machine_of(std::string_view component) {
+  if (component.empty()) return "-";
+  std::size_t at = component.rfind('@');
+  std::string_view rest =
+      at == std::string_view::npos ? component : component.substr(at + 1);
+  std::size_t slash = rest.find('/');
+  if (slash != std::string_view::npos) rest = rest.substr(0, slash);
+  if (rest.empty()) return "-";
+  return std::string(rest);
+}
+
+void FlowSeries::merge(const FlowSeries& other) {
+  total += other.total;
+  for (const auto& [slice, count] : other.slices) slices[slice] += count;
+}
+
+void FlowAggregate::add(const TraceEvent& event) {
+  FlowKey key;
+  key.scope = event.scope;
+  key.machine = machine_of(event.component);
+  key.kind = event.kind;
+  key.disposition = flow_disposition(event.type);
+
+  FlowSeries& series = cells[key];
+  ++series.total;
+  const std::int64_t width = slice_usec > 0 ? slice_usec : 1;
+  ++series.slices[event.when.as_usec() / width];
+
+  if (events_seen == 0 || event.when < first_event) first_event = event.when;
+  if (events_seen == 0 || event.when > last_event) last_event = event.when;
+  ++events_seen;
+}
+
+void FlowAggregate::merge(const FlowAggregate& other) {
+  if (other.empty()) return;
+  if (empty() && cells.empty()) slice_usec = other.slice_usec;
+  // Differently-sliced aggregates cannot be aligned; keep ours and fold the
+  // other's counters in at its own slice indices (totals stay exact, the
+  // timeline of the minority slicing degrades gracefully).
+  for (const auto& [key, series] : other.cells) cells[key].merge(series);
+  for (const auto& [scope, count] : other.dropped_spans) {
+    dropped_spans[scope] += count;
+  }
+  if (other.events_seen != 0) {
+    if (events_seen == 0 || other.first_event < first_event) {
+      first_event = other.first_event;
+    }
+    if (events_seen == 0 || other.last_event > last_event) {
+      last_event = other.last_event;
+    }
+  }
+  events_seen += other.events_seen;
+}
+
+std::uint64_t FlowAggregate::dropped_total() const {
+  std::uint64_t total = 0;
+  for (const auto& [scope, count] : dropped_spans) total += count;
+  return total;
+}
+
+std::uint64_t FlowAggregate::count(FlowDisposition disposition) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, series] : cells) {
+    if (key.disposition == disposition) total += series.total;
+  }
+  return total;
+}
+
+std::uint64_t FlowAggregate::count(ErrorScope scope,
+                                   FlowDisposition disposition) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, series] : cells) {
+    if (key.scope == scope && key.disposition == disposition) {
+      total += series.total;
+    }
+  }
+  return total;
+}
+
+std::uint64_t FlowAggregate::machine_count(std::string_view machine,
+                                           FlowDisposition disposition) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, series] : cells) {
+    if (key.machine == machine && key.disposition == disposition) {
+      total += series.total;
+    }
+  }
+  return total;
+}
+
+std::vector<std::string> FlowAggregate::machines() const {
+  std::vector<std::string> out;
+  for (const auto& [key, series] : cells) {
+    if (std::find(out.begin(), out.end(), key.machine) == out.end()) {
+      out.push_back(key.machine);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ErrorScope> FlowAggregate::scopes() const {
+  std::vector<ErrorScope> out;
+  for (ErrorScope scope : kAllScopes) {
+    bool present = dropped_spans.count(scope) != 0;
+    for (const auto& [key, series] : cells) {
+      if (present) break;
+      present = key.scope == scope;
+    }
+    if (present) out.push_back(scope);
+  }
+  return out;
+}
+
+void ScopeAggregator::attach(FlightRecorder& recorder) {
+  detach();
+  recorder_ = &recorder;
+  recorder_->set_tap([this](const TraceEvent& event) { agg_.add(event); });
+}
+
+void ScopeAggregator::detach() {
+  if (recorder_ != nullptr) {
+    recorder_->clear_tap();
+    recorder_ = nullptr;
+  }
+}
+
+FlowAggregate ScopeAggregator::snapshot() const {
+  FlowAggregate out = agg_;
+  if (recorder_ != nullptr) {
+    for (const auto& [scope, count] : recorder_->dropped_by_scope()) {
+      out.dropped_spans[scope] += count;
+    }
+  }
+  return out;
+}
+
+}  // namespace esg::obs

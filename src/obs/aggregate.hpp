@@ -1,0 +1,166 @@
+// Streaming aggregation of the flight recorder's span journal into
+// per-scope / per-machine error-flow counters — the data model behind the
+// dashboards (obs/dashboard.hpp) and tools/esg-top.
+//
+// The recorder's journal answers "what exactly happened to this error";
+// the aggregate answers the operator's question: *per scope, per machine,
+// how many errors were raised, propagated, consumed, masked, or escaped,
+// and when?* Counters are keyed by (scope, machine, kind, disposition) and
+// time-sliced over simulated time, so a dashboard can show flow rates, not
+// just totals. Everything is plain ordered data (std::map), so two
+// aggregates built from the same journal — or merged from the same sweep
+// cells in the same order — render byte-identical dumps regardless of
+// thread count (the PR-3 determinism discipline).
+//
+// Feeding an aggregator:
+//   - live: ScopeAggregator::attach() installs a FlightRecorder tap
+//     (through the pool's sim::SimContext recorder), so the aggregate sees
+//     the complete stream even after the ring wraps;
+//   - post-hoc: observe_all() over a saved journal's events.
+//
+// Ring-wrap losses are first-class: dropped_spans carries the recorder's
+// per-scope count of overwritten spans, so a dashboard can flag that its
+// *retained-event* view is truncated even though the live counters are not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.hpp"
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+#include "obs/trace.hpp"
+
+namespace esg::obs {
+
+/// The dashboard's disposition taxonomy: what stage of its lifecycle an
+/// error-flow event represents. Coarser than TraceEventType — tuned for
+/// the operator's question ("is this scope consuming or leaking?") rather
+/// than the checker's ("which principle broke?").
+enum class FlowDisposition {
+  kRaised,      ///< first discovered (TraceEventType::kRaised)
+  kPropagated,  ///< in flight: converted, escalated, or routed
+  kConsumed,    ///< accepted by a scope manager, or delivered to the user
+  kMasked,      ///< hidden by fault tolerance (retry, replica, reschedule)
+  kEscaped,     ///< left the explicit structure: dropped, or went implicit
+};
+
+inline constexpr std::size_t kNumFlowDispositions = 5;
+
+inline constexpr FlowDisposition kAllFlowDispositions[] = {
+    FlowDisposition::kRaised,   FlowDisposition::kPropagated,
+    FlowDisposition::kConsumed, FlowDisposition::kMasked,
+    FlowDisposition::kEscaped,
+};
+
+/// Short stable name ("raised", "propagated", ...).
+std::string_view disposition_name(FlowDisposition disposition);
+
+/// The disposition an event type aggregates under.
+FlowDisposition flow_disposition(TraceEventType type);
+
+/// Machine attribution for a span's component name. Components are either
+/// host-named daemons ("submit0", "bad0", "central"), host-qualified
+/// handles ("starter@bad0", "jvm@good1", "shadow@submit0/job3",
+/// "fs@exec2"), or free-standing helpers. The rule: text after the last
+/// '@' up to the first '/', else the whole component; empty input maps to
+/// "-" so job-less helper events still land in a stable row.
+std::string machine_of(std::string_view component);
+
+/// One aggregation key. Ordered (std::map key) so every rendering of an
+/// aggregate is deterministic.
+struct FlowKey {
+  ErrorScope scope = ErrorScope::kProcess;
+  std::string machine;
+  ErrorKind kind = ErrorKind::kUnknown;
+  FlowDisposition disposition = FlowDisposition::kRaised;
+
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+/// Counters for one key: lifetime total plus per-slice counts over
+/// simulated time (slice index = when / slice width).
+struct FlowSeries {
+  std::uint64_t total = 0;
+  std::map<std::int64_t, std::uint64_t> slices;
+
+  void merge(const FlowSeries& other);
+};
+
+/// The full aggregate: mergeable, queryable, and renderable (see
+/// obs/dashboard.hpp). Plain data — copy freely across threads.
+struct FlowAggregate {
+  /// Time-slice width in simulated microseconds (default: one sim-minute).
+  std::int64_t slice_usec = 60'000'000;
+  std::map<FlowKey, FlowSeries> cells;
+  /// Ring-wrap losses per scope (recorder accounting), nonzero entries only.
+  std::map<ErrorScope, std::uint64_t> dropped_spans;
+  std::uint64_t events_seen = 0;
+  SimTime first_event{};
+  SimTime last_event{};
+
+  void add(const TraceEvent& event);
+
+  /// Fold `other` in: totals and slices sum, time range widens. Slice
+  /// widths must match (merging differently-sliced aggregates would
+  /// silently misalign timelines); mismatches are ignored defensively with
+  /// the wider slice winning only when this aggregate is still empty.
+  void merge(const FlowAggregate& other);
+
+  [[nodiscard]] bool empty() const {
+    return events_seen == 0 && dropped_spans.empty();
+  }
+  [[nodiscard]] std::uint64_t dropped_total() const;
+
+  // -- queries (all deterministic aggregations over `cells`) --
+  [[nodiscard]] std::uint64_t count(FlowDisposition disposition) const;
+  [[nodiscard]] std::uint64_t count(ErrorScope scope,
+                                    FlowDisposition disposition) const;
+  [[nodiscard]] std::uint64_t machine_count(std::string_view machine,
+                                            FlowDisposition disposition) const;
+  /// Machines present, in key order.
+  [[nodiscard]] std::vector<std::string> machines() const;
+  /// Scopes present (in cells or dropped_spans), in scope-rank order.
+  [[nodiscard]] std::vector<ErrorScope> scopes() const;
+};
+
+/// Streaming consumer building a FlowAggregate, attachable to a live
+/// FlightRecorder (tap) or fed post-hoc. Single-threaded like everything
+/// else inside a simulation context.
+class ScopeAggregator {
+ public:
+  explicit ScopeAggregator(SimTime slice = SimTime::minutes(1)) {
+    agg_.slice_usec = slice.as_usec() > 0 ? slice.as_usec() : 1;
+  }
+  ~ScopeAggregator() { detach(); }
+
+  ScopeAggregator(const ScopeAggregator&) = delete;
+  ScopeAggregator& operator=(const ScopeAggregator&) = delete;
+
+  /// Install this aggregator as `recorder`'s tap. The aggregator then sees
+  /// every recorded span, ring wraps included. Replaces any previous tap;
+  /// detaches automatically on destruction.
+  void attach(FlightRecorder& recorder);
+  void detach();
+
+  void observe(const TraceEvent& event) { agg_.add(event); }
+  void observe_all(const std::vector<TraceEvent>& events) {
+    for (const TraceEvent& event : events) agg_.add(event);
+  }
+
+  /// The aggregate so far, with the attached recorder's dropped-span
+  /// accounting folded in (so dashboards can flag truncated journals).
+  [[nodiscard]] FlowAggregate snapshot() const;
+
+  /// Raw live counters, without the dropped-span fold.
+  [[nodiscard]] const FlowAggregate& aggregate() const { return agg_; }
+
+ private:
+  FlowAggregate agg_;
+  FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace esg::obs

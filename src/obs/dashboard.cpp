@@ -1,0 +1,207 @@
+#include "obs/dashboard.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace esg::obs {
+namespace {
+
+// Same minimal escaping as export.cpp's (kept local: anonymous namespaces
+// do not share across translation units).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+constexpr std::string_view kBold = "\x1b[1m";
+constexpr std::string_view kDim = "\x1b[2m";
+constexpr std::string_view kRed = "\x1b[31m";
+constexpr std::string_view kReset = "\x1b[0m";
+
+struct Palette {
+  std::string_view bold, dim, red, reset;
+};
+
+Palette palette(bool color) {
+  if (color) return {kBold, kDim, kRed, kReset};
+  return {"", "", "", ""};
+}
+
+void row(std::ostringstream& os, std::string_view label,
+         const std::uint64_t (&counts)[kNumFlowDispositions]) {
+  os << "  " << std::left << std::setw(18) << label << std::right;
+  for (std::uint64_t count : counts) os << std::setw(12) << count;
+  os << "\n";
+}
+
+void header_row(std::ostringstream& os, const Palette& p,
+                std::string_view label) {
+  os << p.bold << "  " << std::left << std::setw(18) << label << std::right;
+  for (FlowDisposition disposition : kAllFlowDispositions) {
+    os << std::setw(12) << disposition_name(disposition);
+  }
+  os << p.reset << "\n";
+}
+
+}  // namespace
+
+std::string render_dashboard(const FlowAggregate& aggregate,
+                             const DashboardOptions& options) {
+  const Palette p = palette(options.color);
+  std::ostringstream os;
+
+  os << p.bold << "esg-top";
+  if (!options.title.empty()) os << " — " << options.title;
+  os << p.reset << "\n";
+  os << "  events " << aggregate.events_seen;
+  if (aggregate.events_seen != 0) {
+    os << "   span " << aggregate.first_event.str() << " .. "
+       << aggregate.last_event.str();
+  }
+  os << "   slice " << aggregate.slice_usec / 1000000 << "s";
+  if (aggregate.dropped_total() != 0) {
+    os << "   " << p.red << "ring dropped " << aggregate.dropped_total()
+       << " spans (journal view truncated)" << p.reset;
+  }
+  os << "\n\n";
+
+  header_row(os, p, "scope");
+  for (ErrorScope scope : aggregate.scopes()) {
+    std::uint64_t counts[kNumFlowDispositions] = {};
+    for (std::size_t i = 0; i < kNumFlowDispositions; ++i) {
+      counts[i] = aggregate.count(scope, kAllFlowDispositions[i]);
+    }
+    row(os, scope_name(scope), counts);
+    const auto it = aggregate.dropped_spans.find(scope);
+    if (it != aggregate.dropped_spans.end() && it->second != 0) {
+      os << "  " << p.dim << std::left << std::setw(18) << " " << std::right
+         << "(+" << it->second << " spans dropped from ring)" << p.reset
+         << "\n";
+    }
+  }
+
+  os << "\n";
+  header_row(os, p, "machine");
+  for (const std::string& machine : aggregate.machines()) {
+    std::uint64_t counts[kNumFlowDispositions] = {};
+    for (std::size_t i = 0; i < kNumFlowDispositions; ++i) {
+      counts[i] = aggregate.machine_count(machine, kAllFlowDispositions[i]);
+    }
+    row(os, machine, counts);
+  }
+
+  // Top error kinds by lifetime total, aggregated over machines. Ties
+  // break on (kind, disposition) key order for determinism.
+  struct KindRow {
+    ErrorKind kind;
+    FlowDisposition disposition;
+    std::uint64_t total;
+  };
+  std::vector<KindRow> kinds;
+  for (const auto& [key, series] : aggregate.cells) {
+    auto it = std::find_if(kinds.begin(), kinds.end(), [&](const KindRow& r) {
+      return r.kind == key.kind && r.disposition == key.disposition;
+    });
+    if (it == kinds.end()) {
+      kinds.push_back({key.kind, key.disposition, series.total});
+    } else {
+      it->total += series.total;
+    }
+  }
+  std::stable_sort(kinds.begin(), kinds.end(),
+                   [](const KindRow& a, const KindRow& b) {
+                     return a.total > b.total;
+                   });
+  if (kinds.size() > options.top_kinds) kinds.resize(options.top_kinds);
+  if (!kinds.empty()) {
+    os << "\n" << p.bold << "  top error kinds" << p.reset << "\n";
+    for (const KindRow& r : kinds) {
+      os << "  " << std::left << std::setw(28) << kind_name(r.kind)
+         << std::setw(12) << disposition_name(r.disposition) << std::right
+         << std::setw(8) << r.total << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string dashboard_json(const FlowAggregate& aggregate,
+                           std::string_view label) {
+  std::ostringstream os;
+  os << "{\"label\":\"" << json_escape(label) << "\",";
+  os << "\"slice_usec\":" << aggregate.slice_usec << ",";
+  os << "\"events_seen\":" << aggregate.events_seen << ",";
+  os << "\"first_usec\":" << aggregate.first_event.as_usec() << ",";
+  os << "\"last_usec\":" << aggregate.last_event.as_usec() << ",";
+  os << "\"dropped_spans\":{";
+  bool first = true;
+  for (const auto& [scope, count] : aggregate.dropped_spans) {
+    if (count == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << scope_name(scope) << "\":" << count;
+  }
+  os << "},\"cells\":[";
+  first = true;
+  for (const auto& [key, series] : aggregate.cells) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"scope\":\"" << scope_name(key.scope) << "\",\"machine\":\""
+       << json_escape(key.machine) << "\",\"kind\":\"" << kind_name(key.kind)
+       << "\",\"disposition\":\"" << disposition_name(key.disposition)
+       << "\",\"total\":" << series.total << ",\"slices\":[";
+    bool first_slice = true;
+    for (const auto& [slice, count] : series.slices) {
+      if (!first_slice) os << ",";
+      first_slice = false;
+      os << "[" << slice << "," << count << "]";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string flow_prometheus(const FlowAggregate& aggregate) {
+  std::ostringstream os;
+  os << "# HELP esg_error_flow_total Error-flow events by scope, machine, "
+        "kind, and disposition.\n";
+  os << "# TYPE esg_error_flow_total counter\n";
+  for (const auto& [key, series] : aggregate.cells) {
+    os << "esg_error_flow_total{scope=\"" << scope_name(key.scope)
+       << "\",machine=\"" << key.machine << "\",kind=\"" << kind_name(key.kind)
+       << "\",disposition=\"" << disposition_name(key.disposition) << "\"} "
+       << series.total << "\n";
+  }
+  os << "# HELP esg_error_flow_dropped_spans_total Spans lost to ring wrap, "
+        "by scope.\n";
+  os << "# TYPE esg_error_flow_dropped_spans_total counter\n";
+  for (const auto& [scope, count] : aggregate.dropped_spans) {
+    if (count == 0) continue;
+    os << "esg_error_flow_dropped_spans_total{scope=\"" << scope_name(scope)
+       << "\"} " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace esg::obs

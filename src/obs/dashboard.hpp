@@ -1,0 +1,86 @@
+// Dashboard renderings of a FlowAggregate (obs/aggregate.hpp):
+//   - a plain-ANSI per-scope / per-machine table (tools/esg-top's screen),
+//   - a deterministic JSON timeline dump (attached to pool::PoolReport and
+//     merged across pool::SweepRunner cells),
+//   - Prometheus exposition lines (esg_error_flow_total{...}),
+//   - registration into sim::MetricsRegistry so prometheus_str() carries
+//     per-scope flow counters alongside the pool's own metrics.
+//
+// Every renderer walks the aggregate's ordered maps and emits integers
+// only, so a dump is byte-identical for equal aggregates — the property
+// the sweep determinism tests pin down.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/aggregate.hpp"
+#include "sim/metrics.hpp"
+
+namespace esg::obs {
+
+struct DashboardOptions {
+  /// Title line, e.g. the pool name or journal path.
+  std::string title;
+  /// ANSI color for the table accents; off for logs/golden files.
+  bool color = false;
+  /// How many (kind, disposition) rows the "top error kinds" section shows.
+  std::size_t top_kinds = 8;
+};
+
+/// The esg-top screen: per-scope flow table, per-machine flow table, and
+/// the top error kinds, as plain text (optionally ANSI-colored). No cursor
+/// control — the caller owns screen clearing / refresh cadence.
+std::string render_dashboard(const FlowAggregate& aggregate,
+                             const DashboardOptions& options = {});
+
+/// Deterministic JSON dump of the full aggregate:
+///   {"label":...,"slice_usec":N,"events_seen":N,"first_usec":N,
+///    "last_usec":N,"dropped_spans":{"<scope>":N,...},
+///    "cells":[{"scope":...,"machine":...,"kind":...,"disposition":...,
+///              "total":N,"slices":[[idx,count],...]},...]}
+/// Integers only (no floats), ordered-map iteration only — equal
+/// aggregates always serialize byte-identically.
+std::string dashboard_json(const FlowAggregate& aggregate,
+                           std::string_view label = {});
+
+/// Prometheus text exposition of the aggregate's lifetime totals:
+///   esg_error_flow_total{scope=...,machine=...,kind=...,disposition=...} N
+/// plus esg_error_flow_dropped_spans_total{scope=...} for ring-wrap losses.
+std::string flow_prometheus(const FlowAggregate& aggregate);
+
+/// Mirror the aggregate's per-scope and per-disposition totals into a
+/// MetricsRegistry as counters named
+///   trace.flow.<disposition>                  (pool-wide totals)
+///   trace.flow.<scope>.<disposition>          (per-scope totals)
+///   trace.flow.dropped_spans                  (ring-wrap losses)
+/// so MetricsRegistry::prometheus_str() serves them with the pool metrics.
+/// Reset-then-add: calling again with a newer snapshot replaces the values.
+///
+/// Header-only on purpose: obs must not link against esg_sim (sim already
+/// depends on obs); only this translation unit-free inline touches the
+/// registry type.
+inline void register_flow_metrics(const FlowAggregate& aggregate,
+                                  sim::MetricsRegistry& metrics) {
+  auto set = [&metrics](const std::string& name, std::uint64_t value) {
+    sim::Counter& counter = metrics.counter(name);
+    counter.reset();
+    counter.add(static_cast<std::int64_t>(value));
+  };
+  for (FlowDisposition disposition : kAllFlowDispositions) {
+    const std::string suffix(disposition_name(disposition));
+    set("trace.flow." + suffix, aggregate.count(disposition));
+  }
+  for (ErrorScope scope : aggregate.scopes()) {
+    const std::string base = "trace.flow." + std::string(scope_name(scope));
+    for (FlowDisposition disposition : kAllFlowDispositions) {
+      const std::uint64_t n = aggregate.count(scope, disposition);
+      if (n != 0) {
+        set(base + "." + std::string(disposition_name(disposition)), n);
+      }
+    }
+  }
+  set("trace.flow.dropped_spans", aggregate.dropped_total());
+}
+
+}  // namespace esg::obs

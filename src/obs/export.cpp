@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <charconv>
 #include <map>
 #include <sstream>
 
@@ -136,6 +137,13 @@ std::string to_prometheus(const FlightRecorder& recorder,
   os << "# TYPE esg_trace_chronic_marks_total counter\n";
   os << "esg_trace_chronic_marks_total " << recorder.chronic_marks().size()
      << "\n";
+  os << "# HELP esg_trace_dropped_spans_total Spans lost to ring wrap or "
+        "capacity shrink, by scope.\n";
+  os << "# TYPE esg_trace_dropped_spans_total counter\n";
+  for (ErrorScope scope : kAllScopes) {
+    os << "esg_trace_dropped_spans_total{scope=\"" << scope_name(scope)
+       << "\"} " << recorder.dropped_spans(scope) << "\n";
+  }
   if (!merge.empty()) {
     os << merge;
     if (merge.back() != '\n') os << "\n";
@@ -152,6 +160,151 @@ std::string render_dump(const std::vector<TraceEvent>& events,
   for (const TraceEvent& event : events) os << "  " << event.str() << "\n";
   os << "==== end of dump ====\n";
   return os.str();
+}
+
+namespace {
+
+constexpr std::string_view kJournalHeader = "# esg-journal v1";
+
+std::string journal_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> journal_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 == s.size()) return std::nullopt;
+    switch (s[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case '\\': out += '\\'; break;
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+template <typename Int>
+bool parse_int(std::string_view s, Int& out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::vector<std::string_view> split(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string journal_str(const std::vector<TraceEvent>& events,
+                        const std::map<ErrorScope, std::uint64_t>& dropped) {
+  std::ostringstream os;
+  os << kJournalHeader << "\n";
+  for (const auto& [scope, count] : dropped) {
+    if (count != 0) {
+      os << "# dropped " << scope_name(scope) << " " << count << "\n";
+    }
+  }
+  for (const TraceEvent& event : events) {
+    os << event.when.as_usec() << "\t" << event.id << "\t" << event.parent
+       << "\t" << event_type_name(event.type) << "\t" << form_name(event.form)
+       << "\t" << kind_name(event.kind) << "\t" << scope_name(event.scope)
+       << "\t" << event.job << "\t" << journal_escape(event.component) << "\t"
+       << journal_escape(event.detail) << "\n";
+  }
+  return os.str();
+}
+
+std::string journal_str(const FlightRecorder& recorder) {
+  return journal_str(recorder.events(), recorder.dropped_by_scope());
+}
+
+std::optional<Journal> parse_journal(std::string_view text) {
+  Journal journal;
+  bool saw_header = false;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? nl : nl - start);
+    start = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+
+    if (!saw_header) {
+      if (line != kJournalHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+
+    if (line.starts_with("# dropped ")) {
+      std::vector<std::string_view> parts = split(line, ' ');
+      // "# dropped <scope> <count>"
+      if (parts.size() != 4) return std::nullopt;
+      std::optional<ErrorScope> scope = parse_scope(parts[2]);
+      std::uint64_t count = 0;
+      if (!scope || !parse_int(parts[3], count)) return std::nullopt;
+      journal.dropped[*scope] += count;
+      continue;
+    }
+    if (line.starts_with('#')) continue;  // future header extensions
+
+    std::vector<std::string_view> fields = split(line, '\t');
+    if (fields.size() != 10) return std::nullopt;
+    TraceEvent event;
+    std::int64_t usec = 0;
+    if (!parse_int(fields[0], usec) || !parse_int(fields[1], event.id) ||
+        !parse_int(fields[2], event.parent) ||
+        !parse_int(fields[7], event.job)) {
+      return std::nullopt;
+    }
+    event.when = SimTime::usec(usec);
+    std::optional<TraceEventType> type = parse_event_type(fields[3]);
+    std::optional<ErrorForm> form = parse_form(fields[4]);
+    std::optional<ErrorKind> kind = parse_kind(fields[5]);
+    std::optional<ErrorScope> scope = parse_scope(fields[6]);
+    std::optional<std::string> component = journal_unescape(fields[8]);
+    std::optional<std::string> detail = journal_unescape(fields[9]);
+    if (!type || !form || !kind || !scope || !component || !detail) {
+      return std::nullopt;
+    }
+    event.type = *type;
+    event.form = *form;
+    event.kind = *kind;
+    event.scope = *scope;
+    event.component = std::move(*component);
+    event.detail = std::move(*detail);
+    journal.events.push_back(std::move(event));
+  }
+  if (!saw_header) return std::nullopt;
+  return journal;
 }
 
 }  // namespace esg::obs

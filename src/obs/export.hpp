@@ -1,9 +1,12 @@
 // Exporters for the flight recorder's journal:
 //   - Chrome trace_event JSON (load in chrome://tracing or Perfetto),
 //   - Prometheus text exposition (merges with sim::MetricsRegistry output),
-//   - a human-readable "last N events before failure" dump.
+//   - a human-readable "last N events before failure" dump,
+//   - the esg-journal v1 save/load format (tools/esg-top reads it post-hoc).
 #pragma once
 
+#include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,5 +36,33 @@ std::string to_prometheus(const FlightRecorder& recorder,
 /// why the dump was taken ("chronic failure on machine c03", ...).
 std::string render_dump(const std::vector<TraceEvent>& events,
                         std::string_view reason);
+
+/// The esg-journal v1 text format: a save/load representation of a
+/// recorder's retained events plus its ring-wrap accounting, so a post-hoc
+/// dashboard (tools/esg-top --journal) can both rebuild the aggregate and
+/// flag that the retained view is truncated.
+///
+///   # esg-journal v1
+///   # dropped <scope-name> <count>            (one per nonzero scope)
+///   <usec>\t<id>\t<parent>\t<type>\t<form>\t<kind>\t<scope>\t<job>\t
+///       <component>\t<detail>                 (one event per line)
+///
+/// Free-text fields escape tab, newline, and backslash as \t, \n, \\.
+std::string journal_str(const std::vector<TraceEvent>& events,
+                        const std::map<ErrorScope, std::uint64_t>& dropped = {});
+
+/// Convenience: the recorder's retained events and dropped-span accounting.
+std::string journal_str(const FlightRecorder& recorder);
+
+/// A parsed esg-journal file.
+struct Journal {
+  std::vector<TraceEvent> events;
+  std::map<ErrorScope, std::uint64_t> dropped;
+};
+
+/// Parse an esg-journal v1 document. Journal files cross a trust boundary,
+/// so this is strict: a missing/unknown header, a malformed line, or an
+/// unknown enum name yields nullopt rather than a half-parsed journal.
+std::optional<Journal> parse_journal(std::string_view text);
 
 }  // namespace esg::obs

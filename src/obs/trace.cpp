@@ -28,6 +28,22 @@ std::string_view event_type_name(TraceEventType type) {
   return "?";
 }
 
+std::optional<TraceEventType> parse_event_type(std::string_view name) {
+  for (std::size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const auto type = static_cast<TraceEventType>(i);
+    if (event_type_name(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+std::optional<ErrorForm> parse_form(std::string_view name) {
+  for (ErrorForm form : {ErrorForm::kExplicit, ErrorForm::kEscaping,
+                         ErrorForm::kImplicit}) {
+    if (form_name(form) == name) return form;
+  }
+  return std::nullopt;
+}
+
 std::string TraceEvent::str() const {
   std::ostringstream os;
   os << "[" << when.str() << "] #" << id;
@@ -46,10 +62,29 @@ FlightRecorder& FlightRecorder::global() {
   return recorder;
 }
 
+void FlightRecorder::count_dropped(const TraceEvent& evicted) {
+  ++dropped_[static_cast<std::size_t>(evicted.scope)];
+  ++dropped_total_;
+}
+
+std::map<ErrorScope, std::uint64_t> FlightRecorder::dropped_by_scope() const {
+  std::map<ErrorScope, std::uint64_t> out;
+  for (ErrorScope scope : kAllScopes) {
+    const std::uint64_t n = dropped_spans(scope);
+    if (n != 0) out[scope] = n;
+  }
+  return out;
+}
+
 void FlightRecorder::set_capacity(std::size_t capacity) {
   if (capacity == 0) capacity = 1;
   if (ring_.size() > capacity) {
     // Keep the newest `capacity` events, oldest first, and reset the head.
+    // The shed prefix is accounted as dropped, same as a ring wrap.
+    std::vector<TraceEvent> all = events();
+    for (std::size_t i = 0; i + capacity < all.size(); ++i) {
+      count_dropped(all[i]);
+    }
     std::vector<TraceEvent> kept = last(capacity);
     ring_ = std::move(kept);
     head_ = 0;
@@ -90,9 +125,11 @@ std::uint64_t FlightRecorder::record(TraceEvent event) {
   ++total_;
   ++counts_[static_cast<std::size_t>(event.type)];
   const std::uint64_t id = event.id;
+  if (tap_) tap_(event);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
+    count_dropped(ring_[head_]);
     ring_[head_] = std::move(event);
     head_ = (head_ + 1) % capacity_;
   }
@@ -148,6 +185,8 @@ void FlightRecorder::clear() {
   next_id_ = 1;
   total_ = 0;
   for (std::uint64_t& c : counts_) c = 0;
+  for (std::uint64_t& d : dropped_) d = 0;
+  dropped_total_ = 0;
   last_by_job_.clear();
   last_by_component_.clear();
   chronic_marks_.clear();

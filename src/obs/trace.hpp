@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -61,6 +62,11 @@ enum class TraceEventType {
 inline constexpr std::size_t kNumTraceEventTypes = 9;
 
 std::string_view event_type_name(TraceEventType type);
+
+/// Parse names produced by event_type_name() / form_name(). Returns
+/// nullopt on unknown input — journal files cross a trust boundary.
+std::optional<TraceEventType> parse_event_type(std::string_view name);
+std::optional<ErrorForm> parse_form(std::string_view name);
 
 /// One span in an error's causal journey.
 struct TraceEvent {
@@ -115,6 +121,27 @@ class FlightRecorder {
   /// Returns the assigned id.
   std::uint64_t record(TraceEvent event);
 
+  /// Streaming tap: called with every finalized event (id/parent/when
+  /// assigned) before it enters the ring. A tap therefore sees the
+  /// *complete* stream even when the ring later wraps — obs::ScopeAggregator
+  /// attaches here for live dashboards. Costs nothing while tracing is
+  /// disabled (record() is never reached).
+  void set_tap(std::function<void(const TraceEvent&)> tap) {
+    tap_ = std::move(tap);
+  }
+  void clear_tap() { tap_ = nullptr; }
+
+  /// Ring-wrap accounting: spans overwritten by the ring (or shed by a
+  /// capacity shrink) are counted per scope instead of silently vanishing,
+  /// so post-hoc consumers of events() can tell a truncated view from a
+  /// complete one. Lifetime counters; clear() resets them.
+  [[nodiscard]] std::uint64_t dropped_spans() const { return dropped_total_; }
+  [[nodiscard]] std::uint64_t dropped_spans(ErrorScope scope) const {
+    return dropped_[static_cast<std::size_t>(scope)];
+  }
+  /// Only the scopes with nonzero losses, for compact surfacing.
+  [[nodiscard]] std::map<ErrorScope, std::uint64_t> dropped_by_scope() const;
+
   /// All retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> events() const;
   /// The most recent `n` events, oldest first — the flight-recorder dump.
@@ -145,8 +172,9 @@ class FlightRecorder {
     return chronic_marks_;
   }
 
-  /// Drop all events, marks, counters and causal state. Keeps the enabled
-  /// flag, capacity, clock, and chronic handler.
+  /// Drop all events, marks, counters (including dropped-span accounting)
+  /// and causal state. Keeps the enabled flag, capacity, clock, tap, and
+  /// chronic handler.
   void clear();
 
  private:
@@ -158,11 +186,16 @@ class FlightRecorder {
   std::uint64_t next_id_ = 1;
   std::uint64_t total_ = 0;
   std::uint64_t counts_[kNumTraceEventTypes] = {};
+  std::uint64_t dropped_[kNumErrorScopes] = {};
+  std::uint64_t dropped_total_ = 0;
   std::map<std::uint64_t, std::uint64_t> last_by_job_;
   std::map<std::string, std::uint64_t> last_by_component_;
   std::function<SimTime()> clock_;
+  std::function<void(const TraceEvent&)> tap_;
   std::function<void(const std::string&)> on_chronic_;
   std::vector<std::pair<SimTime, std::string>> chronic_marks_;
+
+  void count_dropped(const TraceEvent& evicted);
 };
 
 /// A cheap component-bound handle for emitting trace events — the tracing

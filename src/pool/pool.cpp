@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/strings.hpp"
+#include "obs/dashboard.hpp"
+#include "obs/export.hpp"
 #include "obs/trace.hpp"
 
 namespace esg::pool {
@@ -41,6 +43,12 @@ Pool::Pool(PoolConfig config)
   if (config_.trace) {
     engine_.context().recorder().set_enabled(true);
     engine_.context().recorder().set_capacity(config_.trace_capacity);
+    // Tap the recorder for the live dashboard aggregate: the aggregator
+    // sees every span before the ring can wrap, so flow counters stay
+    // complete even when the retained journal is truncated.
+    aggregator_ = std::make_unique<obs::ScopeAggregator>(
+        config_.dashboard_slice);
+    aggregator_->attach(engine_.context().recorder());
   }
 
   // Name anonymous machines.
@@ -202,9 +210,17 @@ std::string Pool::status_string() const {
   return out;
 }
 
+std::string Pool::prometheus_str() {
+  if (aggregator_ != nullptr) {
+    obs::register_flow_metrics(flow(), metrics_);
+  }
+  return obs::to_prometheus(recorder(), metrics_.prometheus_str());
+}
+
 PoolReport Pool::report() const {
   PoolReport report;
   report.discipline = config_.discipline.name();
+  report.flow = flow();
   report.network_messages = fabric_.total_messages();
   report.network_bytes = fabric_.total_bytes();
   report.makespan_seconds = engine_.now().as_sec();

@@ -18,8 +18,10 @@
 #include "daemons/startd.hpp"
 #include "fs/simfs.hpp"
 #include "net/fabric.hpp"
+#include "obs/aggregate.hpp"
 #include "pool/report.hpp"
 #include "sim/engine.hpp"
+#include "sim/metrics.hpp"
 
 namespace esg::pool {
 
@@ -59,6 +61,9 @@ struct PoolConfig {
   /// twin of the old FlightRecorder::global().set_enabled(true) dance).
   bool trace = false;
   std::size_t trace_capacity = 8192;
+  /// Time-slice width of the error-flow dashboard aggregate built while
+  /// tracing (see obs/aggregate.hpp); ignored when trace is off.
+  SimTime dashboard_slice = SimTime::minutes(1);
 };
 
 class Pool {
@@ -80,6 +85,23 @@ class Pool {
     return engine_.context().recorder();
   }
   [[nodiscard]] PrincipleAudit& audit() { return engine_.context().audit(); }
+  /// The live error-flow aggregate for this run (dashboards, esg-top);
+  /// empty unless PoolConfig::trace is set. Includes the recorder's
+  /// ring-wrap dropped-span accounting.
+  [[nodiscard]] obs::FlowAggregate flow() const {
+    return aggregator_ ? aggregator_->snapshot() : obs::FlowAggregate{};
+  }
+  /// Live aggregator handle (null when tracing is off) — esg-top polls it.
+  [[nodiscard]] const obs::ScopeAggregator* aggregator() const {
+    return aggregator_.get();
+  }
+  /// The pool's metric registry (experiment harnesses add their own
+  /// counters/gauges/histograms here).
+  [[nodiscard]] sim::MetricsRegistry& metrics() { return metrics_; }
+  /// One combined Prometheus page: registry metrics, trace counters, and —
+  /// when tracing — the current per-scope error-flow counters
+  /// (trace.flow.*), freshly registered from the live aggregate.
+  [[nodiscard]] std::string prometheus_str();
   [[nodiscard]] net::NetworkFabric& fabric() { return fabric_; }
   [[nodiscard]] daemons::Schedd& schedd() { return *schedd_; }
   /// A named submitter's schedd (the primary or an extra); null if absent.
@@ -129,6 +151,10 @@ class Pool {
   };
   std::map<std::string, Machine> machines_;
   std::vector<JobId> submitted_;
+  sim::MetricsRegistry metrics_;
+  /// Declared after engine_, so it detaches its recorder tap before the
+  /// engine (and the recorder inside its context) is torn down.
+  std::unique_ptr<obs::ScopeAggregator> aggregator_;
   bool booted_ = false;
 };
 

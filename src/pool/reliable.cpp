@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/audit.hpp"
+#include "obs/trace.hpp"
 #include "pool/pool.hpp"
 
 namespace esg::pool {
@@ -45,9 +46,27 @@ ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
   result.agreeing = winner->second;
   result.implicit_error_detected = votes.size() > 1;
 
+  // The grid reported success for every replica, so a disagreement is an
+  // *implicit* error surfacing for the first time — record the observation
+  // so the flow dashboards show the end-to-end layer's catches.
+  const obs::TraceSink trace =
+      pool.engine().context().trace("voter@" + pool.submit_fs().host());
+  std::uint64_t observed = 0;
+  const Error disagreement(ErrorKind::kIoError, ErrorScope::kJob,
+                           "replica outputs disagree (silent corruption)");
+  if (result.implicit_error_detected) {
+    observed = trace.implicit(ErrorKind::kIoError, ErrorScope::kJob, 0,
+                              "replica outputs disagree");
+  }
+
   if (winner->second * 2 <= static_cast<int>(outputs.size())) {
-    // Detected but unmaskable: every copy might be the wrong one.
+    // Detected but unmaskable: every copy might be the wrong one. The
+    // condition itself is honestly surfaced to the caller as no_majority.
     result.no_majority = true;
+    if (observed != 0) {
+      trace.delivered(disagreement, 0, "no majority; returned unresolved",
+                      observed);
+    }
     return result;
   }
   if (result.implicit_error_detected) {
@@ -56,6 +75,8 @@ ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
     pool.engine().context().audit().record(Principle::kP1,
                                            AuditOutcome::kApplied,
                                            "vote_outputs");
+    trace.masked(disagreement, 0, "majority vote over replica outputs",
+                 observed);
   }
   result.delivered = true;
   result.output = winner->first;

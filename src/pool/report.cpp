@@ -1,6 +1,7 @@
 #include "pool/report.hpp"
 
 #include "common/strings.hpp"
+#include "obs/dashboard.hpp"
 
 namespace esg::pool {
 
@@ -25,6 +26,17 @@ std::string PoolReport::str() const {
   out += strfmt("makespan                   %.1fs\n", makespan_seconds);
   out += strfmt("mean turnaround            %.1fs\n", mean_turnaround_seconds);
   return out;
+}
+
+std::string PoolReport::dashboard_str(std::string_view title) const {
+  if (flow.empty()) return {};
+  obs::DashboardOptions options;
+  options.title = title.empty() ? discipline : std::string(title);
+  return obs::render_dashboard(flow, options);
+}
+
+std::string PoolReport::dashboard_json(std::string_view label) const {
+  return obs::dashboard_json(flow, label.empty() ? discipline : label);
 }
 
 std::string PoolReport::table_header() {

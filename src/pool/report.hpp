@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "obs/aggregate.hpp"
 
 namespace esg::pool {
 
@@ -49,7 +52,19 @@ struct PoolReport {
   /// Mean time from submit to terminal state, over finished jobs.
   double mean_turnaround_seconds = 0;
 
+  /// The run's error-flow aggregate (empty unless PoolConfig::trace was
+  /// set): per-(scope, machine, kind, disposition) time-sliced counters,
+  /// the data behind dashboard_str()/dashboard_json() and tools/esg-top.
+  obs::FlowAggregate flow;
+
   [[nodiscard]] std::string str() const;
+
+  /// The per-scope / per-machine dashboard table for this run's flow
+  /// (obs::render_dashboard); empty string when tracing was off.
+  [[nodiscard]] std::string dashboard_str(std::string_view title = {}) const;
+  /// Deterministic JSON dashboard dump (obs::dashboard_json); "{}"-shaped
+  /// but fully populated only when tracing was on.
+  [[nodiscard]] std::string dashboard_json(std::string_view label = {}) const;
 
   /// One formatted table row (pairs with table_header()).
   [[nodiscard]] std::string table_row(const std::string& label) const;

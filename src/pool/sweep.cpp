@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 
 namespace esg::pool {
@@ -116,6 +117,16 @@ SweepReport SweepRunner::run(std::vector<SweepCell> cells) const {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
   return sweep;
+}
+
+obs::FlowAggregate SweepReport::merged_flow() const {
+  obs::FlowAggregate merged;
+  for (const CellOutcome& cell : cells) merged.merge(cell.report.flow);
+  return merged;
+}
+
+std::string SweepReport::merged_dashboard_json(const std::string& label) const {
+  return obs::dashboard_json(merged_flow(), label);
 }
 
 const CellOutcome* SweepReport::find(const std::string& label) const {

@@ -65,6 +65,15 @@ struct SweepReport {
   [[nodiscard]] std::string str() const;
   /// The outcome with this label, or null.
   [[nodiscard]] const CellOutcome* find(const std::string& label) const;
+
+  /// Every cell's error-flow aggregate folded into one (submission order,
+  /// so the result is independent of worker scheduling). Empty unless
+  /// cells traced.
+  [[nodiscard]] obs::FlowAggregate merged_flow() const;
+  /// Deterministic JSON dump of merged_flow() — byte-identical for a
+  /// serial and an 8-thread run of the same cells.
+  [[nodiscard]] std::string merged_dashboard_json(
+      const std::string& label = "sweep") const;
 };
 
 /// Runs sweep cells across a work-stealing thread pool. Cells are dealt

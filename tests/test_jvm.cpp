@@ -249,14 +249,14 @@ TEST(JavaIoDiscipline, ConciseNonContractualBecomesJavaError) {
 }
 
 TEST(JavaIoDiscipline, GenericHandsEverythingToTheProgram) {
-  PrincipleAudit::global().reset();
+  PrincipleAudit::global().reset();  // esg-lint: allow(lint/global-singleton)
   const ErrorInterface& contract = ChirpJavaIo::write_contract();
   const JavaThrowable t = classify_io_failure(
       IoDiscipline::kGeneric, contract,
       Error(ErrorKind::kCredentialsExpired, "ticket expired"));
   EXPECT_FALSE(t.is_java_error);  // just another IOException subclass
-  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 1u);
-  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 1u);
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP4), 1u);  // esg-lint: allow(lint/global-singleton)
+  EXPECT_EQ(PrincipleAudit::global().violated(Principle::kP3), 1u);  // esg-lint: allow(lint/global-singleton)
 }
 
 TEST(JavaIo, UncaughtCheckedExceptionBecomesProgramScope) {

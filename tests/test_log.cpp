@@ -11,14 +11,14 @@ struct CapturedLog {
   std::vector<std::string> lines;
 
   CapturedLog() {
-    LogSink::instance().set_writer(
+    LogSink::instance().set_writer(  // esg-lint: allow(lint/global-singleton)
         [this](const std::string& line) { lines.push_back(line); });
-    LogSink::instance().set_level(LogLevel::kTrace);
+    LogSink::instance().set_level(LogLevel::kTrace);  // esg-lint: allow(lint/global-singleton)
   }
   ~CapturedLog() {
-    LogSink::instance().set_level(LogLevel::kOff);
-    LogSink::instance().set_writer([](const std::string&) {});
-    LogSink::instance().clear_clock();
+    LogSink::instance().set_level(LogLevel::kOff);  // esg-lint: allow(lint/global-singleton)
+    LogSink::instance().set_writer([](const std::string&) {});  // esg-lint: allow(lint/global-singleton)
+    LogSink::instance().clear_clock();  // esg-lint: allow(lint/global-singleton)
   }
 };
 
@@ -34,7 +34,7 @@ TEST(Log, ComponentAndMessageAppear) {
 
 TEST(Log, LevelFiltering) {
   CapturedLog capture;
-  LogSink::instance().set_level(LogLevel::kWarn);
+  LogSink::instance().set_level(LogLevel::kWarn);  // esg-lint: allow(lint/global-singleton)
   Logger log("x");
   log.debug("hidden");
   log.info("hidden");
@@ -45,7 +45,7 @@ TEST(Log, LevelFiltering) {
 
 TEST(Log, OffSuppressesEverything) {
   CapturedLog capture;
-  LogSink::instance().set_level(LogLevel::kOff);
+  LogSink::instance().set_level(LogLevel::kOff);  // esg-lint: allow(lint/global-singleton)
   Logger log("x");
   log.error("even errors");
   EXPECT_TRUE(capture.lines.empty());
@@ -53,7 +53,7 @@ TEST(Log, OffSuppressesEverything) {
 
 TEST(Log, ClockPrefixesSimTime) {
   CapturedLog capture;
-  LogSink::instance().set_clock([] { return SimTime::sec(3); });
+  LogSink::instance().set_clock([] { return SimTime::sec(3); });  // esg-lint: allow(lint/global-singleton)
   Logger log("x");
   log.info("tick");
   ASSERT_EQ(capture.lines.size(), 1u);

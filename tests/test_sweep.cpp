@@ -96,6 +96,29 @@ TEST(SweepDeterminism, OneThreadAndEightThreadsAgreeOnEveryCell) {
   }
 }
 
+TEST(SweepDeterminism, MergedDashboardIsByteIdenticalAcrossThreadCounts) {
+  // The dashboards acceptance criterion: the sweep-wide merged error-flow
+  // dump (cells folded in submission order) is byte-identical between a
+  // serial run and an 8-thread run of the same grid.
+  const std::vector<SweepCell> grid = make_grid(4, {0.0, 0.1});
+
+  const SweepReport serial = SweepRunner(1).run(grid);
+  const SweepReport wide = SweepRunner(8).run(grid);
+  const std::string serial_json = serial.merged_dashboard_json("grid");
+  EXPECT_FALSE(serial_json.empty());
+  EXPECT_EQ(serial_json, wide.merged_dashboard_json("grid"));
+
+  // The merged aggregate really carries flow: every cell traced, so the
+  // fold has raised events and the per-cell sums match the merge.
+  const obs::FlowAggregate merged = serial.merged_flow();
+  EXPECT_GT(merged.count(obs::FlowDisposition::kRaised), 0u);
+  std::uint64_t per_cell_events = 0;
+  for (const CellOutcome& cell : serial.cells) {
+    per_cell_events += cell.report.flow.events_seen;
+  }
+  EXPECT_EQ(merged.events_seen, per_cell_events);
+}
+
 TEST(SweepDeterminism, CoexistingPoolsDoNotPerturbEachOther) {
   // Reference: the cell run alone in a quiet process.
   const SweepCell cell = make_cell(23, 0.1);

@@ -1,0 +1,206 @@
+// esg-top: a refreshing per-scope / per-machine error-flow dashboard.
+//
+// Two data sources:
+//   --journal FILE   post-hoc: aggregate a saved esg-journal v1 file
+//                    (obs::journal_str wrote it; see also --journal-out)
+//   --demo MODE      live: run the black-hole example pool (MODE is
+//                    "naive" or "scoped") and redraw the dashboard as the
+//                    simulation advances
+//
+// Modes and outputs:
+//   --once           render a single frame and exit (CI smoke tests)
+//   --json           emit the deterministic JSON dashboard dump instead of
+//                    the ANSI table
+//   --journal-out F  after a demo run, save its journal to F (this is how
+//                    tools/esg-top/demo.journal was generated)
+//   --slice SEC      aggregation slice width in simulated seconds
+//   --seed S, --jobs N, --bad N, --good N   demo pool shape
+//
+// Plain ANSI only (clear + home between frames), no curses.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/dashboard.hpp"
+#include "obs/export.hpp"
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage: %s (--journal FILE | --demo naive|scoped)\n"
+      "          [--once] [--json] [--journal-out FILE] [--slice SEC]\n"
+      "          [--seed S] [--jobs N] [--bad N] [--good N]\n",
+      argv0);
+  return 2;
+}
+
+void clear_screen() { std::fputs("\x1b[H\x1b[2J", stdout); }
+
+int render(const obs::FlowAggregate& aggregate, const std::string& title,
+           bool json, bool color) {
+  if (json) {
+    std::fputs(obs::dashboard_json(aggregate, title).c_str(), stdout);
+  } else {
+    obs::DashboardOptions options;
+    options.title = title;
+    options.color = color;
+    std::fputs(obs::render_dashboard(aggregate, options).c_str(), stdout);
+  }
+  return 0;
+}
+
+int run_journal(const std::string& path, SimTime slice, bool json) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "esg-top: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<obs::Journal> journal = obs::parse_journal(buf.str());
+  if (!journal) {
+    std::fprintf(stderr, "esg-top: %s is not an esg-journal v1 file\n",
+                 path.c_str());
+    return 1;
+  }
+  obs::ScopeAggregator aggregator(slice);
+  aggregator.observe_all(journal->events);
+  obs::FlowAggregate aggregate = aggregator.snapshot();
+  aggregate.dropped_spans = journal->dropped;
+  return render(aggregate, path, json, /*color=*/false);
+}
+
+struct DemoOptions {
+  std::string mode = "scoped";
+  std::uint64_t seed = 42;
+  int jobs = 40;
+  int bad = 2;
+  int good = 6;
+};
+
+int run_demo(const DemoOptions& demo, SimTime slice, bool once, bool json,
+             const std::string& journal_out) {
+  pool::PoolConfig config;
+  config.seed = demo.seed;
+  config.discipline = demo.mode == "naive"
+                          ? daemons::DisciplineConfig::naive()
+                          : daemons::DisciplineConfig::scoped();
+  config.trace = true;
+  config.dashboard_slice = slice;
+  for (int i = 0; i < demo.bad; ++i) {
+    config.machines.push_back(
+        pool::MachineSpec::misconfigured_java("bad" + std::to_string(i)));
+  }
+  for (int i = 0; i < demo.good; ++i) {
+    config.machines.push_back(
+        pool::MachineSpec::good("good" + std::to_string(i)));
+  }
+
+  pool::Pool pool(config);
+  Rng rng(demo.seed);
+  pool::WorkloadOptions workload;
+  workload.count = demo.jobs;
+  workload.mean_compute = SimTime::sec(30);
+  for (auto& job : pool::make_workload(workload, rng)) {
+    pool.submit(std::move(job));
+  }
+
+  const std::string title =
+      demo.mode + " pool, seed " + std::to_string(demo.seed);
+  if (once) {
+    pool.run_until_done(SimTime::hours(8));
+  } else {
+    // Step the simulation one dashboard slice at a time and redraw, so the
+    // flow counters visibly accumulate. Wall pacing is cosmetic.
+    pool.boot();
+    SimTime horizon = pool.engine().now();
+    const SimTime limit = pool.engine().now() + SimTime::hours(8);
+    while (horizon < limit) {
+      horizon += slice;
+      while (pool.engine().step(horizon)) {
+      }
+      clear_screen();
+      render(pool.flow(), title + " @ " + horizon.str(), /*json=*/false,
+             /*color=*/true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      if (pool.engine().pending() == 0) break;
+    }
+  }
+
+  if (!journal_out.empty()) {
+    std::ofstream out(journal_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "esg-top: cannot write %s\n", journal_out.c_str());
+      return 1;
+    }
+    out << obs::journal_str(pool.recorder());
+  }
+  return render(pool.flow(), title, json, /*color=*/!once && !json);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string journal_out;
+  DemoOptions demo;
+  bool have_demo = false;
+  bool once = false;
+  bool json = false;
+  std::int64_t slice_sec = 60;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next_str = [&](std::string& out) {
+      if (i + 1 < argc) out = argv[++i];
+    };
+    auto next_int = [&](int& out) {
+      if (i + 1 < argc) out = std::atoi(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--journal")) {
+      next_str(journal_path);
+    } else if (!std::strcmp(argv[i], "--demo")) {
+      have_demo = true;
+      next_str(demo.mode);
+    } else if (!std::strcmp(argv[i], "--journal-out")) {
+      next_str(journal_out);
+    } else if (!std::strcmp(argv[i], "--once")) {
+      once = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--slice")) {
+      int s = 60;
+      next_int(s);
+      if (s > 0) slice_sec = s;
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      int s = 42;
+      next_int(s);
+      demo.seed = static_cast<std::uint64_t>(s);
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      next_int(demo.jobs);
+    } else if (!std::strcmp(argv[i], "--bad")) {
+      next_int(demo.bad);
+    } else if (!std::strcmp(argv[i], "--good")) {
+      next_int(demo.good);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const SimTime slice = SimTime::sec(slice_sec);
+  if (!journal_path.empty()) return run_journal(journal_path, slice, json);
+  if (have_demo) {
+    if (demo.mode != "naive" && demo.mode != "scoped") return usage(argv[0]);
+    return run_demo(demo, slice, once, json, journal_out);
+  }
+  return usage(argv[0]);
+}
