@@ -7,10 +7,17 @@
 // Sweep: number of misconfigured machines x mitigation strategy
 // (none / startd self-test / schedd avoidance / both), all under the
 // scoped discipline (the paper hit this problem *after* the redesign).
+//
+// The grid is filled through pool::SweepRunner — every (bad, mitigation)
+// cell is an independent engine, so the cells run on all cores — and then
+// re-run serially to assert the parallel fill is byte-identical, which is
+// the determinism contract the chaos campaigns also rely on.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "pool/pool.hpp"
+#include "pool/sweep.hpp"
 #include "pool/workload.hpp"
 
 using namespace esg;
@@ -23,8 +30,12 @@ struct Mitigation {
   bool avoidance;
 };
 
-pool::PoolReport run(int bad, int good, const Mitigation& mitigation,
-                     std::uint64_t seed, int jobs) {
+pool::SweepCell make_cell(int bad, int good, const Mitigation& mitigation,
+                          std::uint64_t seed, int jobs) {
+  pool::SweepCell cell;
+  cell.label = std::to_string(bad) + "/" + mitigation.label;
+  cell.limit = SimTime::hours(12);
+
   pool::PoolConfig config;
   config.seed = seed;
   config.discipline = daemons::DisciplineConfig::scoped();
@@ -38,16 +49,24 @@ pool::PoolReport run(int bad, int good, const Mitigation& mitigation,
     config.machines.push_back(
         pool::MachineSpec::good("good" + std::to_string(i)));
   }
-  pool::Pool pool(config);
-  Rng rng(seed);
-  pool::WorkloadOptions options;
-  options.count = jobs;
-  options.mean_compute = SimTime::sec(30);
-  for (auto& job : pool::make_workload(options, rng)) {
-    pool.submit(std::move(job));
-  }
-  pool.run_until_done(SimTime::hours(12));
-  return pool.report();
+  cell.config = std::move(config);
+
+  cell.setup = [seed, jobs](pool::Pool& pool) {
+    Rng rng(seed);
+    pool::WorkloadOptions options;
+    options.count = jobs;
+    options.mean_compute = SimTime::sec(30);
+    for (auto& job : pool::make_workload(options, rng)) {
+      pool.submit(std::move(job));
+    }
+  };
+  return cell;
+}
+
+/// The determinism fingerprint of one cell: everything the report prints.
+std::string fingerprint(const pool::CellOutcome& cell) {
+  return cell.label + "|" + cell.report.str() + "|" +
+         std::to_string(cell.engine_events);
 }
 
 }  // namespace
@@ -62,37 +81,53 @@ int main() {
       {"both", true, true},
   };
 
+  // Build the grid in submission order; the runner may execute it in any
+  // order on any thread, but SweepReport::cells preserves this order.
+  std::vector<pool::SweepCell> cells;
+  std::vector<int> bad_of;
+  std::vector<const Mitigation*> mitigation_of;
+  for (const int bad : {0, 1, 2, 4}) {
+    for (const Mitigation& mitigation : mitigations) {
+      if (bad == 0 && (mitigation.selftest || mitigation.avoidance)) continue;
+      cells.push_back(make_cell(bad, kGood, mitigation, 7, kJobs));
+      bad_of.push_back(bad);
+      mitigation_of.push_back(&mitigation);
+    }
+  }
+
+  const pool::SweepReport parallel = pool::SweepRunner(0).run(cells);
+
   std::printf(
       "EXP-BH (paper §5): black-hole machines and their mitigations\n"
       "%d good machines, %d jobs; 'attempts' beyond %d and wasted attempts\n"
-      "are the continuous CPU/network waste the paper describes.\n\n",
-      kGood, kJobs, kJobs);
+      "are the continuous CPU/network waste the paper describes.\n"
+      "(grid filled by pool::SweepRunner on %u thread(s), %.2fs wall)\n\n",
+      kGood, kJobs, kJobs, parallel.threads_used, parallel.wall_seconds);
   std::printf("%-4s %-11s %9s %9s %10s %10s %10s %9s\n", "bad", "mitigation",
               "attempts", "wasted", "netMsgs", "netMB", "makespan", "done");
 
   double waste_none = 0;
   double waste_selftest = 0;
   double waste_avoid = 0;
-  for (const int bad : {0, 1, 2, 4}) {
-    for (const Mitigation& mitigation : mitigations) {
-      if (bad == 0 && (mitigation.selftest || mitigation.avoidance)) continue;
-      const pool::PoolReport report = run(bad, kGood, mitigation, 7, kJobs);
-      std::printf("%-4d %-11s %9llu %9llu %10llu %10.2f %9.0fs %8d\n", bad,
-                  mitigation.label,
-                  static_cast<unsigned long long>(report.total_attempts),
-                  static_cast<unsigned long long>(report.incidental_attempts),
-                  static_cast<unsigned long long>(report.network_messages),
-                  static_cast<double>(report.network_bytes) / (1 << 20),
-                  report.makespan_seconds,
-                  report.jobs_total - report.unfinished);
-      if (bad == 4) {
-        if (std::string(mitigation.label) == "none") {
-          waste_none = static_cast<double>(report.incidental_attempts);
-        } else if (std::string(mitigation.label) == "selftest") {
-          waste_selftest = static_cast<double>(report.incidental_attempts);
-        } else if (std::string(mitigation.label) == "avoidance") {
-          waste_avoid = static_cast<double>(report.incidental_attempts);
-        }
+  for (std::size_t i = 0; i < parallel.cells.size(); ++i) {
+    const pool::PoolReport& report = parallel.cells[i].report;
+    const int bad = bad_of[i];
+    const Mitigation& mitigation = *mitigation_of[i];
+    std::printf("%-4d %-11s %9llu %9llu %10llu %10.2f %9.0fs %8d\n", bad,
+                mitigation.label,
+                static_cast<unsigned long long>(report.total_attempts),
+                static_cast<unsigned long long>(report.incidental_attempts),
+                static_cast<unsigned long long>(report.network_messages),
+                static_cast<double>(report.network_bytes) / (1 << 20),
+                report.makespan_seconds,
+                report.jobs_total - report.unfinished);
+    if (bad == 4) {
+      if (std::string(mitigation.label) == "none") {
+        waste_none = static_cast<double>(report.incidental_attempts);
+      } else if (std::string(mitigation.label) == "selftest") {
+        waste_selftest = static_cast<double>(report.incidental_attempts);
+      } else if (std::string(mitigation.label) == "avoidance") {
+        waste_avoid = static_cast<double>(report.incidental_attempts);
       }
     }
   }
@@ -108,5 +143,20 @@ int main() {
   std::printf("  verdict: %s\n",
               shape_ok ? "REPRODUCES the paper's qualitative result"
                        : "DOES NOT match the expected shape");
-  return shape_ok ? 0 : 1;
+
+  // Serial refill: every cell must come back byte-identical, or the
+  // parallel grid above cannot be trusted (nor can any sweep-driven CI
+  // cell's claim to reproduce on a laptop).
+  const pool::SweepReport serial = pool::SweepRunner(1).run(cells);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (fingerprint(parallel.cells[i]) != fingerprint(serial.cells[i])) {
+      std::printf("  DETERMINISM MISMATCH in cell %s\n",
+                  parallel.cells[i].label.c_str());
+      ++mismatches;
+    }
+  }
+  std::printf("  serial-vs-parallel: %zu of %zu cells byte-identical\n",
+              cells.size() - mismatches, cells.size());
+  return shape_ok && mismatches == 0 ? 0 : 1;
 }

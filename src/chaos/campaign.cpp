@@ -1,0 +1,283 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "chaos/inject.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "daemons/config.hpp"
+#include "obs/export.hpp"
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::chaos {
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Oracle verdict for one finished sweep cell: parse the cell's journal
+/// back into events (the same round trip a saved artifact takes) and run
+/// every oracle over it.
+OracleReport judge(const pool::CellOutcome& outcome) {
+  std::vector<obs::TraceEvent> events;
+  if (std::optional<obs::Journal> journal = obs::parse_journal(outcome.journal)) {
+    events = std::move(journal->events);
+  }
+  return evaluate_oracles(outcome.report, outcome.finished, events);
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+pool::SweepCell CampaignRunner::make_cell(const FaultPlan& plan,
+                                          std::string label) {
+  pool::SweepCell cell;
+  cell.label = std::move(label);
+  cell.limit = plan.shape.limit;
+
+  pool::PoolConfig config;
+  config.seed = plan.seed;
+  config.discipline = plan.shape.discipline == "naive"
+                          ? daemons::DisciplineConfig::naive()
+                          : daemons::DisciplineConfig::scoped();
+  if (plan.shape.discipline != "naive") {
+    config.discipline.schedd_avoidance = true;
+  }
+  // All machines good: a fault-free run passes every oracle under either
+  // discipline, so any red cell is attributable to the injected plan — and
+  // a shrunk plan can never be empty.
+  for (int i = 0; i < plan.shape.machines; ++i) {
+    config.machines.push_back(pool::MachineSpec::good(strfmt("exec%d", i)));
+  }
+  config.trace = true;
+  config.trace_capacity = 1 << 16;
+  cell.config = std::move(config);
+
+  cell.setup = [plan](pool::Pool& pool) {
+    pool::stage_workload_inputs(pool);
+    pool::WorkloadOptions workload;
+    workload.count = plan.shape.jobs;
+    workload.mean_compute = plan.shape.mean_compute;
+    // Some remote IO so link and filesystem windows have live traffic to
+    // hit; no workload-side errors (see the all-good-machines note above).
+    workload.remote_io_fraction = 0.25;
+    workload.remote_write_fraction = 0.25;
+    Rng rng = Rng(plan.seed).fork("chaos.workload");
+    for (auto& job : pool::make_workload(workload, rng)) {
+      pool.submit(std::move(job));
+    }
+    Injector::arm(pool, plan);
+  };
+  return cell;
+}
+
+RunResult CampaignRunner::replay(const FaultPlan& plan) {
+  std::vector<pool::SweepCell> cells;
+  cells.push_back(make_cell(plan, "replay"));
+  const pool::SweepReport sweep = pool::SweepRunner(1).run(std::move(cells));
+  const pool::CellOutcome& outcome = sweep.cells.front();
+  RunResult out;
+  out.finished = outcome.finished;
+  out.report = outcome.report;
+  out.oracles = judge(outcome);
+  return out;
+}
+
+FaultPlan CampaignRunner::shrink(const FaultPlan& plan, std::size_t* probes) {
+  std::size_t spent = 0;
+  auto still_fails = [&](const std::vector<FaultAction>& actions) {
+    FaultPlan candidate = plan;
+    candidate.actions = actions;
+    ++spent;
+    return !replay(candidate).ok();
+  };
+
+  // ddmin over the action list. Dropping half of a crash/restart or
+  // partition/heal pair is fine: an orphaned recovery is a no-op, and an
+  // unrecovered crash of one of several good machines is still a plan a
+  // principled pool survives.
+  std::vector<FaultAction> current = plan.actions;
+  std::size_t n = 2;
+  while (current.size() >= 2 && n <= current.size()) {
+    const auto chunk_bounds = [&](std::size_t i) {
+      return std::pair<std::size_t, std::size_t>{i * current.size() / n,
+                                                 (i + 1) * current.size() / n};
+    };
+    bool progressed = false;
+    // Try each chunk alone ("reduce to subset")...
+    for (std::size_t i = 0; i < n && !progressed; ++i) {
+      const auto [begin, end] = chunk_bounds(i);
+      std::vector<FaultAction> subset(current.begin() + begin,
+                                      current.begin() + end);
+      if (!subset.empty() && subset.size() < current.size() &&
+          still_fails(subset)) {
+        current = std::move(subset);
+        n = 2;
+        progressed = true;
+      }
+    }
+    // ...then each chunk removed ("reduce to complement").
+    if (!progressed && n > 2) {
+      for (std::size_t i = 0; i < n && !progressed; ++i) {
+        const auto [begin, end] = chunk_bounds(i);
+        std::vector<FaultAction> complement;
+        for (std::size_t k = 0; k < current.size(); ++k) {
+          if (k < begin || k >= end) complement.push_back(current[k]);
+        }
+        if (complement.size() < current.size() && still_fails(complement)) {
+          current = std::move(complement);
+          n = std::max<std::size_t>(2, n - 1);
+          progressed = true;
+        }
+      }
+    }
+    if (!progressed) {
+      if (n >= current.size()) break;
+      n = std::min(current.size(), 2 * n);
+    }
+  }
+
+  FaultPlan minimized = plan;
+  minimized.actions = std::move(current);
+  if (probes != nullptr) *probes += spent;
+  return minimized;
+}
+
+CampaignResult CampaignRunner::run() const {
+  CampaignResult result;
+  result.seed = options_.seed;
+
+  PlanShape bounds = options_.bounds;
+  bounds.hosts.clear();
+  for (int i = 0; i < options_.shape.machines; ++i) {
+    bounds.hosts.push_back(strfmt("exec%d", i));
+  }
+
+  // Plan seeds come from a dedicated generator over the campaign seed —
+  // never from anything the sweep's scheduling could perturb.
+  Rng seeds(options_.seed);
+  std::vector<FaultPlan> plans;
+  plans.reserve(static_cast<std::size_t>(std::max(options_.plans, 0)));
+  for (int i = 0; i < options_.plans; ++i) {
+    FaultPlan plan = make_random_plan(seeds.next_u64(), bounds);
+    plan.shape = options_.shape;
+    plans.push_back(std::move(plan));
+  }
+
+  std::vector<pool::SweepCell> cells;
+  cells.reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    cells.push_back(make_cell(plans[i], strfmt("plan%zu", i)));
+  }
+  const pool::SweepReport sweep = pool::SweepRunner(options_.threads).run(
+      std::move(cells));
+
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    CellVerdict verdict;
+    verdict.index = i;
+    verdict.plan = plans[i];
+    verdict.finished = sweep.cells[i].finished;
+    verdict.report = sweep.cells[i].report;
+    verdict.oracles = judge(sweep.cells[i]);
+    if (!verdict.oracles.ok()) ++result.failing;
+    result.cells.push_back(std::move(verdict));
+  }
+
+  if (result.failing > 0 && options_.shrink) {
+    // Shrink the first failing cell (lowest index): the choice, and so the
+    // artifact, is independent of which worker finished first.
+    for (const CellVerdict& cell : result.cells) {
+      if (cell.oracles.ok()) continue;
+      result.minimized = shrink(cell.plan, &result.shrink_probes);
+      result.minimized_oracles = replay(*result.minimized).oracles;
+      break;
+    }
+  }
+  return result;
+}
+
+std::string CellVerdict::str() const {
+  std::string line = strfmt(
+      "plan%-3zu seed=%llu actions=%zu makespan=%.0fs unfinished=%d %s", index,
+      static_cast<unsigned long long>(plan.seed), plan.actions.size(),
+      report.makespan_seconds, report.unfinished,
+      oracles.ok() ? "ok" : "FAIL");
+  for (const OracleFailure& failure : oracles.failures) {
+    line += "\n    " + failure.str();
+  }
+  return line;
+}
+
+std::string CampaignResult::str() const {
+  std::ostringstream os;
+  os << "chaos campaign: seed=" << seed << " plans=" << cells.size() << "\n";
+  for (const CellVerdict& cell : cells) os << cell.str() << "\n";
+  os << "verdict: " << failing << " of " << cells.size()
+     << " plan(s) failed an oracle\n";
+  if (minimized.has_value()) {
+    os << "minimized to " << minimized->actions.size() << " action(s) in "
+       << shrink_probes << " replay probe(s); minimized replay: "
+       << (minimized_oracles.ok() ? "ok (SHRINK LOST THE FAILURE)" : "FAIL")
+       << "\n";
+    os << minimized->str();
+  }
+  return os.str();
+}
+
+std::string CampaignResult::json() const {
+  // Hand-rolled and key-ordered: this document is diffed byte-for-byte
+  // across sweep widths, so nothing non-deterministic may leak in.
+  std::ostringstream os;
+  os << "{\"campaign\":{\"seed\":" << seed << ",\"plans\":" << cells.size()
+     << ",\"failing\":" << failing << "},\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellVerdict& cell = cells[i];
+    if (i != 0) os << ",";
+    os << "{\"index\":" << cell.index << ",\"seed\":" << cell.plan.seed
+       << ",\"actions\":" << cell.plan.actions.size()
+       << ",\"finished\":" << (cell.finished ? "true" : "false")
+       << ",\"unfinished\":" << cell.report.unfinished
+       << ",\"ok\":" << (cell.oracles.ok() ? "true" : "false")
+       << ",\"failures\":[";
+    for (std::size_t f = 0; f < cell.oracles.failures.size(); ++f) {
+      if (f != 0) os << ",";
+      os << "\"" << json_escape(cell.oracles.failures[f].str()) << "\"";
+    }
+    os << "]}";
+  }
+  os << "]";
+  if (minimized.has_value()) {
+    os << ",\"minimized\":{\"actions\":" << minimized->actions.size()
+       << ",\"probes\":" << shrink_probes
+       << ",\"replay_ok\":" << (minimized_oracles.ok() ? "true" : "false")
+       << ",\"plan\":\"" << json_escape(minimized->str()) << "\"}";
+  } else {
+    os << ",\"minimized\":null";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace esg::chaos

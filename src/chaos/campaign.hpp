@@ -1,0 +1,114 @@
+// The chaos campaign: seeded fault-plan fan-out, oracles, and shrinking.
+//
+// A campaign draws N random FaultPlans from one seed, runs each plan as an
+// independent pool::SweepRunner cell (trace on, Injector armed during
+// setup), and evaluates the resilience oracles over every cell's report
+// and journal. Because cells are engine-isolated, the campaign's verdicts
+// — and its serialized str()/json() forms — are byte-identical at any
+// thread count: a red cell in an 8-way CI run is the same red cell, same
+// bytes, on a 1-thread laptop.
+//
+// When a plan fails an oracle, the runner replays it (confirming the
+// failure is the plan's, not the scheduler's) and delta-debugs it with
+// ddmin (Zeller & Hildebrandt, "Simplifying and Isolating Failure-Inducing
+// Input") down to a minimal failing action list, serialized as a
+// self-contained esg-faultplan artifact anyone can re-run with
+// tools/esg-chaos --plan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/oracle.hpp"
+#include "chaos/plan.hpp"
+#include "pool/report.hpp"
+#include "pool/sweep.hpp"
+
+namespace esg::chaos {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;  ///< campaign seed; plan seeds are drawn from it
+  int plans = 32;          ///< how many random plans to run
+  unsigned threads = 0;    ///< SweepRunner width (0 = hardware); verdict
+                           ///< bytes do not depend on this
+  PoolShape shape;         ///< the pool every plan targets
+  /// Generator bounds; `hosts` is filled from `shape.machines` at run time.
+  PlanShape bounds;
+  bool shrink = true;      ///< ddmin the first failing plan
+};
+
+/// One campaign cell: the plan that ran and what the oracles said.
+struct CellVerdict {
+  std::size_t index = 0;
+  FaultPlan plan;
+  bool finished = false;
+  pool::PoolReport report;
+  OracleReport oracles;
+
+  /// One table line: "#<idx> seed<seed> <n> action(s): ok|FAIL ...".
+  [[nodiscard]] std::string str() const;
+};
+
+/// One plan replayed in isolation (also the ddmin probe result).
+struct RunResult {
+  bool finished = false;
+  pool::PoolReport report;
+  OracleReport oracles;
+
+  [[nodiscard]] bool ok() const { return oracles.ok(); }
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::vector<CellVerdict> cells;  ///< submission order (plan order)
+  int failing = 0;                 ///< cells with >= 1 oracle failure
+
+  /// Shrink artifacts — set only when a cell failed and shrinking ran.
+  /// The first failing cell (lowest index) is shrunk, so the artifact is
+  /// deterministic too.
+  std::optional<FaultPlan> minimized;
+  OracleReport minimized_oracles;  ///< the minimized plan's replay verdict
+  std::size_t shrink_probes = 0;   ///< ddmin replays spent
+
+  [[nodiscard]] bool all_ok() const { return failing == 0; }
+  /// Human-readable campaign table. Deterministic: no wall-clock, no
+  /// thread count — the 1-thread and 8-thread bytes match.
+  [[nodiscard]] std::string str() const;
+  /// Deterministic JSON document (same thread-independence contract).
+  [[nodiscard]] std::string json() const;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options);
+
+  /// Draw, run, judge, and (if asked) shrink. Plan seeds come from a
+  /// dedicated Rng over options.seed, so campaign N at seed S is the same
+  /// set of plans everywhere.
+  [[nodiscard]] CampaignResult run() const;
+
+  /// Build the SweepCell that executes `plan`: a pool shaped per
+  /// plan.shape (seeded by plan.seed, trace on), a plain compute+remote-IO
+  /// workload drawn from the same seed, and the Injector armed in setup.
+  [[nodiscard]] static pool::SweepCell make_cell(const FaultPlan& plan,
+                                                 std::string label);
+
+  /// Run one plan by itself and evaluate the oracles — the replay path
+  /// behind tools/esg-chaos --plan and every ddmin probe.
+  [[nodiscard]] static RunResult replay(const FaultPlan& plan);
+
+  /// ddmin: shrink `plan` (which must fail some oracle) to a minimal
+  /// action list that still fails. Pair-preserving on nothing — orphaned
+  /// recoveries are harmless no-ops — so the minimum really is minimal.
+  /// `probes`, if given, accumulates the number of replays spent.
+  [[nodiscard]] static FaultPlan shrink(const FaultPlan& plan,
+                                        std::size_t* probes = nullptr);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace esg::chaos

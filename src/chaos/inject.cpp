@@ -1,0 +1,173 @@
+#include "chaos/inject.hpp"
+
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace esg::chaos {
+namespace {
+
+/// The machine's configured base rate, for restoring when a window closes.
+double base_fs_rate(const pool::Pool& pool, const std::string& host,
+                    bool corruption) {
+  for (const pool::MachineSpec& spec : pool.config().machines) {
+    if (spec.name == host) {
+      return corruption ? spec.silent_corruption_rate : spec.fs_fault_rate;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Injector::Injector(pool::Pool& pool, FaultPlan plan)
+    : pool_(pool), plan_(std::move(plan)) {}
+
+std::shared_ptr<Injector> Injector::arm(pool::Pool& pool, FaultPlan plan) {
+  std::shared_ptr<Injector> injector(new Injector(pool, std::move(plan)));
+  // Fork the injection streams now, in plan order, before any event runs:
+  // the draws an armed window will consume are fixed at arm time, not at
+  // whatever state the engine RNG has reached when the window opens.
+  for (const FaultAction& action : injector->plan_.actions) {
+    switch (action.type) {
+      case FaultActionType::kFsFaults:
+      case FaultActionType::kChronic:
+        injector->fs_rng(action.host);
+        break;
+      case FaultActionType::kCorrupt:
+        injector->corrupt_rng(action.host);
+        break;
+      default:
+        break;
+    }
+  }
+  injector->schedule_all(injector);
+  return injector;
+}
+
+Rng& Injector::fs_rng(const std::string& host) {
+  for (auto& [name, rng] : fs_rngs_) {
+    if (name == host) return rng;
+  }
+  fs_rngs_.emplace_back(host,
+                        pool_.engine().rng().fork(rng_streams::chaos_fs(host)));
+  return fs_rngs_.back().second;
+}
+
+Rng& Injector::corrupt_rng(const std::string& host) {
+  for (auto& [name, rng] : corrupt_rngs_) {
+    if (name == host) return rng;
+  }
+  corrupt_rngs_.emplace_back(
+      host, pool_.engine().rng().fork(rng_streams::chaos_corruption(host)));
+  return corrupt_rngs_.back().second;
+}
+
+void Injector::schedule_all(const std::shared_ptr<Injector>& self) {
+  // The timers hold the only strong references the injector needs: once
+  // armed, it lives exactly as long as unfired actions remain (or until
+  // the engine is torn down with its queue).
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    pool_.engine().schedule_at(plan_.actions[i].at, [self, i] {
+      self->apply(self->plan_.actions[i]);
+    });
+    const FaultAction& action = plan_.actions[i];
+    const bool windowed = action.type == FaultActionType::kLink ||
+                          action.type == FaultActionType::kFsFaults ||
+                          action.type == FaultActionType::kCorrupt;
+    if (windowed) {
+      pool_.engine().schedule_at(action.at + action.duration, [self, i] {
+        self->restore(self->plan_.actions[i]);
+      });
+    }
+  }
+}
+
+void Injector::note(const FaultAction& action, const char* phase) {
+  ++fired_;
+  log_.push_back(strfmt("%s %s", phase, action.str().c_str()));
+}
+
+void Injector::apply(const FaultAction& action) {
+  net::NetworkFabric& fabric = pool_.fabric();
+  switch (action.type) {
+    case FaultActionType::kCrash: {
+      // The daemon dies first (its starter aborts the shadow connection —
+      // an escaping error, §3.2), then the host drops off the network.
+      if (daemons::Startd* startd = pool_.startd(action.host)) {
+        startd->shutdown();
+      }
+      fabric.crash_host(action.host);
+      break;
+    }
+    case FaultActionType::kRestart:
+      if (daemons::Startd* startd = pool_.startd(action.host)) {
+        startd->boot();
+      }
+      break;
+    case FaultActionType::kPartition:
+      fabric.set_partitioned(action.host, true);
+      break;
+    case FaultActionType::kHeal:
+      fabric.set_partitioned(action.host, false);
+      break;
+    case FaultActionType::kLink: {
+      net::HostFaults faults = fabric.faults_for(action.host);
+      faults.drop_msg_prob = action.rate;
+      faults.latency += action.extra_latency;
+      fabric.set_host_faults(action.host, faults);
+      break;
+    }
+    case FaultActionType::kFsFaults:
+      if (fs::SimFileSystem* fs = pool_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(action.rate, fs_rng(action.host));
+      }
+      break;
+    case FaultActionType::kCorrupt:
+      if (fs::SimFileSystem* fs = pool_.machine_fs(action.host)) {
+        fs->set_silent_corruption_rate(action.rate, corrupt_rng(action.host));
+      }
+      break;
+    case FaultActionType::kChronic:
+      if (fs::SimFileSystem* fs = pool_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(action.rate, fs_rng(action.host));
+      }
+      pool_.recorder().chronic_failure("chaos: chronic " + action.host);
+      break;
+  }
+  note(action, "apply");
+}
+
+void Injector::restore(const FaultAction& action) {
+  net::NetworkFabric& fabric = pool_.fabric();
+  switch (action.type) {
+    case FaultActionType::kLink: {
+      net::HostFaults faults = fabric.faults_for(action.host);
+      double base_drop = 0;
+      for (const pool::MachineSpec& spec : pool_.config().machines) {
+        if (spec.name == action.host) base_drop = spec.net_faults.drop_msg_prob;
+      }
+      faults.drop_msg_prob = base_drop;
+      faults.latency -= action.extra_latency;
+      fabric.set_host_faults(action.host, faults);
+      break;
+    }
+    case FaultActionType::kFsFaults:
+      if (fs::SimFileSystem* fs = pool_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(base_fs_rate(pool_, action.host, false),
+                                     fs_rng(action.host));
+      }
+      break;
+    case FaultActionType::kCorrupt:
+      if (fs::SimFileSystem* fs = pool_.machine_fs(action.host)) {
+        fs->set_silent_corruption_rate(base_fs_rate(pool_, action.host, true),
+                                       corrupt_rng(action.host));
+      }
+      break;
+    default:
+      break;  // non-windowed actions have nothing to restore
+  }
+  note(action, "restore");
+}
+
+}  // namespace esg::chaos

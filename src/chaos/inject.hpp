@@ -1,0 +1,64 @@
+// The Injector: applies a FaultPlan to a running Pool.
+//
+// Every FaultAction becomes a scheduled SimContext timer on the pool's own
+// engine, so fault arrival is part of the deterministic event order: the
+// same plan against the same pool replays the exact same execution,
+// byte for byte, on any machine and at any pool::SweepRunner width.
+//
+// Hook points, one per action type:
+//   crash/restart -> daemons::Startd::shutdown()/boot() + crash_host
+//   partition/heal -> net::NetworkFabric::set_partitioned
+//   link          -> net::HostFaults drop/latency window (restored after)
+//   fsfaults      -> fs::SimFileSystem::set_transient_fault_rate window
+//   corrupt       -> fs::SimFileSystem::set_silent_corruption_rate window
+//   chronic       -> persistent fs faults + a flight-recorder chronic mark
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "pool/pool.hpp"
+
+namespace esg::chaos {
+
+class Injector {
+ public:
+  /// Schedule every action of `plan` onto `pool`'s engine. Call during
+  /// cell setup (after the Pool is constructed, before it runs); the
+  /// injection RNG streams (rng_streams::chaos_*) are forked here, before
+  /// the first event fires, so arming is part of the deterministic replay.
+  ///
+  /// The returned handle owns the window bookkeeping; the scheduled timers
+  /// keep it alive, so the caller is free to drop it.
+  static std::shared_ptr<Injector> arm(pool::Pool& pool, FaultPlan plan);
+
+  /// Actions fired so far (recoveries and window closings included).
+  [[nodiscard]] std::size_t fired() const { return fired_; }
+  /// One line per fired action, in firing order — the injection log a
+  /// failing artifact prints alongside the plan.
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  Injector(pool::Pool& pool, FaultPlan plan);
+
+  void schedule_all(const std::shared_ptr<Injector>& self);
+  void apply(const FaultAction& action);
+  void restore(const FaultAction& action);
+  void note(const FaultAction& action, const char* phase);
+
+  pool::Pool& pool_;
+  FaultPlan plan_;
+  /// Forked per victim host at arm() time, in plan order.
+  std::vector<std::pair<std::string, Rng>> fs_rngs_;
+  std::vector<std::pair<std::string, Rng>> corrupt_rngs_;
+  std::size_t fired_ = 0;
+  std::vector<std::string> log_;
+
+  Rng& fs_rng(const std::string& host);
+  Rng& corrupt_rng(const std::string& host);
+};
+
+}  // namespace esg::chaos

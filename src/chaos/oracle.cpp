@@ -1,0 +1,148 @@
+#include "chaos/oracle.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "core/error.hpp"
+#include "obs/checker.hpp"
+
+namespace esg::chaos {
+namespace {
+
+constexpr std::string_view kOracleNames[kNumOracles] = {
+    "principles",
+    "escapes-consumed",
+    "no-lost-job",
+    "attribution",
+    "conservation",
+};
+
+/// Keep failure lists bounded: the first few concrete witnesses plus a
+/// count beat five hundred near-identical lines in a CI log.
+constexpr std::size_t kMaxWitnesses = 5;
+
+std::string_view principle_name(Principle p) {
+  switch (p) {
+    case Principle::kP1: return "P1";
+    case Principle::kP2: return "P2";
+    case Principle::kP3: return "P3";
+    case Principle::kP4: return "P4";
+  }
+  return "?";
+}
+
+void add_bounded(OracleReport& out, OracleId id,
+                 const std::vector<std::string>& witnesses) {
+  for (std::size_t i = 0; i < witnesses.size() && i < kMaxWitnesses; ++i) {
+    out.failures.push_back({id, witnesses[i]});
+  }
+  if (witnesses.size() > kMaxWitnesses) {
+    out.failures.push_back(
+        {id, strfmt("... and %zu more", witnesses.size() - kMaxWitnesses)});
+  }
+}
+
+}  // namespace
+
+std::string_view oracle_name(OracleId id) {
+  return kOracleNames[static_cast<std::size_t>(id)];
+}
+
+std::string OracleFailure::str() const {
+  return std::string(oracle_name(oracle)) + ": " + message;
+}
+
+bool OracleReport::failed(OracleId id) const {
+  for (const OracleFailure& failure : failures) {
+    if (failure.oracle == id) return true;
+  }
+  return false;
+}
+
+std::string OracleReport::str() const {
+  if (ok()) return "ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (i != 0) os << "\n";
+    os << failures[i].str();
+  }
+  return os.str();
+}
+
+OracleReport evaluate_oracles(const pool::PoolReport& report, bool finished,
+                              const std::vector<obs::TraceEvent>& journal) {
+  OracleReport out;
+  out.events_checked = journal.size();
+
+  // principles: P1-P4 over the recorded causal history.
+  {
+    const obs::CheckReport check = obs::PrincipleChecker().check(journal);
+    std::vector<std::string> witnesses;
+    for (const obs::Violation& violation : check.violations) {
+      witnesses.push_back(std::string(principle_name(violation.principle)) +
+                          ": " + violation.message);
+    }
+    add_bounded(out, OracleId::kPrinciples, witnesses);
+  }
+
+  // escapes-consumed: every escaping-form span must have a causal
+  // descendant — an escaping error nobody caught evaporated at its
+  // manager's doorstep.
+  {
+    std::set<std::uint64_t> parents;
+    for (const obs::TraceEvent& event : journal) {
+      if (event.parent != 0) parents.insert(event.parent);
+    }
+    std::vector<std::string> witnesses;
+    for (const obs::TraceEvent& event : journal) {
+      if (event.form != obs::ErrorForm::kEscaping) continue;
+      if (parents.count(event.id) != 0) continue;
+      witnesses.push_back(strfmt(
+          "escaping span %llu (%s at %s, job %llu) has no consumer",
+          static_cast<unsigned long long>(event.id),
+          std::string(kind_name(event.kind)).c_str(), event.component.c_str(),
+          static_cast<unsigned long long>(event.job)));
+    }
+    add_bounded(out, OracleId::kEscapesConsumed, witnesses);
+  }
+
+  // no-lost-job: the run must have drained — every job terminal, with an
+  // explicit program result, an explicit job-scope verdict, or an explicit
+  // give-up. Unfinished jobs at the budget are silent losses.
+  if (!finished || report.unfinished > 0) {
+    out.failures.push_back(
+        {OracleId::kNoLostJob,
+         strfmt("%d of %d job(s) never reached a terminal state",
+                report.unfinished, report.jobs_total)});
+  }
+
+  // attribution: a job result reflecting an incidental condition means an
+  // escaping error leaked past every scope manager to the user's lap —
+  // the pool billed its own environment's failure to the job.
+  if (report.user_incidental_exposures > 0) {
+    out.failures.push_back(
+        {OracleId::kAttribution,
+         strfmt("%d job(s) handed an incidental (environmental) error as "
+                "their result",
+                report.user_incidental_exposures)});
+  }
+
+  // conservation: the terminal categories must partition jobs_total.
+  {
+    const int accounted = report.completed_genuine +
+                          report.completed_program_error +
+                          report.user_incidental_exposures +
+                          report.unexecutable + report.unfinished;
+    if (accounted != report.jobs_total) {
+      out.failures.push_back(
+          {OracleId::kConservation,
+           strfmt("categories sum to %d but jobs_total is %d", accounted,
+                  report.jobs_total)});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace esg::chaos

@@ -1,0 +1,72 @@
+// Resilience oracles: what "degraded gracefully" means, as predicates.
+//
+// A chaos run proves nothing by itself — the paper's claim is that a pool
+// designed per P1-P4 survives *any* fault with its error structure intact.
+// These oracles state that claim as machine-checked invariants over one
+// finished run's PoolReport and flight-recorder journal:
+//
+//   principles        The recorded causal history obeys P1-P4
+//                     (obs::PrincipleChecker over the journal).
+//   escapes-consumed  No escaping error evaporated: every escaping-form
+//                     span has a causal descendant — some layer caught the
+//                     broken connection / thrown error and carried on.
+//   no-lost-job       Every submitted job reached a terminal state with an
+//                     explicit result or an explicit give-up inside the
+//                     run's time budget: no job silently lost.
+//   attribution       No incidental (environmental) error was exposed to
+//                     the user as the job's own result — the ground-truth
+//                     form of "consumed at its manager scope": a crashed
+//                     machine is the pool's error to absorb, not the
+//                     user's to debug (§6's misattribution failure).
+//   conservation      The report's terminal categories partition
+//                     jobs_total — the bookkeeping itself cannot leak.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "pool/report.hpp"
+
+namespace esg::chaos {
+
+enum class OracleId {
+  kPrinciples,
+  kEscapesConsumed,
+  kNoLostJob,
+  kAttribution,
+  kConservation,
+};
+
+inline constexpr std::size_t kNumOracles = 5;
+
+std::string_view oracle_name(OracleId id);
+
+struct OracleFailure {
+  OracleId oracle = OracleId::kPrinciples;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct OracleReport {
+  std::vector<OracleFailure> failures;
+  std::size_t events_checked = 0;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  /// True if any failure came from `id`.
+  [[nodiscard]] bool failed(OracleId id) const;
+  /// "ok" or one line per failure — deterministic, for fingerprints.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Evaluate every oracle over one finished run. `finished` is
+/// run_until_done's verdict; `journal` is the run's recorded span history
+/// (live recorder events or a parsed esg-journal file — the verdict is the
+/// same, which is what makes CI campaign cells replayable on a laptop).
+OracleReport evaluate_oracles(const pool::PoolReport& report, bool finished,
+                              const std::vector<obs::TraceEvent>& journal);
+
+}  // namespace esg::chaos

@@ -1,0 +1,304 @@
+#include "chaos/plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace esg::chaos {
+namespace {
+
+constexpr std::string_view kPlanHeader = "# esg-faultplan v1";
+
+constexpr std::string_view kActionNames[kNumFaultActionTypes] = {
+    "crash", "restart", "partition", "heal",
+    "link",  "fsfaults", "corrupt",  "chronic",
+};
+
+template <typename Int>
+bool parse_int(std::string_view s, Int& out) {
+  if (s.empty()) return false;
+  Int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_rate(std::string_view s, double& out) {
+  const std::string copy(s);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  if (value < 0 || value > 1) return false;
+  out = value;
+  return true;
+}
+
+/// Rates are always drawn in whole percent, so "%.2f" round-trips exactly:
+/// both k/100.0 and strtod("0.0k") are the correctly rounded double.
+std::string rate_str(double rate) { return strfmt("%.2f", rate); }
+
+}  // namespace
+
+std::string_view action_name(FaultActionType type) {
+  return kActionNames[static_cast<std::size_t>(type)];
+}
+
+std::optional<FaultActionType> parse_action(std::string_view name) {
+  for (std::size_t i = 0; i < kNumFaultActionTypes; ++i) {
+    if (kActionNames[i] == name) return static_cast<FaultActionType>(i);
+  }
+  return std::nullopt;
+}
+
+std::string FaultAction::str() const {
+  std::string out = strfmt("%lld %s %s", static_cast<long long>(at.as_usec()),
+                           std::string(action_name(type)).c_str(),
+                           host.c_str());
+  switch (type) {
+    case FaultActionType::kCrash:
+    case FaultActionType::kRestart:
+    case FaultActionType::kPartition:
+    case FaultActionType::kHeal:
+      break;
+    case FaultActionType::kLink:
+      out += strfmt(" rate=%s duration-usec=%lld latency-usec=%lld",
+                    rate_str(rate).c_str(),
+                    static_cast<long long>(duration.as_usec()),
+                    static_cast<long long>(extra_latency.as_usec()));
+      break;
+    case FaultActionType::kFsFaults:
+    case FaultActionType::kCorrupt:
+      out += strfmt(" rate=%s duration-usec=%lld", rate_str(rate).c_str(),
+                    static_cast<long long>(duration.as_usec()));
+      break;
+    case FaultActionType::kChronic:
+      out += strfmt(" rate=%s", rate_str(rate).c_str());
+      break;
+  }
+  return out;
+}
+
+std::string FaultPlan::str() const {
+  std::ostringstream os;
+  os << kPlanHeader << "\n";
+  os << "# seed " << seed << "\n";
+  os << "# pool discipline=" << shape.discipline
+     << " machines=" << shape.machines << " jobs=" << shape.jobs
+     << " mean-compute-usec=" << shape.mean_compute.as_usec()
+     << " limit-usec=" << shape.limit.as_usec() << "\n";
+  for (const FaultAction& action : actions) os << action.str() << "\n";
+  return os.str();
+}
+
+std::optional<FaultPlan> parse_plan(std::string_view text) {
+  FaultPlan plan;
+  bool saw_header = false;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    start = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+
+    if (!saw_header) {
+      if (line != kPlanHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+
+    if (line.starts_with("# seed ")) {
+      if (!parse_int(line.substr(7), plan.seed)) return std::nullopt;
+      continue;
+    }
+    if (line.starts_with("# pool ")) {
+      for (const std::string& field : split(line.substr(7), ' ')) {
+        if (field.empty()) continue;
+        const std::size_t eq = field.find('=');
+        if (eq == std::string::npos) return std::nullopt;
+        const std::string_view key = std::string_view(field).substr(0, eq);
+        const std::string_view value = std::string_view(field).substr(eq + 1);
+        std::int64_t usec = 0;
+        if (key == "discipline") {
+          if (value != "scoped" && value != "naive") return std::nullopt;
+          plan.shape.discipline = std::string(value);
+        } else if (key == "machines") {
+          if (!parse_int(value, plan.shape.machines)) return std::nullopt;
+        } else if (key == "jobs") {
+          if (!parse_int(value, plan.shape.jobs)) return std::nullopt;
+        } else if (key == "mean-compute-usec") {
+          if (!parse_int(value, usec)) return std::nullopt;
+          plan.shape.mean_compute = SimTime::usec(usec);
+        } else if (key == "limit-usec") {
+          if (!parse_int(value, usec)) return std::nullopt;
+          plan.shape.limit = SimTime::usec(usec);
+        } else {
+          return std::nullopt;
+        }
+      }
+      continue;
+    }
+    if (line.starts_with('#')) continue;  // future header extensions
+
+    const std::vector<std::string> fields = split(line, ' ');
+    if (fields.size() < 3) return std::nullopt;
+    FaultAction action;
+    std::int64_t usec = 0;
+    if (!parse_int(fields[0], usec)) return std::nullopt;
+    action.at = SimTime::usec(usec);
+    const std::optional<FaultActionType> type = parse_action(fields[1]);
+    if (!type) return std::nullopt;
+    action.type = *type;
+    action.host = fields[2];
+    for (std::size_t i = 3; i < fields.size(); ++i) {
+      const std::size_t eq = fields[i].find('=');
+      if (eq == std::string::npos) return std::nullopt;
+      const std::string_view key = std::string_view(fields[i]).substr(0, eq);
+      const std::string_view value =
+          std::string_view(fields[i]).substr(eq + 1);
+      if (key == "rate") {
+        if (!parse_rate(value, action.rate)) return std::nullopt;
+      } else if (key == "duration-usec") {
+        if (!parse_int(value, usec)) return std::nullopt;
+        action.duration = SimTime::usec(usec);
+      } else if (key == "latency-usec") {
+        if (!parse_int(value, usec)) return std::nullopt;
+        action.extra_latency = SimTime::usec(usec);
+      } else {
+        return std::nullopt;
+      }
+    }
+    plan.actions.push_back(std::move(action));
+  }
+  if (!saw_header) return std::nullopt;
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FaultPlan make_random_plan(std::uint64_t seed, const PlanShape& shape) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (shape.hosts.empty() || shape.max_actions < 1) return plan;
+  Rng rng(seed);
+
+  // Destructive actions stay disjoint per host: overlapping a restart with
+  // a second crash of the same machine would make the plan's meaning (and
+  // the injector's bookkeeping) ambiguous.
+  struct Interval {
+    std::int64_t lo, hi;
+  };
+  std::vector<std::vector<Interval>> busy(shape.hosts.size());
+  bool chronic_used = false;
+
+  const std::int64_t floor_usec = SimTime::sec(1).as_usec();
+  const std::int64_t horizon_usec =
+      std::max(shape.horizon.as_usec(), floor_usec + 1);
+
+  const int primaries = static_cast<int>(rng.uniform_int(
+      std::max(shape.min_actions, 1), std::max(shape.max_actions, 1)));
+  for (int i = 0; i < primaries; ++i) {
+    // Bounded, deterministic retries: a draw that would overlap (or a
+    // second chronic) is discarded and redrawn; persistent bad luck skips
+    // the primary rather than looping forever.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      static constexpr FaultActionType kKinds[] = {
+          FaultActionType::kCrash,    FaultActionType::kPartition,
+          FaultActionType::kLink,     FaultActionType::kFsFaults,
+          FaultActionType::kCorrupt,  FaultActionType::kChronic,
+      };
+      static const std::vector<double> kWeights = {2, 2, 3, 3, 1, 1};
+      const FaultActionType type = kKinds[rng.weighted_index(kWeights)];
+      const std::size_t victim = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(shape.hosts.size()) - 1));
+      const std::int64_t at =
+          rng.uniform_int(floor_usec, horizon_usec);
+      const std::int64_t outage = rng.uniform_int(
+          std::max<std::int64_t>(shape.min_outage.as_usec(), 1),
+          std::max(shape.max_outage.as_usec(), shape.min_outage.as_usec()));
+
+      // At most one chronic host per plan, and only with a spare machine
+      // left healthy — the generator's survivability contract.
+      if (type == FaultActionType::kChronic &&
+          (chronic_used || shape.hosts.size() < 2)) {
+        continue;
+      }
+      const std::int64_t hi = type == FaultActionType::kChronic
+                                  ? SimTime::max().as_usec()
+                                  : at + outage;
+      bool overlaps = false;
+      for (const Interval& iv : busy[victim]) {
+        if (at <= iv.hi && iv.lo <= hi) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      busy[victim].push_back({at, hi});
+
+      FaultAction action;
+      action.at = SimTime::usec(at);
+      action.host = shape.hosts[victim];
+      action.type = type;
+      switch (type) {
+        case FaultActionType::kCrash: {
+          plan.actions.push_back(action);
+          FaultAction recover = action;
+          recover.type = FaultActionType::kRestart;
+          recover.at = SimTime::usec(at + outage);
+          plan.actions.push_back(std::move(recover));
+          break;
+        }
+        case FaultActionType::kPartition: {
+          plan.actions.push_back(action);
+          FaultAction recover = action;
+          recover.type = FaultActionType::kHeal;
+          recover.at = SimTime::usec(at + outage);
+          plan.actions.push_back(std::move(recover));
+          break;
+        }
+        case FaultActionType::kLink:
+          action.rate = static_cast<double>(rng.uniform_int(5, 50)) / 100.0;
+          action.duration = SimTime::usec(outage);
+          action.extra_latency = SimTime::msec(rng.uniform_int(1, 50));
+          plan.actions.push_back(std::move(action));
+          break;
+        case FaultActionType::kFsFaults:
+          action.rate = static_cast<double>(rng.uniform_int(10, 80)) / 100.0;
+          action.duration = SimTime::usec(outage);
+          plan.actions.push_back(std::move(action));
+          break;
+        case FaultActionType::kCorrupt:
+          action.rate = static_cast<double>(rng.uniform_int(5, 30)) / 100.0;
+          action.duration = SimTime::usec(outage);
+          plan.actions.push_back(std::move(action));
+          break;
+        case FaultActionType::kChronic:
+          action.rate = static_cast<double>(rng.uniform_int(50, 90)) / 100.0;
+          chronic_used = true;
+          plan.actions.push_back(std::move(action));
+          break;
+        case FaultActionType::kRestart:
+        case FaultActionType::kHeal:
+          break;  // never drawn directly
+      }
+      break;
+    }
+  }
+
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace esg::chaos

@@ -1,0 +1,121 @@
+// Declarative fault plans: the chaos harness's schedule language.
+//
+// The resilience-pattern literature (Hukerikar & Engelmann's pattern
+// language for HPC resilience) argues faults should come from declarative,
+// replayable schedules rather than hand-sprinkled knobs. A FaultPlan is
+// exactly that: a deterministic, serializable list of typed fault actions
+// (crash/restart a host's daemon, partition/heal, degrade a link, arm
+// filesystem IoError/corruption windows, mark a machine chronically bad)
+// stamped with the seed that produced it and the pool shape it targets, so
+// a failing cell from a CI campaign reproduces byte-identically anywhere
+// from the plan file alone (see tools/esg-chaos --plan).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/simtime.hpp"
+
+namespace esg::chaos {
+
+/// One typed fault. Destructive actions are paired with their recovery by
+/// the generator (kCrash with kRestart, kPartition with kHeal, windows
+/// carry a duration) so that a pool designed per P1-P4 can always finish.
+enum class FaultActionType {
+  kCrash,      ///< crash the host: break its connections, kill its daemon
+  kRestart,    ///< boot the crashed host's daemon again
+  kPartition,  ///< network-partition the host (in-flight conns break lazily)
+  kHeal,       ///< heal the host's partition
+  kLink,       ///< degrade the host's links: drop rate + added latency window
+  kFsFaults,   ///< transient-IoError window on the host's filesystem
+  kCorrupt,    ///< silent-corruption window on the host's filesystem (§5)
+  kChronic,    ///< mark the machine chronically bad: persistent fs faults
+};
+
+inline constexpr std::size_t kNumFaultActionTypes = 8;
+
+std::string_view action_name(FaultActionType type);
+/// Parse names produced by action_name(). Plan files cross a trust
+/// boundary, so unknown names yield nullopt rather than a default.
+std::optional<FaultActionType> parse_action(std::string_view name);
+
+struct FaultAction {
+  SimTime at{};                    ///< when the fault fires (simulated time)
+  FaultActionType type = FaultActionType::kLink;
+  std::string host;                ///< the victim machine
+  double rate = 0;                 ///< drop / fault / corruption probability
+  SimTime duration{};              ///< window length (kLink/kFsFaults/kCorrupt)
+  SimTime extra_latency{};         ///< added link latency (kLink only)
+
+  /// One plan line: "<at-usec> <action> <host> [k=v ...]".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
+
+/// The pool the plan was drawn against — embedded in the plan file so a
+/// saved artifact is a self-contained repro (same discipline, machines,
+/// workload, and time limit on any host).
+struct PoolShape {
+  std::string discipline = "scoped";  ///< "scoped" (with avoidance) or "naive"
+  int machines = 4;                   ///< good execution machines exec0..N-1
+  int jobs = 24;                      ///< make_workload batch size
+  SimTime mean_compute = SimTime::sec(30);
+  SimTime limit = SimTime::hours(8);  ///< run_until_done budget
+
+  friend bool operator==(const PoolShape&, const PoolShape&) = default;
+};
+
+struct FaultPlan {
+  /// The seed this plan was drawn from; also seeds the cell's pool and
+  /// workload, so plan identity pins the whole run.
+  std::uint64_t seed = 0;
+  PoolShape shape;
+  std::vector<FaultAction> actions;  ///< sorted by (at, insertion order)
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+
+  /// The esg-faultplan v1 document (see parse_plan for the grammar).
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Parse an esg-faultplan v1 document:
+///
+///   # esg-faultplan v1
+///   # seed <u64>
+///   # pool discipline=<name> machines=<n> jobs=<n> mean-compute-usec=<i64>
+///       limit-usec=<i64>
+///   <at-usec> <action> <host> [rate=<f>] [duration-usec=<i64>]
+///       [latency-usec=<i64>]
+///
+/// Strict: a missing header, malformed line, or unknown action/key yields
+/// nullopt rather than a half-parsed plan.
+std::optional<FaultPlan> parse_plan(std::string_view text);
+
+/// Bounds for the seeded plan generator.
+struct PlanShape {
+  std::vector<std::string> hosts;  ///< candidate victims (execution machines)
+  int min_actions = 1;             ///< primary actions (recoveries add more)
+  int max_actions = 4;
+  /// Last primary action fires before this; every recovery lands within
+  /// horizon + max_outage, leaving the rest of the run to drain cleanly.
+  /// The default sits inside the default PoolShape's busy period (~3-4
+  /// simulated minutes), so faults hit live work, not a drained pool.
+  SimTime horizon = SimTime::minutes(2);
+  SimTime min_outage = SimTime::sec(5);   ///< shortest window / downtime
+  SimTime max_outage = SimTime::minutes(2);
+};
+
+/// Draw a deterministic random plan: same seed, same shape -> the same
+/// plan, bit for bit. Destructive actions never overlap on one host, every
+/// crash is restarted, every partition healed, every window closed, and at
+/// least one host is never marked chronic — the generator's survivability
+/// contract (the resilience oracles then check the pool held up its end).
+FaultPlan make_random_plan(std::uint64_t seed, const PlanShape& shape);
+
+}  // namespace esg::chaos

@@ -64,4 +64,45 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Pinned fork labels for every fault-injection stream in the simulation.
+///
+/// Fault injection must replay identically for a given seed no matter who
+/// else is running: a chaos::FaultPlan replayed on a laptop, inside a
+/// 1-thread sweep, or on an 8-thread pool::SweepRunner must consume the
+/// exact same random draws. Two rules make that hold:
+///
+///   1. Every injection stream is forked by one of these labels from its
+///      own engine's RNG — never from process-wide state — so sibling
+///      simulations cannot perturb each other.
+///   2. The labels are pinned here, in one place, so a renamed component
+///      cannot silently re-key a stream and change every replay.
+///
+/// tests/test_chaos.cpp carries the regression test: the same seed yields
+/// identical fault draws at any SweepRunner thread count.
+namespace rng_streams {
+
+/// NetworkFabric's connect/latency/drop draws (net/fabric.cpp).
+inline constexpr const char* kNetworkFabric = "network-fabric";
+
+/// Per-host transient-IoError injection (PoolConfig fs_fault_rate).
+inline std::string fs_faults(const std::string& host) { return "fs@" + host; }
+
+/// Per-host silent-corruption injection (silent_corruption_rate).
+inline std::string fs_corruption(const std::string& host) {
+  return "corrupt@" + host;
+}
+
+/// chaos::Injector's IoError windows — distinct from fs_faults so an armed
+/// window never steals draws from a pool-configured base rate.
+inline std::string chaos_fs(const std::string& host) {
+  return "chaos.fs@" + host;
+}
+
+/// chaos::Injector's corruption windows.
+inline std::string chaos_corruption(const std::string& host) {
+  return "chaos.corrupt@" + host;
+}
+
+}  // namespace rng_streams
+
 }  // namespace esg

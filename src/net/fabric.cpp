@@ -86,7 +86,7 @@ void Endpoint::abort(Error error) {
 // ---- NetworkFabric ----
 
 NetworkFabric::NetworkFabric(sim::Engine& engine)
-    : engine_(engine), rng_(engine.rng().fork("network-fabric")) {}
+    : engine_(engine), rng_(engine.rng().fork(rng_streams::kNetworkFabric)) {}
 
 Result<void> NetworkFabric::listen(const Address& addr,
                                    std::function<void(Endpoint)> on_accept) {

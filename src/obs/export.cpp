@@ -307,4 +307,13 @@ std::optional<Journal> parse_journal(std::string_view text) {
   return journal;
 }
 
+std::optional<Journal> parse_journal_prefix(std::string_view text,
+                                            std::size_t* consumed) {
+  const std::size_t last_nl = text.rfind('\n');
+  const std::size_t end = last_nl == std::string_view::npos ? 0 : last_nl + 1;
+  std::optional<Journal> journal = parse_journal(text.substr(0, end));
+  if (journal.has_value() && consumed != nullptr) *consumed = end;
+  return journal;
+}
+
 }  // namespace esg::obs

@@ -65,4 +65,14 @@ struct Journal {
 /// unknown enum name yields nullopt rather than a half-parsed journal.
 std::optional<Journal> parse_journal(std::string_view text);
 
+/// Tolerant variant for tailing a journal another process is still
+/// appending to (tools/esg-top --follow): parses the longest prefix of
+/// *complete* lines and ignores a torn trailing line (bytes after the
+/// last '\n' — a write caught mid-flight), leaving it for the next read.
+/// `consumed`, if given, receives the number of bytes actually parsed.
+/// Malformed complete lines are still an error, exactly as in
+/// parse_journal.
+std::optional<Journal> parse_journal_prefix(std::string_view text,
+                                            std::size_t* consumed = nullptr);
+
 }  // namespace esg::obs

@@ -71,7 +71,7 @@ Pool::Pool(PoolConfig config)
   if (config_.submit.fs_fault_rate > 0) {
     submit_fs_->set_transient_fault_rate(
         config_.submit.fs_fault_rate,
-        engine_.rng().fork("fs@" + config_.submit.name));
+        engine_.rng().fork(rng_streams::fs_faults(config_.submit.name)));
   }
   schedd_ = std::make_unique<daemons::Schedd>(
       engine_, fabric_, *submit_fs_, config_.submit.name, config_.discipline,
@@ -85,7 +85,7 @@ Pool::Pool(PoolConfig config)
     (void)submitter.fs->mkdirs("/spool");
     if (spec.fs_fault_rate > 0) {
       submitter.fs->set_transient_fault_rate(
-          spec.fs_fault_rate, engine_.rng().fork("fs@" + spec.name));
+          spec.fs_fault_rate, engine_.rng().fork(rng_streams::fs_faults(spec.name)));
     }
     submitter.schedd = std::make_unique<daemons::Schedd>(
         engine_, fabric_, *submitter.fs, spec.name, config_.discipline,
@@ -103,12 +103,12 @@ Pool::Pool(PoolConfig config)
     machine.fs->add_mount("/scratch", spec.startd.scratch_capacity_bytes);
     if (spec.fs_fault_rate > 0) {
       machine.fs->set_transient_fault_rate(
-          spec.fs_fault_rate, engine_.rng().fork("fs@" + spec.name));
+          spec.fs_fault_rate, engine_.rng().fork(rng_streams::fs_faults(spec.name)));
     }
     if (spec.silent_corruption_rate > 0) {
       machine.fs->set_silent_corruption_rate(
           spec.silent_corruption_rate,
-          engine_.rng().fork("corrupt@" + spec.name));
+          engine_.rng().fork(rng_streams::fs_corruption(spec.name)));
     }
     machine.startd = std::make_unique<daemons::Startd>(
         engine_, fabric_, *machine.fs, spec.name, spec.startd,

@@ -63,6 +63,7 @@ CellOutcome run_cell(const SweepCell& cell, std::size_t index) {
   if (cell.config.trace) {
     out.trace_events = pool.recorder().total_recorded();
     out.trace_dump = obs::render_dump(pool.recorder().events(), out.label);
+    out.journal = obs::journal_str(pool.recorder());
   }
   return out;
 }

@@ -51,6 +51,11 @@ struct CellOutcome {
   /// Human-readable journal dump (empty unless config.trace was set).
   /// Deterministic per seed — the byte-identity witness for tests.
   std::string trace_dump;
+  /// The same retained spans as a machine-readable esg-journal v1 document
+  /// (obs::parse_journal reads it back). Post-hoc consumers — the chaos
+  /// harness's resilience oracles, esg-top --journal — evaluate over this,
+  /// so a cell's verdict can be recomputed anywhere from its outcome alone.
+  std::string journal;
   std::uint64_t trace_events = 0;
   /// Engine events executed — a cheap determinism fingerprint.
   std::uint64_t engine_events = 0;

@@ -1,0 +1,312 @@
+// Unit tests for the chaos harness: the FaultPlan DSL and its generator,
+// the Injector, the resilience oracles, the campaign runner's
+// thread-count-independent determinism, and the pinned fault-injection RNG
+// stream ids (common/rng.hpp rng_streams) that determinism rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/inject.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/plan.hpp"
+#include "common/rng.hpp"
+#include "pool/pool.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::chaos {
+namespace {
+
+PlanShape small_shape() {
+  PlanShape shape;
+  shape.hosts = {"exec0", "exec1", "exec2", "exec3"};
+  return shape;
+}
+
+// ---- plan DSL ----
+
+TEST(FaultPlan, GeneratorIsDeterministic) {
+  const FaultPlan a = make_random_plan(1234, small_shape());
+  const FaultPlan b = make_random_plan(1234, small_shape());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.str(), b.str());
+  const FaultPlan c = make_random_plan(1235, small_shape());
+  EXPECT_NE(a.str(), c.str());
+}
+
+TEST(FaultPlan, RoundTripsThroughText) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 999ull, 31337ull}) {
+    const FaultPlan plan = make_random_plan(seed, small_shape());
+    ASSERT_FALSE(plan.empty());
+    std::optional<FaultPlan> parsed = parse_plan(plan.str());
+    ASSERT_TRUE(parsed.has_value()) << plan.str();
+    EXPECT_EQ(plan, *parsed) << plan.str();
+  }
+}
+
+TEST(FaultPlan, GeneratorKeepsItsSurvivabilityContract) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const FaultPlan plan = make_random_plan(seed, small_shape());
+    std::set<std::string> chronic_hosts;
+    for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+      const FaultAction& action = plan.actions[i];
+      switch (action.type) {
+        case FaultActionType::kCrash:
+        case FaultActionType::kPartition: {
+          // Every crash is restarted, every partition healed, later on the
+          // same host.
+          const FaultActionType recovery =
+              action.type == FaultActionType::kCrash ? FaultActionType::kRestart
+                                                     : FaultActionType::kHeal;
+          bool recovered = false;
+          for (std::size_t j = i + 1; j < plan.actions.size(); ++j) {
+            if (plan.actions[j].type == recovery &&
+                plan.actions[j].host == action.host &&
+                plan.actions[j].at > action.at) {
+              recovered = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(recovered) << "seed " << seed << ": " << action.str();
+          break;
+        }
+        case FaultActionType::kLink:
+        case FaultActionType::kFsFaults:
+        case FaultActionType::kCorrupt:
+          EXPECT_GT(action.duration, SimTime::zero()) << action.str();
+          EXPECT_GT(action.rate, 0.0) << action.str();
+          break;
+        case FaultActionType::kChronic:
+          chronic_hosts.insert(action.host);
+          break;
+        default:
+          break;
+      }
+    }
+    // At most one chronic host, and never the whole pool.
+    EXPECT_LE(chronic_hosts.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, ParserIsStrict) {
+  EXPECT_FALSE(parse_plan("").has_value());
+  EXPECT_FALSE(parse_plan("# not a plan\n").has_value());
+  const std::string header =
+      "# esg-faultplan v1\n# seed 5\n"
+      "# pool discipline=scoped machines=4 jobs=24 "
+      "mean-compute-usec=30000000 limit-usec=28800000000\n";
+  EXPECT_TRUE(parse_plan(header).has_value());  // empty plan is valid
+  EXPECT_FALSE(parse_plan(header + "100 meteor exec0\n").has_value());
+  EXPECT_FALSE(parse_plan(header + "100 link exec0 bogus=1\n").has_value());
+  EXPECT_FALSE(parse_plan(header + "abc link exec0 rate=0.5\n").has_value());
+  // A well-formed line after the same header parses.
+  std::optional<FaultPlan> ok = parse_plan(
+      header + "100 link exec0 rate=0.50 duration-usec=1000 latency-usec=5\n");
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_EQ(ok->actions.size(), 1u);
+  EXPECT_EQ(ok->actions[0].type, FaultActionType::kLink);
+  EXPECT_EQ(ok->actions[0].rate, 0.5);
+}
+
+// ---- injector ----
+
+TEST(Injector, AppliesAndRestoresOnSchedule) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.shape.machines = 2;
+  plan.shape.jobs = 4;
+  FaultAction crash;
+  crash.at = SimTime::sec(30);
+  crash.type = FaultActionType::kCrash;
+  crash.host = "exec0";
+  FaultAction restart = crash;
+  restart.at = SimTime::sec(60);
+  restart.type = FaultActionType::kRestart;
+  FaultAction window;
+  window.at = SimTime::sec(10);
+  window.type = FaultActionType::kLink;
+  window.host = "exec1";
+  window.rate = 0.2;
+  window.duration = SimTime::sec(20);
+  window.extra_latency = SimTime::msec(3);
+  plan.actions = {window, crash, restart};
+
+  pool::SweepCell cell = CampaignRunner::make_cell(plan, "t");
+  pool::Pool pool(cell.config);
+  pool::stage_workload_inputs(pool);
+  // Work that outlasts the whole schedule, so every timer fires inside
+  // run_until_done (an idle pool would finish before the first fault).
+  for (int i = 0; i < 2; ++i) {
+    pool.submit(pool::make_hello_job(SimTime::sec(150)));
+  }
+  std::shared_ptr<Injector> injector = Injector::arm(pool, plan);
+  EXPECT_EQ(injector->fired(), 0u);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  // 3 applies + 1 window restore, in schedule order.
+  ASSERT_EQ(injector->fired(), 4u);
+  const std::vector<std::string>& log = injector->log();
+  EXPECT_NE(log[0].find("apply"), std::string::npos);
+  EXPECT_NE(log[0].find("link"), std::string::npos);
+  EXPECT_NE(log[1].find("restore"), std::string::npos);
+  EXPECT_NE(log[2].find("crash"), std::string::npos);
+  EXPECT_NE(log[3].find("restart"), std::string::npos);
+  // The link window closed: base (zero) fault rates are back.
+  EXPECT_EQ(pool.fabric().faults_for("exec1").drop_msg_prob, 0.0);
+  EXPECT_EQ(pool.fabric().faults_for("exec1").latency,
+            cell.config.machines[1].net_faults.latency);
+}
+
+// ---- oracles ----
+
+TEST(Oracles, CleanRunPasses) {
+  pool::PoolReport report;
+  report.jobs_total = 4;
+  report.completed_genuine = 4;
+  const OracleReport verdict =
+      evaluate_oracles(report, /*finished=*/true, /*journal=*/{});
+  EXPECT_TRUE(verdict.ok()) << verdict.str();
+}
+
+TEST(Oracles, UnfinishedJobsAreLost) {
+  pool::PoolReport report;
+  report.jobs_total = 4;
+  report.completed_genuine = 3;
+  report.unfinished = 1;
+  const OracleReport verdict = evaluate_oracles(report, /*finished=*/false, {});
+  EXPECT_TRUE(verdict.failed(OracleId::kNoLostJob));
+}
+
+TEST(Oracles, LeakedCategoriesFailConservation) {
+  pool::PoolReport report;
+  report.jobs_total = 5;
+  report.completed_genuine = 3;  // two jobs unaccounted for
+  const OracleReport verdict = evaluate_oracles(report, /*finished=*/true, {});
+  EXPECT_TRUE(verdict.failed(OracleId::kConservation));
+}
+
+TEST(Oracles, IncidentalExposureFailsAttribution) {
+  pool::PoolReport report;
+  report.jobs_total = 4;
+  report.completed_genuine = 3;
+  report.user_incidental_exposures = 1;
+  const OracleReport verdict = evaluate_oracles(report, /*finished=*/true, {});
+  EXPECT_TRUE(verdict.failed(OracleId::kAttribution));
+  EXPECT_FALSE(verdict.failed(OracleId::kConservation));
+}
+
+TEST(Oracles, UnconsumedEscapeIsFlagged) {
+  pool::PoolReport report;
+  report.jobs_total = 1;
+  report.completed_genuine = 1;
+  obs::TraceEvent escaping;
+  escaping.id = 7;
+  escaping.type = obs::TraceEventType::kEscalated;
+  escaping.form = obs::ErrorForm::kEscaping;
+  escaping.kind = ErrorKind::kConnectionLost;
+  escaping.component = "shadow";
+  const OracleReport verdict =
+      evaluate_oracles(report, /*finished=*/true, {escaping});
+  EXPECT_TRUE(verdict.failed(OracleId::kEscapesConsumed));
+  // ...and the same chain is a P2 violation for the principles oracle.
+  EXPECT_TRUE(verdict.failed(OracleId::kPrinciples));
+
+  // Give the escape a consumer and both oracles are satisfied.
+  obs::TraceEvent consumed = escaping;
+  consumed.id = 8;
+  consumed.parent = 7;
+  consumed.type = obs::TraceEventType::kConsumed;
+  consumed.form = obs::ErrorForm::kExplicit;
+  const OracleReport ok =
+      evaluate_oracles(report, /*finished=*/true, {escaping, consumed});
+  EXPECT_FALSE(ok.failed(OracleId::kEscapesConsumed));
+  EXPECT_FALSE(ok.failed(OracleId::kPrinciples));
+}
+
+// ---- campaign determinism and shrinking ----
+
+TEST(Campaign, VerdictsAreThreadCountIndependent) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.plans = 8;
+  options.shape.discipline = "naive";  // failures exercise the whole path
+  options.shrink = false;
+  options.threads = 1;
+  const CampaignResult serial = CampaignRunner(options).run();
+  options.threads = 8;
+  const CampaignResult wide = CampaignRunner(options).run();
+  EXPECT_EQ(serial.failing, wide.failing);
+  EXPECT_EQ(serial.str(), wide.str());
+  EXPECT_EQ(serial.json(), wide.json());
+}
+
+TEST(Campaign, ScopedPoolSurvivesTheOraclesWhereNaiveFails) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.plans = 6;
+  options.shrink = false;
+  const CampaignResult scoped = CampaignRunner(options).run();
+  EXPECT_TRUE(scoped.all_ok()) << scoped.str();
+  options.shape.discipline = "naive";
+  const CampaignResult naive = CampaignRunner(options).run();
+  EXPECT_GT(naive.failing, 0) << naive.str();
+}
+
+TEST(Campaign, ShrinksNaiveFailureToReplayableMinimalPlan) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.plans = 4;
+  options.shape.discipline = "naive";
+  const CampaignResult result = CampaignRunner(options).run();
+  ASSERT_GT(result.failing, 0) << result.str();
+  ASSERT_TRUE(result.minimized.has_value());
+  EXPECT_LE(result.minimized->actions.size(), 3u) << result.minimized->str();
+  EXPECT_GE(result.minimized->actions.size(), 1u);
+  EXPECT_GT(result.shrink_probes, 0u);
+  // The artifact must still fail when replayed...
+  EXPECT_FALSE(result.minimized_oracles.ok());
+  // ...and survive the serialize/parse trip a CI artifact takes.
+  std::optional<FaultPlan> reread = parse_plan(result.minimized->str());
+  ASSERT_TRUE(reread.has_value());
+  EXPECT_EQ(*reread, *result.minimized);
+  EXPECT_FALSE(CampaignRunner::replay(*reread).ok());
+}
+
+// ---- pinned RNG stream ids (the determinism regression test) ----
+
+TEST(RngStreams, LabelsArePinned) {
+  // These strings are part of the replay format: a saved fault plan or
+  // campaign seed reproduces only if every injection stream forks under
+  // the exact label it was recorded with. Renaming one is a breaking
+  // change to every saved artifact — this test is the speed bump.
+  EXPECT_STREQ(rng_streams::kNetworkFabric, "network-fabric");
+  EXPECT_EQ(rng_streams::fs_faults("m"), "fs@m");
+  EXPECT_EQ(rng_streams::fs_corruption("m"), "corrupt@m");
+  EXPECT_EQ(rng_streams::chaos_fs("m"), "chaos.fs@m");
+  EXPECT_EQ(rng_streams::chaos_corruption("m"), "chaos.corrupt@m");
+}
+
+TEST(RngStreams, ForksAreReproducibleAndLabelSeparated) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.fork(rng_streams::chaos_fs("exec0"));
+  Rng fb = b.fork(rng_streams::chaos_fs("exec0"));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fa.next_u64(), fb.next_u64());
+  }
+  // Different labels from identical parents give unrelated streams.
+  Rng c(99);
+  Rng d(99);
+  Rng fc = c.fork(rng_streams::chaos_fs("exec0"));
+  Rng fd = d.fork(rng_streams::chaos_corruption("exec0"));
+  bool any_different = false;
+  for (int i = 0; i < 16; ++i) {
+    any_different |= fc.next_u64() != fd.next_u64();
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace esg::chaos

@@ -225,6 +225,123 @@ TEST(Fabric, LatencyAdvancesClock) {
   EXPECT_GE(connected_at, SimTime::msec(5));
 }
 
+// ---- fault-injection edges (the chaos Injector's hook points) ----
+
+TEST(Fabric, CrashRacesInFlightConnect) {
+  // The SYN is in flight when the host dies. The decision is taken at
+  // delivery time, so the dialer gets exactly one explicit refusal — not a
+  // stale success against a listener that no longer exists, and not
+  // silence.
+  Fixture f;
+  ASSERT_TRUE(f.fabric.listen({"b", 1}, [](Endpoint) {}).ok());
+  int callbacks = 0;
+  std::optional<Error> saw;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ++callbacks;
+    if (!ep.ok()) saw = ep.error();
+  });
+  f.fabric.crash_host("b");  // connect attempt still in flight
+  f.engine.run();
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_TRUE(saw.has_value());
+  EXPECT_EQ(saw->kind(), ErrorKind::kConnectionRefused);
+}
+
+TEST(Fabric, DoubleSetPartitionedBreaksExactlyOnce) {
+  // Applying the same partition twice (as an overlapping fault plan might)
+  // must not double-fire the escaping error: each side's on_close runs
+  // exactly once, courtesy of the connection's broken latch.
+  Fixture f;
+  int server_closes = 0;
+  int client_closes = 0;
+  ASSERT_TRUE(f.fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_close(
+                                [&](const std::optional<Error>&) {
+                                  ++server_closes;
+                                });
+                          })
+                  .ok());
+  Endpoint client;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    client = std::move(ep).value();
+    client.set_on_close(
+        [&](const std::optional<Error>& e) {
+          ++client_closes;
+          ASSERT_TRUE(e.has_value());
+          EXPECT_EQ(e->kind(), ErrorKind::kConnectionTimedOut);
+        });
+  });
+  f.engine.run();
+  (void)client.send("into the void");
+  f.fabric.set_partitioned("b", true);
+  f.fabric.set_partitioned("b", true);  // idempotent, not cumulative
+  f.engine.run();
+  EXPECT_EQ(client_closes, 1);
+  EXPECT_EQ(server_closes, 1);
+  // The broken connection stays broken: further sends are explicit
+  // errors, with no second on_close.
+  Result<void> r = client.send("again");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().kind(), ErrorKind::kConnectionLost);
+  f.engine.run();
+  EXPECT_EQ(client_closes, 1);
+  EXPECT_EQ(server_closes, 1);
+}
+
+TEST(Fabric, PartitionThenHealAllowsRedial) {
+  // A partition breaks the old connection exactly once; after healing, a
+  // fresh dial reaches the same listener and traffic flows again — the
+  // pattern every chaos partition/heal pair exercises at pool scale.
+  Fixture f;
+  int old_client_closes = 0;
+  std::string server_got;
+  ASSERT_TRUE(f.fabric
+                  .listen({"b", 1},
+                          [&](Endpoint ep) {
+                            static Endpoint held;
+                            held = ep;
+                            held.set_on_message([&](const std::string& m) {
+                              server_got = m;
+                            });
+                          })
+                  .ok());
+  Endpoint old_client;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    old_client = std::move(ep).value();
+    old_client.set_on_close(
+        [&](const std::optional<Error>& e) {
+          ++old_client_closes;
+          ASSERT_TRUE(e.has_value());
+        });
+  });
+  f.engine.run();
+  (void)old_client.send("lost to the partition");
+  f.fabric.set_partitioned("b", true);
+  f.engine.run();
+  EXPECT_EQ(old_client_closes, 1);
+  EXPECT_EQ(server_got, "");
+
+  f.fabric.set_partitioned("b", false);
+  bool redialed = false;
+  f.fabric.connect("a", {"b", 1}, [&](Result<Endpoint> ep) {
+    ASSERT_TRUE(ep.ok());
+    redialed = true;
+    Endpoint fresh = std::move(ep).value();
+    (void)fresh.send("back in business");
+  });
+  f.engine.run();
+  EXPECT_TRUE(redialed);
+  EXPECT_EQ(server_got, "back in business");
+  // Healing must not re-trigger the old connection's close.
+  EXPECT_EQ(old_client_closes, 1);
+}
+
 }  // namespace
 }  // namespace esg::net
 

@@ -423,6 +423,34 @@ TEST_F(ObsTest, JournalParserRejectsGarbage) {
   EXPECT_EQ(ok->events[0].job, 9u);
 }
 
+TEST_F(ObsTest, JournalPrefixParserToleratesTornTrailingLine) {
+  // esg-top --follow reads files another process is appending to: a write
+  // caught mid-line must not fail the whole parse, only wait for the rest.
+  const std::string header = "# esg-journal v1\n";
+  const std::string line =
+      "5\t1\t0\traised\texplicit\tfile-not-found\tfile\t9\tc\td\n";
+
+  std::size_t consumed = 0;
+  std::optional<Journal> parsed =
+      parse_journal_prefix(header + line + "17\t2\t1\tcons", &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(consumed, header.size() + line.size());
+
+  // The torn tail, once completed, parses on the next read.
+  parsed = parse_journal_prefix(
+      header + line +
+          "17\t2\t1\tconsumed\texplicit\tfile-not-found\tfile\t9\tc\td\n",
+      &consumed);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events.size(), 2u);
+
+  // Still strict about complete lines: garbage before a newline fails.
+  EXPECT_FALSE(parse_journal_prefix(header + "garbage\tline\n").has_value());
+  // A file with no complete header yet is "not ready", not "ok and empty".
+  EXPECT_FALSE(parse_journal_prefix("# esg-jour").has_value());
+}
+
 // ---- flow aggregation ----
 
 TEST_F(ObsTest, DispositionMappingCoversEveryEventType) {

@@ -1,0 +1,182 @@
+// esg-chaos: deterministic fault-injection campaigns against the pool.
+//
+// Two entry points:
+//   --plan FILE      replay one saved esg-faultplan v1 file: rebuild the
+//                    pool it names, arm the injector, run, and print the
+//                    resilience-oracle verdict. Byte-identical to the CI
+//                    cell that produced the file — this is the repro path.
+//   --campaign N     draw N random plans from --seed, fan them out over
+//                    pool::SweepRunner, judge every cell, and ddmin-shrink
+//                    the first failing plan to a minimal replayable repro.
+//
+// Shared flags:
+//   --seed S         campaign seed (default 1)
+//   --threads T      sweep width (0 = hardware); verdicts do not depend on
+//                    this — that invariant is itself under test in CI
+//   --discipline D   "scoped" (default) or "naive" pool under test
+//   --machines N, --jobs N   pool shape (default 4 machines, 16 jobs)
+//   --shrink         with --plan: ddmin a failing plan after replaying it
+//   --no-shrink      with --campaign: skip shrinking (faster scoped gates)
+//   --out FILE       write the minimized failing plan here (CI artifact)
+//   --json           machine-readable campaign result on stdout
+//   --expect-fail    invert the verdict: exit 0 only if at least one plan
+//                    failed AND the shrunk plan still fails on replay (the
+//                    naive-pool CI gate proving the oracles bite)
+//
+// Exit codes: 0 expected outcome, 1 unexpected verdict, 2 usage/IO error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+
+using namespace esg;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--plan FILE | --campaign N)\n"
+               "          [--seed S] [--threads T] [--discipline scoped|naive]\n"
+               "          [--machines N] [--jobs N] [--shrink | --no-shrink]\n"
+               "          [--out FILE] [--json] [--expect-fail]\n",
+               argv0);
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "esg-chaos: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int run_plan(const std::string& path, bool do_shrink, const std::string& out_path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "esg-chaos: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::optional<chaos::FaultPlan> plan = chaos::parse_plan(buf.str());
+  if (!plan) {
+    std::fprintf(stderr, "esg-chaos: %s is not an esg-faultplan v1 file\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::printf("replaying %s (%zu action(s), seed %llu, %s pool)\n",
+              path.c_str(), plan->actions.size(),
+              static_cast<unsigned long long>(plan->seed),
+              plan->shape.discipline.c_str());
+  const chaos::RunResult run = chaos::CampaignRunner::replay(*plan);
+  std::fputs(run.report.str().c_str(), stdout);
+  std::printf("oracles: %s\n", run.oracles.str().c_str());
+
+  if (do_shrink && !run.ok()) {
+    std::size_t probes = 0;
+    const chaos::FaultPlan minimized =
+        chaos::CampaignRunner::shrink(*plan, &probes);
+    std::printf("minimized to %zu action(s) in %zu probe(s):\n%s",
+                minimized.actions.size(), probes, minimized.str().c_str());
+    if (!out_path.empty() && !write_file(out_path, minimized.str())) return 2;
+  }
+  return run.ok() ? 0 : 1;
+}
+
+int run_campaign(const chaos::CampaignOptions& options, bool json,
+                 bool expect_fail, const std::string& out_path) {
+  const chaos::CampaignResult result = chaos::CampaignRunner(options).run();
+  std::fputs(json ? result.json().c_str() : result.str().c_str(), stdout);
+
+  if (result.minimized.has_value() && !out_path.empty() &&
+      !write_file(out_path, result.minimized->str())) {
+    return 2;
+  }
+  if (expect_fail) {
+    // The gate that proves the oracles can fail: some plan must have gone
+    // red, and the shrunk artifact must still reproduce the failure.
+    const bool bites = result.failing > 0 &&
+                       result.minimized.has_value() &&
+                       !result.minimized_oracles.ok();
+    if (!bites) {
+      std::fprintf(stderr,
+                   "esg-chaos: --expect-fail, but no reproducible oracle "
+                   "failure was found\n");
+    }
+    return bites ? 0 : 1;
+  }
+  return result.all_ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_path;
+  std::string out_path;
+  chaos::CampaignOptions options;
+  bool have_campaign = false;
+  bool plan_shrink = false;
+  bool json = false;
+  bool expect_fail = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next_str = [&](std::string& out) {
+      if (i + 1 < argc) out = argv[++i];
+    };
+    auto next_int = [&](int& out) {
+      if (i + 1 < argc) out = std::atoi(argv[++i]);
+    };
+    if (!std::strcmp(argv[i], "--plan")) {
+      next_str(plan_path);
+    } else if (!std::strcmp(argv[i], "--campaign")) {
+      have_campaign = true;
+      next_int(options.plans);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      int s = 1;
+      next_int(s);
+      options.seed = static_cast<std::uint64_t>(s);
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      int t = 0;
+      next_int(t);
+      options.threads = t > 0 ? static_cast<unsigned>(t) : 0;
+    } else if (!std::strcmp(argv[i], "--discipline")) {
+      next_str(options.shape.discipline);
+    } else if (!std::strcmp(argv[i], "--machines")) {
+      next_int(options.shape.machines);
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      next_int(options.shape.jobs);
+    } else if (!std::strcmp(argv[i], "--shrink")) {
+      plan_shrink = true;
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      options.shrink = false;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      next_str(out_path);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--expect-fail")) {
+      expect_fail = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!plan_path.empty()) return run_plan(plan_path, plan_shrink, out_path);
+  if (have_campaign) {
+    if (options.shape.discipline != "scoped" &&
+        options.shape.discipline != "naive") {
+      return usage(argv[0]);
+    }
+    if (options.plans <= 0) return usage(argv[0]);
+    return run_campaign(options, json, expect_fail, out_path);
+  }
+  return usage(argv[0]);
+}

@@ -1,14 +1,21 @@
 // esg-top: a refreshing per-scope / per-machine error-flow dashboard.
 //
-// Two data sources:
+// Three data sources:
 //   --journal FILE   post-hoc: aggregate a saved esg-journal v1 file
 //                    (obs::journal_str wrote it; see also --journal-out)
+//   --follow FILE    live tail: re-read FILE as another process appends to
+//                    it and redraw each frame. A torn trailing line (a
+//                    write caught mid-flight) is tolerated and picked up
+//                    on the next frame (obs::parse_journal_prefix).
 //   --demo MODE      live: run the black-hole example pool (MODE is
 //                    "naive" or "scoped") and redraw the dashboard as the
 //                    simulation advances
 //
 // Modes and outputs:
 //   --once           render a single frame and exit (CI smoke tests)
+//   --interval MS    wall-clock delay between --follow frames (default 500)
+//   --frames N       stop --follow after N frames (0 = forever; CI smokes
+//                    use a small N so the tail terminates)
 //   --json           emit the deterministic JSON dashboard dump instead of
 //                    the ANSI table
 //   --journal-out F  after a demo run, save its journal to F (this is how
@@ -37,8 +44,9 @@ namespace {
 
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s (--journal FILE | --demo naive|scoped)\n"
+      "usage: %s (--journal FILE | --follow FILE | --demo naive|scoped)\n"
       "          [--once] [--json] [--journal-out FILE] [--slice SEC]\n"
+      "          [--interval MS] [--frames N]\n"
       "          [--seed S] [--jobs N] [--bad N] [--good N]\n",
       argv0);
   return 2;
@@ -78,6 +86,40 @@ int run_journal(const std::string& path, SimTime slice, bool json) {
   obs::FlowAggregate aggregate = aggregator.snapshot();
   aggregate.dropped_spans = journal->dropped;
   return render(aggregate, path, json, /*color=*/false);
+}
+
+int run_follow(const std::string& path, SimTime slice, bool json,
+               int interval_ms, int frames) {
+  int rendered = 0;
+  while (true) {
+    // Re-read the whole file each frame: journals are small, and a full
+    // re-parse sidesteps every torn-write and truncate-restart corner.
+    std::string text;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+      }
+    }
+    std::optional<obs::Journal> journal = obs::parse_journal_prefix(text);
+    if (!json) clear_screen();
+    if (journal) {
+      obs::ScopeAggregator aggregator(slice);
+      aggregator.observe_all(journal->events);
+      obs::FlowAggregate aggregate = aggregator.snapshot();
+      aggregate.dropped_spans = journal->dropped;
+      render(aggregate, path + " (following)", json, /*color=*/!json);
+    } else {
+      // Not there yet, or the header hasn't landed: keep waiting rather
+      // than erroring — the writer may only just have opened the file.
+      std::printf("esg-top: waiting for %s ...\n", path.c_str());
+    }
+    ++rendered;
+    if (frames > 0 && rendered >= frames) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
 }
 
 struct DemoOptions {
@@ -152,12 +194,15 @@ int run_demo(const DemoOptions& demo, SimTime slice, bool once, bool json,
 
 int main(int argc, char** argv) {
   std::string journal_path;
+  std::string follow_path;
   std::string journal_out;
   DemoOptions demo;
   bool have_demo = false;
   bool once = false;
   bool json = false;
   std::int64_t slice_sec = 60;
+  int interval_ms = 500;
+  int frames = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto next_str = [&](std::string& out) {
@@ -168,6 +213,14 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--journal")) {
       next_str(journal_path);
+    } else if (!std::strcmp(argv[i], "--follow")) {
+      next_str(follow_path);
+    } else if (!std::strcmp(argv[i], "--interval")) {
+      int ms = 500;
+      next_int(ms);
+      if (ms > 0) interval_ms = ms;
+    } else if (!std::strcmp(argv[i], "--frames")) {
+      next_int(frames);
     } else if (!std::strcmp(argv[i], "--demo")) {
       have_demo = true;
       next_str(demo.mode);
@@ -198,6 +251,9 @@ int main(int argc, char** argv) {
 
   const SimTime slice = SimTime::sec(slice_sec);
   if (!journal_path.empty()) return run_journal(journal_path, slice, json);
+  if (!follow_path.empty()) {
+    return run_follow(follow_path, slice, json, interval_ms, frames);
+  }
   if (have_demo) {
     if (demo.mode != "naive" && demo.mode != "scoped") return usage(argv[0]);
     return run_demo(demo, slice, once, json, journal_out);
