@@ -1,0 +1,148 @@
+// Federation scaling: the federated chaos campaign run at increasing pool
+// counts and worker-thread widths. Every width produces byte-identical
+// campaign verdicts (checked here, not assumed); what changes is the wall
+// clock. Also reports the cross-pool scope traffic each size generates —
+// how many cluster-scope and network-scope errors the home schedd consumed
+// across the campaign's plans.
+//
+//   $ ./flock_bench [--plans N] [--jobs N] [--json FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "flock/chaos.hpp"
+#include "flock/federation.hpp"
+#include "pool/workload.hpp"
+
+using namespace esg;
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+/// One federation run of the campaign's first plan, returning the home
+/// schedd's cross-pool scope counters (the per-size "traffic" columns).
+struct ScopeTraffic {
+  std::uint64_t cluster = 0;
+  std::uint64_t network = 0;
+  std::uint64_t flock_attempts = 0;
+};
+
+ScopeTraffic measure_traffic(const chaos::FaultPlan& plan) {
+  flock::Federation federation(flock::federated_cell_config(plan));
+  federation.boot();
+  pool::stage_workload_inputs(*federation.submit_fs("home"));
+  pool::WorkloadOptions workload;
+  workload.count = plan.shape.jobs;
+  workload.mean_compute = plan.shape.mean_compute;
+  workload.remote_io_fraction = 0.25;
+  workload.remote_write_fraction = 0.25;
+  Rng rng = Rng(plan.seed).fork("chaos.workload");
+  for (auto& job : pool::make_workload(workload, rng)) {
+    federation.submit(0, std::move(job));
+  }
+  flock::FederatedInjector::arm(federation, plan);
+  federation.run_until_done(plan.shape.limit);
+  const auto* home = federation.schedd("home");
+  ScopeTraffic traffic;
+  traffic.cluster = home->cluster_errors_consumed();
+  traffic.network = home->network_errors_consumed();
+  traffic.flock_attempts = home->flock_attempts();
+  return traffic;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int plans = 4;
+  int jobs = 12;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--plans") && i + 1 < argc) {
+      plans = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: flock_bench [--plans N] [--jobs N] "
+                   "[--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("federated chaos campaign: %d plan(s), %d job(s)/plan\n\n",
+              plans, jobs);
+  std::printf("%-6s %-8s %-10s %-10s %-8s %-8s %-8s %s\n", "pools",
+              "threads", "wall_s", "verdict", "cluster", "network",
+              "flockads", "bytes");
+
+  std::string json = "{\"sizes\":[";
+  bool first = true;
+  bool all_identical = true;
+  for (int pools : {3, 4, 5}) {
+    chaos::CampaignOptions options;
+    options.seed = 2026;
+    options.plans = plans;
+    options.shape.pools = pools;
+    options.shape.machines = 2;
+    options.shape.jobs = jobs;
+    options.shrink = false;
+
+    // Plan 0's seed: the runner draws plan seeds from Rng(campaign seed).
+    const chaos::FaultPlan first_plan = flock::make_federated_plan(
+        Rng(options.seed).next_u64(), options.shape);
+    const ScopeTraffic traffic = measure_traffic(first_plan);
+
+    std::string baseline;
+    for (unsigned threads : {1u, 4u, 8u}) {
+      options.threads = threads;
+      chaos::CampaignResult result;
+      const double wall = wall_seconds(
+          [&options, &result] {
+            result = flock::run_federated_campaign(options);
+          });
+      const std::string bytes = result.json();
+      if (baseline.empty()) baseline = bytes;
+      const bool identical = bytes == baseline;
+      all_identical = all_identical && identical;
+      std::printf("%-6d %-8u %-10.2f %-10s %-8llu %-8llu %-8llu %s\n",
+                  pools, threads, wall,
+                  result.failing == 0 ? "all-green" : "RED",
+                  static_cast<unsigned long long>(traffic.cluster),
+                  static_cast<unsigned long long>(traffic.network),
+                  static_cast<unsigned long long>(traffic.flock_attempts),
+                  identical ? "identical" : "DIVERGED");
+      if (!first) json += ",";
+      first = false;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"pools\":%d,\"threads\":%u,\"wall_s\":%.3f,"
+                    "\"failing\":%d,\"identical\":%s}",
+                    pools, threads, wall, result.failing,
+                    identical ? "true" : "false");
+      json += buf;
+    }
+  }
+  json += "]}";
+
+  std::printf("\nverdict bytes %s across thread widths\n",
+              all_identical ? "identical" : "DIVERGED");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+#include "analysis/diff.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "analysis/topology.hpp"
+
+namespace esg::analysis {
+namespace {
+
+std::vector<std::string> lines_of(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(start, nl - start);
+    if (!line.empty()) lines.emplace_back(line);
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string TopologyDiff::str() const {
+  std::ostringstream os;
+  for (const std::string& line : removed) os << "- " << line << "\n";
+  for (const std::string& line : added) os << "+ " << line << "\n";
+  if (identical()) {
+    os << "topologies identical (" << common << " declaration(s))\n";
+  } else {
+    os << removed.size() << " removed, " << added.size() << " added, "
+       << common << " unchanged\n";
+  }
+  return os.str();
+}
+
+TopologyDiff diff_topology_dumps(std::string_view a, std::string_view b) {
+  const std::vector<std::string> a_lines = lines_of(a);
+  const std::vector<std::string> b_lines = lines_of(b);
+
+  std::map<std::string, long> balance;  // (count in A) - (count in B)
+  for (const std::string& line : a_lines) ++balance[line];
+  for (const std::string& line : b_lines) --balance[line];
+
+  TopologyDiff diff;
+  // Walk A in order, consuming positive balance as removals.
+  std::map<std::string, long> remaining = balance;
+  for (const std::string& line : a_lines) {
+    long& r = remaining[line];
+    if (r > 0) {
+      diff.removed.push_back(line);
+      --r;
+    }
+  }
+  // Walk B in order, consuming negative balance as additions.
+  for (const std::string& line : b_lines) {
+    long& r = remaining[line];
+    if (r < 0) {
+      diff.added.push_back(line);
+      ++r;
+    }
+  }
+  diff.common = a_lines.size() - diff.removed.size();
+  return diff;
+}
+
+TopologyDiff diff_topologies(const TopologyModel& a, const TopologyModel& b) {
+  return diff_topology_dumps(a.str(), b.str());
+}
+
+}  // namespace esg::analysis

@@ -1,0 +1,46 @@
+// Topology diffs: what changed between two declared error topologies.
+//
+// A TopologyModel dump (TopologyModel::str()) is one declaration per line,
+// so two models diff as line sets: declarations present in A but not B
+// were *removed*, lines in B but not A were *added*. That is exactly the
+// right granularity for reviewing a discipline change ("what did enabling
+// scope_routing add to the contract?") or a subsystem addition ("what does
+// the flock layer declare beyond the base pool?") — esg-verify --diff
+// prints this structure instead of making a human eyeball two dumps.
+//
+// The diff is multiset-aware (a line declared twice in A and once in B
+// shows one removal) and order-stable: removals print in A's order,
+// additions in B's, so the output is deterministic for given inputs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esg::analysis {
+
+class TopologyModel;
+
+struct TopologyDiff {
+  std::vector<std::string> removed;  ///< in A, not in B (A's order)
+  std::vector<std::string> added;    ///< in B, not in A (B's order)
+  std::size_t common = 0;            ///< lines shared by both
+
+  [[nodiscard]] bool identical() const {
+    return removed.empty() && added.empty();
+  }
+
+  /// Unified-style summary: "- " removals, "+ " additions, and a footer
+  /// with counts. Deterministic.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Diff two dumps line by line (multiset semantics; blank lines ignored).
+[[nodiscard]] TopologyDiff diff_topology_dumps(std::string_view a,
+                                               std::string_view b);
+
+/// Convenience: dump both models and diff.
+[[nodiscard]] TopologyDiff diff_topologies(const TopologyModel& a,
+                                           const TopologyModel& b);
+
+}  // namespace esg::analysis

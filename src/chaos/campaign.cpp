@@ -102,16 +102,24 @@ RunResult CampaignRunner::replay(const FaultPlan& plan) {
   out.finished = outcome.finished;
   out.report = outcome.report;
   out.oracles = judge(outcome);
+  out.engine_events = outcome.engine_events;
   return out;
 }
 
 FaultPlan CampaignRunner::shrink(const FaultPlan& plan, std::size_t* probes) {
+  return shrink_with(plan, &CampaignRunner::replay, probes);
+}
+
+FaultPlan CampaignRunner::shrink_with(
+    const FaultPlan& plan,
+    const std::function<RunResult(const FaultPlan&)>& probe,
+    std::size_t* probes) {
   std::size_t spent = 0;
   auto still_fails = [&](const std::vector<FaultAction>& actions) {
     FaultPlan candidate = plan;
     candidate.actions = actions;
     ++spent;
-    return !replay(candidate).ok();
+    return !probe(candidate).ok();
   };
 
   // ddmin over the action list. Dropping half of a crash/restart or
@@ -165,15 +173,30 @@ FaultPlan CampaignRunner::shrink(const FaultPlan& plan, std::size_t* probes) {
   return minimized;
 }
 
-CampaignResult CampaignRunner::run() const {
+CampaignResult CampaignRunner::run() const { return run(CampaignHooks{}); }
+
+CampaignResult CampaignRunner::run(const CampaignHooks& hooks) const {
+  // Resolve each stage to the single-pool default when the hook is unset.
+  const auto draw = hooks.draw
+                        ? hooks.draw
+                        : [](std::uint64_t seed, const CampaignOptions& opts) {
+                            PlanShape bounds = opts.bounds;
+                            bounds.hosts.clear();
+                            for (int i = 0; i < opts.shape.machines; ++i) {
+                              bounds.hosts.push_back(strfmt("exec%d", i));
+                            }
+                            return make_random_plan(seed, bounds);
+                          };
+  const auto cell_for =
+      hooks.cell ? hooks.cell
+                 : [](const FaultPlan& plan, std::string label) {
+                     return make_cell(plan, std::move(label));
+                   };
+  const std::function<RunResult(const FaultPlan&)> probe =
+      hooks.replay ? hooks.replay : &CampaignRunner::replay;
+
   CampaignResult result;
   result.seed = options_.seed;
-
-  PlanShape bounds = options_.bounds;
-  bounds.hosts.clear();
-  for (int i = 0; i < options_.shape.machines; ++i) {
-    bounds.hosts.push_back(strfmt("exec%d", i));
-  }
 
   // Plan seeds come from a dedicated generator over the campaign seed —
   // never from anything the sweep's scheduling could perturb.
@@ -181,7 +204,7 @@ CampaignResult CampaignRunner::run() const {
   std::vector<FaultPlan> plans;
   plans.reserve(static_cast<std::size_t>(std::max(options_.plans, 0)));
   for (int i = 0; i < options_.plans; ++i) {
-    FaultPlan plan = make_random_plan(seeds.next_u64(), bounds);
+    FaultPlan plan = draw(seeds.next_u64(), options_);
     plan.shape = options_.shape;
     plans.push_back(std::move(plan));
   }
@@ -189,7 +212,7 @@ CampaignResult CampaignRunner::run() const {
   std::vector<pool::SweepCell> cells;
   cells.reserve(plans.size());
   for (std::size_t i = 0; i < plans.size(); ++i) {
-    cells.push_back(make_cell(plans[i], strfmt("plan%zu", i)));
+    cells.push_back(cell_for(plans[i], strfmt("plan%zu", i)));
   }
   const pool::SweepReport sweep = pool::SweepRunner(options_.threads).run(
       std::move(cells));
@@ -201,8 +224,46 @@ CampaignResult CampaignRunner::run() const {
     verdict.finished = sweep.cells[i].finished;
     verdict.report = sweep.cells[i].report;
     verdict.oracles = judge(sweep.cells[i]);
+    verdict.engine_events = sweep.cells[i].engine_events;
     if (!verdict.oracles.ok()) ++result.failing;
     result.cells.push_back(std::move(verdict));
+  }
+
+  if (options_.triage_reruns > 0) {
+    // Flakiness triage: a verdict that does not reproduce is a determinism
+    // bug in the harness — worse than the red cell itself. Fingerprint =
+    // oracle verdict bytes + finished flag + engine event count; any rerun
+    // divergence flags the cell flaky.
+    const auto triage = [&](CellVerdict& cell) {
+      const std::string baseline =
+          strfmt("%s finished=%d events=%llu", cell.oracles.str().c_str(),
+                 cell.finished ? 1 : 0,
+                 static_cast<unsigned long long>(cell.engine_events));
+      for (int r = 0; r < options_.triage_reruns; ++r) {
+        const RunResult rerun = probe(cell.plan);
+        const std::string fingerprint =
+            strfmt("%s finished=%d events=%llu", rerun.oracles.str().c_str(),
+                   rerun.finished ? 1 : 0,
+                   static_cast<unsigned long long>(rerun.engine_events));
+        ++cell.triage_reruns;
+        if (fingerprint != baseline) {
+          cell.flaky = true;
+          cell.triage_note = strfmt("rerun %d diverged: [%s] vs [%s]", r + 1,
+                                    fingerprint.c_str(), baseline.c_str());
+          break;
+        }
+      }
+      if (cell.flaky) ++result.flaky;
+    };
+    bool any_red = false;
+    for (CellVerdict& cell : result.cells) {
+      if (cell.oracles.ok()) continue;
+      any_red = true;
+      triage(cell);
+    }
+    // All green: re-run cell 0 as a determinism canary, so triage proves
+    // something on every campaign, not only unlucky ones.
+    if (!any_red && !result.cells.empty()) triage(result.cells.front());
   }
 
   if (result.failing > 0 && options_.shrink) {
@@ -210,8 +271,8 @@ CampaignResult CampaignRunner::run() const {
     // artifact, is independent of which worker finished first.
     for (const CellVerdict& cell : result.cells) {
       if (cell.oracles.ok()) continue;
-      result.minimized = shrink(cell.plan, &result.shrink_probes);
-      result.minimized_oracles = replay(*result.minimized).oracles;
+      result.minimized = shrink_with(cell.plan, probe, &result.shrink_probes);
+      result.minimized_oracles = probe(*result.minimized).oracles;
       break;
     }
   }
@@ -227,6 +288,10 @@ std::string CellVerdict::str() const {
   for (const OracleFailure& failure : oracles.failures) {
     line += "\n    " + failure.str();
   }
+  if (triage_reruns > 0) {
+    line += strfmt("\n    triage: %d rerun(s) %s", triage_reruns,
+                   flaky ? ("FLAKY — " + triage_note).c_str() : "stable");
+  }
   return line;
 }
 
@@ -236,6 +301,14 @@ std::string CampaignResult::str() const {
   for (const CellVerdict& cell : cells) os << cell.str() << "\n";
   os << "verdict: " << failing << " of " << cells.size()
      << " plan(s) failed an oracle\n";
+  int triaged = 0;
+  for (const CellVerdict& cell : cells) {
+    if (cell.triage_reruns > 0) ++triaged;
+  }
+  if (triaged > 0) {
+    os << "triage: " << triaged << " cell(s) re-run, " << flaky
+       << " flaky (non-deterministic verdicts)\n";
+  }
   if (minimized.has_value()) {
     os << "minimized to " << minimized->actions.size() << " action(s) in "
        << shrink_probes << " replay probe(s); minimized replay: "
@@ -251,7 +324,8 @@ std::string CampaignResult::json() const {
   // across sweep widths, so nothing non-deterministic may leak in.
   std::ostringstream os;
   os << "{\"campaign\":{\"seed\":" << seed << ",\"plans\":" << cells.size()
-     << ",\"failing\":" << failing << "},\"cells\":[";
+     << ",\"failing\":" << failing << ",\"flaky\":" << flaky
+     << "},\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellVerdict& cell = cells[i];
     if (i != 0) os << ",";
@@ -260,6 +334,9 @@ std::string CampaignResult::json() const {
        << ",\"finished\":" << (cell.finished ? "true" : "false")
        << ",\"unfinished\":" << cell.report.unfinished
        << ",\"ok\":" << (cell.oracles.ok() ? "true" : "false")
+       << ",\"engine_events\":" << cell.engine_events
+       << ",\"triage_reruns\":" << cell.triage_reruns
+       << ",\"flaky\":" << (cell.flaky ? "true" : "false")
        << ",\"failures\":[";
     for (std::size_t f = 0; f < cell.oracles.failures.size(); ++f) {
       if (f != 0) os << ",";

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -38,6 +39,14 @@ struct CampaignOptions {
   /// Generator bounds; `hosts` is filled from `shape.machines` at run time.
   PlanShape bounds;
   bool shrink = true;      ///< ddmin the first failing plan
+  /// Flakiness triage: re-run every red cell's plan this many extra times
+  /// and compare determinism fingerprints (oracle verdict bytes + engine
+  /// event count). Any variance is flagged as `flaky` — a red cell that is
+  /// not reproducible is a determinism bug in the harness, a different
+  /// and worse defect than the failure itself. When the campaign is all
+  /// green, cell 0 is re-run instead as a determinism canary, so triage
+  /// proves something on every run. 0 disables triage.
+  int triage_reruns = 0;
 };
 
 /// One campaign cell: the plan that ran and what the oracles said.
@@ -47,6 +56,12 @@ struct CellVerdict {
   bool finished = false;
   pool::PoolReport report;
   OracleReport oracles;
+  std::uint64_t engine_events = 0;  ///< determinism fingerprint
+  /// Triage outcome (set only when CampaignOptions::triage_reruns > 0 and
+  /// this cell was re-run): reruns spent, and whether any diverged.
+  int triage_reruns = 0;
+  bool flaky = false;
+  std::string triage_note;  ///< what diverged, for the report
 
   /// One table line: "#<idx> seed<seed> <n> action(s): ok|FAIL ...".
   [[nodiscard]] std::string str() const;
@@ -57,14 +72,30 @@ struct RunResult {
   bool finished = false;
   pool::PoolReport report;
   OracleReport oracles;
+  std::uint64_t engine_events = 0;
 
   [[nodiscard]] bool ok() const { return oracles.ok(); }
+};
+
+/// Pluggable campaign stages, for topologies beyond a single pool::Pool.
+/// Every hook left unset falls back to the single-pool default
+/// (make_random_plan / make_cell / replay). flock::federated_hooks()
+/// swaps all three for Federation-backed cells.
+struct CampaignHooks {
+  /// Draw plan #i from `seed` (the per-plan seed, already derived from the
+  /// campaign seed). The shape is stamped onto the plan by the runner.
+  std::function<FaultPlan(std::uint64_t seed, const CampaignOptions&)> draw;
+  /// Build the sweep cell that executes `plan`.
+  std::function<pool::SweepCell(const FaultPlan&, std::string label)> cell;
+  /// Run one plan in isolation (ddmin probes, triage reruns).
+  std::function<RunResult(const FaultPlan&)> replay;
 };
 
 struct CampaignResult {
   std::uint64_t seed = 0;
   std::vector<CellVerdict> cells;  ///< submission order (plan order)
   int failing = 0;                 ///< cells with >= 1 oracle failure
+  int flaky = 0;                   ///< cells whose triage reruns diverged
 
   /// Shrink artifacts — set only when a cell failed and shrinking ran.
   /// The first failing cell (lowest index) is shrunk, so the artifact is
@@ -90,6 +121,10 @@ class CampaignRunner {
   /// set of plans everywhere.
   [[nodiscard]] CampaignResult run() const;
 
+  /// Same campaign loop with pluggable stages. Unset hooks fall back to
+  /// the single-pool defaults, so run() is run({}).
+  [[nodiscard]] CampaignResult run(const CampaignHooks& hooks) const;
+
   /// Build the SweepCell that executes `plan`: a pool shaped per
   /// plan.shape (seeded by plan.seed, trace on), a plain compute+remote-IO
   /// workload drawn from the same seed, and the Injector armed in setup.
@@ -106,6 +141,12 @@ class CampaignRunner {
   /// `probes`, if given, accumulates the number of replays spent.
   [[nodiscard]] static FaultPlan shrink(const FaultPlan& plan,
                                         std::size_t* probes = nullptr);
+
+  /// shrink() with a caller-supplied replay (federated cells ddmin too).
+  [[nodiscard]] static FaultPlan shrink_with(
+      const FaultPlan& plan,
+      const std::function<RunResult(const FaultPlan&)>& probe,
+      std::size_t* probes = nullptr);
 
  private:
   CampaignOptions options_;

@@ -134,6 +134,12 @@ void Injector::apply(const FaultAction& action) {
       }
       pool_.recorder().chronic_failure("chaos: chronic " + action.host);
       break;
+    case FaultActionType::kSever:
+      fabric.set_link_severed(action.host, action.peer, true);
+      break;
+    case FaultActionType::kReconnect:
+      fabric.set_link_severed(action.host, action.peer, false);
+      break;
   }
   note(action, "apply");
 }

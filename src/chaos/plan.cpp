@@ -13,8 +13,8 @@ namespace {
 constexpr std::string_view kPlanHeader = "# esg-faultplan v1";
 
 constexpr std::string_view kActionNames[kNumFaultActionTypes] = {
-    "crash", "restart", "partition", "heal",
-    "link",  "fsfaults", "corrupt",  "chronic",
+    "crash", "restart",  "partition", "heal",  "link",
+    "fsfaults", "corrupt", "chronic", "sever", "reconnect",
 };
 
 template <typename Int>
@@ -80,6 +80,10 @@ std::string FaultAction::str() const {
     case FaultActionType::kChronic:
       out += strfmt(" rate=%s", rate_str(rate).c_str());
       break;
+    case FaultActionType::kSever:
+    case FaultActionType::kReconnect:
+      out += strfmt(" peer=%s", peer.c_str());
+      break;
   }
   return out;
 }
@@ -91,7 +95,9 @@ std::string FaultPlan::str() const {
   os << "# pool discipline=" << shape.discipline
      << " machines=" << shape.machines << " jobs=" << shape.jobs
      << " mean-compute-usec=" << shape.mean_compute.as_usec()
-     << " limit-usec=" << shape.limit.as_usec() << "\n";
+     << " limit-usec=" << shape.limit.as_usec();
+  if (shape.pools != 1) os << " pools=" << shape.pools;
+  os << "\n";
   for (const FaultAction& action : actions) os << action.str() << "\n";
   return os.str();
 }
@@ -138,6 +144,8 @@ std::optional<FaultPlan> parse_plan(std::string_view text) {
         } else if (key == "limit-usec") {
           if (!parse_int(value, usec)) return std::nullopt;
           plan.shape.limit = SimTime::usec(usec);
+        } else if (key == "pools") {
+          if (!parse_int(value, plan.shape.pools)) return std::nullopt;
         } else {
           return std::nullopt;
         }
@@ -170,6 +178,9 @@ std::optional<FaultPlan> parse_plan(std::string_view text) {
       } else if (key == "latency-usec") {
         if (!parse_int(value, usec)) return std::nullopt;
         action.extra_latency = SimTime::usec(usec);
+      } else if (key == "peer") {
+        if (value.empty()) return std::nullopt;
+        action.peer = std::string(value);
       } else {
         return std::nullopt;
       }
@@ -288,7 +299,9 @@ FaultPlan make_random_plan(std::uint64_t seed, const PlanShape& shape) {
           break;
         case FaultActionType::kRestart:
         case FaultActionType::kHeal:
-          break;  // never drawn directly
+        case FaultActionType::kSever:
+        case FaultActionType::kReconnect:
+          break;  // never drawn by the single-pool generator
       }
       break;
     }

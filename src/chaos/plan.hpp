@@ -33,9 +33,11 @@ enum class FaultActionType {
   kFsFaults,   ///< transient-IoError window on the host's filesystem
   kCorrupt,    ///< silent-corruption window on the host's filesystem (§5)
   kChronic,    ///< mark the machine chronically bad: persistent fs faults
+  kSever,      ///< cut the link between host and peer (inter-pool trunk)
+  kReconnect,  ///< restore the severed host<->peer link
 };
 
-inline constexpr std::size_t kNumFaultActionTypes = 8;
+inline constexpr std::size_t kNumFaultActionTypes = 10;
 
 std::string_view action_name(FaultActionType type);
 /// Parse names produced by action_name(). Plan files cross a trust
@@ -46,6 +48,7 @@ struct FaultAction {
   SimTime at{};                    ///< when the fault fires (simulated time)
   FaultActionType type = FaultActionType::kLink;
   std::string host;                ///< the victim machine
+  std::string peer;                ///< the link's other end (kSever/kReconnect)
   double rate = 0;                 ///< drop / fault / corruption probability
   SimTime duration{};              ///< window length (kLink/kFsFaults/kCorrupt)
   SimTime extra_latency{};         ///< added link latency (kLink only)
@@ -65,6 +68,12 @@ struct PoolShape {
   int jobs = 24;                      ///< make_workload batch size
   SimTime mean_compute = SimTime::sec(30);
   SimTime limit = SimTime::hours(8);  ///< run_until_done budget
+  /// Pools in the topology. 1 = a plain pool::Pool cell; >= 2 = a
+  /// flock::Federation cell (pool 0 is "home" with one machine, the rest
+  /// get `machines` each — see flock::make_federated_cell). Serialized in
+  /// the "# pool" header only when != 1, so single-pool plan artifacts
+  /// keep their bytes.
+  int pools = 1;
 
   friend bool operator==(const PoolShape&, const PoolShape&) = default;
 };

@@ -71,6 +71,17 @@ struct DisciplineConfig {
   int avoidance_threshold = 3;
   SimTime avoidance_cooldown = SimTime::minutes(30);
 
+  // Flocking (multi-pool federation) tuning. A job still idle this long
+  // after submission has overflowed its home pool and is advertised to the
+  // schedd's flock targets. Under the scoped discipline, remote-pool
+  // failures are consumed at the home schedd's flock layer as
+  // cluster-scope conditions; flock_avoidance_threshold of them in a row
+  // suspends flocking to that pool for flock_cooldown (the cross-pool twin
+  // of §5 machine avoidance).
+  SimTime flock_delay = SimTime::sec(15);
+  int flock_avoidance_threshold = 3;
+  SimTime flock_cooldown = SimTime::minutes(10);
+
   static DisciplineConfig naive() {
     DisciplineConfig d;
     d.wrap = jvm::WrapMode::kBare;

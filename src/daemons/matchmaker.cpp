@@ -181,6 +181,10 @@ void Matchmaker::negotiate() {
       notice.set("StartdHost", machine.ad.eval_string("Machine"));
       notice.set("StartdPort", machine.ad.eval_int("StartdPort"));
       notice.set("MatchId", static_cast<std::int64_t>(matches_made_));
+      // Provenance for flocking schedds: which matchmaker brokered this
+      // match. A schedd with flock targets maps this host back to a pool
+      // so it can attribute the attempt's outcome across the boundary.
+      notice.set("MatchmakerHost", name());
       log().debug("match job ", job_ad.eval_int("JobId"), " <-> ", best.name);
 
       // Notify the schedd over a short-lived connection. A failure here is

@@ -163,12 +163,99 @@ void Schedd::advertise_now() {
   ad.insert("Jobs", std::make_unique<classad::Literal>(
                         classad::Value::list(std::move(job_ads))));
 
+  advertise_to_flock(ad);
   rpc_connect(engine(), fabric_, name(), matchmaker_, timeouts_.rpc_timeout,
               [ad = std::move(ad)](Result<std::shared_ptr<RpcChannel>> ch) {
                 if (!ch.ok()) return;
                 ch.value()->notify(kCmdUpdateSubmitterAd, ad);
                 ch.value()->close();
               });
+}
+
+void Schedd::advertise_to_flock(const classad::ClassAd& ad) {
+  if (flock_targets_.empty()) return;
+  // Flock only once the home pool has demonstrably left work idle: some
+  // job has waited past flock_delay without the home matchmaker placing
+  // it. This is the deterministic proxy for "my matchmaker can't match".
+  bool overflowed = false;
+  for (const auto& [id, record] : jobs_) {
+    if (record.state != JobState::kIdle) continue;
+    if (now() < record.not_before) continue;
+    if (record.submitted + discipline_.flock_delay <= now()) {
+      overflowed = true;
+      break;
+    }
+  }
+  if (!overflowed) return;
+  for (const FlockTarget& target : flock_targets_) {
+    if (pool_avoided(target.pool)) continue;
+    ++flock_ads_sent_;
+    rpc_connect(engine(), fabric_, name(), target.matchmaker,
+                timeouts_.rpc_timeout,
+                [this, pool = target.pool,
+                 ad](Result<std::shared_ptr<RpcChannel>> ch) {
+                  if (!ch.ok()) {
+                    // An unreachable remote matchmaker invalidates the
+                    // whole pool from here: network scope, consumed by
+                    // the flock layer (its manager).
+                    note_pool_unreachable(pool, ch.error(), 0);
+                    return;
+                  }
+                  ch.value()->notify(kCmdUpdateSubmitterAd, ad);
+                  ch.value()->close();
+                });
+  }
+}
+
+std::string Schedd::pool_of_matchmaker(const std::string& host) const {
+  for (const FlockTarget& target : flock_targets_) {
+    if (target.matchmaker.host == host) return target.pool;
+  }
+  return {};
+}
+
+bool Schedd::pool_avoided(const std::string& pool) const {
+  auto it = flock_avoid_until_.find(pool);
+  return it != flock_avoid_until_.end() && now() < it->second;
+}
+
+void Schedd::note_pool_failure(const std::string& pool, const Error& error,
+                               std::uint64_t job_id,
+                               std::uint64_t parent_span) {
+  if (!discipline_.scope_routing) return;
+  ++cluster_errors_consumed_;
+  const int count = ++pool_failures_[pool];
+  std::string detail =
+      "flock: remote-pool condition consumed by home schedd (pool " + pool +
+      ")";
+  if (count >= discipline_.flock_avoidance_threshold &&
+      !pool_avoided(pool)) {
+    flock_avoid_until_[pool] = now() + discipline_.flock_cooldown;
+    detail += "; flocking suspended for " + discipline_.flock_cooldown.str();
+    log().info("suspending flocking to pool ", pool, " for ",
+               discipline_.flock_cooldown.str(), " after ", count,
+               " consecutive remote failures");
+  }
+  trace().consumed(error, job_id, detail, parent_span);
+}
+
+void Schedd::note_pool_unreachable(const std::string& pool, const Error& cause,
+                                   std::uint64_t job_id) {
+  if (!discipline_.scope_routing) return;
+  // A severed inter-pool link is the first genuinely network-scope error:
+  // it invalidates every resource behind it at once. Its manager is the
+  // flock layer — the one component that knows the pool as a unit — which
+  // consumes it by suspending flocking until the link heals.
+  Error link = cause;
+  link.widen_scope_in_place(ErrorScope::kNetwork);
+  const std::uint64_t raised = trace().raised(
+      link, job_id, "flock: pool " + pool + " unreachable");
+  ++network_errors_consumed_;
+  flock_avoid_until_[pool] = now() + discipline_.flock_cooldown;
+  trace().consumed(link, job_id,
+                   "flock: network-scope condition consumed; pool " + pool +
+                       " suspended for " + discipline_.flock_cooldown.str(),
+                   raised);
 }
 
 void Schedd::advertise_loop() {
@@ -210,6 +297,9 @@ void Schedd::on_match(const classad::ClassAd& body) {
   const std::string startd_name = body.eval_string("StartdName");
   const std::string startd_host = body.eval_string("StartdHost");
   const int startd_port = static_cast<int>(body.eval_int("StartdPort"));
+  // Which pool brokered this? Empty = our own matchmaker.
+  const std::string pool =
+      pool_of_matchmaker(body.eval_string("MatchmakerHost"));
   auto it = jobs_.find(job_id);
   if (it == jobs_.end() || it->second.state != JobState::kIdle) return;
   if (startd_host.empty() || startd_port == 0) return;
@@ -217,12 +307,17 @@ void Schedd::on_match(const classad::ClassAd& body) {
     log().debug("declining match to avoided machine ", startd_name);
     return;
   }
+  if (!pool.empty() && pool_avoided(pool)) {
+    log().debug("declining flocked match from suspended pool ", pool);
+    return;
+  }
   it->second.state = JobState::kClaiming;
-  try_claim(job_id, {startd_host, startd_port}, startd_name);
+  try_claim(job_id, {startd_host, startd_port}, startd_name, pool);
 }
 
 void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
-                       const std::string& startd_name) {
+                       const std::string& startd_name,
+                       const std::string& pool) {
   auto record_it = jobs_.find(job_id);
   if (record_it == jobs_.end()) return;
   Result<classad::ClassAd> summary =
@@ -243,7 +338,7 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
 
   rpc_connect(
       engine(), fabric_, name(), startd_addr, timeouts_.rpc_timeout,
-      [this, job_id, startd_addr, startd_name,
+      [this, job_id, startd_addr, startd_name, pool,
        body = std::move(body)](Result<std::shared_ptr<RpcChannel>> ch) mutable {
         auto it = jobs_.find(job_id);
         if (it == jobs_.end() || it->second.state != JobState::kClaiming) {
@@ -252,7 +347,10 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
         if (!ch.ok()) {
           // Claiming is cheap to retry: back to idle, next cycle will
           // offer another machine. (Matchmaking-level failures were
-          // always retried, even pre-redesign.)
+          // always retried, even pre-redesign.) When the unreachable
+          // machine sits in another pool, the failure is also a
+          // network-scope fact about the inter-pool link.
+          if (!pool.empty()) note_pool_unreachable(pool, ch.error(), job_id);
           it->second.state = JobState::kIdle;
           advertise_now();
           return;
@@ -261,7 +359,7 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
         RpcChannel* raw = channel.get();
         raw->request(
             kCmdRequestClaim, std::move(body),
-            [this, job_id, startd_addr, startd_name,
+            [this, job_id, startd_addr, startd_name, pool,
              channel](Result<classad::ClassAd> r) {
               channel->close();
               auto it = jobs_.find(job_id);
@@ -277,17 +375,19 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
               }
               const auto claim = ClaimId{static_cast<std::uint64_t>(
                   r.value().eval_int("ClaimId"))};
-              start_shadow(job_id, startd_addr, startd_name, claim);
+              start_shadow(job_id, startd_addr, startd_name, pool, claim);
             });
       });
 }
 
 void Schedd::start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
-                          const std::string& startd_name, ClaimId claim) {
+                          const std::string& startd_name,
+                          const std::string& pool, ClaimId claim) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
   it->second.state = JobState::kRunning;
   ++total_attempts_;
+  if (!pool.empty()) ++flock_attempts_;
   journal("start job " + std::to_string(job_id) + " on " + startd_name +
           " attempt " + std::to_string(it->second.attempts.size() + 1));
 
@@ -301,13 +401,14 @@ void Schedd::start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
   auto shadow = std::make_unique<Shadow>(
       engine(), fabric_, name(), submit_fs_, discipline_, timeouts_,
       it->second.description, startd_addr, startd_name, claim,
-      [this, job_id, startd_name](ExecutionSummary summary) {
+      [this, job_id, startd_name, pool](ExecutionSummary summary) {
         // Defer: the shadow is deleted in on_attempt_done, and we are
         // inside its callback.
         engine().schedule(SimTime::zero(),
-                          [this, job_id, startd_name,
+                          [this, job_id, startd_name, pool,
                            summary = std::move(summary)] {
-                            on_attempt_done(job_id, startd_name, summary);
+                            on_attempt_done(job_id, startd_name, pool,
+                                            summary);
                           });
       });
   shadow->run();
@@ -338,6 +439,7 @@ void Schedd::note_machine_success(const std::string& machine) {
 }
 
 void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
+                             const std::string& pool,
                              ExecutionSummary summary) {
   active_.erase(job_id);
   auto it = jobs_.find(job_id);
@@ -366,6 +468,12 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   // defense).
   if (summary.have_program_result) {
     note_machine_success(machine);
+    if (!pool.empty()) {
+      // The remote pool delivered a genuine result: its failure streak is
+      // over, and any suspension can lift early.
+      pool_failures_.erase(pool);
+      flock_avoid_until_.erase(pool);
+    }
     record.env_streak_start = SimTime::zero();
     context().audit().record(Principle::kP3, AuditOutcome::kApplied,
                              "schedd@" + name());
@@ -385,6 +493,26 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
   context().audit().record(Principle::kP3, AuditOutcome::kApplied,
                            "schedd@" + name());
   trace().routed(error, "schedd@" + name(), job_id);
+
+  if (!pool.empty()) {
+    // Cross-pool scope transition: inside pool X this was a machine- (or
+    // wider) scope condition, but the home schedd does not administer
+    // pool X's machines — from here the whole remote pool is suspect, so
+    // the error crosses the boundary at cluster scope. Were it allowed to
+    // reach the disposition switch below, cluster scope would wrongly
+    // mark the job unexecutable (the job is fine; a *pool* failed it).
+    // The flock layer is the cluster-scope manager: it consumes the
+    // condition — counting it against the pool and suspending flocking on
+    // a streak — and the job simply retries elsewhere.
+    Error widened = error;
+    widened.widen_scope_in_place(ErrorScope::kCluster);
+    const std::uint64_t escalated = trace().escalated(
+        widened, error.scope(), job_id,
+        "remote failure crosses pool boundary from " + pool);
+    note_pool_failure(pool, widened, job_id, escalated);
+    reschedule(record, job_id, std::move(summary));
+    return;
+  }
 
   // §5: time is a factor in error propagation. Track how long this job's
   // environment has been failing; persistence widens the effective scope
@@ -434,6 +562,12 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
     case ScheddDisposition::kRetryElsewhere:
       break;
   }
+  reschedule(record, job_id, std::move(summary));
+}
+
+void Schedd::reschedule(JobRecord& record, std::uint64_t job_id,
+                        ExecutionSummary summary) {
+  const Error& error = summary.environment_error.value();
   if (static_cast<int>(record.attempts.size()) >= discipline_.max_attempts) {
     log().warn("job ", job_id, " exhausted ", discipline_.max_attempts,
                " attempts; returning last error to the user");

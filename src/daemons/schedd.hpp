@@ -31,6 +31,16 @@ class TopologyModel;
 
 namespace esg::daemons {
 
+/// A remote pool this schedd may flock to when its home matchmaker leaves
+/// jobs idle. The pool name is the provenance label under which remote
+/// failures are attributed (cluster scope: "pool B is failing us", never
+/// "machine b.exec3" — the home schedd has no standing to judge a machine
+/// it does not administer).
+struct FlockTarget {
+  std::string pool;
+  net::Address matchmaker;
+};
+
 class Schedd : public sim::Actor {
  public:
   Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
@@ -64,6 +74,13 @@ class Schedd : public sim::Actor {
     on_job_done_ = std::move(fn);
   }
 
+  /// Enable flocking: when the home matchmaker leaves jobs idle past
+  /// DisciplineConfig::flock_delay, the submitter ad is also sent to these
+  /// remote pools' matchmakers. Call before boot().
+  void set_flock_targets(std::vector<FlockTarget> targets) {
+    flock_targets_ = std::move(targets);
+  }
+
   [[nodiscard]] net::Address address() const { return {name(), ports_.schedd}; }
   [[nodiscard]] const JobRecord* job(JobId id) const;
   [[nodiscard]] const std::map<std::uint64_t, JobRecord>& jobs() const {
@@ -75,6 +92,17 @@ class Schedd : public sim::Actor {
   [[nodiscard]] std::uint64_t claims_denied() const { return claims_denied_; }
   [[nodiscard]] const std::map<std::string, SimTime>& avoided_machines() const {
     return avoid_until_;
+  }
+  [[nodiscard]] const std::map<std::string, SimTime>& avoided_pools() const {
+    return flock_avoid_until_;
+  }
+  [[nodiscard]] std::uint64_t flock_ads_sent() const { return flock_ads_sent_; }
+  [[nodiscard]] std::uint64_t flock_attempts() const { return flock_attempts_; }
+  [[nodiscard]] std::uint64_t cluster_errors_consumed() const {
+    return cluster_errors_consumed_;
+  }
+  [[nodiscard]] std::uint64_t network_errors_consumed() const {
+    return network_errors_consumed_;
   }
 
   /// Static error-topology declaration (the analysis/ model-checker hook):
@@ -96,16 +124,32 @@ class Schedd : public sim::Actor {
   void advertise_now();
   void on_accept(net::Endpoint endpoint);
   void on_match(const classad::ClassAd& body);
+  /// `pool` is empty for home-pool matches, the flock-target pool name for
+  /// matches brokered by a remote matchmaker.
   void try_claim(std::uint64_t job_id, const net::Address& startd_addr,
-                 const std::string& startd_name);
+                 const std::string& startd_name, const std::string& pool);
   void start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
-                    const std::string& startd_name, ClaimId claim);
+                    const std::string& startd_name, const std::string& pool,
+                    ClaimId claim);
   void on_attempt_done(std::uint64_t job_id, const std::string& machine,
-                       ExecutionSummary summary);
+                       const std::string& pool, ExecutionSummary summary);
   void finalize(JobRecord& record, JobState state, ExecutionSummary summary);
+  /// Log-and-retry tail shared by home retries and cross-pool consumption:
+  /// attempt-budget check, exponential backoff, back to Idle.
+  void reschedule(JobRecord& record, std::uint64_t job_id,
+                  ExecutionSummary summary);
   void note_machine_failure(const std::string& machine, const Error& error);
   void note_machine_success(const std::string& machine);
   [[nodiscard]] bool machine_avoided(const std::string& machine) const;
+  /// Cross-pool error-scope semantics (the flock layer as cluster- and
+  /// network-scope manager; see DESIGN.md "Federation").
+  void advertise_to_flock(const classad::ClassAd& ad);
+  [[nodiscard]] std::string pool_of_matchmaker(const std::string& host) const;
+  [[nodiscard]] bool pool_avoided(const std::string& pool) const;
+  void note_pool_failure(const std::string& pool, const Error& error,
+                         std::uint64_t job_id, std::uint64_t parent_span);
+  void note_pool_unreachable(const std::string& pool, const Error& cause,
+                             std::uint64_t job_id);
   void journal(const std::string& event);
   void journal_submit(const JobRecord& record);
   void journal_final(std::uint64_t job_id, JobState state);
@@ -128,8 +172,18 @@ class Schedd : public sim::Actor {
   std::map<std::string, int> consecutive_failures_;
   std::map<std::string, SimTime> avoid_until_;
 
+  // Flocking state: remote pools, their consecutive-failure streaks, and
+  // suspension windows (the cluster-scope twin of machine avoidance).
+  std::vector<FlockTarget> flock_targets_;
+  std::map<std::string, int> pool_failures_;
+  std::map<std::string, SimTime> flock_avoid_until_;
+
   std::uint64_t total_attempts_ = 0;
   std::uint64_t claims_denied_ = 0;
+  std::uint64_t flock_ads_sent_ = 0;
+  std::uint64_t flock_attempts_ = 0;
+  std::uint64_t cluster_errors_consumed_ = 0;
+  std::uint64_t network_errors_consumed_ = 0;
 };
 
 }  // namespace esg::daemons

@@ -1,0 +1,361 @@
+#include "flock/chaos.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "daemons/config.hpp"
+#include "obs/export.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::flock {
+namespace {
+
+using chaos::FaultAction;
+using chaos::FaultActionType;
+using chaos::FaultPlan;
+
+std::string pool_of(const std::string& host) {
+  return host.substr(0, host.find('.'));
+}
+
+bool is_central(const std::string& host) { return host.ends_with(".central"); }
+
+}  // namespace
+
+std::string federated_pool_name(int index) {
+  return index == 0 ? "home" : strfmt("p%d", index);
+}
+
+FaultPlan make_federated_plan(std::uint64_t seed,
+                              const chaos::PoolShape& shape) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.shape = shape;
+  const int pools = std::max(shape.pools, 2);
+  const int machines = std::max(shape.machines, 1);
+  Rng rng(seed);
+
+  const auto remote = [&] {
+    return static_cast<int>(rng.uniform_int(1, pools - 1));
+  };
+  const auto push_pair = [&](FaultAction first, FaultActionType recovery,
+                             SimTime recover_at) {
+    FaultAction recover = first;
+    recover.type = recovery;
+    recover.at = recover_at;
+    plan.actions.push_back(std::move(first));
+    plan.actions.push_back(std::move(recover));
+  };
+
+  // 1. A remote execution machine crashes under flocked work: machine
+  // scope inside its own pool, *cluster* scope at the home schedd.
+  {
+    FaultAction crash;
+    crash.type = FaultActionType::kCrash;
+    crash.host =
+        strfmt("%s.exec%lld", federated_pool_name(remote()).c_str(),
+               static_cast<long long>(rng.uniform_int(0, machines - 1)));
+    crash.at = SimTime::sec(rng.uniform_int(45, 120));
+    const SimTime recover_at = crash.at + SimTime::sec(rng.uniform_int(30, 90));
+    push_pair(std::move(crash), FaultActionType::kRestart, recover_at);
+  }
+  // 2. The home<->remote trunk severed mid-flock: advertisements and
+  // claims toward that matchmaker now fail *network*-scope.
+  {
+    FaultAction sever;
+    sever.type = FaultActionType::kSever;
+    sever.host = "home.submit";
+    sever.peer = federated_pool_name(remote()) + ".central";
+    sever.at = SimTime::sec(rng.uniform_int(30, 90));
+    const SimTime recover_at = sever.at + SimTime::sec(rng.uniform_int(20, 60));
+    push_pair(std::move(sever), FaultActionType::kReconnect, recover_at);
+  }
+  // 3. A remote pool blacks out mid-negotiation (matchmaker partitioned,
+  // then healed) — the flock layer must avoid, not hang.
+  {
+    FaultAction blackout;
+    blackout.type = FaultActionType::kPartition;
+    blackout.host = federated_pool_name(remote()) + ".central";
+    blackout.at = SimTime::sec(rng.uniform_int(40, 110));
+    const SimTime recover_at = blackout.at + SimTime::sec(rng.uniform_int(20, 60));
+    push_pair(std::move(blackout), FaultActionType::kHeal, recover_at);
+  }
+  // 4. The telemetry stream to the parent partitioned: the child holds
+  // its chunks and retransmits after reconnect (at-least-once contract).
+  {
+    FaultAction cut;
+    cut.type = FaultActionType::kSever;
+    cut.host =
+        federated_pool_name(static_cast<int>(rng.uniform_int(0, pools - 1))) +
+        ".central";
+    cut.peer = "parent";
+    cut.at = SimTime::sec(rng.uniform_int(30, 100));
+    const SimTime recover_at = cut.at + SimTime::sec(rng.uniform_int(30, 90));
+    push_pair(std::move(cut), FaultActionType::kReconnect, recover_at);
+  }
+
+  std::stable_sort(plan.actions.begin(), plan.actions.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+FederatedInjector::FederatedInjector(Federation& federation, FaultPlan plan)
+    : federation_(federation), plan_(std::move(plan)) {}
+
+std::shared_ptr<FederatedInjector> FederatedInjector::arm(
+    Federation& federation, FaultPlan plan) {
+  std::shared_ptr<FederatedInjector> injector(
+      new FederatedInjector(federation, std::move(plan)));
+  // Same contract as chaos::Injector: fork the injection streams at arm
+  // time, in plan order, before any event runs.
+  for (const FaultAction& action : injector->plan_.actions) {
+    switch (action.type) {
+      case FaultActionType::kFsFaults:
+      case FaultActionType::kChronic:
+        injector->fs_rng(action.host);
+        break;
+      case FaultActionType::kCorrupt:
+        injector->corrupt_rng(action.host);
+        break;
+      default:
+        break;
+    }
+  }
+  injector->schedule_all(injector);
+  return injector;
+}
+
+Rng& FederatedInjector::fs_rng(const std::string& host) {
+  for (auto& [name, rng] : fs_rngs_) {
+    if (name == host) return rng;
+  }
+  fs_rngs_.emplace_back(
+      host, federation_.engine().rng().fork(rng_streams::chaos_fs(host)));
+  return fs_rngs_.back().second;
+}
+
+Rng& FederatedInjector::corrupt_rng(const std::string& host) {
+  for (auto& [name, rng] : corrupt_rngs_) {
+    if (name == host) return rng;
+  }
+  corrupt_rngs_.emplace_back(
+      host,
+      federation_.engine().rng().fork(rng_streams::chaos_corruption(host)));
+  return corrupt_rngs_.back().second;
+}
+
+void FederatedInjector::schedule_all(
+    const std::shared_ptr<FederatedInjector>& self) {
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    federation_.engine().schedule_at(plan_.actions[i].at, [self, i] {
+      self->apply(self->plan_.actions[i]);
+    });
+    const FaultAction& action = plan_.actions[i];
+    const bool windowed = action.type == FaultActionType::kLink ||
+                          action.type == FaultActionType::kFsFaults ||
+                          action.type == FaultActionType::kCorrupt;
+    if (windowed) {
+      federation_.engine().schedule_at(action.at + action.duration, [self, i] {
+        self->restore(self->plan_.actions[i]);
+      });
+    }
+  }
+}
+
+void FederatedInjector::note(const FaultAction& action, const char* phase) {
+  ++fired_;
+  log_.push_back(strfmt("%s %s", phase, action.str().c_str()));
+}
+
+void FederatedInjector::apply(const FaultAction& action) {
+  net::NetworkFabric& fabric = federation_.fabric();
+  switch (action.type) {
+    case FaultActionType::kCrash:
+      // The daemon dies first (aborting its connections — §3.2's escaping
+      // error), then the host drops off the network.
+      if (is_central(action.host)) {
+        if (daemons::Matchmaker* mm =
+                federation_.matchmaker(pool_of(action.host))) {
+          mm->shutdown();
+        }
+      } else if (daemons::Startd* startd = federation_.startd(action.host)) {
+        startd->shutdown();
+      }
+      fabric.crash_host(action.host);
+      break;
+    case FaultActionType::kRestart:
+      if (is_central(action.host)) {
+        if (daemons::Matchmaker* mm =
+                federation_.matchmaker(pool_of(action.host))) {
+          mm->boot();
+        }
+      } else if (daemons::Startd* startd = federation_.startd(action.host)) {
+        startd->boot();
+      }
+      break;
+    case FaultActionType::kPartition:
+      fabric.set_partitioned(action.host, true);
+      break;
+    case FaultActionType::kHeal:
+      fabric.set_partitioned(action.host, false);
+      break;
+    case FaultActionType::kLink: {
+      net::HostFaults faults = fabric.faults_for(action.host);
+      faults.drop_msg_prob = action.rate;
+      faults.latency += action.extra_latency;
+      fabric.set_host_faults(action.host, faults);
+      break;
+    }
+    case FaultActionType::kFsFaults:
+      if (fs::SimFileSystem* fs = federation_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(action.rate, fs_rng(action.host));
+      }
+      break;
+    case FaultActionType::kCorrupt:
+      if (fs::SimFileSystem* fs = federation_.machine_fs(action.host)) {
+        fs->set_silent_corruption_rate(action.rate, corrupt_rng(action.host));
+      }
+      break;
+    case FaultActionType::kChronic:
+      if (fs::SimFileSystem* fs = federation_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(action.rate, fs_rng(action.host));
+      }
+      federation_.recorder().chronic_failure("chaos: chronic " + action.host);
+      break;
+    case FaultActionType::kSever:
+      fabric.set_link_severed(action.host, action.peer, true);
+      break;
+    case FaultActionType::kReconnect:
+      fabric.set_link_severed(action.host, action.peer, false);
+      break;
+  }
+  note(action, "apply");
+}
+
+void FederatedInjector::restore(const FaultAction& action) {
+  net::NetworkFabric& fabric = federation_.fabric();
+  switch (action.type) {
+    case FaultActionType::kLink: {
+      // Federated cells build all-good machines, so base rates are zero.
+      net::HostFaults faults = fabric.faults_for(action.host);
+      faults.drop_msg_prob = 0;
+      faults.latency -= action.extra_latency;
+      fabric.set_host_faults(action.host, faults);
+      break;
+    }
+    case FaultActionType::kFsFaults:
+      if (fs::SimFileSystem* fs = federation_.machine_fs(action.host)) {
+        fs->set_transient_fault_rate(0, fs_rng(action.host));
+      }
+      break;
+    case FaultActionType::kCorrupt:
+      if (fs::SimFileSystem* fs = federation_.machine_fs(action.host)) {
+        fs->set_silent_corruption_rate(0, corrupt_rng(action.host));
+      }
+      break;
+    default:
+      break;  // non-windowed actions have nothing to restore
+  }
+  note(action, "restore");
+}
+
+FederationConfig federated_cell_config(const FaultPlan& plan) {
+  FederationConfig config;
+  config.seed = plan.seed;
+  config.discipline = plan.shape.discipline == "naive"
+                          ? daemons::DisciplineConfig::naive()
+                          : daemons::DisciplineConfig::scoped();
+  if (plan.shape.discipline != "naive") {
+    config.discipline.schedd_avoidance = true;
+  }
+  config.trace = true;
+  config.trace_capacity = 1 << 16;
+  config.stream = true;
+  // Home is deliberately starved (one machine) so the workload overflows
+  // through flocking; remote pools are all-good, so any red cell is
+  // attributable to the injected plan.
+  const int pools = std::max(plan.shape.pools, 2);
+  for (int i = 0; i < pools; ++i) {
+    PoolSpec spec;
+    spec.name = federated_pool_name(i);
+    const int machines = i == 0 ? 1 : std::max(plan.shape.machines, 1);
+    for (int m = 0; m < machines; ++m) {
+      spec.machines.push_back(pool::MachineSpec::good(strfmt("exec%d", m)));
+    }
+    config.pools.push_back(std::move(spec));
+  }
+  return config;
+}
+
+pool::SweepCell make_federated_cell(const FaultPlan& plan, std::string label) {
+  pool::SweepCell cell;
+  cell.label = std::move(label);
+  cell.limit = plan.shape.limit;
+  cell.run = [plan, label = cell.label] {
+    Federation federation(federated_cell_config(plan));
+    federation.boot();
+
+    pool::stage_workload_inputs(*federation.submit_fs("home"));
+    pool::WorkloadOptions workload;
+    workload.count = plan.shape.jobs;
+    workload.mean_compute = plan.shape.mean_compute;
+    workload.remote_io_fraction = 0.25;
+    workload.remote_write_fraction = 0.25;
+    Rng rng = Rng(plan.seed).fork("chaos.workload");
+    for (auto& job : pool::make_workload(workload, rng)) {
+      federation.submit(0, std::move(job));
+    }
+    FederatedInjector::arm(federation, plan);
+
+    pool::CellOutcome out;
+    out.label = label;
+    out.seed = plan.seed;
+    out.finished = federation.run_until_done(plan.shape.limit);
+    out.report = federation.report();
+    out.trace_events = federation.recorder().total_recorded();
+    out.trace_dump = obs::render_dump(federation.recorder().events(), label);
+    out.journal = obs::journal_str(federation.recorder());
+    out.engine_events = federation.engine().executed();
+    return out;
+  };
+  return cell;
+}
+
+chaos::RunResult replay_federated(const FaultPlan& plan) {
+  std::vector<pool::SweepCell> cells;
+  cells.push_back(make_federated_cell(plan, "replay"));
+  const pool::SweepReport sweep = pool::SweepRunner(1).run(std::move(cells));
+  const pool::CellOutcome& outcome = sweep.cells.front();
+  chaos::RunResult out;
+  out.finished = outcome.finished;
+  out.report = outcome.report;
+  std::vector<obs::TraceEvent> events;
+  if (std::optional<obs::Journal> journal = obs::parse_journal(outcome.journal)) {
+    events = std::move(journal->events);
+  }
+  out.oracles = chaos::evaluate_oracles(outcome.report, outcome.finished, events);
+  out.engine_events = outcome.engine_events;
+  return out;
+}
+
+chaos::CampaignHooks federated_hooks() {
+  chaos::CampaignHooks hooks;
+  hooks.draw = [](std::uint64_t seed, const chaos::CampaignOptions& options) {
+    return make_federated_plan(seed, options.shape);
+  };
+  hooks.cell = [](const FaultPlan& plan, std::string label) {
+    return make_federated_cell(plan, std::move(label));
+  };
+  hooks.replay = replay_federated;
+  return hooks;
+}
+
+chaos::CampaignResult run_federated_campaign(
+    const chaos::CampaignOptions& options) {
+  return chaos::CampaignRunner(options).run(federated_hooks());
+}
+
+}  // namespace esg::flock

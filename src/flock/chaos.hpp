@@ -1,0 +1,102 @@
+// Chaos for federations: flocking-era fault plans, the federated injector,
+// and the campaign hooks that let chaos::CampaignRunner judge multi-pool
+// cells unchanged.
+//
+// A federated plan speaks the same esg-faultplan v1 language as a
+// single-pool plan (shape.pools >= 2 marks it federated) but draws
+// flocking-era faults: a remote pool blacked out mid-negotiation, the
+// inter-pool trunk severed (the first genuinely *network*-scope error), a
+// remote execution machine crashed under a flocked job (surfacing at the
+// home schedd as *cluster* scope), and the telemetry stream to the parent
+// aggregator partitioned so the child must retransmit. The same five
+// resilience oracles apply: Federation::report() has pool::PoolReport
+// shape, and the shared flight recorder yields one judgeable journal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "flock/federation.hpp"
+#include "pool/sweep.hpp"
+
+namespace esg::flock {
+
+/// The pool name scheme federated cells use: pool 0 is "home" (one
+/// machine, all jobs submitted here), the rest are "p1".."pN-1" with
+/// shape.machines executors each. Plan hosts are full names
+/// ("p1.exec0", "home.submit", "p2.central", "parent").
+[[nodiscard]] std::string federated_pool_name(int index);
+
+/// Draw a deterministic flocking-era plan: same seed, same shape -> the
+/// same plan, bit for bit. Every plan carries the four federated fault
+/// kinds (remote exec crash+restart, home<->remote trunk sever+reconnect,
+/// remote matchmaker blackout+heal, child->parent stream sever+reconnect)
+/// with seeded victims and times, so every cell exercises both the
+/// cluster-scope and the network-scope boundary crossings.
+[[nodiscard]] chaos::FaultPlan make_federated_plan(std::uint64_t seed,
+                                                   const chaos::PoolShape& shape);
+
+/// chaos::Injector's twin over a Federation: schedules every plan action
+/// on the federation's engine. Crashing "<pool>.central" kills the
+/// matchmaker; crashing an exec host kills its startd; sever/reconnect
+/// drive NetworkFabric::set_link_severed. Injection RNG streams fork at
+/// arm time, in plan order (same determinism contract as the single-pool
+/// injector).
+class FederatedInjector {
+ public:
+  static std::shared_ptr<FederatedInjector> arm(Federation& federation,
+                                                chaos::FaultPlan plan);
+
+  [[nodiscard]] const chaos::FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] std::size_t fired() const { return fired_; }
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  FederatedInjector(Federation& federation, chaos::FaultPlan plan);
+
+  void schedule_all(const std::shared_ptr<FederatedInjector>& self);
+  void apply(const chaos::FaultAction& action);
+  void restore(const chaos::FaultAction& action);
+  void note(const chaos::FaultAction& action, const char* phase);
+  Rng& fs_rng(const std::string& host);
+  Rng& corrupt_rng(const std::string& host);
+
+  Federation& federation_;
+  chaos::FaultPlan plan_;
+  std::vector<std::pair<std::string, Rng>> fs_rngs_;
+  std::vector<std::pair<std::string, Rng>> corrupt_rngs_;
+  std::size_t fired_ = 0;
+  std::vector<std::string> log_;
+};
+
+/// Build the FederationConfig a federated plan targets (exposed so demos
+/// and tests construct the exact topology a campaign cell runs).
+[[nodiscard]] FederationConfig federated_cell_config(const chaos::FaultPlan& plan);
+
+/// The federated counterpart of CampaignRunner::make_cell: a SweepCell
+/// whose custom `run` hook builds a streaming Federation per plan.shape
+/// (home pool + pools-1 remotes), submits the whole workload at home so it
+/// overflows through flocking, arms the FederatedInjector, and returns the
+/// outcome in the same shape single-pool cells produce — so SweepRunner,
+/// the oracles, ddmin, and triage all apply unchanged.
+[[nodiscard]] pool::SweepCell make_federated_cell(const chaos::FaultPlan& plan,
+                                                  std::string label);
+
+/// Run one federated plan by itself and evaluate the oracles.
+[[nodiscard]] chaos::RunResult replay_federated(const chaos::FaultPlan& plan);
+
+/// The three campaign stages bound to their federated implementations.
+[[nodiscard]] chaos::CampaignHooks federated_hooks();
+
+/// CampaignRunner over federated cells: options.shape.pools selects the
+/// federation width (>= 2). Verdict bytes are thread-count independent,
+/// exactly like the single-pool campaign.
+[[nodiscard]] chaos::CampaignResult run_federated_campaign(
+    const chaos::CampaignOptions& options);
+
+}  // namespace esg::flock

@@ -1,0 +1,350 @@
+#include "flock/federation.hpp"
+
+#include <utility>
+
+#include "common/rng.hpp"
+#include "obs/dashboard.hpp"
+
+namespace esg::flock {
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string strip_trailing_newlines(std::string s) {
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+Federation::Federation(FederationConfig config)
+    : config_(std::move(config)), engine_(config_.seed), fabric_(engine_) {
+  // Name anonymous pools and machines before anything derives hosts.
+  for (std::size_t i = 0; i < config_.pools.size(); ++i) {
+    if (config_.pools[i].name.empty()) {
+      config_.pools[i].name = "p" + std::to_string(i);
+    }
+    for (std::size_t j = 0; j < config_.pools[i].machines.size(); ++j) {
+      if (config_.pools[i].machines[j].name.empty()) {
+        config_.pools[i].machines[j].name = "exec" + std::to_string(j);
+      }
+    }
+  }
+
+  if (config_.trace) {
+    obs::FlightRecorder& recorder = engine_.context().recorder();
+    recorder.set_enabled(true);
+    recorder.set_capacity(config_.trace_capacity);
+    aggregator_ =
+        std::make_unique<obs::ScopeAggregator>(config_.dashboard_slice);
+    // One recorder, one tap, two consumers: the federation-wide aggregate
+    // sees everything; each event is also routed to its pool's streamer by
+    // the pool prefix of its machine name ("beta.exec0" -> "beta"). The
+    // tap fires inside record(), before the ring can wrap, so neither
+    // consumer ever misses a span.
+    recorder.set_tap([this](const obs::TraceEvent& event) {
+      aggregator_->observe(event);
+      if (!config_.stream) return;
+      const std::string machine = obs::machine_of(event.component);
+      const std::size_t dot = machine.find('.');
+      if (dot == std::string::npos) return;  // parent-side or helper event
+      const auto it = by_name_.find(machine.substr(0, dot));
+      if (it == by_name_.end()) return;
+      if (ChildStreamer* streamer = children_[it->second]->streamer.get()) {
+        streamer->offer(event);
+      }
+    });
+  }
+
+  const daemons::Ports ports;
+  const bool streaming = config_.stream && config_.trace;
+  if (streaming) {
+    parent_ = std::make_unique<Aggregator>(engine_, fabric_,
+                                           config_.parent_host,
+                                           config_.parent_port,
+                                           config_.dashboard_slice);
+  }
+
+  for (std::size_t i = 0; i < config_.pools.size(); ++i) {
+    const PoolSpec& spec = config_.pools[i];
+    auto child = std::make_unique<Child>();
+    child->name = spec.name;
+    const std::string central = spec.name + ".central";
+    const std::string submit = spec.name + ".submit";
+    const net::Address mm_addr{central, ports.matchmaker};
+
+    child->matchmaker = std::make_unique<daemons::Matchmaker>(
+        engine_, fabric_, central, ports, config_.timeouts);
+
+    child->submit_fs = std::make_unique<fs::SimFileSystem>(submit);
+    child->submit_fs->add_mount("/home", 0);
+    (void)child->submit_fs->mkdirs("/out");
+    (void)child->submit_fs->mkdirs("/spool");
+    if (spec.submit_fs_fault_rate > 0) {
+      child->submit_fs->set_transient_fault_rate(
+          spec.submit_fs_fault_rate,
+          engine_.rng().fork(rng_streams::fs_faults(submit)));
+    }
+    child->schedd = std::make_unique<daemons::Schedd>(
+        engine_, fabric_, *child->submit_fs, submit, config_.discipline,
+        mm_addr, ports, config_.timeouts);
+    // Disjoint job-id ranges across the federation: attempt ground truth
+    // is keyed by job id grid-wide, exactly as with extra submitters.
+    child->schedd->set_job_id_base(i * 1000000ULL);
+
+    for (const pool::MachineSpec& machine_spec : spec.machines) {
+      const std::string host = spec.name + "." + machine_spec.name;
+      Machine machine;
+      machine.fs = std::make_unique<fs::SimFileSystem>(host);
+      machine.fs->add_mount("/scratch",
+                            machine_spec.startd.scratch_capacity_bytes);
+      if (machine_spec.fs_fault_rate > 0) {
+        machine.fs->set_transient_fault_rate(
+            machine_spec.fs_fault_rate,
+            engine_.rng().fork(rng_streams::fs_faults(host)));
+      }
+      if (machine_spec.silent_corruption_rate > 0) {
+        machine.fs->set_silent_corruption_rate(
+            machine_spec.silent_corruption_rate,
+            engine_.rng().fork(rng_streams::fs_corruption(host)));
+      }
+      machine.startd = std::make_unique<daemons::Startd>(
+          engine_, fabric_, *machine.fs, host, machine_spec.startd,
+          config_.discipline, mm_addr, ports, config_.timeouts);
+      machine.startd->set_ground_truth(&ground_truth_);
+      fabric_.set_host_faults(host, machine_spec.net_faults);
+      child->machines[host] = std::move(machine);
+    }
+
+    if (streaming) {
+      child->streamer = std::make_unique<ChildStreamer>(
+          engine_, fabric_, spec.name, central,
+          net::Address{config_.parent_host, config_.parent_port},
+          config_.stream_interval);
+    }
+
+    by_name_[spec.name] = i;
+    children_.push_back(std::move(child));
+  }
+
+  // Flocking wiring: every schedd may overflow to every other pool's
+  // matchmaker, in federation order.
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    std::vector<daemons::FlockTarget> targets;
+    for (std::size_t j = 0; j < children_.size(); ++j) {
+      if (j == i) continue;
+      targets.push_back(daemons::FlockTarget{
+          children_[j]->name,
+          net::Address{children_[j]->name + ".central", ports.matchmaker}});
+    }
+    children_[i]->schedd->set_flock_targets(std::move(targets));
+  }
+}
+
+Federation::~Federation() {
+  if (config_.trace) engine_.context().recorder().clear_tap();
+}
+
+void Federation::boot() {
+  if (booted_) return;
+  booted_ = true;
+  if (parent_ != nullptr) parent_->boot();
+  for (const std::unique_ptr<Child>& child : children_) {
+    child->matchmaker->boot();
+    child->schedd->boot();
+    for (auto& [host, machine] : child->machines) machine.startd->boot();
+    if (child->streamer != nullptr) child->streamer->boot();
+  }
+}
+
+const Federation::Child* Federation::child(const std::string& pool) const {
+  const auto it = by_name_.find(pool);
+  return it == by_name_.end() ? nullptr : children_[it->second].get();
+}
+
+Federation::Child* Federation::child(const std::string& pool) {
+  const auto it = by_name_.find(pool);
+  return it == by_name_.end() ? nullptr : children_[it->second].get();
+}
+
+std::vector<std::string> Federation::pool_names() const {
+  std::vector<std::string> out;
+  out.reserve(children_.size());
+  for (const std::unique_ptr<Child>& child : children_) {
+    out.push_back(child->name);
+  }
+  return out;
+}
+
+daemons::Schedd* Federation::schedd(const std::string& pool) {
+  Child* c = child(pool);
+  return c == nullptr ? nullptr : c->schedd.get();
+}
+
+daemons::Matchmaker* Federation::matchmaker(const std::string& pool) {
+  Child* c = child(pool);
+  return c == nullptr ? nullptr : c->matchmaker.get();
+}
+
+daemons::Startd* Federation::startd(const std::string& host) {
+  const std::size_t dot = host.find('.');
+  if (dot == std::string::npos) return nullptr;
+  Child* c = child(host.substr(0, dot));
+  if (c == nullptr) return nullptr;
+  const auto it = c->machines.find(host);
+  return it == c->machines.end() ? nullptr : it->second.startd.get();
+}
+
+fs::SimFileSystem* Federation::machine_fs(const std::string& host) {
+  const std::size_t dot = host.find('.');
+  if (dot == std::string::npos) return nullptr;
+  Child* c = child(host.substr(0, dot));
+  if (c == nullptr) return nullptr;
+  const auto it = c->machines.find(host);
+  return it == c->machines.end() ? nullptr : it->second.fs.get();
+}
+
+fs::SimFileSystem* Federation::submit_fs(const std::string& pool) {
+  Child* c = child(pool);
+  return c == nullptr ? nullptr : c->submit_fs.get();
+}
+
+ChildStreamer* Federation::streamer(const std::string& pool) {
+  Child* c = child(pool);
+  return c == nullptr ? nullptr : c->streamer.get();
+}
+
+JobId Federation::submit(std::size_t pool_index,
+                         daemons::JobDescription description) {
+  if (pool_index >= children_.size()) return JobId{};
+  return children_[pool_index]->schedd->submit(std::move(description));
+}
+
+JobId Federation::submit(const std::string& pool,
+                         daemons::JobDescription description) {
+  Child* c = child(pool);
+  if (c == nullptr) return JobId{};
+  return c->schedd->submit(std::move(description));
+}
+
+bool Federation::run_until_done(SimTime limit) {
+  boot();
+  return engine_.run_until(
+      [this] {
+        for (const std::unique_ptr<Child>& child : children_) {
+          if (!child->schedd->all_done()) return false;
+        }
+        for (const std::unique_ptr<Child>& child : children_) {
+          if (child->streamer != nullptr && !child->streamer->drained()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      engine_.now() + limit);
+}
+
+obs::FlowAggregate Federation::flow() const {
+  if (aggregator_ == nullptr) return obs::FlowAggregate{};
+  obs::FlowAggregate out = aggregator_->aggregate();
+  for (const auto& [scope, count] :
+       engine_.context().recorder().dropped_by_scope()) {
+    out.dropped_spans[scope] += count;
+  }
+  return out;
+}
+
+pool::PoolReport Federation::report() const {
+  pool::PoolReport report;
+  report.discipline = config_.discipline.name();
+  report.flow = flow();
+  report.network_messages = fabric_.total_messages();
+  report.network_bytes = fabric_.total_bytes();
+  report.makespan_seconds = engine_.now().as_sec();
+
+  std::map<std::uint64_t, const daemons::AttemptGroundTruth*> last_truth;
+  for (const daemons::AttemptGroundTruth& truth : ground_truth_.entries()) {
+    ++report.total_attempts;
+    if (truth.incidental()) {
+      ++report.incidental_attempts;
+      report.wasted_cpu_seconds += truth.cpu_seconds;
+    }
+    last_truth[truth.job_id] = &truth;
+  }
+
+  double turnaround_sum = 0;
+  int finished = 0;
+  for (const std::unique_ptr<Child>& child : children_) {
+    for (const auto& [id, record] : child->schedd->jobs()) {
+      ++report.jobs_total;
+      switch (record.state) {
+        case daemons::JobState::kIdle:
+        case daemons::JobState::kClaiming:
+        case daemons::JobState::kRunning:
+          ++report.unfinished;
+          continue;
+        case daemons::JobState::kUnexecutable: {
+          ++report.unexecutable;
+          const bool job_scope =
+              record.final_summary.environment_error.has_value() &&
+              record.final_summary.environment_error->scope() ==
+                  ErrorScope::kJob;
+          if (!job_scope) ++report.gave_up;
+          break;
+        }
+        case daemons::JobState::kCompleted: {
+          const auto truth_it = last_truth.find(id);
+          const daemons::AttemptGroundTruth* truth =
+              truth_it == last_truth.end() ? nullptr : truth_it->second;
+          const bool genuinely_program =
+              truth != nullptr && !truth->incidental();
+          if (record.final_summary.have_program_result && genuinely_program) {
+            report.goodput_cpu_seconds += truth->cpu_seconds;
+            const auto& rf = record.final_summary.program_result;
+            const bool is_error =
+                rf.exit_by == jvm::ResultFile::ExitBy::kException ||
+                (rf.exit_by == jvm::ResultFile::ExitBy::kSystemExit &&
+                 rf.exit_code != 0);
+            if (is_error) {
+              ++report.completed_program_error;
+            } else {
+              ++report.completed_genuine;
+            }
+          } else {
+            ++report.user_incidental_exposures;
+          }
+          break;
+        }
+      }
+      turnaround_sum += (record.finished - record.submitted).as_sec();
+      ++finished;
+    }
+  }
+  if (finished > 0) report.mean_turnaround_seconds = turnaround_sum / finished;
+  return report;
+}
+
+std::string Federation::federated_dashboard_json(std::string_view label) const {
+  if (parent_ != nullptr) return parent_->json(label);
+  // No streaming: same document shape, with the tap-fed federation
+  // aggregate standing in for the merged view and no per-pool feeds.
+  return "{\"label\":\"" + json_escape(label) +
+         "\",\"malformed_chunks\":0,\"pools\":[\n],\"merged\":" +
+         strip_trailing_newlines(obs::dashboard_json(flow(), "merged")) +
+         "}\n";
+}
+
+}  // namespace esg::flock

@@ -1,0 +1,169 @@
+// Federation: N pools, one deterministic engine, and flocking between them.
+//
+// Condor flocking (Epema et al.; §6 of the paper's lineage) lets a schedd
+// whose home matchmaker cannot place its jobs negotiate with other pools'
+// matchmakers. A Federation builds that topology as one simulation: every
+// pool gets its own matchmaker ("<pool>.central"), submit machine
+// ("<pool>.submit", schedd + filesystem), and execution machines
+// ("<pool>.<name>"), all sharing one engine, one network fabric, and one
+// ground-truth log — so a federated run is as replayable, byte for byte,
+// as a single pool.
+//
+// The interesting part is what crossing the pool boundary does to error
+// scope. Inside pool B, a crashed startd is a machine-scope condition B's
+// own schedd handles with avoidance. Seen from pool A's schedd, the same
+// event is *cluster* scope: A has no standing to judge B's machines — it
+// can only judge B. The schedd's flock layer therefore escalates remote
+// execution failures to cluster scope and consumes them itself (suspending
+// the pool after a streak), and raises + consumes *network*-scope errors
+// when an inter-pool link is severed — the first errors in this codebase
+// that genuinely live at those two rungs of the §3 scope ladder. The
+// federated TopologyModel (pool/topology.hpp, describe_federated_topology)
+// declares exactly this contract for esg-verify.
+//
+// With FederationConfig::stream set, each pool runs a ChildStreamer and a
+// parent flock::Aggregator (host "parent") merges every pool's journal
+// deltas with provenance intact — see flock/stream.hpp and esg-top
+// --parent.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "daemons/config.hpp"
+#include "daemons/groundtruth.hpp"
+#include "daemons/matchmaker.hpp"
+#include "daemons/schedd.hpp"
+#include "daemons/startd.hpp"
+#include "flock/stream.hpp"
+#include "fs/simfs.hpp"
+#include "net/fabric.hpp"
+#include "obs/aggregate.hpp"
+#include "pool/pool.hpp"
+#include "pool/report.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::flock {
+
+/// One member pool: a matchmaker, a submit machine, and its executors.
+/// Machine names are local ("exec0"); hosts get the pool prefix
+/// ("beta.exec0"), which is also how dashboards attribute provenance.
+struct PoolSpec {
+  std::string name;
+  std::vector<pool::MachineSpec> machines;
+  double submit_fs_fault_rate = 0;
+};
+
+struct FederationConfig {
+  std::uint64_t seed = 42;
+  daemons::DisciplineConfig discipline;
+  daemons::Timeouts timeouts;
+  std::vector<PoolSpec> pools;
+  /// Enable the shared flight recorder (one journal for the whole
+  /// federation; events carry pool provenance in their component names).
+  bool trace = false;
+  std::size_t trace_capacity = 1 << 16;
+  SimTime dashboard_slice = SimTime::minutes(1);
+  /// Stream each pool's journal deltas to a parent Aggregator (requires
+  /// trace; see flock/stream.hpp).
+  bool stream = false;
+  SimTime stream_interval = SimTime::sec(30);
+  std::string parent_host = "parent";
+  int parent_port = kStreamPort;
+};
+
+class Federation {
+ public:
+  explicit Federation(FederationConfig config);
+  ~Federation();
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  void boot();
+
+  /// Submit to a pool's schedd (by index or name). Jobs overflow to other
+  /// pools only when the home pool leaves them idle past
+  /// DisciplineConfig::flock_delay.
+  JobId submit(std::size_t pool_index, daemons::JobDescription description);
+  JobId submit(const std::string& pool, daemons::JobDescription description);
+
+  /// Run until every schedd's queue is terminal and — when streaming —
+  /// every child's chunks are flushed and acknowledged, or `limit`
+  /// elapses. Waiting for the streams means the parent's aggregates are
+  /// complete at return, not trailing one flush interval behind.
+  bool run_until_done(SimTime limit = SimTime::hours(4));
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] obs::FlightRecorder& recorder() {
+    return engine_.context().recorder();
+  }
+  [[nodiscard]] net::NetworkFabric& fabric() { return fabric_; }
+  [[nodiscard]] daemons::GroundTruthLog& ground_truth() {
+    return ground_truth_;
+  }
+  [[nodiscard]] const FederationConfig& config() const { return config_; }
+  [[nodiscard]] std::vector<std::string> pool_names() const;
+
+  [[nodiscard]] daemons::Schedd* schedd(const std::string& pool);
+  [[nodiscard]] daemons::Matchmaker* matchmaker(const std::string& pool);
+  /// Lookup by full host name ("beta.exec0").
+  [[nodiscard]] daemons::Startd* startd(const std::string& host);
+  [[nodiscard]] fs::SimFileSystem* machine_fs(const std::string& host);
+  [[nodiscard]] fs::SimFileSystem* submit_fs(const std::string& pool);
+  [[nodiscard]] ChildStreamer* streamer(const std::string& pool);
+  /// The parent aggregator; null unless config.stream.
+  [[nodiscard]] Aggregator* parent() { return parent_.get(); }
+
+  /// The federation-wide error-flow aggregate (complete, tap-fed), with
+  /// the recorder's dropped-span accounting folded in. Empty unless
+  /// config.trace.
+  [[nodiscard]] obs::FlowAggregate flow() const;
+
+  /// One report over every pool's jobs against the shared ground truth —
+  /// the same shape as pool::Pool::report(), so the chaos oracles judge a
+  /// federated run unchanged.
+  [[nodiscard]] pool::PoolReport report() const;
+
+  /// Deterministic federated dashboard JSON: per-pool streamed aggregates
+  /// with provenance plus the merged view when streaming; the tap-fed
+  /// federation aggregate otherwise.
+  [[nodiscard]] std::string federated_dashboard_json(
+      std::string_view label = {}) const;
+
+ private:
+  struct Machine {
+    std::unique_ptr<fs::SimFileSystem> fs;
+    std::unique_ptr<daemons::Startd> startd;
+  };
+  struct Child {
+    std::string name;
+    std::unique_ptr<fs::SimFileSystem> submit_fs;
+    std::unique_ptr<daemons::Matchmaker> matchmaker;
+    std::unique_ptr<daemons::Schedd> schedd;
+    std::map<std::string, Machine> machines;  // keyed by full host name
+    std::unique_ptr<ChildStreamer> streamer;
+  };
+
+  [[nodiscard]] const Child* child(const std::string& pool) const;
+  [[nodiscard]] Child* child(const std::string& pool);
+
+  FederationConfig config_;
+  sim::Engine engine_;
+  net::NetworkFabric fabric_;
+  daemons::GroundTruthLog ground_truth_;
+  std::vector<std::unique_ptr<Child>> children_;
+  std::map<std::string, std::size_t> by_name_;
+  std::unique_ptr<Aggregator> parent_;
+  /// Fed by the recorder tap (never attach()ed — the tap fans out to this
+  /// and to the per-pool streamers). Declared after engine_ so it outlives
+  /// no recorder it observes.
+  std::unique_ptr<obs::ScopeAggregator> aggregator_;
+  bool booted_ = false;
+};
+
+}  // namespace esg::flock

@@ -1,0 +1,307 @@
+#include "flock/stream.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "obs/export.hpp"
+
+namespace esg::flock {
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// dashboard_json ends with a newline; embedding it inside a larger JSON
+/// document wants the bare object.
+std::string strip_trailing_newlines(std::string s) {
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+// ---- ChildStreamer ----
+
+ChildStreamer::ChildStreamer(sim::Engine& engine, net::NetworkFabric& fabric,
+                             std::string pool, std::string source_host,
+                             net::Address parent, SimTime interval)
+    : Actor(engine, "stream@" + source_host),
+      fabric_(fabric),
+      pool_(std::move(pool)),
+      source_host_(std::move(source_host)),
+      parent_(std::move(parent)),
+      interval_(interval) {}
+
+ChildStreamer::~ChildStreamer() = default;
+
+void ChildStreamer::boot() {
+  if (running_) return;
+  running_ = true;
+  after(interval_, [this] { flush(); });
+}
+
+void ChildStreamer::flush() {
+  if (!running_) return;
+  if (!buffer_.empty()) {
+    Chunk chunk;
+    chunk.seq = next_seq_++;
+    chunk.message = "pool " + pool_ + " seq " + std::to_string(chunk.seq) +
+                    "\n" + obs::journal_str(buffer_, {});
+    events_streamed_ += buffer_.size();
+    buffer_.clear();
+    pending_.push_back(std::move(chunk));
+  }
+  if (!pending_.empty()) {
+    if (stream_.has_value() && stream_->is_open()) {
+      send_pending();
+    } else if (!dialing_) {
+      dial();
+    }
+  }
+  after(interval_, [this] { flush(); });
+}
+
+void ChildStreamer::dial() {
+  dialing_ = true;
+  fabric_.connect(source_host_, parent_, [this](Result<net::Endpoint> conn) {
+    dialing_ = false;
+    if (!conn.ok()) {
+      // The parent is out of reach. That is the stream's problem, not the
+      // pool's: note it at network scope and consume it right here — the
+      // retransmit queue is the handler. Next flush redials.
+      Error link = conn.error();
+      link.widen_scope_in_place(ErrorScope::kNetwork);
+      const std::uint64_t raised =
+          trace().raised(link, 0, "stream: parent " + parent_.str() +
+                                      " unreachable; chunks held for "
+                                      "retransmission");
+      trace().consumed(link, 0, "stream: will redial", raised);
+      return;
+    }
+    stream_ = conn.value();
+    stream_->set_on_message(
+        [this](const std::string& message) { on_ack(message); });
+    stream_->set_on_close([this](const std::optional<Error>& error) {
+      on_stream_closed(error);
+    });
+    send_pending();
+  });
+}
+
+void ChildStreamer::send_pending() {
+  if (!stream_.has_value() || !stream_->is_open()) return;
+  for (Chunk& chunk : pending_) {
+    if (chunk.in_flight) continue;
+    if (chunk.sends > 0) ++retransmits_;
+    ++chunk.sends;
+    Result<void> sent = stream_->send(chunk.message);
+    if (!sent.ok()) {
+      // The connection died under us; on_close rewinds in-flight state.
+      return;
+    }
+    chunk.in_flight = true;
+    ++chunks_sent_;
+  }
+}
+
+void ChildStreamer::on_stream_closed(const std::optional<Error>& error) {
+  stream_.reset();
+  // Everything unacked goes back to the queue head, in order: the parent
+  // deduplicates by sequence, so resending an already-applied chunk is
+  // harmless, while *not* resending could lose events for good.
+  for (Chunk& chunk : pending_) chunk.in_flight = false;
+  if (error.has_value()) {
+    Error link = *error;
+    link.widen_scope_in_place(ErrorScope::kNetwork);
+    const std::uint64_t raised = trace().raised(
+        link, 0,
+        "stream: connection to parent broken with " +
+            std::to_string(pending_.size()) + " chunk(s) unacked");
+    trace().consumed(link, 0, "stream: retransmitting on redial", raised);
+  }
+}
+
+void ChildStreamer::on_ack(const std::string& message) {
+  const std::vector<std::string> fields = split(message, ' ');
+  if (fields.size() != 2 || fields[0] != "ack") return;
+  std::uint64_t seq = 0;
+  for (char c : fields[1]) {
+    if (c < '0' || c > '9') return;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  while (!pending_.empty() && pending_.front().seq <= seq) {
+    pending_.pop_front();
+    ++chunks_acked_;
+  }
+}
+
+// ---- Aggregator ----
+
+Aggregator::Aggregator(sim::Engine& engine, net::NetworkFabric& fabric,
+                       std::string host, int port, SimTime slice)
+    : Actor(engine, "flock@" + host),
+      fabric_(fabric),
+      host_(std::move(host)),
+      port_(port),
+      slice_(slice) {}
+
+Aggregator::~Aggregator() { shutdown(); }
+
+void Aggregator::boot() {
+  if (running_) return;
+  running_ = true;
+  Result<void> listening = fabric_.listen(
+      address(), [this](net::Endpoint ep) { on_accept(std::move(ep)); });
+  if (!listening.ok()) {
+    log().error("cannot listen: ", listening.error());
+    return;
+  }
+  log().info("flock parent up at ", address().str());
+}
+
+void Aggregator::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  fabric_.unlisten(address());
+  for (net::Endpoint& ep : inbound_) ep.close();
+  inbound_.clear();
+}
+
+void Aggregator::on_accept(net::Endpoint endpoint) {
+  net::Endpoint handle = endpoint;
+  handle.set_on_message([this, endpoint](const std::string& message) mutable {
+    on_chunk(endpoint, message);
+  });
+  inbound_.push_back(std::move(handle));
+  if (inbound_.size() % 16 == 0) {
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const net::Endpoint& ep) {
+                                    return !ep.is_open();
+                                  }),
+                   inbound_.end());
+  }
+}
+
+void Aggregator::on_chunk(net::Endpoint endpoint, const std::string& message) {
+  const std::size_t nl = message.find('\n');
+  const std::string header = nl == std::string::npos ? message
+                                                     : message.substr(0, nl);
+  const std::vector<std::string> fields = split(header, ' ');
+  std::uint64_t seq = 0;
+  bool seq_ok = fields.size() == 4 && fields[0] == "pool" &&
+                fields[2] == "seq" && !fields[3].empty();
+  if (seq_ok) {
+    for (char c : fields[3]) {
+      if (c < '0' || c > '9') {
+        seq_ok = false;
+        break;
+      }
+      seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  std::optional<obs::Journal> journal;
+  if (seq_ok && nl != std::string::npos) {
+    journal = obs::parse_journal(std::string_view(message).substr(nl + 1));
+  }
+  if (!seq_ok || !journal.has_value()) {
+    // A poison chunk must not wedge the stream: count it, and ack whatever
+    // sequence we could read so the child moves on instead of
+    // retransmitting it forever.
+    ++malformed_chunks_;
+    if (seq_ok) (void)endpoint.send("ack " + std::to_string(seq));
+    return;
+  }
+
+  PoolFeed& feed = feeds_[fields[1]];
+  if (feed.flow.slice_usec == 0 || feed.chunks == 0) {
+    feed.flow.slice_usec = slice_.as_usec() > 0 ? slice_.as_usec() : 1;
+  }
+  if (seq <= feed.last_seq) {
+    // A retransmission of a chunk we already applied (the ack was lost
+    // with the connection). At-least-once delivery, exactly-once counting.
+    ++feed.duplicates;
+  } else {
+    feed.last_seq = seq;
+    ++feed.chunks;
+    feed.events += journal->events.size();
+    for (const obs::TraceEvent& event : journal->events) {
+      feed.flow.add(event);
+    }
+  }
+  (void)endpoint.send("ack " + std::to_string(seq));
+}
+
+obs::FlowAggregate Aggregator::merged() const {
+  obs::FlowAggregate out;
+  out.slice_usec = slice_.as_usec() > 0 ? slice_.as_usec() : 1;
+  for (const auto& [pool, feed] : feeds_) out.merge(feed.flow);
+  return out;
+}
+
+std::string Aggregator::dashboard_str(
+    const obs::DashboardOptions& options) const {
+  std::ostringstream os;
+  os << "flock parent";
+  if (!options.title.empty()) os << " — " << options.title;
+  os << "\n";
+  for (const auto& [pool, feed] : feeds_) {
+    os << "  pool " << pool << ": chunks " << feed.chunks << " (dup "
+       << feed.duplicates << ")  events " << feed.events << "  last-seq "
+       << feed.last_seq << "\n";
+  }
+  if (malformed_chunks_ != 0) {
+    os << "  malformed chunks " << malformed_chunks_ << "\n";
+  }
+  os << "\n";
+  for (const auto& [pool, feed] : feeds_) {
+    obs::DashboardOptions per_pool = options;
+    per_pool.title = "pool " + pool;
+    os << obs::render_dashboard(feed.flow, per_pool) << "\n";
+  }
+  obs::DashboardOptions merged_options = options;
+  merged_options.title = "all pools";
+  os << obs::render_dashboard(merged(), merged_options);
+  return os.str();
+}
+
+std::string Aggregator::json(std::string_view label) const {
+  std::ostringstream os;
+  os << "{\"label\":\"" << json_escape(label) << "\",";
+  os << "\"malformed_chunks\":" << malformed_chunks_ << ",";
+  os << "\"pools\":[";
+  bool first = true;
+  for (const auto& [pool, feed] : feeds_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"pool\":\"" << json_escape(pool) << "\",\"last_seq\":"
+       << feed.last_seq << ",\"chunks\":" << feed.chunks
+       << ",\"duplicates\":" << feed.duplicates << ",\"events\":"
+       << feed.events << ",\"dashboard\":"
+       << strip_trailing_newlines(obs::dashboard_json(feed.flow, pool)) << "}";
+  }
+  os << "\n],\"merged\":"
+     << strip_trailing_newlines(obs::dashboard_json(merged(), "merged"))
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace esg::flock

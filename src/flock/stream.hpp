@@ -1,0 +1,174 @@
+// Netdata-style streaming telemetry for a federation of pools.
+//
+// Each child pool runs a ChildStreamer that buffers its share of the
+// federation's trace events and, on a fixed cadence, ships them to a
+// parent flock::Aggregator as chunked esg-journal v1 deltas over an
+// ordinary simulated-socket connection:
+//
+//   pool <name> seq <N>\n
+//   # esg-journal v1
+//   <events...>
+//
+// The protocol is the netdata parent/child design in miniature: one-way
+// event flow, explicit sequence numbers, and at-least-once delivery. A
+// chunk stays queued at the child until the parent acknowledges it
+// ("ack <seq>" on the same connection); when the connection breaks — the
+// §3.2 escaping-error rule makes a severed stream indistinguishable from a
+// dead parent — the child redials and retransmits everything unacked. The
+// parent deduplicates by highest-seen sequence per pool, so retransmitted
+// chunks are counted once: per-pool flow aggregates converge to exactly
+// the events the child recorded, regardless of how often the stream broke.
+//
+// Everything runs on the federation's single deterministic engine, so the
+// streamed aggregates — and their rendered dashboards — are byte-stable
+// per seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "obs/aggregate.hpp"
+#include "obs/dashboard.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace esg::flock {
+
+/// Default parent endpoint (FederationConfig can override the host).
+inline constexpr int kStreamPort = 9700;
+
+/// Child side: buffers one pool's trace events and streams them to the
+/// parent as acknowledged, retransmittable chunks.
+class ChildStreamer : public sim::Actor {
+ public:
+  ChildStreamer(sim::Engine& engine, net::NetworkFabric& fabric,
+                std::string pool, std::string source_host, net::Address parent,
+                SimTime interval);
+  ~ChildStreamer() override;
+
+  /// Start the flush cadence. Call once, before the engine runs.
+  void boot();
+
+  /// Hand the streamer one recorded event (the federation's recorder tap
+  /// routes events here by machine prefix). Buffering only — no engine
+  /// interaction, so it is safe inside FlightRecorder::record().
+  void offer(const obs::TraceEvent& event) { buffer_.push_back(event); }
+
+  [[nodiscard]] const std::string& pool() const { return pool_; }
+  [[nodiscard]] std::uint64_t chunks_sent() const { return chunks_sent_; }
+  [[nodiscard]] std::uint64_t chunks_acked() const { return chunks_acked_; }
+  /// Chunk transmissions beyond the first (the at-least-once overhead a
+  /// broken stream cost this child).
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t events_streamed() const {
+    return events_streamed_;
+  }
+  /// Chunks queued or in flight but not yet acknowledged.
+  [[nodiscard]] std::size_t unacked() const { return pending_.size(); }
+  /// Everything offered so far has been chunked, delivered, and
+  /// acknowledged — the stream is caught up.
+  [[nodiscard]] bool drained() const {
+    return buffer_.empty() && pending_.empty();
+  }
+
+ private:
+  struct Chunk {
+    std::uint64_t seq = 0;
+    std::string message;  ///< header line + esg-journal body
+    bool in_flight = false;  ///< sent on the current connection, unacked
+    std::uint32_t sends = 0;
+  };
+
+  void flush();
+  void dial();
+  void send_pending();
+  void on_stream_closed(const std::optional<Error>& error);
+  void on_ack(const std::string& message);
+
+  net::NetworkFabric& fabric_;
+  std::string pool_;
+  std::string source_host_;
+  net::Address parent_;
+  SimTime interval_;
+
+  std::vector<obs::TraceEvent> buffer_;
+  std::deque<Chunk> pending_;
+  std::optional<net::Endpoint> stream_;
+  bool dialing_ = false;
+  bool running_ = false;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t chunks_sent_ = 0;
+  std::uint64_t chunks_acked_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t events_streamed_ = 0;
+};
+
+/// Parent side: accepts child streams, deduplicates chunks by sequence
+/// number, and folds each pool's events into a per-pool FlowAggregate with
+/// provenance intact — the data behind `esg-top --parent`.
+class Aggregator : public sim::Actor {
+ public:
+  Aggregator(sim::Engine& engine, net::NetworkFabric& fabric, std::string host,
+             int port, SimTime slice);
+  ~Aggregator() override;
+
+  void boot();
+  void shutdown();
+
+  [[nodiscard]] net::Address address() const { return {host_, port_}; }
+
+  /// One child pool's streamed state, as the parent sees it.
+  struct PoolFeed {
+    std::uint64_t last_seq = 0;    ///< highest chunk sequence applied
+    std::uint64_t chunks = 0;      ///< chunks applied (first deliveries)
+    std::uint64_t duplicates = 0;  ///< retransmissions discarded by dedup
+    std::uint64_t events = 0;      ///< events folded into the aggregate
+    obs::FlowAggregate flow;
+  };
+
+  /// Feeds keyed by pool name (ordered — renders deterministically).
+  [[nodiscard]] const std::map<std::string, PoolFeed>& feeds() const {
+    return feeds_;
+  }
+  [[nodiscard]] std::uint64_t malformed_chunks() const {
+    return malformed_chunks_;
+  }
+
+  /// Every pool's aggregate folded into one, in pool-name order.
+  [[nodiscard]] obs::FlowAggregate merged() const;
+
+  /// The federated dashboard: a provenance header (per pool: chunks,
+  /// duplicates, events, last seq), each child's own dashboard table, and
+  /// the merged cross-pool table. Plain text, deterministic.
+  [[nodiscard]] std::string dashboard_str(
+      const obs::DashboardOptions& options = {}) const;
+
+  /// Deterministic JSON: {"label":...,"pools":[{"pool":...,"last_seq":N,
+  /// "chunks":N,"duplicates":N,"events":N,"dashboard":{...}},...],
+  /// "merged":{...}} — per-pool provenance plus the merged aggregate,
+  /// byte-identical for equal feeds.
+  [[nodiscard]] std::string json(std::string_view label = {}) const;
+
+ private:
+  void on_accept(net::Endpoint endpoint);
+  void on_chunk(net::Endpoint endpoint, const std::string& message);
+
+  net::NetworkFabric& fabric_;
+  std::string host_;
+  int port_;
+  SimTime slice_;
+  bool running_ = false;
+
+  std::map<std::string, PoolFeed> feeds_;
+  std::vector<net::Endpoint> inbound_;
+  std::uint64_t malformed_chunks_ = 0;
+};
+
+}  // namespace esg::flock

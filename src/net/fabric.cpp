@@ -117,6 +117,23 @@ void NetworkFabric::set_partitioned(const std::string& host,
   host_faults_[host] = f;
 }
 
+void NetworkFabric::set_link_severed(const std::string& host_a,
+                                     const std::string& host_b,
+                                     bool severed) {
+  auto pair = std::minmax(host_a, host_b);
+  if (severed) {
+    severed_links_.emplace(pair.first, pair.second);
+  } else {
+    severed_links_.erase({pair.first, pair.second});
+  }
+}
+
+bool NetworkFabric::link_severed(const std::string& host_a,
+                                 const std::string& host_b) const {
+  auto pair = std::minmax(host_a, host_b);
+  return severed_links_.count({pair.first, pair.second}) != 0;
+}
+
 SimTime NetworkFabric::draw_latency(const std::string& a,
                                     const std::string& b) {
   const HostFaults& fa = faults_for(a);
@@ -140,6 +157,11 @@ void NetworkFabric::connect(const std::string& from_host, const Address& to,
     if (src.partitioned || dst.partitioned) {
       on_done(Error(ErrorKind::kHostUnreachable,
                     "no route to " + to.str() + " from " + from_host));
+      return;
+    }
+    if (link_severed(from_host, to.host)) {
+      on_done(Error(ErrorKind::kHostUnreachable,
+                    "link severed between " + from_host + " and " + to.host));
       return;
     }
     auto listener = listeners_.find(to);
@@ -205,6 +227,12 @@ void NetworkFabric::deliver(std::shared_ptr<ConnState> state, int to_side,
       break_conn(state, Error(ErrorKind::kConnectionTimedOut,
                               "partition between " + state->host[0] + " and " +
                                   state->host[1]));
+      return;
+    }
+    if (link_severed(state->host[0], state->host[1])) {
+      break_conn(state, Error(ErrorKind::kConnectionTimedOut,
+                              "link severed between " + state->host[0] +
+                                  " and " + state->host[1]));
       return;
     }
     if (rng_.chance(std::max(src.drop_msg_prob, dst.drop_msg_prob))) {

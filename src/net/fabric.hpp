@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -108,6 +110,16 @@ class NetworkFabric {
   /// Partition or heal a host. Existing connections break on next use.
   void set_partitioned(const std::string& host, bool partitioned);
 
+  /// Sever or restore the link between exactly two hosts — an inter-pool
+  /// trunk cut. Both hosts stay reachable from everywhere else; only
+  /// traffic between this pair fails. connect() attempts across a severed
+  /// pair are refused as unreachable; messages in flight break the
+  /// connection (the §3.2 escaping-error rule for a dead link).
+  void set_link_severed(const std::string& host_a, const std::string& host_b,
+                        bool severed);
+  [[nodiscard]] bool link_severed(const std::string& host_a,
+                                  const std::string& host_b) const;
+
   /// Simulate a host crash: every open connection touching the host breaks
   /// with a ConnectionLost escaping error, and its listeners are removed.
   void crash_host(const std::string& host);
@@ -130,6 +142,7 @@ class NetworkFabric {
   std::map<Address, std::function<void(Endpoint)>> listeners_;
   std::vector<std::weak_ptr<detail::ConnState>> conns_;
   std::map<std::string, HostFaults> host_faults_;
+  std::set<std::pair<std::string, std::string>> severed_links_;
   HostFaults default_faults_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;

@@ -66,6 +66,35 @@ void header_row(std::ostringstream& os, const Palette& p,
 
 }  // namespace
 
+std::string sparkline(const FlowSeries& series, std::size_t width) {
+  if (width == 0 || series.slices.empty()) return {};
+  static constexpr const char* kBlocks[] = {" ", "▁", "▂", "▃", "▄",
+                                            "▅", "▆", "▇", "█"};
+  const std::int64_t lo = series.slices.begin()->first;
+  const std::int64_t hi = series.slices.rbegin()->first;
+  const std::int64_t span = hi - lo + 1;
+  std::vector<std::uint64_t> buckets(width, 0);
+  for (const auto& [slice, count] : series.slices) {
+    std::size_t b = static_cast<std::size_t>(
+        (slice - lo) * static_cast<std::int64_t>(width) / span);
+    if (b >= width) b = width - 1;
+    buckets[b] += count;
+  }
+  const std::uint64_t peak = *std::max_element(buckets.begin(), buckets.end());
+  std::string out;
+  out.reserve(width * 3);
+  for (std::uint64_t count : buckets) {
+    // Ceiling scale: a nonzero bucket shows at least the lowest block and
+    // the fullest bucket always shows the tallest one.
+    const std::size_t level =
+        count == 0
+            ? 0
+            : static_cast<std::size_t>((count * 8 + peak - 1) / peak);
+    out += kBlocks[level > 8 ? 8 : level];
+  }
+  return out;
+}
+
 std::string render_dashboard(const FlowAggregate& aggregate,
                              const DashboardOptions& options) {
   const Palette p = palette(options.color);
@@ -116,7 +145,7 @@ std::string render_dashboard(const FlowAggregate& aggregate,
   struct KindRow {
     ErrorKind kind;
     FlowDisposition disposition;
-    std::uint64_t total;
+    FlowSeries series;
   };
   std::vector<KindRow> kinds;
   for (const auto& [key, series] : aggregate.cells) {
@@ -124,14 +153,16 @@ std::string render_dashboard(const FlowAggregate& aggregate,
       return r.kind == key.kind && r.disposition == key.disposition;
     });
     if (it == kinds.end()) {
-      kinds.push_back({key.kind, key.disposition, series.total});
-    } else {
-      it->total += series.total;
+      it = kinds.insert(kinds.end(), {key.kind, key.disposition, {}});
+    }
+    it->series.total += series.total;
+    for (const auto& [slice, count] : series.slices) {
+      it->series.slices[slice] += count;
     }
   }
   std::stable_sort(kinds.begin(), kinds.end(),
                    [](const KindRow& a, const KindRow& b) {
-                     return a.total > b.total;
+                     return a.series.total > b.series.total;
                    });
   if (kinds.size() > options.top_kinds) kinds.resize(options.top_kinds);
   if (!kinds.empty()) {
@@ -139,7 +170,12 @@ std::string render_dashboard(const FlowAggregate& aggregate,
     for (const KindRow& r : kinds) {
       os << "  " << std::left << std::setw(28) << kind_name(r.kind)
          << std::setw(12) << disposition_name(r.disposition) << std::right
-         << std::setw(8) << r.total << "\n";
+         << std::setw(8) << r.series.total;
+      if (options.sparklines) {
+        os << "  " << p.dim << sparkline(r.series, options.spark_width)
+           << p.reset;
+      }
+      os << "\n";
     }
   }
   return os.str();

@@ -26,7 +26,19 @@ struct DashboardOptions {
   bool color = false;
   /// How many (kind, disposition) rows the "top error kinds" section shows.
   std::size_t top_kinds = 8;
+  /// Append a per-kind sparkline of the merged FlowSeries slices to each
+  /// "top error kinds" row (off for width-constrained or golden output is
+  /// unnecessary — the glyphs are deterministic).
+  bool sparklines = true;
+  /// Sparkline width in glyph cells.
+  std::size_t spark_width = 24;
 };
+
+/// Render a FlowSeries' time-sliced counts as a fixed-width sparkline:
+/// the observed slice range is mapped onto `width` buckets, each drawn as
+/// ' ' (empty) or one of the eight block glyphs scaled against the fullest
+/// bucket. Integer math only — equal series render byte-identically.
+std::string sparkline(const FlowSeries& series, std::size_t width = 24);
 
 /// The esg-top screen: per-scope flow table, per-machine flow table, and
 /// the top error kinds, as plain text (optionally ANSI-colored). No cursor

@@ -50,6 +50,12 @@ class StealQueue {
 /// Run one cell to completion. Everything the cell touches is owned by the
 /// Pool constructed here, so this is safe to call from any thread.
 CellOutcome run_cell(const SweepCell& cell, std::size_t index) {
+  if (cell.run) {
+    CellOutcome out = cell.run();
+    out.index = index;
+    if (out.label.empty()) out.label = cell.label;
+    return out;
+  }
   CellOutcome out;
   out.index = index;
   out.seed = cell.config.seed;

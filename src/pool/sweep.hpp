@@ -24,20 +24,6 @@
 
 namespace esg::pool {
 
-/// One cell of a parameter sweep: a pool configuration plus the experiment
-/// to run on it.
-struct SweepCell {
-  PoolConfig config;
-  /// Stages inputs and submits jobs. Runs on the worker thread that picked
-  /// the cell up, with exclusive ownership of the Pool — it must not touch
-  /// anything outside the Pool it is given.
-  std::function<void(Pool&)> setup;
-  /// Wall-clock budget in *simulated* time (passed to run_until_done).
-  SimTime limit = SimTime::hours(8);
-  /// Row label in the report; defaults to "seed<N>".
-  std::string label;
-};
-
 /// What came out of one cell. `cells` in SweepReport keeps submission
 /// order regardless of which worker ran what when.
 struct CellOutcome {
@@ -59,6 +45,29 @@ struct CellOutcome {
   std::uint64_t trace_events = 0;
   /// Engine events executed — a cheap determinism fingerprint.
   std::uint64_t engine_events = 0;
+};
+
+/// One cell of a parameter sweep: a pool configuration plus the experiment
+/// to run on it.
+struct SweepCell {
+  PoolConfig config;
+  /// Stages inputs and submits jobs. Runs on the worker thread that picked
+  /// the cell up, with exclusive ownership of the Pool — it must not touch
+  /// anything outside the Pool it is given.
+  std::function<void(Pool&)> setup;
+  /// Wall-clock budget in *simulated* time (passed to run_until_done).
+  SimTime limit = SimTime::hours(8);
+  /// Row label in the report; defaults to "seed<N>".
+  std::string label;
+  /// Custom runner: when set, replaces the Pool-based execution entirely —
+  /// the worker calls it (on its thread) and uses the returned outcome
+  /// verbatim, only stamping index and (if empty) label. The same
+  /// determinism contract applies: everything the callable touches must be
+  /// owned by it, so the outcome is byte-identical at any sweep width.
+  /// This is how federated cells (src/flock) run a whole Federation — a
+  /// multi-pool topology one PoolConfig cannot describe — under the same
+  /// work-stealing runner and campaign machinery.
+  std::function<CellOutcome()> run;
 };
 
 struct SweepReport {

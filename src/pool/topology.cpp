@@ -90,4 +90,59 @@ analysis::TopologyModel describe_pool_topology(
   return model;
 }
 
+analysis::TopologyModel describe_federated_topology(
+    const daemons::DisciplineConfig& discipline, int pools) {
+  analysis::TopologyModel model = describe_pool_topology(discipline);
+  (void)pools;
+
+  // The flock layer: the schedd's face toward other pools' matchmakers.
+  model.declare_component("flock");
+
+  // What flocking can discover: every way a remote pool stops answering.
+  analysis::DetectionDecl negotiate;
+  negotiate.component = "flock";
+  negotiate.point = "flock.negotiate";
+  negotiate.kinds = {ErrorKind::kConnectionRefused, ErrorKind::kConnectionLost,
+                     ErrorKind::kConnectionTimedOut,
+                     ErrorKind::kHostUnreachable, ErrorKind::kDaemonCrashed};
+  model.declare_detection(std::move(negotiate));
+
+  // The boundary contract. Scoped: a finite connection-shaped interface
+  // that filters everything else, escaping no lower than network scope —
+  // the inter-pool trunk belongs to no single machine. Naive: the same
+  // §2.3 leak as everywhere else, now across an administrative boundary.
+  analysis::InterfaceDecl forward;
+  forward.component = "flock";
+  forward.routine = "flock.forward";
+  forward.escape_floor = ErrorScope::kNetwork;
+  if (discipline.scope_routing) {
+    forward.allowed = {ErrorKind::kConnectionRefused,
+                       ErrorKind::kConnectionLost,
+                       ErrorKind::kConnectionTimedOut,
+                       ErrorKind::kHostUnreachable, ErrorKind::kDaemonCrashed};
+  } else {
+    forward.mode = analysis::InterfaceMode::kLeak;
+  }
+  model.declare_interface(std::move(forward));
+
+  model.declare_flow("flock.negotiate", "flock.forward");
+  model.declare_flow("flock.forward", "schedd.disposition");
+
+  if (discipline.scope_routing) {
+    // Cross-pool scope semantics: the flock layer consumes at cluster
+    // scope (a remote pool judged as a unit) and network scope (the trunk
+    // between pools), and remote-resource conditions that persist widen to
+    // cluster — the remote machine is the remote pool's to manage, the
+    // remote *pool* is ours.
+    model.declare_handler("flock", ErrorScope::kCluster);
+    model.declare_handler("flock", ErrorScope::kNetwork);
+    model.declare_escalation("flock", ErrorScope::kRemoteResource,
+                             ErrorScope::kCluster);
+    model.declare_escalation("flock", ErrorScope::kNetwork,
+                             ErrorScope::kCluster);
+  }
+
+  return model;
+}
+
 }  // namespace esg::pool

@@ -23,4 +23,20 @@ namespace esg::pool {
 [[nodiscard]] analysis::TopologyModel describe_pool_topology(
     const daemons::DisciplineConfig& discipline);
 
+/// The federated extension: the pool model plus the flock layer's declared
+/// contract at the pool boundary. The flock layer detects negotiation and
+/// claim failures against remote pools ("flock.negotiate"), forwards the
+/// finite set of connection-shaped kinds through "flock.forward" (escape
+/// floor *network* — a severed inter-pool trunk is nobody's machine), and
+/// — under the scoped discipline — registers as the manager of the
+/// cluster and network scopes, with remote failures escalating
+/// remote-resource -> cluster (a remote machine is not ours to judge;
+/// the remote *pool* is). Under the naive discipline the forward
+/// interface leaks, so the §2.3 hazard reappears at the pool boundary and
+/// esg-verify finds it statically. The declared contract is per-boundary,
+/// not per-peer — `pools` is accepted for CLI symmetry but one boundary
+/// declaration covers any federation width.
+[[nodiscard]] analysis::TopologyModel describe_federated_topology(
+    const daemons::DisciplineConfig& discipline, int pools = 3);
+
 }  // namespace esg::pool

@@ -47,6 +47,11 @@ void stage_workload_inputs(Pool& pool) {
   pool.stage_input(kRemoteInput, std::string(64 << 10, 'x'));
 }
 
+void stage_workload_inputs(fs::SimFileSystem& submit_fs) {
+  (void)submit_fs.mkdirs("/home/data");
+  (void)submit_fs.write_file(kRemoteInput, std::string(64 << 10, 'x'));
+}
+
 daemons::JobDescription make_hello_job(SimTime compute) {
   daemons::JobDescription job;
   job.program = jvm::ProgramBuilder("Hello").compute(compute).build();

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "daemons/job.hpp"
+#include "fs/simfs.hpp"
 
 namespace esg::pool {
 
@@ -33,6 +34,9 @@ std::vector<daemons::JobDescription> make_workload(const WorkloadOptions& option
 
 /// Stage the input files the workload expects onto the submit machine.
 void stage_workload_inputs(class Pool& pool);
+/// Same, directly onto a submit filesystem (federated topologies build
+/// their submit machines without a Pool — see src/flock).
+void stage_workload_inputs(fs::SimFileSystem& submit_fs);
 
 /// One trivial always-succeeds job (quickstart and tests).
 daemons::JobDescription make_hello_job(SimTime compute = SimTime::sec(1));

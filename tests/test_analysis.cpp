@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/diff.hpp"
 #include "analysis/sarif.hpp"
 #include "analysis/topology.hpp"
 #include "analysis/verify.hpp"
@@ -277,6 +278,49 @@ TEST(Sarif, RulesAreDedupedById) {
     ++count;
   }
   EXPECT_EQ(count, 1u);
+}
+
+// ---- topology diffs ----
+
+TEST(TopologyDiff, IdenticalDumpsDiffEmpty) {
+  const TopologyModel model = pool::describe_pool_topology(
+      daemons::DisciplineConfig::scoped());
+  const TopologyDiff diff = diff_topologies(model, model);
+  EXPECT_TRUE(diff.identical());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_GT(diff.common, 0u);
+  EXPECT_NE(diff.str().find("topologies identical"), std::string::npos);
+}
+
+TEST(TopologyDiff, DisciplinesDifferInBothDirections) {
+  const TopologyDiff diff = diff_topologies(
+      pool::describe_pool_topology(daemons::DisciplineConfig::scoped()),
+      pool::describe_pool_topology(daemons::DisciplineConfig::naive()));
+  EXPECT_FALSE(diff.identical());
+  // Scoped declares handlers/escalations naive lacks, so the scoped->naive
+  // diff must show removals; the footer counts both sides.
+  EXPECT_FALSE(diff.removed.empty());
+  const std::string rendered = diff.str();
+  EXPECT_NE(rendered.find("- "), std::string::npos);
+  EXPECT_NE(rendered.find("removed"), std::string::npos);
+}
+
+TEST(TopologyDiff, MultisetSemanticsCountDuplicates) {
+  const TopologyDiff diff =
+      diff_topology_dumps("a\nb\nb\nc\n", "a\nb\nd\n");
+  ASSERT_EQ(diff.removed.size(), 2u);
+  EXPECT_EQ(diff.removed[0], "b");  // the *extra* b, in A's order
+  EXPECT_EQ(diff.removed[1], "c");
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], "d");
+  EXPECT_EQ(diff.common, 2u);
+}
+
+TEST(TopologyDiff, BlankLinesAreIgnored) {
+  const TopologyDiff diff = diff_topology_dumps("a\n\nb\n", "b\na\n");
+  EXPECT_TRUE(diff.identical());
+  EXPECT_EQ(diff.common, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,347 @@
+// Tests for the flock subsystem: federation overflow scheduling, the
+// cross-pool scope contract (remote machine faults consumed at *cluster*
+// scope, severed inter-pool trunks at *network* scope, and neither ever
+// exposed to a user job), the netdata-style streaming telemetry path
+// (ChildStreamer -> parent Aggregator, exactly-once after partitions), the
+// federated chaos campaign's thread-count-independent determinism, and the
+// golden parent dashboard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diff.hpp"
+#include "analysis/verify.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/oracle.hpp"
+#include "chaos/plan.hpp"
+#include "common/rng.hpp"
+#include "flock/chaos.hpp"
+#include "flock/federation.hpp"
+#include "flock/stream.hpp"
+#include "obs/dashboard.hpp"
+#include "pool/topology.hpp"
+#include "pool/workload.hpp"
+
+namespace esg::flock {
+namespace {
+
+chaos::PoolShape federated_shape(int pools = 3, int jobs = 12) {
+  chaos::PoolShape shape;
+  shape.pools = pools;
+  shape.machines = 2;
+  shape.jobs = jobs;
+  return shape;
+}
+
+/// Build, stage, and submit the standard federated cell workload (the same
+/// recipe make_federated_cell uses), returning the booted federation.
+void run_federated(Federation& federation, const chaos::FaultPlan& plan,
+                   bool* finished = nullptr) {
+  federation.boot();
+  pool::stage_workload_inputs(*federation.submit_fs("home"));
+  pool::WorkloadOptions workload;
+  workload.count = plan.shape.jobs;
+  workload.mean_compute = plan.shape.mean_compute;
+  workload.remote_io_fraction = 0.25;
+  workload.remote_write_fraction = 0.25;
+  Rng rng = Rng(plan.seed).fork("chaos.workload");
+  for (auto& job : pool::make_workload(workload, rng)) {
+    federation.submit(0, std::move(job));
+  }
+  FederatedInjector::arm(federation, plan);
+  const bool done = federation.run_until_done(plan.shape.limit);
+  if (finished != nullptr) *finished = done;
+}
+
+// ---- federation basics ----
+
+TEST(Federation, StarvedHomePoolOverflowsViaFlocking) {
+  // No faults at all: the home pool has one machine, so a 12-job batch
+  // must overflow to the remote pools to finish inside the budget.
+  chaos::FaultPlan plan;
+  plan.seed = 42;
+  plan.shape = federated_shape();
+  Federation federation(federated_cell_config(plan));
+  bool finished = false;
+  run_federated(federation, plan, &finished);
+  EXPECT_TRUE(finished);
+  const auto* home = federation.schedd("home");
+  ASSERT_NE(home, nullptr);
+  EXPECT_GT(home->flock_attempts(), 0u)
+      << "a starved home pool should negotiate with remote matchmakers";
+  const pool::PoolReport report = federation.report();
+  EXPECT_EQ(report.jobs_total, 12);
+  EXPECT_EQ(report.unfinished, 0);
+  EXPECT_EQ(report.completed_genuine + report.completed_program_error, 12);
+}
+
+TEST(Federation, PoolNamesAndAccessorsAreStable) {
+  chaos::FaultPlan plan;
+  plan.seed = 1;
+  plan.shape = federated_shape(4);
+  Federation federation(federated_cell_config(plan));
+  const std::vector<std::string> names = federation.pool_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "home");
+  EXPECT_EQ(names[1], "p1");
+  EXPECT_EQ(names[3], "p3");
+  for (const std::string& name : names) {
+    EXPECT_NE(federation.schedd(name), nullptr) << name;
+    EXPECT_NE(federation.streamer(name), nullptr) << name;
+  }
+  EXPECT_NE(federation.parent(), nullptr);
+  EXPECT_EQ(federation.schedd("nope"), nullptr);
+}
+
+// ---- cross-pool scope semantics ----
+
+TEST(FlockScope, RemoteFaultsConsumedAtClusterScopeNotByJobs) {
+  // Seed 1234's generated plan crashes a remote startd mid-lease and
+  // severs a home<->remote trunk (verified by the assertions below, so a
+  // generator change that stops covering either fault flags loudly).
+  const chaos::FaultPlan plan = make_federated_plan(1234, federated_shape());
+  Federation federation(federated_cell_config(plan));
+  bool finished = false;
+  run_federated(federation, plan, &finished);
+  EXPECT_TRUE(finished);
+
+  const auto* home = federation.schedd("home");
+  ASSERT_NE(home, nullptr);
+  // The cross-pool contract: a remote machine's death is machine-scope
+  // inside its own pool but *cluster*-scope at the home schedd, and a
+  // severed inter-pool trunk is *network*-scope. Both are consumed by the
+  // flock layer / schedd — never handed to a user job as its result.
+  EXPECT_GE(home->cluster_errors_consumed(), 1u);
+  EXPECT_GE(home->network_errors_consumed(), 1u);
+
+  const pool::PoolReport report = federation.report();
+  EXPECT_EQ(report.user_incidental_exposures, 0)
+      << "scoped federation must not launder environmental errors into "
+         "job results";
+  EXPECT_EQ(report.unfinished, 0);
+
+  const chaos::OracleReport oracles = chaos::evaluate_oracles(
+      report, finished, federation.recorder().events());
+  EXPECT_TRUE(oracles.ok()) << oracles.str();
+}
+
+TEST(FlockScope, SeveredTrunkAloneIsANetworkScopeError) {
+  // A hand-built plan with exactly one sever/reconnect pair: the first
+  // "real" network-scope error in the codebase (the paper's taxonomy has
+  // network above process, below remote-resource).
+  chaos::FaultPlan plan;
+  plan.seed = 99;
+  plan.shape = federated_shape();
+  chaos::FaultAction sever;
+  sever.at = SimTime::sec(45);
+  sever.type = chaos::FaultActionType::kSever;
+  sever.host = "home.submit";
+  sever.peer = "p1.central";
+  chaos::FaultAction reconnect;
+  reconnect.at = SimTime::sec(95);
+  reconnect.type = chaos::FaultActionType::kReconnect;
+  reconnect.host = "home.submit";
+  reconnect.peer = "p1.central";
+  plan.actions = {sever, reconnect};
+
+  Federation federation(federated_cell_config(plan));
+  bool finished = false;
+  run_federated(federation, plan, &finished);
+  EXPECT_TRUE(finished);
+  const auto* home = federation.schedd("home");
+  ASSERT_NE(home, nullptr);
+  EXPECT_GE(home->network_errors_consumed(), 1u)
+      << "a severed inter-pool trunk must surface as a network-scope "
+         "error at the home schedd";
+  EXPECT_EQ(federation.report().user_incidental_exposures, 0);
+}
+
+TEST(FlockScope, NaiveDisciplineLaundersRemoteFaults) {
+  // The same generated plan under the naive discipline: remote faults
+  // reach user jobs as their result, which the attribution oracle flags.
+  chaos::FaultPlan plan = make_federated_plan(1234, federated_shape());
+  plan.shape.discipline = "naive";
+  Federation federation(federated_cell_config(plan));
+  bool finished = false;
+  run_federated(federation, plan, &finished);
+  const pool::PoolReport report = federation.report();
+  const chaos::OracleReport oracles = chaos::evaluate_oracles(
+      report, finished, federation.recorder().events());
+  EXPECT_FALSE(oracles.ok())
+      << "naive discipline should fail at least one resilience oracle "
+         "under cross-pool faults";
+}
+
+// ---- streaming telemetry ----
+
+TEST(FlockStream, ParentAggregateConvergesToRecorderTotals) {
+  // Whatever faults fire — including severed parent trunks forcing
+  // retransmits — every recorded span must reach the parent exactly once.
+  for (std::uint64_t seed : {7ull, 1234ull, 31337ull}) {
+    const chaos::FaultPlan plan =
+        make_federated_plan(seed, federated_shape());
+    Federation federation(federated_cell_config(plan));
+    run_federated(federation, plan);
+    const Aggregator* parent = federation.parent();
+    ASSERT_NE(parent, nullptr);
+    std::uint64_t parent_events = 0;
+    for (const auto& [name, feed] : parent->feeds()) {
+      parent_events += feed.events;
+    }
+    EXPECT_EQ(parent_events, federation.recorder().total_recorded())
+        << "seed " << seed;
+    EXPECT_EQ(parent->malformed_chunks(), 0u);
+    // Drained means every streamer's chunks were acked (retransmits
+    // included), so duplicates at the parent were deduped, not lost.
+    for (const std::string& name : federation.pool_names()) {
+      const ChildStreamer* streamer = federation.streamer(name);
+      ASSERT_NE(streamer, nullptr);
+      EXPECT_EQ(streamer->unacked(), 0u) << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(FlockStream, FeedsCarryPerPoolProvenance) {
+  const chaos::FaultPlan plan = make_federated_plan(1234, federated_shape());
+  Federation federation(federated_cell_config(plan));
+  run_federated(federation, plan);
+  const Aggregator* parent = federation.parent();
+  ASSERT_NE(parent, nullptr);
+  ASSERT_FALSE(parent->feeds().empty());
+  for (const auto& [name, feed] : parent->feeds()) {
+    // Every feed is keyed by a pool name the federation knows.
+    const auto names = federation.pool_names();
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << "unknown feed " << name;
+    EXPECT_GT(feed.chunks, 0u);
+    EXPECT_GT(feed.events, 0u);
+  }
+}
+
+// ---- federated chaos campaign ----
+
+TEST(FlockCampaign, VerdictBytesAreThreadCountIndependent) {
+  chaos::CampaignOptions options;
+  options.seed = 2026;
+  options.plans = 3;
+  options.shape = federated_shape();
+  options.shrink = false;
+  options.triage_reruns = 1;
+
+  options.threads = 1;
+  const chaos::CampaignResult serial = run_federated_campaign(options);
+  options.threads = 4;
+  const chaos::CampaignResult wide = run_federated_campaign(options);
+
+  EXPECT_EQ(serial.str(), wide.str());
+  EXPECT_EQ(serial.json(), wide.json());
+  EXPECT_EQ(serial.failing, 0) << serial.str();
+  // Triage re-ran cells and found byte-stable verdicts: the federated
+  // cells are deterministic, so a future red cell is a real bug, not
+  // scheduler noise.
+  EXPECT_EQ(serial.flaky, 0) << serial.str();
+  for (const chaos::CellVerdict& cell : serial.cells) {
+    EXPECT_GE(cell.engine_events, 1u);
+  }
+}
+
+TEST(FlockCampaign, ReplayMatchesCampaignVerdict) {
+  const chaos::FaultPlan plan = make_federated_plan(1234, federated_shape());
+  const chaos::RunResult a = replay_federated(plan);
+  const chaos::RunResult b = replay_federated(plan);
+  EXPECT_EQ(a.oracles.str(), b.oracles.str());
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_TRUE(a.oracles.ok()) << a.oracles.str();
+}
+
+// ---- federated topology verification ----
+
+TEST(FlockTopology, ScopedFederatedModelVerifiesClean) {
+  const analysis::TopologyModel model = pool::describe_federated_topology(
+      daemons::DisciplineConfig::scoped());
+  const analysis::AnalysisReport report =
+      analysis::ScopeVerifier().verify(model);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(FlockTopology, NaiveFederatedModelLaundersAcrossThePoolBoundary) {
+  const analysis::TopologyModel model = pool::describe_federated_topology(
+      daemons::DisciplineConfig::naive());
+  const analysis::AnalysisReport report =
+      analysis::ScopeVerifier().verify(model);
+  EXPECT_FALSE(report.ok());
+  bool saw_p1 = false;
+  for (const analysis::Finding& finding : report.findings) {
+    if (finding.rule == "esv/p1-laundering") saw_p1 = true;
+  }
+  EXPECT_TRUE(saw_p1) << report.str();
+}
+
+TEST(FlockTopology, FederatedModelOnlyAddsToTheBasePool) {
+  const daemons::DisciplineConfig scoped =
+      daemons::DisciplineConfig::scoped();
+  const analysis::TopologyDiff diff = analysis::diff_topology_dumps(
+      pool::describe_pool_topology(scoped).str(),
+      pool::describe_federated_topology(scoped).str());
+  // The federated model strictly extends the base pool: the only line it
+  // may drop is the "topology: N component(s) ..." summary header, whose
+  // counts necessarily grow.
+  for (const std::string& line : diff.removed) {
+    EXPECT_EQ(line.rfind("topology:", 0), 0u)
+        << "federation removed a declaration: " << line;
+  }
+  EXPECT_FALSE(diff.added.empty());
+  bool saw_flock = false;
+  for (const std::string& line : diff.added) {
+    if (line.find("flock") != std::string::npos) saw_flock = true;
+  }
+  EXPECT_TRUE(saw_flock);
+}
+
+// ---- golden parent dashboard ----
+
+/// Same contract as test_obs's golden helper: compare against a committed
+/// file, re-bless with ESG_BLESS=1.
+void expect_matches_golden(const std::string& rendered,
+                           const std::string& name) {
+  const std::string path =
+      std::string(ESG_SOURCE_DIR) + "/tests/golden/" + name;
+  if (std::getenv("ESG_BLESS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot bless " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with ESG_BLESS=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(rendered, buf.str())
+      << "dashboard drifted from " << path
+      << "; if intentional, re-bless with ESG_BLESS=1";
+}
+
+TEST(FlockGolden, FederatedDashboardIsReproducible) {
+  const chaos::FaultPlan plan = make_federated_plan(1234, federated_shape());
+  const auto render = [&plan]() {
+    Federation federation(federated_cell_config(plan));
+    run_federated(federation, plan);
+    obs::DashboardOptions options;
+    options.color = false;
+    return federation.parent()->dashboard_str(options) + "\n" +
+           federation.federated_dashboard_json("golden federated");
+  };
+  const std::string first = render();
+  const std::string second = render();
+  ASSERT_EQ(first, second) << "parent dashboard must be byte-stable";
+  expect_matches_golden(first, "dashboard_federated.txt");
+}
+
+}  // namespace
+}  // namespace esg::flock

@@ -836,6 +836,68 @@ TEST_F(ObsTest, NaiveDisciplineProducesP1ViolationEndToEnd) {
   EXPECT_TRUE(found_p1) << report.str();
 }
 
+// ---- sparklines ----
+
+TEST(Sparkline, EmptySeriesRendersNothing) {
+  // No slices observed (or zero width): no glyphs, so a dashboard row
+  // without history stays clean.
+  EXPECT_EQ(sparkline(FlowSeries{}, 8), "");
+  FlowSeries series;
+  series.slices[0] = 3;
+  EXPECT_EQ(sparkline(series, 0), "");
+}
+
+TEST(Sparkline, SingleSliceFillsItsBucketAtFullHeight) {
+  FlowSeries series;
+  series.total = 5;
+  series.slices[3] = 5;
+  const std::string line = sparkline(series, 4);
+  // One slice maps to the first bucket at the tallest glyph; the rest
+  // stay blank. UTF-8 block glyphs are 3 bytes each.
+  EXPECT_EQ(line.substr(0, 3), "\xe2\x96\x88");
+  EXPECT_EQ(line.substr(3), "   ");
+}
+
+TEST(Sparkline, ScalesAgainstTheFullestBucket) {
+  FlowSeries series;
+  series.slices[0] = 8;
+  series.slices[1] = 4;
+  series.slices[2] = 1;
+  series.total = 13;
+  const std::string line = sparkline(series, 3);
+  // Three slices, three buckets: full / half / lowest-nonzero. A nonzero
+  // bucket never rounds down to blank (ceiling scale).
+  EXPECT_EQ(line, "\xe2\x96\x88\xe2\x96\x84\xe2\x96\x81");
+}
+
+TEST(Sparkline, IsDeterministicForEqualSeries) {
+  FlowSeries a;
+  a.slices[2] = 3;
+  a.slices[7] = 9;
+  a.total = 12;
+  FlowSeries b = a;
+  EXPECT_EQ(sparkline(a), sparkline(b));
+  EXPECT_EQ(sparkline(a, 10), sparkline(b, 10));
+}
+
+TEST(Sparkline, DashboardRowsCarrySparklinesWhenEnabled) {
+  FlowAggregate aggregate;
+  FlowKey key;
+  key.kind = ErrorKind::kConnectionLost;
+  key.disposition = FlowDisposition::kConsumed;
+  aggregate.cells[key].total = 4;
+  aggregate.cells[key].slices[0] = 4;
+  DashboardOptions with;
+  with.sparklines = true;
+  DashboardOptions without;
+  without.sparklines = false;
+  const std::string on = render_dashboard(aggregate, with);
+  const std::string off = render_dashboard(aggregate, without);
+  EXPECT_NE(on, off);
+  EXPECT_NE(on.find("\xe2\x96\x88"), std::string::npos);
+  EXPECT_EQ(off.find("\xe2\x96\x88"), std::string::npos);
+}
+
 // ---- golden dashboards ----
 
 /// Compare a rendered dashboard against a committed golden file. Bless new

@@ -9,12 +9,24 @@
 //                    pool::SweepRunner, judge every cell, and ddmin-shrink
 //                    the first failing plan to a minimal replayable repro.
 //
+// --federated switches both paths to flock::Federation cells: plans are
+// drawn by flock::make_federated_plan (remote blackout mid-negotiation,
+// inter-pool trunk severance, remote exec crash under flocked work,
+// parent-stream partition), cells run a whole federation (--pools wide),
+// and the same five oracles judge the outcome. A saved federated plan
+// (shape "pools=N") replays as a federated cell automatically.
+//
 // Shared flags:
 //   --seed S         campaign seed (default 1)
 //   --threads T      sweep width (0 = hardware); verdicts do not depend on
 //                    this — that invariant is itself under test in CI
 //   --discipline D   "scoped" (default) or "naive" pool under test
 //   --machines N, --jobs N   pool shape (default 4 machines, 16 jobs)
+//   --federated      federation cells instead of single-pool cells
+//   --pools N        federation width for --federated (default 3)
+//   --triage K       re-run every red cell (or cell 0 when all green) K
+//                    extra times and flag verdict variance as a
+//                    determinism bug ("flaky") in the report
 //   --shrink         with --plan: ddmin a failing plan after replaying it
 //   --no-shrink      with --campaign: skip shrinking (faster scoped gates)
 //   --out FILE       write the minimized failing plan here (CI artifact)
@@ -33,6 +45,7 @@
 
 #include "chaos/campaign.hpp"
 #include "chaos/plan.hpp"
+#include "flock/chaos.hpp"
 
 using namespace esg;
 
@@ -43,6 +56,7 @@ int usage(const char* argv0) {
                "usage: %s (--plan FILE | --campaign N)\n"
                "          [--seed S] [--threads T] [--discipline scoped|naive]\n"
                "          [--machines N] [--jobs N] [--shrink | --no-shrink]\n"
+               "          [--federated] [--pools N] [--triage K]\n"
                "          [--out FILE] [--json] [--expect-fail]\n",
                argv0);
   return 2;
@@ -73,18 +87,24 @@ int run_plan(const std::string& path, bool do_shrink, const std::string& out_pat
     return 2;
   }
 
-  std::printf("replaying %s (%zu action(s), seed %llu, %s pool)\n",
+  const bool federated = plan->shape.pools >= 2;
+  std::printf("replaying %s (%zu action(s), seed %llu, %s %s)\n",
               path.c_str(), plan->actions.size(),
               static_cast<unsigned long long>(plan->seed),
-              plan->shape.discipline.c_str());
-  const chaos::RunResult run = chaos::CampaignRunner::replay(*plan);
+              plan->shape.discipline.c_str(),
+              federated ? "federation" : "pool");
+  const chaos::RunResult run = federated
+                                   ? flock::replay_federated(*plan)
+                                   : chaos::CampaignRunner::replay(*plan);
   std::fputs(run.report.str().c_str(), stdout);
   std::printf("oracles: %s\n", run.oracles.str().c_str());
 
   if (do_shrink && !run.ok()) {
     std::size_t probes = 0;
     const chaos::FaultPlan minimized =
-        chaos::CampaignRunner::shrink(*plan, &probes);
+        federated ? chaos::CampaignRunner::shrink_with(
+                        *plan, flock::replay_federated, &probes)
+                  : chaos::CampaignRunner::shrink(*plan, &probes);
     std::printf("minimized to %zu action(s) in %zu probe(s):\n%s",
                 minimized.actions.size(), probes, minimized.str().c_str());
     if (!out_path.empty() && !write_file(out_path, minimized.str())) return 2;
@@ -92,9 +112,11 @@ int run_plan(const std::string& path, bool do_shrink, const std::string& out_pat
   return run.ok() ? 0 : 1;
 }
 
-int run_campaign(const chaos::CampaignOptions& options, bool json,
-                 bool expect_fail, const std::string& out_path) {
-  const chaos::CampaignResult result = chaos::CampaignRunner(options).run();
+int run_campaign(const chaos::CampaignOptions& options, bool federated,
+                 bool json, bool expect_fail, const std::string& out_path) {
+  const chaos::CampaignResult result =
+      federated ? flock::run_federated_campaign(options)
+                : chaos::CampaignRunner(options).run();
   std::fputs(json ? result.json().c_str() : result.str().c_str(), stdout);
 
   if (result.minimized.has_value() && !out_path.empty() &&
@@ -124,6 +146,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   chaos::CampaignOptions options;
   bool have_campaign = false;
+  bool federated = false;
   bool plan_shrink = false;
   bool json = false;
   bool expect_fail = false;
@@ -154,6 +177,13 @@ int main(int argc, char** argv) {
       next_int(options.shape.machines);
     } else if (!std::strcmp(argv[i], "--jobs")) {
       next_int(options.shape.jobs);
+    } else if (!std::strcmp(argv[i], "--federated")) {
+      federated = true;
+    } else if (!std::strcmp(argv[i], "--pools")) {
+      next_int(options.shape.pools);
+      if (options.shape.pools < 2) options.shape.pools = 2;
+    } else if (!std::strcmp(argv[i], "--triage")) {
+      next_int(options.triage_reruns);
     } else if (!std::strcmp(argv[i], "--shrink")) {
       plan_shrink = true;
     } else if (!std::strcmp(argv[i], "--no-shrink")) {
@@ -176,7 +206,8 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
     if (options.plans <= 0) return usage(argv[0]);
-    return run_campaign(options, json, expect_fail, out_path);
+    if (federated && options.shape.pools < 2) options.shape.pools = 3;
+    return run_campaign(options, federated, json, expect_fail, out_path);
   }
   return usage(argv[0]);
 }

@@ -10,6 +10,12 @@
 //   --demo MODE      live: run the black-hole example pool (MODE is
 //                    "naive" or "scoped") and redraw the dashboard as the
 //                    simulation advances
+//   --parent MODE    federated: run a flocking federation (--pools pools,
+//                    all jobs submitted at "home" so they overflow) with
+//                    netdata-style streaming on, then render the parent
+//                    aggregator's dashboard — per-pool provenance (chunks,
+//                    dedup, events, last seq) plus each child's table and
+//                    the merged cross-pool view
 //
 // Modes and outputs:
 //   --once           render a single frame and exit (CI smoke tests)
@@ -33,6 +39,8 @@
 #include <string>
 #include <thread>
 
+#include "flock/chaos.hpp"
+#include "flock/federation.hpp"
 #include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 #include "pool/pool.hpp"
@@ -44,9 +52,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::printf(
-      "usage: %s (--journal FILE | --follow FILE | --demo naive|scoped)\n"
+      "usage: %s (--journal FILE | --follow FILE | --demo naive|scoped\n"
+      "           | --parent naive|scoped)\n"
       "          [--once] [--json] [--journal-out FILE] [--slice SEC]\n"
-      "          [--interval MS] [--frames N]\n"
+      "          [--interval MS] [--frames N] [--pools N]\n"
       "          [--seed S] [--jobs N] [--bad N] [--good N]\n",
       argv0);
   return 2;
@@ -190,6 +199,66 @@ int run_demo(const DemoOptions& demo, SimTime slice, bool once, bool json,
   return render(pool.flow(), title, json, /*color=*/!once && !json);
 }
 
+int run_parent(const DemoOptions& demo, int pools, SimTime slice, bool json,
+               const std::string& journal_out) {
+  flock::FederationConfig config;
+  config.seed = demo.seed;
+  config.discipline = demo.mode == "naive"
+                          ? daemons::DisciplineConfig::naive()
+                          : daemons::DisciplineConfig::scoped();
+  if (demo.mode != "naive") config.discipline.schedd_avoidance = true;
+  config.trace = true;
+  config.stream = true;
+  config.dashboard_slice = slice;
+  // Home is starved (one machine) so the workload overflows through
+  // flocking; every remote pool contributes two good machines.
+  for (int i = 0; i < pools; ++i) {
+    flock::PoolSpec spec;
+    spec.name = flock::federated_pool_name(i);
+    const int machines = i == 0 ? 1 : 2;
+    for (int m = 0; m < machines; ++m) {
+      spec.machines.push_back(
+          pool::MachineSpec::good("exec" + std::to_string(m)));
+    }
+    config.pools.push_back(std::move(spec));
+  }
+
+  flock::Federation federation(std::move(config));
+  federation.boot();
+  pool::stage_workload_inputs(*federation.submit_fs("home"));
+  pool::WorkloadOptions workload;
+  workload.count = demo.jobs;
+  workload.mean_compute = SimTime::sec(30);
+  workload.remote_io_fraction = 0.25;
+  Rng rng(demo.seed);
+  for (auto& job : pool::make_workload(workload, rng)) {
+    federation.submit(0, std::move(job));
+  }
+  federation.run_until_done(SimTime::hours(4));
+
+  if (!journal_out.empty()) {
+    std::ofstream out(journal_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "esg-top: cannot write %s\n", journal_out.c_str());
+      return 1;
+    }
+    out << obs::journal_str(federation.recorder());
+  }
+
+  const std::string title = demo.mode + " federation, " +
+                            std::to_string(pools) + " pools, seed " +
+                            std::to_string(demo.seed);
+  if (json) {
+    std::fputs(federation.federated_dashboard_json(title).c_str(), stdout);
+    return 0;
+  }
+  obs::DashboardOptions options;
+  options.title = title;
+  options.color = false;
+  std::fputs(federation.parent()->dashboard_str(options).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,6 +267,8 @@ int main(int argc, char** argv) {
   std::string journal_out;
   DemoOptions demo;
   bool have_demo = false;
+  bool have_parent = false;
+  int pools = 3;
   bool once = false;
   bool json = false;
   std::int64_t slice_sec = 60;
@@ -224,6 +295,12 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--demo")) {
       have_demo = true;
       next_str(demo.mode);
+    } else if (!std::strcmp(argv[i], "--parent")) {
+      have_parent = true;
+      next_str(demo.mode);
+    } else if (!std::strcmp(argv[i], "--pools")) {
+      next_int(pools);
+      if (pools < 2) pools = 2;
     } else if (!std::strcmp(argv[i], "--journal-out")) {
       next_str(journal_out);
     } else if (!std::strcmp(argv[i], "--once")) {
@@ -257,6 +334,10 @@ int main(int argc, char** argv) {
   if (have_demo) {
     if (demo.mode != "naive" && demo.mode != "scoped") return usage(argv[0]);
     return run_demo(demo, slice, once, json, journal_out);
+  }
+  if (have_parent) {
+    if (demo.mode != "naive" && demo.mode != "scoped") return usage(argv[0]);
+    return run_parent(demo, pools, slice, json, journal_out);
   }
   return usage(argv[0]);
 }

@@ -1,12 +1,22 @@
 // esg-verify CLI: static whole-pool verification of the four principles.
 //
-//   esg-verify [--discipline scoped|naive] [--sarif <out.json>]
+//   esg-verify [--discipline scoped|naive] [--federated] [--sarif <out.json>]
 //              [--unregister <scope>] [--dump]
+//   esg-verify --diff <dump-a> <dump-b>
 //
 // Builds the declared pool topology for the discipline (the same
 // describe_topology() hooks the daemons export), runs the ScopeVerifier,
 // prints the report, and exits 1 when any finding survives — so a CTest /
 // CI gate is just `esg-verify --discipline scoped`.
+//
+// --federated verifies the cross-pool model instead
+// (describe_federated_topology: the flock layer's cluster/network-scope
+// contract at the pool boundary).
+//
+// --diff reads two TopologyModel dumps (saved with --dump) and prints the
+// declaration-level diff — what one topology declares that the other does
+// not. Exits 0 when identical, 1 otherwise, so it doubles as a contract
+// drift gate.
 //
 // --unregister opens a routing window first (the static twin of a manager
 // daemon going away), e.g. `--unregister pool` reproduces the seeded P3
@@ -14,8 +24,10 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "analysis/diff.hpp"
 #include "analysis/sarif.hpp"
 #include "analysis/verify.hpp"
 #include "core/scope.hpp"
@@ -24,9 +36,35 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: esg-verify [--discipline scoped|naive]"
-               " [--sarif <out.json>] [--unregister <scope>] [--dump]\n";
+  std::cerr << "usage: esg-verify [--discipline scoped|naive] [--federated]"
+               " [--sarif <out.json>] [--unregister <scope>] [--dump]\n"
+               "       esg-verify --diff <dump-a> <dump-b>\n";
   return 2;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  const auto slurp = [](const std::string& path,
+                        std::string& out) -> bool {
+    std::ifstream in(path);
+    if (!in) return false;
+    std::ostringstream os;
+    os << in.rdbuf();
+    out = os.str();
+    return true;
+  };
+  std::string a, b;
+  if (!slurp(path_a, a)) {
+    std::cerr << "esg-verify: cannot read " << path_a << "\n";
+    return 2;
+  }
+  if (!slurp(path_b, b)) {
+    std::cerr << "esg-verify: cannot read " << path_b << "\n";
+    return 2;
+  }
+  const esg::analysis::TopologyDiff diff =
+      esg::analysis::diff_topology_dumps(a, b);
+  std::cout << diff.str();
+  return diff.identical() ? 0 : 1;
 }
 
 const char* rule_description(const std::string& rule) {
@@ -53,11 +91,17 @@ int main(int argc, char** argv) {
   std::string sarif_path;
   std::string unregister_name;
   bool dump = false;
+  bool federated = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--discipline") {
+    if (arg == "--diff") {
+      if (i + 2 >= argc) return usage();
+      return run_diff(argv[i + 1], argv[i + 2]);
+    } else if (arg == "--discipline") {
       if (i + 1 >= argc) return usage();
       discipline_name = argv[++i];
+    } else if (arg == "--federated") {
+      federated = true;
     } else if (arg == "--sarif") {
       if (i + 1 >= argc) return usage();
       sarif_path = argv[++i];
@@ -81,7 +125,8 @@ int main(int argc, char** argv) {
   }
 
   esg::analysis::TopologyModel model =
-      esg::pool::describe_pool_topology(discipline);
+      federated ? esg::pool::describe_federated_topology(discipline)
+                : esg::pool::describe_pool_topology(discipline);
   if (!unregister_name.empty()) {
     const auto scope = esg::parse_scope(unregister_name);
     if (!scope) {
@@ -94,7 +139,9 @@ int main(int argc, char** argv) {
 
   const esg::analysis::AnalysisReport report =
       esg::analysis::ScopeVerifier().verify(model);
-  std::cout << "discipline: " << discipline_name << "\n" << report.str();
+  std::cout << "discipline: " << discipline_name
+            << (federated ? " (federated)" : "") << "\n"
+            << report.str();
 
   if (!sarif_path.empty()) {
     esg::analysis::sarif::Log log("esg-verify", "1.0");
