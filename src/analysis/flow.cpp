@@ -1,0 +1,421 @@
+#include "analysis/flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace esg::analysis {
+
+namespace {
+
+// One node of the error-flow graph: a detection point or an interface.
+struct Node {
+  std::string name;
+  std::string component;
+  const DetectionDecl* detection = nullptr;
+  const InterfaceDecl* iface = nullptr;
+  std::vector<int> out;  ///< successor node indices (resolved FlowDecls)
+};
+
+// One lattice state reached by the fixpoint. Parent links reconstruct the
+// witness path; `note` says how the fact crossed into this node.
+struct State {
+  int node = -1;
+  ErrorKind kind = ErrorKind::kUnknown;
+  ErrorScope scope = ErrorScope::kProgram;
+  bool laundered = false;
+  int parent = -1;
+  std::string note;
+};
+
+// A routing obligation: scope `scope` must be managed, witnessed by the
+// fact path ending at state `state` (-1 for escalation-derived scopes).
+struct Obligation {
+  ErrorScope scope = ErrorScope::kProgram;
+  int state = -1;
+  std::string origin;  ///< node or rung that raised it
+};
+
+}  // namespace
+
+std::string FlowFinding::str() const {
+  std::ostringstream os;
+  os << rule << " (" << component << ") " << node;
+  if (kind != ErrorKind::kUnknown) os << " [" << kind_name(kind) << "]";
+  os << ": " << message;
+  for (const std::string& step : witness) os << "\n    " << step;
+  return os.str();
+}
+
+bool FlowReport::has(const std::string& rule) const {
+  return count(rule) > 0;
+}
+
+std::size_t FlowReport::count(const std::string& rule) const {
+  std::size_t n = 0;
+  for (const FlowFinding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+std::string FlowReport::str() const {
+  std::ostringstream os;
+  os << "flow analysis: " << facts_seeded << " fact(s) seeded, "
+     << facts_propagated << " state(s), " << edges_traversed
+     << " edge crossing(s), " << obligations_raised << " obligation(s)";
+  if (findings.empty()) {
+    os << "\nclean: every fact reaches a representable exit, every handler"
+       << " and rung is live";
+    return os.str();
+  }
+  os << "\n" << findings.size() << " finding(s):";
+  for (const FlowFinding& f : findings) os << "\n  " << f.str();
+  return os.str();
+}
+
+FlowReport FlowAnalyzer::analyze(const TopologyModel& model) const {
+  FlowReport report;
+
+  // ---- build the graph ----
+  std::vector<Node> nodes;
+  std::map<std::string, int> index;
+  for (const DetectionDecl& d : model.detections()) {
+    index.emplace(d.point, static_cast<int>(nodes.size()));
+    nodes.push_back({d.point, d.component, &d, nullptr, {}});
+  }
+  for (const InterfaceDecl& i : model.interfaces()) {
+    index.emplace(i.routine, static_cast<int>(nodes.size()));
+    nodes.push_back({i.routine, i.component, nullptr, &i, {}});
+  }
+  for (const FlowDecl& f : model.flows()) {
+    const auto from = index.find(f.from);
+    const auto to = index.find(f.to);
+    if (from == index.end() || to == index.end()) {
+      const std::string& missing = from == index.end() ? f.from : f.to;
+      FlowFinding finding;
+      finding.rule = "esf/dangling-edge";
+      finding.component = from == index.end()
+                              ? (to == index.end() ? "" : nodes[to->second].component)
+                              : nodes[from->second].component;
+      finding.node = f.from + " -> " + f.to;
+      finding.message = "flow edge names no declared detection point or "
+                        "interface ('" +
+                        missing + "'): the edge vanishes from every analysis";
+      finding.witness = {"flow " + f.from + " -> " + f.to};
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    nodes[from->second].out.push_back(to->second);
+  }
+
+  // ---- worklist fixpoint ----
+  std::vector<State> states;
+  std::map<std::tuple<int, ErrorKind, ErrorScope, bool>, int> visited;
+  std::deque<int> worklist;
+  std::vector<Obligation> obligations;
+  std::set<int> reached_interfaces;                    ///< node indices
+  std::set<std::pair<int, ErrorKind>> delivered;       ///< contract entries
+  std::set<std::pair<int, ErrorKind>> landed_terminal; ///< laundering dedup
+
+  const auto enqueue = [&](State s) {
+    const auto key = std::make_tuple(s.node, s.kind, s.scope, s.laundered);
+    if (visited.count(key) != 0) return;
+    visited.emplace(key, static_cast<int>(states.size()));
+    states.push_back(std::move(s));
+    worklist.push_back(static_cast<int>(states.size()) - 1);
+  };
+
+  const auto witness_of = [&](int state, const std::string& tail) {
+    std::vector<std::string> path;
+    for (int s = state; s >= 0; s = states[s].parent) {
+      path.push_back(states[s].note);
+    }
+    std::reverse(path.begin(), path.end());
+    if (!tail.empty()) path.push_back(tail);
+    return path;
+  };
+
+  for (const DetectionDecl& d : model.detections()) {
+    const int at = index.at(d.point);
+    for (const ErrorKind kind : d.kinds) {
+      const ErrorScope scope = default_scope(kind);
+      State seed;
+      seed.node = at;
+      seed.kind = kind;
+      seed.scope = scope;
+      seed.note = d.point + " detects " + std::string(kind_name(kind)) +
+                  " (scope " + std::string(scope_name(scope)) + ")";
+      ++report.facts_seeded;
+      enqueue(std::move(seed));
+      // Discovery itself raises the default-scope obligation: someone must
+      // manage the scope this kind invalidates (P3's premise).
+      obligations.push_back({scope, static_cast<int>(states.size()) - 1,
+                             d.point});
+    }
+  }
+
+  while (!worklist.empty()) {
+    const int id = worklist.front();
+    worklist.pop_front();
+    const State s = states[id];  // copy: states may reallocate on enqueue
+    const Node& node = nodes[s.node];
+
+    if (node.iface != nullptr) {
+      reached_interfaces.insert(s.node);
+
+      if (s.laundered) {
+        // Past the first leak the fact travels as a generic result; later
+        // contracts have nothing to inspect and wave it through. A wide
+        // provenance arriving at a terminal this way is the finding.
+        if (node.iface->terminal) {
+          const ErrorScope provenance = s.scope;
+          if (scope_rank(provenance) > scope_rank(options_.laundering_floor) &&
+              landed_terminal.emplace(s.node, s.kind).second) {
+            FlowFinding finding;
+            finding.rule = "esf/multi-hop-laundering";
+            finding.component = node.component;
+            finding.node = node.name;
+            finding.kind = s.kind;
+            finding.message =
+                std::string(kind_name(s.kind)) + " reaches terminal " +
+                node.name + " laundered: its " +
+                std::string(scope_name(provenance)) +
+                "-scope provenance was destroyed upstream and the user "
+                "inherits a fault the pool should have managed";
+            finding.witness = witness_of(
+                id, "reaches terminal " + node.name + " still owing " +
+                        std::string(scope_name(provenance)) + " scope");
+            report.findings.push_back(std::move(finding));
+          }
+          continue;
+        }
+        for (const int next : node.out) {
+          ++report.edges_traversed;
+          State n = s;
+          n.node = next;
+          n.parent = id;
+          n.note = node.name + " forwards the generic result to " +
+                   nodes[next].name;
+          enqueue(std::move(n));
+        }
+        continue;
+      }
+
+      if (node.iface->allows(s.kind)) {
+        delivered.emplace(s.node, s.kind);
+        if (node.iface->terminal) continue;  // representable delivery
+        for (const int next : node.out) {
+          ++report.edges_traversed;
+          State n = s;
+          n.node = next;
+          n.parent = id;
+          n.note = "passes the " + node.name + " contract on to " +
+                   nodes[next].name;
+          enqueue(std::move(n));
+        }
+        continue;
+      }
+
+      if (node.iface->mode == InterfaceMode::kLeak) {
+        // First leak: identity destroyed here. If this is the terminal
+        // itself the defect is single-hop — esv/p1-laundering's business,
+        // visible to the point verifier. Multi-hop needs more travel.
+        if (node.iface->terminal) continue;
+        for (const int next : node.out) {
+          ++report.edges_traversed;
+          State n = s;
+          n.node = next;
+          n.parent = id;
+          n.laundered = true;
+          n.note = "leaks through " + node.name +
+                   " outside its contract into " + nodes[next].name +
+                   " (identity destroyed)";
+          enqueue(std::move(n));
+        }
+        continue;
+      }
+
+      // Filter: a disciplined escape at the widened scope. The fact stops
+      // travelling as a value and becomes a routing obligation.
+      const ErrorScope widened =
+          scope_rank(node.iface->escape_floor) > scope_rank(s.scope)
+              ? node.iface->escape_floor
+              : s.scope;
+      obligations.push_back({widened, id, node.name});
+      continue;
+    }
+
+    // Detection node (or pass-through): facts flow onward unchanged.
+    for (const int next : node.out) {
+      ++report.edges_traversed;
+      State n = s;
+      n.node = next;
+      n.parent = id;
+      n.note = "flows into " + nodes[next].name;
+      enqueue(std::move(n));
+    }
+  }
+
+  report.facts_propagated = states.size();
+  report.obligations_raised = obligations.size();
+
+  // ---- escalation closure over obligated scopes ----
+  std::set<ErrorScope> obligated;
+  std::map<ErrorScope, int> obligation_witness;  ///< first witness state
+  for (const Obligation& o : obligations) {
+    if (obligated.insert(o.scope).second) {
+      obligation_witness[o.scope] = o.state;
+    }
+  }
+  std::set<std::size_t> fired;  ///< indices into model.escalations()
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < model.escalations().size(); ++i) {
+      const EscalationDecl& rung = model.escalations()[i];
+      if (scope_rank(rung.to) <= scope_rank(rung.from)) continue;
+      if (obligated.count(rung.from) == 0) continue;
+      if (!fired.insert(i).second) continue;
+      changed = true;
+      if (obligated.insert(rung.to).second) {
+        obligation_witness[rung.to] = obligation_witness[rung.from];
+      }
+    }
+  }
+
+  // ---- handler liveness ----
+  std::set<std::pair<std::string, ErrorScope>> live;
+  for (const ErrorScope scope : obligated) {
+    if (const auto handler = model.handler_at_or_above(scope)) {
+      live.emplace(handler->component, handler->scope);
+    }
+  }
+  for (const HandlerDecl& h : model.handlers()) {
+    if (live.count({h.component, h.scope}) != 0) continue;
+    FlowFinding finding;
+    finding.rule = "esf/dead-handler";
+    finding.component = h.component;
+    finding.node = h.component + "@" + std::string(scope_name(h.scope));
+    finding.message =
+        "handler registered at " + std::string(scope_name(h.scope)) +
+        " scope is dead: no detection, escape, or escalation ever raises "
+        "an obligation that routes to it";
+    finding.witness = {"handler " + h.component + " manages " +
+                       std::string(scope_name(h.scope))};
+    report.findings.push_back(std::move(finding));
+  }
+
+  // ---- unreachable escalation rungs ----
+  for (std::size_t i = 0; i < model.escalations().size(); ++i) {
+    const EscalationDecl& rung = model.escalations()[i];
+    const std::string label = rung.component + ": " +
+                              std::string(scope_name(rung.from)) + " -> " +
+                              std::string(scope_name(rung.to));
+    FlowFinding finding;
+    finding.rule = "esf/unreachable-escalation";
+    finding.component = rung.component;
+    finding.node = label;
+    if (scope_rank(rung.to) <= scope_rank(rung.from)) {
+      finding.message = "rung narrows (or holds) scope, so the monotone "
+                        "widening closure can never fire it";
+      finding.witness = {"escalation " + label};
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    if (fired.count(i) != 0) continue;
+    finding.message = "no obligation ever reaches " +
+                      std::string(scope_name(rung.from)) +
+                      " scope, so this rung can never fire";
+    finding.witness = {"escalation " + label};
+    report.findings.push_back(std::move(finding));
+  }
+
+  // ---- redundant consumption ----
+  for (const InterfaceDecl& i : model.interfaces()) {
+    const int at = index.at(i.routine);
+    if (reached_interfaces.count(at) == 0) {
+      FlowFinding finding;
+      finding.rule = "esf/redundant-consumption";
+      finding.component = i.component;
+      finding.node = i.routine;
+      finding.message = "no declared flow delivers any error to this "
+                        "boundary: the consumption vocabulary is redundant";
+      finding.witness = {"interface " + i.routine + " (" +
+                         std::to_string(i.allowed.size()) + " kind(s))"};
+      report.findings.push_back(std::move(finding));
+      continue;
+    }
+    for (const ErrorKind kind : i.allowed) {
+      if (delivered.count({at, kind}) != 0) continue;
+      FlowFinding finding;
+      finding.rule = "esf/redundant-consumption";
+      finding.component = i.component;
+      finding.node = i.routine;
+      finding.kind = kind;
+      finding.message =
+          std::string("contract entry ") + std::string(kind_name(kind)) +
+          " is dead: no declared detection can deliver it to " + i.routine;
+      finding.witness = {"interface " + i.routine + " allows " +
+                         std::string(kind_name(kind))};
+      report.findings.push_back(std::move(finding));
+    }
+  }
+
+  // ---- masking cycles ----
+  // DFS over the resolved flow graph; every directed cycle is reported
+  // once, anchored at its smallest node index.
+  {
+    std::vector<int> color(nodes.size(), 0);  // 0 white, 1 grey, 2 black
+    std::vector<int> stack;
+    std::set<std::vector<int>> seen_cycles;
+    const std::function<void(int)> dfs = [&](int u) {
+      color[u] = 1;
+      stack.push_back(u);
+      for (const int v : nodes[u].out) {
+        if (color[v] == 1) {
+          auto it = std::find(stack.begin(), stack.end(), v);
+          std::vector<int> cycle(it, stack.end());
+          std::rotate(cycle.begin(),
+                      std::min_element(cycle.begin(), cycle.end()),
+                      cycle.end());
+          if (seen_cycles.insert(cycle).second) {
+            FlowFinding finding;
+            finding.rule = "esf/masking-cycle";
+            finding.component = nodes[cycle.front()].component;
+            finding.node = nodes[cycle.front()].name;
+            std::ostringstream msg;
+            msg << "flow edges form a ring (";
+            for (std::size_t k = 0; k < cycle.size(); ++k) {
+              if (k != 0) msg << " -> ";
+              msg << nodes[cycle[k]].name;
+            }
+            msg << " -> " << nodes[cycle.front()].name
+                << "): errors entering it circulate and are re-wrapped "
+                   "instead of reaching a handler or terminal";
+            finding.message = msg.str();
+            for (const int n : cycle) {
+              finding.witness.push_back("flows through " + nodes[n].name);
+            }
+            report.findings.push_back(std::move(finding));
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+      stack.pop_back();
+      color[u] = 2;
+    };
+    for (std::size_t u = 0; u < nodes.size(); ++u) {
+      if (color[u] == 0) dfs(static_cast<int>(u));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace esg::analysis

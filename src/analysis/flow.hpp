@@ -1,0 +1,102 @@
+// FlowAnalyzer: path-sensitive dataflow over a declared TopologyModel.
+//
+// The ScopeVerifier (verify.hpp) proves the four principles as point
+// checks: each declaration is judged against its immediate neighbours. That
+// misses defects that are clean at every hop but wrong as a whole — a kind
+// that crosses three leak boundaries and lands on the user's desk stripped
+// of its local-resource provenance, a handler registered for a scope no
+// error can ever be raised at, an escalation rung no obligation ever
+// reaches, a ring of flow edges errors circulate in forever.
+//
+// This pass builds the explicit error-flow graph (detection points and
+// interfaces as nodes, FlowDecls as edges) and runs a worklist fixpoint
+// over facts in the lattice
+//
+//   (ErrorKind, ErrorScope, laundered?)
+//
+// seeded at every detection point with the kind's default scope. Crossing a
+// filter interface outside its contract converts the fact into a routing
+// obligation at max(scope, escape_floor); crossing a leak interface
+// outside its contract marks the fact laundered — from then on it travels
+// as a generic result no later contract can inspect, which is exactly why
+// laundering is pernicious. Obligations expand through the §5 escalation
+// closure; the nearest registered handler at or above each obligated scope
+// is credited as live.
+//
+// Findings (rule ids, all path-sensitive, each with a concrete witness):
+//
+//   esf/multi-hop-laundering   A laundered fact whose detection scope is
+//                              wider than program scope reaches a terminal
+//                              boundary — the user debugs a machine fault.
+//   esf/dead-handler           A registered handler no obligation routes
+//                              to, even after escalation.
+//   esf/unreachable-escalation A rung whose `from` scope no obligation
+//                              ever reaches (or that narrows, so it can
+//                              never fire at all).
+//   esf/redundant-consumption  An interface no declared flow can deliver
+//                              any error to, or a contract entry no
+//                              declared detection can ever satisfy.
+//   esf/masking-cycle          A directed cycle of flow edges: errors
+//                              entering it circulate instead of reaching a
+//                              handler or terminal.
+//   esf/dangling-edge          A FlowDecl endpoint naming no declared
+//                              detection point or interface — the edge
+//                              silently vanishes from every analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/topology.hpp"
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+
+namespace esg::analysis {
+
+/// One path-sensitive defect, with the concrete witness path (root first)
+/// that exhibits it.
+struct FlowFinding {
+  std::string rule;        ///< stable rule id ("esf/multi-hop-laundering")
+  std::string component;   ///< owning component of the anchor node
+  std::string node;        ///< anchor: interface, handler, rung, or edge
+  ErrorKind kind = ErrorKind::kUnknown;  ///< kUnknown when not kind-specific
+  std::string message;
+  std::vector<std::string> witness;  ///< concrete path through the graph
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct FlowReport {
+  std::vector<FlowFinding> findings;
+  std::size_t facts_seeded = 0;       ///< (detection, kind) seeds
+  std::size_t facts_propagated = 0;   ///< distinct lattice states visited
+  std::size_t edges_traversed = 0;    ///< per-fact edge crossings
+  std::size_t obligations_raised = 0; ///< detection + escape obligations
+
+  [[nodiscard]] bool ok() const { return findings.empty(); }
+  [[nodiscard]] bool has(const std::string& rule) const;
+  [[nodiscard]] std::size_t count(const std::string& rule) const;
+  [[nodiscard]] std::string str() const;
+};
+
+class FlowAnalyzer {
+ public:
+  struct Options {
+    /// Laundering at or below this scope is the terminal vocabulary's
+    /// right: a program-scope error collapsing into an exit code loses
+    /// nothing the user could not already see. Wider provenance must
+    /// survive to the terminal.
+    ErrorScope laundering_floor = ErrorScope::kProgram;
+  };
+
+  FlowAnalyzer() = default;
+  explicit FlowAnalyzer(Options options) : options_(options) {}
+
+  [[nodiscard]] FlowReport analyze(const TopologyModel& model) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace esg::analysis

@@ -1,0 +1,136 @@
+#include "chaos/witness.hpp"
+
+#include <sstream>
+
+#include "common/simtime.hpp"
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+
+namespace esg::chaos {
+
+namespace {
+
+// Every witness targets the same machine at the same point of the busy
+// period (the default PoolShape keeps the pool saturated for the first few
+// simulated minutes), so witness artifacts are deterministic and diffable.
+constexpr const char* kVictim = "exec0";
+
+FaultPlan plan_shell(ErrorKind kind) {
+  FaultPlan plan;
+  // Kind pins the seed, so each finding's witness is a distinct, stable
+  // artifact (the seed also seeds the cell's pool and workload).
+  plan.seed = 1000 + static_cast<std::uint64_t>(kind);
+  plan.shape.discipline = "naive";
+  return plan;
+}
+
+FaultAction act(FaultActionType type, SimTime at) {
+  FaultAction action;
+  action.type = type;
+  action.at = at;
+  action.host = kVictim;
+  return action;
+}
+
+}  // namespace
+
+std::string WitnessPlan::str() const {
+  return rationale + "\n" + plan.str();
+}
+
+std::optional<WitnessPlan> compile_witness(
+    const analysis::FlowFinding& finding) {
+  if (finding.kind == ErrorKind::kUnknown) return std::nullopt;
+
+  const ErrorKind kind = finding.kind;
+  const ErrorScope scope = default_scope(kind);
+  WitnessPlan witness;
+  witness.plan = plan_shell(kind);
+
+  switch (scope) {
+    case ErrorScope::kNetwork: {
+      // Partition the victim mid-claim: connections break, the shadow
+      // classifies a network-scope loss.
+      FaultAction cut = act(FaultActionType::kPartition, SimTime::sec(20));
+      FaultAction heal = act(FaultActionType::kHeal, SimTime::sec(110));
+      witness.plan.actions = {cut, heal};
+      witness.rationale =
+          std::string(kind_name(kind)) +
+          " is network scope: partition " + kVictim +
+          " during the busy period, heal 90s later";
+      break;
+    }
+    case ErrorScope::kProcess: {
+      // kDaemonCrashed and friends: kill the victim's daemon, boot it
+      // back, and let the pool observe the crash.
+      FaultAction crash = act(FaultActionType::kCrash, SimTime::sec(20));
+      FaultAction boot = act(FaultActionType::kRestart, SimTime::sec(110));
+      witness.plan.actions = {crash, boot};
+      witness.rationale = std::string(kind_name(kind)) +
+                          " is process scope: crash " + kVictim +
+                          "'s daemon, restart 90s later";
+      break;
+    }
+    case ErrorScope::kFile:
+    case ErrorScope::kLocalResource: {
+      // Submit-side / filesystem family: arm a transient-fault window on
+      // the victim's filesystem.
+      FaultAction faults = act(FaultActionType::kFsFaults, SimTime::sec(20));
+      faults.rate = 0.9;
+      faults.duration = SimTime::sec(90);
+      witness.plan.actions = {faults};
+      witness.rationale = std::string(kind_name(kind)) + " is " +
+                          std::string(scope_name(scope)) +
+                          " scope: arm a 90s transient fs-fault window on " +
+                          kVictim;
+      break;
+    }
+    case ErrorScope::kVirtualMachine:
+    case ErrorScope::kRemoteResource:
+    case ErrorScope::kJob:
+    case ErrorScope::kCluster:
+    case ErrorScope::kPool: {
+      // Environmental family: mark the victim chronically bad. Under the
+      // naive discipline its persistent failures are billed to whichever
+      // job lands there (§6 misattribution); under the scoped discipline
+      // avoidance steers work away and the pool absorbs the fault.
+      FaultAction chronic = act(FaultActionType::kChronic, SimTime::sec(20));
+      chronic.rate = 0.95;
+      witness.plan.actions = {chronic};
+      witness.rationale = std::string(kind_name(kind)) + " is " +
+                          std::string(scope_name(scope)) +
+                          " scope: mark " + kVictim + " chronically bad";
+      break;
+    }
+    case ErrorScope::kFunction:
+    case ErrorScope::kProgram:
+      // The job's own doing — there is nothing environmental to inject
+      // that would make this the pool's fault.
+      return std::nullopt;
+  }
+  return witness;
+}
+
+std::string WitnessVerdict::str() const {
+  std::ostringstream os;
+  os << "naive:  " << (naive.finished ? "finished" : "DID NOT FINISH")
+     << ", oracles " << naive.oracles.str() << "\n"
+     << "scoped: " << (scoped.finished ? "finished" : "DID NOT FINISH")
+     << ", oracles " << scoped.oracles.str() << "\n"
+     << (confirmed()
+             ? "CONFIRMED: the fault bites naive and scoped absorbs it"
+             : "not confirmed");
+  return os.str();
+}
+
+WitnessVerdict confirm_witness(const FaultPlan& plan) {
+  WitnessVerdict verdict;
+  FaultPlan leg = plan;
+  leg.shape.discipline = "naive";
+  verdict.naive = CampaignRunner::replay(leg);
+  leg.shape.discipline = "scoped";
+  verdict.scoped = CampaignRunner::replay(leg);
+  return verdict;
+}
+
+}  // namespace esg::chaos

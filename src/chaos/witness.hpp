@@ -1,0 +1,68 @@
+// Witness compiler: lower a static flow finding to a replayable fault plan.
+//
+// The FlowAnalyzer's multi-hop-laundering findings are claims about the
+// world: "a fault of this scope family, raised on an execution machine,
+// reaches the user stripped of its provenance under the naive discipline".
+// Because the chaos harness can provoke exactly those families on demand
+// (crash a daemon, partition a host, arm an fs-fault window, mark a machine
+// chronic), every such claim is mechanically checkable. compile_witness
+// maps the finding's detected kind to the Injector action that provokes its
+// scope family; confirm_witness replays the compiled plan under both
+// disciplines and cross-checks the static verdict against the five dynamic
+// oracles:
+//
+//   confirmed  =  the naive replay fails >= 1 oracle (the laundering is
+//                 real — typically `attribution`, the user inheriting an
+//                 environmental fault)  AND  the scoped replay of the very
+//                 same plan finishes with every oracle green (the defect is
+//                 the discipline's, not the fault's).
+//
+// This is the "scored by chaos" loop closed over the analyzer itself: a
+// static finding ships with the experiment that demonstrates it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/flow.hpp"
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+
+namespace esg::chaos {
+
+/// A compiled witness: the minimal plan plus the mapping rationale.
+struct WitnessPlan {
+  FaultPlan plan;         ///< naive-discipline plan provoking the family
+  std::string rationale;  ///< how the injected fault maps onto the finding
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Lower `finding` to a minimal fault plan. Only kind-bearing laundering
+/// findings compile; program-scope kinds (the job's own doing — nothing
+/// environmental to inject) and kind-less structural findings yield
+/// nullopt.
+[[nodiscard]] std::optional<WitnessPlan> compile_witness(
+    const analysis::FlowFinding& finding);
+
+/// Both replays of one witness plan, and the cross-checked verdict.
+struct WitnessVerdict {
+  RunResult naive;
+  RunResult scoped;
+
+  [[nodiscard]] bool naive_bitten() const { return !naive.oracles.ok(); }
+  [[nodiscard]] bool scoped_clean() const {
+    return scoped.finished && scoped.oracles.ok();
+  }
+  [[nodiscard]] bool confirmed() const {
+    return naive_bitten() && scoped_clean();
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// Replay `plan` under the naive and scoped disciplines (the plan's own
+/// discipline field is overridden for each leg) and judge both runs with
+/// the resilience oracles.
+[[nodiscard]] WitnessVerdict confirm_witness(const FaultPlan& plan);
+
+}  // namespace esg::chaos

@@ -289,8 +289,12 @@ void describe_topology(analysis::TopologyModel& model) {
         ErrorKind::kProtocolError, ErrorKind::kRequestMalformed,
         ErrorKind::kAuthenticationFailed}});
 
-  // The RPC result contract: the finite set of error codes the wire
-  // protocol can carry back to a caller (protocol.cpp kind_to_code).
+  // The RPC result contract: the error codes the wire protocol can carry
+  // back (protocol.cpp kind_to_code) that some server-side detection can
+  // actually produce. kQuotaExceeded and kNotAuthorized have wire codes
+  // but no producer — SimFileSystem has no quota or ACL layer, and auth
+  // refusals surface at the transport as kAuthenticationFailed — so
+  // declaring them would be dead vocabulary (esf/redundant-consumption).
   analysis::InterfaceDecl rpc;
   rpc.component = "chirp";
   rpc.routine = "chirp.rpc";
@@ -298,8 +302,7 @@ void describe_topology(analysis::TopologyModel& model) {
                  ErrorKind::kFileExists,        ErrorKind::kNotDirectory,
                  ErrorKind::kIsDirectory,       ErrorKind::kEndOfFile,
                  ErrorKind::kDiskFull,          ErrorKind::kIoError,
-                 ErrorKind::kBadFileDescriptor, ErrorKind::kMountOffline,
-                 ErrorKind::kQuotaExceeded,     ErrorKind::kNotAuthorized};
+                 ErrorKind::kBadFileDescriptor, ErrorKind::kMountOffline};
   rpc.escape_floor = ErrorScope::kNetwork;
   model.declare_interface(std::move(rpc));
   model.declare_flow("chirp.transport", "chirp.rpc");

@@ -300,14 +300,17 @@ void Shadow::describe_topology(analysis::TopologyModel& model,
                                const DisciplineConfig& discipline) {
   model.declare_component("shadow");
 
-  // Submit-side I/O served off the home filesystem: per-file failures plus
-  // an offline mount, which invalidates the whole local resource.
+  // Submit-side I/O served off the home filesystem: every per-file failure
+  // SimFileSystem can produce, plus an offline mount, which invalidates
+  // the whole local resource.
   model.declare_detection(
       {"shadow",
        "shadow.submit-io",
        {ErrorKind::kFileNotFound, ErrorKind::kAccessDenied,
+        ErrorKind::kFileExists, ErrorKind::kNotDirectory,
         ErrorKind::kIsDirectory, ErrorKind::kEndOfFile, ErrorKind::kDiskFull,
-        ErrorKind::kIoError, ErrorKind::kMountOffline}});
+        ErrorKind::kIoError, ErrorKind::kBadFileDescriptor,
+        ErrorKind::kMountOffline}});
 
   // What the shadow concludes about an attempt from its own vantage point:
   // submit-side unavailability and execution-channel breakdowns.
@@ -333,7 +336,12 @@ void Shadow::describe_topology(analysis::TopologyModel& model,
         ErrorKind::kJvmMissing,       ErrorKind::kJvmMisconfigured,
         ErrorKind::kScratchUnavailable, ErrorKind::kInputUnavailable,
         ErrorKind::kConnectionLost,   ErrorKind::kConnectionTimedOut,
-        ErrorKind::kDaemonCrashed,    ErrorKind::kMountOffline};
+        ErrorKind::kDaemonCrashed};
+    // kMountOffline is deliberately absent: the shadow reclassifies an
+    // offline home mount as kInputUnavailable before it ever crosses this
+    // boundary (see the kMountOffline branch in classify above), so a
+    // contract entry for it would be dead vocabulary (esf/redundant-
+    // consumption).
     attempt.escape_floor = ErrorScope::kLocalResource;
   } else {
     // Naive: the attempt outcome is whatever exit code came back.

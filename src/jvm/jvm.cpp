@@ -390,14 +390,18 @@ void describe_topology(analysis::TopologyModel& model, IoDiscipline io,
   using analysis::InterfaceMode;
 
   // Everything a JVM execution can discover on its own: the program's
-  // doing (program scope) and the machine's (virtual-machine scope).
+  // doing (program scope), the machine's (virtual-machine scope), and the
+  // startup checks — classpath, image verification, entry class — that
+  // fail before main() ever runs (see Jvm::execute steps 1-3).
   model.declare_detection(
       {"jvm",
        "jvm.execute",
        {ErrorKind::kNullPointer, ErrorKind::kArrayIndexOutOfBounds,
         ErrorKind::kArithmeticError, ErrorKind::kUncaughtException,
         ErrorKind::kExitNonZero, ErrorKind::kOutOfMemory,
-        ErrorKind::kStackOverflow, ErrorKind::kInternalVmError}});
+        ErrorKind::kStackOverflow, ErrorKind::kInternalVmError,
+        ErrorKind::kJvmMisconfigured, ErrorKind::kCorruptImage,
+        ErrorKind::kClassNotFound}});
 
   if (wrap == WrapMode::kWrapped) {
     // The §4 wrapper manages program scope (it catches every throwable)

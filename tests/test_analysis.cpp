@@ -323,5 +323,68 @@ TEST(TopologyDiff, BlankLinesAreIgnored) {
   EXPECT_EQ(diff.common, 2u);
 }
 
+TEST(TopologyDiff, EmptyModelDiffsAsPureAddition) {
+  // The degenerate ends: two empty models are identical (the shared
+  // header line is the only declaration), and empty-vs-pool shows the
+  // whole pool as additions with nothing removed but the header.
+  const TopologyModel empty;
+  const TopologyDiff none = diff_topologies(empty, empty);
+  EXPECT_TRUE(none.identical());
+  EXPECT_EQ(none.common, 1u);  // just the counts header
+
+  const TopologyModel full =
+      pool::describe_pool_topology(DisciplineConfig::scoped());
+  const TopologyDiff diff = diff_topologies(empty, full);
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.removed.size(), 1u);  // the empty header's counts line
+  EXPECT_EQ(diff.removed[0].rfind("topology:", 0), 0u) << diff.removed[0];
+  EXPECT_GT(diff.added.size(), 10u);
+  EXPECT_EQ(diff.common, 0u);
+}
+
+TEST(TopologyDiff, FederatedDeclarationsDiffAsFlockAdditions) {
+  // Federation layers the flock boundary onto the base pool without
+  // touching any base declaration: the diff must be additions only (plus
+  // the header, whose counts necessarily change) and must surface the
+  // flock nodes by name.
+  const TopologyDiff diff = diff_topologies(
+      pool::describe_pool_topology(DisciplineConfig::scoped()),
+      pool::describe_federated_topology(DisciplineConfig::scoped()));
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].rfind("topology:", 0), 0u) << diff.removed[0];
+  const auto added_mentions = [&](const std::string& needle) {
+    return std::any_of(diff.added.begin(), diff.added.end(),
+                       [&](const std::string& line) {
+                         return line.find(needle) != std::string::npos;
+                       });
+  };
+  EXPECT_TRUE(added_mentions("flock.negotiate"));
+  EXPECT_TRUE(added_mentions("flock.forward"));
+  EXPECT_TRUE(added_mentions("flow flock.forward -> schedd.disposition"));
+}
+
+TEST(TopologyDiff, RenamedNodeShowsOnBothSidesOfTheDiff) {
+  // A rename is a removal plus an addition for every line the name
+  // appears in — the diff keeps both spellings visible so the review
+  // reads as "this node changed identity", not "one edge went away".
+  TopologyModel a;
+  a.declare_detection({"jvm", "jvm.execute", {ErrorKind::kNullPointer}});
+  a.declare_flow("jvm.execute", "user.results");
+  TopologyModel b;
+  b.declare_detection({"jvm", "jvm.exec", {ErrorKind::kNullPointer}});
+  b.declare_flow("jvm.exec", "user.results");
+
+  const TopologyDiff diff = diff_topologies(a, b);
+  EXPECT_FALSE(diff.identical());
+  EXPECT_EQ(diff.removed.size(), 2u);  // detection line + flow line
+  EXPECT_EQ(diff.added.size(), 2u);
+  EXPECT_EQ(diff.common, 1u);  // the counts header is unchanged
+  const std::string rendered = diff.str();
+  EXPECT_NE(rendered.find("- "), std::string::npos);
+  EXPECT_NE(rendered.find("jvm.execute"), std::string::npos);
+  EXPECT_NE(rendered.find("jvm.exec"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace esg::analysis

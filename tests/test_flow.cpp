@@ -1,0 +1,388 @@
+// Tests for the path-sensitive FlowAnalyzer and the witness compiler: the
+// whole-pool flow gates (scoped clean, naive laundering), each esf/ rule
+// over a minimal synthetic topology that isolates it, the witness chain
+// content, and the compile -> replay -> cross-check loop that turns a
+// static laundering finding into a confirmed dynamic experiment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/flow.hpp"
+#include "analysis/topology.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/witness.hpp"
+#include "daemons/config.hpp"
+#include "pool/topology.hpp"
+
+namespace esg::analysis {
+namespace {
+
+using daemons::DisciplineConfig;
+
+const FlowFinding* first_with_rule(const FlowReport& report,
+                                   const std::string& rule) {
+  for (const FlowFinding& f : report.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+bool witness_mentions(const FlowFinding& finding, const std::string& needle) {
+  return std::any_of(finding.witness.begin(), finding.witness.end(),
+                     [&](const std::string& step) {
+                       return step.find(needle) != std::string::npos;
+                     });
+}
+
+// ---- whole-pool gates ----
+
+TEST(FlowAnalyzer, ScopedPoolFlowIsClean) {
+  const FlowReport report = FlowAnalyzer().analyze(
+      pool::describe_pool_topology(DisciplineConfig::scoped()));
+  EXPECT_TRUE(report.ok()) << report.str();
+  EXPECT_GT(report.facts_seeded, 0u);
+  EXPECT_GT(report.facts_propagated, report.facts_seeded);
+  EXPECT_GT(report.edges_traversed, 0u);
+  EXPECT_GT(report.obligations_raised, 0u);
+}
+
+TEST(FlowAnalyzer, FederatedScopedFlowIsClean) {
+  const FlowReport report = FlowAnalyzer().analyze(
+      pool::describe_federated_topology(DisciplineConfig::scoped()));
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(FlowAnalyzer, NaivePoolExhibitsMultiHopLaundering) {
+  const FlowReport report = FlowAnalyzer().analyze(
+      pool::describe_pool_topology(DisciplineConfig::naive()));
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("esf/multi-hop-laundering"));
+
+  // Every laundering finding lands at the terminal, and the witness reads
+  // root-first: detection seed, then each boundary crossed, then the
+  // terminal arrival still owing the original scope.
+  const FlowFinding* laundering =
+      first_with_rule(report, "esf/multi-hop-laundering");
+  ASSERT_NE(laundering, nullptr);
+  EXPECT_EQ(laundering->node, "user.results");
+  ASSERT_GE(laundering->witness.size(), 3u) << laundering->str();
+  EXPECT_NE(laundering->witness.front().find("detects"), std::string::npos);
+  EXPECT_NE(laundering->witness.back().find("reaches terminal user.results"),
+            std::string::npos);
+  EXPECT_TRUE(witness_mentions(*laundering, "identity destroyed"))
+      << laundering->str();
+}
+
+// ---- esf/multi-hop-laundering over a minimal synthetic topology ----
+
+TEST(FlowAnalyzer, LaunderedWideProvenanceAtTerminalIsTheFinding) {
+  TopologyModel model;
+  model.declare_detection(
+      {"shadow", "synth.detect", {ErrorKind::kMountOffline}});
+  InterfaceDecl mid;
+  mid.component = "relay";
+  mid.routine = "synth.relay";
+  mid.mode = InterfaceMode::kLeak;  // empty contract: everything leaks
+  model.declare_interface(std::move(mid));
+  InterfaceDecl term;
+  term.component = "user";
+  term.routine = "synth.results";
+  term.terminal = true;
+  model.declare_interface(std::move(term));
+  model.declare_flow("synth.detect", "synth.relay");
+  model.declare_flow("synth.relay", "synth.results");
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  ASSERT_EQ(report.findings.size(), 1u) << report.str();
+  const FlowFinding& f = report.findings[0];
+  EXPECT_EQ(f.rule, "esf/multi-hop-laundering");
+  EXPECT_EQ(f.node, "synth.results");
+  EXPECT_EQ(f.kind, ErrorKind::kMountOffline);
+  EXPECT_NE(f.message.find("local-resource"), std::string::npos) << f.str();
+  // The full chain: seed, the flow into the relay, the leak hop, the
+  // terminal arrival.
+  ASSERT_EQ(f.witness.size(), 4u) << f.str();
+  EXPECT_NE(f.witness[0].find("synth.detect detects mount-offline"),
+            std::string::npos);
+  EXPECT_NE(f.witness[1].find("flows into synth.relay"), std::string::npos);
+  EXPECT_NE(f.witness[2].find("leaks through synth.relay"),
+            std::string::npos);
+  EXPECT_NE(f.witness[3].find("still owing local-resource scope"),
+            std::string::npos);
+}
+
+TEST(FlowAnalyzer, ProgramScopeLaunderingIsTheTerminalsRight) {
+  // An exit code collapsing into an exit code loses nothing: provenance at
+  // or below the laundering floor (program scope) is not a finding.
+  TopologyModel model;
+  model.declare_detection(
+      {"starter", "synth.detect", {ErrorKind::kExitNonZero}});
+  InterfaceDecl mid;
+  mid.component = "relay";
+  mid.routine = "synth.relay";
+  mid.mode = InterfaceMode::kLeak;
+  model.declare_interface(std::move(mid));
+  InterfaceDecl term;
+  term.component = "user";
+  term.routine = "synth.results";
+  term.terminal = true;
+  model.declare_interface(std::move(term));
+  model.declare_flow("synth.detect", "synth.relay");
+  model.declare_flow("synth.relay", "synth.results");
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  EXPECT_TRUE(report.ok()) << report.str();
+}
+
+TEST(FlowAnalyzer, FilterBoundaryConvertsTheFactIntoAnObligation) {
+  // A disciplined escape is the opposite of laundering: the fact stops
+  // travelling and becomes a routing obligation at the widened scope,
+  // which the registered handler keeps live.
+  TopologyModel model;
+  model.declare_detection(
+      {"shadow", "synth.detect", {ErrorKind::kMountOffline}});
+  InterfaceDecl gate;
+  gate.component = "shadow";
+  gate.routine = "synth.gate";
+  gate.escape_floor = ErrorScope::kProcess;
+  model.declare_interface(std::move(gate));
+  model.declare_flow("synth.detect", "synth.gate");
+  model.declare_handler("shadow", ErrorScope::kLocalResource);
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  EXPECT_TRUE(report.ok()) << report.str();
+  // Seed obligation plus the escape obligation.
+  EXPECT_EQ(report.obligations_raised, 2u);
+}
+
+// ---- esf/dead-handler ----
+
+TEST(FlowAnalyzer, HandlerBelowEveryObligationIsDead) {
+  TopologyModel model;
+  model.declare_detection(
+      {"starter", "synth.detect", {ErrorKind::kExitNonZero}});
+  // Program-scope obligations route to the program handler; a file-scope
+  // handler sits below every obligation and can never be reached.
+  model.declare_handler("wrapper", ErrorScope::kProgram);
+  model.declare_handler("nobody", ErrorScope::kFile);
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  ASSERT_EQ(report.count("esf/dead-handler"), 1u) << report.str();
+  const FlowFinding* dead = first_with_rule(report, "esf/dead-handler");
+  ASSERT_NE(dead, nullptr);
+  EXPECT_EQ(dead->component, "nobody");
+  EXPECT_NE(dead->node.find("file"), std::string::npos) << dead->node;
+}
+
+// ---- esf/unreachable-escalation ----
+
+TEST(FlowAnalyzer, NarrowingAndUnreachedRungsAreFlaggedFiredRungIsNot) {
+  TopologyModel model;
+  model.declare_detection(
+      {"shadow", "synth.detect", {ErrorKind::kMountOffline}});
+  model.declare_handler("shadow", ErrorScope::kLocalResource);
+  model.declare_handler("pool", ErrorScope::kJob);
+  // Fires: local-resource is obligated by the seed.
+  model.declare_escalation("esc", ErrorScope::kLocalResource,
+                           ErrorScope::kJob);
+  // Never fires: nothing raises a network obligation.
+  model.declare_escalation("esc", ErrorScope::kNetwork,
+                           ErrorScope::kRemoteResource);
+  // Can never fire: the monotone closure ignores narrowing rungs.
+  model.declare_escalation("esc", ErrorScope::kJob, ErrorScope::kFile);
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  EXPECT_EQ(report.count("esf/unreachable-escalation"), 2u) << report.str();
+  bool narrowing = false;
+  bool unreached = false;
+  for (const FlowFinding& f : report.findings) {
+    if (f.rule != "esf/unreachable-escalation") continue;
+    if (f.message.find("narrows") != std::string::npos) narrowing = true;
+    if (f.message.find("never reaches network") != std::string::npos ||
+        f.message.find("no obligation ever reaches network") !=
+            std::string::npos) {
+      unreached = true;
+    }
+  }
+  EXPECT_TRUE(narrowing) << report.str();
+  EXPECT_TRUE(unreached) << report.str();
+}
+
+// ---- esf/redundant-consumption ----
+
+TEST(FlowAnalyzer, BothRedundantConsumptionFormsAreDistinguished) {
+  TopologyModel model;
+  model.declare_detection({"fs", "synth.detect", {ErrorKind::kDiskFull}});
+  // Reached, but kEndOfFile has no producer: a dead contract entry.
+  InterfaceDecl reached;
+  reached.component = "fs";
+  reached.routine = "synth.reached";
+  reached.allowed = {ErrorKind::kDiskFull, ErrorKind::kEndOfFile};
+  model.declare_interface(std::move(reached));
+  model.declare_flow("synth.detect", "synth.reached");
+  // No flow delivers anything here: the whole boundary is redundant.
+  InterfaceDecl island;
+  island.component = "fs";
+  island.routine = "synth.island";
+  island.allowed = {ErrorKind::kEndOfFile};
+  model.declare_interface(std::move(island));
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  ASSERT_EQ(report.count("esf/redundant-consumption"), 2u) << report.str();
+  bool dead_entry = false;
+  bool unreached_boundary = false;
+  for (const FlowFinding& f : report.findings) {
+    if (f.rule != "esf/redundant-consumption") continue;
+    if (f.node == "synth.reached") {
+      EXPECT_EQ(f.kind, ErrorKind::kEndOfFile);
+      EXPECT_NE(f.message.find("contract entry"), std::string::npos);
+      dead_entry = true;
+    }
+    if (f.node == "synth.island") {
+      EXPECT_EQ(f.kind, ErrorKind::kUnknown);
+      EXPECT_NE(f.message.find("no declared flow"), std::string::npos);
+      unreached_boundary = true;
+    }
+  }
+  EXPECT_TRUE(dead_entry) << report.str();
+  EXPECT_TRUE(unreached_boundary) << report.str();
+}
+
+// ---- esf/masking-cycle ----
+
+TEST(FlowAnalyzer, FlowRingIsReportedExactlyOnce) {
+  TopologyModel model;
+  model.declare_detection({"a", "synth.detect", {ErrorKind::kIoError}});
+  InterfaceDecl ping;
+  ping.component = "a";
+  ping.routine = "synth.ping";
+  ping.allowed = {ErrorKind::kIoError};
+  model.declare_interface(std::move(ping));
+  InterfaceDecl pong;
+  pong.component = "b";
+  pong.routine = "synth.pong";
+  pong.allowed = {ErrorKind::kIoError};
+  model.declare_interface(std::move(pong));
+  model.declare_flow("synth.detect", "synth.ping");
+  model.declare_flow("synth.ping", "synth.pong");
+  model.declare_flow("synth.pong", "synth.ping");
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  ASSERT_EQ(report.count("esf/masking-cycle"), 1u) << report.str();
+  const FlowFinding* cycle = first_with_rule(report, "esf/masking-cycle");
+  ASSERT_NE(cycle, nullptr);
+  EXPECT_NE(cycle->message.find("synth.ping"), std::string::npos);
+  EXPECT_NE(cycle->message.find("synth.pong"), std::string::npos);
+  EXPECT_TRUE(witness_mentions(*cycle, "flows through synth.ping"));
+}
+
+// ---- esf/dangling-edge ----
+
+TEST(FlowAnalyzer, UnresolvableEdgeIsFlaggedWithTheMissingName) {
+  TopologyModel model;
+  // esg-lint: allow(lint/dangling-flow)
+  model.declare_flow("synth.ghost", "synth.nowhere");
+
+  const FlowReport report = FlowAnalyzer().analyze(model);
+  ASSERT_EQ(report.count("esf/dangling-edge"), 1u) << report.str();
+  const FlowFinding& f = report.findings[0];
+  EXPECT_NE(f.message.find("synth.ghost"), std::string::npos) << f.str();
+  EXPECT_EQ(f.node, "synth.ghost -> synth.nowhere");
+}
+
+}  // namespace
+}  // namespace esg::analysis
+
+// ---- witness compiler + confirm loop ----
+
+namespace esg::chaos {
+namespace {
+
+analysis::FlowFinding laundering_finding(ErrorKind kind) {
+  analysis::FlowFinding f;
+  f.rule = "esf/multi-hop-laundering";
+  f.component = "user";
+  f.node = "user.results";
+  f.kind = kind;
+  return f;
+}
+
+TEST(WitnessCompiler, LocalResourceKindCompilesToFsFaultWindow) {
+  const auto witness = compile_witness(
+      laundering_finding(ErrorKind::kMountOffline));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->plan.shape.discipline, "naive");
+  EXPECT_EQ(witness->plan.seed,
+            1000 + static_cast<std::uint64_t>(ErrorKind::kMountOffline));
+  ASSERT_EQ(witness->plan.actions.size(), 1u);
+  EXPECT_EQ(witness->plan.actions[0].type, FaultActionType::kFsFaults);
+  EXPECT_NE(witness->rationale.find("local-resource"), std::string::npos)
+      << witness->rationale;
+}
+
+TEST(WitnessCompiler, NetworkKindCompilesToPartitionThenHeal) {
+  const auto witness = compile_witness(
+      laundering_finding(ErrorKind::kConnectionLost));
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->plan.actions.size(), 2u);
+  EXPECT_EQ(witness->plan.actions[0].type, FaultActionType::kPartition);
+  EXPECT_EQ(witness->plan.actions[1].type, FaultActionType::kHeal);
+  EXPECT_LT(witness->plan.actions[0].at, witness->plan.actions[1].at);
+}
+
+TEST(WitnessCompiler, EnvironmentalFamilyCompilesToChronicMachine) {
+  const auto witness = compile_witness(
+      laundering_finding(ErrorKind::kOutOfMemory));
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->plan.actions.size(), 1u);
+  EXPECT_EQ(witness->plan.actions[0].type, FaultActionType::kChronic);
+}
+
+TEST(WitnessCompiler, ProgramScopeKindsDoNotCompile) {
+  // The job's own doing: nothing environmental to inject would make an
+  // exit code the pool's fault.
+  EXPECT_FALSE(
+      compile_witness(laundering_finding(ErrorKind::kExitNonZero))
+          .has_value());
+  EXPECT_FALSE(
+      compile_witness(laundering_finding(ErrorKind::kNullPointer))
+          .has_value());
+}
+
+TEST(WitnessCompiler, KindlessStructuralFindingsDoNotCompile) {
+  analysis::FlowFinding f;
+  f.rule = "esf/redundant-consumption";
+  f.node = "JavaIo.IOException";
+  EXPECT_FALSE(compile_witness(f).has_value());
+}
+
+TEST(WitnessCompiler, PlanRoundTripsThroughTheFaultPlanFormat) {
+  const auto witness = compile_witness(
+      laundering_finding(ErrorKind::kMountOffline));
+  ASSERT_TRUE(witness.has_value());
+  const auto parsed = parse_plan(witness->plan.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->seed, witness->plan.seed);
+  ASSERT_EQ(parsed->actions.size(), witness->plan.actions.size());
+  EXPECT_EQ(parsed->actions[0].type, witness->plan.actions[0].type);
+}
+
+TEST(WitnessConfirm, CompiledLaunderingWitnessConfirmsAgainstTheOracles) {
+  // The full static -> dynamic loop on one finding: the fs-fault window
+  // bites the naive pool (misattribution: the user inherits an
+  // environmental error) while the scoped pool replays the identical plan
+  // and finishes green.
+  const auto witness = compile_witness(
+      laundering_finding(ErrorKind::kMountOffline));
+  ASSERT_TRUE(witness.has_value());
+  const WitnessVerdict verdict = confirm_witness(witness->plan);
+  EXPECT_TRUE(verdict.naive_bitten()) << verdict.str();
+  EXPECT_TRUE(verdict.scoped_clean()) << verdict.str();
+  EXPECT_TRUE(verdict.confirmed());
+  EXPECT_NE(verdict.str().find("CONFIRMED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace esg::chaos

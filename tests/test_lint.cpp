@@ -258,6 +258,89 @@ void g(sim::Engine& engine) {
   EXPECT_EQ(count_rule(findings, "lint/global-singleton"), 0u);
 }
 
+// ---- lint/dangling-flow ----
+
+TEST(DanglingFlow, TypoedEndpointIsFlaggedByName) {
+  const auto findings = run(R"(
+void wire(analysis::TopologyModel& model) {
+  model.declare_detection({"jvm", "jvm.execute", {ErrorKind::kAlpha}});
+  model.declare_flow("jvm.exeucte", "user.results");
+}
+)");
+  ASSERT_EQ(count_rule(findings, "lint/dangling-flow"), 2u);
+  EXPECT_NE(findings[0].message.find("jvm.exeucte"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(DanglingFlow, DeclaredEndpointsAreClean) {
+  // All three learning idioms at once: the declare_detection brace
+  // literals, a `.routine =` assignment, and an ErrorInterface
+  // constructor; every flow endpoint resolves, so the rule stays silent.
+  const auto findings = run(R"(
+void wire(analysis::TopologyModel& model) {
+  model.declare_detection({"jvm", "jvm.execute", {ErrorKind::kAlpha}});
+  analysis::InterfaceDecl user;
+  user.routine = "user.results";
+  model.declare_interface(std::move(user));
+  static const ErrorInterface contract("JavaIo.open",
+                                       {ErrorKind::kBeta});
+  model.declare_flow("jvm.execute", "JavaIo.open");
+  model.declare_flow("JavaIo.open", "user.results");
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/dangling-flow"), 0u);
+}
+
+TEST(DanglingFlow, NodesLearnedAcrossFilesResolve) {
+  // The declaration and the wiring live in different translation units
+  // (each daemon's describe_topology() vs pool/topology.cpp); scan() must
+  // pool node names across every scanned file before lint() judges edges.
+  Linter linter;
+  linter.scan("vocab.hpp", kVocab);
+  linter.scan("daemon.cpp", R"(
+void describe(analysis::TopologyModel& model) {
+  model.declare_detection({"shadow", "shadow.classify", {ErrorKind::kAlpha}});
+  analysis::InterfaceDecl attempt;
+  attempt.routine = "shadow.attempt";
+  model.declare_interface(std::move(attempt));
+}
+)");
+  const char* pool = R"(
+void wire(analysis::TopologyModel& model) {
+  model.declare_flow("shadow.classify", "shadow.attempt");
+}
+)";
+  linter.scan("pool.cpp", pool);
+  linter.lint("pool.cpp", pool);
+  EXPECT_EQ(count_rule(linter.findings(), "lint/dangling-flow"), 0u);
+  EXPECT_EQ(linter.topology_nodes().count("shadow.classify"), 1u);
+  EXPECT_EQ(linter.topology_nodes().count("shadow.attempt"), 1u);
+}
+
+TEST(DanglingFlow, ComputedEndpointsAreIgnored) {
+  // `contract->routine()` is beyond a token-level pass: only the literal
+  // endpoint is judged.
+  const auto findings = run(R"(
+void wire(analysis::TopologyModel& model) {
+  analysis::InterfaceDecl prog;
+  prog.routine = "program.catch";
+  model.declare_interface(std::move(prog));
+  model.declare_flow(contract->routine(), "program.catch");
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/dangling-flow"), 0u);
+}
+
+TEST(DanglingFlow, AllowMarkerSilencesTheRule) {
+  const auto findings = run(R"(
+void wire(analysis::TopologyModel& model) {
+  // esg-lint: allow(lint/dangling-flow)
+  model.declare_flow("synthetic.from", "synthetic.to");
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/dangling-flow"), 0u);
+}
+
 // ---- suppressions ----
 
 TEST(Suppression, SameLineAllowSilencesTheRule) {

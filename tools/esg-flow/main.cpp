@@ -1,0 +1,231 @@
+// esg-flow CLI: path-sensitive error-flow analysis with replayable
+// witnesses.
+//
+//   esg-flow [--discipline scoped|naive] [--federated] [--sarif <out.json>]
+//            [--unregister <scope>] [--expect-findings <n>] [--dump]
+//            [--confirm] [--confirm-limit <k>] [--witness-out <plan-file>]
+//   esg-flow --confirm-plan <plan-file>
+//
+// Builds the declared pool topology (the same describe_topology() hooks
+// esg-verify consumes), runs the FlowAnalyzer's worklist fixpoint, prints
+// every path-sensitive finding with its witness path, and exits 1 when any
+// finding survives — `esg-flow --discipline scoped` is the flow-clean CI
+// gate, `esg-flow --discipline naive --expect-findings N` the pinned
+// naive-defect gate.
+//
+// --confirm closes the static/dynamic loop: each kind-bearing laundering
+// finding is compiled (chaos::compile_witness) to a minimal esg-faultplan
+// and replayed under BOTH disciplines; a finding is confirmed when the
+// naive replay fails at least one resilience oracle while the scoped
+// replay of the same plan comes back green. Exit 0 when at least one
+// finding confirms. --confirm-plan replays an existing plan artifact (for
+// example the chaos campaign's shrunk repro) through the same two-leg
+// cross-check.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/flow.hpp"
+#include "analysis/sarif.hpp"
+#include "chaos/witness.hpp"
+#include "core/scope.hpp"
+#include "pool/topology.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: esg-flow [--discipline scoped|naive] [--federated]\n"
+         "                [--sarif <out.json>] [--unregister <scope>]\n"
+         "                [--expect-findings <n>] [--dump]\n"
+         "                [--confirm] [--confirm-limit <k>]\n"
+         "                [--witness-out <plan-file>]\n"
+         "       esg-flow --confirm-plan <plan-file>\n";
+  return 2;
+}
+
+const char* rule_description(const std::string& rule) {
+  if (rule == "esf/multi-hop-laundering") {
+    return "an error's scope provenance must survive to the terminal "
+           "boundary, however many hops it takes";
+  }
+  if (rule == "esf/dead-handler") {
+    return "a registered handler some obligation actually routes to";
+  }
+  if (rule == "esf/unreachable-escalation") {
+    return "an escalation rung some obligation can actually reach";
+  }
+  if (rule == "esf/redundant-consumption") {
+    return "consumption vocabulary must be deliverable by some declared "
+           "detection";
+  }
+  if (rule == "esf/masking-cycle") {
+    return "flow edges must not form rings that re-wrap errors forever";
+  }
+  if (rule == "esf/dangling-edge") {
+    return "flow edges must name declared detection points or interfaces";
+  }
+  return "path-sensitive error-flow defect";
+}
+
+int confirm_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "esg-flow: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  const auto plan = esg::chaos::parse_plan(os.str());
+  if (!plan) {
+    std::cerr << "esg-flow: " << path << " is not an esg-faultplan\n";
+    return 2;
+  }
+  std::cout << "confirming " << path << " under both disciplines...\n";
+  const esg::chaos::WitnessVerdict verdict =
+      esg::chaos::confirm_witness(*plan);
+  std::cout << verdict.str() << "\n";
+  return verdict.confirmed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string discipline_name = "scoped";
+  std::string sarif_path;
+  std::string unregister_name;
+  std::string witness_out;
+  std::optional<std::size_t> expect_findings;
+  bool federated = false;
+  bool dump = false;
+  bool confirm = false;
+  int confirm_limit = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--discipline") {
+      if (i + 1 >= argc) return usage();
+      discipline_name = argv[++i];
+    } else if (arg == "--federated") {
+      federated = true;
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) return usage();
+      sarif_path = argv[++i];
+    } else if (arg == "--unregister") {
+      if (i + 1 >= argc) return usage();
+      unregister_name = argv[++i];
+    } else if (arg == "--expect-findings") {
+      if (i + 1 >= argc) return usage();
+      expect_findings = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--dump") {
+      dump = true;
+    } else if (arg == "--confirm") {
+      confirm = true;
+    } else if (arg == "--confirm-limit") {
+      if (i + 1 >= argc) return usage();
+      confirm_limit = std::stoi(argv[++i]);
+    } else if (arg == "--witness-out") {
+      if (i + 1 >= argc) return usage();
+      witness_out = argv[++i];
+    } else if (arg == "--confirm-plan") {
+      if (i + 1 >= argc) return usage();
+      return confirm_plan_file(argv[i + 1]);
+    } else {
+      return usage();
+    }
+  }
+
+  esg::daemons::DisciplineConfig discipline;
+  if (discipline_name == "scoped") {
+    discipline = esg::daemons::DisciplineConfig::scoped();
+  } else if (discipline_name == "naive") {
+    discipline = esg::daemons::DisciplineConfig::naive();
+  } else {
+    return usage();
+  }
+
+  esg::analysis::TopologyModel model =
+      federated ? esg::pool::describe_federated_topology(discipline)
+                : esg::pool::describe_pool_topology(discipline);
+  if (!unregister_name.empty()) {
+    const auto scope = esg::parse_scope(unregister_name);
+    if (!scope) {
+      std::cerr << "esg-flow: unknown scope: " << unregister_name << "\n";
+      return 2;
+    }
+    model.unregister(*scope);
+  }
+  if (dump) std::cout << model.str();
+
+  const esg::analysis::FlowReport report =
+      esg::analysis::FlowAnalyzer().analyze(model);
+  std::cout << "discipline: " << discipline_name
+            << (federated ? " (federated)" : "") << "\n"
+            << report.str() << "\n";
+
+  if (!sarif_path.empty()) {
+    esg::analysis::sarif::Log log("esg-flow", "1.0");
+    for (const esg::analysis::FlowFinding& f : report.findings) {
+      log.add_rule({f.rule, rule_description(f.rule)});
+      esg::analysis::sarif::Result r;
+      r.rule_id = f.rule;
+      r.message = f.message;
+      r.logical = f.witness;
+      r.logical.insert(r.logical.begin(), "component:" + f.component);
+      log.add_result(std::move(r));
+    }
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "esg-flow: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << log.str();
+  }
+
+  if (confirm) {
+    int attempted = 0;
+    int confirmed = 0;
+    for (const esg::analysis::FlowFinding& f : report.findings) {
+      if (attempted >= confirm_limit) break;
+      const auto witness = esg::chaos::compile_witness(f);
+      if (!witness) continue;
+      ++attempted;
+      std::cout << "\n--- confirming " << f.rule << " ["
+                << esg::kind_name(f.kind) << "] ---\n"
+                << witness->rationale << "\n";
+      const esg::chaos::WitnessVerdict verdict =
+          esg::chaos::confirm_witness(witness->plan);
+      std::cout << verdict.str() << "\n";
+      if (verdict.confirmed()) {
+        ++confirmed;
+        if (!witness_out.empty()) {
+          std::ofstream out(witness_out);
+          if (!out) {
+            std::cerr << "esg-flow: cannot write " << witness_out << "\n";
+            return 2;
+          }
+          out << witness->plan.str();
+          witness_out.clear();  // keep the first confirmed witness
+        }
+      }
+    }
+    std::cout << "\nconfirmed " << confirmed << "/" << attempted
+              << " compiled witness(es)\n";
+    if (attempted == 0) {
+      std::cerr << "esg-flow: nothing to confirm (no compilable findings)\n";
+      return 1;
+    }
+    return confirmed > 0 ? 0 : 1;
+  }
+
+  if (expect_findings) {
+    if (report.findings.size() != *expect_findings) {
+      std::cerr << "esg-flow: expected " << *expect_findings
+                << " finding(s), got " << report.findings.size() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -21,6 +21,14 @@ bool is_identifier(const std::string& s) {
          (std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_');
 }
 
+bool is_string_literal(const std::string& s) {
+  return s.size() >= 2 && s.front() == '"' && s.back() == '"';
+}
+
+std::string unquote(const std::string& s) {
+  return s.substr(1, s.size() - 2);
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -39,8 +47,10 @@ void note_suppressions(const std::string& comment, int line,
   }
 }
 
-/// Comments and literals are consumed here (string/char literals collapse
-/// to an empty-literal token), so every rule below sees only code.
+/// Comments are consumed here. String and char literals become single
+/// tokens that keep their text (quotes included): they can never collide
+/// with an identifier or operator check, and the dangling-flow rule needs
+/// the node names inside them.
 std::vector<Token> tokenize(const std::string& text,
                             Suppressions* suppressions) {
   std::vector<Token> tokens;
@@ -80,14 +90,16 @@ std::vector<Token> tokenize(const std::string& text,
       continue;
     }
     if (c == '"' || c == '\'') {
+      const int start_line = line;
       std::size_t j = i + 1;
       while (j < n && text[j] != c) {
         if (text[j] == '\\' && j + 1 < n) ++j;
         if (text[j] == '\n') ++line;
         ++j;
       }
-      tokens.push_back({std::string(2, c), line});
-      i = j < n ? j + 1 : n;
+      const std::size_t stop = j < n ? j + 1 : n;
+      tokens.push_back({text.substr(i, stop - i), start_line});
+      i = stop;
       continue;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
@@ -239,6 +251,44 @@ void Linter::scan(const std::string& path, const std::string& text) {
         statement_keywords().count(tokens[i - 1].text) == 0 &&
         tokens[i - 1].text != "Result") {
       ambiguous_names_.insert(tokens[i].text);
+    }
+    // Topology node names — what describe_topology() hooks may wire flow
+    // edges to. Three declaration idioms carry them as literals:
+    //   (a) `.point = "x"` / `.routine = "x"` member assignments,
+    //   (b) the brace-init literals of a declare_detection(...) call (the
+    //       component name rides along; learning it too only widens the
+    //       accepted set, never hides a typo'd edge between real nodes),
+    //   (c) the first literal of an ErrorInterface constructor — the
+    //       runtime contracts the jvm layer re-declares via routine().
+    if ((tokens[i].text == "point" || tokens[i].text == "routine") &&
+        i >= 1 && tokens[i - 1].text == "." && i + 2 < tokens.size() &&
+        tokens[i + 1].text == "=" && is_string_literal(tokens[i + 2].text)) {
+      topology_nodes_.insert(unquote(tokens[i + 2].text));
+      continue;
+    }
+    if (tokens[i].text == "declare_detection" && i + 1 < tokens.size() &&
+        tokens[i + 1].text == "(") {
+      const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+      for (std::size_t k = i + 2; k < close && k < tokens.size(); ++k) {
+        if (is_string_literal(tokens[k].text)) {
+          topology_nodes_.insert(unquote(tokens[k].text));
+        }
+      }
+      continue;
+    }
+    if (tokens[i].text == "ErrorInterface") {
+      std::size_t j = i + 1;
+      while (j < tokens.size() && is_identifier(tokens[j].text)) ++j;
+      if (j < tokens.size() && tokens[j].text == "(") {
+        const std::size_t close = match_forward(tokens, j, "(", ")");
+        for (std::size_t k = j + 1; k < close && k < tokens.size(); ++k) {
+          if (is_string_literal(tokens[k].text)) {
+            topology_nodes_.insert(unquote(tokens[k].text));
+            break;
+          }
+        }
+      }
+      continue;
     }
     // ErrorScope::kX used as a value (not a case label, not router
     // bookkeeping) is evidence the scope can actually be raised.
@@ -428,6 +478,28 @@ void Linter::lint(const std::string& path, const std::string& text) {
     }
   }
 
+  // ---- lint/dangling-flow --------------------------------------------------
+  // TopologyModel::declare_flow keeps whatever names it is handed;
+  // resolution happens later, and an edge naming nothing is simply absent
+  // from everything the verifiers prove. Flag literal endpoints that match
+  // no node learned across the scanned corpus. Computed endpoints (e.g.
+  // `contract->routine()`) are beyond a token-level pass and are skipped.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text != "declare_flow" || tokens[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+    for (std::size_t k = i + 2; k < close && k < tokens.size(); ++k) {
+      if (!is_string_literal(tokens[k].text)) continue;
+      const std::string node = unquote(tokens[k].text);
+      if (topology_nodes_.count(node) != 0) continue;
+      add("lint/dangling-flow", tokens[k].line,
+          "flow endpoint \"" + node +
+              "\" names no declared detection point or interface — the "
+              "edge silently vanishes from the verified topology");
+    }
+  }
+
   // ---- lint/unraised-scope -------------------------------------------------
   for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
     if (tokens[i].text != "register_handler") continue;
@@ -458,6 +530,9 @@ std::string to_sarif(const std::vector<Finding>& findings) {
   log.add_rule({"lint/global-singleton",
                 "deprecated process-wide singletons; bind through "
                 "sim::SimContext"});
+  log.add_rule({"lint/dangling-flow",
+                "declare_flow endpoints must name a declared detection "
+                "point or interface"});
   for (const Finding& f : findings) {
     analysis::sarif::Result r;
     r.rule_id = f.rule;

@@ -25,6 +25,12 @@
 //                           for compatibility; simulation code binds
 //                           through sim::SimContext so concurrent engines
 //                           stay isolated.
+//   lint/dangling-flow      declare_flow("from", "to") whose literal
+//                           endpoint names no declared detection point or
+//                           interface routine anywhere in the corpus.
+//                           TopologyModel drops unresolvable edges, so a
+//                           typo'd name silently vanishes from everything
+//                           esg-verify and esg-flow prove.
 //
 // A finding can be suppressed with a comment on the same or the preceding
 // line:  // esg-lint: allow(<rule>)
@@ -70,6 +76,9 @@ class Linter {
   [[nodiscard]] const std::set<std::string>& result_functions() const {
     return result_functions_;
   }
+  [[nodiscard]] const std::set<std::string>& topology_nodes() const {
+    return topology_nodes_;
+  }
 
  private:
   std::map<std::string, std::vector<std::string>> enums_;
@@ -78,6 +87,9 @@ class Linter {
   /// ambiguous for the name-based discard rule.
   std::set<std::string> ambiguous_names_;
   std::set<std::string> raised_scopes_;
+  /// Topology node names: detection points and interface routines learned
+  /// from the describe_topology() declaration idioms.
+  std::set<std::string> topology_nodes_;
   std::vector<Finding> findings_;
 };
 

@@ -1,7 +1,7 @@
 // esg-verify CLI: static whole-pool verification of the four principles.
 //
 //   esg-verify [--discipline scoped|naive] [--federated] [--sarif <out.json>]
-//              [--unregister <scope>] [--dump]
+//              [--unregister <scope>] [--expect-findings <n>] [--dump]
 //   esg-verify --diff <dump-a> <dump-b>
 //
 // Builds the declared pool topology for the discipline (the same
@@ -24,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -37,7 +38,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: esg-verify [--discipline scoped|naive] [--federated]"
-               " [--sarif <out.json>] [--unregister <scope>] [--dump]\n"
+               " [--sarif <out.json>] [--unregister <scope>]"
+               " [--expect-findings <n>] [--dump]\n"
                "       esg-verify --diff <dump-a> <dump-b>\n";
   return 2;
 }
@@ -90,6 +92,7 @@ int main(int argc, char** argv) {
   std::string discipline_name = "scoped";
   std::string sarif_path;
   std::string unregister_name;
+  std::optional<std::size_t> expect_findings;
   bool dump = false;
   bool federated = false;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +111,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--unregister") {
       if (i + 1 >= argc) return usage();
       unregister_name = argv[++i];
+    } else if (arg == "--expect-findings") {
+      if (i + 1 >= argc) return usage();
+      expect_findings = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--dump") {
       dump = true;
     } else {
@@ -160,6 +166,17 @@ int main(int argc, char** argv) {
       return 2;
     }
     out << log.str();
+  }
+  if (expect_findings) {
+    // Pinned-count gate: the naive topology must keep yielding exactly the
+    // defects the analyzer is known to find — fewer means a check went
+    // dark, more means the model drifted.
+    if (report.findings.size() != *expect_findings) {
+      std::cerr << "esg-verify: expected " << *expect_findings
+                << " finding(s), got " << report.findings.size() << "\n";
+      return 1;
+    }
+    return 0;
   }
   return report.ok() ? 0 : 1;
 }
