@@ -1,7 +1,9 @@
 // µ-CLASSAD — throughput of the ClassAd substrate: lexing, parsing,
-// evaluation, and symmetric matchmaking.
+// evaluation, symmetric matchmaking, and the matchmaker's ad index
+// (predicate extraction + bucketed candidate lookup).
 #include <benchmark/benchmark.h>
 
+#include "classad/index.hpp"
 #include "classad/lexer.hpp"
 #include "classad/match.hpp"
 
@@ -95,6 +97,81 @@ void BM_MatchOneJobAgainstNMachines(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MatchOneJobAgainstNMachines)->Arg(16)->Arg(256);
+
+// ---- the matchmaker's ad index ----
+
+// A tier-pinned job Requirements, shaped like pool_bench --scale's
+// workload: every conjunct is index-extractable.
+const char* kTieredJobAdText =
+    "MyType = \"Job\"; JobId = 7; Owner = \"alice\"; ImageSizeMB = 64;"
+    "Requirements = TARGET.Arch == \"INTEL\" && TARGET.OpSys == \"LINUX\" && "
+    "TARGET.HasJava =?= true && TARGET.Memory >= 512;"
+    "Rank = 0";
+
+void BM_ProfileRequirements(benchmark::State& state) {
+  auto job = parse_classad(kTieredJobAdText);
+  for (auto _ : state) {
+    RequirementsProfile profile =
+        profile_requirements(job.value(), SimTime::zero());
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_ProfileRequirements);
+
+/// A heterogeneous machine population the size of a big pool: 4 arches ×
+/// 3 systems × 3 memory tiers, `n` ads round-robined across them.
+std::vector<ClassAd> make_tiered_machine_ads(int n) {
+  const char* arches[] = {"INTEL", "SUN4u", "PPC", "ALPHA"};
+  const char* systems[] = {"LINUX", "SOLARIS28", "OSF1"};
+  std::vector<ClassAd> ads;
+  ads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto ad = parse_classad(kMachineAdText);
+    ad.value().set("Name", "exec" + std::to_string(i));
+    ad.value().set("Arch", arches[i % 4]);
+    ad.value().set("OpSys", systems[(i / 4) % 3]);
+    ad.value().set("Memory", static_cast<std::int64_t>(256) << (i % 3));
+    ads.push_back(std::move(ad).value());
+  }
+  return ads;
+}
+
+void BM_AdIndexInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<ClassAd> ads = make_tiered_machine_ads(n);
+  for (auto _ : state) {
+    AdIndex index;
+    for (int i = 0; i < n; ++i) {
+      index.insert(static_cast<std::uint32_t>(i), ads[static_cast<std::size_t>(i)]);
+    }
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdIndexInsert)->Arg(1'000)->Arg(10'000);
+
+void BM_AdIndexCandidates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<ClassAd> ads = make_tiered_machine_ads(n);
+  AdIndex index;
+  for (int i = 0; i < n; ++i) {
+    index.insert(static_cast<std::uint32_t>(i), ads[static_cast<std::size_t>(i)]);
+  }
+  auto job = parse_classad(kTieredJobAdText);
+  const RequirementsProfile profile =
+      profile_requirements(job.value(), SimTime::zero());
+  std::vector<std::uint32_t> out;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const bool indexed = index.candidates(profile, out);
+    benchmark::DoNotOptimize(indexed);
+    total += out.size();
+  }
+  state.counters["candidates"] = benchmark::Counter(
+      static_cast<double>(total) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AdIndexCandidates)->Arg(1'000)->Arg(10'000);
 
 void BM_Unparse(benchmark::State& state) {
   auto ad = parse_classad(kMachineAdText);

@@ -66,6 +66,13 @@ class ClassAd {
   /// Attribute names in insertion order.
   [[nodiscard]] std::vector<std::string> names() const;
 
+  /// Visit every attribute in insertion order as (name, expression).
+  /// Cheaper than names()+lookup() for whole-ad passes (the ad index).
+  template <typename Fn>
+  void for_each_attr(Fn&& fn) const {
+    for (const Attr& attr : attrs_) fn(attr.name, *attr.expr);
+  }
+
   /// Copy all attributes of `other` into this ad (replacing collisions).
   void update(const ClassAd& other);
 

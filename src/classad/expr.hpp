@@ -89,6 +89,8 @@ class UnaryOp final : public ExprTree {
   [[nodiscard]] ExprPtr clone() const override {
     return std::make_unique<UnaryOp>(op_, operand_->clone());
   }
+  [[nodiscard]] UnaryOpKind op() const { return op_; }
+  [[nodiscard]] const ExprTree& operand() const { return *operand_; }
 
  private:
   UnaryOpKind op_;
@@ -111,6 +113,9 @@ class BinaryOp final : public ExprTree {
   [[nodiscard]] ExprPtr clone() const override {
     return std::make_unique<BinaryOp>(op_, lhs_->clone(), rhs_->clone());
   }
+  [[nodiscard]] BinaryOpKind op() const { return op_; }
+  [[nodiscard]] const ExprTree& lhs() const { return *lhs_; }
+  [[nodiscard]] const ExprTree& rhs() const { return *rhs_; }
 
  private:
   BinaryOpKind op_;

@@ -1,0 +1,340 @@
+#include "classad/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+
+#include "classad/expr.hpp"
+
+namespace esg::classad {
+namespace {
+
+std::string to_lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// The reference, if this expression names a TARGET attribute: an explicit
+/// `TARGET.` scope, or an unqualified name the job ad does not define
+/// (ClassAd auto-scope resolves MY-first, then falls through to TARGET).
+const AttrRef* target_ref(const ExprTree& expr, const ClassAd& job_ad) {
+  const auto* ref = dynamic_cast<const AttrRef*>(&expr);
+  if (ref == nullptr) return nullptr;
+  if (ref->scope() == AttrRef::Scope::kTarget) return ref;
+  if (ref->scope() == AttrRef::Scope::kAuto && !job_ad.contains(ref->name())) {
+    return ref;
+  }
+  return nullptr;
+}
+
+/// Evaluate the non-reference side against the job ad alone. Only a
+/// concrete constant is usable: undefined means the side itself needs the
+/// TARGET, error means the conjunct can never hold anyway — in both cases
+/// extracting nothing is the sound move.
+std::optional<Value> constant_side(const ExprTree& expr, const ClassAd& job_ad,
+                                   SimTime now) {
+  EvalContext ctx;
+  ctx.my = &job_ad;
+  ctx.now = now;
+  Value v = expr.eval(ctx);
+  switch (v.type()) {
+    case Value::Type::kBool:
+    case Value::Type::kInt:
+    case Value::Type::kReal:
+    case Value::Type::kString:
+      return v;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// `const OP ref` is `ref mirror(OP) const`.
+AttrPredicate::Op mirror(AttrPredicate::Op op) {
+  switch (op) {
+    case AttrPredicate::Op::kLt: return AttrPredicate::Op::kGt;
+    case AttrPredicate::Op::kLe: return AttrPredicate::Op::kGe;
+    case AttrPredicate::Op::kGt: return AttrPredicate::Op::kLt;
+    case AttrPredicate::Op::kGe: return AttrPredicate::Op::kLe;
+    case AttrPredicate::Op::kEq:
+    case AttrPredicate::Op::kIs: return op;
+  }
+  return op;
+}
+
+std::optional<AttrPredicate::Op> predicate_op(BinaryOpKind kind) {
+  switch (kind) {
+    case BinaryOpKind::kEq: return AttrPredicate::Op::kEq;
+    case BinaryOpKind::kMetaEq: return AttrPredicate::Op::kIs;
+    case BinaryOpKind::kLt: return AttrPredicate::Op::kLt;
+    case BinaryOpKind::kLe: return AttrPredicate::Op::kLe;
+    case BinaryOpKind::kGt: return AttrPredicate::Op::kGt;
+    case BinaryOpKind::kGe: return AttrPredicate::Op::kGe;
+    // != and =!= are true on undefined/type-mismatch, so a machine lacking
+    // the attribute still satisfies them — no exclusion power, skip.
+    default: return std::nullopt;
+  }
+}
+
+void collect(const ExprTree& expr, const ClassAd& job_ad, SimTime now,
+             std::vector<AttrPredicate>& out) {
+  const auto* bin = dynamic_cast<const BinaryOp*>(&expr);
+  if (bin == nullptr) return;
+  if (bin->op() == BinaryOpKind::kAnd) {
+    // Both conjuncts must independently hold for the AND to be true
+    // (three-valued logic: true && true is the only true case).
+    collect(bin->lhs(), job_ad, now, out);
+    collect(bin->rhs(), job_ad, now, out);
+    return;
+  }
+  const std::optional<AttrPredicate::Op> op = predicate_op(bin->op());
+  if (!op.has_value()) return;
+  if (const AttrRef* ref = target_ref(bin->lhs(), job_ad)) {
+    if (std::optional<Value> v = constant_side(bin->rhs(), job_ad, now)) {
+      out.push_back({to_lower(ref->name()), *op, std::move(*v)});
+    }
+    return;
+  }
+  if (const AttrRef* ref = target_ref(bin->rhs(), job_ad)) {
+    if (std::optional<Value> v = constant_side(bin->lhs(), job_ad, now)) {
+      out.push_back({to_lower(ref->name()), mirror(*op), std::move(*v)});
+    }
+  }
+}
+
+const char* op_symbol(AttrPredicate::Op op) {
+  switch (op) {
+    case AttrPredicate::Op::kEq: return "==";
+    case AttrPredicate::Op::kIs: return "=?=";
+    case AttrPredicate::Op::kLt: return "<";
+    case AttrPredicate::Op::kLe: return "<=";
+    case AttrPredicate::Op::kGt: return ">";
+    case AttrPredicate::Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AttrPredicate::str() const {
+  return attr + " " + op_symbol(op) + " " + value.str();
+}
+
+RequirementsProfile profile_requirements(const ClassAd& job_ad, SimTime now) {
+  RequirementsProfile profile;
+  const ExprTree* requirements = job_ad.lookup("Requirements");
+  if (requirements == nullptr) return profile;
+  collect(*requirements, job_ad, now, profile.predicates);
+  return profile;
+}
+
+std::optional<AdIndex::Key> AdIndex::canonical(const Value& v) {
+  Key key;
+  switch (v.type()) {
+    case Value::Type::kBool:
+      key.tag = Key::Tag::kBool;
+      key.number = v.as_bool() ? 1 : 0;
+      return key;
+    case Value::Type::kInt:
+    case Value::Type::kReal:
+      key.tag = Key::Tag::kNumber;
+      key.number = v.number();
+      return key;
+    case Value::Type::kString:
+      key.tag = Key::Tag::kString;
+      key.text = to_lower(v.as_string());
+      return key;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool AdIndex::key_satisfies(const Key& key, const AttrPredicate& p,
+                            const Key& want) {
+  switch (p.op) {
+    case AttrPredicate::Op::kEq:
+    case AttrPredicate::Op::kIs:
+      // `=?=` is type-strict and case-sensitive at full evaluation;
+      // treating it as `==` here only widens the candidate set.
+      return key == want;
+    default:
+      break;
+  }
+  // Ordering comparisons: ClassAd yields error on mixed types and on
+  // booleans — never true, so such buckets are excluded.
+  if (key.tag != want.tag || key.tag == Key::Tag::kBool) return false;
+  const bool by_number = key.tag == Key::Tag::kNumber;
+  const auto cmp = [&](auto&& less) {
+    return by_number ? less(key.number, want.number) : less(key.text, want.text);
+  };
+  switch (p.op) {
+    case AttrPredicate::Op::kLt:
+      return cmp([](const auto& a, const auto& b) { return a < b; });
+    case AttrPredicate::Op::kLe:
+      return cmp([](const auto& a, const auto& b) { return a <= b; });
+    case AttrPredicate::Op::kGt:
+      return cmp([](const auto& a, const auto& b) { return a > b; });
+    case AttrPredicate::Op::kGe:
+      return cmp([](const auto& a, const auto& b) { return a >= b; });
+    default:
+      return false;
+  }
+}
+
+void AdIndex::insert(std::uint32_t slot, const ClassAd& ad) {
+  if (slot >= slot_postings_.size()) {
+    slot_postings_.resize(slot + 1);
+    slot_live_.resize(slot + 1, 0);
+  }
+  std::vector<Posting>& postings = slot_postings_[slot];
+  ad.for_each_attr([&](const std::string& name, const ExprTree& expr) {
+    Posting post;
+    post.attr = to_lower(name);
+    const auto* literal = dynamic_cast<const Literal*>(&expr);
+    std::optional<Key> key =
+        literal != nullptr ? canonical(literal->value()) : std::nullopt;
+    AttrIndex& ai = attrs_[post.attr];
+    if (key.has_value()) {
+      post.literal = true;
+      post.key = *key;
+      std::vector<std::uint32_t>& bucket = ai.buckets[*key];
+      bucket.push_back(slot);
+      post.pos = static_cast<std::uint32_t>(bucket.size() - 1);
+    } else {
+      ai.unindexed.push_back(slot);
+      post.pos = static_cast<std::uint32_t>(ai.unindexed.size() - 1);
+    }
+    postings.push_back(std::move(post));
+  });
+  slot_live_[slot] = 1;
+  ++live_slots_;
+}
+
+void AdIndex::erase(std::uint32_t slot) {
+  if (slot >= slot_postings_.size() || slot_live_[slot] == 0) return;
+  for (const Posting& post : slot_postings_[slot]) {
+    auto it = attrs_.find(post.attr);
+    if (it == attrs_.end()) continue;
+    AttrIndex& ai = it->second;
+    // Swap-and-pop at the recorded position; the slot that moved into the
+    // hole (same attr, same bucket by construction) gets its posting's
+    // position patched so the invariant survives.
+    const auto swap_out = [&](std::vector<std::uint32_t>& vec) {
+      const std::uint32_t moved = vec.back();
+      vec[post.pos] = moved;
+      vec.pop_back();
+      if (moved == slot) return;
+      for (Posting& theirs : slot_postings_[moved]) {
+        if (theirs.attr == post.attr) {
+          theirs.pos = post.pos;
+          break;
+        }
+      }
+    };
+    if (post.literal) {
+      auto bucket = ai.buckets.find(post.key);
+      if (bucket != ai.buckets.end()) {
+        swap_out(bucket->second);
+        if (bucket->second.empty()) ai.buckets.erase(bucket);
+      }
+    } else {
+      swap_out(ai.unindexed);
+    }
+    if (ai.buckets.empty() && ai.unindexed.empty()) attrs_.erase(it);
+  }
+  slot_postings_[slot].clear();
+  slot_live_[slot] = 0;
+  --live_slots_;
+}
+
+std::size_t AdIndex::estimate(const AttrIndex& ai, const AttrPredicate& p,
+                              const Key& want) const {
+  switch (p.op) {
+    case AttrPredicate::Op::kEq:
+    case AttrPredicate::Op::kIs: {
+      auto bucket = ai.buckets.find(want);
+      return bucket != ai.buckets.end() ? bucket->second.size() : 0;
+    }
+    default:
+      break;
+  }
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : ai.buckets) {
+    if (key_satisfies(key, p, want)) total += bucket.size();
+  }
+  return total;
+}
+
+bool AdIndex::candidates(const RequirementsProfile& profile,
+                         std::vector<std::uint32_t>& out) const {
+  out.clear();
+  const AttrIndex* best = nullptr;
+  const AttrPredicate* best_pred = nullptr;
+  Key best_key;
+  std::size_t best_cost = std::numeric_limits<std::size_t>::max();
+  struct Filter {
+    const AttrPredicate* pred;
+    Key want;
+  };
+  std::vector<Filter> filters;
+  for (const AttrPredicate& p : profile.predicates) {
+    std::optional<Key> want = canonical(p.value);
+    if (!want.has_value()) continue;
+    auto it = attrs_.find(p.attr);
+    if (it == attrs_.end()) {
+      // No live ad carries this attribute at all, not even as an
+      // un-indexable expression: the conjunct is undefined everywhere,
+      // so nothing can match.
+      return true;
+    }
+    filters.push_back({&p, *want});
+    const std::size_t cost =
+        estimate(it->second, p, *want) + it->second.unindexed.size();
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &it->second;
+      best_pred = &p;
+      best_key = *want;
+    }
+  }
+  if (filters.empty()) return false;
+  if (best_pred->op == AttrPredicate::Op::kEq ||
+      best_pred->op == AttrPredicate::Op::kIs) {
+    auto bucket = best->buckets.find(best_key);
+    if (bucket != best->buckets.end()) {
+      out.insert(out.end(), bucket->second.begin(), bucket->second.end());
+    }
+  } else {
+    for (const auto& [key, bucket] : best->buckets) {
+      if (key_satisfies(key, *best_pred, best_key)) {
+        out.insert(out.end(), bucket.begin(), bucket.end());
+      }
+    }
+  }
+  out.insert(out.end(), best->unindexed.begin(), best->unindexed.end());
+  // Intersect with the remaining predicates via each slot's postings: a
+  // slot whose literal key fails a predicate would fail that conjunct at
+  // full evaluation; one with no posting for the attribute evaluates it to
+  // undefined (never true for these operators). Non-literal postings stay
+  // candidates — only the full match can decide them.
+  std::erase_if(out, [&](std::uint32_t slot) {
+    for (const Filter& f : filters) {
+      if (f.pred == best_pred) continue;
+      const Posting* found = nullptr;
+      for (const Posting& post : slot_postings_[slot]) {
+        if (post.attr == f.pred->attr) {
+          found = &post;
+          break;
+        }
+      }
+      if (found == nullptr) return true;
+      if (found->literal && !key_satisfies(found->key, *f.pred, f.want)) {
+        return true;
+      }
+    }
+    return false;
+  });
+  std::sort(out.begin(), out.end());
+  return true;
+}
+
+}  // namespace esg::classad

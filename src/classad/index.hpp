@@ -1,0 +1,149 @@
+// Attribute-indexed candidate selection for matchmaking.
+//
+// The matchmaker's inner loop is O(jobs × machines) full two-way
+// `symmetric_match` evaluations per negotiation cycle. Almost every real
+// job Requirements expression, though, is a conjunction whose leaves pin
+// a TARGET attribute to a constant — `TARGET.Arch == "INTEL"`,
+// `TARGET.Memory >= 512`, `TARGET.HasJava =?= true`. Any machine whose ad
+// carries a *literal* value failing such a conjunct can never satisfy the
+// whole expression (ClassAd three-valued logic: an AND is true only if
+// every conjunct is true, and a comparison against an absent attribute is
+// undefined, never true). So we can bucket machine ads by their literal
+// attribute values and hand the matchmaker a small candidate set to run
+// the full — authoritative — evaluation on.
+//
+// Soundness contract (the index is a prefilter, never a judge):
+//  - candidates() must return a SUPERSET of the machines whose full
+//    evaluation could succeed. Machines whose indexed attribute is a
+//    non-literal expression are kept in per-attribute "unindexed" lists
+//    and always included; machines lacking the attribute entirely are
+//    excluded (undefined comparison can't be true; `=?=` against a
+//    defined constant is false on undefined).
+//  - Only conjuncts that *must* hold are extracted: `&&` descends both
+//    sides, `||` and negations extract nothing, `!=`/`=!=` are skipped
+//    (true on undefined), and a predicate is used only when its
+//    constant side evaluates to a concrete bool/int/real/string against
+//    the job ad alone.
+//  - Equality buckets canonicalize the way ClassAd `==` compares:
+//    numbers by double value, strings case-insensitively. `=?=` is
+//    type-strict at full evaluation; bucketing it like `==` only widens
+//    the candidate set.
+//
+// The full `symmetric_match` still runs on every candidate, so match
+// *outcomes* are byte-identical to the exhaustive scan as long as the
+// caller visits candidates in the same order the scan would have.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classad/classad.hpp"
+#include "classad/value.hpp"
+#include "common/flatmap.hpp"
+#include "common/simtime.hpp"
+
+namespace esg::classad {
+
+/// One conjunct of a Requirements expression usable as an index prefilter:
+/// "the TARGET's `attr` must compare OP against this constant, or the
+/// whole expression cannot evaluate to true".
+struct AttrPredicate {
+  enum class Op { kEq, kIs, kLt, kLe, kGt, kGe };
+  std::string attr;  ///< lowercased target attribute name
+  Op op = Op::kEq;
+  Value value;  ///< concrete constant: bool, int, real, or string
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// The indexable skeleton of one job's Requirements.
+struct RequirementsProfile {
+  std::vector<AttrPredicate> predicates;
+  [[nodiscard]] bool indexable() const { return !predicates.empty(); }
+};
+
+/// Extract index predicates from `job_ad`'s Requirements. `now` feeds the
+/// time() builtin so constant-side evaluation agrees with match time.
+/// An empty profile means "nothing extractable: scan exhaustively".
+[[nodiscard]] RequirementsProfile profile_requirements(const ClassAd& job_ad,
+                                                       SimTime now);
+
+/// Machine-ad index: literal attribute values bucketed for candidate
+/// lookup. Entries are addressed by caller-assigned dense slots (the
+/// matchmaker reuses freed slots), so lookups return integer slot ids.
+class AdIndex {
+ public:
+  /// Index `ad`'s literal attributes under `slot`. The slot must be empty
+  /// (never inserted, or erased since).
+  void insert(std::uint32_t slot, const ClassAd& ad);
+
+  /// Drop every posting for `slot`. Safe on never-inserted slots.
+  void erase(std::uint32_t slot);
+
+  /// Fill `out` (ascending slot order) with every slot that could satisfy
+  /// `profile`: the most selective predicate's buckets, intersected with
+  /// every other indexable predicate through the per-slot postings.
+  /// Returns false when the profile has no usable predicate — caller must
+  /// scan exhaustively. Returns true with an empty `out` when the index
+  /// proves no machine can match.
+  [[nodiscard]] bool candidates(const RequirementsProfile& profile,
+                                std::vector<std::uint32_t>& out) const;
+
+  /// Number of slots currently indexed.
+  [[nodiscard]] std::size_t size() const { return live_slots_; }
+  /// Distinct attribute names seen across live ads.
+  [[nodiscard]] std::size_t attr_count() const { return attrs_.size(); }
+
+ private:
+  /// Canonical bucket key, ordered by (tag, number, text) — numbers
+  /// collapse int/real the way ClassAd `==` does, strings are lowercased.
+  struct Key {
+    enum class Tag : std::uint8_t { kBool, kNumber, kString };
+    Tag tag = Tag::kBool;
+    double number = 0;
+    std::string text;
+
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.tag != b.tag) return a.tag < b.tag;
+      if (a.number != b.number) return a.number < b.number;
+      return a.text < b.text;
+    }
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.tag == b.tag && a.number == b.number && a.text == b.text;
+    }
+  };
+
+  struct AttrIndex {
+    FlatMap<Key, std::vector<std::uint32_t>> buckets;
+    std::vector<std::uint32_t> unindexed;  ///< attr present, not a literal
+  };
+
+  /// Undo log entry: where slot was filed for one attribute. `pos` is the
+  /// slot's position inside its bucket (or unindexed list), kept exact so
+  /// erase() is a swap-and-pop instead of an O(bucket) scan — bucket
+  /// internal order is free, candidates() sorts its output. At pool scale
+  /// this is the difference between ad updates costing O(attrs) and
+  /// O(attrs × machines-per-bucket).
+  struct Posting {
+    std::string attr;  // lowercased
+    bool literal = false;
+    Key key;  // valid when literal
+    std::uint32_t pos = 0;
+  };
+
+  static std::optional<Key> canonical(const Value& v);
+  static bool key_satisfies(const Key& key, const AttrPredicate& p,
+                            const Key& want);
+  [[nodiscard]] std::size_t estimate(const AttrIndex& ai,
+                                     const AttrPredicate& p,
+                                     const Key& want) const;
+
+  FlatMap<std::string, AttrIndex> attrs_;
+  std::vector<std::vector<Posting>> slot_postings_;
+  std::vector<std::uint8_t> slot_live_;
+  std::size_t live_slots_ = 0;
+};
+
+}  // namespace esg::classad

@@ -1,0 +1,160 @@
+// A sorted-vector map for the kernel's hot per-job/per-host state.
+//
+// The simulation's daemon state tables (schedd job records, fabric
+// listeners and fault entries, rpc pending calls, recorder span cursors)
+// are iterated far more often than they are mutated, and the iteration
+// order is part of the determinism contract: every replay of a seed must
+// walk them in the same order. `std::map` gives that order but pays one
+// heap node per entry and chases pointers on every walk. FlatMap keeps
+// the entries in one contiguous, key-sorted vector: iteration is linear
+// memory, lookup is binary search, and the order is byte-for-byte the
+// same as the `std::map` it replaces (strict weak order on the key).
+//
+// The interface is the subset of `std::map` the kernel actually uses.
+// Two deliberate deviations:
+//  - `value_type` is `std::pair<Key, T>` (non-const key) so entries can
+//    be moved during insertion; callers must not modify keys in place.
+//  - insertion/erase invalidate iterators and references (vector
+//    semantics). Call sites that held `std::map` references across
+//    mutations were fixed when they migrated.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace esg {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using storage_type = std::vector<value_type>;
+  using iterator = typename storage_type::iterator;
+  using const_iterator = typename storage_type::const_iterator;
+  using size_type = std::size_t;
+
+  FlatMap() = default;
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] size_type size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+  void reserve(size_type n) { entries_.reserve(n); }
+
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] const_iterator cbegin() const { return entries_.cbegin(); }
+  [[nodiscard]] const_iterator cend() const { return entries_.cend(); }
+
+  template <typename K>
+  [[nodiscard]] iterator lower_bound(const K& key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key, KeyLess{});
+  }
+  template <typename K>
+  [[nodiscard]] const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key, KeyLess{});
+  }
+  template <typename K>
+  [[nodiscard]] iterator upper_bound(const K& key) {
+    return std::upper_bound(entries_.begin(), entries_.end(), key, KeyGreater{});
+  }
+
+  template <typename K>
+  [[nodiscard]] iterator find(const K& key) {
+    iterator it = lower_bound(key);
+    return (it != entries_.end() && equal(it->first, key)) ? it
+                                                           : entries_.end();
+  }
+  template <typename K>
+  [[nodiscard]] const_iterator find(const K& key) const {
+    const_iterator it = lower_bound(key);
+    return (it != entries_.end() && equal(it->first, key)) ? it
+                                                           : entries_.end();
+  }
+  template <typename K>
+  [[nodiscard]] bool contains(const K& key) const {
+    return find(key) != entries_.end();
+  }
+  template <typename K>
+  [[nodiscard]] size_type count(const K& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  [[nodiscard]] T& at(const Key& key) { return find(key)->second; }
+  [[nodiscard]] const T& at(const Key& key) const { return find(key)->second; }
+
+  /// Insert-or-find with default construction, `std::map` style. Entries
+  /// appended in key order (the common case: monotonically increasing job
+  /// ids, boot-time host registration) cost amortized O(1).
+  T& operator[](const Key& key) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && equal(it->first, key)) return it->second;
+    it = entries_.insert(it, value_type(key, T{}));
+    return it->second;
+  }
+  T& operator[](Key&& key) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && equal(it->first, key)) return it->second;
+    it = entries_.insert(it, value_type(std::move(key), T{}));
+    return it->second;
+  }
+
+  std::pair<iterator, bool> insert(value_type entry) {
+    iterator it = lower_bound(entry.first);
+    if (it != entries_.end() && equal(it->first, entry.first)) {
+      return {it, false};
+    }
+    it = entries_.insert(it, std::move(entry));
+    return {it, true};
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && equal(it->first, key)) return {it, false};
+    it = entries_.emplace(it, std::piecewise_construct,
+                          std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  template <typename K>
+  size_type erase(const K& key) {
+    iterator it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator it) { return entries_.erase(it); }
+  iterator erase(const_iterator it) { return entries_.erase(it); }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  struct KeyLess {
+    template <typename K>
+    bool operator()(const value_type& entry, const K& key) const {
+      return Compare{}(entry.first, key);
+    }
+  };
+  struct KeyGreater {
+    template <typename K>
+    bool operator()(const K& key, const value_type& entry) const {
+      return Compare{}(key, entry.first);
+    }
+  };
+  template <typename A, typename B>
+  static bool equal(const A& a, const B& b) {
+    return !Compare{}(a, b) && !Compare{}(b, a);
+  }
+
+  storage_type entries_;
+};
+
+}  // namespace esg

@@ -107,6 +107,16 @@ struct Timeouts {
   SimTime chirp_timeout = SimTime::sec(30);
   /// Starter -> shadow heartbeat; feeds the shadow's inactivity watchdog.
   SimTime keepalive_interval = SimTime::minutes(5);
+  /// Most idle jobs attached to one submitter ad. The matchmaker can only
+  /// place what it sees; the rest wait for the next ad once the head of
+  /// the queue drains.
+  std::size_t advertise_max_jobs = 64;
+  /// Event-driven submitter ads (job went idle, claim bounced) are
+  /// coalesced into one ad per window; zero keeps the historical
+  /// one-ad-per-event behavior. The periodic advertise loop is unaffected.
+  /// Large pools want ~hundreds of ms: a negotiation cycle that just
+  /// bounced 1000 claims triggers one re-advertise, not 1000.
+  SimTime advertise_coalesce = SimTime::zero();
 };
 
 }  // namespace esg::daemons

@@ -1,6 +1,7 @@
 // Job descriptions, attempt records, and execution summaries.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -105,6 +106,10 @@ struct JobRecord {
   /// Start of the current streak of environment failures (zero when the
   /// last attempt produced a program result); input to scope escalation.
   SimTime env_streak_start{};
+  /// The summary ad, parsed once at submit/recovery and shared into every
+  /// submitter ad and claim request thereafter. Null when the description
+  /// does not parse — such a job stays idle and can never be claimed.
+  std::shared_ptr<const classad::ClassAd> summary_ad;
 };
 
 /// Where a job's checkpoint lives on the submit machine's spool.

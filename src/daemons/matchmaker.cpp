@@ -6,6 +6,10 @@
 
 namespace esg::daemons {
 
+namespace {
+constexpr std::uint32_t kNoRank = 0xffffffffu;
+}  // namespace
+
 Matchmaker::Matchmaker(sim::Engine& engine, net::NetworkFabric& fabric,
                        std::string host, Ports ports, Timeouts timeouts)
     : Actor(engine, std::move(host)),
@@ -21,6 +25,10 @@ void Matchmaker::shutdown() {
   fabric_.unlisten(address());
   startd_ads_.clear();
   submitter_ads_.clear();
+  index_ = classad::AdIndex();
+  free_slots_.clear();
+  next_slot_ = 0;
+  cycle_lookups_.clear();
 }
 
 void Matchmaker::boot() {
@@ -37,8 +45,8 @@ void Matchmaker::boot() {
 }
 
 void Matchmaker::on_accept(net::Endpoint endpoint) {
-  auto channel =
-      std::make_shared<RpcChannel>(engine(), std::move(endpoint), SimTime::zero());
+  auto channel = std::make_shared<RpcChannel>(engine(), std::move(endpoint),
+                                              SimTime::zero());
   channel->set_server(
       [](const std::string&, const classad::ClassAd&,
          std::function<void(classad::ClassAd)> reply) {
@@ -49,16 +57,40 @@ void Matchmaker::on_accept(net::Endpoint endpoint) {
       [this](const std::string& command, const classad::ClassAd& body) {
         on_update(command, body);
       });
-  channels_.push_back(std::move(channel));
-  // Prune dead inbound channels occasionally.
-  if (channels_.size() % 64 == 0) {
-    channels_.erase(
-        std::remove_if(channels_.begin(), channels_.end(),
-                       [](const std::shared_ptr<RpcChannel>& c) {
-                         return !c->is_open();
-                       }),
-        channels_.end());
+  const std::uint64_t id = next_channel_id_++;
+  // Prune on close: advertisers hang up right after the update, so the
+  // table holds only live connections (no every-64th-accept sweeps that
+  // leak channels indefinitely in small pools).
+  channel->set_on_broken([this, id](const Error&) { reap_channel(id); });
+  channels_.emplace(id, std::move(channel));
+}
+
+void Matchmaker::reap_channel(std::uint64_t id) {
+  // on_broken fires from inside the channel's own close handling; erasing
+  // it here would destroy the RpcChannel under its own stack. Defer to a
+  // zero-delay event, coalescing bursts into one sweep.
+  dead_channels_.push_back(id);
+  if (reap_scheduled_) return;
+  reap_scheduled_ = true;
+  engine().schedule(SimTime::zero(), [this] {
+    reap_scheduled_ = false;
+    for (const std::uint64_t dead : dead_channels_) channels_.erase(dead);
+    dead_channels_.clear();
+  });
+}
+
+std::uint32_t Matchmaker::allocate_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
   }
+  return next_slot_++;
+}
+
+void Matchmaker::release_startd(StartdEntry& entry) {
+  index_.erase(entry.slot);
+  free_slots_.push_back(entry.slot);
 }
 
 void Matchmaker::on_update(const std::string& command,
@@ -75,10 +107,18 @@ void Matchmaker::on_update(const std::string& command,
                        got);
       return;
     }
-    StartdEntry& entry = startd_ads_[name];
+    auto it = startd_ads_.find(name);
+    if (it == startd_ads_.end()) {
+      it = startd_ads_.emplace(name).first;
+      it->second.slot = allocate_slot();
+    } else {
+      index_.erase(it->second.slot);
+    }
+    StartdEntry& entry = it->second;
     entry.ad = body;
     entry.updated = now();
     entry.matched_this_cycle = false;
+    index_.insert(entry.slot, entry.ad);
     return;
   }
   if (command == kCmdUpdateSubmitterAd) {
@@ -103,6 +143,7 @@ void Matchmaker::expire_ads() {
   for (auto it = startd_ads_.begin(); it != startd_ads_.end();) {
     if (now() - it->second.updated > horizon) {
       log().info("expiring startd ad ", it->first);
+      release_startd(it->second);
       it = startd_ads_.erase(it);
     } else {
       ++it;
@@ -117,42 +158,109 @@ void Matchmaker::expire_ads() {
   }
 }
 
+void Matchmaker::find_candidates(const classad::ClassAd& job_ad,
+                                 std::vector<Candidate>& out) {
+  out.clear();
+  const auto consider = [&](const std::string& machine_name,
+                            StartdEntry& machine) {
+    if (machine.matched_this_cycle || !machine.unclaimed) return;
+    ++match_evals_;
+    const classad::MatchResult match =
+        classad::symmetric_match(job_ad, machine.ad, now());
+    if (!match.matched) return;
+    out.push_back(
+        Candidate{&machine_name, &machine, match.left_rank, match.right_rank});
+  };
+
+  const CycleLookup* lookup = nullptr;
+  if (index_mode_ != IndexMode::kExhaustive) {
+    const classad::RequirementsProfile profile =
+        classad::profile_requirements(job_ad, now());
+    // Memoize the lookup for the rest of the cycle, keyed by the profile's
+    // signature: at scale whole tiers of jobs share one Requirements
+    // skeleton, and the ads the lookup reads are frozen until the cycle
+    // ends, so recomputing the intersection per job would only rediscover
+    // the same candidate set.
+    profile_key_.clear();
+    for (const classad::AttrPredicate& p : profile.predicates) {
+      profile_key_ += p.str();
+      profile_key_ += ';';
+    }
+    auto memo = cycle_lookups_.find(profile_key_);
+    if (memo == cycle_lookups_.end()) {
+      memo = cycle_lookups_.emplace(profile_key_).first;
+      CycleLookup& fresh = memo->second;
+      fresh.indexed = index_.candidates(profile, fresh.slots);
+      if (fresh.indexed) {
+        // Visit candidates in machine-name order: the tie rotation below
+        // depends on insertion order among equal ranks, and the exhaustive
+        // scan walks the name-sorted table. Slot → cycle position, sorted.
+        fresh.ranks.reserve(fresh.slots.size());
+        for (const std::uint32_t slot : fresh.slots) {
+          const std::uint32_t rank = rank_of_slot_[slot];
+          if (rank != kNoRank) fresh.ranks.push_back(rank);
+        }
+        std::sort(fresh.ranks.begin(), fresh.ranks.end());
+      }
+    }
+    lookup = &memo->second;
+  }
+  if (lookup != nullptr && lookup->indexed &&
+      index_mode_ == IndexMode::kIndexed) {
+    for (const std::uint32_t rank : lookup->ranks) {
+      consider(*order_[rank].first, *order_[rank].second);
+    }
+    return;
+  }
+  for (auto& [machine_name, machine] : order_) consider(*machine_name, *machine);
+  if (lookup != nullptr && lookup->indexed) {
+    // kVerify: every machine the full evaluation accepted must have been
+    // an index candidate; a miss means the prefilter dropped a match.
+    for (const Candidate& c : out) {
+      if (!std::binary_search(lookup->slots.begin(), lookup->slots.end(),
+                              c.entry->slot)) {
+        ++index_mismatches_;
+        log().error("ad index dropped eligible machine ", *c.name);
+      }
+    }
+  }
+}
+
 void Matchmaker::negotiate() {
   if (!running_) return;
   ++cycle_;
   expire_ads();
 
-  for (auto& [name, entry] : startd_ads_) entry.matched_this_cycle = false;
+  // Cycle-start snapshot: name-sorted visiting order, slot→position map,
+  // and the per-machine State cache (ads cannot change mid-cycle; updates
+  // arrive in later events).
+  cycle_lookups_.clear();
+  order_.clear();
+  order_.reserve(startd_ads_.size());
+  rank_of_slot_.assign(next_slot_, kNoRank);
+  std::uint32_t position = 0;
+  for (auto& [machine_name, entry] : startd_ads_) {
+    entry.matched_this_cycle = false;
+    entry.unclaimed =
+        entry.ad.eval_string("State", "Unclaimed") == "Unclaimed";
+    rank_of_slot_[entry.slot] = position++;
+    order_.emplace_back(&machine_name, &entry);
+  }
 
   // For each submitter, walk its advertised idle jobs and offer each the
   // best-ranked compatible unclaimed machine.
   for (auto& [submitter_name, submitter] : submitter_ads_) {
     const classad::Value jobs = submitter.ad.eval_attr("Jobs");
     if (!jobs.is_list()) continue;
+    std::vector<classad::ClassAd> notices;
     for (const classad::Value& job_value : jobs.as_list()) {
       if (!job_value.is_ad()) continue;
       const classad::ClassAd& job_ad = *job_value.as_ad();
 
       // Rank candidate machines: job rank first, then machine rank.
-      struct Candidate {
-        std::string name;
-        double job_rank;
-        double machine_rank;
-      };
-      std::vector<Candidate> candidates;
-      for (auto& [machine_name, machine] : startd_ads_) {
-        if (machine.matched_this_cycle) continue;
-        if (machine.ad.eval_string("State", "Unclaimed") != "Unclaimed") {
-          continue;
-        }
-        const classad::MatchResult match =
-            classad::symmetric_match(job_ad, machine.ad, now());
-        if (!match.matched) continue;
-        candidates.push_back(
-            Candidate{machine_name, match.left_rank, match.right_rank});
-      }
-      if (candidates.empty()) continue;
-      std::stable_sort(candidates.begin(), candidates.end(),
+      find_candidates(job_ad, candidates_);
+      if (candidates_.empty()) continue;
+      std::stable_sort(candidates_.begin(), candidates_.end(),
                        [](const Candidate& a, const Candidate& b) {
                          if (a.job_rank != b.job_rank)
                            return a.job_rank > b.job_rank;
@@ -163,40 +271,46 @@ void Matchmaker::negotiate() {
       // re-attracts the same job forever — the §5 black hole in its
       // purest, livelocked form).
       std::size_t ties = 1;
-      while (ties < candidates.size() &&
-             candidates[ties].job_rank == candidates[0].job_rank &&
-             candidates[ties].machine_rank == candidates[0].machine_rank) {
+      while (ties < candidates_.size() &&
+             candidates_[ties].job_rank == candidates_[0].job_rank &&
+             candidates_[ties].machine_rank == candidates_[0].machine_rank) {
         ++ties;
       }
       const std::uint64_t job_id =
           static_cast<std::uint64_t>(job_ad.eval_int("JobId"));
-      const Candidate& best = candidates[(cycle_ + job_id) % ties];
-      StartdEntry& machine = startd_ads_.at(best.name);
-      machine.matched_this_cycle = true;
+      const Candidate& best = candidates_[(cycle_ + job_id) % ties];
+      best.entry->matched_this_cycle = true;
       ++matches_made_;
 
       classad::ClassAd notice;
       notice.set("JobId", job_ad.eval_int("JobId"));
-      notice.set("StartdName", best.name);
-      notice.set("StartdHost", machine.ad.eval_string("Machine"));
-      notice.set("StartdPort", machine.ad.eval_int("StartdPort"));
+      notice.set("StartdName", *best.name);
+      notice.set("StartdHost", best.entry->ad.eval_string("Machine"));
+      notice.set("StartdPort", best.entry->ad.eval_int("StartdPort"));
       notice.set("MatchId", static_cast<std::int64_t>(matches_made_));
       // Provenance for flocking schedds: which matchmaker brokered this
       // match. A schedd with flock targets maps this host back to a pool
       // so it can attribute the attempt's outcome across the boundary.
       notice.set("MatchmakerHost", name());
-      log().debug("match job ", job_ad.eval_int("JobId"), " <-> ", best.name);
-
-      // Notify the schedd over a short-lived connection. A failure here is
-      // benign: the match simply evaporates and a later cycle retries.
-      const net::Address schedd_addr = submitter.schedd_addr;
-      rpc_connect(engine(), fabric_, name(), schedd_addr, timeouts_.rpc_timeout,
-                  [notice](Result<std::shared_ptr<RpcChannel>> channel) {
-                    if (!channel.ok()) return;
-                    channel.value()->notify(kCmdNotifyMatch, notice);
-                    channel.value()->close();
-                  });
+      log().debug("match job ", job_ad.eval_int("JobId"), " <-> ", *best.name);
+      notices.push_back(std::move(notice));
     }
+    if (notices.empty()) continue;
+
+    // Notify the schedd over one short-lived connection carrying the
+    // whole cycle's matches (not one connection per match). A failure
+    // here is benign: the matches simply evaporate and a later cycle
+    // retries.
+    const net::Address schedd_addr = submitter.schedd_addr;
+    rpc_connect(engine(), fabric_, name(), schedd_addr, timeouts_.rpc_timeout,
+                [notices = std::move(notices)](
+                    Result<std::shared_ptr<RpcChannel>> channel) {
+                  if (!channel.ok()) return;
+                  for (const classad::ClassAd& notice : notices) {
+                    channel.value()->notify(kCmdNotifyMatch, notice);
+                  }
+                  channel.value()->close();
+                });
   }
 
   after(timeouts_.matchmaker_interval, [this] { negotiate(); });

@@ -5,14 +5,25 @@
 // individually responsible for claiming one another and verifying that
 // their requirements are met (§2.1) — the matchmaker's word is advisory,
 // never authoritative.
+//
+// Negotiation scales through the attribute index (classad/index.hpp):
+// each job's Requirements is profiled for TARGET-constant conjuncts and
+// only the candidate bucket runs the full two-way match. The index is a
+// pure prefilter — candidates are visited in the same machine-name order
+// the exhaustive scan uses and the authoritative `symmetric_match` still
+// decides every pair — so match outcomes are byte-identical across
+// IndexMode settings (kVerify cross-checks that claim every cycle).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "classad/index.hpp"
 #include "classad/match.hpp"
+#include "common/flatmap.hpp"
 #include "daemons/config.hpp"
 #include "daemons/rpc.hpp"
 #include "net/fabric.hpp"
@@ -23,6 +34,13 @@ class TopologyModel;
 }
 
 namespace esg::daemons {
+
+/// How negotiate() selects candidate machines for each job.
+enum class IndexMode {
+  kIndexed,     ///< attribute-index prefilter, full match on candidates
+  kExhaustive,  ///< legacy O(jobs × machines) scan
+  kVerify,      ///< exhaustive scan, cross-checked against the index
+};
 
 class Matchmaker : public sim::Actor {
  public:
@@ -47,6 +65,24 @@ class Matchmaker : public sim::Actor {
     return submitter_ads_.size();
   }
 
+  void set_index_mode(IndexMode mode) { index_mode_ = mode; }
+  [[nodiscard]] IndexMode index_mode() const { return index_mode_; }
+
+  /// Full symmetric_match evaluations performed across all negotiation
+  /// cycles — the scale counter the index exists to shrink.
+  [[nodiscard]] std::uint64_t match_evals() const { return match_evals_; }
+
+  /// kVerify only: eligible machines the index would have dropped.
+  /// Anything but zero is an index soundness bug.
+  [[nodiscard]] std::uint64_t index_mismatches() const {
+    return index_mismatches_;
+  }
+
+  /// Live inbound update channels (pruned on close, not periodically).
+  [[nodiscard]] std::size_t inbound_channels() const {
+    return channels_.size();
+  }
+
   /// Static error-topology declaration (the analysis/ model-checker hook):
   /// negotiation detections ("matchmaker.negotiate") and the advisory
   /// contract towards the schedd ("matchmaker.advise"). The matchmaker's
@@ -57,25 +93,69 @@ class Matchmaker : public sim::Actor {
   struct StartdEntry {
     classad::ClassAd ad;
     SimTime updated{};
+    std::uint32_t slot = 0;  ///< stable index slot while the ad is live
     bool matched_this_cycle = false;
+    bool unclaimed = true;  ///< cycle-start cache of State == "Unclaimed"
   };
   struct SubmitterEntry {
     classad::ClassAd ad;
     net::Address schedd_addr;
     SimTime updated{};
   };
+  struct Candidate {
+    const std::string* name;
+    StartdEntry* entry;
+    double job_rank;
+    double machine_rank;
+  };
 
   void on_accept(net::Endpoint endpoint);
   void on_update(const std::string& command, const classad::ClassAd& body);
   void negotiate();
   void expire_ads();
+  std::uint32_t allocate_slot();
+  void release_startd(StartdEntry& entry);
+  void reap_channel(std::uint64_t id);
+
+  /// All machines whose full evaluation accepts `job_ad` (and vice versa),
+  /// in machine-name order, skipping claimed/already-matched entries.
+  void find_candidates(const classad::ClassAd& job_ad,
+                       std::vector<Candidate>& out);
 
   net::NetworkFabric& fabric_;
   Ports ports_;
   Timeouts timeouts_;
-  std::map<std::string, StartdEntry> startd_ads_;      // by machine name
-  std::map<std::string, SubmitterEntry> submitter_ads_;  // by schedd name
-  std::vector<std::shared_ptr<RpcChannel>> channels_;  // inbound update conns
+  FlatMap<std::string, StartdEntry> startd_ads_;        // by machine name
+  FlatMap<std::string, SubmitterEntry> submitter_ads_;  // by schedd name
+  classad::AdIndex index_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t next_slot_ = 0;
+  IndexMode index_mode_ = IndexMode::kIndexed;
+  std::uint64_t match_evals_ = 0;
+  std::uint64_t index_mismatches_ = 0;
+
+  /// One memoized index lookup, valid for the rest of the cycle: ads are
+  /// frozen once negotiate() snapshots (updates arrive in later events),
+  /// so every job with the same Requirements profile — at scale, whole
+  /// tiers of them — shares one bucket intersection and one rank sort.
+  struct CycleLookup {
+    bool indexed = false;
+    std::vector<std::uint32_t> slots;  ///< ascending; kVerify cross-check
+    std::vector<std::uint32_t> ranks;  ///< cycle visiting order
+  };
+
+  // Per-cycle scratch, reused so a 10k-machine cycle allocates nothing.
+  std::vector<std::pair<const std::string*, StartdEntry*>> order_;
+  std::vector<std::uint32_t> rank_of_slot_;
+  std::vector<Candidate> candidates_;
+  FlatMap<std::string, CycleLookup> cycle_lookups_;  // by profile signature
+  std::string profile_key_;
+
+  FlatMap<std::uint64_t, std::shared_ptr<RpcChannel>> channels_;  // inbound
+  std::uint64_t next_channel_id_ = 0;
+  std::vector<std::uint64_t> dead_channels_;
+  bool reap_scheduled_ = false;
+
   std::uint64_t matches_made_ = 0;
   std::uint64_t cycle_ = 0;
   bool running_ = false;

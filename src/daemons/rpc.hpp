@@ -9,10 +9,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 
+#include "common/flatmap.hpp"
 #include "common/simtime.hpp"
 #include "daemons/wire.hpp"
 #include "net/fabric.hpp"
@@ -65,7 +65,7 @@ class RpcChannel {
   net::Endpoint endpoint_;
   SimTime timeout_;
   std::uint64_t next_id_ = 1;
-  std::map<std::uint64_t, std::pair<ReplyCb, sim::TimerHandle>> pending_;
+  FlatMap<std::uint64_t, std::pair<ReplyCb, sim::TimerHandle>> pending_;
   ServeFn serve_;
   NotifyFn notify_;
   BrokenFn on_broken_;

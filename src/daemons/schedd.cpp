@@ -1,6 +1,7 @@
 #include "daemons/schedd.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "analysis/topology.hpp"
 #include "common/strings.hpp"
@@ -44,13 +45,36 @@ void Schedd::shutdown() {
   fabric_.unlisten(address());
 }
 
+void Schedd::set_state(JobRecord& record, JobState state) {
+  if (record.state == JobState::kIdle) --idle_jobs_;
+  record.state = state;
+  if (state == JobState::kIdle) ++idle_jobs_;
+  if (state == JobState::kCompleted || state == JobState::kUnexecutable) {
+    ++terminal_jobs_;
+  }
+}
+
+namespace {
+
+/// Parse the summary ad once; every advertise and claim request shares it.
+std::shared_ptr<const classad::ClassAd> cache_summary_ad(
+    const JobDescription& description) {
+  Result<classad::ClassAd> summary = description.to_summary_ad();
+  if (!summary.ok()) return nullptr;
+  return std::make_shared<const classad::ClassAd>(std::move(summary).value());
+}
+
+}  // namespace
+
 JobId Schedd::submit(JobDescription description) {
   const JobId id = job_ids_.next();
   description.id = id;
   JobRecord record;
   record.description = std::move(description);
   record.state = JobState::kIdle;
+  ++idle_jobs_;
   record.submitted = now();
+  record.summary_ad = cache_summary_ad(record.description);
   journal_submit(record);
   jobs_[id.value()] = std::move(record);
   if (running_) advertise_now();
@@ -60,20 +84,6 @@ JobId Schedd::submit(JobDescription description) {
 const JobRecord* Schedd::job(JobId id) const {
   auto it = jobs_.find(id.value());
   return it == jobs_.end() ? nullptr : &it->second;
-}
-
-bool Schedd::all_done() const {
-  return std::all_of(jobs_.begin(), jobs_.end(), [](const auto& kv) {
-    return kv.second.state == JobState::kCompleted ||
-           kv.second.state == JobState::kUnexecutable;
-  });
-}
-
-std::size_t Schedd::idle_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(jobs_.begin(), jobs_.end(), [](const auto& kv) {
-        return kv.second.state == JobState::kIdle;
-      }));
 }
 
 void Schedd::journal(const std::string& event) {
@@ -132,7 +142,9 @@ std::size_t Schedd::recover_from_spool() {
     JobRecord record;
     record.description = std::move(description);
     record.state = JobState::kIdle;
+    ++idle_jobs_;
     record.submitted = now();
+    record.summary_ad = cache_summary_ad(record.description);
     jobs_[id] = std::move(record);
   }
   job_ids_ = IdGenerator<JobTag>(max_id);
@@ -142,22 +154,35 @@ std::size_t Schedd::recover_from_spool() {
 
 void Schedd::advertise_now() {
   if (!running_) return;
+  if (timeouts_.advertise_coalesce > SimTime::zero()) {
+    // Batch event-driven pushes: the first request in a window arms one
+    // timer; everything else rides along in that single ad.
+    if (advertise_pending_) return;
+    advertise_pending_ = true;
+    after(timeouts_.advertise_coalesce, [this] {
+      advertise_pending_ = false;
+      if (running_) advertise_push();
+    });
+    return;
+  }
+  advertise_push();
+}
+
+void Schedd::advertise_push() {
   classad::ClassAd ad;
   ad.set("MyType", "Submitter");
   ad.set("Name", "schedd@" + name());
   ad.set("ScheddHost", name());
   ad.set("ScheddPort", ports_.schedd);
   // Attach the idle jobs' summary ads so the matchmaker can negotiate.
+  // The ads were parsed once at submit; advertising shares them.
   std::vector<classad::Value> job_ads;
-  constexpr std::size_t kMaxAdvertised = 64;
   for (const auto& [id, record] : jobs_) {
     if (record.state != JobState::kIdle) continue;
     if (now() < record.not_before) continue;  // backing off
-    if (job_ads.size() >= kMaxAdvertised) break;
-    Result<classad::ClassAd> summary = record.description.to_summary_ad();
-    if (!summary.ok()) continue;  // unparsable job: stays idle, never runs
-    job_ads.push_back(classad::Value::ad(
-        std::make_shared<classad::ClassAd>(std::move(summary).value())));
+    if (job_ads.size() >= timeouts_.advertise_max_jobs) break;
+    if (record.summary_ad == nullptr) continue;  // unparsable: never runs
+    job_ads.push_back(classad::Value::ad(record.summary_ad));
   }
   ad.set("IdleJobs", static_cast<std::int64_t>(job_ads.size()));
   ad.insert("Jobs", std::make_unique<classad::Literal>(
@@ -259,7 +284,7 @@ void Schedd::note_pool_unreachable(const std::string& pool, const Error& cause,
 }
 
 void Schedd::advertise_loop() {
-  advertise_now();
+  advertise_push();
   after(timeouts_.advertise_interval, [this] { advertise_loop(); });
 }
 
@@ -311,7 +336,14 @@ void Schedd::on_match(const classad::ClassAd& body) {
     log().debug("declining flocked match from suspended pool ", pool);
     return;
   }
-  it->second.state = JobState::kClaiming;
+  set_state(it->second, JobState::kClaiming);
+  // Leaving the idle queue matters to the matchmaker too: without a
+  // re-advertise it keeps offering this job machines until the next
+  // periodic ad, and every stale match burns a free machine for a full
+  // cycle (matched_this_cycle). Only coalescing configurations push here —
+  // a burst of claims becomes one ad — so the zero-coalesce cadence the
+  // small-pool experiments were blessed under is untouched.
+  if (timeouts_.advertise_coalesce > SimTime::zero()) advertise_now();
   try_claim(job_id, {startd_host, startd_port}, startd_name, pool);
 }
 
@@ -320,21 +352,18 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
                        const std::string& pool) {
   auto record_it = jobs_.find(job_id);
   if (record_it == jobs_.end()) return;
-  Result<classad::ClassAd> summary =
-      record_it->second.description.to_summary_ad();
-  if (!summary.ok()) {
+  if (record_it->second.summary_ad == nullptr) {
     // The job cannot even be described: job scope, unexecutable.
     finalize(record_it->second, JobState::kUnexecutable,
              ExecutionSummary::environment(
                  Error(ErrorKind::kBadJobDescription, ErrorScope::kJob,
-                       summary.error().message()),
+                       "job description does not parse"),
                  startd_name));
     return;
   }
   classad::ClassAd body;
-  body.insert("Job", std::make_unique<classad::Literal>(classad::Value::ad(
-                         std::make_shared<classad::ClassAd>(
-                             std::move(summary).value()))));
+  body.insert("Job", std::make_unique<classad::Literal>(
+                         classad::Value::ad(record_it->second.summary_ad)));
 
   rpc_connect(
       engine(), fabric_, name(), startd_addr, timeouts_.rpc_timeout,
@@ -351,7 +380,7 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
           // machine sits in another pool, the failure is also a
           // network-scope fact about the inter-pool link.
           if (!pool.empty()) note_pool_unreachable(pool, ch.error(), job_id);
-          it->second.state = JobState::kIdle;
+          set_state(it->second, JobState::kIdle);
           advertise_now();
           return;
         }
@@ -369,7 +398,7 @@ void Schedd::try_claim(std::uint64_t job_id, const net::Address& startd_addr,
               }
               if (!r.ok() || !r.value().eval_bool("Granted")) {
                 ++claims_denied_;
-                it->second.state = JobState::kIdle;
+                set_state(it->second, JobState::kIdle);
                 advertise_now();  // the job is matchable again, right now
                 return;
               }
@@ -385,7 +414,7 @@ void Schedd::start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
                           const std::string& pool, ClaimId claim) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end()) return;
-  it->second.state = JobState::kRunning;
+  set_state(it->second, JobState::kRunning);
   ++total_attempts_;
   if (!pool.empty()) ++flock_attempts_;
   journal("start job " + std::to_string(job_id) + " on " + startd_name +
@@ -594,14 +623,14 @@ void Schedd::reschedule(JobRecord& record, std::uint64_t job_id,
   log().info("job ", job_id, " failed with ", error.str(), "; rescheduling in ",
              backoff.str());
   trace().masked(error, job_id, "rescheduling elsewhere in " + backoff.str());
-  record.state = JobState::kIdle;
+  set_state(record, JobState::kIdle);
   record.not_before = now() + backoff;
   after(backoff, [this] { advertise_now(); });
 }
 
 void Schedd::finalize(JobRecord& record, JobState state,
                       ExecutionSummary summary) {
-  record.state = state;
+  set_state(record, state);
   record.final_summary = std::move(summary);
   record.finished = now();
   journal_final(record.description.id.value(), state);

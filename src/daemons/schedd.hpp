@@ -13,10 +13,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flatmap.hpp"
 #include "daemons/config.hpp"
 #include "daemons/job.hpp"
 #include "daemons/rpc.hpp"
@@ -83,17 +83,22 @@ class Schedd : public sim::Actor {
 
   [[nodiscard]] net::Address address() const { return {name(), ports_.schedd}; }
   [[nodiscard]] const JobRecord* job(JobId id) const;
-  [[nodiscard]] const std::map<std::uint64_t, JobRecord>& jobs() const {
+  [[nodiscard]] const FlatMap<std::uint64_t, JobRecord>& jobs() const {
     return jobs_;
   }
-  [[nodiscard]] bool all_done() const;
-  [[nodiscard]] std::size_t idle_count() const;
+  /// O(1): maintained by the state-transition helper, so run_until_done's
+  /// per-event predicate does not scan the queue (at 1M jobs that scan was
+  /// the simulation's single hottest loop).
+  [[nodiscard]] bool all_done() const {
+    return terminal_jobs_ == jobs_.size();
+  }
+  [[nodiscard]] std::size_t idle_count() const { return idle_jobs_; }
   [[nodiscard]] std::uint64_t total_attempts() const { return total_attempts_; }
   [[nodiscard]] std::uint64_t claims_denied() const { return claims_denied_; }
-  [[nodiscard]] const std::map<std::string, SimTime>& avoided_machines() const {
+  [[nodiscard]] const FlatMap<std::string, SimTime>& avoided_machines() const {
     return avoid_until_;
   }
-  [[nodiscard]] const std::map<std::string, SimTime>& avoided_pools() const {
+  [[nodiscard]] const FlatMap<std::string, SimTime>& avoided_pools() const {
     return flock_avoid_until_;
   }
   [[nodiscard]] std::uint64_t flock_ads_sent() const { return flock_ads_sent_; }
@@ -119,9 +124,16 @@ class Schedd : public sim::Actor {
   };
 
   void advertise_loop();
-  /// Push the submitter ad immediately; called on every job-state change
-  /// so the matchmaker never negotiates over a stale queue.
+  /// Request a submitter-ad push; called on every job-state change so the
+  /// matchmaker never negotiates over a stale queue. With
+  /// Timeouts::advertise_coalesce set, bursts collapse into one ad per
+  /// window; otherwise the push happens immediately.
   void advertise_now();
+  /// Build and send the submitter ad (and flock copies) right now.
+  void advertise_push();
+  /// The one place a job's state changes: keeps the idle/terminal
+  /// counters behind all_done()/idle_count() exact.
+  void set_state(JobRecord& record, JobState state);
   void on_accept(net::Endpoint endpoint);
   void on_match(const classad::ClassAd& body);
   /// `pool` is empty for home-pool matches, the flock-target pool name for
@@ -162,21 +174,27 @@ class Schedd : public sim::Actor {
   Timeouts timeouts_;
 
   bool running_ = false;
+  bool advertise_pending_ = false;
   IdGenerator<JobTag> job_ids_;
-  std::map<std::uint64_t, JobRecord> jobs_;
-  std::map<std::uint64_t, Running> active_;   // by job id
+  // Job ids are assigned monotonically, so insertion into the flat map is
+  // an amortized O(1) append; lookups are binary searches over one
+  // contiguous allocation.
+  FlatMap<std::uint64_t, JobRecord> jobs_;
+  FlatMap<std::uint64_t, Running> active_;   // by job id
+  std::size_t idle_jobs_ = 0;
+  std::size_t terminal_jobs_ = 0;
   std::vector<std::shared_ptr<RpcChannel>> inbound_;
   std::function<void(const JobRecord&)> on_job_done_;
 
   // §5 avoidance state.
-  std::map<std::string, int> consecutive_failures_;
-  std::map<std::string, SimTime> avoid_until_;
+  FlatMap<std::string, int> consecutive_failures_;
+  FlatMap<std::string, SimTime> avoid_until_;
 
   // Flocking state: remote pools, their consecutive-failure streaks, and
   // suspension windows (the cluster-scope twin of machine avoidance).
   std::vector<FlockTarget> flock_targets_;
-  std::map<std::string, int> pool_failures_;
-  std::map<std::string, SimTime> flock_avoid_until_;
+  FlatMap<std::string, int> pool_failures_;
+  FlatMap<std::string, SimTime> flock_avoid_until_;
 
   std::uint64_t total_attempts_ = 0;
   std::uint64_t claims_denied_ = 0;

@@ -97,6 +97,8 @@ classad::ClassAd Startd::machine_ad() const {
   ad.set("Machine", name());
   ad.set("StartdPort", ports_.startd);
   ad.set("State", claim_.has_value() ? "Claimed" : "Unclaimed");
+  ad.set("Arch", config_.arch);
+  ad.set("OpSys", config_.opsys);
   ad.set("Memory", config_.memory_mb);
   if (has_java_) {
     ad.set("HasJava", true);

@@ -40,6 +40,11 @@ struct StartdConfig {
   /// Owner policy: when may visiting jobs run (ClassAd expression over the
   /// job ad as TARGET).
   std::string start_expr = "true";
+  /// Platform identity, advertised as Arch/OpSys. Heterogeneous pools pin
+  /// job Requirements to these, which is what gives the matchmaker's ad
+  /// index its selectivity.
+  std::string arch = "INTEL";
+  std::string opsys = "LINUX";
   std::int64_t memory_mb = 512;
   std::int64_t scratch_capacity_bytes = 64LL << 20;
 };

@@ -65,17 +65,21 @@ void Endpoint::close() {
   // already in flight (TCP FIN semantics). The closer's own handler does
   // not fire (it already knows). The close notice travels at the maximum
   // link latency so earlier sends, which travel at most that fast and were
-  // scheduled earlier, arrive first.
+  // enqueued earlier, arrive first.
   auto state = state_;
   const int peer = 1 - side_;
   const net::HostFaults& fa = state->fabric->faults_for(state->host[0]);
   const net::HostFaults& fb = state->fabric->faults_for(state->host[1]);
   const net::HostFaults& worse = fa.latency >= fb.latency ? fa : fb;
   const SimTime fin_latency = worse.latency + worse.latency_jitter;
-  state->engine->schedule(fin_latency, [state, peer] {
-    if (state->broken) return;  // an abort superseded the graceful close
-    if (state->on_close[peer]) state->on_close[peer](std::nullopt);
-  });
+  NetworkFabric* fabric = state->fabric;
+  fabric->enqueue(state->host[peer], state->engine->now() + fin_latency,
+                  sim::Task(state->engine->arena(), [state, peer] {
+                    if (state->broken) return;  // an abort superseded it
+                    if (state->on_close[peer]) {
+                      state->on_close[peer](std::nullopt);
+                    }
+                  }));
 }
 
 void Endpoint::abort(Error error) {
@@ -87,6 +91,57 @@ void Endpoint::abort(Error error) {
 
 NetworkFabric::NetworkFabric(sim::Engine& engine)
     : engine_(engine), rng_(engine.rng().fork(rng_streams::kNetworkFabric)) {}
+
+NetworkFabric::~NetworkFabric() {
+  // The armed flush timers capture `this`; disarm them so an engine that
+  // outlives the fabric cannot fire into a dead object.
+  for (auto& [host, queue] : host_queues_) queue.armed.cancel();
+}
+
+void NetworkFabric::enqueue(const std::string& host, SimTime when,
+                            sim::Task fn) {
+  HostQueue& q = host_queues_[host];
+  q.heap.push_back(HostQueue::Entry{when, delivery_seq_++, std::move(fn)});
+  std::push_heap(q.heap.begin(), q.heap.end(), HostQueue::After{});
+  arm(host, q);
+}
+
+void NetworkFabric::arm(const std::string& host, HostQueue& q) {
+  const SimTime due = q.heap.front().when;
+  if (q.armed.valid() && q.armed_at <= due) return;
+  q.armed.cancel();
+  q.armed_at = due;
+  q.armed = engine_.schedule_at(due, [this, host] { flush(host); });
+}
+
+void NetworkFabric::flush(const std::string& host) {
+  // Entries run handlers, and handlers may enqueue to *other* hosts —
+  // which can grow host_queues_ and move this host's queue. Re-find after
+  // every callback instead of holding a reference across it.
+  if (auto it = host_queues_.find(host); it != host_queues_.end()) {
+    it->second.armed_at = SimTime::max();
+  }
+  while (true) {
+    auto it = host_queues_.find(host);
+    if (it == host_queues_.end()) return;
+    HostQueue& q = it->second;
+    if (q.heap.empty() || q.heap.front().when > engine_.now()) break;
+    std::pop_heap(q.heap.begin(), q.heap.end(), HostQueue::After{});
+    sim::Task fn = std::move(q.heap.back().fn);
+    q.heap.pop_back();
+    fn();
+  }
+  auto it = host_queues_.find(host);
+  if (it != host_queues_.end() && !it->second.heap.empty()) {
+    arm(host, it->second);
+  }
+}
+
+std::size_t NetworkFabric::queued_deliveries() const {
+  std::size_t n = 0;
+  for (const auto& [host, queue] : host_queues_) n += queue.heap.size();
+  return n;
+}
 
 Result<void> NetworkFabric::listen(const Address& addr,
                                    std::function<void(Endpoint)> on_accept) {
@@ -150,8 +205,8 @@ void NetworkFabric::connect(const std::string& from_host, const Address& to,
   const SimTime latency = draw_latency(from_host, to.host);
   // Capture decisions at delivery time, not now: a partition raised while
   // the SYN is in flight still kills the attempt.
-  engine_.schedule(latency, [this, from_host, to,
-                             on_done = std::move(on_done)]() mutable {
+  auto attempt = [this, from_host, to,
+                  on_done = std::move(on_done)]() mutable {
     const HostFaults& src = faults_for(from_host);
     const HostFaults& dst = faults_for(to.host);
     if (src.partitioned || dst.partitioned) {
@@ -189,7 +244,9 @@ void NetworkFabric::connect(const std::string& from_host, const Address& to,
     // client; both in this event.
     listener->second(Endpoint(state, 1));
     on_done(Endpoint(state, 0));
-  });
+  };
+  enqueue(to.host, engine_.now() + latency,
+          sim::Task(engine_.arena(), std::move(attempt)));
 }
 
 void NetworkFabric::deliver(std::shared_ptr<ConnState> state, int to_side,
@@ -218,8 +275,9 @@ void NetworkFabric::deliver(std::shared_ptr<ConnState> state, int to_side,
   }
   when += transmission;
   state->deliver_floor[to_side] = when;
-  engine_.schedule_at(when, [this, state = std::move(state), to_side,
-                             message = std::move(message)] {
+  const std::string& dest = state->host[to_side];
+  auto handoff = [this, state = std::move(state), to_side,
+                  message = std::move(message)] {
     if (state->broken) return;  // data on a broken connection is gone
     const HostFaults& src = faults_for(state->host[1 - to_side]);
     const HostFaults& dst = faults_for(state->host[to_side]);
@@ -243,7 +301,8 @@ void NetworkFabric::deliver(std::shared_ptr<ConnState> state, int to_side,
       return;
     }
     if (state->on_message[to_side]) state->on_message[to_side](message);
-  });
+  };
+  enqueue(dest, when, sim::Task(engine_.arena(), std::move(handoff)));
 }
 
 void NetworkFabric::break_conn(const std::shared_ptr<ConnState>& state,

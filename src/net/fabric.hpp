@@ -9,7 +9,6 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -17,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/flatmap.hpp"
 #include "common/ids.hpp"
 #include "core/error.hpp"
 #include "core/result.hpp"
@@ -90,6 +90,10 @@ struct HostFaults {
 class NetworkFabric {
  public:
   explicit NetworkFabric(sim::Engine& engine);
+  ~NetworkFabric();
+
+  NetworkFabric(const NetworkFabric&) = delete;
+  NetworkFabric& operator=(const NetworkFabric&) = delete;
 
   /// Accept connections at `addr`. The handler receives the server-side
   /// endpoint. At most one listener per address.
@@ -128,8 +132,38 @@ class NetworkFabric {
   [[nodiscard]] std::uint64_t total_bytes() const { return bytes_; }
   [[nodiscard]] std::size_t open_connections() const;
 
+  /// In-flight deliveries (messages, SYNs, FINs) not yet handed to their
+  /// destination host — across all per-host batch queues.
+  [[nodiscard]] std::size_t queued_deliveries() const;
+
  private:
   friend class Endpoint;
+
+  /// Everything bound for one destination host. Deliveries are batched
+  /// here — a (when, seq) min-heap — instead of each being its own engine
+  /// event, so the engine queue holds one armed timer per busy host rather
+  /// than one entry per in-flight message. seq is fabric-global and
+  /// assigned in enqueue order, so same-host deliveries fire in exactly
+  /// the order the engine would have run them; only the interleaving of
+  /// same-instant deliveries to *different* hosts can differ from the
+  /// unbatched fabric.
+  struct HostQueue {
+    struct Entry {
+      SimTime when;
+      std::uint64_t seq;
+      sim::Task fn;
+    };
+    struct After {
+      bool operator()(const Entry& a, const Entry& b) const {
+        if (a.when != b.when) return a.when > b.when;
+        return a.seq > b.seq;
+      }
+    };
+    std::vector<Entry> heap;
+    sim::TimerHandle armed;
+    SimTime armed_at = SimTime::max();
+  };
+
   SimTime draw_latency(const std::string& a, const std::string& b);
   void deliver(std::shared_ptr<detail::ConnState> state, int to_side,
                std::string message);
@@ -137,11 +171,20 @@ class NetworkFabric {
                          Error error);
   void prune();
 
+  /// Queue `fn` to run at `when` (>= now) at `host`, re-arming the host's
+  /// timer if this entry is now the earliest.
+  void enqueue(const std::string& host, SimTime when, sim::Task fn);
+  void arm(const std::string& host, HostQueue& q);
+  /// Run every due entry for `host` in (when, seq) order, then re-arm.
+  void flush(const std::string& host);
+
   sim::Engine& engine_;
   Rng rng_;
-  std::map<Address, std::function<void(Endpoint)>> listeners_;
+  FlatMap<Address, std::function<void(Endpoint)>> listeners_;
   std::vector<std::weak_ptr<detail::ConnState>> conns_;
-  std::map<std::string, HostFaults> host_faults_;
+  FlatMap<std::string, HostFaults> host_faults_;
+  FlatMap<std::string, HostQueue> host_queues_;
+  std::uint64_t delivery_seq_ = 0;
   std::set<std::pair<std::string, std::string>> severed_links_;
   HostFaults default_faults_;
   std::uint64_t messages_ = 0;

@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace esg::obs {
@@ -95,6 +96,10 @@ void FlightRecorder::set_capacity(std::size_t capacity) {
     head_ = 0;
   }
   capacity_ = capacity;
+  // Grow the ring storage once, here, instead of doubling through the
+  // first thousands of record() calls (bounded so a huge cap does not
+  // commit memory the run may never use).
+  ring_.reserve(std::min<std::size_t>(capacity_, 65536));
 }
 
 std::uint64_t FlightRecorder::record(TraceEvent event) {

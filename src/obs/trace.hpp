@@ -31,6 +31,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/flatmap.hpp"
+
 #include "common/simtime.hpp"
 #include "core/error.hpp"
 
@@ -188,8 +190,8 @@ class FlightRecorder {
   std::uint64_t counts_[kNumTraceEventTypes] = {};
   std::uint64_t dropped_[kNumErrorScopes] = {};
   std::uint64_t dropped_total_ = 0;
-  std::map<std::uint64_t, std::uint64_t> last_by_job_;
-  std::map<std::string, std::uint64_t> last_by_component_;
+  FlatMap<std::uint64_t, std::uint64_t> last_by_job_;
+  FlatMap<std::string, std::uint64_t> last_by_component_;
   std::function<SimTime()> clock_;
   std::function<void(const TraceEvent&)> tap_;
   std::function<void(const std::string&)> on_chronic_;

@@ -63,6 +63,7 @@ Pool::Pool(PoolConfig config)
 
   matchmaker_ = std::make_unique<daemons::Matchmaker>(
       engine_, fabric_, "central", ports, config_.timeouts);
+  matchmaker_->set_index_mode(config_.index_mode);
 
   submit_fs_ = std::make_unique<fs::SimFileSystem>(config_.submit.name);
   submit_fs_->add_mount("/home", 0);

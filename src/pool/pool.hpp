@@ -57,6 +57,11 @@ struct PoolConfig {
   /// all share the one matchmaker and the execution machines.
   std::vector<SubmitSpec> extra_submitters;
   std::vector<MachineSpec> machines;
+  /// Candidate selection strategy for the matchmaker. The default indexed
+  /// mode is byte-identical in outcomes to the exhaustive scan (the index
+  /// is a prefilter; equivalence is pinned by tests) — the knob exists for
+  /// those equivalence tests and for baseline measurements.
+  daemons::IndexMode index_mode = daemons::IndexMode::kIndexed;
   /// Enable this pool's flight recorder at construction (the per-context
   /// twin of the old FlightRecorder::global().set_enabled(true) dance).
   bool trace = false;

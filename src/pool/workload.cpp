@@ -58,4 +58,51 @@ daemons::JobDescription make_hello_job(SimTime compute) {
   return job;
 }
 
+std::string ScaleTier::requirements() const {
+  return "TARGET.Arch == \"" + arch + "\" && TARGET.OpSys == \"" + opsys +
+         "\" && TARGET.HasJava =?= true && TARGET.Memory >= " +
+         std::to_string(memory_mb);
+}
+
+const std::vector<ScaleTier>& scale_tiers() {
+  static const std::vector<ScaleTier> tiers = [] {
+    const std::string arches[] = {"INTEL", "SUN4u", "PPC", "ALPHA"};
+    const std::string systems[] = {"LINUX", "SOLARIS28", "OSF1"};
+    std::vector<ScaleTier> out;
+    for (std::size_t a = 0; a < std::size(arches); ++a) {
+      for (std::size_t s = 0; s < std::size(systems); ++s) {
+        out.push_back(ScaleTier{arches[a], systems[s],
+                                static_cast<std::int64_t>(256) << s});
+      }
+    }
+    return out;
+  }();
+  return tiers;
+}
+
+std::vector<MachineSpec> make_scale_machines(int count) {
+  const std::vector<ScaleTier>& tiers = scale_tiers();
+  std::vector<MachineSpec> machines;
+  machines.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const ScaleTier& tier = tiers[static_cast<std::size_t>(i) % tiers.size()];
+    MachineSpec spec = MachineSpec::good("exec" + std::to_string(i));
+    spec.startd.arch = tier.arch;
+    spec.startd.opsys = tier.opsys;
+    spec.startd.memory_mb = tier.memory_mb;
+    machines.push_back(std::move(spec));
+  }
+  return machines;
+}
+
+std::vector<daemons::JobDescription> make_scale_workload(
+    const WorkloadOptions& options, Rng& rng) {
+  const std::vector<ScaleTier>& tiers = scale_tiers();
+  std::vector<daemons::JobDescription> jobs = make_workload(options, rng);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].requirements = tiers[i % tiers.size()].requirements();
+  }
+  return jobs;
+}
+
 }  // namespace esg::pool

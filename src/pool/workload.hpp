@@ -9,6 +9,8 @@
 
 namespace esg::pool {
 
+struct MachineSpec;
+
 struct WorkloadOptions {
   int count = 50;
   /// Mean compute time per job (exponentially distributed).
@@ -40,5 +42,37 @@ void stage_workload_inputs(fs::SimFileSystem& submit_fs);
 
 /// One trivial always-succeeds job (quickstart and tests).
 daemons::JobDescription make_hello_job(SimTime compute = SimTime::sec(1));
+
+// ---- kernel-scale topology (pool_bench --scale) ----
+//
+// A large real pool is heterogeneous: the cross product of architectures,
+// operating systems, and memory sizes partitions the machines into tiers,
+// and a job's Requirements pin it to one tier. That heterogeneity is what
+// gives the matchmaker's ad index real selectivity to exploit — a
+// homogeneous 10k-machine pool would make every machine a candidate for
+// every job and measure nothing but symmetric_match throughput.
+
+/// One platform tier: the machine-side identity and the job-side
+/// Requirements expression that pins a job to it.
+struct ScaleTier {
+  std::string arch;
+  std::string opsys;
+  std::int64_t memory_mb = 512;
+  /// `TARGET.Arch == ... && TARGET.OpSys == ... && TARGET.HasJava =?= true
+  ///  && TARGET.Memory >= memory_mb` — every conjunct index-extractable.
+  [[nodiscard]] std::string requirements() const;
+};
+
+/// The fixed 12-tier topology (4 arches × 3 systems, memory by system).
+const std::vector<ScaleTier>& scale_tiers();
+
+/// `count` correctly-configured machines named exec0..execN-1,
+/// round-robined across scale_tiers().
+std::vector<MachineSpec> make_scale_machines(int count);
+
+/// Like make_workload, but job i's Requirements pin it to tier
+/// i % scale_tiers().size(), matching make_scale_machines' round-robin.
+std::vector<daemons::JobDescription> make_scale_workload(
+    const WorkloadOptions& options, Rng& rng);
 
 }  // namespace esg::pool

@@ -1,0 +1,177 @@
+// Arena storage for simulation callables.
+//
+// Every event on the engine queue used to carry a std::function, which
+// heap-allocates for any capture list larger than the small-buffer
+// optimisation (two pointers on libstdc++) — at million-job scale that is
+// one malloc/free pair per simulated event. CallableArena replaces the
+// general heap with size-class freelists carved from 64 KiB slabs: an
+// allocation is a pop, a deallocation is a push, and the slabs themselves
+// are returned to the OS only when the arena dies. Task is the matching
+// type-erased callable: a block in the arena plus a static ops table,
+// movable (the *handle* moves; the callable never does) and exactly three
+// words wide.
+//
+// Neither type is thread-safe; both belong to exactly one Engine, which is
+// single-threaded by design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace esg::sim {
+
+class CallableArena {
+ public:
+  /// Every size class is a multiple of this, so freelist nodes stay
+  /// suitably aligned for any callable with fundamental alignment.
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  CallableArena() = default;
+  CallableArena(const CallableArena&) = delete;
+  CallableArena& operator=(const CallableArena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    const int cls = class_for(bytes, align);
+    if (cls < 0) {
+      ++oversize_;
+      return ::operator new(bytes, std::align_val_t(align));
+    }
+    if (free_[cls] == nullptr) refill(cls);
+    FreeNode* node = free_[cls];
+    free_[cls] = node->next;
+    ++live_;
+    return node;
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    const int cls = class_for(bytes, align);
+    if (cls < 0) {
+      ::operator delete(p, std::align_val_t(align));
+      return;
+    }
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = free_[cls];
+    free_[cls] = node;
+    --live_;
+  }
+
+  /// Blocks currently handed out (excluding oversize fallbacks).
+  [[nodiscard]] std::size_t live_blocks() const { return live_; }
+  /// Total slab memory retained, in bytes.
+  [[nodiscard]] std::size_t slab_bytes() const {
+    return slabs_.size() * kSlabBytes;
+  }
+  /// Callables too big (or too aligned) for any size class — served by the
+  /// general heap. A hot loop showing these wants a bigger top class.
+  [[nodiscard]] std::uint64_t oversize_allocs() const { return oversize_; }
+
+ private:
+  static constexpr std::size_t kClassSizes[] = {64, 128, 256, 512};
+  static constexpr int kClasses = 4;
+  static constexpr std::size_t kSlabBytes = 64 * 1024;
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static int class_for(std::size_t bytes, std::size_t align) {
+    if (align > kAlign) return -1;
+    for (int cls = 0; cls < kClasses; ++cls) {
+      if (bytes <= kClassSizes[cls]) return cls;
+    }
+    return -1;
+  }
+
+  void refill(int cls) {
+    slabs_.push_back(std::make_unique<std::byte[]>(kSlabBytes));
+    std::byte* base = slabs_.back().get();
+    const std::size_t size = kClassSizes[cls];
+    for (std::size_t off = 0; off + size <= kSlabBytes; off += size) {
+      auto* node = reinterpret_cast<FreeNode*>(base + off);
+      node->next = free_[cls];
+      free_[cls] = node;
+    }
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  FreeNode* free_[kClasses] = {};
+  std::size_t live_ = 0;
+  std::uint64_t oversize_ = 0;
+};
+
+/// A move-only `void()` callable stored in a CallableArena. Tasks must not
+/// outlive their arena (the Engine owns both, with the arena declared
+/// first so it is destroyed last).
+class Task {
+ public:
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task>>>
+  Task(CallableArena& arena, F&& f) : arena_(&arena) {
+    using Fn = std::decay_t<F>;
+    block_ = arena.allocate(sizeof(Fn), alignof(Fn));
+    ::new (block_) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::value;
+  }
+
+  Task(Task&& other) noexcept
+      : block_(other.block_), ops_(other.ops_), arena_(other.arena_) {
+    other.block_ = nullptr;
+  }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      block_ = other.block_;
+      ops_ = other.ops_;
+      arena_ = other.arena_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~Task() { reset(); }
+
+  void operator()() { ops_->invoke(block_); }
+  explicit operator bool() const { return block_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+    std::uint32_t size;
+    std::uint32_t align;
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static const Ops value;
+  };
+
+  void reset() {
+    if (block_ == nullptr) return;
+    ops_->destroy(block_);
+    arena_->deallocate(block_, ops_->size, ops_->align);
+    block_ = nullptr;
+  }
+
+  void* block_ = nullptr;
+  const Ops* ops_ = nullptr;
+  CallableArena* arena_ = nullptr;
+};
+
+template <typename Fn>
+const Task::Ops Task::OpsFor<Fn>::value = {
+    [](void* p) { (*static_cast<Fn*>(p))(); },
+    [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+    static_cast<std::uint32_t>(sizeof(Fn)),
+    static_cast<std::uint32_t>(alignof(Fn)),
+};
+
+}  // namespace esg::sim

@@ -12,19 +12,6 @@ Engine::Engine(std::uint64_t seed) : rng_(seed) {
   context_.recorder().set_clock([this] { return now_; });
 }
 
-TimerHandle Engine::schedule(SimTime delay, std::function<void()> fn) {
-  assert(delay >= SimTime::zero());
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-TimerHandle Engine::schedule_at(SimTime when, std::function<void()> fn) {
-  assert(when >= now_);
-  const std::uint32_t slot = acquire_slot();
-  const std::uint32_t generation = slots_[slot].generation;
-  queue_.push(Event{when, seq_++, std::move(fn), slot, generation});
-  return TimerHandle(this, slot, generation);
-}
-
 std::uint32_t Engine::acquire_slot() {
   if (!free_slots_.empty()) {
     const std::uint32_t slot = free_slots_.back();
@@ -46,9 +33,10 @@ void Engine::release_slot(std::uint32_t slot) {
 
 bool Engine::pop_and_run(SimTime limit) {
   while (!queue_.empty()) {
-    if (queue_.top().when > limit) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    if (queue_.front().when > limit) return false;
+    std::pop_heap(queue_.begin(), queue_.end(), EventAfter{});
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
     const bool live = slot_live(ev.slot, ev.generation);
     release_slot(ev.slot);
     if (!live) continue;

@@ -11,16 +11,19 @@
 // state.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/simtime.hpp"
 #include "obs/trace.hpp"
+#include "sim/arena.hpp"
 #include "sim/context.hpp"
 
 namespace esg::sim {
@@ -73,9 +76,24 @@ class Engine {
   [[nodiscard]] const SimContext& context() const { return context_; }
 
   /// Schedule `fn` to run after `delay` (>= 0). Returns a cancellable
-  /// handle. Events at equal times run in scheduling order.
-  TimerHandle schedule(SimTime delay, std::function<void()> fn);
-  TimerHandle schedule_at(SimTime when, std::function<void()> fn);
+  /// handle. Events at equal times run in scheduling order. The callable
+  /// is stored in the engine's arena, not the general heap — any capture
+  /// list up to the top size class costs a freelist pop.
+  template <typename Fn>
+  TimerHandle schedule(SimTime delay, Fn&& fn) {
+    assert(delay >= SimTime::zero());
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  TimerHandle schedule_at(SimTime when, Fn&& fn) {
+    assert(when >= now_);
+    const std::uint32_t slot = acquire_slot();
+    const std::uint32_t generation = slots_[slot].generation;
+    queue_.push_back(Event{when, seq_++, Task(arena_, std::forward<Fn>(fn)),
+                           slot, generation});
+    std::push_heap(queue_.begin(), queue_.end(), EventAfter{});
+    return TimerHandle(this, slot, generation);
+  }
 
   /// Run until the queue is empty or `limit` is reached; returns the
   /// number of events executed.
@@ -96,18 +114,26 @@ class Engine {
   /// unlimited.
   void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
 
+  /// The arena backing every queued callable (and available to subsystems
+  /// that batch per-engine work, e.g. the network fabric).
+  [[nodiscard]] CallableArena& arena() { return arena_; }
+
  private:
   friend class TimerHandle;
 
   struct Event {
     SimTime when;
     std::uint64_t seq;
-    std::function<void()> fn;
+    Task fn;
     std::uint32_t slot;
     std::uint32_t generation;
-    bool operator>(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  };
+  /// Max-heap comparator for std::push_heap/pop_heap over queue_: "after"
+  /// ordering makes the vector front the earliest (time, seq) event.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
@@ -135,7 +161,12 @@ class Engine {
   bool pop_and_run(SimTime limit);
 
   SimContext context_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Declared before queue_: queued Tasks release their blocks into the
+  /// arena on destruction, so the arena must outlive them.
+  CallableArena arena_;
+  /// Binary heap (push_heap/pop_heap over EventAfter) — a priority_queue
+  /// without the const-top dance, so events move out cleanly.
+  std::vector<Event> queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   SimTime now_{};
@@ -178,8 +209,9 @@ class Actor {
   [[nodiscard]] const obs::TraceSink& trace() const { return trace_; }
   [[nodiscard]] SimContext& context() const { return engine_->context(); }
   [[nodiscard]] Rng& rng() { return rng_; }
-  TimerHandle after(SimTime delay, std::function<void()> fn) {
-    return engine_->schedule(delay, std::move(fn));
+  template <typename Fn>
+  TimerHandle after(SimTime delay, Fn&& fn) {
+    return engine_->schedule(delay, std::forward<Fn>(fn));
   }
 
  private:

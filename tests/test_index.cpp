@@ -1,0 +1,286 @@
+// FlatMap container contract + the matchmaking ad index.
+//
+// The index is a prefilter, never a judge: its one inviolable property is
+// that candidates() returns a superset of the machines whose full
+// Requirements evaluation could succeed. The property test at the bottom
+// checks exactly that against brute-force evaluation over randomized ads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classad/classad.hpp"
+#include "classad/index.hpp"
+#include "classad/match.hpp"
+#include "common/flatmap.hpp"
+#include "common/rng.hpp"
+
+namespace esg {
+namespace {
+
+TEST(FlatMap, BehavesLikeStdMapUnderMixedMutation) {
+  FlatMap<std::string, int> flat;
+  std::map<std::string, int> reference;
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "k" + std::to_string(rng.uniform_int(0, 60));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        flat[key] = i;
+        reference[key] = i;
+        break;
+      case 1:
+        flat.emplace(key, i);
+        reference.emplace(key, i);
+        break;
+      case 2:
+        flat.erase(key);
+        reference.erase(key);
+        break;
+      default: {
+        auto fit = flat.find(key);
+        auto rit = reference.find(key);
+        ASSERT_EQ(fit == flat.end(), rit == reference.end()) << key;
+        if (fit != flat.end()) ASSERT_EQ(fit->second, rit->second);
+        break;
+      }
+    }
+  }
+  ASSERT_EQ(flat.size(), reference.size());
+  auto rit = reference.begin();
+  for (const auto& [key, value] : flat) {
+    ASSERT_EQ(key, rit->first);
+    ASSERT_EQ(value, rit->second);
+    ++rit;
+  }
+}
+
+TEST(FlatMap, EraseByIteratorReturnsSuccessor) {
+  FlatMap<int, std::string> m;
+  m[1] = "a";
+  m[2] = "b";
+  m[3] = "c";
+  auto it = m.erase(m.find(2));
+  ASSERT_NE(it, m.end());
+  EXPECT_EQ(it->first, 3);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_EQ(m.at(1), "a");
+}
+
+TEST(FlatMap, LowerBoundAndContains) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 10; i += 2) m[i] = i;
+  EXPECT_EQ(m.lower_bound(3)->first, 4);
+  EXPECT_EQ(m.lower_bound(4)->first, 4);
+  EXPECT_EQ(m.lower_bound(9), m.end());
+  EXPECT_TRUE(m.contains(6));
+  EXPECT_EQ(m.count(7), 0u);
+}
+
+classad::ClassAd parse(const std::string& text) {
+  auto result = classad::parse_classad(text);
+  EXPECT_TRUE(result.ok()) << text;
+  return std::move(result).value();
+}
+
+classad::RequirementsProfile profile_of(const std::string& requirements,
+                                        const std::string& extra = {}) {
+  classad::ClassAd job;
+  if (!extra.empty()) job = parse(extra);
+  EXPECT_TRUE(job.insert_expr("Requirements", requirements).ok());
+  return classad::profile_requirements(job, SimTime::sec(1));
+}
+
+TEST(RequirementsProfile, ExtractsConjunctsOfTargetConstants) {
+  const auto profile = profile_of(
+      "TARGET.Arch == \"INTEL\" && TARGET.Memory >= 512 && "
+      "TARGET.HasJava =?= true");
+  ASSERT_EQ(profile.predicates.size(), 3u);
+  EXPECT_EQ(profile.predicates[0].str(), "arch == \"INTEL\"");
+  EXPECT_EQ(profile.predicates[1].str(), "memory >= 512");
+  EXPECT_EQ(profile.predicates[2].str(), "hasjava =?= true");
+}
+
+TEST(RequirementsProfile, AutoScopeFallsThroughToTargetOnlyWhenAbsent) {
+  // `Memory` is unqualified: if the job ad defines it, auto-scope resolves
+  // MY-first and the conjunct says nothing about the machine.
+  const auto absent = profile_of("Memory >= 512");
+  ASSERT_EQ(absent.predicates.size(), 1u);
+  EXPECT_EQ(absent.predicates[0].str(), "memory >= 512");
+
+  const auto present = profile_of("Memory >= 512", "[Memory = 1024]");
+  EXPECT_FALSE(present.indexable());
+}
+
+TEST(RequirementsProfile, ConstantSideMayReferenceTheJobAd) {
+  const auto profile =
+      profile_of("TARGET.Memory >= MY.ImageSizeMB * 2", "[ImageSizeMB = 100]");
+  ASSERT_EQ(profile.predicates.size(), 1u);
+  EXPECT_EQ(profile.predicates[0].str(), "memory >= 200");
+}
+
+TEST(RequirementsProfile, MirrorsConstantOnTheLeft) {
+  const auto profile = profile_of("512 <= TARGET.Memory");
+  ASSERT_EQ(profile.predicates.size(), 1u);
+  EXPECT_EQ(profile.predicates[0].str(), "memory >= 512");
+}
+
+TEST(RequirementsProfile, RefusesDisjunctionsNegationsAndInequality) {
+  EXPECT_FALSE(
+      profile_of("TARGET.Arch == \"INTEL\" || TARGET.Memory >= 512")
+          .indexable());
+  EXPECT_FALSE(profile_of("TARGET.Arch != \"SUN4u\"").indexable());
+  EXPECT_FALSE(profile_of("TARGET.Missing =!= true").indexable());
+  EXPECT_FALSE(profile_of("!(TARGET.Arch == \"INTEL\")").indexable());
+  // But a conjunction keeps whatever is extractable.
+  const auto mixed = profile_of(
+      "(TARGET.Arch == \"INTEL\" || TARGET.OpSys == \"LINUX\") && "
+      "TARGET.Memory >= 256");
+  ASSERT_EQ(mixed.predicates.size(), 1u);
+  EXPECT_EQ(mixed.predicates[0].str(), "memory >= 256");
+}
+
+TEST(RequirementsProfile, TargetOnBothSidesIsNotAConstant) {
+  EXPECT_FALSE(profile_of("TARGET.Memory >= TARGET.ImageSizeMB").indexable());
+}
+
+TEST(AdIndex, EqualityBucketsAreCaseInsensitiveLikeClassAdEquality) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Arch = \"INTEL\"]"));
+  index.insert(1, parse("[Arch = \"intel\"]"));
+  index.insert(2, parse("[Arch = \"SUN4u\"]"));
+
+  std::vector<std::uint32_t> out;
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Arch == \"Intel\""), out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(AdIndex, ThresholdSelectsBucketsAndNumbersPromote) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Memory = 128]"));
+  index.insert(1, parse("[Memory = 512]"));
+  index.insert(2, parse("[Memory = 512.0]"));
+  index.insert(3, parse("[Memory = 1024]"));
+
+  std::vector<std::uint32_t> out;
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Memory >= 512"), out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1, 2, 3}));
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Memory < 512"), out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(AdIndex, NonLiteralAttributesAreAlwaysCandidates) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Memory = 128]"));
+  classad::ClassAd computed;
+  ASSERT_TRUE(computed.insert_expr("Memory", "Base + 64").ok());
+  index.insert(1, computed);
+
+  std::vector<std::uint32_t> out;
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Memory >= 512"), out));
+  // Slot 0's literal 128 fails the threshold; slot 1 cannot be judged from
+  // the index and must survive to full evaluation.
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(AdIndex, MissingAttributeExcludesEverything) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Arch = \"INTEL\"]"));
+  std::vector<std::uint32_t> out;
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.NoSuchAttr == 7"), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(AdIndex, UnusableProfileForcesExhaustiveScan) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Arch = \"INTEL\"]"));
+  std::vector<std::uint32_t> out;
+  EXPECT_FALSE(index.candidates(classad::RequirementsProfile{}, out));
+}
+
+TEST(AdIndex, EraseDropsPostingsAndReusesSlots) {
+  classad::AdIndex index;
+  index.insert(0, parse("[Arch = \"INTEL\"; Memory = 512]"));
+  index.insert(1, parse("[Arch = \"INTEL\"; Memory = 128]"));
+  EXPECT_EQ(index.size(), 2u);
+  index.erase(0);
+  EXPECT_EQ(index.size(), 1u);
+
+  std::vector<std::uint32_t> out;
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Arch == \"INTEL\""), out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{1}));
+
+  index.insert(0, parse("[Arch = \"SUN4u\"]"));
+  ASSERT_TRUE(index.candidates(profile_of("TARGET.Arch == \"SUN4u\""), out));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0}));
+  index.erase(7);  // never inserted: harmless
+  EXPECT_EQ(index.size(), 2u);
+}
+
+// The soundness property: for randomized machine ads and a grid of job
+// Requirements, every machine whose full evaluation yields true must
+// appear among the index candidates (when the index claims usability).
+TEST(AdIndex, CandidatesAreASupersetOfTrueMatches) {
+  Rng rng(2002);
+  const std::vector<std::string> arches = {"INTEL", "SUN4u", "PPC"};
+  const std::vector<std::string> systems = {"LINUX", "SOLARIS28"};
+  const std::vector<std::int64_t> memories = {128, 256, 512, 1024};
+
+  std::vector<classad::ClassAd> machines;
+  classad::AdIndex index;
+  for (std::uint32_t slot = 0; slot < 120; ++slot) {
+    classad::ClassAd ad;
+    if (rng.chance(0.9)) {
+      ad.set("Arch", arches[static_cast<std::size_t>(
+                         rng.uniform_int(0, static_cast<int>(arches.size()) - 1))]);
+    }
+    ad.set("OpSys", systems[static_cast<std::size_t>(
+                        rng.uniform_int(0, static_cast<int>(systems.size()) - 1))]);
+    if (rng.chance(0.8)) {
+      ad.set("Memory", memories[static_cast<std::size_t>(rng.uniform_int(
+                           0, static_cast<int>(memories.size()) - 1))]);
+    } else if (rng.chance(0.5)) {
+      // Un-indexable: the index must keep this machine as a candidate.
+      ASSERT_TRUE(ad.insert_expr("Memory", "BaseMemory + 64").ok());
+      ad.set("BaseMemory", std::int64_t{448});
+    }
+    if (rng.chance(0.7)) ad.set("HasJava", rng.chance(0.5));
+    index.insert(slot, ad);
+    machines.push_back(std::move(ad));
+  }
+
+  const std::vector<std::string> requirement_grid = {
+      "TARGET.Arch == \"INTEL\"",
+      "TARGET.Arch == \"INTEL\" && TARGET.Memory >= 512",
+      "TARGET.Memory >= 256 && TARGET.Memory < 1024",
+      "TARGET.HasJava =?= true && TARGET.OpSys == \"LINUX\"",
+      "TARGET.Memory >= MY.ImageSizeMB",
+      "TARGET.Arch == \"PPC\" || TARGET.Memory >= 128",  // un-indexable
+      "TARGET.OpSys == \"SOLARIS28\" && "
+      "(TARGET.Arch == \"SUN4u\" || TARGET.HasJava == true)",
+  };
+
+  const SimTime now = SimTime::sec(10);
+  for (const std::string& requirements : requirement_grid) {
+    classad::ClassAd job = parse("[ImageSizeMB = 300]");
+    ASSERT_TRUE(job.insert_expr("Requirements", requirements).ok());
+    const auto profile = classad::profile_requirements(job, now);
+    std::vector<std::uint32_t> out;
+    if (!index.candidates(profile, out)) continue;  // exhaustive fallback
+    for (std::uint32_t slot = 0; slot < machines.size(); ++slot) {
+      const classad::Value v =
+          classad::eval_with_target(job, machines[slot], "Requirements", now);
+      const bool matches = v.is_bool() && v.as_bool();
+      if (matches) {
+        EXPECT_TRUE(std::find(out.begin(), out.end(), slot) != out.end())
+            << requirements << " slot " << slot;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esg

@@ -1,0 +1,314 @@
+// Indexed matchmaking equivalence + inbound-channel hygiene.
+//
+// The ad index is a prefilter over the same authoritative two-way match,
+// visiting candidates in the same machine-name order the exhaustive scan
+// uses — so a pool negotiated with the index must be byte-identical in
+// every observable (report, journal, event count, matches made) to one
+// negotiated exhaustively. These tests pin that equivalence on a mixed
+// indexable/un-indexable workload, under a chaos fault plan, and assert
+// the whole point: an order of magnitude fewer full match evaluations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "classad/classad.hpp"
+#include "daemons/matchmaker.hpp"
+#include "daemons/rpc.hpp"
+#include "daemons/wire.hpp"
+#include "net/fabric.hpp"
+#include "pool/pool.hpp"
+#include "pool/sweep.hpp"
+#include "pool/workload.hpp"
+#include "sim/engine.hpp"
+
+namespace esg {
+namespace {
+
+using daemons::IndexMode;
+
+// ---- pool-level byte identity ----
+
+pool::PoolConfig mixed_pool_config(std::uint64_t seed, IndexMode mode) {
+  pool::PoolConfig config;
+  config.seed = seed;
+  config.index_mode = mode;
+  config.trace = true;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  // Heterogeneous machines: memory tiers, a broken-Java black hole, and
+  // an owner policy (un-indexable machine-side Requirements are fine; the
+  // index only profiles the job side).
+  for (int i = 0; i < 6; ++i) {
+    pool::MachineSpec spec = pool::MachineSpec::good("exec" + std::to_string(i));
+    spec.startd.memory_mb = (i % 3 == 0) ? 128 : (i % 3 == 1) ? 512 : 1024;
+    config.machines.push_back(std::move(spec));
+  }
+  config.machines.push_back(pool::MachineSpec::misconfigured_java("bad0"));
+  pool::MachineSpec vip = pool::MachineSpec::good("vip0");
+  vip.startd.start_expr = "TARGET.Owner == \"vip\"";
+  config.machines.push_back(std::move(vip));
+  return config;
+}
+
+void submit_mixed_workload(pool::Pool& pool, std::uint64_t seed) {
+  pool::stage_workload_inputs(pool);
+  pool::WorkloadOptions options;
+  options.count = 12;
+  options.mean_compute = SimTime::sec(4);
+  options.remote_io_fraction = 0.25;
+  options.program_error_fraction = 0.1;
+  Rng rng(seed * 31 + 7);
+  std::vector<daemons::JobDescription> jobs = pool::make_workload(options, rng);
+  // A grid of requirement shapes: equality, `=?=`, thresholds, and two
+  // un-indexable forms (disjunction, negated inequality) that force the
+  // exhaustive fallback for those jobs.
+  const std::vector<std::string> requirement_grid = {
+      "TARGET.HasJava =?= true",
+      "TARGET.HasJava =?= true && TARGET.Memory >= 512",
+      "TARGET.HasJava =?= true && TARGET.Memory >= 256 && "
+      "TARGET.Memory <= 1024",
+      "TARGET.HasJava =?= true && (TARGET.Memory >= 2048 || "
+      "TARGET.Memory <= 1024)",
+      "TARGET.HasJava =?= true && TARGET.Memory != 32",
+  };
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].requirements = requirement_grid[i % requirement_grid.size()];
+    pool.submit(std::move(jobs[i]));
+  }
+}
+
+struct PoolFingerprint {
+  std::string report;
+  std::uint64_t events = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t evals = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t spans = 0;
+};
+
+PoolFingerprint run_mixed_pool(std::uint64_t seed, IndexMode mode) {
+  pool::Pool pool(mixed_pool_config(seed, mode));
+  submit_mixed_workload(pool, seed);
+  EXPECT_TRUE(pool.run_until_done(SimTime::hours(2)));
+  PoolFingerprint fp;
+  fp.report = pool.report().str();
+  fp.events = pool.engine().executed();
+  fp.matches = pool.matchmaker().matches_made();
+  fp.evals = pool.matchmaker().match_evals();
+  fp.mismatches = pool.matchmaker().index_mismatches();
+  fp.spans = pool.recorder().total_recorded();
+  return fp;
+}
+
+TEST(MatchIndexEquivalence, IndexedPoolRunIsByteIdenticalToExhaustive) {
+  const PoolFingerprint indexed = run_mixed_pool(2002, IndexMode::kIndexed);
+  const PoolFingerprint exhaustive =
+      run_mixed_pool(2002, IndexMode::kExhaustive);
+
+  EXPECT_EQ(indexed.report, exhaustive.report);
+  EXPECT_EQ(indexed.events, exhaustive.events);
+  EXPECT_EQ(indexed.matches, exhaustive.matches);
+  EXPECT_EQ(indexed.spans, exhaustive.spans);
+  // The index must also have *done* something: strictly fewer full
+  // evaluations on a workload where most jobs are indexable.
+  EXPECT_LT(indexed.evals, exhaustive.evals);
+}
+
+TEST(MatchIndexEquivalence, VerifyModeSeesZeroMismatches) {
+  const PoolFingerprint verified = run_mixed_pool(2002, IndexMode::kVerify);
+  const PoolFingerprint exhaustive =
+      run_mixed_pool(2002, IndexMode::kExhaustive);
+  EXPECT_EQ(verified.mismatches, 0u);
+  EXPECT_EQ(verified.report, exhaustive.report);
+  EXPECT_EQ(verified.events, exhaustive.events);
+  EXPECT_EQ(verified.matches, exhaustive.matches);
+}
+
+TEST(MatchIndexEquivalence, HoldsAcrossSeeds) {
+  for (const std::uint64_t seed : {7ull, 11ull, 23ull}) {
+    const PoolFingerprint indexed = run_mixed_pool(seed, IndexMode::kIndexed);
+    const PoolFingerprint exhaustive =
+        run_mixed_pool(seed, IndexMode::kExhaustive);
+    EXPECT_EQ(indexed.report, exhaustive.report) << "seed " << seed;
+    EXPECT_EQ(indexed.events, exhaustive.events) << "seed " << seed;
+    EXPECT_EQ(indexed.matches, exhaustive.matches) << "seed " << seed;
+  }
+}
+
+// ---- equivalence under a chaos fault plan ----
+
+TEST(MatchIndexEquivalence, HoldsUnderChaosFaultPlan) {
+  chaos::PlanShape shape;
+  shape.hosts = {"exec0", "exec1", "exec2", "exec3"};
+  const chaos::FaultPlan plan = chaos::make_random_plan(4242, shape);
+  ASSERT_FALSE(plan.empty());
+
+  pool::SweepCell indexed = chaos::CampaignRunner::make_cell(plan, "indexed");
+  pool::SweepCell exhaustive =
+      chaos::CampaignRunner::make_cell(plan, "exhaustive");
+  exhaustive.config.index_mode = IndexMode::kExhaustive;
+  pool::SweepCell verify = chaos::CampaignRunner::make_cell(plan, "verify");
+  verify.config.index_mode = IndexMode::kVerify;
+
+  const pool::SweepReport sweep =
+      pool::SweepRunner(3).run({indexed, exhaustive, verify});
+  ASSERT_EQ(sweep.cells.size(), 3u);
+  const pool::CellOutcome& a = sweep.cells[0];
+  const pool::CellOutcome& b = sweep.cells[1];
+  const pool::CellOutcome& c = sweep.cells[2];
+  EXPECT_TRUE(a.finished);
+  EXPECT_EQ(a.report.str(), b.report.str());
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  EXPECT_EQ(a.journal, b.journal);
+  EXPECT_EQ(a.report.str(), c.report.str());
+  EXPECT_EQ(a.engine_events, c.engine_events);
+  EXPECT_EQ(a.journal, c.journal);
+}
+
+// ---- the scale claim: >= 10x fewer full evaluations ----
+
+classad::ClassAd machine_ad(const std::string& name, const std::string& arch,
+                            const std::string& opsys, std::int64_t memory) {
+  classad::ClassAd ad;
+  ad.set("MyType", "Machine");
+  ad.set("Name", name);
+  ad.set("Machine", name);
+  ad.set("StartdPort", 9620);
+  ad.set("State", "Unclaimed");
+  ad.set("Arch", arch);
+  ad.set("OpSys", opsys);
+  ad.set("Memory", memory);
+  ad.set("HasJava", true);
+  ad.set("Requirements", true);
+  ad.set("Rank", 0);
+  return ad;
+}
+
+/// Drive one matchmaker directly: 240 machines across 12 (Arch, OpSys)
+/// tiers, 24 jobs pinned to their tier, one negotiation cycle.
+struct CycleStats {
+  std::uint64_t evals = 0;
+  std::uint64_t matches = 0;
+};
+
+CycleStats run_tiered_cycle(IndexMode mode) {
+  sim::Engine engine{97};
+  net::NetworkFabric fabric{engine};
+  const daemons::Ports ports;
+  const daemons::Timeouts timeouts;
+  daemons::Matchmaker mm(engine, fabric, "central", ports, timeouts);
+  mm.set_index_mode(mode);
+  mm.boot();
+
+  const std::vector<std::string> arches = {"INTEL", "SUN4u", "PPC", "ALPHA"};
+  const std::vector<std::string> systems = {"LINUX", "SOLARIS28", "OSF1"};
+  std::vector<std::shared_ptr<daemons::RpcChannel>> keepalive;
+
+  const auto advertise = [&](const std::string& command, classad::ClassAd ad) {
+    daemons::rpc_connect(
+        engine, fabric, "feeder", mm.address(), timeouts.rpc_timeout,
+        [&keepalive, command, ad = std::move(ad)](
+            Result<std::shared_ptr<daemons::RpcChannel>> channel) {
+          ASSERT_TRUE(channel.ok());
+          channel.value()->notify(command, ad);
+          channel.value()->close();
+          keepalive.push_back(channel.value());
+        });
+  };
+
+  int machine_index = 0;
+  for (const std::string& arch : arches) {
+    for (const std::string& opsys : systems) {
+      for (int i = 0; i < 20; ++i) {
+        const std::string name = "m" + std::to_string(machine_index++);
+        advertise(daemons::kCmdUpdateStartdAd,
+                  machine_ad(name, arch, opsys, 256 << (i % 3)));
+      }
+    }
+  }
+
+  std::vector<classad::Value> jobs;
+  int job_id = 0;
+  for (const std::string& arch : arches) {
+    for (const std::string& opsys : systems) {
+      for (int i = 0; i < 2; ++i) {
+        auto job = std::make_shared<classad::ClassAd>();
+        job->set("MyType", "Job");
+        job->set("JobId", job_id++);
+        job->set("ImageSizeMB", 16);
+        EXPECT_TRUE(job->insert_expr("Requirements",
+                                     "TARGET.Arch == \"" + arch +
+                                         "\" && TARGET.OpSys == \"" + opsys +
+                                         "\"")
+                        .ok());
+        EXPECT_TRUE(job->insert_expr("Rank", "0").ok());
+        jobs.push_back(classad::Value::ad(std::move(job)));
+      }
+    }
+  }
+  classad::ClassAd submitter;
+  submitter.set("MyType", "Submitter");
+  submitter.set("Name", "schedd@sub");
+  submitter.set("ScheddHost", "sub");
+  submitter.set("ScheddPort", 9619);
+  submitter.insert("Jobs", std::make_unique<classad::Literal>(
+                               classad::Value::list(std::move(jobs))));
+  advertise(daemons::kCmdUpdateSubmitterAd, submitter);
+
+  // One negotiation cycle (interval 5s); match notifications towards the
+  // absent schedd fail benignly.
+  engine.run(timeouts.matchmaker_interval + SimTime::sec(1));
+  EXPECT_EQ(mm.known_startds(), 240u);
+  EXPECT_EQ(mm.index_mismatches(), 0u);
+  return CycleStats{mm.match_evals(), mm.matches_made()};
+}
+
+TEST(MatchIndexScale, TenTimesFewerEvaluationsPerCycle) {
+  const CycleStats indexed = run_tiered_cycle(IndexMode::kIndexed);
+  const CycleStats exhaustive = run_tiered_cycle(IndexMode::kExhaustive);
+  EXPECT_EQ(indexed.matches, exhaustive.matches);
+  EXPECT_EQ(indexed.matches, 24u);  // every tiered job found its machine
+  ASSERT_GT(indexed.evals, 0u);
+  // The acceptance bar: at least one order of magnitude fewer full
+  // symmetric_match evaluations than the exhaustive baseline.
+  EXPECT_GE(exhaustive.evals, 10 * indexed.evals)
+      << "exhaustive=" << exhaustive.evals << " indexed=" << indexed.evals;
+}
+
+// ---- inbound channel hygiene ----
+
+TEST(MatchmakerChannels, PrunedOnCloseNotEvery64thAccept) {
+  sim::Engine engine{83};
+  net::NetworkFabric fabric{engine};
+  const daemons::Ports ports;
+  const daemons::Timeouts timeouts;
+  daemons::Matchmaker mm(engine, fabric, "central", ports, timeouts);
+  mm.boot();
+
+  std::vector<std::shared_ptr<daemons::RpcChannel>> clients;
+  for (int i = 0; i < 10; ++i) {
+    daemons::rpc_connect(
+        engine, fabric, "host" + std::to_string(i), mm.address(),
+        timeouts.rpc_timeout,
+        [&clients, i](Result<std::shared_ptr<daemons::RpcChannel>> channel) {
+          ASSERT_TRUE(channel.ok());
+          clients.push_back(channel.value());
+          channel.value()->notify(
+              daemons::kCmdUpdateStartdAd,
+              machine_ad("m" + std::to_string(i), "INTEL", "LINUX", 512));
+          channel.value()->close();
+        });
+  }
+  engine.run(SimTime::sec(2));
+
+  EXPECT_EQ(mm.known_startds(), 10u);
+  // Every advertiser hung up, so — well before any 64th accept — the
+  // matchmaker must hold zero inbound channels.
+  EXPECT_EQ(mm.inbound_channels(), 0u);
+}
+
+}  // namespace
+}  // namespace esg

@@ -230,5 +230,57 @@ TEST(Engine, PendingCountsUncancelledEvents) {
   EXPECT_EQ(engine.executed(), 1u);
 }
 
+TEST(CallableArena, RecyclesBlocksWithoutTouchingTheHeap) {
+  CallableArena arena;
+  void* a = arena.allocate(48, 8);
+  EXPECT_EQ(arena.live_blocks(), 1u);
+  arena.deallocate(a, 48, 8);
+  EXPECT_EQ(arena.live_blocks(), 0u);
+  // Same size class → the freelist hands the identical block back.
+  void* b = arena.allocate(40, 8);
+  EXPECT_EQ(b, a);
+  arena.deallocate(b, 40, 8);
+  EXPECT_EQ(arena.oversize_allocs(), 0u);
+  EXPECT_GT(arena.slab_bytes(), 0u);
+}
+
+TEST(CallableArena, OversizeCallablesFallBackToTheHeap) {
+  CallableArena arena;
+  void* big = arena.allocate(4096, 8);
+  EXPECT_EQ(arena.oversize_allocs(), 1u);
+  EXPECT_EQ(arena.live_blocks(), 0u);  // not arena-tracked
+  arena.deallocate(big, 4096, 8);
+}
+
+TEST(CallableArena, TaskRunsDestroysAndReleases) {
+  CallableArena arena;
+  int runs = 0;
+  auto counted = std::make_shared<int>(7);
+  {
+    Task task(arena, [&runs, counted] { runs += *counted; });
+    EXPECT_EQ(counted.use_count(), 2);
+    EXPECT_EQ(arena.live_blocks(), 1u);
+    Task moved = std::move(task);
+    EXPECT_FALSE(static_cast<bool>(task));
+    moved();
+    EXPECT_EQ(runs, 7);
+  }
+  // Both handles dead: the capture was destroyed exactly once and the
+  // block went back to the freelist.
+  EXPECT_EQ(counted.use_count(), 1);
+  EXPECT_EQ(arena.live_blocks(), 0u);
+}
+
+TEST(Engine, QueueDrainReturnsEveryBlockToTheArena) {
+  Engine engine;
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule(SimTime::msec(i), [] {});
+  }
+  EXPECT_EQ(engine.arena().live_blocks(), 100u);
+  engine.run();
+  EXPECT_EQ(engine.arena().live_blocks(), 0u);
+  EXPECT_EQ(engine.arena().oversize_allocs(), 0u);
+}
+
 }  // namespace
 }  // namespace esg::sim
