@@ -1,0 +1,97 @@
+// µ-BLAME — root-cause engine cost: aligning two esg-journals and walking
+// the causal chain must stay cheap enough to run on every red campaign
+// cell. The aligner is O(n) in spans (one occurrence-count pass per tier
+// plus the parent walk), so blame cost should scale linearly with journal
+// length and be dwarfed by the two probe replays that produce the inputs.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/blame.hpp"
+#include "obs/export.hpp"
+
+using namespace esg;
+
+namespace {
+
+// A synthetic journal shaped like a real campaign cell: per-job chains of
+// raised -> routed -> masked spans with the schedd as the disposition
+// site, so both alignment tiers and the chain walk do real work.
+obs::Journal make_journal(std::int64_t jobs, bool diverge_last) {
+  obs::Journal journal;
+  std::uint64_t id = 0;
+  for (std::int64_t job = 0; job < jobs; ++job) {
+    const std::uint64_t raised_id = ++id;
+    obs::TraceEvent raised;
+    raised.id = raised_id;
+    raised.parent = 0;
+    raised.when = SimTime::usec(1000 * job + 1);
+    raised.type = obs::TraceEventType::kRaised;
+    raised.form = obs::ErrorForm::kExplicit;
+    raised.kind = ErrorKind::kScratchUnavailable;
+    raised.scope = ErrorScope::kRemoteResource;
+    raised.job = job;
+    raised.component = "starter@exec" + std::to_string(job % 4);
+    raised.detail = "environment failure";
+    journal.events.push_back(raised);
+
+    obs::TraceEvent routed = raised;
+    routed.id = ++id;
+    routed.parent = raised_id;
+    routed.when = SimTime::usec(1000 * job + 2);
+    routed.type = obs::TraceEventType::kRouted;
+    routed.component = "schedd@submit0";
+    routed.detail = "to schedd@submit0";
+    journal.events.push_back(routed);
+
+    obs::TraceEvent disposed = routed;
+    disposed.id = ++id;
+    disposed.parent = routed.id;
+    disposed.when = SimTime::usec(1000 * job + 3);
+    const bool last = diverge_last && job + 1 == jobs;
+    disposed.type =
+        last ? obs::TraceEventType::kDelivered : obs::TraceEventType::kMasked;
+    disposed.detail = last ? "to the user" : "rescheduling elsewhere";
+    journal.events.push_back(disposed);
+  }
+  return journal;
+}
+
+void BM_BlameAligned(benchmark::State& state) {
+  const obs::Journal baseline = make_journal(state.range(0), false);
+  const obs::Journal subject = baseline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::blame_journals(baseline, subject, "scoped", "naive"));
+  }
+  state.SetItemsProcessed(state.iterations() * baseline.events.size());
+}
+
+void BM_BlameDivergent(benchmark::State& state) {
+  const obs::Journal baseline = make_journal(state.range(0), false);
+  const obs::Journal subject = make_journal(state.range(0), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::blame_journals(baseline, subject, "scoped", "naive"));
+  }
+  state.SetItemsProcessed(state.iterations() * subject.events.size());
+}
+
+void BM_BlameReportRoundTrip(benchmark::State& state) {
+  const obs::Journal baseline = make_journal(256, false);
+  const obs::Journal subject = make_journal(256, true);
+  const std::string text =
+      obs::blame_journals(baseline, subject, "scoped", "naive").str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::parse_blame_report(text));
+  }
+}
+
+BENCHMARK(BM_BlameAligned)->Arg(64)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_BlameDivergent)->Arg(64)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_BlameReportRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,6 +28,7 @@ struct State {
   ErrorKind kind = ErrorKind::kUnknown;
   ErrorScope scope = ErrorScope::kProgram;
   bool laundered = false;
+  std::string laundering_node;  ///< leak interface that first destroyed identity
   int parent = -1;
   std::string note;
 };
@@ -180,6 +181,7 @@ FlowReport FlowAnalyzer::analyze(const TopologyModel& model) const {
             finding.rule = "esf/multi-hop-laundering";
             finding.component = node.component;
             finding.node = node.name;
+            finding.laundering_node = s.laundering_node;
             finding.kind = s.kind;
             finding.message =
                 std::string(kind_name(s.kind)) + " reaches terminal " +
@@ -232,6 +234,7 @@ FlowReport FlowAnalyzer::analyze(const TopologyModel& model) const {
           n.node = next;
           n.parent = id;
           n.laundered = true;
+          n.laundering_node = node.name;
           n.note = "leaks through " + node.name +
                    " outside its contract into " + nodes[next].name +
                    " (identity destroyed)";

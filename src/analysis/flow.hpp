@@ -60,6 +60,9 @@ struct FlowFinding {
   std::string rule;        ///< stable rule id ("esf/multi-hop-laundering")
   std::string component;   ///< owning component of the anchor node
   std::string node;        ///< anchor: interface, handler, rung, or edge
+  /// multi-hop-laundering only: the leak interface that first destroyed
+  /// the error's identity — the site dynamic blame must converge on.
+  std::string laundering_node;
   ErrorKind kind = ErrorKind::kUnknown;  ///< kUnknown when not kind-specific
   std::string message;
   std::vector<std::string> witness;  ///< concrete path through the graph

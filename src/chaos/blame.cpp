@@ -1,0 +1,34 @@
+#include "chaos/blame.hpp"
+
+#include "obs/export.hpp"
+
+namespace esg::chaos {
+
+obs::BlameReport blame_plan(
+    const FaultPlan& plan,
+    const std::function<RunResult(const FaultPlan&)>& probe) {
+  FaultPlan scoped = plan;
+  scoped.shape.discipline = "scoped";
+
+  const RunResult baseline_run = probe(scoped);
+  const RunResult subject_run = probe(plan);
+
+  // A replay that produced an unparseable journal is a harness bug; blame
+  // an empty journal rather than crash — the report's span counts (0) make
+  // the breakage visible.
+  const obs::Journal baseline =
+      obs::parse_journal(baseline_run.journal).value_or(obs::Journal{});
+  const obs::Journal subject =
+      obs::parse_journal(subject_run.journal).value_or(obs::Journal{});
+
+  const std::string discipline =
+      plan.shape.discipline.empty() ? "scoped" : plan.shape.discipline;
+  return obs::blame_journals(baseline, subject, "scoped-replay",
+                             discipline + "-replay");
+}
+
+obs::BlameReport blame_plan(const FaultPlan& plan) {
+  return blame_plan(plan, &CampaignRunner::replay);
+}
+
+}  // namespace esg::chaos

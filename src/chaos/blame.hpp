@@ -1,0 +1,33 @@
+// Blame for fault plans: re-run a plan under both disciplines and diff.
+//
+// The campaign's minimized plan says *what* to inject to reproduce a red
+// cell; the blame report says *who* mishandled it. This module bridges the
+// two: replay the plan twice — once with the error-scope discipline forced
+// to "scoped" (the leg that behaves) and once as written (usually
+// "naive") — then hand both journals to obs::blame_journals. Both legs are
+// single-thread engine-isolated replays, so the pair of journals — and the
+// report diffed from them — is byte-deterministic.
+#pragma once
+
+#include <functional>
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "obs/blame.hpp"
+
+namespace esg::chaos {
+
+/// Replay `plan` as written (the subject leg) and with
+/// shape.discipline = "scoped" (the baseline leg) through `probe`, then
+/// localize the first divergence. The probe is the same replay hook the
+/// campaign and ddmin use — pass flock's to blame federated plans. A plan
+/// already scoped replays identically on both legs and yields the honest
+/// kNoDivergence verdict.
+[[nodiscard]] obs::BlameReport blame_plan(
+    const FaultPlan& plan,
+    const std::function<RunResult(const FaultPlan&)>& probe);
+
+/// blame_plan with the default single-pool replay.
+[[nodiscard]] obs::BlameReport blame_plan(const FaultPlan& plan);
+
+}  // namespace esg::chaos

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "chaos/blame.hpp"
 #include "chaos/inject.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
@@ -103,6 +104,7 @@ RunResult CampaignRunner::replay(const FaultPlan& plan) {
   out.report = outcome.report;
   out.oracles = judge(outcome);
   out.engine_events = outcome.engine_events;
+  out.journal = outcome.journal;
   return out;
 }
 
@@ -273,6 +275,7 @@ CampaignResult CampaignRunner::run(const CampaignHooks& hooks) const {
       if (cell.oracles.ok()) continue;
       result.minimized = shrink_with(cell.plan, probe, &result.shrink_probes);
       result.minimized_oracles = probe(*result.minimized).oracles;
+      result.blame = blame_plan(*result.minimized, probe);
       break;
     }
   }
@@ -316,6 +319,12 @@ std::string CampaignResult::str() const {
        << "\n";
     os << minimized->str();
   }
+  if (blame.has_value() && blame->found()) {
+    const obs::AlignKey key = blame->blamed_key();
+    os << "blame: " << key.str() << " ("
+       << obs::confidence_name(blame->confidence) << ", chain "
+       << blame->chain.size() << " span(s))\n";
+  }
   return os.str();
 }
 
@@ -352,6 +361,19 @@ std::string CampaignResult::json() const {
        << ",\"plan\":\"" << json_escape(minimized->str()) << "\"}";
   } else {
     os << ",\"minimized\":null";
+  }
+  if (blame.has_value() && blame->found()) {
+    const obs::AlignKey key = blame->blamed_key();
+    os << ",\"blame\":{\"daemon\":\"" << json_escape(key.daemon)
+       << "\",\"machine\":\"" << json_escape(key.machine) << "\",\"scope\":\""
+       << json_escape(scope_name(key.scope)) << "\",\"kind\":\""
+       << json_escape(kind_name(key.kind)) << "\",\"job\":" << key.job
+       << ",\"action\":\"" << obs::event_type_name(key.action)
+       << "\",\"verdict\":\"" << obs::divergence_name(blame->divergence)
+       << "\",\"confidence\":\"" << obs::confidence_name(blame->confidence)
+       << "\",\"chain\":" << blame->chain.size() << "}";
+  } else {
+    os << ",\"blame\":null";
   }
   os << "}\n";
   return os.str();

@@ -25,6 +25,7 @@
 
 #include "chaos/oracle.hpp"
 #include "chaos/plan.hpp"
+#include "obs/blame.hpp"
 #include "pool/report.hpp"
 #include "pool/sweep.hpp"
 
@@ -73,6 +74,9 @@ struct RunResult {
   pool::PoolReport report;
   OracleReport oracles;
   std::uint64_t engine_events = 0;
+  /// The cell's esg-journal v1 document, so a probe's run can feed the
+  /// blame engine without re-running the plan.
+  std::string journal;
 
   [[nodiscard]] bool ok() const { return oracles.ok(); }
 };
@@ -103,6 +107,10 @@ struct CampaignResult {
   std::optional<FaultPlan> minimized;
   OracleReport minimized_oracles;  ///< the minimized plan's replay verdict
   std::size_t shrink_probes = 0;   ///< ddmin replays spent
+  /// Root-cause localization of the minimized plan: its journal diffed
+  /// against a scoped-discipline replay of the same plan (see obs/blame).
+  /// Deterministic like every other campaign artifact.
+  std::optional<obs::BlameReport> blame;
 
   [[nodiscard]] bool all_ok() const { return failing == 0; }
   /// Human-readable campaign table. Deterministic: no wall-clock, no

@@ -15,7 +15,9 @@ Matchmaker::Matchmaker(sim::Engine& engine, net::NetworkFabric& fabric,
     : Actor(engine, std::move(host)),
       fabric_(fabric),
       ports_(ports),
-      timeouts_(timeouts) {}
+      timeouts_(timeouts) {
+  rebind_trace("matchmaker@" + name());
+}
 
 Matchmaker::~Matchmaker() { shutdown(); }
 

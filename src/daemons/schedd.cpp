@@ -20,6 +20,9 @@ Schedd::Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
       matchmaker_(std::move(matchmaker)),
       ports_(ports),
       timeouts_(timeouts) {
+  // Spans carry the daemon identity, not just the host: blame keys are
+  // (daemon, machine), and machine_of() still maps to the bare host.
+  rebind_trace("schedd@" + name());
   // The spool is the schedd's identity on disk; it must exist before the
   // first submit, which may well precede boot().
   (void)submit_fs_.mkdirs("/spool");

@@ -20,7 +20,9 @@ Startd::Startd(sim::Engine& engine, net::NetworkFabric& fabric,
       discipline_(discipline),
       matchmaker_(std::move(matchmaker)),
       ports_(ports),
-      timeouts_(timeouts) {}
+      timeouts_(timeouts) {
+  rebind_trace("startd@" + name());
+}
 
 Startd::~Startd() { shutdown(); }
 

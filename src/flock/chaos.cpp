@@ -338,6 +338,7 @@ chaos::RunResult replay_federated(const FaultPlan& plan) {
   }
   out.oracles = chaos::evaluate_oracles(outcome.report, outcome.finished, events);
   out.engine_events = outcome.engine_events;
+  out.journal = outcome.journal;
   return out;
 }
 

@@ -1,0 +1,455 @@
+#include "obs/blame.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/aggregate.hpp"
+
+namespace esg::obs {
+namespace {
+
+constexpr std::string_view kBlameHeader = "# esg-blame v1";
+
+constexpr std::string_view kBold = "\x1b[1m";
+constexpr std::string_view kDim = "\x1b[2m";
+constexpr std::string_view kRed = "\x1b[31m";
+constexpr std::string_view kReset = "\x1b[0m";
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+template <typename Int>
+bool parse_int(std::string_view s, Int& out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+std::uint64_t total_dropped(const Journal& journal) {
+  std::uint64_t total = 0;
+  for (const auto& [scope, count] : journal.dropped) total += count;
+  return total;
+}
+
+/// A disposition span ends an error's journey: somebody decided what the
+/// error *means* (hand it to the user, absorb it, hide it, lose it).
+/// These are the spans where a discipline breach is visible; the journey
+/// spans before them (raised/converted/escalated/routed/implicit) differ
+/// between two legs for benign reasons too — the disciplines schedule
+/// differently, so faults land on different jobs at different times.
+bool is_disposition(TraceEventType type) {
+  return type == TraceEventType::kDelivered ||
+         type == TraceEventType::kConsumed ||
+         type == TraceEventType::kMasked || type == TraceEventType::kDropped;
+}
+
+/// The earliest event on `side` whose alignment key occurs more times on
+/// `side` than on `other` — i.e. an occurrence with no counterpart.
+/// Journals are chronological, so scanning in order finds the earliest.
+/// `only_dispositions` restricts both sides to disposition spans (tier 1
+/// of the divergence search).
+const TraceEvent* first_unmatched(const std::vector<TraceEvent>& side,
+                                  const std::vector<TraceEvent>& other,
+                                  bool only_dispositions) {
+  std::map<AlignKey, std::size_t> budget;
+  for (const TraceEvent& event : other) {
+    if (only_dispositions && !is_disposition(event.type)) continue;
+    ++budget[AlignKey::of(event)];
+  }
+  for (const TraceEvent& event : side) {
+    if (only_dispositions && !is_disposition(event.type)) continue;
+    std::size_t& remaining = budget[AlignKey::of(event)];
+    if (remaining == 0) return &event;
+    --remaining;
+  }
+  return nullptr;
+}
+
+/// Root-first causal chain of `leaf` within its own journal. An ancestor
+/// evicted by the ring truncates the walk at the oldest retained link; a
+/// self- or repeated-parent cycle (corrupt input) stops the walk too.
+std::vector<TraceEvent> causal_chain(const TraceEvent& leaf,
+                                     const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const TraceEvent& event : events) by_id.emplace(event.id, &event);
+
+  std::vector<TraceEvent> chain;
+  chain.push_back(leaf);
+  std::uint64_t parent = leaf.parent;
+  while (parent != 0 && chain.size() <= events.size()) {
+    auto it = by_id.find(parent);
+    if (it == by_id.end()) break;  // evicted ancestor
+    chain.push_back(*it->second);
+    parent = it->second->parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+void append_side(std::ostringstream& os, std::string_view role,
+                 const BlameSide& side) {
+  os << "# " << role << " " << side.events << " " << side.dropped << " "
+     << side.label << "\n";
+}
+
+/// Parse "# <role> <events> <dropped> <label...>" after the role prefix.
+bool parse_side(std::string_view rest, BlameSide& side) {
+  std::size_t sp1 = rest.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  std::size_t sp2 = rest.find(' ', sp1 + 1);
+  std::string_view events = rest.substr(0, sp1);
+  std::string_view dropped = rest.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? sp2 : sp2 - sp1 - 1);
+  if (!parse_int(events, side.events) || !parse_int(dropped, side.dropped)) {
+    return false;
+  }
+  side.label =
+      sp2 == std::string_view::npos ? std::string() : std::string(rest.substr(sp2 + 1));
+  return true;
+}
+
+std::string json_event(const TraceEvent& event) {
+  std::ostringstream os;
+  os << "{\"when_usec\":" << event.when.as_usec() << ",\"id\":" << event.id
+     << ",\"parent\":" << event.parent << ",\"action\":\""
+     << event_type_name(event.type) << "\",\"form\":\""
+     << form_name(event.form) << "\",\"kind\":\""
+     << json_escape(kind_name(event.kind)) << "\",\"scope\":\""
+     << json_escape(scope_name(event.scope)) << "\",\"job\":" << event.job
+     << ",\"component\":\"" << json_escape(event.component)
+     << "\",\"detail\":\"" << json_escape(event.detail) << "\"}";
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view confidence_name(BlameConfidence confidence) {
+  switch (confidence) {
+    case BlameConfidence::kExact: return "exact";
+    case BlameConfidence::kRingWrapped: return "ring-wrapped";
+    case BlameConfidence::kNoDivergence: return "no-divergence";
+  }
+  return "?";
+}
+
+std::optional<BlameConfidence> parse_confidence(std::string_view name) {
+  if (name == "exact") return BlameConfidence::kExact;
+  if (name == "ring-wrapped") return BlameConfidence::kRingWrapped;
+  if (name == "no-divergence") return BlameConfidence::kNoDivergence;
+  return std::nullopt;
+}
+
+std::string_view divergence_name(DivergenceKind kind) {
+  switch (kind) {
+    case DivergenceKind::kNone: return "none";
+    case DivergenceKind::kExtra: return "extra";
+    case DivergenceKind::kMissing: return "missing";
+  }
+  return "?";
+}
+
+std::optional<DivergenceKind> parse_divergence(std::string_view name) {
+  if (name == "none") return DivergenceKind::kNone;
+  if (name == "extra") return DivergenceKind::kExtra;
+  if (name == "missing") return DivergenceKind::kMissing;
+  return std::nullopt;
+}
+
+std::string daemon_of(std::string_view component) {
+  if (component.empty()) return "-";
+  const std::size_t at = component.find('@');
+  if (at == std::string_view::npos) return std::string(component);
+  if (at == 0) return "-";
+  return std::string(component.substr(0, at));
+}
+
+std::string pool_of(std::string_view machine) {
+  const std::size_t dot = machine.find('.');
+  if (dot == std::string_view::npos || dot == 0) return "-";
+  return std::string(machine.substr(0, dot));
+}
+
+AlignKey AlignKey::of(const TraceEvent& event) {
+  AlignKey key;
+  key.daemon = daemon_of(event.component);
+  key.machine = machine_of(event.component);
+  key.scope = event.scope;
+  key.kind = event.kind;
+  key.job = event.job;
+  key.action = event.type;
+  return key;
+}
+
+std::string AlignKey::str() const {
+  std::ostringstream os;
+  if (daemon == machine) {
+    os << daemon;  // unqualified component: one name is the whole identity
+  } else {
+    os << daemon << "@" << machine;
+  }
+  os << " " << event_type_name(action) << " " << kind_name(kind) << " ("
+     << scope_name(scope) << ")";
+  if (job != 0) os << " job " << job;
+  return os.str();
+}
+
+BlameReport blame_journals(const Journal& baseline, const Journal& subject,
+                           std::string baseline_label,
+                           std::string subject_label) {
+  BlameReport report;
+  report.baseline = {std::move(baseline_label), baseline.events.size(),
+                     total_dropped(baseline)};
+  report.subject = {std::move(subject_label), subject.events.size(),
+                    total_dropped(subject)};
+
+  // Tier 1: dispositions only — where a discipline breach is visible.
+  // Tier 2 (all dispositions align): every span, so a pure journey-level
+  // difference (same outcomes, different path) is still surfaced.
+  const TraceEvent* extra =
+      first_unmatched(subject.events, baseline.events, true);
+  const TraceEvent* missing =
+      first_unmatched(baseline.events, subject.events, true);
+  if (extra == nullptr && missing == nullptr) {
+    extra = first_unmatched(subject.events, baseline.events, false);
+    missing = first_unmatched(baseline.events, subject.events, false);
+  }
+
+  if (extra == nullptr && missing == nullptr) {
+    report.confidence = BlameConfidence::kNoDivergence;
+    return report;
+  }
+  // Earliest divergence wins; on a tie the subject's extra span is the
+  // better lead (it names what the failing run actually *did*).
+  const bool blame_extra =
+      missing == nullptr ||
+      (extra != nullptr && extra->when.as_usec() <= missing->when.as_usec());
+  report.divergence =
+      blame_extra ? DivergenceKind::kExtra : DivergenceKind::kMissing;
+  report.blamed = blame_extra ? *extra : *missing;
+  report.chain = causal_chain(
+      report.blamed, blame_extra ? subject.events : baseline.events);
+  report.confidence =
+      (report.baseline.dropped != 0 || report.subject.dropped != 0)
+          ? BlameConfidence::kRingWrapped
+          : BlameConfidence::kExact;
+  return report;
+}
+
+std::string BlameReport::str() const {
+  std::ostringstream os;
+  os << kBlameHeader << "\n";
+  append_side(os, "baseline", baseline);
+  append_side(os, "subject", subject);
+  os << "# confidence " << confidence_name(confidence) << "\n";
+  os << "# verdict " << divergence_name(divergence) << "\n";
+  os << "# chain " << chain.size() << "\n";
+  for (const TraceEvent& event : chain) {
+    os << journal_event_line(event) << "\n";
+  }
+  return os.str();
+}
+
+std::string BlameReport::json() const {
+  std::ostringstream os;
+  os << "{\n";
+  auto side = [&](std::string_view role, const BlameSide& s) {
+    os << "  \"" << role << "\": {\"label\": \"" << json_escape(s.label)
+       << "\", \"events\": " << s.events << ", \"dropped\": " << s.dropped
+       << "},\n";
+  };
+  side("baseline", baseline);
+  side("subject", subject);
+  os << "  \"confidence\": \"" << confidence_name(confidence) << "\",\n";
+  os << "  \"verdict\": \"" << divergence_name(divergence) << "\",\n";
+  if (found()) {
+    const AlignKey key = blamed_key();
+    os << "  \"blamed\": {\"daemon\": \"" << json_escape(key.daemon)
+       << "\", \"machine\": \"" << json_escape(key.machine)
+       << "\", \"pool\": \"" << json_escape(pool_of(key.machine))
+       << "\", \"scope\": \"" << json_escape(scope_name(key.scope))
+       << "\", \"kind\": \"" << json_escape(kind_name(key.kind))
+       << "\", \"job\": " << key.job << ", \"action\": \""
+       << event_type_name(key.action) << "\"},\n";
+  } else {
+    os << "  \"blamed\": null,\n";
+  }
+  os << "  \"chain\": [";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    os << (i == 0 ? "\n    " : ",\n    ") << json_event(chain[i]);
+  }
+  os << (chain.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::string BlameReport::ansi(bool color) const {
+  const std::string_view bold = color ? kBold : "";
+  const std::string_view dim = color ? kDim : "";
+  const std::string_view red = color ? kRed : "";
+  const std::string_view reset = color ? kReset : "";
+
+  std::ostringstream os;
+  os << bold << "esg-blame" << reset << "  baseline=" << baseline.label
+     << " (" << baseline.events << " spans";
+  if (baseline.dropped != 0) os << ", " << baseline.dropped << " dropped";
+  os << ")  subject=" << subject.label << " (" << subject.events << " spans";
+  if (subject.dropped != 0) os << ", " << subject.dropped << " dropped";
+  os << ")\n";
+
+  if (!found()) {
+    os << "  verdict: " << bold << "no divergence" << reset
+       << " — the journals align span for span\n";
+    return os.str();
+  }
+
+  const AlignKey key = blamed_key();
+  os << "  verdict: " << red << bold << key.daemon << reset << " on " << bold
+     << key.machine << reset;
+  if (const std::string pool = pool_of(key.machine); pool != "-") {
+    os << dim << " (pool " << pool << ")" << reset;
+  }
+  os << " — " << (divergence == DivergenceKind::kExtra
+                      ? "did something the baseline never did"
+                      : "never did something the baseline did")
+     << "\n";
+  os << "  blamed span: " << bold << event_type_name(key.action) << reset
+     << " " << kind_name(key.kind) << " in scope " << bold
+     << scope_name(key.scope) << reset;
+  if (key.job != 0) os << " (job " << key.job << ")";
+  os << "\n";
+  os << "  confidence: "
+     << (confidence == BlameConfidence::kExact ? "exact" : "")
+     << (confidence == BlameConfidence::kRingWrapped
+             ? "ring-wrapped — a ring dropped spans; the counterpart may be "
+               "lost, not absent"
+             : "")
+     << "\n";
+  os << "  causal chain (root first, from the "
+     << (divergence == DivergenceKind::kExtra ? "subject" : "baseline")
+     << " journal):\n";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const TraceEvent& event = chain[i];
+    const bool last = i + 1 == chain.size();
+    os << "    " << dim << (i == 0 ? "●" : "└─▶") << reset << " ";
+    if (last) os << red << bold;
+    os << event_type_name(event.type) << " " << kind_name(event.kind) << " ("
+       << scope_name(event.scope) << ") @ " << event.component;
+    if (last) os << reset;
+    os << dim << "  t=" << event.when.as_usec() << "us";
+    if (!event.detail.empty()) os << "  " << event.detail;
+    os << reset << "\n";
+  }
+  return os.str();
+}
+
+std::optional<BlameReport> parse_blame_report(std::string_view text) {
+  BlameReport report;
+  bool saw_header = false, saw_baseline = false, saw_subject = false;
+  bool saw_confidence = false, saw_verdict = false, saw_chain = false;
+  std::size_t chain_expected = 0;
+
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    start = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (line.empty()) continue;
+
+    if (!saw_header) {
+      if (line != kBlameHeader) return std::nullopt;
+      saw_header = true;
+      continue;
+    }
+    if (line.starts_with("# baseline ")) {
+      if (saw_baseline ||
+          !parse_side(line.substr(11), report.baseline)) {
+        return std::nullopt;
+      }
+      saw_baseline = true;
+      continue;
+    }
+    if (line.starts_with("# subject ")) {
+      if (saw_subject || !parse_side(line.substr(10), report.subject)) {
+        return std::nullopt;
+      }
+      saw_subject = true;
+      continue;
+    }
+    if (line.starts_with("# confidence ")) {
+      std::optional<BlameConfidence> c = parse_confidence(line.substr(13));
+      if (saw_confidence || !c) return std::nullopt;
+      report.confidence = *c;
+      saw_confidence = true;
+      continue;
+    }
+    if (line.starts_with("# verdict ")) {
+      std::optional<DivergenceKind> d = parse_divergence(line.substr(10));
+      if (saw_verdict || !d) return std::nullopt;
+      report.divergence = *d;
+      saw_verdict = true;
+      continue;
+    }
+    if (line.starts_with("# chain ")) {
+      if (saw_chain || !parse_int(line.substr(8), chain_expected)) {
+        return std::nullopt;
+      }
+      saw_chain = true;
+      continue;
+    }
+    if (line.starts_with('#')) return std::nullopt;  // strict: no unknowns
+
+    std::optional<TraceEvent> event = parse_journal_event_line(line);
+    if (!event || !saw_chain || report.chain.size() >= chain_expected) {
+      return std::nullopt;
+    }
+    report.chain.push_back(std::move(*event));
+  }
+
+  if (!saw_header || !saw_baseline || !saw_subject || !saw_confidence ||
+      !saw_verdict || !saw_chain || report.chain.size() != chain_expected) {
+    return std::nullopt;
+  }
+  if (report.divergence == DivergenceKind::kNone) {
+    if (!report.chain.empty() ||
+        report.confidence != BlameConfidence::kNoDivergence) {
+      return std::nullopt;
+    }
+  } else {
+    if (report.chain.empty() ||
+        report.confidence == BlameConfidence::kNoDivergence) {
+      return std::nullopt;
+    }
+    report.blamed = report.chain.back();
+  }
+  return report;
+}
+
+}  // namespace esg::obs

@@ -1,0 +1,154 @@
+// Causal journal diffing: localize the daemon at fault from two journals.
+//
+// The chaos harness can already say *that* a cell went red; the journals
+// say what every error did; but "which daemon broke the discipline, where,
+// and why" was still a human's job. Following Okita et al. (AADEBUG 2003),
+// who localize faulty processes by diffing message-passing traces, this
+// module diffs two deterministic causal span journals — a baseline leg
+// (scoped discipline, or a healthy seed) against a subject leg (naive
+// discipline, or the failing seed) of the *same* fault plan — and names
+// the first span where the subject's error handling departs from the
+// baseline's, plus the causal chain that led there.
+//
+// Alignment is by canonical key, not raw span id: span ids shift whenever
+// the ring wraps or an unrelated event interleaves, so two journals of the
+// same run are compared as multisets of
+//
+//   (daemon, machine, scope, kind, job, action)
+//
+// keys with per-key occurrence counting (a ring-wrap-tolerant form of
+// sequence matching: the i-th occurrence of a key on one side matches the
+// i-th on the other, wherever the ids landed). The search is two-tier:
+// *disposition* spans first (delivered/consumed/masked/dropped — the spans
+// where somebody decided what an error means, which is where a discipline
+// breach shows), then every span if all dispositions align — because the
+// journey spans before a disposition legitimately differ between two legs
+// (the disciplines schedule differently, so the same fault lands on
+// different jobs at different times). The first span on either side whose
+// key has no remaining counterpart is the *divergence*, and walking its
+// causal `parent` chain back to the root yields the injection-to-
+// divergence story the report prints root-first.
+//
+// Ring wrap degrades the verdict instead of silently misaligning it: if
+// either side lost spans to its ring, a missing counterpart may be an
+// artifact of truncation, so the report carries a BlameConfidence field
+// and both sides' dropped-span counts in its header.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace esg::obs {
+
+/// How much the aligner trusts its verdict.
+enum class BlameConfidence {
+  kExact,        ///< both journals complete: the divergence is real
+  kRingWrapped,  ///< >=1 side lost spans to its ring: the baseline
+                 ///< counterpart may have been dropped, not absent
+  kNoDivergence, ///< the journals align span for span: nothing to blame
+};
+
+std::string_view confidence_name(BlameConfidence confidence);
+std::optional<BlameConfidence> parse_confidence(std::string_view name);
+
+/// The daemon identity of a span's component name: text before the first
+/// '@' ("schedd@submit0" -> "schedd", "shadow@submit0/job3" -> "shadow"),
+/// or the whole component when unqualified ("escalator"); empty maps to
+/// "-" like machine_of.
+std::string daemon_of(std::string_view component);
+
+/// The pool provenance of a machine name in a federated journal: text
+/// before the first '.' ("p1.exec0" -> "p1"), or "-" for a single-pool
+/// machine ("exec0"). Blame keys keep the full machine name; this is the
+/// report's per-pool attribution on top of it.
+std::string pool_of(std::string_view machine);
+
+/// Canonical alignment key: everything about a span that is deterministic
+/// across two legs of the same plan, and nothing that is not. Raw span ids
+/// are excluded (they shift under ring wrap and interleaving); free-text
+/// details are excluded (they carry backoff timers and handler names that
+/// legitimately differ between disciplines).
+struct AlignKey {
+  std::string daemon;
+  std::string machine;  ///< machine_of(component); "p1.exec0" keeps pool
+  ErrorScope scope = ErrorScope::kProcess;
+  ErrorKind kind = ErrorKind::kUnknown;
+  std::uint64_t job = 0;
+  TraceEventType action = TraceEventType::kRaised;
+
+  friend auto operator<=>(const AlignKey&, const AlignKey&) = default;
+
+  [[nodiscard]] static AlignKey of(const TraceEvent& event);
+  /// "schedd@submit0 delivered input-unavailable (remote-resource) job 7".
+  [[nodiscard]] std::string str() const;
+};
+
+/// Which way the journals disagreed at the first divergence.
+enum class DivergenceKind {
+  kNone,     ///< aligned span for span
+  kExtra,    ///< the subject recorded a span the baseline never did
+  kMissing,  ///< the baseline recorded a span the subject never did
+};
+
+std::string_view divergence_name(DivergenceKind kind);
+std::optional<DivergenceKind> parse_divergence(std::string_view name);
+
+/// One side's identity in the report header.
+struct BlameSide {
+  std::string label;          ///< "scoped-replay", a journal path, ...
+  std::size_t events = 0;     ///< spans retained in the journal
+  std::uint64_t dropped = 0;  ///< spans lost to the ring before saving
+
+  friend bool operator==(const BlameSide&, const BlameSide&) = default;
+};
+
+/// The localization verdict: who to blame, and the causal chain that
+/// convicts them. Serializable three ways — str() is the committed-golden
+/// "# esg-blame v1" text format (parse_blame_report reads it back), json()
+/// the deterministic machine form, ansi() the colored terminal rendering
+/// tools/esg-blame and esg-top --blame print.
+struct BlameReport {
+  BlameSide baseline;
+  BlameSide subject;
+  BlameConfidence confidence = BlameConfidence::kNoDivergence;
+  DivergenceKind divergence = DivergenceKind::kNone;
+  /// The first divergent span (subject side for kExtra, baseline side for
+  /// kMissing). Meaningful only when divergence != kNone.
+  TraceEvent blamed;
+  /// Root-first causal chain through the divergent span's own journal,
+  /// ending at the blamed span. An evicted ancestor truncates the walk at
+  /// the oldest retained link.
+  std::vector<TraceEvent> chain;
+
+  [[nodiscard]] bool found() const {
+    return divergence != DivergenceKind::kNone;
+  }
+  [[nodiscard]] AlignKey blamed_key() const { return AlignKey::of(blamed); }
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string json() const;
+  /// ANSI rendering: headline verdict plus the causal chain drawn as an
+  /// arrowed timeline (esg-top's dashboard styling).
+  [[nodiscard]] std::string ansi(bool color = true) const;
+};
+
+/// Align two journals and localize the first divergence. `baseline` is the
+/// leg that behaved (scoped discipline / healthy seed); `subject` the leg
+/// under suspicion. Deterministic: equal inputs yield byte-equal reports.
+[[nodiscard]] BlameReport blame_journals(const Journal& baseline,
+                                         const Journal& subject,
+                                         std::string baseline_label,
+                                         std::string subject_label);
+
+/// Parse a str()-serialized report. Strict (the artifact crosses a trust
+/// boundary): unknown header fields, a malformed chain line, or a missing
+/// verdict yields nullopt.
+std::optional<BlameReport> parse_blame_report(std::string_view text);
+
+}  // namespace esg::obs

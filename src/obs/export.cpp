@@ -224,6 +224,45 @@ std::vector<std::string_view> split(std::string_view line, char sep) {
 
 }  // namespace
 
+std::string journal_event_line(const TraceEvent& event) {
+  std::ostringstream os;
+  os << event.when.as_usec() << "\t" << event.id << "\t" << event.parent
+     << "\t" << event_type_name(event.type) << "\t" << form_name(event.form)
+     << "\t" << kind_name(event.kind) << "\t" << scope_name(event.scope)
+     << "\t" << event.job << "\t" << journal_escape(event.component) << "\t"
+     << journal_escape(event.detail);
+  return os.str();
+}
+
+std::optional<TraceEvent> parse_journal_event_line(std::string_view line) {
+  std::vector<std::string_view> fields = split(line, '\t');
+  if (fields.size() != 10) return std::nullopt;
+  TraceEvent event;
+  std::int64_t usec = 0;
+  if (!parse_int(fields[0], usec) || !parse_int(fields[1], event.id) ||
+      !parse_int(fields[2], event.parent) ||
+      !parse_int(fields[7], event.job)) {
+    return std::nullopt;
+  }
+  event.when = SimTime::usec(usec);
+  std::optional<TraceEventType> type = parse_event_type(fields[3]);
+  std::optional<ErrorForm> form = parse_form(fields[4]);
+  std::optional<ErrorKind> kind = parse_kind(fields[5]);
+  std::optional<ErrorScope> scope = parse_scope(fields[6]);
+  std::optional<std::string> component = journal_unescape(fields[8]);
+  std::optional<std::string> detail = journal_unescape(fields[9]);
+  if (!type || !form || !kind || !scope || !component || !detail) {
+    return std::nullopt;
+  }
+  event.type = *type;
+  event.form = *form;
+  event.kind = *kind;
+  event.scope = *scope;
+  event.component = std::move(*component);
+  event.detail = std::move(*detail);
+  return event;
+}
+
 std::string journal_str(const std::vector<TraceEvent>& events,
                         const std::map<ErrorScope, std::uint64_t>& dropped) {
   std::ostringstream os;
@@ -234,11 +273,7 @@ std::string journal_str(const std::vector<TraceEvent>& events,
     }
   }
   for (const TraceEvent& event : events) {
-    os << event.when.as_usec() << "\t" << event.id << "\t" << event.parent
-       << "\t" << event_type_name(event.type) << "\t" << form_name(event.form)
-       << "\t" << kind_name(event.kind) << "\t" << scope_name(event.scope)
-       << "\t" << event.job << "\t" << journal_escape(event.component) << "\t"
-       << journal_escape(event.detail) << "\n";
+    os << journal_event_line(event) << "\n";
   }
   return os.str();
 }
@@ -276,32 +311,9 @@ std::optional<Journal> parse_journal(std::string_view text) {
     }
     if (line.starts_with('#')) continue;  // future header extensions
 
-    std::vector<std::string_view> fields = split(line, '\t');
-    if (fields.size() != 10) return std::nullopt;
-    TraceEvent event;
-    std::int64_t usec = 0;
-    if (!parse_int(fields[0], usec) || !parse_int(fields[1], event.id) ||
-        !parse_int(fields[2], event.parent) ||
-        !parse_int(fields[7], event.job)) {
-      return std::nullopt;
-    }
-    event.when = SimTime::usec(usec);
-    std::optional<TraceEventType> type = parse_event_type(fields[3]);
-    std::optional<ErrorForm> form = parse_form(fields[4]);
-    std::optional<ErrorKind> kind = parse_kind(fields[5]);
-    std::optional<ErrorScope> scope = parse_scope(fields[6]);
-    std::optional<std::string> component = journal_unescape(fields[8]);
-    std::optional<std::string> detail = journal_unescape(fields[9]);
-    if (!type || !form || !kind || !scope || !component || !detail) {
-      return std::nullopt;
-    }
-    event.type = *type;
-    event.form = *form;
-    event.kind = *kind;
-    event.scope = *scope;
-    event.component = std::move(*component);
-    event.detail = std::move(*detail);
-    journal.events.push_back(std::move(event));
+    std::optional<TraceEvent> event = parse_journal_event_line(line);
+    if (!event) return std::nullopt;
+    journal.events.push_back(std::move(*event));
   }
   if (!saw_header) return std::nullopt;
   return journal;

@@ -60,6 +60,16 @@ struct Journal {
   std::map<ErrorScope, std::uint64_t> dropped;
 };
 
+/// One esg-journal v1 event line (no trailing newline) — the tab-separated
+/// serialization journal_str() emits for each span. Exposed so other
+/// journal-derived artifacts (the esg-blame report's causal-chain section)
+/// reuse the exact same grammar instead of inventing a second one.
+std::string journal_event_line(const TraceEvent& event);
+
+/// Parse one journal_event_line(). Strict, like parse_journal: any
+/// malformed field or unknown enum name yields nullopt.
+std::optional<TraceEvent> parse_journal_event_line(std::string_view line);
+
 /// Parse an esg-journal v1 document. Journal files cross a trust boundary,
 /// so this is strict: a missing/unknown header, a malformed line, or an
 /// unknown enum name yields nullopt rather than a half-parsed journal.

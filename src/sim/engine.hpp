@@ -207,6 +207,15 @@ class Actor {
  protected:
   [[nodiscard]] const Logger& log() const { return log_; }
   [[nodiscard]] const obs::TraceSink& trace() const { return trace_; }
+  /// Rebind the trace sink to a daemon-qualified component name
+  /// ("schedd@submit0" instead of the bare host the Actor is named by).
+  /// Journal consumers that localize faults (obs/blame) key spans by
+  /// (daemon, machine), so a daemon whose spans would otherwise carry only
+  /// its host name calls this in its constructor. Logger and RNG stream
+  /// stay bound to the plain Actor name — replay determinism is untouched.
+  void rebind_trace(std::string component) {
+    trace_ = engine_->context().trace(std::move(component));
+  }
   [[nodiscard]] SimContext& context() const { return engine_->context(); }
   [[nodiscard]] Rng& rng() { return rng_; }
   template <typename Fn>

@@ -1,0 +1,404 @@
+// Tests for the root-cause engine: alignment keys, the two-tier divergence
+// rule, ring-wrap confidence degradation, the report round trip, and the
+// pinned end-to-end blame of the chaos gate's shrunk chronic plan.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/blame.hpp"
+#include "chaos/plan.hpp"
+#include "obs/blame.hpp"
+#include "obs/export.hpp"
+
+namespace esg::obs {
+namespace {
+
+TraceEvent make_event(std::uint64_t id, std::uint64_t parent,
+                      std::int64_t usec, TraceEventType type, ErrorKind kind,
+                      ErrorScope scope, std::uint64_t job,
+                      std::string component, std::string detail = "") {
+  TraceEvent event;
+  event.id = id;
+  event.parent = parent;
+  event.when = SimTime::usec(usec);
+  event.type = type;
+  event.form = ErrorForm::kExplicit;
+  event.kind = kind;
+  event.scope = scope;
+  event.job = job;
+  event.component = std::move(component);
+  event.detail = std::move(detail);
+  return event;
+}
+
+// ---- identity helpers ----
+
+TEST(Blame, DaemonOfSplitsComponentNames) {
+  EXPECT_EQ(daemon_of("schedd@submit0"), "schedd");
+  EXPECT_EQ(daemon_of("shadow@submit0/job3"), "shadow");
+  EXPECT_EQ(daemon_of("starter@p1.exec0"), "starter");
+  EXPECT_EQ(daemon_of("escalator"), "escalator");
+  EXPECT_EQ(daemon_of(""), "-");
+  EXPECT_EQ(daemon_of("@host"), "-");
+}
+
+TEST(Blame, PoolOfReadsFederatedProvenance) {
+  EXPECT_EQ(pool_of("home.submit"), "home");
+  EXPECT_EQ(pool_of("p1.exec0"), "p1");
+  EXPECT_EQ(pool_of("exec0"), "-");
+  EXPECT_EQ(pool_of(""), "-");
+}
+
+TEST(Blame, AlignKeyExcludesIdsAndDetails) {
+  TraceEvent a = make_event(1, 0, 100, TraceEventType::kRaised,
+                            ErrorKind::kScratchUnavailable,
+                            ErrorScope::kRemoteResource, 7, "starter@exec0",
+                            "first try");
+  TraceEvent b = make_event(900, 17, 999, TraceEventType::kRaised,
+                            ErrorKind::kScratchUnavailable,
+                            ErrorScope::kRemoteResource, 7, "starter@exec0",
+                            "different detail, ids, and time");
+  EXPECT_EQ(AlignKey::of(a), AlignKey::of(b));
+  b.job = 8;
+  EXPECT_NE(AlignKey::of(a), AlignKey::of(b));
+}
+
+// ---- alignment and divergence ----
+
+Journal chronic_baseline() {
+  Journal journal;
+  journal.events.push_back(make_event(
+      1, 0, 1000, TraceEventType::kRaised, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "starter@exec1", "env failure"));
+  journal.events.push_back(make_event(
+      2, 1, 1200, TraceEventType::kRouted, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "to schedd"));
+  journal.events.push_back(make_event(
+      3, 2, 1300, TraceEventType::kMasked, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "rescheduling"));
+  return journal;
+}
+
+TEST(Blame, IdenticalJournalsHaveNoDivergence) {
+  const Journal journal = chronic_baseline();
+  const BlameReport report =
+      blame_journals(journal, journal, "left", "right");
+  EXPECT_FALSE(report.found());
+  EXPECT_EQ(report.divergence, DivergenceKind::kNone);
+  EXPECT_EQ(report.confidence, BlameConfidence::kNoDivergence);
+  EXPECT_TRUE(report.chain.empty());
+  EXPECT_EQ(report.baseline.events, 3u);
+  EXPECT_EQ(report.subject.events, 3u);
+}
+
+TEST(Blame, ExtraDispositionSpanIsBlamed) {
+  const Journal baseline = chronic_baseline();
+  Journal subject = baseline;
+  subject.events.push_back(make_event(
+      4, 2, 1400, TraceEventType::kDelivered, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "to the user"));
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped", "naive");
+  ASSERT_TRUE(report.found());
+  EXPECT_EQ(report.divergence, DivergenceKind::kExtra);
+  const AlignKey key = report.blamed_key();
+  EXPECT_EQ(key.daemon, "schedd");
+  EXPECT_EQ(key.machine, "submit0");
+  EXPECT_EQ(key.action, TraceEventType::kDelivered);
+  EXPECT_EQ(report.confidence, BlameConfidence::kExact);
+  // Chain is root-first and ends at the blamed span.
+  ASSERT_EQ(report.chain.size(), 3u);
+  EXPECT_EQ(report.chain.front().id, 1u);
+  EXPECT_EQ(report.chain.back().id, 4u);
+}
+
+TEST(Blame, MissingDispositionSpanIsBlamed) {
+  const Journal baseline = chronic_baseline();
+  Journal subject = baseline;
+  subject.events.pop_back();  // the naive leg never masked/rescheduled
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped", "naive");
+  ASSERT_TRUE(report.found());
+  EXPECT_EQ(report.divergence, DivergenceKind::kMissing);
+  EXPECT_EQ(report.blamed_key().action, TraceEventType::kMasked);
+  EXPECT_EQ(report.blamed_key().daemon, "schedd");
+}
+
+TEST(Blame, DispositionTierOutranksEarlierJourneyNoise) {
+  // Both legs saw different journey spans early on (the disciplines
+  // schedule differently — benign) and disagree on one disposition later.
+  // The disposition must win even though the journey noise is earlier.
+  Journal baseline = chronic_baseline();
+  baseline.events.insert(
+      baseline.events.begin(),
+      make_event(10, 0, 10, TraceEventType::kRaised,
+                 ErrorKind::kConnectionLost, ErrorScope::kNetwork, 1,
+                 "shadow@submit0/job1", "baseline-only retry"));
+  Journal subject = chronic_baseline();
+  subject.events.insert(
+      subject.events.begin(),
+      make_event(11, 0, 5, TraceEventType::kRaised,
+                 ErrorKind::kConnectionLost, ErrorScope::kNetwork, 2,
+                 "shadow@submit0/job2", "subject-only retry"));
+  subject.events.push_back(make_event(
+      12, 0, 5000, TraceEventType::kDelivered, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "to the user"));
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped", "naive");
+  ASSERT_TRUE(report.found());
+  EXPECT_EQ(report.divergence, DivergenceKind::kExtra);
+  EXPECT_EQ(report.blamed_key().action, TraceEventType::kDelivered);
+  EXPECT_EQ(report.blamed.when.as_usec(), 5000);
+}
+
+TEST(Blame, JourneyDivergenceStillFoundWhenDispositionsAlign) {
+  const Journal baseline = chronic_baseline();
+  Journal subject = baseline;
+  subject.events.push_back(make_event(
+      9, 0, 2000, TraceEventType::kEscalated, ErrorKind::kScratchUnavailable,
+      ErrorScope::kCluster, 3, "escalator", "widened"));
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped", "naive");
+  ASSERT_TRUE(report.found());
+  EXPECT_EQ(report.divergence, DivergenceKind::kExtra);
+  EXPECT_EQ(report.blamed_key().action, TraceEventType::kEscalated);
+}
+
+TEST(Blame, SimultaneousDivergenceTiebreaksToExtra) {
+  const Journal base = chronic_baseline();
+  Journal left = base;
+  left.events.push_back(make_event(
+      4, 0, 7000, TraceEventType::kConsumed, ErrorKind::kScratchUnavailable,
+      ErrorScope::kLocalResource, 0, "schedd@submit0", "avoidance"));
+  Journal right = base;
+  right.events.push_back(make_event(
+      4, 0, 7000, TraceEventType::kDelivered, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "to the user"));
+  const BlameReport report = blame_journals(left, right, "l", "r");
+  ASSERT_TRUE(report.found());
+  // Same `when` on both sides: the subject's extra span names what the
+  // failing run actually did, so it wins the tie.
+  EXPECT_EQ(report.divergence, DivergenceKind::kExtra);
+  EXPECT_EQ(report.blamed_key().action, TraceEventType::kDelivered);
+}
+
+TEST(Blame, ChainTruncatesAtEvictedAncestor) {
+  Journal baseline = chronic_baseline();
+  Journal subject = chronic_baseline();
+  // The divergent span's parent chain reaches an id the ring evicted.
+  subject.events.push_back(make_event(
+      20, 999, 8000, TraceEventType::kDropped, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "lost"));
+  const BlameReport report = blame_journals(baseline, subject, "a", "b");
+  ASSERT_TRUE(report.found());
+  ASSERT_EQ(report.chain.size(), 1u);
+  EXPECT_EQ(report.chain.front().id, 20u);
+}
+
+// ---- ring-wrap degradation ----
+
+TEST(Blame, RingWrapDegradesConfidenceAndSurfacesDrops) {
+  Journal baseline = chronic_baseline();
+  Journal subject = chronic_baseline();
+  subject.events.pop_back();
+  subject.dropped[ErrorScope::kRemoteResource] = 12;
+  subject.dropped[ErrorScope::kNetwork] = 5;
+  const BlameReport report =
+      blame_journals(baseline, subject, "full", "wrapped");
+  ASSERT_TRUE(report.found());
+  EXPECT_EQ(report.confidence, BlameConfidence::kRingWrapped);
+  EXPECT_EQ(report.subject.dropped, 17u);
+  EXPECT_EQ(report.baseline.dropped, 0u);
+  // The header carries both sides' dropped counts...
+  EXPECT_NE(report.str().find("# subject 2 17 wrapped"), std::string::npos);
+  // ...and the ANSI rendering says the verdict is suspect.
+  EXPECT_NE(report.ansi(false).find("ring-wrapped"), std::string::npos);
+}
+
+// ---- torn journals ----
+
+TEST(Blame, TornTrailingLineDiffsOverCompletePrefix) {
+  const Journal full = chronic_baseline();
+  const std::string text = journal_str(full.events, full.dropped);
+  // Tear the final line mid-write, as a crashed writer would leave it.
+  const std::string torn = text.substr(0, text.size() - 25);
+  ASSERT_FALSE(torn.ends_with('\n'));
+  const std::optional<Journal> parsed = parse_journal_prefix(torn);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->events.size(), 2u);
+  const BlameReport report =
+      blame_journals(full, *parsed, "full", "torn");
+  ASSERT_TRUE(report.found());
+  // The torn-off span surfaces as the divergence, not a parse failure.
+  EXPECT_EQ(report.divergence, DivergenceKind::kMissing);
+  EXPECT_EQ(report.blamed.id, full.events.back().id);
+}
+
+// ---- federated provenance ----
+
+TEST(Blame, FederatedJournalsCarryPoolProvenanceIntoKeys) {
+  Journal baseline;
+  baseline.events.push_back(make_event(
+      1, 0, 100, TraceEventType::kRaised, ErrorKind::kConnectionLost,
+      ErrorScope::kNetwork, 4, "startd@p1.exec0", "trunk severed"));
+  Journal subject = baseline;
+  subject.events.push_back(make_event(
+      2, 1, 300, TraceEventType::kDelivered, ErrorKind::kConnectionLost,
+      ErrorScope::kNetwork, 4, "schedd@home.submit", "to the user"));
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped", "naive");
+  ASSERT_TRUE(report.found());
+  const AlignKey key = report.blamed_key();
+  EXPECT_EQ(key.daemon, "schedd");
+  EXPECT_EQ(key.machine, "home.submit");
+  EXPECT_EQ(pool_of(key.machine), "home");
+  EXPECT_NE(report.json().find("\"pool\": \"home\""), std::string::npos);
+  // Same machine name, different pool = a different blame key.
+  TraceEvent other = subject.events.back();
+  other.component = "schedd@p2.submit";
+  EXPECT_NE(AlignKey::of(subject.events.back()), AlignKey::of(other));
+}
+
+// ---- serialization round trip ----
+
+TEST(Blame, ReportRoundTripsThroughTextFormat) {
+  Journal baseline = chronic_baseline();
+  Journal subject = chronic_baseline();
+  subject.events.push_back(make_event(
+      4, 3, 2000, TraceEventType::kDelivered, ErrorKind::kScratchUnavailable,
+      ErrorScope::kRemoteResource, 3, "schedd@submit0", "tab\tand\\slash"));
+  subject.dropped[ErrorScope::kProcess] = 2;
+  const BlameReport report =
+      blame_journals(baseline, subject, "scoped label with spaces", "naive");
+  const std::optional<BlameReport> parsed = parse_blame_report(report.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->baseline, report.baseline);
+  EXPECT_EQ(parsed->subject, report.subject);
+  EXPECT_EQ(parsed->confidence, report.confidence);
+  EXPECT_EQ(parsed->divergence, report.divergence);
+  EXPECT_EQ(parsed->chain.size(), report.chain.size());
+  EXPECT_EQ(parsed->blamed_key(), report.blamed_key());
+  EXPECT_EQ(parsed->blamed.detail, "tab\tand\\slash");
+  // Serializing the parse reproduces the exact bytes.
+  EXPECT_EQ(parsed->str(), report.str());
+}
+
+TEST(Blame, NoDivergenceReportRoundTrips) {
+  const Journal journal = chronic_baseline();
+  const BlameReport report = blame_journals(journal, journal, "a", "b");
+  const std::optional<BlameReport> parsed = parse_blame_report(report.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->found());
+  EXPECT_EQ(parsed->str(), report.str());
+}
+
+TEST(Blame, ParseRejectsMalformedReports) {
+  const Journal journal = chronic_baseline();
+  Journal subject = journal;
+  subject.events.pop_back();
+  const std::string good =
+      blame_journals(journal, subject, "a", "b").str();
+  EXPECT_TRUE(parse_blame_report(good).has_value());
+
+  EXPECT_FALSE(parse_blame_report("").has_value());
+  EXPECT_FALSE(parse_blame_report("# not a blame file\n").has_value());
+  // Unknown header line: strict.
+  EXPECT_FALSE(
+      parse_blame_report(good + "# surprise extension\n").has_value());
+  // Chain count mismatch: strict.
+  std::string short_chain = good;
+  short_chain.resize(short_chain.rfind('\n', short_chain.size() - 2) + 1);
+  EXPECT_FALSE(parse_blame_report(short_chain).has_value());
+  // A divergent verdict with no chain is inconsistent.
+  EXPECT_FALSE(parse_blame_report("# esg-blame v1\n"
+                                  "# baseline 3 0 a\n"
+                                  "# subject 2 0 b\n"
+                                  "# confidence exact\n"
+                                  "# verdict missing\n"
+                                  "# chain 0\n")
+                   .has_value());
+}
+
+// ---- pinned end-to-end: the PR 5 chaos gate's shrunk plan ----
+
+/// The exact minimized artifact chaos_campaign_naive_bites produces (seed
+/// 1, 32 plans, naive discipline): one chronic fs-fault window on exec2.
+/// Pinned here so end-to-end blame is tested on the real gate artifact,
+/// not a synthetic journal.
+constexpr const char* kPinnedChronicPlan =
+    "# esg-faultplan v1\n"
+    "# seed 10590380919521690900\n"
+    "# pool discipline=naive machines=4 jobs=24 mean-compute-usec=30000000 "
+    "limit-usec=28800000000\n"
+    "39360815 chronic exec2 rate=0.56\n";
+
+const chaos::FaultPlan& pinned_plan() {
+  static const chaos::FaultPlan plan = [] {
+    std::optional<chaos::FaultPlan> parsed =
+        chaos::parse_plan(kPinnedChronicPlan);
+    EXPECT_TRUE(parsed.has_value());
+    return *parsed;
+  }();
+  return plan;
+}
+
+TEST(BlameEndToEnd, PinnedChronicPlanBlamesTheSchedd) {
+  const BlameReport report = chaos::blame_plan(pinned_plan());
+  ASSERT_TRUE(report.found());
+  const AlignKey key = report.blamed_key();
+  // The naive schedd's disposition is the laundering site esg-flow names
+  // statically: the chronic machine fault reaches the user as the job's
+  // problem. Dynamic blame must converge on the same daemon.
+  EXPECT_EQ(key.daemon, "schedd");
+  EXPECT_EQ(key.machine, "submit0");
+  EXPECT_EQ(key.scope, ErrorScope::kRemoteResource);
+  EXPECT_EQ(key.kind, ErrorKind::kScratchUnavailable);
+  EXPECT_EQ(report.confidence, BlameConfidence::kExact);
+  // Root-first: the chain starts at the injection's first observable span
+  // on the chronic machine and ends at the schedd's disposition.
+  ASSERT_GE(report.chain.size(), 2u);
+  EXPECT_EQ(daemon_of(report.chain.front().component), "starter");
+  EXPECT_EQ(AlignKey::of(report.chain.front()).machine, "exec2");
+}
+
+TEST(BlameEndToEnd, BlameIsByteDeterministic) {
+  const BlameReport once = chaos::blame_plan(pinned_plan());
+  const BlameReport twice = chaos::blame_plan(pinned_plan());
+  EXPECT_EQ(once.str(), twice.str());
+  EXPECT_EQ(once.json(), twice.json());
+  EXPECT_EQ(once.ansi(true), twice.ansi(true));
+}
+
+// ---- golden report ----
+
+/// Compare against the committed golden artifact. Bless new output with:
+///   ESG_BLESS=1 ./tests/test_blame --gtest_filter='*Golden*'
+void expect_matches_golden(const std::string& rendered,
+                           const std::string& name) {
+  const std::string path =
+      std::string(ESG_SOURCE_DIR) + "/tests/golden/" + name;
+  if (std::getenv("ESG_BLESS") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot bless " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with ESG_BLESS=1 to create)";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(rendered, buf.str())
+      << "blame report drifted from " << path
+      << "; if intentional, re-bless with ESG_BLESS=1";
+}
+
+TEST(BlameGolden, PinnedChronicPlanReportMatchesGolden) {
+  const BlameReport report = chaos::blame_plan(pinned_plan());
+  expect_matches_golden(report.str(), "chaos-blame.report");
+}
+
+}  // namespace
+}  // namespace esg::obs

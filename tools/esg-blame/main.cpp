@@ -1,0 +1,222 @@
+// esg-blame: name the daemon at fault from two causal span journals.
+//
+// Three entry points:
+//   --plan FILE            replay a saved esg-faultplan twice — once with
+//                          the discipline forced to "scoped" (baseline),
+//                          once as written (subject) — and localize the
+//                          first divergent span. Federated plans
+//                          (shape pools>=2) replay as federations.
+//   --baseline A --subject B
+//                          diff two saved esg-journal v1 files directly
+//                          (healthy seed vs failing seed, 1-thread vs
+//                          8-thread, yesterday vs today).
+//   --crosscheck           close the static/dynamic loop: compile every
+//                          confirmable esg-flow laundering finding to its
+//                          witness plan, blame each plan, and require the
+//                          blamed daemon to be the owner of the witness
+//                          path's laundering site. Exit 0 only when every
+//                          confirmed witness's blame agrees with the
+//                          static analysis.
+//
+// Shared flags:
+//   --json         print the report as deterministic JSON instead of ANSI
+//   --text         print the committed-golden "# esg-blame v1" text form
+//   --no-color     ANSI rendering without escape codes
+//   --out FILE     also write the text-format report to FILE
+//   --limit K      --crosscheck: stop after K compiled witnesses (default 4)
+//
+// Exit codes: 0 verdict as expected, 1 blame missing/mismatched, 2 usage
+// or IO error. For --plan and journal diffing, "expected" means the
+// report itself was produced — a no-divergence verdict still exits 0; it
+// is a statement about the journals, not a failure of the tool.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/flow.hpp"
+#include "chaos/blame.hpp"
+#include "chaos/plan.hpp"
+#include "chaos/witness.hpp"
+#include "flock/chaos.hpp"
+#include "obs/blame.hpp"
+#include "obs/export.hpp"
+#include "pool/topology.hpp"
+
+using namespace esg;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --plan FILE | --baseline A --subject B | "
+               "--crosscheck\n"
+               "          [--json] [--text] [--no-color] [--out FILE]\n"
+               "          [--limit K]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int emit(const obs::BlameReport& report, bool json, bool text, bool color,
+         const std::string& out_path) {
+  if (json) {
+    std::fputs(report.json().c_str(), stdout);
+  } else if (text) {
+    std::fputs(report.str().c_str(), stdout);
+  } else {
+    std::fputs(report.ansi(color).c_str(), stdout);
+  }
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "esg-blame: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+    out << report.str();
+  }
+  return 0;
+}
+
+/// The owning daemon of a topology node name ("schedd.disposition" ->
+/// "schedd") — the unit the blame report must converge on.
+std::string node_owner(const std::string& node) {
+  return node.substr(0, node.find('.'));
+}
+
+int crosscheck(int limit, bool color) {
+  const analysis::TopologyModel model =
+      pool::describe_pool_topology(daemons::DisciplineConfig::naive());
+  const analysis::FlowReport flow = analysis::FlowAnalyzer().analyze(model);
+
+  int attempted = 0;
+  int agreed = 0;
+  for (const analysis::FlowFinding& finding : flow.findings) {
+    if (attempted >= limit) break;
+    const auto witness = chaos::compile_witness(finding);
+    if (!witness) continue;
+    ++attempted;
+
+    std::printf("--- crosschecking %s [%s] laundered at %s ---\n",
+                finding.rule.c_str(), std::string(kind_name(finding.kind)).c_str(),
+                finding.laundering_node.c_str());
+    const chaos::WitnessVerdict verdict =
+        chaos::confirm_witness(witness->plan);
+    if (!verdict.confirmed()) {
+      std::printf("  witness did not confirm dynamically — skipping blame\n");
+      continue;
+    }
+
+    const obs::BlameReport report = chaos::blame_plan(witness->plan);
+    if (!report.found()) {
+      std::printf("  BLAME MISSING: journals did not diverge\n");
+      continue;
+    }
+    const obs::AlignKey key = report.blamed_key();
+    const std::string expected = node_owner(finding.laundering_node);
+    const bool match = key.daemon == expected;
+    std::printf("  blamed: %s  (static laundering site owner: %s) %s\n",
+                key.str().c_str(), expected.c_str(),
+                match ? "AGREE" : "DISAGREE");
+    std::fputs(report.ansi(color).c_str(), stdout);
+    if (match) ++agreed;
+  }
+
+  std::printf("blame agrees with static analysis on %d/%d confirmed "
+              "witness(es)\n",
+              agreed, attempted);
+  if (attempted == 0) {
+    std::fprintf(stderr, "esg-blame: nothing to crosscheck\n");
+    return 1;
+  }
+  return agreed == attempted ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string plan_path, baseline_path, subject_path, out_path;
+  bool json = false, text = false, color = true, do_crosscheck = false;
+  int limit = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next_str = [&](std::string& out) {
+      if (i + 1 < argc) out = argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--plan")) {
+      next_str(plan_path);
+    } else if (!std::strcmp(argv[i], "--baseline")) {
+      next_str(baseline_path);
+    } else if (!std::strcmp(argv[i], "--subject")) {
+      next_str(subject_path);
+    } else if (!std::strcmp(argv[i], "--crosscheck")) {
+      do_crosscheck = true;
+    } else if (!std::strcmp(argv[i], "--limit")) {
+      if (i + 1 < argc) limit = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
+    } else if (!std::strcmp(argv[i], "--text")) {
+      text = true;
+    } else if (!std::strcmp(argv[i], "--no-color")) {
+      color = false;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      next_str(out_path);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (do_crosscheck) return crosscheck(limit, color);
+
+  if (!plan_path.empty()) {
+    const std::optional<std::string> bytes = read_file(plan_path);
+    if (!bytes) {
+      std::fprintf(stderr, "esg-blame: cannot read %s\n", plan_path.c_str());
+      return 2;
+    }
+    const std::optional<chaos::FaultPlan> plan = chaos::parse_plan(*bytes);
+    if (!plan) {
+      std::fprintf(stderr, "esg-blame: %s is not an esg-faultplan v1 file\n",
+                   plan_path.c_str());
+      return 2;
+    }
+    const bool federated = plan->shape.pools >= 2;
+    const obs::BlameReport report =
+        federated ? chaos::blame_plan(*plan, flock::replay_federated)
+                  : chaos::blame_plan(*plan);
+    return emit(report, json, text, color, out_path);
+  }
+
+  if (!baseline_path.empty() && !subject_path.empty()) {
+    const std::optional<std::string> a = read_file(baseline_path);
+    const std::optional<std::string> b = read_file(subject_path);
+    if (!a || !b) {
+      std::fprintf(stderr, "esg-blame: cannot read %s\n",
+                   (!a ? baseline_path : subject_path).c_str());
+      return 2;
+    }
+    // Tolerant prefix parse: a journal another process is still appending
+    // to (or a copy torn mid-line) diffs over its complete lines.
+    const std::optional<obs::Journal> baseline = obs::parse_journal_prefix(*a);
+    const std::optional<obs::Journal> subject = obs::parse_journal_prefix(*b);
+    if (!baseline || !subject) {
+      std::fprintf(stderr, "esg-blame: %s is not an esg-journal v1 file\n",
+                   (!baseline ? baseline_path : subject_path).c_str());
+      return 2;
+    }
+    const obs::BlameReport report = obs::blame_journals(
+        *baseline, *subject, baseline_path, subject_path);
+    return emit(report, json, text, color, out_path);
+  }
+
+  return usage(argv[0]);
+}

@@ -30,6 +30,10 @@
 //   --shrink         with --plan: ddmin a failing plan after replaying it
 //   --no-shrink      with --campaign: skip shrinking (faster scoped gates)
 //   --out FILE       write the minimized failing plan here (CI artifact)
+//   --blame-out FILE write the minimized plan's blame report here; when
+//                    unset it lands next to --out ("chaos-minimized.plan"
+//                    -> "chaos-blame.report"), so every red campaign ships
+//                    the guilty daemon alongside the repro
 //   --json           machine-readable campaign result on stdout
 //   --expect-fail    invert the verdict: exit 0 only if at least one plan
 //                    failed AND the shrunk plan still fails on replay (the
@@ -42,6 +46,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "chaos/campaign.hpp"
 #include "chaos/plan.hpp"
@@ -57,7 +62,8 @@ int usage(const char* argv0) {
                "          [--seed S] [--threads T] [--discipline scoped|naive]\n"
                "          [--machines N] [--jobs N] [--shrink | --no-shrink]\n"
                "          [--federated] [--pools N] [--triage K]\n"
-               "          [--out FILE] [--json] [--expect-fail]\n",
+               "          [--out FILE] [--blame-out FILE] [--json]\n"
+               "          [--expect-fail]\n",
                argv0);
   return 2;
 }
@@ -112,8 +118,21 @@ int run_plan(const std::string& path, bool do_shrink, const std::string& out_pat
   return run.ok() ? 0 : 1;
 }
 
+/// Where the blame report lands when --blame-out is not given: next to the
+/// minimized plan, "<prefix>minimized.plan" -> "<prefix>blame.report".
+std::string derive_blame_path(const std::string& out_path) {
+  static constexpr std::string_view kPlanSuffix = "minimized.plan";
+  if (out_path.size() >= kPlanSuffix.size() &&
+      out_path.ends_with(kPlanSuffix)) {
+    return out_path.substr(0, out_path.size() - kPlanSuffix.size()) +
+           "blame.report";
+  }
+  return out_path + ".blame.report";
+}
+
 int run_campaign(const chaos::CampaignOptions& options, bool federated,
-                 bool json, bool expect_fail, const std::string& out_path) {
+                 bool json, bool expect_fail, const std::string& out_path,
+                 const std::string& blame_out) {
   const chaos::CampaignResult result =
       federated ? flock::run_federated_campaign(options)
                 : chaos::CampaignRunner(options).run();
@@ -122,6 +141,17 @@ int run_campaign(const chaos::CampaignOptions& options, bool federated,
   if (result.minimized.has_value() && !out_path.empty() &&
       !write_file(out_path, result.minimized->str())) {
     return 2;
+  }
+  if (result.blame.has_value()) {
+    const std::string blame_path =
+        !blame_out.empty()
+            ? blame_out
+            : (!out_path.empty() ? derive_blame_path(out_path)
+                                 : std::string());
+    if (!blame_path.empty() &&
+        !write_file(blame_path, result.blame->str())) {
+      return 2;
+    }
   }
   if (expect_fail) {
     // The gate that proves the oracles can fail: some plan must have gone
@@ -144,6 +174,7 @@ int run_campaign(const chaos::CampaignOptions& options, bool federated,
 int main(int argc, char** argv) {
   std::string plan_path;
   std::string out_path;
+  std::string blame_out;
   chaos::CampaignOptions options;
   bool have_campaign = false;
   bool federated = false;
@@ -190,6 +221,8 @@ int main(int argc, char** argv) {
       options.shrink = false;
     } else if (!std::strcmp(argv[i], "--out")) {
       next_str(out_path);
+    } else if (!std::strcmp(argv[i], "--blame-out")) {
+      next_str(blame_out);
     } else if (!std::strcmp(argv[i], "--json")) {
       json = true;
     } else if (!std::strcmp(argv[i], "--expect-fail")) {
@@ -207,7 +240,8 @@ int main(int argc, char** argv) {
     }
     if (options.plans <= 0) return usage(argv[0]);
     if (federated && options.shape.pools < 2) options.shape.pools = 3;
-    return run_campaign(options, federated, json, expect_fail, out_path);
+    return run_campaign(options, federated, json, expect_fail, out_path,
+                        blame_out);
   }
   return usage(argv[0]);
 }

@@ -16,6 +16,10 @@
 //                    aggregator's dashboard — per-pool provenance (chunks,
 //                    dedup, events, last seq) plus each child's table and
 //                    the merged cross-pool view
+//   --blame FILE     render a saved esg-blame report (the chaos campaign's
+//                    chaos-blame.report artifact, or esg-blame --out): the
+//                    verdict header, a sparkline of the causal chain over
+//                    simulated time, and the chain itself, root first
 //
 // Modes and outputs:
 //   --once           render a single frame and exit (CI smoke tests)
@@ -41,6 +45,7 @@
 
 #include "flock/chaos.hpp"
 #include "flock/federation.hpp"
+#include "obs/blame.hpp"
 #include "obs/dashboard.hpp"
 #include "obs/export.hpp"
 #include "pool/pool.hpp"
@@ -53,7 +58,7 @@ namespace {
 int usage(const char* argv0) {
   std::printf(
       "usage: %s (--journal FILE | --follow FILE | --demo naive|scoped\n"
-      "           | --parent naive|scoped)\n"
+      "           | --parent naive|scoped | --blame FILE)\n"
       "          [--once] [--json] [--journal-out FILE] [--slice SEC]\n"
       "          [--interval MS] [--frames N] [--pools N]\n"
       "          [--seed S] [--jobs N] [--bad N] [--good N]\n",
@@ -95,6 +100,43 @@ int run_journal(const std::string& path, SimTime slice, bool json) {
   obs::FlowAggregate aggregate = aggregator.snapshot();
   aggregate.dropped_spans = journal->dropped;
   return render(aggregate, path, json, /*color=*/false);
+}
+
+int run_blame(const std::string& path, SimTime slice, bool json) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "esg-top: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::optional<obs::BlameReport> report =
+      obs::parse_blame_report(buf.str());
+  if (!report) {
+    std::fprintf(stderr, "esg-top: %s is not an esg-blame v1 report\n",
+                 path.c_str());
+    return 1;
+  }
+  if (json) {
+    std::fputs(report->json().c_str(), stdout);
+    return 0;
+  }
+  // The causal chain as a time-sliced sparkline, in the same glyph style
+  // as the dashboard's per-kind rows: where in the run the error's journey
+  // happened, at a glance, before the chain itself.
+  if (!report->chain.empty()) {
+    obs::FlowSeries series;
+    for (const obs::TraceEvent& event : report->chain) {
+      ++series.total;
+      ++series.slices[event.when.as_usec() / slice.as_usec()];
+    }
+    std::printf("%s  chain |%s| %zu span(s)\n", path.c_str(),
+                obs::sparkline(series).c_str(), report->chain.size());
+  } else {
+    std::printf("%s\n", path.c_str());
+  }
+  std::fputs(report->ansi(/*color=*/true).c_str(), stdout);
+  return 0;
 }
 
 int run_follow(const std::string& path, SimTime slice, bool json,
@@ -263,6 +305,7 @@ int run_parent(const DemoOptions& demo, int pools, SimTime slice, bool json,
 
 int main(int argc, char** argv) {
   std::string journal_path;
+  std::string blame_path;
   std::string follow_path;
   std::string journal_out;
   DemoOptions demo;
@@ -284,6 +327,8 @@ int main(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--journal")) {
       next_str(journal_path);
+    } else if (!std::strcmp(argv[i], "--blame")) {
+      next_str(blame_path);
     } else if (!std::strcmp(argv[i], "--follow")) {
       next_str(follow_path);
     } else if (!std::strcmp(argv[i], "--interval")) {
@@ -328,6 +373,7 @@ int main(int argc, char** argv) {
 
   const SimTime slice = SimTime::sec(slice_sec);
   if (!journal_path.empty()) return run_journal(journal_path, slice, json);
+  if (!blame_path.empty()) return run_blame(blame_path, slice, json);
   if (!follow_path.empty()) {
     return run_follow(follow_path, slice, json, interval_ms, frames);
   }
