@@ -175,6 +175,7 @@ int run_budget() {
   double overhead = measure_overhead();
   // A shared CI box can lose the coin toss even on min-of-reps; believe a
   // failure only if it reproduces.
+  // esg-lint: allow(naked-retry) — re-measurement, not error recovery
   for (int retry = 0; retry < 2 && overhead > overhead_limit; ++retry) {
     std::fprintf(stderr,
                  "budget: enabled overhead %.1f%% over %.0f%% limit; "
@@ -184,6 +185,7 @@ int run_budget() {
   }
 
   double disabled_ns = measure_disabled_ns();
+  // esg-lint: allow(naked-retry) — re-measurement, not error recovery
   for (int retry = 0; retry < 2 && disabled_ns > disabled_ns_limit; ++retry) {
     std::fprintf(stderr,
                  "budget: disabled call %.2fns over %.0fns limit; "

@@ -12,6 +12,7 @@
 #include "obs/export.hpp"
 #include "pool/pool.hpp"
 #include "pool/workload.hpp"
+#include "resilience/pattern.hpp"
 
 namespace esg::chaos {
 namespace {
@@ -64,7 +65,15 @@ pool::SweepCell CampaignRunner::make_cell(const FaultPlan& plan,
                           ? daemons::DisciplineConfig::naive()
                           : daemons::DisciplineConfig::scoped();
   if (plan.shape.discipline != "naive") {
-    config.discipline.schedd_avoidance = true;
+    // A pattern monoculture (chaos/score.hpp) replaces the classic table
+    // with one strategy bound pool-wide; otherwise the scoped cell runs
+    // the classic discipline with §5 avoidance on.
+    if (const std::optional<resilience::PatternKind> pattern =
+            resilience::parse_pattern(plan.shape.pattern)) {
+      config.discipline = daemons::DisciplineConfig::pattern_monoculture(*pattern);
+    } else {
+      config.discipline.schedd_avoidance = true;
+    }
   }
   // All machines good: a fault-free run passes every oracle under either
   // discipline, so any red cell is attributable to the injected plan — and

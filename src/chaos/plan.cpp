@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "resilience/pattern.hpp"
 
 namespace esg::chaos {
 namespace {
@@ -97,6 +98,7 @@ std::string FaultPlan::str() const {
      << " mean-compute-usec=" << shape.mean_compute.as_usec()
      << " limit-usec=" << shape.limit.as_usec();
   if (shape.pools != 1) os << " pools=" << shape.pools;
+  if (!shape.pattern.empty()) os << " pattern=" << shape.pattern;
   os << "\n";
   for (const FaultAction& action : actions) os << action.str() << "\n";
   return os.str();
@@ -146,6 +148,9 @@ std::optional<FaultPlan> parse_plan(std::string_view text) {
           plan.shape.limit = SimTime::usec(usec);
         } else if (key == "pools") {
           if (!parse_int(value, plan.shape.pools)) return std::nullopt;
+        } else if (key == "pattern") {
+          if (!resilience::parse_pattern(value)) return std::nullopt;
+          plan.shape.pattern = std::string(value);
         } else {
           return std::nullopt;
         }
@@ -219,8 +224,9 @@ FaultPlan make_random_plan(std::uint64_t seed, const PlanShape& shape) {
   for (int i = 0; i < primaries; ++i) {
     // Bounded, deterministic retries: a draw that would overlap (or a
     // second chronic) is discarded and redrawn; persistent bad luck skips
-    // the primary rather than looping forever.
-    for (int attempt = 0; attempt < 8; ++attempt) {
+    // the primary rather than looping forever. This redraws a random
+    // sample — nothing failed, nothing recovers — so no Strategy applies.
+    for (int attempt = 0; attempt < 8; ++attempt) {  // esg-lint: allow(naked-retry)
       static constexpr FaultActionType kKinds[] = {
           FaultActionType::kCrash,    FaultActionType::kPartition,
           FaultActionType::kLink,     FaultActionType::kFsFaults,

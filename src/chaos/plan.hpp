@@ -74,6 +74,13 @@ struct PoolShape {
   /// the "# pool" header only when != 1, so single-pool plan artifacts
   /// keep their bytes.
   int pools = 1;
+  /// Resilience-pattern monoculture for scoped cells: when non-empty the
+  /// cell's schedd binds this resilience::PatternKind pool-wide instead of
+  /// the classic table (see DisciplineConfig::pattern_monoculture and
+  /// chaos/score.hpp's pattern scorecards). Serialized in the "# pool"
+  /// header only when non-empty, so existing plan artifacts keep their
+  /// bytes. Ignored for naive cells — naive means no scope routing at all.
+  std::string pattern;
 
   friend bool operator==(const PoolShape&, const PoolShape&) = default;
 };
@@ -98,7 +105,7 @@ struct FaultPlan {
 ///   # esg-faultplan v1
 ///   # seed <u64>
 ///   # pool discipline=<name> machines=<n> jobs=<n> mean-compute-usec=<i64>
-///       limit-usec=<i64>
+///       limit-usec=<i64> [pools=<n>] [pattern=<name>]
 ///   <at-usec> <action> <host> [rate=<f>] [duration-usec=<i64>]
 ///       [latency-usec=<i64>]
 ///

@@ -1,0 +1,416 @@
+#include "chaos/score.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "chaos/inject.hpp"
+#include "chaos/plan.hpp"
+#include "common/strings.hpp"
+#include "daemons/config.hpp"
+#include "daemons/groundtruth.hpp"
+#include "pool/pool.hpp"
+#include "pool/reliable.hpp"
+#include "pool/sweep.hpp"
+
+namespace esg::chaos {
+namespace {
+
+constexpr int kMachines = 4;
+constexpr int kLogicalJobs = 8;
+constexpr int kReplicas = 3;
+/// Every scoring job writes this via the wrapper: 256 zero bytes, the same
+/// ground truth pool/reliable.hpp votes over. Anything else delivered as
+/// success is a lie.
+const std::string& expected_output() {
+  static const std::string bytes(256, '\0');
+  return bytes;
+}
+
+/// One scope family: a fixed-compute workload under one fault schedule.
+/// Compute times are fixed (not exponential) so the ideal CPU cost of the
+/// surviving jobs is known exactly and "wasted" is total minus ideal.
+struct Family {
+  const char* name;
+  SimTime compute;
+  bool program_error;  ///< jobs throw (program scope) instead of writing
+  int jobs = kLogicalJobs;
+  /// Open the output stream before computing instead of after. An open
+  /// stream pins the JVM (connections cannot migrate, so no checkpoints):
+  /// a failure anywhere in the attempt then destroys the whole compute,
+  /// for every pattern alike — which is what makes *not visiting* a bad
+  /// machine, rather than recovering cleverly on it, the winning move.
+  bool hold_output_open = false;
+};
+
+const std::vector<Family>& families() {
+  static const std::vector<Family> all = {
+      // Chronic-host runs a longer queue: the point of Avoid's pool-wide
+      // quarantine is that it pays the bad host a *constant* number of
+      // visits while per-job exclusion pays one per job, and that gap only
+      // shows once the queue is long relative to the quarantine threshold.
+      {"chronic-host", SimTime::sec(30), false, 24, true},
+      {"eviction-storm", SimTime::sec(120), false},
+      {"exec-fs", SimTime::sec(30), false},
+      {"network-flap", SimTime::sec(30), false},
+      {"silent-corruption", SimTime::sec(30), false},
+      {"program-error", SimTime::sec(10), true},
+  };
+  return all;
+}
+
+FaultAction act(int at_sec, FaultActionType type, const char* host) {
+  FaultAction action;
+  action.at = SimTime::sec(at_sec);
+  action.type = type;
+  action.host = host;
+  return action;
+}
+
+FaultAction window(int at_sec, FaultActionType type, const char* host,
+                   double rate, int duration_sec) {
+  FaultAction action = act(at_sec, type, host);
+  action.rate = rate;
+  action.duration = SimTime::sec(duration_sec);
+  return action;
+}
+
+/// The family's fault schedule. Every destructive action recovers (the
+/// plan generator's survivability contract, kept by hand here) so any
+/// pattern *can* finish — the scorecard measures how well, not whether.
+std::vector<FaultAction> family_actions(std::string_view family) {
+  std::vector<FaultAction> out;
+  if (family == "chronic-host") {
+    // One machine of four goes chronically bad just as work starts: its
+    // filesystem fails most operations (attempts die fast, at staging, with
+    // nothing for a checkpoint to rescue) and its network turns treacly, so
+    // every visit to the host costs real wall-clock time before failing.
+    // The patterns then differ in how many visits they pay for: Avoid's
+    // pool-wide quarantine stops after a few, per-job exclusion pays once
+    // per job, and plain Retry keeps coming back.
+    out.push_back(window(1, FaultActionType::kChronic, "exec0", 0.05, 0));
+    FaultAction slow = window(1, FaultActionType::kLink, "exec0", 0.0, 7200);
+    slow.extra_latency = SimTime::msec(500);
+    out.push_back(std::move(slow));
+  } else if (family == "eviction-storm") {
+    // Staggered crash/restart waves roll over every machine while 120s
+    // jobs are mid-compute: the checkpointing patterns get to resume, the
+    // rest recompute from scratch.
+    const char* hosts[] = {"exec0", "exec1", "exec2", "exec3",
+                           "exec0", "exec1"};
+    const int crash_at[] = {40, 80, 120, 160, 240, 280};
+    for (std::size_t i = 0; i < std::size(hosts); ++i) {
+      out.push_back(act(crash_at[i], FaultActionType::kCrash, hosts[i]));
+      out.push_back(act(crash_at[i] + 60, FaultActionType::kRestart, hosts[i]));
+    }
+  } else if (family == "exec-fs") {
+    out.push_back(window(5, FaultActionType::kFsFaults, "exec0", 0.60, 180));
+    out.push_back(window(10, FaultActionType::kFsFaults, "exec1", 0.60, 180));
+  } else if (family == "network-flap") {
+    out.push_back(act(20, FaultActionType::kPartition, "exec0"));
+    out.push_back(act(80, FaultActionType::kHeal, "exec0"));
+    out.push_back(act(90, FaultActionType::kPartition, "exec1"));
+    out.push_back(act(150, FaultActionType::kHeal, "exec1"));
+    FaultAction link = window(30, FaultActionType::kLink, "exec2", 0.30, 120);
+    link.extra_latency = SimTime::msec(20);
+    out.push_back(std::move(link));
+  } else if (family == "silent-corruption") {
+    // One machine lies on nearly every bulk read for the whole run: output
+    // transfers ship wrong bytes with no component ever seeing an error.
+    // Only end-to-end redundancy can outvote it — any pattern that trusts
+    // a single execution delivers whatever the bad host read back.
+    out.push_back(window(1, FaultActionType::kCorrupt, "exec0", 0.95, 7200));
+  }
+  // "program-error": no faults — the jobs' own exceptions are the storm.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultAction& a, const FaultAction& b) {
+                     return a.at < b.at;
+                   });
+  return out;
+}
+
+FaultPlan family_plan(const Family& family, std::uint64_t seed,
+                      resilience::PatternKind pattern) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.shape.discipline = "scoped";
+  plan.shape.pattern = std::string(resilience::pattern_name(pattern));
+  plan.shape.machines = kMachines;
+  plan.shape.jobs = family.jobs;
+  plan.shape.mean_compute = family.compute;
+  plan.shape.limit = SimTime::hours(8);
+  plan.actions = family_actions(family.name);
+  return plan;
+}
+
+daemons::JobDescription score_job(int index, const Family& family) {
+  jvm::ProgramBuilder builder("Score" + std::to_string(index));
+  daemons::JobDescription job;
+  job.owner = "user";
+  if (!family.program_error && family.hold_output_open) {
+    builder.open_write("answer.dat", 0);
+  }
+  // Compute in 10s slices: the JVM checkpoints only at op boundaries, so a
+  // single monolithic compute op would make the CheckpointRestart pattern
+  // vacuously useless — no real checkpointable program is one basic block.
+  std::int64_t remaining = family.compute.as_usec();
+  const std::int64_t slice = SimTime::sec(10).as_usec();
+  while (remaining > 0) {
+    const std::int64_t step = std::min(slice, remaining);
+    builder.compute(SimTime::usec(step));
+    remaining -= step;
+  }
+  if (family.program_error) {
+    builder.throw_exception(ErrorKind::kArrayIndexOutOfBounds);
+  } else if (family.hold_output_open) {
+    // A long result-flush phase: many small writes after the compute. On a
+    // host whose filesystem drops a few percent of operations, this is
+    // where attempts die — *after* burning their CPU — so the cost of each
+    // visit to the bad machine is real and uncheckpointable.
+    for (int chunk = 0; chunk < 64; ++chunk) builder.write(0, 4);
+    builder.close_stream(0);
+    job.output_files = {"answer.dat"};
+  } else {
+    builder.open_write("answer.dat", 0).write(0, 256).close_stream(0);
+    job.output_files = {"answer.dat"};
+  }
+  job.program = builder.build();
+  return job;
+}
+
+/// Run one (family × pattern) cell and score it into `slot`. Everything
+/// touched is owned by this call's Pool, so the cell is thread-safe and
+/// byte-deterministic under any SweepRunner width; `slot` is this cell's
+/// pre-indexed element of the scorecard, written by no one else.
+pool::CellOutcome run_score_cell(const FaultPlan& plan, const Family& family,
+                                 resilience::PatternKind pattern,
+                                 PatternScore* slot) {
+  pool::PoolConfig config;
+  config.seed = plan.seed;
+  config.discipline = daemons::DisciplineConfig::pattern_monoculture(pattern);
+  for (int i = 0; i < plan.shape.machines; ++i) {
+    config.machines.push_back(pool::MachineSpec::good(strfmt("exec%d", i)));
+  }
+  pool::Pool pool(config);
+
+  // One group of schedd jobs per logical job: a single submission, or
+  // kReplicas redundant clones voted by the end-to-end layer.
+  std::vector<std::vector<JobId>> groups;
+  groups.reserve(static_cast<std::size_t>(plan.shape.jobs));
+  for (int i = 0; i < plan.shape.jobs; ++i) {
+    daemons::JobDescription job = score_job(i, family);
+    if (pattern == resilience::PatternKind::kReplicate) {
+      groups.push_back(pool::submit_redundant(pool, job, kReplicas));
+    } else {
+      groups.push_back({pool.submit(std::move(job))});
+    }
+  }
+  Injector::arm(pool, plan);
+  const bool finished = pool.run_until_done(plan.shape.limit);
+  pool::PoolReport report = pool.report();
+
+  const double compute_seconds =
+      static_cast<double>(family.compute.as_usec()) / 1e6;
+  int survived = 0;
+  int lied = 0;
+  double ideal_cpu = 0;
+  for (const std::vector<JobId>& group : groups) {
+    if (family.program_error) {
+      // Truthful resolution: some replica's own exception delivered as the
+      // job's result — the §2.3 delivery users *wanted*.
+      bool truthful = false;
+      for (const JobId id : group) {
+        const daemons::JobRecord* record = pool.schedd().job(id);
+        if (record != nullptr &&
+            record->state == daemons::JobState::kCompleted &&
+            record->final_summary.have_program_result &&
+            record->final_summary.program_result.error.has_value()) {
+          truthful = true;
+          break;
+        }
+      }
+      if (truthful) {
+        ++survived;
+        ideal_cpu += compute_seconds;
+      }
+    } else {
+      // Majority vote over the group's declared outputs (a group of one
+      // degenerates to "read the output"): correct bytes survived, wrong
+      // bytes delivered as success lied, an honest no-majority is neither.
+      const pool::ReliableResult vote =
+          pool::vote_outputs(pool, group, "answer.dat");
+      if (vote.delivered && vote.output == expected_output()) {
+        ++survived;
+        ideal_cpu += compute_seconds;
+      } else if (vote.delivered) {
+        ++lied;
+      }
+    }
+  }
+
+  // Pool-wide truth checks: CPU actually burned, genuine program results
+  // withheld behind an "unexecutable" verdict, and incidental conditions
+  // pinned on the program (the report's misattribution count). Burned CPU
+  // comes from the ground-truth log, not the protocol: a crashed machine
+  // never reports the compute its evicted job consumed, but the harness's
+  // omniscient log still has it (Starter::kill records the death).
+  double total_cpu = 0;
+  for (const daemons::AttemptGroundTruth& truth :
+       pool.ground_truth().entries()) {
+    total_cpu += truth.cpu_seconds;
+  }
+  for (const auto& [id, record] : pool.schedd().jobs()) {
+    bool had_program_result = false;
+    for (const daemons::AttemptRecord& attempt : record.attempts) {
+      if (attempt.summary.have_program_result) had_program_result = true;
+    }
+    if (record.state == daemons::JobState::kUnexecutable && had_program_result) {
+      ++lied;
+    }
+  }
+  lied += report.user_incidental_exposures;
+
+  slot->pattern = std::string(resilience::pattern_name(pattern));
+  slot->jobs = plan.shape.jobs;
+  slot->survived = survived;
+  slot->lied = lied;
+  slot->wasted_cpu_seconds = std::max(0.0, total_cpu - ideal_cpu);
+  slot->time_to_result_seconds = report.makespan_seconds;
+  slot->finished = finished;
+
+  pool::CellOutcome out;
+  out.seed = plan.seed;
+  out.finished = finished;
+  out.report = std::move(report);
+  out.engine_events = pool.engine().executed();
+  return out;
+}
+
+/// Winner ordering: survive more, lie less, waste less, finish sooner;
+/// catalog order breaks exact ties. Deterministic, hence pinnable.
+bool better(const PatternScore& a, const PatternScore& b) {
+  if (a.survived != b.survived) return a.survived > b.survived;
+  if (a.lied != b.lied) return a.lied < b.lied;
+  if (a.wasted_cpu_seconds != b.wasted_cpu_seconds) {
+    return a.wasted_cpu_seconds < b.wasted_cpu_seconds;
+  }
+  if (a.time_to_result_seconds != b.time_to_result_seconds) {
+    return a.time_to_result_seconds < b.time_to_result_seconds;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> score_family_names() {
+  std::vector<std::string> names;
+  names.reserve(families().size());
+  for (const Family& family : families()) names.emplace_back(family.name);
+  return names;
+}
+
+Scorecard score_patterns(const ScoreOptions& options) {
+  const std::vector<Family>& all = families();
+  std::vector<PatternScore> slots(all.size() * resilience::kNumPatternKinds);
+
+  std::vector<pool::SweepCell> cells;
+  cells.reserve(slots.size());
+  for (std::size_t f = 0; f < all.size(); ++f) {
+    for (std::size_t p = 0; p < resilience::kNumPatternKinds; ++p) {
+      const resilience::PatternKind pattern = resilience::kAllPatterns[p];
+      const std::size_t slot = f * resilience::kNumPatternKinds + p;
+      const Family family = all[f];
+      FaultPlan plan = family_plan(family, options.seed, pattern);
+      pool::SweepCell cell;
+      cell.label = std::string(family.name) + "/" +
+                   std::string(resilience::pattern_name(pattern));
+      cell.limit = plan.shape.limit;
+      cell.run = [plan = std::move(plan), family, pattern, &slots, slot] {
+        return run_score_cell(plan, family, pattern, &slots[slot]);
+      };
+      cells.push_back(std::move(cell));
+    }
+  }
+  (void)pool::SweepRunner(options.threads).run(std::move(cells));
+
+  Scorecard card;
+  card.seed = options.seed;
+  card.families.reserve(all.size());
+  for (std::size_t f = 0; f < all.size(); ++f) {
+    FamilyScore family_score;
+    family_score.family = all[f].name;
+    std::size_t best = 0;
+    for (std::size_t p = 0; p < resilience::kNumPatternKinds; ++p) {
+      PatternScore& score = slots[f * resilience::kNumPatternKinds + p];
+      if (p != 0 && better(score, family_score.patterns[best])) best = p;
+      family_score.patterns.push_back(std::move(score));
+    }
+    family_score.winner = family_score.patterns[best].pattern;
+    card.families.push_back(std::move(family_score));
+  }
+  return card;
+}
+
+const FamilyScore* Scorecard::family(std::string_view name) const {
+  for (const FamilyScore& f : families) {
+    if (f.family == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string Scorecard::json() const {
+  // Hand-rolled and key-ordered, floats pinned to "%.3f": this document is
+  // the CI artifact diffed byte-for-byte across sweep widths.
+  std::ostringstream os;
+  os << "{\"scorecard\":{\"seed\":" << seed
+     << ",\"families\":" << families.size()
+     << ",\"patterns\":" << resilience::kNumPatternKinds
+     << "},\"families\":[";
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const FamilyScore& family = families[f];
+    if (f != 0) os << ",";
+    os << "{\"family\":\"" << family.family << "\",\"winner\":\""
+       << family.winner << "\",\"patterns\":[";
+    for (std::size_t p = 0; p < family.patterns.size(); ++p) {
+      const PatternScore& s = family.patterns[p];
+      if (p != 0) os << ",";
+      os << "{\"pattern\":\"" << s.pattern << "\",\"jobs\":" << s.jobs
+         << ",\"survived\":" << s.survived << ",\"lied\":" << s.lied
+         << ",\"wasted_cpu_seconds\":"
+         << strfmt("%.3f", s.wasted_cpu_seconds)
+         << ",\"time_to_result_seconds\":"
+         << strfmt("%.3f", s.time_to_result_seconds)
+         << ",\"finished\":" << (s.finished ? "true" : "false") << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string Scorecard::table() const {
+  constexpr const char* kGreen = "\x1b[32m";
+  constexpr const char* kBold = "\x1b[1m";
+  constexpr const char* kReset = "\x1b[0m";
+  std::ostringstream os;
+  os << kBold
+     << strfmt("%-18s %-20s %9s %6s %12s %12s", "family", "pattern",
+               "survived", "lied", "wasted-cpu", "makespan")
+     << kReset << "\n";
+  for (const FamilyScore& family : families) {
+    for (const PatternScore& s : family.patterns) {
+      const bool winner = s.pattern == family.winner;
+      if (winner) os << kGreen;
+      os << strfmt("%-18s %-20s %5d/%-3d %6d %11.1fs %11.1fs",
+                   family.family.c_str(), s.pattern.c_str(), s.survived,
+                   s.jobs, s.lied, s.wasted_cpu_seconds,
+                   s.time_to_result_seconds);
+      if (!s.finished) os << "  UNFINISHED";
+      if (winner) os << "  <- winner" << kReset;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace esg::chaos

@@ -1,0 +1,80 @@
+// Pattern scorecards: which resilience pattern wins which error scope.
+//
+// The catalog (resilience/pattern.hpp) claims each pattern has a home
+// turf: Avoid for chronic hosts, CheckpointRestart for eviction storms,
+// Replicate for silent corruption, Surface as the only honest answer to a
+// program's own errors. This module turns that claim into a measurement:
+// a (scope family × pattern) grid of chaos cells, each running a pattern
+// monoculture pool (DisciplineConfig::pattern_monoculture) under one
+// family's fault schedule, scored on
+//
+//   survived   logical jobs truthfully resolved with correct results
+//   lied       wrong bytes delivered as success, incidental conditions
+//              pinned on the program, or genuine program results withheld
+//              behind an "unexecutable" verdict
+//   wasted     CPU burned beyond the ideal cost of the surviving jobs
+//   ttr        time to result (the cell's makespan)
+//
+// Cells run over pool::SweepRunner with pre-indexed result slots, so the
+// scorecard — including its JSON serialization — is byte-identical at any
+// --threads (the CI cmp gate), and the per-family winners are pinned by a
+// CTest gate (tools/esg-chaos --score-patterns --expect-winner ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "resilience/pattern.hpp"
+
+namespace esg::chaos {
+
+/// One cell of the grid: one pattern monoculture under one scope family.
+struct PatternScore {
+  std::string pattern;          ///< resilience::pattern_name
+  int jobs = 0;                 ///< logical jobs submitted
+  int survived = 0;             ///< truthful, correct resolutions
+  int lied = 0;                 ///< wrong or misattributed deliveries
+  double wasted_cpu_seconds = 0;       ///< attempt CPU beyond the ideal
+  double time_to_result_seconds = 0;   ///< cell makespan
+  bool finished = false;        ///< every job terminal within the limit
+};
+
+/// One scope family's row: every pattern scored, best pattern named.
+/// Winner ordering: survived desc, lied asc, wasted asc, ttr asc, catalog
+/// order — fully deterministic, so the winner is a pinnable artifact.
+struct FamilyScore {
+  std::string family;
+  std::string winner;
+  std::vector<PatternScore> patterns;  ///< catalog order
+};
+
+struct ScoreOptions {
+  std::uint64_t seed = 1;
+  /// SweepRunner width (0 = hardware). The scorecard bytes do not depend
+  /// on this — that invariant is itself under test in CI.
+  unsigned threads = 0;
+};
+
+struct Scorecard {
+  std::uint64_t seed = 0;
+  std::vector<FamilyScore> families;
+
+  [[nodiscard]] const FamilyScore* family(std::string_view name) const;
+  /// Deterministic key-ordered JSON ("%.3f" floats) — the CI artifact
+  /// diffed byte-for-byte across sweep widths.
+  [[nodiscard]] std::string json() const;
+  /// ANSI table for terminals: one row per cell, winners highlighted.
+  [[nodiscard]] std::string table() const;
+};
+
+/// The fault-schedule families the scorecard measures, in fixed order:
+/// chronic-host, eviction-storm, exec-fs, network-flap, silent-corruption,
+/// program-error.
+std::vector<std::string> score_family_names();
+
+/// Run the full (family × pattern) grid and score it.
+Scorecard score_patterns(const ScoreOptions& options);
+
+}  // namespace esg::chaos

@@ -103,6 +103,12 @@ inline std::string chaos_corruption(const std::string& host) {
   return "chaos.corrupt@" + host;
 }
 
+/// The schedd's retry-backoff jitter (DisciplineConfig::retry_jitter).
+/// Forked only when jitter is enabled, so classic pools draw nothing.
+inline std::string retry_jitter(const std::string& host) {
+  return "retry-jitter@" + host;
+}
+
 }  // namespace rng_streams
 
 }  // namespace esg

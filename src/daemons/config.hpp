@@ -13,6 +13,8 @@
 #include "common/simtime.hpp"
 #include "jvm/javaio.hpp"
 #include "jvm/jvm.hpp"
+#include "resilience/pattern.hpp"
+#include "resilience/policy.hpp"
 
 namespace esg::daemons {
 
@@ -50,6 +52,17 @@ struct DisciplineConfig {
   /// checkpoint (they cannot, §2.1).
   bool checkpointing = false;
   SimTime checkpoint_interval = SimTime::minutes(5);
+
+  /// Resilience policy: which catalog pattern handles which (scope × kind)
+  /// at the schedd's error disposition. An empty table means the classic
+  /// discipline (PolicyTable::classic() — program/job surface to the user,
+  /// everything else retries elsewhere), which is byte-identical to the
+  /// pre-catalog hardcoded behavior.
+  resilience::PolicyTable policy;
+  /// Decorrelate retry backoff with a deterministic U[0.5, 1.5) factor
+  /// drawn from the pinned rng_streams::retry_jitter stream. Off by
+  /// default: the classic schedule stays draw-free and byte-identical.
+  bool retry_jitter = false;
 
   /// Retry safety valve: after this many execution attempts the schedd
   /// gives up and returns the job with its last error.
@@ -90,6 +103,23 @@ struct DisciplineConfig {
     return d;
   }
   static DisciplineConfig scoped() { return DisciplineConfig{}; }
+
+  /// Scoped pool with every error handled by one catalog pattern — the
+  /// chaos scorecard's monoculture cells. Pattern-specific machinery
+  /// (avoidance tracker, checkpoint streaming, jitter) lights up only for
+  /// the pattern that needs it, so each column measures one strategy.
+  static DisciplineConfig pattern_monoculture(resilience::PatternKind p) {
+    DisciplineConfig d;
+    d.policy = resilience::PolicyTable::monoculture(p);
+    d.schedd_avoidance = p == resilience::PatternKind::kAvoid;
+    if (p == resilience::PatternKind::kCheckpointRestart ||
+        p == resilience::PatternKind::kMigrate) {
+      d.checkpointing = true;
+      d.checkpoint_interval = SimTime::sec(20);
+    }
+    d.retry_jitter = p == resilience::PatternKind::kRetry;
+    return d;
+  }
 
   [[nodiscard]] std::string name() const {
     std::string out = scope_routing ? "scoped" : "naive";

@@ -106,6 +106,10 @@ struct JobRecord {
   /// Start of the current streak of environment failures (zero when the
   /// last attempt produced a program result); input to scope escalation.
   SimTime env_streak_start{};
+  /// Machines a RetryElsewhere/Migrate strategy decision has excluded for
+  /// this job: matches offering them are declined (per-job, unlike the
+  /// pool-wide chronic-host avoidance list).
+  std::vector<std::string> excluded_machines;
   /// The summary ad, parsed once at submit/recovery and shared into every
   /// submitter ad and claim request thereafter. Null when the description
   /// does not parse — such a job stays idle and can never be claimed.

@@ -9,6 +9,22 @@
 
 namespace esg::daemons {
 
+namespace {
+
+/// The catalog strategies share the discipline's retry knobs, so the
+/// classic policy's Retry entry reproduces the historical budget and
+/// backoff schedule exactly.
+resilience::Tuning tuning_from(const DisciplineConfig& discipline) {
+  resilience::Tuning tuning;
+  tuning.max_attempts = discipline.max_attempts;
+  tuning.base_delay = discipline.reschedule_delay;
+  tuning.max_backoff = discipline.max_backoff;
+  tuning.jitter = discipline.retry_jitter;
+  return tuning;
+}
+
+}  // namespace
+
 Schedd::Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
                fs::SimFileSystem& submit_fs, std::string host,
                DisciplineConfig discipline, net::Address matchmaker,
@@ -19,13 +35,22 @@ Schedd::Schedd(sim::Engine& engine, net::NetworkFabric& fabric,
       discipline_(discipline),
       matchmaker_(std::move(matchmaker)),
       ports_(ports),
-      timeouts_(timeouts) {
+      timeouts_(timeouts),
+      strategies_(tuning_from(discipline)),
+      policy_(discipline.policy.empty() ? resilience::PolicyTable::classic()
+                                        : discipline.policy) {
   // Spans carry the daemon identity, not just the host: blame keys are
   // (daemon, machine), and machine_of() still maps to the bare host.
   rebind_trace("schedd@" + name());
   // The spool is the schedd's identity on disk; it must exist before the
   // first submit, which may well precede boot().
   (void)submit_fs_.mkdirs("/spool");
+  if (discipline_.retry_jitter) {
+    // Conditional on the knob, like the pool's fs-fault forks: a stream
+    // that exists only when drawn from keeps every no-jitter replay's
+    // label sequence untouched.
+    jitter_rng_ = this->engine().rng().fork(rng_streams::retry_jitter(name()));
+  }
 }
 
 Schedd::~Schedd() { shutdown(); }
@@ -331,8 +356,19 @@ void Schedd::on_match(const classad::ClassAd& body) {
   auto it = jobs_.find(job_id);
   if (it == jobs_.end() || it->second.state != JobState::kIdle) return;
   if (startd_host.empty() || startd_port == 0) return;
-  if (discipline_.schedd_avoidance && machine_avoided(startd_name)) {
+  if ((discipline_.schedd_avoidance ||
+       policy_.uses(resilience::PatternKind::kAvoid)) &&
+      machine_avoided(startd_name)) {
     log().debug("declining match to avoided machine ", startd_name);
+    return;
+  }
+  if (!it->second.excluded_machines.empty() &&
+      std::find(it->second.excluded_machines.begin(),
+                it->second.excluded_machines.end(),
+                startd_name) != it->second.excluded_machines.end()) {
+    // A RetryElsewhere/Migrate decision pinned this job away from the
+    // machine that failed it; the match goes back to the pot.
+    log().debug("declining match to excluded machine ", startd_name);
     return;
   }
   if (!pool.empty() && pool_avoided(pool)) {
@@ -449,7 +485,12 @@ void Schedd::start_shadow(std::uint64_t job_id, const net::Address& startd_addr,
 
 void Schedd::note_machine_failure(const std::string& machine,
                                   const Error& error) {
-  if (!discipline_.schedd_avoidance) return;
+  // The chronic-host tracker runs for the classic avoidance knob and for
+  // any policy that can reach the Avoid pattern; otherwise it stays cold.
+  if (!discipline_.schedd_avoidance &&
+      !policy_.uses(resilience::PatternKind::kAvoid)) {
+    return;
+  }
   const int count = ++consecutive_failures_[machine];
   if (count >= discipline_.avoidance_threshold) {
     avoid_until_[machine] = now() + discipline_.avoidance_cooldown;
@@ -510,11 +551,15 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
     context().audit().record(Principle::kP3, AuditOutcome::kApplied,
                              "schedd@" + name());
     if (summary.program_result.error.has_value()) {
-      // A program-scope error is the job's own result (Figure 3): handing
-      // it back explicit and unmangled is the final delivery of the
-      // condition to its true manager, the user.
-      trace().delivered(*summary.program_result.error, job_id,
-                        "program-scope error is the job's own result");
+      // A program-scope error is the job's own result (Figure 3). The
+      // policy table decides whether it is handed back explicit and
+      // unmangled (Surface — the classic, and only honest, binding) or
+      // blindly hammered by a recovery pattern that refuses to believe
+      // the program (the monoculture cells the scorecard measures).
+      const Error error = *summary.program_result.error;
+      dispose(record, job_id, machine, error, error.scope(),
+              /*program_result=*/true, std::move(summary));
+      return;
     }
     finalize(record, JobState::kCompleted, std::move(summary));
     return;
@@ -576,59 +621,116 @@ void Schedd::on_attempt_done(std::uint64_t job_id, const std::string& machine,
     }
   }
 
-  switch (schedd_disposition(effective_scope)) {
-    case ScheddDisposition::kComplete:
-      trace().delivered(error, job_id, "job-scope condition is the job's own result");
-      finalize(record, JobState::kCompleted, std::move(summary));
-      return;
-    case ScheddDisposition::kUnexecutable: {
-      if (effective_scope != error.scope() &&
-          summary.environment_error.has_value()) {
-        summary.environment_error->widen_scope_in_place(effective_scope);
-      }
-      trace().delivered(summary.environment_error.value(), job_id,
-                        "job marked unexecutable");
-      finalize(record, JobState::kUnexecutable, std::move(summary));
-      return;
-    }
-    case ScheddDisposition::kRetryElsewhere:
-      break;
-  }
-  reschedule(record, job_id, std::move(summary));
+  dispose(record, job_id, machine, error, effective_scope,
+          /*program_result=*/false, std::move(summary));
 }
 
-void Schedd::reschedule(JobRecord& record, std::uint64_t job_id,
-                        ExecutionSummary summary) {
-  const Error& error = summary.environment_error.value();
-  if (static_cast<int>(record.attempts.size()) >= discipline_.max_attempts) {
-    log().warn("job ", job_id, " exhausted ", discipline_.max_attempts,
-               " attempts; returning last error to the user");
-    trace().delivered(error, job_id, "attempt budget exhausted");
-    finalize(record, JobState::kUnexecutable, std::move(summary));
-    return;
-  }
-  // Log the error and attempt execution at a new site. The backoff
-  // doubles with consecutive incidental failures: a transient condition
-  // clears quickly, a persistent one (offline home filesystem) should not
-  // burn the attempt budget while it lasts — time is a factor in error
-  // propagation (§5).
+int Schedd::consecutive_failures(const JobRecord& record) {
+  // The backoff doubles with consecutive incidental failures: a transient
+  // condition clears quickly, a persistent one (offline home filesystem)
+  // should not burn the attempt budget while it lasts — time is a factor
+  // in error propagation (§5).
   int consecutive = 0;
   for (auto it2 = record.attempts.rbegin(); it2 != record.attempts.rend();
        ++it2) {
     if (it2->summary.have_program_result) break;
     ++consecutive;
   }
-  SimTime backoff = discipline_.reschedule_delay;
-  for (int i = 1; i < consecutive && backoff < discipline_.max_backoff; ++i) {
-    backoff = backoff * std::int64_t{2};
+  return consecutive;
+}
+
+resilience::ErrorSite Schedd::error_site(const JobRecord& record,
+                                         std::uint64_t job_id,
+                                         const std::string& machine,
+                                         const Error& error,
+                                         ErrorScope effective_scope,
+                                         bool program_result) const {
+  resilience::ErrorSite site;
+  site.scope = effective_scope;
+  site.kind = error.kind();
+  site.job = job_id;
+  site.machine = machine;
+  site.attempts = static_cast<int>(record.attempts.size());
+  site.consecutive_failures = consecutive_failures(record);
+  site.program_result = program_result;
+  return site;
+}
+
+void Schedd::dispose(JobRecord& record, std::uint64_t job_id,
+                     const std::string& machine, const Error& error,
+                     ErrorScope effective_scope, bool program_result,
+                     ExecutionSummary summary) {
+  const resilience::PatternKind pattern =
+      policy_.lookup(effective_scope, error.kind());
+  const resilience::Decision decision = strategies_.at(pattern).decide(
+      error_site(record, job_id, machine, error, effective_scope,
+                 program_result),
+      jitter_rng_ ? &*jitter_rng_ : nullptr);
+  apply_decision(record, job_id, machine, decision, error, effective_scope,
+                 std::move(summary));
+}
+
+void Schedd::apply_decision(JobRecord& record, std::uint64_t job_id,
+                            const std::string& machine,
+                            const resilience::Decision& decision,
+                            const Error& error, ErrorScope effective_scope,
+                            ExecutionSummary summary) {
+  switch (decision.action) {
+    case resilience::RecoveryAction::kDeliverResult:
+      // Handing the condition back explicit and unmangled is the final
+      // delivery to its true manager, the user.
+      trace().delivered(error, job_id, decision.detail);
+      finalize(record, JobState::kCompleted, std::move(summary));
+      return;
+    case resilience::RecoveryAction::kDeliverUnexecutable: {
+      if (decision.budget_exhausted) {
+        log().warn("job ", job_id, " exhausted ",
+                   strategies_.tuning().max_attempts,
+                   " attempts; returning last error to the user");
+        trace().delivered(error, job_id, decision.detail);
+        finalize(record, JobState::kUnexecutable, std::move(summary));
+        return;
+      }
+      if (effective_scope != error.scope() &&
+          summary.environment_error.has_value()) {
+        summary.environment_error->widen_scope_in_place(effective_scope);
+      }
+      trace().delivered(summary.environment_error.has_value()
+                            ? summary.environment_error.value()
+                            : error,
+                        job_id, decision.detail);
+      finalize(record, JobState::kUnexecutable, std::move(summary));
+      return;
+    }
+    case resilience::RecoveryAction::kReschedule:
+      if (decision.exclude_machine && !machine.empty()) {
+        record.excluded_machines.push_back(machine);
+      }
+      // Log the error and attempt execution at a new site.
+      log().info("job ", job_id, " failed with ", error.str(),
+                 "; rescheduling in ", decision.delay.str());
+      trace().masked(error, job_id, decision.detail);
+      set_state(record, JobState::kIdle);
+      record.not_before = now() + decision.delay;
+      after(decision.delay, [this] { advertise_now(); });
+      return;
   }
-  if (backoff > discipline_.max_backoff) backoff = discipline_.max_backoff;
-  log().info("job ", job_id, " failed with ", error.str(), "; rescheduling in ",
-             backoff.str());
-  trace().masked(error, job_id, "rescheduling elsewhere in " + backoff.str());
-  set_state(record, JobState::kIdle);
-  record.not_before = now() + backoff;
-  after(backoff, [this] { advertise_now(); });
+}
+
+void Schedd::reschedule(JobRecord& record, std::uint64_t job_id,
+                        ExecutionSummary summary) {
+  // Thin shim kept for the cross-pool path: the flock layer has already
+  // consumed the condition at cluster scope, so the only sane recovery is
+  // the plain Retry strategy — budget check, exponential backoff, back to
+  // Idle — regardless of what the policy table binds elsewhere.
+  const Error error = summary.environment_error.value();
+  const resilience::Decision decision =
+      strategies_.at(resilience::PatternKind::kRetry)
+          .decide(error_site(record, job_id, /*machine=*/{}, error,
+                             error.scope(), /*program_result=*/false),
+                  jitter_rng_ ? &*jitter_rng_ : nullptr);
+  apply_decision(record, job_id, /*machine=*/{}, decision, error,
+                 error.scope(), std::move(summary));
 }
 
 void Schedd::finalize(JobRecord& record, JobState state,

@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/flatmap.hpp"
@@ -23,6 +24,7 @@
 #include "daemons/shadow.hpp"
 #include "fs/simfs.hpp"
 #include "net/fabric.hpp"
+#include "resilience/strategy.hpp"
 #include "sim/engine.hpp"
 
 namespace esg::analysis {
@@ -109,6 +111,14 @@ class Schedd : public sim::Actor {
   [[nodiscard]] std::uint64_t network_errors_consumed() const {
     return network_errors_consumed_;
   }
+  /// The resolved resilience policy (classic when the discipline left its
+  /// table empty) and the strategy registry it selects from.
+  [[nodiscard]] const resilience::PolicyTable& policy() const {
+    return policy_;
+  }
+  [[nodiscard]] const resilience::StrategyRegistry& strategies() const {
+    return strategies_;
+  }
 
   /// Static error-topology declaration (the analysis/ model-checker hook):
   /// queue-side detections ("schedd.queue") and the disposition contract
@@ -146,10 +156,31 @@ class Schedd : public sim::Actor {
   void on_attempt_done(std::uint64_t job_id, const std::string& machine,
                        const std::string& pool, ExecutionSummary summary);
   void finalize(JobRecord& record, JobState state, ExecutionSummary summary);
-  /// Log-and-retry tail shared by home retries and cross-pool consumption:
-  /// attempt-budget check, exponential backoff, back to Idle.
+  /// The policy-table consult: build the ErrorSite for this disposition,
+  /// ask the bound strategy, and apply its Decision. `error` is the
+  /// condition being disposed of (program-result error or environment
+  /// error); `effective_scope` is its scope after §5 escalation.
+  void dispose(JobRecord& record, std::uint64_t job_id,
+               const std::string& machine, const Error& error,
+               ErrorScope effective_scope, bool program_result,
+               ExecutionSummary summary);
+  void apply_decision(JobRecord& record, std::uint64_t job_id,
+                      const std::string& machine,
+                      const resilience::Decision& decision, const Error& error,
+                      ErrorScope effective_scope, ExecutionSummary summary);
+  /// Thin shim over the Retry strategy: log-and-retry tail shared by the
+  /// cross-pool consumption path (which already consumed the condition at
+  /// cluster scope and always retries, regardless of policy).
   void reschedule(JobRecord& record, std::uint64_t job_id,
                   ExecutionSummary summary);
+  /// Trailing environment-failure streak, the backoff-doubling input.
+  [[nodiscard]] static int consecutive_failures(const JobRecord& record);
+  [[nodiscard]] resilience::ErrorSite error_site(const JobRecord& record,
+                                                std::uint64_t job_id,
+                                                const std::string& machine,
+                                                const Error& error,
+                                                ErrorScope effective_scope,
+                                                bool program_result) const;
   void note_machine_failure(const std::string& machine, const Error& error);
   void note_machine_success(const std::string& machine);
   [[nodiscard]] bool machine_avoided(const std::string& machine) const;
@@ -172,6 +203,15 @@ class Schedd : public sim::Actor {
   net::Address matchmaker_;
   Ports ports_;
   Timeouts timeouts_;
+
+  // The resilience catalog: one constructed strategy per pattern (shared
+  // tuning from the discipline knobs) and the policy table binding a
+  // pattern per (scope × kind). An empty configured table resolves to the
+  // classic discipline. The jitter stream exists only when the discipline
+  // asks for it, so legacy replays draw nothing.
+  resilience::StrategyRegistry strategies_;
+  resilience::PolicyTable policy_;
+  std::optional<Rng> jitter_rng_;
 
   bool running_ = false;
   bool advertise_pending_ = false;

@@ -51,6 +51,12 @@ void Startd::shutdown() {
   running_ = false;
   if (starter_ != nullptr) starter_->kill("startd shutting down");
   starter_.reset();
+  // The claim is daemon state, and the daemon is going down: forget it.
+  // A machine rebooted mid-activation would otherwise advertise
+  // State=Claimed forever — no shadow is left to release the claim, and
+  // the unactivated-claim expiry does not apply — so it could never be
+  // matched again.
+  claim_.reset();
   fabric_.unlisten(address());
 }
 

@@ -697,6 +697,20 @@ void Starter::kill(const std::string& why) {
   if (finished_) return;
   finished_ = true;
   log_.info("job ", job_.id.value(), " killed: ", why);
+  if (ground_truth_ != nullptr && jvm_control_ != nullptr &&
+      !jvm_control_->finished()) {
+    // A cancelled run never reports an outcome, so the compute it burned
+    // would otherwise vanish from the harness's books. Record the death
+    // here — the wasted-CPU accounting in chaos scorecards depends on it.
+    AttemptGroundTruth truth;
+    truth.job_id = job_.id.value();
+    truth.machine = host_;
+    truth.condition = Error(ErrorKind::kDaemonCrashed,
+                            ErrorScope::kRemoteResource, "killed: " + why)
+                          .with_label("killed", why);
+    truth.cpu_seconds = jvm_control_->consumed().as_sec();
+    ground_truth_->record(truth);
+  }
   *alive_ = false;
   *cancelled_ = true;
   cleanup();

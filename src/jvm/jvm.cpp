@@ -293,6 +293,7 @@ class JvmControlImpl final : public JvmControl {
     kill_with(run_, std::move(condition));
   }
   [[nodiscard]] bool finished() const override { return run_->finished; }
+  [[nodiscard]] SimTime consumed() const override { return run_->cpu_time; }
 
  private:
   RunPtr run_;

@@ -92,6 +92,11 @@ class JvmControl {
   /// learns what the process had consumed.
   virtual void terminate(Error condition) = 0;
   [[nodiscard]] virtual bool finished() const = 0;
+  /// Compute consumed so far by this attempt (excludes CPU banked in a
+  /// resumed checkpoint). Valid while running and after termination; lets
+  /// a supervisor account for work destroyed by a kill, since a cancelled
+  /// run never reports an outcome.
+  [[nodiscard]] virtual SimTime consumed() const = 0;
 };
 
 class SimJvm {

@@ -61,12 +61,22 @@ ReliableResult vote_outputs(Pool& pool, const std::vector<JobId>& ids,
 
   if (winner->second * 2 <= static_cast<int>(outputs.size())) {
     // Detected but unmaskable: every copy might be the wrong one. The
-    // condition itself is honestly surfaced to the caller as no_majority.
+    // condition surfaces as a *scoped error*, not a bare failed result.
+    // Program scope, because that is the one scope whose disposition is
+    // "deliver to the user" (§2.3): no grid-level retry can repair a result
+    // set that disagrees with itself, and the attribution oracles only see
+    // conditions that flow as errors.
     result.no_majority = true;
-    if (observed != 0) {
-      trace.delivered(disagreement, 0, "no majority; returned unresolved",
-                      observed);
-    }
+    result.error =
+        Error(ErrorKind::kIoError, ErrorScope::kProgram,
+              "replica vote inconclusive: " + std::to_string(result.agreeing) +
+                  " of " + std::to_string(result.outputs_collected) +
+                  " outputs agree")
+            .caused_by(disagreement);
+    const std::uint64_t surfaced =
+        trace.raised(*result.error, 0, "vote_outputs: no majority", observed);
+    trace.delivered(*result.error, 0, "unmaskable: surfaced to the user",
+                    surfaced);
     return result;
   }
   if (result.implicit_error_detected) {

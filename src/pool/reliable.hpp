@@ -11,10 +11,12 @@
 // implicit error; a majority masks it.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/ids.hpp"
+#include "core/error.hpp"
 #include "daemons/job.hpp"
 
 namespace esg::pool {
@@ -33,6 +35,11 @@ struct ReliableResult {
   int outputs_collected = 0;
   int agreeing = 0;            ///< votes for the winning content
   std::string output;          ///< the winning content (when delivered)
+  /// An inconclusive vote is not a bare failed result: it surfaces here as
+  /// a scoped program-scope error (caused by the job-scope disagreement),
+  /// the same Error the trace shows delivered to the user — so attribution
+  /// oracles see the condition instead of an unexplained absence.
+  std::optional<Error> error;
 };
 
 /// Submit `replicas` clones of `job` (ids are returned in order). The job

@@ -1,0 +1,34 @@
+#include "resilience/pattern.hpp"
+
+namespace esg::resilience {
+
+std::string_view pattern_name(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kRetry:
+      return "retry";
+    case PatternKind::kRetryElsewhere:
+      return "retry-elsewhere";
+    case PatternKind::kCheckpointRestart:
+      return "checkpoint-restart";
+    case PatternKind::kMigrate:
+      return "migrate";
+    case PatternKind::kReplicate:
+      return "replicate";
+    case PatternKind::kAvoid:
+      return "avoid";
+    case PatternKind::kSurface:
+      return "surface";
+  }
+  return "unknown";
+}
+
+std::optional<PatternKind> parse_pattern(std::string_view name) {
+  for (PatternKind kind : kAllPatterns) {
+    if (pattern_name(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace esg::resilience

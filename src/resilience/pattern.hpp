@@ -1,0 +1,53 @@
+// The resilience-pattern catalog (ORNL Resilience Design Patterns,
+// specialized to the paper's error-scope taxonomy).
+//
+// Each pattern names one recovery shape the pool already half-implements
+// somewhere ad hoc: blind retry with backoff (schedd reschedule), retry
+// with site exclusion, checkpoint-restart (shadow/starter checkpoint
+// stream), migration (checkpoint + exclusion), redundancy with voting
+// (pool/reliable.hpp submit_redundant + vote_outputs), chronic-host
+// avoidance (schedd avoidance list), and honest surfacing (return the
+// condition to the user as the job's result). A PolicyTable binds one
+// pattern per (error scope × kind); the chaos scorecard measures which
+// pattern actually wins under which scope family.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace esg::resilience {
+
+/// One recovery strategy shape from the catalog.
+enum class PatternKind {
+  kRetry,              ///< reschedule anywhere, exponential backoff
+  kRetryElsewhere,     ///< reschedule excluding the failing machine
+  kCheckpointRestart,  ///< reschedule, resuming from the last checkpoint
+  kMigrate,            ///< checkpoint + reschedule excluding the machine
+  kReplicate,          ///< N-way redundancy with output voting
+  kAvoid,              ///< quarantine chronically failing machines
+  kSurface,            ///< hand the condition to the user, truthfully
+};
+
+/// Number of PatternKind enumerators; arrays indexed by
+/// static_cast<std::size_t>(kind) use this bound.
+inline constexpr std::size_t kNumPatternKinds = 7;
+
+/// All patterns, in catalog order; used by sweeps and the scorecard.
+inline constexpr PatternKind kAllPatterns[] = {
+    PatternKind::kRetry,   PatternKind::kRetryElsewhere,
+    PatternKind::kCheckpointRestart, PatternKind::kMigrate,
+    PatternKind::kReplicate, PatternKind::kAvoid,
+    PatternKind::kSurface,
+};
+
+/// Short stable name ("retry", "checkpoint-restart", ...). These names
+/// appear in fault plans, scorecards, and CI gates — pinned, like scope
+/// names.
+std::string_view pattern_name(PatternKind kind);
+
+/// Parse a name produced by pattern_name(). Returns nullopt on unknown
+/// input — fault-plan parsing must reject garbage without asserting.
+std::optional<PatternKind> parse_pattern(std::string_view name);
+
+}  // namespace esg::resilience

@@ -1,0 +1,121 @@
+// PolicyTable — binds a resilience pattern per (error scope × kind).
+//
+// Lookup is most-specific-first: an exact (scope, kind) binding beats a
+// scope-wide binding beats the table default; a completely unbound site
+// falls back to Surface, because when no strategy claims an error the
+// only honest disposition is handing it to the user (the paper's last
+// line of defense, and the chaos attribution oracle's requirement).
+//
+// The table is a small value type so DisciplineConfig can carry one per
+// pool (or per job via JobDescription overrides upstream) without
+// lifetime ceremony.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+#include "resilience/pattern.hpp"
+
+namespace esg::resilience {
+
+class PolicyTable {
+ public:
+  /// Bind the fallback pattern for any scope without its own binding.
+  PolicyTable& bind_default(PatternKind pattern) {
+    default_ = pattern;
+    return *this;
+  }
+
+  /// Bind every kind at `scope` to `pattern`.
+  PolicyTable& bind(ErrorScope scope, PatternKind pattern) {
+    by_scope_[static_cast<std::size_t>(scope)] = pattern;
+    return *this;
+  }
+
+  /// Bind the exact (scope, kind) cell to `pattern`.
+  PolicyTable& bind(ErrorScope scope, ErrorKind kind, PatternKind pattern) {
+    by_cell_[{static_cast<int>(scope), static_cast<int>(kind)}] = pattern;
+    return *this;
+  }
+
+  /// Most-specific binding for (scope, kind); Surface when nothing binds.
+  [[nodiscard]] PatternKind lookup(ErrorScope scope, ErrorKind kind) const {
+    const auto cell =
+        by_cell_.find({static_cast<int>(scope), static_cast<int>(kind)});
+    if (cell != by_cell_.end()) {
+      return cell->second;
+    }
+    if (const auto& bound = by_scope_[static_cast<std::size_t>(scope)]) {
+      return *bound;
+    }
+    return default_.value_or(PatternKind::kSurface);
+  }
+
+  /// True if no binding (default, scope, or cell) has been made — the
+  /// config's signal to substitute the classic table.
+  [[nodiscard]] bool empty() const {
+    if (default_ || !by_cell_.empty()) {
+      return false;
+    }
+    for (const auto& bound : by_scope_) {
+      if (bound) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// True if any binding (or the default) selects `pattern` — used to
+  /// light up pattern-specific machinery (avoidance tracker, checkpoint
+  /// streaming) only when a policy can actually reach it.
+  [[nodiscard]] bool uses(PatternKind pattern) const {
+    if (default_ == pattern) {
+      return true;
+    }
+    for (const auto& bound : by_scope_) {
+      if (bound == pattern) {
+        return true;
+      }
+    }
+    for (const auto& entry : by_cell_) {
+      if (entry.second == pattern) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The schedd's classic discipline, expressed as a table: program and
+  /// job-or-wider scopes surface to the user (complete / unexecutable per
+  /// schedd_disposition), everything else retries elsewhere with backoff.
+  /// Byte-identical to the pre-catalog hardcoded dispositions.
+  [[nodiscard]] static PolicyTable classic() {
+    PolicyTable table;
+    table.bind(ErrorScope::kProgram, PatternKind::kSurface)
+        .bind(ErrorScope::kJob, PatternKind::kSurface)
+        .bind(ErrorScope::kCluster, PatternKind::kSurface)
+        .bind(ErrorScope::kPool, PatternKind::kSurface)
+        .bind_default(PatternKind::kRetry);
+    return table;
+  }
+
+  /// Every error handled by one pattern — the chaos scorecard's
+  /// monoculture cells, which measure each pattern's unassisted behavior
+  /// (including how blind-hammer patterns lie about program-scope errors).
+  [[nodiscard]] static PolicyTable monoculture(PatternKind pattern) {
+    PolicyTable table;
+    table.bind_default(pattern);
+    return table;
+  }
+
+ private:
+  std::optional<PatternKind> default_;
+  std::array<std::optional<PatternKind>, kNumErrorScopes> by_scope_{};
+  std::map<std::pair<int, int>, PatternKind> by_cell_;
+};
+
+}  // namespace esg::resilience

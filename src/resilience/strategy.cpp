@@ -1,0 +1,233 @@
+#include "resilience/strategy.hpp"
+
+namespace esg::resilience {
+
+SimTime Strategy::backoff_for(const ErrorSite& site, Rng* jitter) const {
+  SimTime backoff = tuning_.base_delay;
+  for (int i = 1; i < site.consecutive_failures && backoff < tuning_.max_backoff;
+       ++i) {
+    backoff = backoff * std::int64_t{2};
+  }
+  if (backoff > tuning_.max_backoff) {
+    backoff = tuning_.max_backoff;
+  }
+  if (tuning_.jitter && jitter != nullptr) {
+    // Deterministic decorrelation: U[0.5, 1.5) of the doubled delay, drawn
+    // from the caller's pinned retry-jitter stream. Capped like the base
+    // schedule so a jittered delay never exceeds the configured ceiling.
+    backoff = backoff * (0.5 + jitter->uniform());
+    if (backoff > tuning_.max_backoff) {
+      backoff = tuning_.max_backoff;
+    }
+  }
+  return backoff;
+}
+
+std::optional<Decision> Strategy::budget_check(const ErrorSite& site) const {
+  if (site.attempts >= tuning_.max_attempts) {
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kDeliverUnexecutable;
+    decision.budget_exhausted = true;
+    decision.detail = "attempt budget exhausted";
+    return decision;
+  }
+  return std::nullopt;
+}
+
+Decision Strategy::surface(const ErrorSite& site) const {
+  Decision decision;
+  decision.pattern = kind();
+  if (site.program_result) {
+    decision.action = RecoveryAction::kDeliverResult;
+    decision.detail = "program-scope error is the job's own result";
+    return decision;
+  }
+  switch (schedd_disposition(site.scope)) {
+    case ScheddDisposition::kComplete:
+      decision.action = RecoveryAction::kDeliverResult;
+      decision.detail = "job-scope condition is the job's own result";
+      break;
+    case ScheddDisposition::kUnexecutable:
+      decision.action = RecoveryAction::kDeliverUnexecutable;
+      decision.detail = "job marked unexecutable";
+      break;
+    case ScheddDisposition::kRetryElsewhere:
+      // Surface refuses to recover on the user's behalf: a retryable
+      // environment condition is handed back, truthfully, as unexecutable
+      // here rather than silently hammered elsewhere.
+      decision.action = RecoveryAction::kDeliverUnexecutable;
+      decision.detail = "surfaced: condition handed to the user unhandled";
+      break;
+  }
+  return decision;
+}
+
+namespace {
+
+class SurfaceStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kSurface;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* /*jitter*/) const override {
+    return surface(site);
+  }
+};
+
+class RetryStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kRetry;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.detail = "rescheduling elsewhere in " + decision.delay.str();
+    return decision;
+  }
+};
+
+class RetryElsewhereStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kRetryElsewhere;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.exclude_machine = !site.machine.empty();
+    decision.detail = "rescheduling elsewhere in " + decision.delay.str() +
+                      " (excluding " + site.machine + ")";
+    return decision;
+  }
+};
+
+class CheckpointRestartStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kCheckpointRestart;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.detail = "checkpoint-restart in " + decision.delay.str();
+    return decision;
+  }
+};
+
+class MigrateStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kMigrate;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.exclude_machine = !site.machine.empty();
+    decision.detail =
+        "migrating with checkpoint in " + decision.delay.str();
+    return decision;
+  }
+};
+
+class AvoidStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kAvoid;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    // The quarantine itself lives in the schedd's chronic-host tracker
+    // (note_machine_failure / machine_avoided); the strategy's job is the
+    // reschedule that gives the tracker time to build a streak.
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.detail =
+        "avoiding chronic host; rescheduling in " + decision.delay.str();
+    return decision;
+  }
+};
+
+class ReplicateStrategy final : public Strategy {
+ public:
+  using Strategy::Strategy;
+  [[nodiscard]] PatternKind kind() const override {
+    return PatternKind::kReplicate;
+  }
+  [[nodiscard]] Decision decide(const ErrorSite& site,
+                                Rng* jitter) const override {
+    // Redundancy is honest about the program's own conditions: replicas
+    // exist to outvote lying environments, not to suppress real results.
+    if (site.program_result ||
+        schedd_disposition(site.scope) == ScheddDisposition::kComplete) {
+      return surface(site);
+    }
+    if (std::optional<Decision> exhausted = budget_check(site)) {
+      return *exhausted;
+    }
+    Decision decision;
+    decision.pattern = kind();
+    decision.action = RecoveryAction::kReschedule;
+    decision.delay = backoff_for(site, jitter);
+    decision.detail = "rescheduling elsewhere in " + decision.delay.str();
+    return decision;
+  }
+};
+
+}  // namespace
+
+StrategyRegistry::StrategyRegistry(Tuning tuning) : tuning_(tuning) {
+  strategies_[static_cast<std::size_t>(PatternKind::kRetry)] =
+      std::make_unique<RetryStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kRetryElsewhere)] =
+      std::make_unique<RetryElsewhereStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kCheckpointRestart)] =
+      std::make_unique<CheckpointRestartStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kMigrate)] =
+      std::make_unique<MigrateStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kReplicate)] =
+      std::make_unique<ReplicateStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kAvoid)] =
+      std::make_unique<AvoidStrategy>(tuning);
+  strategies_[static_cast<std::size_t>(PatternKind::kSurface)] =
+      std::make_unique<SurfaceStrategy>(tuning);
+}
+
+}  // namespace esg::resilience

@@ -1,0 +1,126 @@
+// Strategy — the pluggable recovery interface the schedd consults at
+// every error disposition.
+//
+// A Strategy turns an ErrorSite (where and how an attempt went wrong,
+// plus budget state) into a Decision (deliver the result, mark the job
+// unexecutable, or reschedule with a delay and optional site exclusion).
+// The concrete strategies reproduce the catalog in pattern.hpp; the
+// classic schedd behavior is exactly {kProgram/kJob/kCluster/kPool →
+// Surface, default → Retry}, so porting the ad-hoc reschedule loop onto
+// this interface is byte-identical under the classic PolicyTable.
+//
+// Determinism: strategies are pure — all state lives in the ErrorSite
+// (attempt counts come from the schedd's JobRecord) and the optional
+// jitter stream is a pinned rng_streams fork owned by the caller, so a
+// Decision replays identically at any sweep thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/simtime.hpp"
+#include "core/kinds.hpp"
+#include "core/scope.hpp"
+#include "resilience/pattern.hpp"
+
+namespace esg::resilience {
+
+/// Per-strategy budgets and backoff shape, defaulted to the schedd's
+/// classic discipline knobs.
+struct Tuning {
+  int max_attempts = 20;                     ///< total attempt budget per job
+  SimTime base_delay = SimTime::sec(2);      ///< first reschedule delay
+  SimTime max_backoff = SimTime::minutes(5); ///< backoff doubling cap
+  bool jitter = false;                       ///< multiply backoff by U[0.5,1.5)
+  int replicas = 3;                          ///< Replicate{N}: copies per job
+};
+
+/// Everything a strategy may condition on: the error's (scope, kind),
+/// which job/machine it struck, and the job's budget state.
+struct ErrorSite {
+  ErrorScope scope = ErrorScope::kJob;
+  ErrorKind kind = ErrorKind::kIoError;
+  std::uint64_t job = 0;
+  std::string machine;        ///< execution machine of the failed attempt
+  int attempts = 0;           ///< attempts recorded so far (incl. this one)
+  int consecutive_failures = 1;  ///< trailing environment failures
+  bool program_result = false;   ///< the attempt produced the program's own
+                                 ///< result (an error *of* the job, not its
+                                 ///< environment)
+};
+
+/// What the schedd should do with the job after the strategy decides.
+enum class RecoveryAction {
+  kDeliverResult,        ///< complete the job; the condition is its result
+  kDeliverUnexecutable,  ///< return the job to the user as unexecutable
+  kReschedule,           ///< put the job back in the queue after `delay`
+};
+
+/// A strategy's verdict for one error disposition.
+struct Decision {
+  PatternKind pattern = PatternKind::kSurface;
+  RecoveryAction action = RecoveryAction::kDeliverResult;
+  SimTime delay = SimTime::zero();  ///< reschedule backoff (kReschedule only)
+  bool exclude_machine = false;     ///< never match this job there again
+  bool budget_exhausted = false;    ///< attempt budget ran out
+  std::string detail;               ///< human-readable span annotation
+};
+
+/// Abstract recovery strategy. Concrete catalog entries live in
+/// strategy.cpp behind StrategyRegistry.
+class Strategy {
+ public:
+  explicit Strategy(Tuning tuning) : tuning_(tuning) {}
+  virtual ~Strategy() = default;
+
+  [[nodiscard]] virtual PatternKind kind() const = 0;
+  [[nodiscard]] std::string_view name() const { return pattern_name(kind()); }
+  [[nodiscard]] const Tuning& tuning() const { return tuning_; }
+
+  /// Decide what to do about `site`. `jitter` may be null (no jitter
+  /// stream configured); it is consumed only when tuning().jitter is set,
+  /// so legacy pools draw nothing.
+  [[nodiscard]] virtual Decision decide(const ErrorSite& site,
+                                        Rng* jitter) const = 0;
+
+ protected:
+  /// The classic schedd doubling schedule: base_delay doubled once per
+  /// consecutive failure beyond the first, capped at max_backoff; with
+  /// jitter enabled, scaled by a deterministic U[0.5, 1.5) factor drawn
+  /// from the pinned retry-jitter stream.
+  [[nodiscard]] SimTime backoff_for(const ErrorSite& site, Rng* jitter) const;
+
+  /// Budget gate shared by every rescheduling strategy: once the attempt
+  /// budget is spent the only honest move left is returning the job.
+  [[nodiscard]] std::optional<Decision> budget_check(
+      const ErrorSite& site) const;
+
+  /// Surface semantics, reused by strategies that refuse to lie about
+  /// program-scope conditions.
+  [[nodiscard]] Decision surface(const ErrorSite& site) const;
+
+  Tuning tuning_;
+};
+
+/// One constructed instance of each catalog strategy, sharing a Tuning.
+/// The schedd owns one registry; the policy table picks which entry
+/// handles a given (scope × kind).
+class StrategyRegistry {
+ public:
+  explicit StrategyRegistry(Tuning tuning = {});
+
+  [[nodiscard]] const Strategy& at(PatternKind kind) const {
+    return *strategies_[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] const Tuning& tuning() const { return tuning_; }
+
+ private:
+  Tuning tuning_;
+  std::array<std::unique_ptr<Strategy>, kNumPatternKinds> strategies_;
+};
+
+}  // namespace esg::resilience

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "pool/pool.hpp"
 #include "pool/workload.hpp"
+#include "resilience/pattern.hpp"
 
 namespace esg::chaos {
 namespace {
@@ -254,6 +255,30 @@ TEST(Campaign, ScopedPoolSurvivesTheOraclesWhereNaiveFails) {
   EXPECT_GT(naive.failing, 0) << naive.str();
 }
 
+TEST(Campaign, EveryCatalogPatternSurvivesWhereNaiveFails) {
+  // The catalog's end-to-end promise: a scoped pool survives a full
+  // 32-plan campaign no matter which resilience pattern it binds
+  // pool-wide — the patterns differ in cost (that is the scorecard's
+  // business), never in whether the pool degrades gracefully. The naive
+  // pool, which has no scope routing for any pattern to plug into, fails
+  // the same campaign.
+  CampaignOptions options;
+  options.seed = 1;
+  options.plans = 32;
+  options.shrink = false;
+  for (const resilience::PatternKind kind : resilience::kAllPatterns) {
+    options.shape.pattern = std::string(resilience::pattern_name(kind));
+    const CampaignResult scoped = CampaignRunner(options).run();
+    EXPECT_TRUE(scoped.all_ok())
+        << "pattern " << options.shape.pattern << ":\n"
+        << scoped.str();
+  }
+  options.shape.pattern.clear();
+  options.shape.discipline = "naive";
+  const CampaignResult naive = CampaignRunner(options).run();
+  EXPECT_GT(naive.failing, 0) << naive.str();
+}
+
 TEST(Campaign, ShrinksNaiveFailureToReplayableMinimalPlan) {
   CampaignOptions options;
   options.seed = 1;
@@ -286,6 +311,7 @@ TEST(RngStreams, LabelsArePinned) {
   EXPECT_EQ(rng_streams::fs_corruption("m"), "corrupt@m");
   EXPECT_EQ(rng_streams::chaos_fs("m"), "chaos.fs@m");
   EXPECT_EQ(rng_streams::chaos_corruption("m"), "chaos.corrupt@m");
+  EXPECT_EQ(rng_streams::retry_jitter("h"), "retry-jitter@h");
 }
 
 TEST(RngStreams, ForksAreReproducibleAndLabelSeparated) {

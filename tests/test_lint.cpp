@@ -387,6 +387,60 @@ TEST(Vocabulary, ResultFunctionsAreLearned) {
   EXPECT_EQ(linter.result_functions().count("fetch_thing"), 1u);
 }
 
+// ---- lint/naked-retry ----
+
+TEST(NakedRetry, CountingForLoopIsFlagged) {
+  const auto findings = run(R"(
+void f() {
+  for (int attempt = 0; attempt < 8; ++attempt) { step(); }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-retry"), 1u);
+}
+
+TEST(NakedRetry, WhileAgainstABudgetIsFlagged) {
+  const auto findings = run(R"(
+void f(int budget) {
+  int retries = 0;
+  while (retries < budget) { step(); ++retries; }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-retry"), 1u);
+}
+
+TEST(NakedRetry, RangeForOverAttemptRecordsIsClean) {
+  // Iterating attempt *records* is bookkeeping, not recovery: there is no
+  // counting operator in the header, so the rule stays quiet.
+  const auto findings = run(R"(
+void f(const Record& record) {
+  for (const auto& attempt : record.attempts) { tally(attempt); }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-retry"), 0u);
+}
+
+TEST(NakedRetry, AllowMarkerSuppresses) {
+  const auto findings = run(R"(
+void f() {
+  // esg-lint: allow(naked-retry) -- rejection sampling, not recovery
+  for (int attempt = 0; attempt < 8; ++attempt) { redraw(); }
+}
+)");
+  EXPECT_EQ(count_rule(findings, "lint/naked-retry"), 0u);
+}
+
+TEST(NakedRetry, TheCatalogItselfIsExempt) {
+  // src/resilience/ is where attempt counting is supposed to live; the
+  // rule must not flag the strategies it is herding everyone toward.
+  const auto findings = run(R"(
+void f() {
+  for (int attempt = 0; attempt < 8; ++attempt) { step(); }
+}
+)",
+                            "src/resilience/strategy.cpp");
+  EXPECT_EQ(count_rule(findings, "lint/naked-retry"), 0u);
+}
+
 TEST(Rendering, FindingStrAndSarifCarryRuleAndLocation) {
   const auto findings = run("void g() { throw 42; }\n", "src/x.cpp");
   ASSERT_EQ(findings.size(), 1u);

@@ -107,6 +107,34 @@ TEST(Reliable, AllHonestMachinesAgreeUnanimously) {
   EXPECT_EQ(r.output, std::string(256, '\0'));
 }
 
+TEST(Reliable, InconclusiveVoteSurfacesScopedProgramError) {
+  // Every replica lands on a liar, each read flips a different byte, and
+  // the vote splits 1-1: detected but unmaskable. The regression under
+  // test: the inconclusive vote must surface as a *scoped error* — program
+  // scope, caused by the job-scope disagreement — not as a bare failed
+  // result, so attribution oracles can see the condition.
+  PoolConfig config;
+  config.seed = 87;
+  config.discipline = daemons::DisciplineConfig::scoped();
+  MachineSpec liar0 = MachineSpec::good("liar0");
+  liar0.silent_corruption_rate = 1.0;
+  MachineSpec liar1 = MachineSpec::good("liar1");
+  liar1.silent_corruption_rate = 1.0;
+  config.machines.push_back(liar0);
+  config.machines.push_back(liar1);
+  Pool pool(config);
+  const std::vector<JobId> ids = submit_redundant(pool, producing_job(), 2);
+  ASSERT_TRUE(pool.run_until_done(SimTime::hours(1)));
+  const ReliableResult r = vote_outputs(pool, ids, "answer.dat");
+  ASSERT_EQ(r.outputs_collected, 2);
+  ASSERT_TRUE(r.no_majority);
+  EXPECT_FALSE(r.delivered);
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_EQ(r.error->scope(), ErrorScope::kProgram);
+  ASSERT_NE(r.error->cause(), nullptr);
+  EXPECT_EQ(r.error->cause()->scope(), ErrorScope::kJob);
+}
+
 TEST(Reliable, MissingOutputsAreCountedNotFatal) {
   PoolConfig config;
   config.seed = 86;

@@ -1,0 +1,178 @@
+// Tests for the resilience-pattern catalog: the Strategy interface, the
+// per-strategy budget/backoff behavior, and the PolicyTable's
+// most-specific-first lookup with its honest Surface fallback.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "resilience/pattern.hpp"
+#include "resilience/policy.hpp"
+#include "resilience/strategy.hpp"
+
+namespace esg::resilience {
+namespace {
+
+ErrorSite env_site(int attempts, int consecutive = 1) {
+  ErrorSite site;
+  site.scope = ErrorScope::kRemoteResource;
+  site.kind = ErrorKind::kIoError;
+  site.job = 7;
+  site.machine = "exec0";
+  site.attempts = attempts;
+  site.consecutive_failures = consecutive;
+  return site;
+}
+
+TEST(Patterns, NamesRoundTripAndGarbageIsRejected) {
+  for (const PatternKind kind : kAllPatterns) {
+    EXPECT_EQ(parse_pattern(pattern_name(kind)), kind);
+  }
+  EXPECT_FALSE(parse_pattern("").has_value());
+  EXPECT_FALSE(parse_pattern("retry-everywhere").has_value());
+}
+
+TEST(Strategies, BudgetExhaustionReturnsTheJobTruthfully) {
+  Tuning tuning;
+  tuning.max_attempts = 3;
+  const StrategyRegistry registry(tuning);
+  // Every rescheduling strategy stops rescheduling at the budget; only
+  // Surface (which never reschedules) has no budget to exhaust.
+  for (const PatternKind kind :
+       {PatternKind::kRetry, PatternKind::kRetryElsewhere,
+        PatternKind::kCheckpointRestart, PatternKind::kMigrate,
+        PatternKind::kReplicate, PatternKind::kAvoid}) {
+    const Decision under = registry.at(kind).decide(env_site(2), nullptr);
+    EXPECT_EQ(under.action, RecoveryAction::kReschedule)
+        << pattern_name(kind);
+    EXPECT_FALSE(under.budget_exhausted) << pattern_name(kind);
+    const Decision spent = registry.at(kind).decide(env_site(3), nullptr);
+    EXPECT_EQ(spent.action, RecoveryAction::kDeliverUnexecutable)
+        << pattern_name(kind);
+    EXPECT_TRUE(spent.budget_exhausted) << pattern_name(kind);
+  }
+}
+
+TEST(Strategies, BackoffDoublesPerConsecutiveFailureAndCaps) {
+  Tuning tuning;
+  tuning.base_delay = SimTime::sec(2);
+  tuning.max_backoff = SimTime::sec(30);
+  const StrategyRegistry registry(tuning);
+  const Strategy& retry = registry.at(PatternKind::kRetry);
+  EXPECT_EQ(retry.decide(env_site(1, 1), nullptr).delay, SimTime::sec(2));
+  EXPECT_EQ(retry.decide(env_site(2, 2), nullptr).delay, SimTime::sec(4));
+  EXPECT_EQ(retry.decide(env_site(3, 3), nullptr).delay, SimTime::sec(8));
+  EXPECT_EQ(retry.decide(env_site(4, 4), nullptr).delay, SimTime::sec(16));
+  // 2s * 2^4 = 32s exceeds the cap; the schedule clamps.
+  EXPECT_EQ(retry.decide(env_site(5, 5), nullptr).delay, SimTime::sec(30));
+  EXPECT_EQ(retry.decide(env_site(9, 9), nullptr).delay, SimTime::sec(30));
+}
+
+TEST(Strategies, JitterIsDeterministicBoundedAndOptIn) {
+  Tuning plain;
+  Tuning jittered = plain;
+  jittered.jitter = true;
+  const StrategyRegistry without(plain);
+  const StrategyRegistry with(jittered);
+  const ErrorSite site = env_site(1, 3);
+  const SimTime base =
+      without.at(PatternKind::kRetry).decide(site, nullptr).delay;
+
+  // Identical pinned streams draw identical delays: the scorecard's
+  // byte-determinism rests on this.
+  Rng a = Rng(42).fork(rng_streams::retry_jitter("schedd0"));
+  Rng b = Rng(42).fork(rng_streams::retry_jitter("schedd0"));
+  const SimTime da = with.at(PatternKind::kRetry).decide(site, &a).delay;
+  const SimTime db = with.at(PatternKind::kRetry).decide(site, &b).delay;
+  EXPECT_EQ(da, db);
+  // U[0.5, 1.5) of the doubled schedule, never past the ceiling.
+  EXPECT_GE(da, base * 0.5);
+  EXPECT_LT(da, base * 1.5);
+  EXPECT_LE(da, jittered.max_backoff);
+
+  // Without the tuning knob the stream is not consumed: a jitter-less
+  // strategy handed a stream must not perturb it.
+  Rng untouched = Rng(42).fork(rng_streams::retry_jitter("schedd0"));
+  Rng reference = Rng(42).fork(rng_streams::retry_jitter("schedd0"));
+  (void)without.at(PatternKind::kRetry).decide(site, &untouched);
+  EXPECT_EQ(untouched.next_u64(), reference.next_u64());
+}
+
+TEST(Strategies, ExclusionMatchesTheCatalog) {
+  const StrategyRegistry registry;
+  const ErrorSite site = env_site(1);
+  EXPECT_FALSE(
+      registry.at(PatternKind::kRetry).decide(site, nullptr).exclude_machine);
+  EXPECT_TRUE(registry.at(PatternKind::kRetryElsewhere)
+                  .decide(site, nullptr)
+                  .exclude_machine);
+  EXPECT_TRUE(
+      registry.at(PatternKind::kMigrate).decide(site, nullptr).exclude_machine);
+  // No machine to exclude, nothing excluded.
+  ErrorSite anonymous = site;
+  anonymous.machine.clear();
+  EXPECT_FALSE(registry.at(PatternKind::kRetryElsewhere)
+                   .decide(anonymous, nullptr)
+                   .exclude_machine);
+}
+
+TEST(Strategies, SurfaceAndReplicateRefuseToLieAboutProgramResults) {
+  const StrategyRegistry registry;
+  ErrorSite program = env_site(1);
+  program.scope = ErrorScope::kProgram;
+  program.kind = ErrorKind::kArrayIndexOutOfBounds;
+  program.program_result = true;
+  for (const PatternKind kind :
+       {PatternKind::kSurface, PatternKind::kReplicate}) {
+    const Decision decision = registry.at(kind).decide(program, nullptr);
+    EXPECT_EQ(decision.action, RecoveryAction::kDeliverResult)
+        << pattern_name(kind);
+  }
+  // Surface on a retryable environment condition still refuses to recover:
+  // the job goes back to the user, truthfully, as unexecutable.
+  const Decision env = registry.at(PatternKind::kSurface)
+                           .decide(env_site(1), nullptr);
+  EXPECT_EQ(env.action, RecoveryAction::kDeliverUnexecutable);
+}
+
+TEST(PolicyTable, UnboundSitesFallBackToSurface) {
+  const PolicyTable empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.lookup(ErrorScope::kRemoteResource, ErrorKind::kIoError),
+            PatternKind::kSurface);
+  EXPECT_EQ(empty.lookup(ErrorScope::kProgram, ErrorKind::kNullPointer),
+            PatternKind::kSurface);
+}
+
+TEST(PolicyTable, MostSpecificBindingWins) {
+  PolicyTable table;
+  table.bind_default(PatternKind::kRetry)
+      .bind(ErrorScope::kRemoteResource, PatternKind::kRetryElsewhere)
+      .bind(ErrorScope::kRemoteResource, ErrorKind::kOutOfMemory,
+            PatternKind::kAvoid);
+  EXPECT_EQ(table.lookup(ErrorScope::kRemoteResource, ErrorKind::kOutOfMemory),
+            PatternKind::kAvoid);
+  EXPECT_EQ(table.lookup(ErrorScope::kRemoteResource, ErrorKind::kIoError),
+            PatternKind::kRetryElsewhere);
+  EXPECT_EQ(table.lookup(ErrorScope::kNetwork, ErrorKind::kConnectionLost),
+            PatternKind::kRetry);
+  EXPECT_TRUE(table.uses(PatternKind::kAvoid));
+  EXPECT_FALSE(table.uses(PatternKind::kReplicate));
+}
+
+TEST(PolicyTable, ClassicTableMatchesTheScheddDispositions) {
+  const PolicyTable classic = PolicyTable::classic();
+  EXPECT_EQ(classic.lookup(ErrorScope::kProgram, ErrorKind::kNullPointer),
+            PatternKind::kSurface);
+  EXPECT_EQ(classic.lookup(ErrorScope::kJob, ErrorKind::kCorruptImage),
+            PatternKind::kSurface);
+  EXPECT_EQ(classic.lookup(ErrorScope::kCluster, ErrorKind::kIoError),
+            PatternKind::kSurface);
+  EXPECT_EQ(classic.lookup(ErrorScope::kPool, ErrorKind::kIoError),
+            PatternKind::kSurface);
+  EXPECT_EQ(classic.lookup(ErrorScope::kRemoteResource, ErrorKind::kIoError),
+            PatternKind::kRetry);
+  EXPECT_EQ(classic.lookup(ErrorScope::kNetwork, ErrorKind::kConnectionLost),
+            PatternKind::kRetry);
+}
+
+}  // namespace
+}  // namespace esg::resilience

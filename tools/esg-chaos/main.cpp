@@ -1,6 +1,6 @@
 // esg-chaos: deterministic fault-injection campaigns against the pool.
 //
-// Two entry points:
+// Three entry points:
 //   --plan FILE      replay one saved esg-faultplan v1 file: rebuild the
 //                    pool it names, arm the injector, run, and print the
 //                    resilience-oracle verdict. Byte-identical to the CI
@@ -8,6 +8,14 @@
 //   --campaign N     draw N random plans from --seed, fan them out over
 //                    pool::SweepRunner, judge every cell, and ddmin-shrink
 //                    the first failing plan to a minimal replayable repro.
+//   --score-patterns run the resilience-pattern scorecard: every catalog
+//                    pattern as a pool-wide monoculture under every scope
+//                    family's fault schedule, scored on survival / lies /
+//                    wasted CPU / time-to-result (see chaos/score.hpp).
+//                    --out FILE writes the deterministic scorecard JSON;
+//                    --json prints it instead of the ANSI table; each
+//                    --expect-winner FAMILY=PATTERN pins a family's
+//                    winner (exit 1 on mismatch) — the CTest gate.
 //
 // --federated switches both paths to flock::Federation cells: plans are
 // drawn by flock::make_federated_plan (remote blackout mid-negotiation,
@@ -40,6 +48,7 @@
 //                    naive-pool CI gate proving the oracles bite)
 //
 // Exit codes: 0 expected outcome, 1 unexpected verdict, 2 usage/IO error.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,10 +56,14 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "chaos/campaign.hpp"
 #include "chaos/plan.hpp"
+#include "chaos/score.hpp"
 #include "flock/chaos.hpp"
+#include "resilience/pattern.hpp"
 
 using namespace esg;
 
@@ -58,12 +71,12 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--plan FILE | --campaign N)\n"
+               "usage: %s (--plan FILE | --campaign N | --score-patterns)\n"
                "          [--seed S] [--threads T] [--discipline scoped|naive]\n"
                "          [--machines N] [--jobs N] [--shrink | --no-shrink]\n"
                "          [--federated] [--pools N] [--triage K]\n"
                "          [--out FILE] [--blame-out FILE] [--json]\n"
-               "          [--expect-fail]\n",
+               "          [--expect-fail] [--expect-winner FAMILY=PATTERN]...\n",
                argv0);
   return 2;
 }
@@ -116,6 +129,42 @@ int run_plan(const std::string& path, bool do_shrink, const std::string& out_pat
     if (!out_path.empty() && !write_file(out_path, minimized.str())) return 2;
   }
   return run.ok() ? 0 : 1;
+}
+
+int run_score(const chaos::ScoreOptions& options, bool json,
+              const std::string& out_path,
+              const std::vector<std::pair<std::string, std::string>>& expected) {
+  // Validate the pins before spending minutes of simulation on a typo.
+  const std::vector<std::string> known = chaos::score_family_names();
+  for (const auto& [family, pattern] : expected) {
+    if (std::find(known.begin(), known.end(), family) == known.end()) {
+      std::fprintf(stderr, "esg-chaos: unknown scope family \"%s\"\n",
+                   family.c_str());
+      return 2;
+    }
+    if (!resilience::parse_pattern(pattern)) {
+      std::fprintf(stderr, "esg-chaos: unknown pattern \"%s\"\n",
+                   pattern.c_str());
+      return 2;
+    }
+  }
+
+  const chaos::Scorecard card = chaos::score_patterns(options);
+  std::fputs(json ? card.json().c_str() : card.table().c_str(), stdout);
+  if (!out_path.empty() && !write_file(out_path, card.json())) return 2;
+
+  int mismatches = 0;
+  for (const auto& [family, pattern] : expected) {
+    const chaos::FamilyScore* score = card.family(family);
+    if (score == nullptr || score->winner != pattern) {
+      std::fprintf(stderr,
+                   "esg-chaos: expected %s to be won by %s, but %s won\n",
+                   family.c_str(), pattern.c_str(),
+                   score != nullptr ? score->winner.c_str() : "(missing)");
+      ++mismatches;
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
 }
 
 /// Where the blame report lands when --blame-out is not given: next to the
@@ -177,6 +226,8 @@ int main(int argc, char** argv) {
   std::string blame_out;
   chaos::CampaignOptions options;
   bool have_campaign = false;
+  bool score_patterns = false;
+  std::vector<std::pair<std::string, std::string>> expect_winners;
   bool federated = false;
   bool plan_shrink = false;
   bool json = false;
@@ -227,9 +278,26 @@ int main(int argc, char** argv) {
       json = true;
     } else if (!std::strcmp(argv[i], "--expect-fail")) {
       expect_fail = true;
+    } else if (!std::strcmp(argv[i], "--score-patterns")) {
+      score_patterns = true;
+    } else if (!std::strcmp(argv[i], "--expect-winner")) {
+      std::string pin;
+      next_str(pin);
+      const std::size_t eq = pin.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pin.size()) {
+        return usage(argv[0]);
+      }
+      expect_winners.emplace_back(pin.substr(0, eq), pin.substr(eq + 1));
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (score_patterns) {
+    chaos::ScoreOptions score_options;
+    score_options.seed = options.seed;
+    score_options.threads = options.threads;
+    return run_score(score_options, json, out_path, expect_winners);
   }
 
   if (!plan_path.empty()) return run_plan(plan_path, plan_shrink, out_path);

@@ -42,7 +42,11 @@ void note_suppressions(const std::string& comment, int line,
     pos += kTag.size();
     const std::size_t end = comment.find(')', pos);
     if (end == std::string::npos) break;
-    out[line].insert(comment.substr(pos, end - pos));
+    std::string name = comment.substr(pos, end - pos);
+    // Rule ids carry the "lint/" family prefix; a bare allow(<rule>) means
+    // the same thing.
+    if (name.find('/') == std::string::npos) name = "lint/" + name;
+    out[line].insert(std::move(name));
     pos = end;
   }
 }
@@ -500,6 +504,65 @@ void Linter::lint(const std::string& path, const std::string& text) {
     }
   }
 
+  // ---- lint/naked-retry ----------------------------------------------------
+  // A for/while header that *counts* an attempt/retry variable is a
+  // hand-rolled recovery loop: its budget and backoff live outside the
+  // Strategy catalog, invisible to the policy table and the scorecards.
+  // Range-fors over attempt *records* have no counting operator and pass.
+  // src/resilience/ is the catalog itself — the one sanctioned home for
+  // attempt counting.
+  const auto retryish = [](const std::string& s) {
+    if (!is_identifier(s)) return false;
+    std::string lower;
+    lower.reserve(s.size());
+    for (const char c : s) {
+      lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    return lower.find("attempt") != std::string::npos ||
+           lower.find("retry") != std::string::npos ||
+           lower.find("retries") != std::string::npos;
+  };
+  if (path.find("resilience/") == std::string::npos) {
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      const bool is_for = tokens[i].text == "for";
+      const bool is_while = tokens[i].text == "while";
+      if ((!is_for && !is_while) || tokens[i + 1].text != "(") continue;
+      const std::size_t close = match_forward(tokens, i + 1, "(", ")");
+      std::string counter;
+      for (std::size_t k = i + 2; k < close && k < tokens.size(); ++k) {
+        const std::string& t = tokens[k].text;
+        if (is_for) {
+          // `++attempt`, `attempt++`, or `attempt +=` in the header.
+          if ((t == "++" || t == "--" || t == "+=") && k + 1 < close &&
+              retryish(tokens[k + 1].text)) {
+            counter = tokens[k + 1].text;
+            break;
+          }
+          if (retryish(t) && k + 1 < close &&
+              (tokens[k + 1].text == "++" || tokens[k + 1].text == "--" ||
+               tokens[k + 1].text == "+=")) {
+            counter = t;
+            break;
+          }
+        } else {
+          // `while (attempts < budget)` — the counter bumps in the body.
+          if (retryish(t) && k + 1 < close &&
+              (tokens[k + 1].text == "<" || tokens[k + 1].text == "<=" ||
+               tokens[k + 1].text == ">" || tokens[k + 1].text == ">=")) {
+            counter = t;
+            break;
+          }
+        }
+      }
+      if (counter.empty()) continue;
+      add("lint/naked-retry", tokens[i].line,
+          "loop counts '" + counter +
+              "' by hand — recovery belongs to a resilience::Strategy "
+              "consulted through the PolicyTable (resilience/strategy.hpp); "
+              "a redraw/re-measure loop takes esg-lint: allow(naked-retry)");
+    }
+  }
+
   // ---- lint/unraised-scope -------------------------------------------------
   for (std::size_t i = 0; i + 4 < tokens.size(); ++i) {
     if (tokens[i].text != "register_handler") continue;
@@ -533,6 +596,9 @@ std::string to_sarif(const std::vector<Finding>& findings) {
   log.add_rule({"lint/dangling-flow",
                 "declare_flow endpoints must name a declared detection "
                 "point or interface"});
+  log.add_rule({"lint/naked-retry",
+                "retry loops belong to the resilience Strategy catalog, "
+                "not hand-rolled attempt counters"});
   for (const Finding& f : findings) {
     analysis::sarif::Result r;
     r.rule_id = f.rule;

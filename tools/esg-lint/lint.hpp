@@ -31,6 +31,14 @@
 //                           TopologyModel drops unresolvable edges, so a
 //                           typo'd name silently vanishes from everything
 //                           esg-verify and esg-flow prove.
+//   lint/naked-retry        A hand-rolled retry loop — a for/while header
+//                           counting an attempt/retry variable — outside
+//                           src/resilience/. Recovery policy belongs to a
+//                           resilience::Strategy consulted through the
+//                           PolicyTable, so budgets, backoff, and scoring
+//                           stay in one place; a loop that re-draws or
+//                           re-measures (not re-recovers) takes an allow
+//                           marker.
 //
 // A finding can be suppressed with a comment on the same or the preceding
 // line:  // esg-lint: allow(<rule>)
